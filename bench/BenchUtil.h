@@ -1,0 +1,47 @@
+//===- bench/BenchUtil.h - Shared helpers for figure benches --------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table/series printing and geometric means for the per-figure bench
+/// binaries. Each binary prints the rows/series the corresponding paper
+/// figure plots, normalized the same way the paper normalizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_BENCH_BENCHUTIL_H
+#define UNIT_BENCH_BENCHUTIL_H
+
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace unit::bench {
+
+inline double geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+inline std::string fmt2(double V) { return formatStr("%.2f", V); }
+inline std::string fmtUs(double Seconds) {
+  return formatStr("%.1f", Seconds * 1e6);
+}
+
+inline void printHeader(const std::string &Title) {
+  std::printf("==== %s ====\n", Title.c_str());
+}
+
+} // namespace unit::bench
+
+#endif // UNIT_BENCH_BENCHUTIL_H

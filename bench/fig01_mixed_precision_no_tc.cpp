@@ -1,0 +1,43 @@
+//===- bench/fig01_mixed_precision_no_tc.cpp - Paper Fig. 1 ---------------===//
+//
+// The paper's motivating experiment: on a V100, running fp16 inference
+// *without* Tensor Core support is slower than plain fp32 because of the
+// data-cast overhead at operator boundaries. Relative performance of
+// cuDNN-fp16-no-TC vs the cuDNN-fp32 baseline (1.0); every bar lands
+// below 1.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baselines/VendorLibrary.h"
+#include "models/ModelZoo.h"
+
+using namespace unit;
+using namespace unit::bench;
+
+int main() {
+  printHeader(
+      "Figure 1: fp16 without mixed-precision instructions vs fp32 (V100)");
+
+  GpuMachine Machine = GpuMachine::v100();
+  CuDnnFp32Engine Fp32(Machine);
+  CuDnnFp16NoTcEngine Fp16(Machine);
+
+  Table T({"model", "fp32(ms)", "fp16-noTC(ms)", "cuDNN(fp32)",
+           "cuDNN(fp16) w/o Tensor Core"});
+  std::vector<double> Rel;
+  for (const Model &M : paperModels()) {
+    double Base = modelLatencySeconds(M, Fp32);
+    double NoTc = modelLatencySeconds(M, Fp16);
+    Rel.push_back(Base / NoTc);
+    T.addRow({M.Name, formatStr("%.2f", Base * 1e3),
+              formatStr("%.2f", NoTc * 1e3), "1.00", fmt2(Base / NoTc)});
+  }
+  T.addRow({"geomean", "", "", "1.00", fmt2(geomean(Rel))});
+  T.print();
+
+  std::printf("\nfp16 without Tensor Cores runs at %.2fx of fp32 — "
+              "mixed precision needs hardware support (paper Fig. 1)\n",
+              geomean(Rel));
+  return 0;
+}

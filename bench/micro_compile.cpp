@@ -1,0 +1,88 @@
+//===- bench/micro_compile.cpp - Compile-time micro benchmarks -------------===//
+//
+// google-benchmark suite measuring UNIT's own compilation costs: the
+// Inspector's applicability analysis, the Rewriter's loop reorganization,
+// lowering + instruction replacement, and a full CPU tuning run. Keeps the
+// "moderate effort" claim of the paper honest on the compiler side.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "graph/Executor.h"
+#include "models/Table1.h"
+#include "tuner/Tuner.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace unit;
+
+namespace {
+
+LaidOutOp table1Op(int Index) {
+  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  ConvLayer L = table1Workloads()[static_cast<size_t>(Index)];
+  return buildDirectConvOp(L, Scheme.Activation, Scheme.Weight,
+                           Scheme.Accumulator, Scheme.LaneMultiple,
+                           Scheme.ReduceMultiple);
+}
+
+TensorIntrinsicRef vnni() {
+  return IntrinsicRegistry::instance().lookup("vnni.vpdpbusd");
+}
+
+void BM_InspectorApplicability(benchmark::State &State) {
+  LaidOutOp Laid = table1Op(4);
+  for (auto _ : State) {
+    std::optional<MatchResult> M = inspect(Laid.Op, vnni());
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_InspectorApplicability);
+
+void BM_RewriterReorganize(benchmark::State &State) {
+  LaidOutOp Laid = table1Op(4);
+  std::optional<MatchResult> M = inspect(Laid.Op, vnni());
+  for (auto _ : State) {
+    TensorizePlan Plan = reorganizeLoops(Laid.Op, *M);
+    benchmark::DoNotOptimize(Plan);
+  }
+}
+BENCHMARK(BM_RewriterReorganize);
+
+void BM_LowerAndReplace(benchmark::State &State) {
+  LaidOutOp Laid = table1Op(4);
+  std::optional<MatchResult> M = inspect(Laid.Op, vnni());
+  for (auto _ : State) {
+    TensorizePlan Plan = reorganizeLoops(Laid.Op, *M);
+    StmtRef TIR = lowerPlan(Plan);
+    benchmark::DoNotOptimize(TIR);
+  }
+}
+BENCHMARK(BM_LowerAndReplace);
+
+void BM_CostModelEvaluation(benchmark::State &State) {
+  LaidOutOp Laid = table1Op(4);
+  std::optional<MatchResult> M = inspect(Laid.Op, vnni());
+  CpuMachine Machine = CpuMachine::cascadeLake();
+  TensorizePlan Plan = buildCpuPlan(Laid.Op, *M, CpuTuningPair{3000, 8});
+  for (auto _ : State) {
+    double Latency = cpuLatencySeconds(analyzeTensorized(Plan), Machine);
+    benchmark::DoNotOptimize(Latency);
+  }
+}
+BENCHMARK(BM_CostModelEvaluation);
+
+void BM_FullCpuTuneOneLayer(benchmark::State &State) {
+  LaidOutOp Laid = table1Op(4);
+  std::optional<MatchResult> M = inspect(Laid.Op, vnni());
+  CpuMachine Machine = CpuMachine::cascadeLake();
+  for (auto _ : State) {
+    TunedKernel Tuned = tuneCpu(Laid.Op, *M, Machine);
+    benchmark::DoNotOptimize(Tuned);
+  }
+}
+BENCHMARK(BM_FullCpuTuneOneLayer);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+//===- bench/table1_workloads.cpp - Paper Table I --------------------------===//
+//
+// Prints the characteristics of the 16 selected convolution layers and
+// verifies they are drawn from the model zoo's 148-odd distinct workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "models/ModelZoo.h"
+#include "models/Table1.h"
+
+#include <set>
+
+using namespace unit;
+using namespace unit::bench;
+
+int main() {
+  printHeader("Table I: characteristics of the selected convolution layers");
+
+  std::vector<ConvLayer> Layers = table1Workloads();
+  Table T({"", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11",
+           "12", "13", "14", "15", "16"});
+  auto Row = [&](const std::string &Name, auto Get) {
+    std::vector<std::string> Cells{Name};
+    for (const ConvLayer &L : Layers)
+      Cells.push_back(std::to_string(Get(L)));
+    T.addRow(Cells);
+  };
+  Row("C", [](const ConvLayer &L) { return L.InC; });
+  Row("IHW", [](const ConvLayer &L) { return L.InH; });
+  Row("K", [](const ConvLayer &L) { return L.OutC; });
+  Row("R=S", [](const ConvLayer &L) { return L.KH; });
+  Row("Stride", [](const ConvLayer &L) { return L.Stride; });
+  Row("OHW", [](const ConvLayer &L) { return L.outH(); });
+  T.print();
+
+  // Distinct conv workloads across the nine models (paper: 148).
+  std::set<std::string> Keys;
+  for (const Model &M : paperModels())
+    for (const ConvLayer &L : M.Convs)
+      if (L.InH > 1) // Convolutions, not dense layers.
+        Keys.insert(L.shapeKey());
+  std::printf("\nDistinct convolution workloads across the nine models: %zu "
+              "(paper: 148)\n",
+              Keys.size());
+  return 0;
+}

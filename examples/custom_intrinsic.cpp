@@ -1,0 +1,108 @@
+//===- examples/custom_intrinsic.cpp - Extensibility demo ------------------===//
+//
+// The paper's central claim (§VI.C): integrating a brand-new tensorized
+// instruction requires only *describing its semantics in the tensor DSL*
+// — no new analysis, no new transformation. This example invents "dot8",
+// a hypothetical 8-lane x 2-wide u8 dot-product instruction, registers it,
+// and watches UNIT tensorize a matmul with it, bit-exactly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "interp/Interp.h"
+#include "tir/Lower.h"
+#include "tir/TIRPrinter.h"
+
+#include <cstdio>
+
+using namespace unit;
+
+namespace {
+
+/// The new instruction, written exactly like paper Fig. 4:
+///   d[i:8] = c[i] + sum_{j<2} i32(a[i*2+j]) * i32(b[i*2+j])
+TensorIntrinsicRef makeDot8() {
+  TensorRef A = makeTensor("dot8.a", {16}, DataType::u8());
+  TensorRef B = makeTensor("dot8.b", {16}, DataType::u8());
+  TensorRef C = makeTensor("dot8.c", {8}, DataType::i32());
+  TensorRef D = makeTensor("dot8.d", {8}, DataType::i32());
+  IterVar I = makeAxis("i", 8);
+  IterVar J = makeReduceAxis("j", 2);
+  ExprRef Lane = makeVar(I) * makeIntImm(2) + makeVar(J);
+  ExprRef Prod = makeCast(DataType::i32(), makeLoad(A, {Lane})) *
+                 makeCast(DataType::i32(), makeLoad(B, {Lane}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {J},
+                            makeLoad(C, {makeVar(I)}));
+  IntrinsicCost Cost{/*LatencyCycles=*/4.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/16.0};
+  return std::make_shared<TensorIntrinsic>(
+      "example.dot8", "llvm.example.dot8", TargetKind::X86,
+      ComputeOp::create("example.dot8", D, {I}, Body), Cost);
+}
+
+} // namespace
+
+int main() {
+  // One registry call integrates the instruction end to end — emulation
+  // included, because the interpreter executes the DSL semantics directly.
+  IntrinsicRegistry::instance().add(makeDot8());
+  TensorIntrinsicRef Dot8 =
+      IntrinsicRegistry::instance().lookup("example.dot8");
+  std::printf("Registered: %s\n%s\n", Dot8->name().c_str(),
+              Dot8->semantics()->str().c_str());
+
+  // A u8 x u8 matmul the built-in VNNI cannot take (it needs u8 x i8)...
+  const int64_t N = 8, M = 16, K = 32;
+  TensorRef A = makeTensor("a", {N, K}, DataType::u8());
+  TensorRef B = makeTensor("b", {M, K}, DataType::u8());
+  TensorRef C = makeTensor("c", {N, M}, DataType::i32());
+  IterVar I = makeAxis("i", N), J = makeAxis("j", M);
+  IterVar Kk = makeReduceAxis("k", K);
+  ExprRef Prod =
+      makeCast(DataType::i32(), makeLoad(A, {makeVar(I), makeVar(Kk)})) *
+      makeCast(DataType::i32(), makeLoad(B, {makeVar(J), makeVar(Kk)}));
+  ComputeOpRef Op = ComputeOp::create(
+      "matmul_u8u8", C, {I, J}, makeReduce(ReduceKind::Sum, Prod, {Kk}));
+
+  TensorIntrinsicRef Vnni =
+      IntrinsicRegistry::instance().lookup("vnni.vpdpbusd");
+  std::string WhyNot;
+  if (!inspect(Op, Vnni, &WhyNot))
+    std::printf("vpdpbusd rejects it, as expected: %s\n\n", WhyNot.c_str());
+
+  // ...but dot8 takes it, through the unchanged pipeline.
+  std::optional<CompiledKernel> Kernel = compileWithIntrinsic(Op, Dot8);
+  if (!Kernel) {
+    std::printf("dot8 failed to apply\n");
+    return 1;
+  }
+  std::printf("Tensorized with the custom instruction:\n%s\n",
+              stmtToString(Kernel->TIR).c_str());
+
+  // Validate.
+  SplitMix64 Rng(99);
+  Buffer ABuf(A), BBuf(B), CNaive(C), CCustom(C);
+  ABuf.fillRandom(Rng);
+  BBuf.fillRandom(Rng);
+  Schedule Naive(Op);
+  Interp Run1;
+  Run1.bind(A, &ABuf);
+  Run1.bind(B, &BBuf);
+  Run1.bind(C, &CNaive);
+  Run1.run(lower(Naive));
+  Interp Run2;
+  Run2.bind(A, &ABuf);
+  Run2.bind(B, &BBuf);
+  Run2.bind(C, &CCustom);
+  Run2.run(Kernel->TIR);
+  for (int64_t E = 0; E < C->numElements(); ++E) {
+    if (CNaive.getInt(E) != CCustom.getInt(E)) {
+      std::printf("MISMATCH at %lld\n", static_cast<long long>(E));
+      return 1;
+    }
+  }
+  std::printf("Custom-instruction program matches the reference on all "
+              "%lld outputs.\n",
+              static_cast<long long>(C->numElements()));
+  return 0;
+}

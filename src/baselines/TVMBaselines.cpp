@@ -1,0 +1,161 @@
+//===- baselines/TVMBaselines.cpp ------------------------------------------===//
+
+#include "baselines/TVMBaselines.h"
+
+#include "core/Inspector.h"
+#include "core/Rewriter.h"
+
+using namespace unit;
+
+namespace {
+
+/// The hand-written TVM schedules unroll the output-width loop by a fixed
+/// factor (reg_n in TVM's x86/ARM int8 conv templates). Widths that do not
+/// divide the factor inherit `likely` residue guards — the per-shape
+/// rigidity UNIT's tuner avoids (paper §VI.A's 1.18x / §VI.C's 1.13x).
+TensorizePlan buildTvmManualPlan(const ComputeOpRef &Op,
+                                 const MatchResult &Match,
+                                 const CpuTuningPair &Pair) {
+  TensorizePlan Plan = reorganizeLoops(Op, Match);
+  Schedule &S = *Plan.Sched;
+
+  // Outer data-parallel loops of the blocked conv: x, y, ko (+ trivial
+  // remnants). Unroll the spatial y (OW) loop by the fixed factor.
+  std::vector<IterVar> RemainingDP = Plan.OuterDataParallel;
+  std::vector<IterVar> UnrollParts;
+  for (size_t I = 0; I < RemainingDP.size(); ++I) {
+    if (RemainingDP[I]->name() != "y")
+      continue;
+    int64_t Factor = std::min(Pair.UnrollFactor, RemainingDP[I]->extent());
+    if (Factor > 1) {
+      auto [Outer, Inner] = S.split(RemainingDP[I], Factor);
+      RemainingDP[I] = Outer;
+      UnrollParts.push_back(Inner);
+    }
+    break;
+  }
+
+  std::vector<IterVar> Order = RemainingDP;
+  Order.insert(Order.end(), Plan.OuterReduce.begin(), Plan.OuterReduce.end());
+  Order.insert(Order.end(), UnrollParts.begin(), UnrollParts.end());
+  S.reorder(Order);
+
+  if (!RemainingDP.empty()) {
+    IterVar Fused = RemainingDP[0];
+    int64_t Prod = Fused->extent();
+    for (size_t Next = 1; Next < RemainingDP.size(); ++Next) {
+      if (Prod * RemainingDP[Next]->extent() > Pair.ParallelLimit)
+        break;
+      Prod *= RemainingDP[Next]->extent();
+      Fused = S.fuse(Fused, RemainingDP[Next]);
+    }
+    S.parallel(Fused);
+  }
+  for (const IterVar &U : UnrollParts)
+    S.unroll(U);
+  return Plan;
+}
+
+} // namespace
+
+TvmManualEngine::TvmManualEngine(CpuMachine MachineIn, TargetKind TargetIn,
+                                 CpuTuningPair FixedPairIn,
+                                 bool SpatialUnrollIn)
+    : Machine(std::move(MachineIn)), Target(TargetIn),
+      Scheme(quantSchemeFor(TargetIn)), FixedPair(FixedPairIn),
+      SpatialUnroll(SpatialUnrollIn) {}
+
+std::string TvmManualEngine::name() const {
+  return std::string("TVM-Manual (") + targetName(Target) + ")";
+}
+
+double TvmManualEngine::glueBytesPerSecond() const {
+  return Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9;
+}
+
+double TvmManualEngine::convSeconds(const ConvLayer &Layer) {
+  std::string Key = Layer.shapeKey();
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  double Seconds;
+  if (Layer.Depthwise) {
+    KernelStats Stats = depthwiseSimdStats(Layer, /*WideningFactor=*/1.5);
+    Seconds = simdLatencySeconds(Stats, Machine);
+  } else {
+    LaidOutOp Laid =
+        buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
+                          Scheme.Accumulator, Scheme.LaneMultiple,
+                          Scheme.ReduceMultiple);
+    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, Target);
+    if (Matches.empty()) {
+      KernelStats Stats = analyzeSimdFallback(
+          Laid.Op, 1.0, static_cast<double>(Layer.outH()) * Layer.outW());
+      Seconds = simdLatencySeconds(Stats, Machine);
+    } else {
+      // One fixed manually-chosen blocking for every shape.
+      TensorizePlan Plan =
+          SpatialUnroll
+              ? buildTvmManualPlan(Laid.Op, Matches.front(), FixedPair)
+              : buildCpuPlan(Laid.Op, Matches.front(), FixedPair);
+      Seconds = cpuLatencySeconds(analyzeTensorized(Plan), Machine);
+    }
+  }
+  Cache[Key] = Seconds;
+  return Seconds;
+}
+
+TvmNeonEngine::TvmNeonEngine(CpuMachine MachineIn)
+    : Machine(std::move(MachineIn)) {}
+
+double TvmNeonEngine::glueBytesPerSecond() const {
+  return Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9;
+}
+
+double TvmNeonEngine::convSeconds(const ConvLayer &Layer) {
+  std::string Key = Layer.shapeKey();
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  double Seconds;
+  if (Layer.Depthwise) {
+    KernelStats Stats = depthwiseSimdStats(Layer, /*WideningFactor=*/3.0);
+    Seconds = simdLatencySeconds(Stats, Machine);
+  } else {
+    // Plain NEON int8: every MAC pays the widening chain; the fixed
+    // schedule parallelizes the spatial loops only.
+    QuantScheme Scheme = quantSchemeFor(TargetKind::ARM);
+    LaidOutOp Laid =
+        buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
+                          Scheme.Accumulator, /*LaneMultiple=*/4,
+                          /*ReduceMultiple=*/4);
+    // The fixed NEON schedule parallelizes output rows only, starving the
+    // 32 cores on late small-spatial layers, and it has no register-tiled
+    // kernel for 1x1 convolutions at all — mobilenets, nearly all 1x1,
+    // are where Fig. 12's >10x gaps come from.
+    double Widening = Machine.WideningFactorNoDot;
+    if (Layer.KH == 1 && Layer.KW == 1)
+      Widening *= 2.0;
+    KernelStats Stats = analyzeSimdFallback(
+        Laid.Op, Widening, static_cast<double>(Layer.outH()));
+    Seconds = simdLatencySeconds(Stats, Machine);
+  }
+  Cache[Key] = Seconds;
+  return Seconds;
+}
+
+TvmManualEngine unit::makeTvmManualVnni(const CpuMachine &Machine) {
+  // The TVM x86 int8 schedule's fixed blocking, OW-unrolled.
+  return TvmManualEngine(Machine, TargetKind::X86, CpuTuningPair{3000, 8},
+                         /*SpatialUnroll=*/true);
+}
+
+TvmManualEngine unit::makeTvmManualDot(const CpuMachine &Machine) {
+  // The ARM DOT schedule was carefully tuned (paper: UNIT wins by just
+  // 1.13x geomean): output-channel unrolling, guard-free, with a slightly
+  // conservative parallel granularity.
+  return TvmManualEngine(Machine, TargetKind::ARM, CpuTuningPair{512, 8},
+                         /*SpatialUnroll=*/false);
+}

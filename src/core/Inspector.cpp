@@ -1,0 +1,167 @@
+//===- core/Inspector.cpp --------------------------------------------------===//
+
+#include "core/Inspector.h"
+
+#include "ir/ExprUtil.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace unit;
+
+IterVar AxisMapping::opAxisFor(const IterVarNode *InstrAxis) const {
+  for (const auto &[OpAxis, IAxis] : Pairs)
+    if (IAxis.get() == InstrAxis)
+      return OpAxis;
+  return nullptr;
+}
+
+IterVar AxisMapping::instrAxisFor(const IterVarNode *OpAxis) const {
+  for (const auto &[OAxis, InstrAxis] : Pairs)
+    if (OAxis.get() == OpAxis)
+      return InstrAxis;
+  return nullptr;
+}
+
+namespace {
+
+/// Set of loop variables appearing in a load's index expressions.
+std::set<const IterVarNode *> varSetOfLoad(const LoadNode *Load) {
+  std::set<const IterVarNode *> Out;
+  for (const ExprRef &Idx : Load->Indices)
+    for (const IterVar &IV : collectVars(Idx))
+      Out.insert(IV.get());
+  return Out;
+}
+
+/// Distinct loop variables in a load's index expressions, in order.
+std::vector<IterVar> collectLoadVars(const LoadNode *Load) {
+  std::vector<IterVar> Out;
+  for (const ExprRef &Idx : Load->Indices)
+    for (const IterVar &IV : collectVars(Idx))
+      if (std::find(Out.begin(), Out.end(), IV) == Out.end())
+        Out.push_back(IV);
+  return Out;
+}
+
+/// The feasibility test of paper §III.B.2: for every bound operand pair
+/// (u = op access, v = instruction access), S'(u) ⊆ S(v) where
+/// S'(u) = { f(x) | x in S(u) ∩ A }.
+bool mappingFeasible(const AxisMapping &Mapping, const IsoResult &Iso) {
+  for (const OperandBinding &B : Iso.Bindings) {
+    if (B.IsAccumulator)
+      continue; // The accumulator aliases the output; checked by shape.
+    std::set<const IterVarNode *> SV = varSetOfLoad(B.InstrLoad);
+    for (const IterVar &OpVar : collectLoadVars(B.OpLoad)) {
+      IterVar InstrVar = Mapping.instrAxisFor(OpVar.get());
+      if (!InstrVar)
+        continue; // Not in A: stays an outer loop; broadcast handles it.
+      if (!SV.count(InstrVar.get()))
+        return false; // One register lane would need several addresses.
+    }
+  }
+  return true;
+}
+
+/// Recursively assigns operation axes to instruction axes.
+///
+/// \p InstrAxes lists the instruction axes still to assign; \p Candidates
+/// lists, per instruction axis, the op axes that qualify (same annotation,
+/// perfect tiling), pre-sorted innermost-first. Feasible complete mappings
+/// are appended to \p Out (bounded enumeration; shapes make this tiny).
+void enumerate(const std::vector<IterVar> &InstrAxes, size_t Depth,
+               const std::vector<std::vector<IterVar>> &Candidates,
+               std::vector<std::pair<IterVar, IterVar>> &Current,
+               const IsoResult &Iso, std::vector<AxisMapping> &Out) {
+  if (Depth == InstrAxes.size()) {
+    AxisMapping M{Current};
+    if (mappingFeasible(M, Iso))
+      Out.push_back(std::move(M));
+    return;
+  }
+  const IterVar &InstrAxis = InstrAxes[Depth];
+  for (const IterVar &OpAxis : Candidates[Depth]) {
+    bool Used = false;
+    for (const auto &[Assigned, _] : Current)
+      Used |= Assigned == OpAxis;
+    if (Used)
+      continue;
+    Current.emplace_back(OpAxis, InstrAxis);
+    enumerate(InstrAxes, Depth + 1, Candidates, Current, Iso, Out);
+    Current.pop_back();
+  }
+}
+
+} // namespace
+
+std::optional<MatchResult> unit::inspect(const ComputeOpRef &Op,
+                                         const TensorIntrinsicRef &Intr,
+                                         std::string *WhyNot) {
+  auto Fail = [&](const std::string &Why) -> std::optional<MatchResult> {
+    if (WhyNot)
+      *WhyNot = Why;
+    return std::nullopt;
+  };
+
+  // Step 1: compute isomorphism (paper Algorithm 1).
+  IsoResult Iso = matchCompute(*Intr->semantics(), *Op);
+  if (!Iso.Matched)
+    return Fail("compute isomorphism failed: " + Iso.FailureReason);
+
+  // In-place instructions additionally require the op's output element
+  // type to match the accumulator register's element type.
+  if (Intr->accumulatesInPlace() &&
+      Intr->semantics()->output()->dtype() != Op->output()->dtype())
+    return Fail("accumulator element type mismatch");
+
+  // Step 2: array access isomorphism — enumerate loop mappings.
+  std::vector<IterVar> InstrAxes = Intr->semantics()->allAxes();
+
+  // Candidates per instruction axis: op axes of the same annotation whose
+  // extent the instruction extent tiles perfectly (the graph level pads
+  // shapes to guarantee this; see graph/Layout). Innermost-first for the
+  // greedy locality preference of paper §IV.A.
+  std::vector<IterVar> OpAxesInnermostFirst = Op->allAxes();
+  std::reverse(OpAxesInnermostFirst.begin(), OpAxesInnermostFirst.end());
+
+  std::vector<std::vector<IterVar>> Candidates;
+  for (const IterVar &InstrAxis : InstrAxes) {
+    std::vector<IterVar> C;
+    for (const IterVar &OpAxis : OpAxesInnermostFirst) {
+      if (OpAxis->kind() != InstrAxis->kind())
+        continue;
+      if (OpAxis->extent() % InstrAxis->extent() != 0)
+        continue;
+      C.push_back(OpAxis);
+    }
+    if (C.empty())
+      return Fail("no operation axis can host instruction axis '" +
+                  InstrAxis->name() + "'");
+    Candidates.push_back(std::move(C));
+  }
+
+  std::vector<AxisMapping> Feasible;
+  std::vector<std::pair<IterVar, IterVar>> Current;
+  enumerate(InstrAxes, 0, Candidates, Current, Iso, Feasible);
+  if (Feasible.empty())
+    return Fail("no feasible loop mapping (S'(u) ⊆ S(v) fails everywhere)");
+
+  MatchResult Result;
+  Result.Intrinsic = Intr;
+  Result.Iso = std::move(Iso);
+  Result.Mapping = Feasible.front();
+  Result.Alternatives.assign(Feasible.begin() + 1, Feasible.end());
+  return Result;
+}
+
+std::vector<MatchResult> unit::inspectTarget(const ComputeOpRef &Op,
+                                             TargetKind Target) {
+  std::vector<MatchResult> Out;
+  for (const TensorIntrinsicRef &Intr :
+       IntrinsicRegistry::instance().forTarget(Target)) {
+    if (std::optional<MatchResult> M = inspect(Op, Intr))
+      Out.push_back(std::move(*M));
+  }
+  return Out;
+}

@@ -1,0 +1,208 @@
+//===- core/Isomorphism.cpp ------------------------------------------------===//
+//
+// Implements paper Algorithm 1. `A` denotes instruction-side expressions,
+// `B` operation-side expressions, following the paper's convention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Isomorphism.h"
+
+#include "ir/ExprUtil.h"
+#include "ir/Printer.h"
+#include "support/ErrorHandling.h"
+
+using namespace unit;
+
+const OperandBinding *IsoResult::bindingFor(const TensorRef &T) const {
+  for (const OperandBinding &B : Bindings)
+    if (B.InstrTensor == T)
+      return &B;
+  return nullptr;
+}
+
+namespace {
+
+/// Mutable matching state: instruction tensor -> bound operation load.
+struct BindState {
+  std::vector<OperandBinding> Bindings;
+  std::string Failure;
+
+  OperandBinding *find(const TensorNode *InstrTensor) {
+    for (OperandBinding &B : Bindings)
+      if (B.InstrTensor.get() == InstrTensor)
+        return &B;
+    return nullptr;
+  }
+
+  bool fail(const std::string &Why) {
+    if (Failure.empty())
+      Failure = Why;
+    return false;
+  }
+
+  /// Binds instruction load \p A to operation load \p B; a register cannot
+  /// correspond to two different data sources (paper §III.B.1).
+  bool bindLoad(const LoadNode *A, const LoadNode *B) {
+    OperandBinding *Existing = find(A->Buf.get());
+    if (!Existing) {
+      OperandBinding NewBind;
+      NewBind.InstrTensor = A->Buf;
+      NewBind.InstrLoad = A;
+      NewBind.OpTensor = B->Buf;
+      NewBind.OpLoad = B;
+      Bindings.push_back(NewBind);
+      return true;
+    }
+    if (Existing->IsAccumulator)
+      return fail("register '" + A->Buf->name() +
+                  "' already bound as the accumulator");
+    if (Existing->OpTensor != B->Buf)
+      return fail("register '" + A->Buf->name() +
+                  "' bound to two different tensors ('" +
+                  Existing->OpTensor->name() + "' and '" + B->Buf->name() +
+                  "')");
+    // Same tensor: the access pattern must be identical too, otherwise one
+    // register lane would need two addresses.
+    if (Existing->OpLoad->Indices.size() != B->Indices.size())
+      return fail("register '" + A->Buf->name() + "' bound to two accesses");
+    for (size_t I = 0; I < B->Indices.size(); ++I)
+      if (!structuralEqual(Existing->OpLoad->Indices[I], B->Indices[I]))
+        return fail("register '" + A->Buf->name() +
+                    "' bound to two different access patterns");
+    return true;
+  }
+
+  /// Binds instruction register \p InstrTensor as the accumulator fed by
+  /// the operation's output.
+  bool bindAccumulator(const TensorRef &InstrTensor, const LoadNode *A) {
+    if (find(InstrTensor.get()))
+      return fail("accumulator register '" + InstrTensor->name() +
+                  "' already bound to an input");
+    OperandBinding NewBind;
+    NewBind.InstrTensor = InstrTensor;
+    NewBind.InstrLoad = A;
+    NewBind.IsAccumulator = true;
+    Bindings.push_back(NewBind);
+    return true;
+  }
+};
+
+/// Core of Algorithm 1: recursive topology/opcode/dtype match.
+bool inspect(const ExprRef &A, const ExprRef &B, BindState &State) {
+  if (A->dtype() != B->dtype())
+    return State.fail("type mismatch: " + A->dtype().str() + " vs " +
+                      B->dtype().str());
+
+  // Leaves.
+  if (const auto *AL = dyn_cast<LoadNode>(A.get())) {
+    const auto *BL = dyn_cast<LoadNode>(B.get());
+    if (!BL)
+      return State.fail("register operand matched against non-load: " +
+                        exprToString(B));
+    return State.bindLoad(AL, BL);
+  }
+  if (const auto *AI = dyn_cast<IntImmNode>(A.get())) {
+    const auto *BI = dyn_cast<IntImmNode>(B.get());
+    if (!BI || BI->Value != AI->Value)
+      return State.fail("immediate mismatch");
+    return true;
+  }
+  if (const auto *AF = dyn_cast<FloatImmNode>(A.get())) {
+    const auto *BF = dyn_cast<FloatImmNode>(B.get());
+    if (!BF || BF->Value != AF->Value)
+      return State.fail("immediate mismatch");
+    return true;
+  }
+
+  // Interior arithmetic: opcodes must agree.
+  if (A->kind() != B->kind())
+    return State.fail("opcode mismatch at " + exprToString(A) + " vs " +
+                      exprToString(B));
+
+  if (const auto *AB = dyn_cast<BinaryNode>(A.get())) {
+    const auto *BB = cast<BinaryNode>(B.get());
+    return inspect(AB->LHS, BB->LHS, State) &&
+           inspect(AB->RHS, BB->RHS, State);
+  }
+  if (const auto *AC = dyn_cast<CastNode>(A.get())) {
+    const auto *BC = cast<CastNode>(B.get());
+    return inspect(AC->Value, BC->Value, State);
+  }
+  return State.fail("unsupported node in instruction semantics: " +
+                    exprToString(A));
+}
+
+} // namespace
+
+IsoResult unit::matchCompute(const ComputeOp &Instr, const ComputeOp &Op) {
+  IsoResult Result;
+  const ReduceNode *AR = Instr.reduceRoot();
+  const ReduceNode *BR = Op.reduceRoot();
+
+  // Both sides must agree on reduction presence and combiner.
+  if (static_cast<bool>(AR) != static_cast<bool>(BR)) {
+    Result.FailureReason = "reduction structure mismatch";
+    return Result;
+  }
+
+  BindState State;
+  if (AR) {
+    if (AR->RKind != BR->RKind) {
+      Result.FailureReason = "reduction combiner mismatch";
+      return Result;
+    }
+    if (!inspect(AR->Source, BR->Source, State)) {
+      Result.FailureReason = State.Failure;
+      return Result;
+    }
+    // Accumulator initialization. Cases (instruction side):
+    //  * Init = Load(c): VNNI/DOT style explicit accumulator register.
+    //    - op Init null  -> c is fed the operation's own accumulation
+    //      state (bind as accumulator-to-output).
+    //    - op Init Load  -> bind c to that tensor like a normal operand.
+    //  * In-place += (Tensor Core): accumulator register is the output;
+    //    the op must be a plain reduction (Init null) so its output can
+    //    serve as the live accumulator.
+    if (Instr.isInPlaceUpdate()) {
+      if (BR->Init && !Op.isInPlaceUpdate()) {
+        Result.FailureReason =
+            "in-place instruction cannot seed a custom accumulator init";
+        return Result;
+      }
+    } else if (AR->Init) {
+      const auto *AInit = dyn_cast<LoadNode>(AR->Init.get());
+      if (!AInit) {
+        Result.FailureReason = "unsupported instruction init expression";
+        return Result;
+      }
+      if (!BR->Init) {
+        if (!State.bindAccumulator(AInit->Buf, AInit)) {
+          Result.FailureReason = State.Failure;
+          return Result;
+        }
+      } else {
+        if (AR->Init->dtype() != BR->Init->dtype()) {
+          Result.FailureReason = "accumulator type mismatch";
+          return Result;
+        }
+        if (!inspect(AR->Init, BR->Init, State)) {
+          Result.FailureReason = State.Failure;
+          return Result;
+        }
+      }
+    } else if (BR->Init) {
+      Result.FailureReason =
+          "operation has an accumulator init the instruction cannot honor";
+      return Result;
+    }
+  } else {
+    if (!inspect(Instr.body(), Op.body(), State)) {
+      Result.FailureReason = State.Failure;
+      return Result;
+    }
+  }
+
+  Result.Matched = true;
+  Result.Bindings = std::move(State.Bindings);
+  return Result;
+}

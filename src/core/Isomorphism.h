@@ -1,0 +1,57 @@
+//===- core/Isomorphism.h - Compute isomorphism (paper Algorithm 1) -------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first Inspector step (paper §III.B.1): decide whether a tensorized
+/// instruction and a tensor operation are *arithmetically equivalent* by
+/// checking isomorphism of their expression trees — same topology, same
+/// opcodes, same data types — while binding each instruction register
+/// (tensor) to exactly one data source in the operation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_CORE_ISOMORPHISM_H
+#define UNIT_CORE_ISOMORPHISM_H
+
+#include "ir/ComputeOp.h"
+
+#include <string>
+#include <vector>
+
+namespace unit {
+
+/// One register binding: the instruction's operand tensor, the operation
+/// tensor it binds to, and representative loads on both sides (index
+/// expressions feed the access-isomorphism check and operand generation).
+struct OperandBinding {
+  TensorRef InstrTensor;
+  const LoadNode *InstrLoad = nullptr;
+  TensorRef OpTensor;              ///< Null for accumulator-to-output binds.
+  const LoadNode *OpLoad = nullptr;
+  /// True when this register is the accumulator fed with the operation's
+  /// own output (instruction init `c[i] +` matched against an identity
+  /// init, or an in-place `+=` instruction).
+  bool IsAccumulator = false;
+};
+
+/// Result of the compute-isomorphism check.
+struct IsoResult {
+  bool Matched = false;
+  std::vector<OperandBinding> Bindings; ///< One per instruction tensor.
+  std::string FailureReason;            ///< Set when !Matched.
+
+  /// The binding of instruction tensor \p T, or null.
+  const OperandBinding *bindingFor(const TensorRef &T) const;
+};
+
+/// Runs Algorithm 1 between \p Instr's and \p Op's compute bodies:
+/// matches the reduction structure (combiner kind, elementwise source
+/// trees, accumulator initialization) and produces register bindings.
+IsoResult matchCompute(const ComputeOp &Instr, const ComputeOp &Op);
+
+} // namespace unit
+
+#endif // UNIT_CORE_ISOMORPHISM_H

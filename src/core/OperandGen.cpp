@@ -1,0 +1,225 @@
+//===- core/OperandGen.cpp -------------------------------------------------===//
+
+#include "core/OperandGen.h"
+
+#include "core/LinearIndex.h"
+#include "ir/ExprUtil.h"
+#include "support/ErrorHandling.h"
+#include "tir/Lower.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace unit;
+
+namespace {
+
+/// One instruction axis as seen by one register's lane layout.
+struct LaneAxis {
+  IterVar InstrAxis;
+  int64_t LaneCoeff; ///< Stride in the register's lane order.
+  int64_t OpStride;  ///< Stride in the operation's flat buffer index.
+  bool OpDepends;    ///< Whether the operation access varies along it.
+};
+
+/// Recursively builds the flat index vector for one register, walking lane
+/// axes from slowest- to fastest-varying (\p Axes is sorted by LaneCoeff
+/// descending). Returns an i32 vector expression whose lane count is the
+/// product of the axis extents.
+ExprRef buildIndexVector(
+    const std::vector<LaneAxis> &Axes, size_t Depth, ExprRef Base,
+    std::vector<std::pair<IterVar, OperandAxisRole>> *Roles) {
+  if (Depth == Axes.size())
+    return Base;
+  const LaneAxis &Axis = Axes[Depth];
+  auto Extent = static_cast<unsigned>(Axis.InstrAxis->extent());
+  bool Last = Depth + 1 == Axes.size();
+
+  if (!Axis.OpDepends) {
+    // Tile-repeat broadcast: the same inner pattern fills every step of
+    // this (slower-varying) axis.
+    ExprRef Inner = buildIndexVector(Axes, Depth + 1, Base, Roles);
+    if (Roles)
+      Roles->emplace_back(Axis.InstrAxis, OperandAxisRole::Broadcast);
+    if (Extent == 1)
+      return Inner;
+    return makeBroadcast(std::move(Inner), Extent);
+  }
+
+  if (Last) {
+    // Fastest-varying depended axis: a strided vector access.
+    if (Roles)
+      Roles->emplace_back(Axis.InstrAxis, OperandAxisRole::Vectorize);
+    if (Extent == 1)
+      return Base;
+    return makeRamp(std::move(Base), Axis.OpStride, Extent);
+  }
+
+  // Interior depended axis: unroll and concatenate.
+  if (Roles)
+    Roles->emplace_back(Axis.InstrAxis, OperandAxisRole::Unroll);
+  std::vector<ExprRef> Parts;
+  Parts.reserve(Extent);
+  for (unsigned T = 0; T < Extent; ++T) {
+    ExprRef Stepped =
+        Base + makeIntImm(static_cast<int64_t>(T) * Axis.OpStride);
+    Parts.push_back(buildIndexVector(Axes, Depth + 1, std::move(Stepped),
+                                     /*Roles=*/nullptr));
+  }
+  return makeConcat(std::move(Parts));
+}
+
+/// The set of tile-inner loop variables of \p Plan.
+std::set<const IterVarNode *> innerVarSet(const TensorizePlan &Plan) {
+  std::set<const IterVarNode *> Out;
+  for (const auto &[InstrAxis, Inner] : Plan.InnerVarOf)
+    Out.insert(Inner.get());
+  return Out;
+}
+
+/// Sorts \p Axes by lane coefficient, slowest-varying first.
+void sortByLaneCoeff(std::vector<LaneAxis> &Axes) {
+  std::sort(Axes.begin(), Axes.end(),
+            [](const LaneAxis &A, const LaneAxis &B) {
+              return A.LaneCoeff > B.LaneCoeff;
+            });
+}
+
+/// When the operation access is *contiguous in lane order* — every lane
+/// axis is depended on and its buffer stride is proportional to its lane
+/// stride — the whole register fills with one strided vector access. This
+/// is what the paper's blocked data layouts (NCHW[x]c / KCRS[y]k[x]c,
+/// §V.C) buy: the register block is one load, not an unrolled gather.
+/// Returns null when the collapse does not apply.
+ExprRef tryContiguousCollapse(
+    const std::vector<LaneAxis> &Axes, const ExprRef &Base,
+    std::vector<std::pair<IterVar, OperandAxisRole>> *Roles) {
+  if (Axes.empty())
+    return nullptr;
+  int64_t ElemStride = Axes.back().OpStride;
+  if (ElemStride == 0)
+    return nullptr;
+  unsigned TotalLanes = 1;
+  for (const LaneAxis &Axis : Axes) {
+    if (!Axis.OpDepends)
+      return nullptr;
+    if (Axis.OpStride != ElemStride * Axis.LaneCoeff)
+      return nullptr;
+    TotalLanes *= static_cast<unsigned>(Axis.InstrAxis->extent());
+  }
+  if (Roles)
+    for (const LaneAxis &Axis : Axes)
+      Roles->emplace_back(Axis.InstrAxis, OperandAxisRole::Vectorize);
+  if (TotalLanes == 1)
+    return Base;
+  return makeRamp(Base, ElemStride, TotalLanes);
+}
+
+} // namespace
+
+ExprRef unit::generateOutputIndex(const TensorizePlan &Plan,
+                                  const VarSubst &Roots) {
+  const ComputeOp &Op = *Plan.Sched->op();
+  const ComputeOp &Sem = *Plan.Match.Intrinsic->semantics();
+  const TensorRef &Out = Op.output();
+
+  // Operation output flat index over final leaf variables.
+  std::vector<ExprRef> OutIdx;
+  for (const IterVar &Axis : Op.axes())
+    OutIdx.push_back(Roots.at(Axis.get()));
+  ExprRef OutFlat = flattenIndex(Out, OutIdx);
+
+  LinearIndex OLI = analyzeLinear(OutFlat, innerVarSet(Plan));
+  if (!OLI.Valid)
+    reportFatalError("operand generation: output index is not affine in "
+                     "the tensorized loops");
+
+  // Instruction output lane layout: identity access over its data-parallel
+  // axes, so lane coefficients are the semantics output tensor strides.
+  std::vector<int64_t> Strides = Sem.output()->strides();
+  std::vector<LaneAxis> Axes;
+  for (size_t D = 0; D < Sem.axes().size(); ++D) {
+    const IterVar &InstrAxis = Sem.axes()[D];
+    IterVar InnerVar = Plan.InnerVarOf.at(InstrAxis.get());
+    int64_t OpStride = OLI.coeffOf(InnerVar.get());
+    if (OpStride == 0)
+      reportFatalError("operand generation: operation output does not vary "
+                       "along instruction axis '" +
+                       InstrAxis->name() + "'");
+    Axes.push_back({InstrAxis, Strides[D], OpStride, /*OpDepends=*/true});
+  }
+  sortByLaneCoeff(Axes);
+  if (ExprRef Collapsed =
+          tryContiguousCollapse(Axes, OLI.Base, /*Roles=*/nullptr))
+    return Collapsed;
+  return buildIndexVector(Axes, 0, OLI.Base, /*Roles=*/nullptr);
+}
+
+OperandInfo unit::generateOperand(const TensorizePlan &Plan,
+                                  const OperandBinding &Binding,
+                                  const VarSubst &Roots,
+                                  const ExprRef &AccumIndex) {
+  OperandInfo Info;
+  Info.InstrTensor = Binding.InstrTensor;
+
+  if (Binding.IsAccumulator) {
+    // The accumulator register is fed the operation's own output region.
+    Info.Operand =
+        makeVectorLoad(Plan.Sched->op()->output(), AccumIndex);
+    for (const IterVar &InstrAxis :
+         Plan.Match.Intrinsic->semantics()->axes())
+      Info.Roles.emplace_back(InstrAxis, OperandAxisRole::Vectorize);
+    return Info;
+  }
+
+  // Register lane layout from the instruction-side access.
+  std::set<const IterVarNode *> InstrAxesSet;
+  for (const IterVar &IV : Plan.Match.Intrinsic->semantics()->allAxes())
+    InstrAxesSet.insert(IV.get());
+  ExprRef InstrFlat =
+      flattenIndex(Binding.InstrLoad->Buf, Binding.InstrLoad->Indices);
+  LinearIndex ILI = analyzeLinear(InstrFlat, InstrAxesSet);
+  if (!ILI.Valid)
+    reportFatalError("operand generation: instruction access is not affine");
+
+  // Operation-side flat index over final leaf variables.
+  std::vector<ExprRef> OpIdx;
+  OpIdx.reserve(Binding.OpLoad->Indices.size());
+  for (const ExprRef &I : Binding.OpLoad->Indices)
+    OpIdx.push_back(substitute(I, Roots));
+  ExprRef OpFlat = flattenIndex(Binding.OpLoad->Buf, OpIdx);
+  LinearIndex OLI = analyzeLinear(OpFlat, innerVarSet(Plan));
+  if (!OLI.Valid)
+    reportFatalError("operand generation: operation access is not affine in "
+                     "the tensorized loops");
+
+  // Lane axes: every instruction axis the register layout depends on.
+  std::vector<LaneAxis> Axes;
+  int64_t ExpectedLanes = 1;
+  for (const auto &[IVNode, LaneCoeff] : ILI.Coeffs) {
+    IterVar InstrAxis;
+    for (const IterVar &IV : Plan.Match.Intrinsic->semantics()->allAxes())
+      if (IV.get() == IVNode)
+        InstrAxis = IV;
+    assert(InstrAxis && "lane coefficient for unknown instruction axis");
+    assert(LaneCoeff > 0 && "negative lane stride in instruction access");
+    IterVar InnerVar = Plan.InnerVarOf.at(IVNode);
+    int64_t OpStride = OLI.coeffOf(InnerVar.get());
+    Axes.push_back(
+        {InstrAxis, LaneCoeff, OpStride, /*OpDepends=*/OpStride != 0});
+    ExpectedLanes *= InstrAxis->extent();
+  }
+  sortByLaneCoeff(Axes);
+
+  ExprRef IdxVec = tryContiguousCollapse(Axes, OLI.Base, &Info.Roles);
+  if (!IdxVec)
+    IdxVec = buildIndexVector(Axes, 0, OLI.Base, &Info.Roles);
+  Info.Operand = makeVectorLoad(Binding.OpLoad->Buf, IdxVec);
+  if (static_cast<int64_t>(Info.Operand->dtype().lanes()) !=
+      Binding.InstrTensor->numElements())
+    reportFatalError("operand generation: lane count does not fill "
+                     "register '" +
+                     Binding.InstrTensor->name() + "'");
+  (void)ExpectedLanes;
+  return Info;
+}

@@ -1,0 +1,61 @@
+//===- core/OperandGen.h - Operand generation rules (paper §III.C.2) ------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the register-operand expressions for a tensorized call. For each
+/// instruction register, the rule walks the register's lane layout from
+/// slowest- to fastest-varying instruction axis and, per axis, either
+///
+///   * vectorizes (a stride Ramp) when it is the last axis and the
+///     operation access depends on it,
+///   * unrolls-and-concatenates when the operation access depends on it
+///     but more axes follow, or
+///   * broadcasts (tile-repeat) when the operation access is invariant
+///     along it —
+///
+/// exactly the "c is a 16-lane vector; a vectorized by 4 and broadcast by
+/// 16; b vectorized by 4, unrolled and concatenated along ki" rules of
+/// paper Fig. 5(c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_CORE_OPERANDGEN_H
+#define UNIT_CORE_OPERANDGEN_H
+
+#include "core/Rewriter.h"
+
+namespace unit {
+
+/// How one instruction axis contributes to one operand (recorded for
+/// diagnostics and the performance model's load counting).
+enum class OperandAxisRole : uint8_t { Vectorize, Unroll, Broadcast };
+
+/// Lane-layout role breakdown of one generated operand.
+struct OperandInfo {
+  TensorRef InstrTensor;
+  ExprRef Operand; ///< The generated (vector) expression.
+  std::vector<std::pair<IterVar, OperandAxisRole>> Roles; ///< Instr axes.
+};
+
+/// Generates the operand expression for instruction register \p Binding.
+///
+/// \p Plan supplies the mapping and tile-inner variables; \p Roots is the
+/// *final* schedule's root-axis bindings (outer loop variables remain
+/// symbolic, tile-inner variables are eliminated into lane patterns).
+/// For the accumulator register, pass the operation output access via
+/// \p AccumIndex (the flat vector index into the output buffer).
+OperandInfo generateOperand(const TensorizePlan &Plan,
+                            const OperandBinding &Binding,
+                            const VarSubst &Roots, const ExprRef &AccumIndex);
+
+/// Generates the flat vector index of the operation's *output* region
+/// covered by one instruction call (lane order = instruction output
+/// layout). Also used as the accumulator access.
+ExprRef generateOutputIndex(const TensorizePlan &Plan, const VarSubst &Roots);
+
+} // namespace unit
+
+#endif // UNIT_CORE_OPERANDGEN_H

@@ -1,0 +1,60 @@
+//===- core/Pipeline.cpp ---------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "support/ErrorHandling.h"
+#include "tir/Lower.h"
+#include "tir/Verify.h"
+
+using namespace unit;
+
+StmtRef unit::lowerPlan(const TensorizePlan &Plan) {
+  StmtRef Lowered = lower(*Plan.Sched);
+  StmtRef Final = replaceTensorized(Lowered, Plan);
+  VerifyResult V = verifyTIR(Final);
+  if (!V.ok())
+    reportFatalError("pipeline: generated IR failed verification: " +
+                     V.Error);
+  return Final;
+}
+
+std::optional<CompiledKernel>
+unit::compileWithIntrinsic(const ComputeOpRef &Op,
+                           const TensorIntrinsicRef &Intr,
+                           const TuneHook &Tune) {
+  std::optional<MatchResult> Match = inspect(Op, Intr);
+  if (!Match)
+    return std::nullopt;
+
+  CompiledKernel Kernel;
+  Kernel.Op = Op;
+  Kernel.Plan = reorganizeLoops(Op, *Match);
+  if (Tune)
+    Tune(*Kernel.Plan);
+  Kernel.TIR = lowerPlan(*Kernel.Plan);
+  return Kernel;
+}
+
+CompiledKernel unit::compileForTarget(const ComputeOpRef &Op,
+                                      TargetKind Target,
+                                      const TuneHook &Tune) {
+  for (const TensorIntrinsicRef &Intr :
+       IntrinsicRegistry::instance().forTarget(Target)) {
+    if (std::optional<CompiledKernel> K =
+            compileWithIntrinsic(Op, Intr, Tune))
+      return std::move(*K);
+  }
+
+  // SIMD fallback: no tensorized instruction applies; vectorize the
+  // innermost data-parallel loop when possible.
+  CompiledKernel Kernel;
+  Kernel.Op = Op;
+  auto Sched = Schedule(Op);
+  if (!Op->axes().empty())
+    Sched.vectorize(Op->axes().back());
+  Kernel.TIR = lower(Sched);
+  VerifyResult V = verifyTIR(Kernel.TIR);
+  if (!V.ok())
+    reportFatalError("pipeline: fallback IR failed verification: " + V.Error);
+  return Kernel;
+}

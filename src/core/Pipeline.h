@@ -1,0 +1,58 @@
+//===- core/Pipeline.h - UNIT's end-to-end kernel pipeline ----------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public facade over Inspector -> Rewriter -> Replacer: give it a
+/// tensor operation and an instruction (or target platform), get back
+/// verified tensor IR with the instruction injected. A tuning hook lets
+/// callers (the Tuner, examples) reorganize the outer loops between the
+/// loop rewrite and lowering — the paper's §III.C.3 stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_CORE_PIPELINE_H
+#define UNIT_CORE_PIPELINE_H
+
+#include "core/Replacer.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace unit {
+
+/// A compiled kernel: the final tensor IR plus (when tensorized) the plan
+/// that produced it.
+struct CompiledKernel {
+  ComputeOpRef Op;
+  std::optional<TensorizePlan> Plan; ///< Empty: SIMD fallback, no intrinsic.
+  StmtRef TIR;
+};
+
+/// Callback that refines \p Plan's schedule (outer loops only) before
+/// lowering.
+using TuneHook = std::function<void(TensorizePlan &)>;
+
+/// Lowers \p Plan's schedule and injects the instruction; verifies the
+/// result. Call repeatedly as the schedule evolves during tuning.
+StmtRef lowerPlan(const TensorizePlan &Plan);
+
+/// Full pipeline against one specific instruction. Returns std::nullopt
+/// when the Inspector rejects the pair.
+std::optional<CompiledKernel> compileWithIntrinsic(const ComputeOpRef &Op,
+                                                   const TensorIntrinsicRef &Intr,
+                                                   const TuneHook &Tune = {});
+
+/// Full pipeline against a target: tries registered instructions in order
+/// and uses the first applicable one. Falls back to a plain (vectorizable)
+/// schedule when nothing matches — mobilenet's depthwise convolutions take
+/// this path.
+CompiledKernel compileForTarget(const ComputeOpRef &Op, TargetKind Target,
+                                const TuneHook &Tune = {});
+
+} // namespace unit
+
+#endif // UNIT_CORE_PIPELINE_H

@@ -1,0 +1,174 @@
+//===- graph/Executor.cpp --------------------------------------------------===//
+
+#include "graph/Executor.h"
+
+#include "core/Inspector.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace unit;
+
+InferenceEngine::~InferenceEngine() = default;
+
+double unit::modelLatencySeconds(const Model &M, InferenceEngine &Engine) {
+  double Total = 0.0;
+  for (const ConvLayer &L : M.Convs)
+    Total += Engine.convSeconds(L) + Engine.perOpOverheadSeconds();
+
+  FusionPlan Fused = fuseElementwise(M, Engine.fusionQuality());
+  Total += Fused.RemainingGlueOps * Engine.perOpOverheadSeconds();
+  Total += elementwiseLatencySeconds(2.0 * Fused.RemainingElementwiseBytes,
+                                     0.0, Engine.glueBytesPerSecond());
+  return Total;
+}
+
+KernelStats unit::depthwiseSimdStats(const ConvLayer &Layer,
+                                     double WideningFactor) {
+  KernelStats Stats;
+  Stats.SimdMacs = Layer.macs();
+  Stats.SimdElemBytes = 1.0;
+  Stats.WideningFactor = WideningFactor;
+  Stats.ParallelExtent =
+      static_cast<double>(Layer.outH()) * static_cast<double>(Layer.OutC);
+  double OutBytes = static_cast<double>(Layer.outH()) * Layer.outW() *
+                    Layer.OutC * 4.0;
+  Stats.OutputBytes = OutBytes;
+  Stats.InputBytes =
+      static_cast<double>(Layer.InH) * Layer.InW * Layer.InC;
+  Stats.WeightBytes = static_cast<double>(Layer.KH) * Layer.KW * Layer.OutC;
+  return Stats;
+}
+
+double unit::gpuCudaCoreConvSeconds(const ConvLayer &Layer,
+                                    const GpuMachine &M,
+                                    double MacThroughputScale) {
+  double Macs = Layer.macs();
+  double MacsPerSecond =
+      M.SMs * M.FmaPerCyclePerSM * M.FreqGHz * 1e9 * MacThroughputScale;
+  // bs=1 convolutions rarely saturate the CUDA cores; cap utilization by
+  // the available spatial parallelism.
+  double Blocks = std::max(
+      1.0, static_cast<double>(Layer.outH()) * Layer.outW() / 64.0);
+  double Utilization = std::min(1.0, Blocks * 4.0 / M.SMs);
+  double ComputeSeconds = Macs / (MacsPerSecond * std::max(0.05, Utilization));
+  double Bytes = static_cast<double>(Layer.InH) * Layer.InW * Layer.InC * 4 +
+                 static_cast<double>(Layer.KH) * Layer.KW * Layer.InC *
+                     Layer.OutC * 4 +
+                 static_cast<double>(Layer.outH()) * Layer.outW() *
+                     Layer.OutC * 8;
+  double MemSeconds = Bytes / (M.DramBytesPerCycle * M.FreqGHz * 1e9);
+  return std::max(ComputeSeconds, MemSeconds) +
+         M.KernelLaunchMicros * 1e-6;
+}
+
+//===----------------------------------------------------------------------===//
+// UnitCpuEngine
+//===----------------------------------------------------------------------===//
+
+UnitCpuEngine::UnitCpuEngine(CpuMachine MachineIn, TargetKind TargetIn)
+    : Machine(std::move(MachineIn)), Target(TargetIn),
+      Scheme(quantSchemeFor(TargetIn)) {}
+
+std::string UnitCpuEngine::name() const {
+  return std::string("UNIT (") + targetName(Target) + ")";
+}
+
+double UnitCpuEngine::glueBytesPerSecond() const {
+  return Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9;
+}
+
+CpuLayerReport UnitCpuEngine::convReport(const ConvLayer &Layer) {
+  std::string Key = Layer.shapeKey();
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  CpuLayerReport Report;
+  if (Layer.Depthwise) {
+    KernelStats Stats = depthwiseSimdStats(Layer, /*WideningFactor=*/1.5);
+    Report.Seconds = simdLatencySeconds(Stats, Machine);
+  } else {
+    LaidOutOp Laid =
+        buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
+                          Scheme.Accumulator, Scheme.LaneMultiple,
+                          Scheme.ReduceMultiple);
+    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, Target);
+    if (Matches.empty()) {
+      KernelStats Stats = analyzeSimdFallback(
+          Laid.Op, /*WideningFactor=*/1.0,
+          static_cast<double>(Layer.outH()) * Layer.outW());
+      Report.Seconds = simdLatencySeconds(Stats, Machine);
+    } else {
+      TunedKernel Tuned = tuneCpu(Laid.Op, Matches.front(), Machine);
+      Report.Seconds = Tuned.LatencySeconds;
+      Report.Tensorized = true;
+      Report.BestCandidateIndex = Tuned.BestCandidateIndex;
+    }
+  }
+  Cache[Key] = Report;
+  return Report;
+}
+
+double UnitCpuEngine::convSeconds(const ConvLayer &Layer) {
+  return convReport(Layer).Seconds;
+}
+
+double UnitCpuEngine::conv3dSeconds(const Conv3dLayer &Layer) {
+  LaidOutOp Laid =
+      buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
+                          Scheme.Accumulator, Scheme.LaneMultiple,
+                          Scheme.ReduceMultiple);
+  std::vector<MatchResult> Matches = inspectTarget(Laid.Op, Target);
+  if (Matches.empty())
+    reportFatalError("conv3d failed to tensorize");
+  return tuneCpu(Laid.Op, Matches.front(), Machine).LatencySeconds;
+}
+
+//===----------------------------------------------------------------------===//
+// UnitGpuEngine
+//===----------------------------------------------------------------------===//
+
+UnitGpuEngine::UnitGpuEngine(GpuMachine MachineIn)
+    : Machine(std::move(MachineIn)) {}
+
+std::string UnitGpuEngine::name() const { return "UNIT (tensor core)"; }
+
+double UnitGpuEngine::glueBytesPerSecond() const {
+  return Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9;
+}
+
+double UnitGpuEngine::convSeconds(const ConvLayer &Layer) {
+  std::string Key = Layer.shapeKey();
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  double Best;
+  if (Layer.Depthwise) {
+    Best = gpuCudaCoreConvSeconds(Layer, Machine, /*Scale=*/1.0);
+  } else {
+    // Enumerate the graph-level dimension-fusion choice alongside the
+    // kernel tuning space (paper §IV.B GPU tuning) and keep the best.
+    Best = 1e30;
+    TensorIntrinsicRef Wmma =
+        IntrinsicRegistry::instance().lookup("wmma.m16n16k16.f16");
+    for (bool Fuse : {true, false}) {
+      LaidOutOp Laid = buildConvAsGemmOp(Layer, DataType::f16(),
+                                         DataType::f32(), 16, Fuse);
+      std::optional<MatchResult> Match = inspect(Laid.Op, Wmma);
+      if (!Match)
+        continue;
+      TunedKernel Tuned = tuneGpu(Laid.Op, *Match, Machine);
+      double Rearrange =
+          Laid.RearrangeBytes /
+          (Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9);
+      double Total = Tuned.LatencySeconds + Rearrange;
+      Best = std::min(Best, Total);
+    }
+    if (Best >= 1e30)
+      Best = gpuCudaCoreConvSeconds(Layer, Machine, 2.0);
+  }
+  Cache[Key] = Best;
+  return Best;
+}

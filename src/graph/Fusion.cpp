@@ -1,0 +1,18 @@
+//===- graph/Fusion.cpp ----------------------------------------------------===//
+
+#include "graph/Fusion.h"
+
+using namespace unit;
+
+#include <algorithm>
+
+FusionPlan unit::fuseElementwise(const Model &M, double Quality) {
+  Quality = std::clamp(Quality, 0.0, 1.0);
+  FusionPlan Plan;
+  double ByteFraction = 1.0 - 0.85 * Quality;
+  double OpFraction = 1.0 - 0.75 * Quality;
+  Plan.RemainingElementwiseBytes = M.ElementwiseBytes * ByteFraction;
+  Plan.RemainingGlueOps =
+      static_cast<int>(M.GlueOps * OpFraction + 0.999);
+  return Plan;
+}

@@ -1,0 +1,39 @@
+//===- graph/Fusion.h - Operator fusion accounting --------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph-level operator fusion (paper §IV: "implementing UNIT on top of
+/// TVM enables end-to-end model inference with other optimizations such as
+/// operator fusion"). Engines that fuse fold elementwise epilogues
+/// (bias/relu/residual-add) into the producing kernel, eliminating most of
+/// their memory traffic and per-operator launches; library-driven stacks
+/// execute them as separate glue operators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_GRAPH_FUSION_H
+#define UNIT_GRAPH_FUSION_H
+
+#include "graph/Graph.h"
+
+namespace unit {
+
+/// Result of the fusion pass over a model's glue operators.
+struct FusionPlan {
+  double RemainingElementwiseBytes; ///< Traffic still paid separately.
+  int RemainingGlueOps;             ///< Launches still paid separately.
+};
+
+/// Applies fusion with the engine's \p Quality in [0, 1]: at quality 1
+/// about 15% of elementwise traffic remains (concat/pool boundaries that
+/// cannot fold) plus one glue op per four; at 0 everything runs separately.
+/// Partial quality (e.g. oneDNN post-ops fusing relu but not residual
+/// adds) interpolates linearly.
+FusionPlan fuseElementwise(const Model &M, double Quality);
+
+} // namespace unit
+
+#endif // UNIT_GRAPH_FUSION_H

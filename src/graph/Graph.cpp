@@ -1,0 +1,53 @@
+//===- graph/Graph.cpp -----------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "support/StringUtils.h"
+
+#include <set>
+
+using namespace unit;
+
+double ConvLayer::macs() const {
+  double PerOutput = Depthwise
+                         ? static_cast<double>(KH * KW)
+                         : static_cast<double>(InC * KH * KW);
+  return static_cast<double>(outH()) * static_cast<double>(outW()) *
+         static_cast<double>(OutC) * PerOutput;
+}
+
+std::string ConvLayer::shapeKey() const {
+  return formatStr("c%lld.h%lld.w%lld.k%lld.r%lld.s%lld.st%lld.p%lld.%lld.dw%d",
+                   static_cast<long long>(InC), static_cast<long long>(InH),
+                   static_cast<long long>(InW), static_cast<long long>(OutC),
+                   static_cast<long long>(KH), static_cast<long long>(KW),
+                   static_cast<long long>(Stride),
+                   static_cast<long long>(PadH), static_cast<long long>(PadW),
+                   Depthwise ? 1 : 0);
+}
+
+void Model::addConv(ConvLayer Layer, bool FollowedByElementwise) {
+  if (FollowedByElementwise) {
+    // One elementwise pass (bias+relu or residual add) over the output.
+    ElementwiseBytes += static_cast<double>(Layer.outH()) *
+                        static_cast<double>(Layer.outW()) *
+                        static_cast<double>(Layer.OutC) * 4.0;
+    ++GlueOps;
+  }
+  Convs.push_back(std::move(Layer));
+}
+
+void Model::addDense(const std::string &Name, int64_t In, int64_t Out) {
+  ConvLayer L;
+  L.Name = Name;
+  L.InC = In;
+  L.OutC = Out;
+  addConv(L, /*FollowedByElementwise=*/false);
+}
+
+int Model::distinctConvShapes() const {
+  std::set<std::string> Keys;
+  for (const ConvLayer &L : Convs)
+    Keys.insert(L.shapeKey());
+  return static_cast<int>(Keys.size());
+}

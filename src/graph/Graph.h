@@ -1,0 +1,73 @@
+//===- graph/Graph.h - Graph-level model representation --------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal graph-level IR (paper §II.C.1): a model is the ordered list of
+/// its compute-heavy operators (convolutions and dense layers) plus the
+/// elementwise/pooling byte traffic flowing between them. Inter-operator
+/// optimizations modeled here are the ones the paper relies on: tensor
+/// padding for perfect tiling, data-layout blocking, and operator fusion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_GRAPH_GRAPH_H
+#define UNIT_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unit {
+
+/// One convolution (a dense layer is a 1x1 conv on a 1x1 image).
+struct ConvLayer {
+  std::string Name;
+  int64_t InC = 1;
+  int64_t InH = 1, InW = 1;
+  int64_t OutC = 1;
+  int64_t KH = 1, KW = 1;
+  int64_t Stride = 1;
+  int64_t PadH = 0, PadW = 0;
+  bool Depthwise = false;
+
+  int64_t outH() const { return (InH - KH + 2 * PadH) / Stride + 1; }
+  int64_t outW() const { return (InW - KW + 2 * PadW) / Stride + 1; }
+  /// Multiply-accumulates of the un-padded computation.
+  double macs() const;
+  /// Distinct-shape key (layers with equal keys share compiled kernels).
+  std::string shapeKey() const;
+};
+
+/// One conv3d layer (paper §VI.C extensibility study).
+struct Conv3dLayer {
+  std::string Name;
+  int64_t InC = 1, InD = 1, InH = 1, InW = 1;
+  int64_t OutC = 1, K = 1, Stride = 1, Pad = 0;
+
+  int64_t outD() const { return (InD - K + 2 * Pad) / Stride + 1; }
+  int64_t outH() const { return (InH - K + 2 * Pad) / Stride + 1; }
+  int64_t outW() const { return (InW - K + 2 * Pad) / Stride + 1; }
+};
+
+/// A whole model: compute layers plus glue-operator traffic.
+struct Model {
+  std::string Name;
+  std::vector<ConvLayer> Convs; ///< Includes the final dense layer(s).
+  double ElementwiseBytes = 0;  ///< relu/add/pool/concat activation bytes.
+  int GlueOps = 0;              ///< Count of non-conv operators (overheads).
+
+  /// Adds a conv and accounts its output activation traffic.
+  void addConv(ConvLayer Layer, bool FollowedByElementwise = true);
+  /// Adds a dense layer as a 1x1 conv.
+  void addDense(const std::string &Name, int64_t In, int64_t Out);
+  /// Number of *distinct* conv workloads (the paper counts 148 across
+  /// its nine models).
+  int distinctConvShapes() const;
+};
+
+} // namespace unit
+
+#endif // UNIT_GRAPH_GRAPH_H

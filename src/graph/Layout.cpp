@@ -1,0 +1,163 @@
+//===- graph/Layout.cpp ----------------------------------------------------===//
+
+#include "graph/Layout.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace unit;
+
+int64_t unit::padTo(int64_t X, int64_t Multiple) {
+  return (X + Multiple - 1) / Multiple * Multiple;
+}
+
+LaidOutOp unit::buildDirectConvOp(const ConvLayer &Layer, DataType AType,
+                                  DataType BType, DataType AccType,
+                                  int64_t LaneMultiple,
+                                  int64_t ReduceMultiple) {
+  assert(!Layer.Depthwise &&
+         "depthwise convolutions take the SIMD fallback path");
+  // The paper's blocked layouts (§V.C): activations NHW[C/r]c_r, kernels
+  // KCRS[y]k[x]c with y = LaneMultiple, x = ReduceMultiple. Channel
+  // dimensions are padded so instruction tiles fit perfectly, and the
+  // (ki, ci) register block is contiguous — one vector load.
+  int64_t CO = padTo(Layer.InC, ReduceMultiple) / ReduceMultiple;
+  int64_t KO = padTo(Layer.OutC, LaneMultiple) / LaneMultiple;
+  int64_t OH = Layer.outH(), OW = Layer.outW();
+  // The graph level materializes spatial padding into the blocked buffer,
+  // so the kernel sees a borderless input image.
+  int64_t H = (OH - 1) * Layer.Stride + Layer.KH;
+  int64_t W = (OW - 1) * Layer.Stride + Layer.KW;
+
+  TensorRef A = makeTensor("a", {H, W, CO, ReduceMultiple}, AType);
+  TensorRef B = makeTensor(
+      "b", {Layer.KH, Layer.KW, KO, CO, LaneMultiple, ReduceMultiple}, BType);
+  TensorRef Out = makeTensor("c", {KO, OH, OW, LaneMultiple}, AccType);
+
+  IterVar X = makeAxis("x", OH), Y = makeAxis("y", OW);
+  IterVar Ko = makeAxis("ko", KO), Ki = makeAxis("ki", LaneMultiple);
+  IterVar R = makeReduceAxis("r", Layer.KH), S = makeReduceAxis("s", Layer.KW);
+  IterVar Co = makeReduceAxis("co", CO);
+  IterVar Ci = makeReduceAxis("ci", ReduceMultiple);
+
+  ExprRef Ax = makeVar(X) * makeIntImm(Layer.Stride) + makeVar(R);
+  ExprRef Ay = makeVar(Y) * makeIntImm(Layer.Stride) + makeVar(S);
+  ExprRef Prod =
+      makeCast(AccType, makeLoad(A, {Ax, Ay, makeVar(Co), makeVar(Ci)})) *
+      makeCast(AccType,
+               makeLoad(B, {makeVar(R), makeVar(S), makeVar(Ko), makeVar(Co),
+                            makeVar(Ki), makeVar(Ci)}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {R, S, Co, Ci});
+
+  LaidOutOp Result;
+  // NCHW[x]c output order: channel blocks outermost, lanes innermost, so
+  // the tuner's trailing data-parallel loops are the spatial ones (the
+  // paper's Fig. 7 unrolls over the output image).
+  Result.Op = ComputeOp::create("conv2d." + Layer.Name, Out,
+                                {Ko, X, Y, Ki}, Body);
+  double Padded = static_cast<double>(OH) * OW * KO * LaneMultiple *
+                  Layer.KH * Layer.KW * CO * ReduceMultiple;
+  Result.PaddingWasteFraction = 1.0 - Layer.macs() / Padded;
+  // Blocked-layout packing of the input activations.
+  Result.RearrangeBytes = static_cast<double>(H) * W * CO * ReduceMultiple *
+                          AType.lanesBytes();
+  return Result;
+}
+
+LaidOutOp unit::buildDirectConv3dOp(const Conv3dLayer &Layer, DataType AType,
+                                    DataType BType, DataType AccType,
+                                    int64_t LaneMultiple,
+                                    int64_t ReduceMultiple) {
+  int64_t CO = padTo(Layer.InC, ReduceMultiple) / ReduceMultiple;
+  int64_t KO = padTo(Layer.OutC, LaneMultiple) / LaneMultiple;
+  int64_t OD = Layer.outD(), OH = Layer.outH(), OW = Layer.outW();
+  int64_t D = (OD - 1) * Layer.Stride + Layer.K;
+  int64_t H = (OH - 1) * Layer.Stride + Layer.K;
+  int64_t W = (OW - 1) * Layer.Stride + Layer.K;
+
+  TensorRef A = makeTensor("a", {D, H, W, CO, ReduceMultiple}, AType);
+  TensorRef B = makeTensor("b", {Layer.K, Layer.K, Layer.K, KO, CO,
+                                 LaneMultiple, ReduceMultiple},
+                           BType);
+  TensorRef Out = makeTensor("c", {KO, OD, OH, OW, LaneMultiple}, AccType);
+
+  IterVar Z = makeAxis("z", OD), X = makeAxis("x", OH), Y = makeAxis("y", OW);
+  IterVar Ko = makeAxis("ko", KO), Ki = makeAxis("ki", LaneMultiple);
+  IterVar Rd = makeReduceAxis("rd", Layer.K);
+  IterVar R = makeReduceAxis("r", Layer.K), S = makeReduceAxis("s", Layer.K);
+  IterVar Co = makeReduceAxis("co", CO);
+  IterVar Ci = makeReduceAxis("ci", ReduceMultiple);
+
+  ExprRef Az = makeVar(Z) * makeIntImm(Layer.Stride) + makeVar(Rd);
+  ExprRef Ax = makeVar(X) * makeIntImm(Layer.Stride) + makeVar(R);
+  ExprRef Ay = makeVar(Y) * makeIntImm(Layer.Stride) + makeVar(S);
+  ExprRef Prod =
+      makeCast(AccType,
+               makeLoad(A, {Az, Ax, Ay, makeVar(Co), makeVar(Ci)})) *
+      makeCast(AccType,
+               makeLoad(B, {makeVar(Rd), makeVar(R), makeVar(S), makeVar(Ko),
+                            makeVar(Co), makeVar(Ki), makeVar(Ci)}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {Rd, R, S, Co, Ci});
+
+  LaidOutOp Result;
+  Result.Op = ComputeOp::create("conv3d." + Layer.Name, Out,
+                                {Ko, Z, X, Y, Ki}, Body);
+  double Real = static_cast<double>(OD) * OH * OW * Layer.OutC * Layer.K *
+                Layer.K * Layer.K * Layer.InC;
+  double Padded = static_cast<double>(OD) * OH * OW * KO * LaneMultiple *
+                  Layer.K * Layer.K * Layer.K * CO * ReduceMultiple;
+  Result.PaddingWasteFraction = 1.0 - Real / Padded;
+  Result.RearrangeBytes = static_cast<double>(D) * H * W * CO *
+                          ReduceMultiple * AType.lanesBytes();
+  return Result;
+}
+
+ComputeOpRef unit::buildGemmOp(int64_t M, int64_t N, int64_t K,
+                               DataType InType, DataType AccType) {
+  TensorRef A = makeTensor("a", {M, K}, InType);
+  TensorRef B = makeTensor("b", {K, N}, InType);
+  TensorRef Out = makeTensor("c", {M, N}, AccType);
+  IterVar I = makeAxis("i", M), J = makeAxis("j", N);
+  IterVar Kk = makeReduceAxis("k", K);
+  ExprRef Prod = makeCast(AccType, makeLoad(A, {makeVar(I), makeVar(Kk)})) *
+                 makeCast(AccType, makeLoad(B, {makeVar(Kk), makeVar(J)}));
+  return ComputeOp::create("gemm", Out, {I, J},
+                           makeReduce(ReduceKind::Sum, Prod, {Kk}));
+}
+
+LaidOutOp unit::buildConvAsGemmOp(const ConvLayer &Layer, DataType InType,
+                                  DataType AccType, int64_t Tile,
+                                  bool FuseSpatial) {
+  int64_t OH = Layer.outH(), OW = Layer.outW();
+  // Spatial tiling: fusing H and W before padding wastes far less than
+  // padding each dimension to a sub-tile (paper's FuseDim optimization) —
+  // at the price of a data rearrangement pass over the input.
+  int64_t M;
+  if (FuseSpatial) {
+    M = padTo(OH * OW, Tile);
+  } else {
+    // Separate tiling of H and W with a Tile = th x tw split (4 x 4 for
+    // 16-lane fragments).
+    int64_t Th = 4, Tw = Tile / Th;
+    M = padTo(OH, Th) * padTo(OW, Tw);
+  }
+  int64_t N = padTo(Layer.OutC, Tile);
+  int64_t Kd = padTo(Layer.KH * Layer.KW * Layer.InC, Tile);
+
+  LaidOutOp Result;
+  Result.Op = buildGemmOp(M, N, Kd, InType, AccType);
+  double Padded = static_cast<double>(M) * N * Kd;
+  Result.PaddingWasteFraction = 1.0 - Layer.macs() / Padded;
+  // Implicit GEMM materializes nothing; the dimension-fusion variant pays
+  // one rearrangement pass over the activations (the "software overhead on
+  // data rearrangement" of paper §IV.B). Strided convolutions additionally
+  // gather non-contiguous rows into the GEMM view — the locality loss the
+  // paper blames for losing workloads #1 and #15 to cuDNN's native tiles.
+  double ActBytes = static_cast<double>(Layer.InH) * Layer.InW * Layer.InC *
+                    InType.lanesBytes();
+  Result.RearrangeBytes = FuseSpatial ? ActBytes : 0.0;
+  if (Layer.Stride > 1)
+    Result.RearrangeBytes += 2.0 * ActBytes;
+  return Result;
+}

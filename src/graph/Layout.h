@@ -1,0 +1,60 @@
+//===- graph/Layout.h - Layout, padding, and op construction ---------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds tensor-DSL ComputeOps from graph layers under the layouts the
+/// paper uses: NCHW[x]c activations / KCRS[y]k[x]c kernels on CPU (channel
+/// dimensions padded so instruction lanes tile perfectly, §II.C.1), and an
+/// implicit-GEMM view for Tensor Cores on GPU where the spatial dimensions
+/// may be *fused* before padding — the FuseDim optimization of Fig. 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_GRAPH_LAYOUT_H
+#define UNIT_GRAPH_LAYOUT_H
+
+#include "graph/Graph.h"
+#include "ir/ComputeOp.h"
+
+namespace unit {
+
+/// Rounds \p X up to a multiple of \p Multiple.
+int64_t padTo(int64_t X, int64_t Multiple);
+
+/// A built operation plus padding accounting.
+struct LaidOutOp {
+  ComputeOpRef Op;
+  double PaddingWasteFraction = 0.0; ///< Padded-but-useless work fraction.
+  double RearrangeBytes = 0.0;       ///< Data-movement cost of the layout.
+};
+
+/// Direct convolution with channels padded for a dot-product instruction:
+/// input channels to \p ReduceMultiple, output channels to \p LaneMultiple
+/// (the [x]c / [y]k[x]c blocking). Dense layers (1x1 spatial) work too.
+LaidOutOp buildDirectConvOp(const ConvLayer &Layer, DataType AType,
+                            DataType BType, DataType AccType,
+                            int64_t LaneMultiple, int64_t ReduceMultiple);
+
+/// Conv3d variant of buildDirectConvOp (paper §VI.C).
+LaidOutOp buildDirectConv3dOp(const Conv3dLayer &Layer, DataType AType,
+                              DataType BType, DataType AccType,
+                              int64_t LaneMultiple, int64_t ReduceMultiple);
+
+/// Implicit-GEMM view of a convolution for a matrix instruction with
+/// \p Tile-square fragments: M = spatial, N = output channels,
+/// K = KH*KW*InC. With \p FuseSpatial the H and W dimensions are fused
+/// *before* padding (saving redundant padding at the price of a data
+/// rearrangement pass); otherwise each spatial dimension pads separately.
+LaidOutOp buildConvAsGemmOp(const ConvLayer &Layer, DataType InType,
+                            DataType AccType, int64_t Tile, bool FuseSpatial);
+
+/// Plain GEMM builder (used by examples and tests).
+ComputeOpRef buildGemmOp(int64_t M, int64_t N, int64_t K, DataType InType,
+                         DataType AccType);
+
+} // namespace unit
+
+#endif // UNIT_GRAPH_LAYOUT_H

@@ -1,0 +1,42 @@
+//===- graph/Quantize.h - Mixed-precision type selection -------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph-level quantization pass (paper §V.C: models are quantized
+/// through Relay before tensorization). Selects the mixed-precision data
+/// types each platform's tensorized instructions consume and accounts the
+/// cast traffic at the graph boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_GRAPH_QUANTIZE_H
+#define UNIT_GRAPH_QUANTIZE_H
+
+#include "ir/DataType.h"
+#include "isa/TensorIntrinsic.h"
+
+namespace unit {
+
+/// The operand/accumulator types one platform's instructions consume.
+struct QuantScheme {
+  DataType Activation; ///< e.g. u8 for VNNI, f16 for Tensor Core.
+  DataType Weight;
+  DataType Accumulator;
+  /// Multiple the output-channel dimension must pad to (instruction lanes)
+  int64_t LaneMultiple;
+  /// Multiple the reduce dimension must pad to (instruction reduce width).
+  int64_t ReduceMultiple;
+};
+
+/// Platform scheme used in the paper's evaluation:
+///   x86  -> u8 x i8 -> i32 (VNNI, 16 lanes x 4)
+///   ARM  -> i8 x i8 -> i32 (SDOT, 4 lanes x 4)
+///   GPU  -> f16 x f16 -> f32 (WMMA, 16x16x16)
+QuantScheme quantSchemeFor(TargetKind Target);
+
+} // namespace unit
+
+#endif // UNIT_GRAPH_QUANTIZE_H

@@ -1,0 +1,157 @@
+//===- interp/Buffer.cpp ---------------------------------------------------===//
+
+#include "interp/Buffer.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace unit;
+
+Buffer::Buffer(TensorRef TIn) : T(std::move(TIn)) {
+  assert(T && "null tensor");
+  DataType DT = T->dtype();
+  // f16 values are kept as already-rounded f32 payloads: every binary16
+  // value is exactly representable in binary32, so value semantics are
+  // preserved while keeping load/store code simple.
+  ElemBytes = (DT.isFloat() && DT.bits() == 16) ? 4 : DT.lanesBytes();
+  Data.assign(static_cast<size_t>(T->numElements()) * ElemBytes, 0);
+}
+
+int64_t Buffer::getInt(int64_t Idx) const {
+  assert(Idx >= 0 && Idx < size() && "buffer read out of range");
+  DataType DT = T->dtype();
+  assert(DT.isIntegral() && "integer read from float buffer");
+  const uint8_t *P = Data.data() + Idx * ElemBytes;
+  switch (DT.bits()) {
+  case 8:
+    return DT.isInt() ? static_cast<int64_t>(static_cast<int8_t>(*P))
+                      : static_cast<int64_t>(*P);
+  case 16: {
+    uint16_t V;
+    std::memcpy(&V, P, 2);
+    return DT.isInt() ? static_cast<int64_t>(static_cast<int16_t>(V))
+                      : static_cast<int64_t>(V);
+  }
+  case 32: {
+    uint32_t V;
+    std::memcpy(&V, P, 4);
+    return DT.isInt() ? static_cast<int64_t>(static_cast<int32_t>(V))
+                      : static_cast<int64_t>(V);
+  }
+  case 64: {
+    int64_t V;
+    std::memcpy(&V, P, 8);
+    return V;
+  }
+  default:
+    unit_unreachable("unsupported integer width");
+  }
+}
+
+void Buffer::setInt(int64_t Idx, int64_t Value) {
+  assert(Idx >= 0 && Idx < size() && "buffer write out of range");
+  DataType DT = T->dtype();
+  assert(DT.isIntegral() && "integer write to float buffer");
+  uint8_t *P = Data.data() + Idx * ElemBytes;
+  switch (DT.bits()) {
+  case 8: {
+    uint8_t V = static_cast<uint8_t>(Value);
+    *P = V;
+    return;
+  }
+  case 16: {
+    uint16_t V = static_cast<uint16_t>(Value);
+    std::memcpy(P, &V, 2);
+    return;
+  }
+  case 32: {
+    uint32_t V = static_cast<uint32_t>(Value);
+    std::memcpy(P, &V, 4);
+    return;
+  }
+  case 64: {
+    std::memcpy(P, &Value, 8);
+    return;
+  }
+  default:
+    unit_unreachable("unsupported integer width");
+  }
+}
+
+double Buffer::getFloat(int64_t Idx) const {
+  assert(Idx >= 0 && Idx < size() && "buffer read out of range");
+  DataType DT = T->dtype();
+  assert(DT.isFloat() && "float read from integer buffer");
+  const uint8_t *P = Data.data() + Idx * ElemBytes;
+  switch (DT.bits()) {
+  case 16:
+  case 32: {
+    float V;
+    std::memcpy(&V, P, 4);
+    return V;
+  }
+  case 64: {
+    double V;
+    std::memcpy(&V, P, 8);
+    return V;
+  }
+  default:
+    unit_unreachable("unsupported float width");
+  }
+}
+
+void Buffer::setFloat(int64_t Idx, double Value) {
+  assert(Idx >= 0 && Idx < size() && "buffer write out of range");
+  DataType DT = T->dtype();
+  assert(DT.isFloat() && "float write to integer buffer");
+  uint8_t *P = Data.data() + Idx * ElemBytes;
+  switch (DT.bits()) {
+  case 16: {
+    float V = fp16RoundToNearest(static_cast<float>(Value));
+    std::memcpy(P, &V, 4);
+    return;
+  }
+  case 32: {
+    float V = static_cast<float>(Value);
+    std::memcpy(P, &V, 4);
+    return;
+  }
+  case 64: {
+    std::memcpy(P, &Value, 8);
+    return;
+  }
+  default:
+    unit_unreachable("unsupported float width");
+  }
+}
+
+void Buffer::zero() { std::fill(Data.begin(), Data.end(), 0); }
+
+void Buffer::fillRandom(SplitMix64 &Rng, int64_t Bound) {
+  DataType DT = T->dtype();
+  for (int64_t I = 0, E = size(); I != E; ++I) {
+    if (DT.isFloat()) {
+      setFloat(I, Rng.uniformReal() * 2.0 - 1.0);
+      continue;
+    }
+    int64_t Lo, Hi;
+    if (DT.isUInt()) {
+      Lo = 0;
+      Hi = (int64_t(1) << DT.bits()) - 1;
+      if (DT.bits() >= 32)
+        Hi = (int64_t(1) << 31) - 1;
+    } else {
+      int64_t Half = DT.bits() >= 32 ? (int64_t(1) << 30)
+                                     : (int64_t(1) << (DT.bits() - 1));
+      Lo = -Half;
+      Hi = Half - 1;
+    }
+    if (Bound > 0) {
+      Lo = std::max(Lo, -Bound);
+      Hi = std::min(Hi, Bound);
+    }
+    setInt(I, Rng.uniform(Lo, Hi));
+  }
+}

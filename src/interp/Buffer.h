@@ -1,0 +1,59 @@
+//===- interp/Buffer.h - Typed runtime buffers -----------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime storage for tensors, with dtype-faithful narrowing on store
+/// (u8/i8 wraparound, i32 wraparound accumulation, fp16 rounding). The
+/// interpreter executes generated tensor IR against these buffers, standing
+/// in for the VNNI/DOT/Tensor-Core hardware the paper measures on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_INTERP_BUFFER_H
+#define UNIT_INTERP_BUFFER_H
+
+#include "ir/Tensor.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace unit {
+
+/// Typed flat storage for one tensor.
+class Buffer {
+  TensorRef T;
+  std::vector<uint8_t> Data;
+  unsigned ElemBytes; ///< f16 stores a rounded 4-byte payload.
+
+public:
+  explicit Buffer(TensorRef T);
+
+  const TensorRef &tensor() const { return T; }
+  int64_t size() const { return T->numElements(); }
+
+  /// Integral element read, sign- or zero-extended to i64 per the dtype.
+  int64_t getInt(int64_t Idx) const;
+  /// Integral element write; wraps to the dtype's width (two's complement).
+  void setInt(int64_t Idx, int64_t Value);
+
+  /// Float element read widened to double.
+  double getFloat(int64_t Idx) const;
+  /// Float element write; f16 buffers round-to-nearest-even on store.
+  void setFloat(int64_t Idx, double Value);
+
+  /// Zero-fills the buffer.
+  void zero();
+
+  /// Deterministically fills with small values exercising signedness and
+  /// wraparound: integrals uniform over the dtype's full range (clamped to
+  /// [-Bound, Bound] when Bound > 0), floats uniform in [-1, 1].
+  void fillRandom(SplitMix64 &Rng, int64_t Bound = 0);
+};
+
+} // namespace unit
+
+#endif // UNIT_INTERP_BUFFER_H

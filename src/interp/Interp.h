@@ -1,0 +1,75 @@
+//===- interp/Interp.h - Tensor IR interpreter ------------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional execution of tensor IR, including tensorized-instruction
+/// calls. The hardware the paper benchmarks (VNNI, ARM DOT, Tensor Core)
+/// is unavailable here, so intrinsic calls are *emulated by interpreting
+/// the instruction's own DSL semantics* — the same unified abstraction the
+/// compiler matches against, which keeps emulation automatically in sync
+/// with whatever instructions are registered (including user-defined ones).
+///
+/// Integer arithmetic wraps at the expression dtype width and f16 values
+/// round to nearest-even, so results are bit-exact against references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_INTERP_INTERP_H
+#define UNIT_INTERP_INTERP_H
+
+#include "interp/Buffer.h"
+#include "tir/Stmt.h"
+
+#include <map>
+#include <vector>
+
+namespace unit {
+
+/// A runtime value: scalar or flat vector, integral or floating.
+struct Value {
+  DataType DT;
+  std::vector<int64_t> Ints;   ///< Populated when DT is integral.
+  std::vector<double> Floats;  ///< Populated when DT is float.
+
+  unsigned lanes() const { return DT.lanes(); }
+  bool isInt() const { return DT.isIntegral(); }
+
+  static Value scalarInt(int64_t V, DataType DT);
+  static Value scalarFloat(double V, DataType DT);
+};
+
+/// Interprets tensor IR against bound buffers.
+class Interp {
+  std::map<const TensorNode *, Buffer *> Buffers;
+  std::map<const IterVarNode *, int64_t> Env;
+
+public:
+  /// Binds \p Buf as the storage of tensor \p T. The caller keeps
+  /// ownership; aliasing two tensors to one buffer is allowed only for the
+  /// in-place accumulator pattern.
+  void bind(const TensorRef &T, Buffer *Buf);
+
+  /// Executes \p S. Fatal-errors on unbound tensors or malformed IR.
+  void run(const StmtRef &S);
+
+  /// Evaluates a standalone expression (exposed for tests).
+  Value eval(const ExprRef &E);
+
+private:
+  void exec(const StmtRef &S);
+  Buffer *lookup(const TensorRef &T);
+  Value evalIntrinsic(const CallNode *Call);
+};
+
+/// Convenience: lowers \p Op with a default (un-tuned) schedule and runs it
+/// against \p Bindings. Used for references and intrinsic emulation.
+void runComputeOpReference(
+    const ComputeOpRef &Op,
+    const std::vector<std::pair<TensorRef, Buffer *>> &Bindings);
+
+} // namespace unit
+
+#endif // UNIT_INTERP_INTERP_H

@@ -1,0 +1,102 @@
+//===- ir/DataType.cpp -----------------------------------------------------===//
+
+#include "ir/DataType.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace unit;
+
+std::string DataType::str() const {
+  std::string Out;
+  switch (Kind) {
+  case DTypeKind::Int:
+    Out = "i";
+    break;
+  case DTypeKind::UInt:
+    Out = "u";
+    break;
+  case DTypeKind::Float:
+    Out = "f";
+    break;
+  }
+  Out += std::to_string(Bits);
+  if (Lanes > 1)
+    Out += "x" + std::to_string(Lanes);
+  return Out;
+}
+
+float unit::fp16RoundToNearest(float Value) {
+  // Convert f32 -> IEEE binary16 with round-to-nearest-even, then back.
+  // This reproduces the precision loss Tensor Core inputs experience.
+  if (std::isnan(Value))
+    return Value;
+  uint32_t Bits;
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  uint32_t Sign = Bits & 0x80000000u;
+  int32_t Exp = static_cast<int32_t>((Bits >> 23) & 0xff) - 127;
+  uint32_t Mant = Bits & 0x7fffffu;
+
+  uint16_t Half;
+  if (Exp > 15) {
+    Half = 0x7c00; // Overflow to infinity.
+  } else if (Exp >= -14) {
+    // Normal half. Keep 10 mantissa bits, round-to-nearest-even on bit 12.
+    uint32_t M = Mant >> 13;
+    uint32_t Rem = Mant & 0x1fffu;
+    if (Rem > 0x1000u || (Rem == 0x1000u && (M & 1)))
+      ++M;
+    uint32_t E = static_cast<uint32_t>(Exp + 15);
+    if (M == 0x400u) { // Mantissa rounding overflowed into the exponent.
+      M = 0;
+      ++E;
+    }
+    Half = static_cast<uint16_t>((E << 10) | M);
+    if (E >= 31)
+      Half = 0x7c00;
+  } else if (Exp >= -25) {
+    // Subnormal half: value = M * 2^-24 after rounding. The 24-bit full
+    // mantissa represents 1.Mant * 2^Exp, so M = round(FullMant * 2^(Exp+1))
+    // i.e. drop (-Exp - 1) bits with round-to-nearest-even.
+    uint32_t FullMant = Mant | 0x800000u;
+    int DropBits = -Exp - 1;
+    uint32_t M = FullMant >> DropBits;
+    uint32_t Rem = FullMant & ((1u << DropBits) - 1);
+    uint32_t Halfway = 1u << (DropBits - 1);
+    if (Rem > Halfway || (Rem == Halfway && (M & 1)))
+      ++M;
+    Half = static_cast<uint16_t>(M);
+  } else {
+    Half = 0; // Underflow to zero.
+  }
+  Half = static_cast<uint16_t>(Half | (Sign >> 16));
+
+  // Convert back to f32.
+  uint32_t HSign = (Half & 0x8000u) << 16;
+  uint32_t HExp = (Half >> 10) & 0x1f;
+  uint32_t HMant = Half & 0x3ffu;
+  uint32_t Out;
+  if (HExp == 0x1f) {
+    Out = HSign | 0x7f800000u | (HMant << 13);
+  } else if (HExp == 0) {
+    if (HMant == 0) {
+      Out = HSign;
+    } else {
+      // Normalize the subnormal.
+      int E = -14;
+      while (!(HMant & 0x400u)) {
+        HMant <<= 1;
+        --E;
+      }
+      HMant &= 0x3ffu;
+      Out = HSign | (static_cast<uint32_t>(E + 127) << 23) | (HMant << 13);
+    }
+  } else {
+    Out = HSign | ((HExp - 15 + 127) << 23) | (HMant << 13);
+  }
+  float Result;
+  std::memcpy(&Result, &Out, sizeof(Result));
+  return Result;
+}

@@ -1,0 +1,118 @@
+//===- ir/DataType.h - Scalar/vector data types ---------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mixed-precision data types. Tensorized instructions consume low-bitwidth
+/// lanes (u8/i8/f16) and accumulate into wider lanes (i32/f32); DataType
+/// carries the (kind, bits, lanes) triple used throughout the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_IR_DATATYPE_H
+#define UNIT_IR_DATATYPE_H
+
+#include <cstdint>
+#include <string>
+
+namespace unit {
+
+/// Scalar type family.
+enum class DTypeKind : uint8_t {
+  Int,   ///< Signed two's-complement integer.
+  UInt,  ///< Unsigned integer.
+  Float, ///< IEEE-754 binary float (16/32/64 bits).
+};
+
+/// A (kind, bits, lanes) data type. Lanes > 1 denotes a flat vector value;
+/// multi-dimensional instruction operands (e.g. the 16x16 fp16 tile of a
+/// Tensor Core fragment) are flattened row-major into lanes.
+class DataType {
+  DTypeKind Kind;
+  uint8_t Bits;
+  uint16_t Lanes;
+
+public:
+  constexpr DataType()
+      : Kind(DTypeKind::Int), Bits(32), Lanes(1) {}
+  constexpr DataType(DTypeKind Kind, unsigned Bits, unsigned Lanes = 1)
+      : Kind(Kind), Bits(static_cast<uint8_t>(Bits)),
+        Lanes(static_cast<uint16_t>(Lanes)) {}
+
+  DTypeKind kind() const { return Kind; }
+  unsigned bits() const { return Bits; }
+  unsigned lanes() const { return Lanes; }
+
+  bool isInt() const { return Kind == DTypeKind::Int; }
+  bool isUInt() const { return Kind == DTypeKind::UInt; }
+  bool isIntegral() const { return isInt() || isUInt(); }
+  bool isFloat() const { return Kind == DTypeKind::Float; }
+  bool isScalar() const { return Lanes == 1; }
+  bool isVector() const { return Lanes > 1; }
+
+  /// Bytes occupied by one lane.
+  unsigned lanesBytes() const { return Bits / 8; }
+  /// Total bytes of the whole (possibly vector) value.
+  unsigned totalBytes() const { return (Bits / 8) * Lanes; }
+
+  /// Same scalar type with a different lane count.
+  DataType withLanes(unsigned NewLanes) const {
+    return DataType(Kind, Bits, NewLanes);
+  }
+  /// The scalar element type.
+  DataType scalar() const { return withLanes(1); }
+  /// True when scalar kind and bits match (lanes ignored).
+  bool sameScalarType(DataType Other) const {
+    return Kind == Other.Kind && Bits == Other.Bits;
+  }
+
+  bool operator==(DataType Other) const {
+    return Kind == Other.Kind && Bits == Other.Bits && Lanes == Other.Lanes;
+  }
+  bool operator!=(DataType Other) const { return !(*this == Other); }
+
+  /// Renders like "i8", "u8x64", "f16x256".
+  std::string str() const;
+
+  // Common shorthands.
+  static constexpr DataType i8(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Int, 8, Lanes);
+  }
+  static constexpr DataType u8(unsigned Lanes = 1) {
+    return DataType(DTypeKind::UInt, 8, Lanes);
+  }
+  static constexpr DataType i16(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Int, 16, Lanes);
+  }
+  static constexpr DataType u16(unsigned Lanes = 1) {
+    return DataType(DTypeKind::UInt, 16, Lanes);
+  }
+  static constexpr DataType i32(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Int, 32, Lanes);
+  }
+  static constexpr DataType u32(unsigned Lanes = 1) {
+    return DataType(DTypeKind::UInt, 32, Lanes);
+  }
+  static constexpr DataType i64(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Int, 64, Lanes);
+  }
+  static constexpr DataType f16(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Float, 16, Lanes);
+  }
+  static constexpr DataType f32(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Float, 32, Lanes);
+  }
+  static constexpr DataType f64(unsigned Lanes = 1) {
+    return DataType(DTypeKind::Float, 64, Lanes);
+  }
+};
+
+/// fp16 emulation helpers (round-to-nearest-even), used by the interpreter
+/// to reproduce Tensor Core input rounding bit-exactly.
+float fp16RoundToNearest(float Value);
+
+} // namespace unit
+
+#endif // UNIT_IR_DATATYPE_H

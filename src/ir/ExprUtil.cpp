@@ -1,0 +1,165 @@
+//===- ir/ExprUtil.cpp -----------------------------------------------------===//
+
+#include "ir/ExprUtil.h"
+
+#include "ir/ExprVisitor.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace unit;
+
+bool unit::structuralEqual(const ExprRef &A, const ExprRef &B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  if (A->kind() != B->kind() || A->dtype() != B->dtype())
+    return false;
+
+  switch (A->kind()) {
+  case ExprNode::Kind::IntImm:
+    return cast<IntImmNode>(A)->Value == cast<IntImmNode>(B)->Value;
+  case ExprNode::Kind::FloatImm:
+    return cast<FloatImmNode>(A)->Value == cast<FloatImmNode>(B)->Value;
+  case ExprNode::Kind::Var:
+    return cast<VarNode>(A)->IV == cast<VarNode>(B)->IV;
+  case ExprNode::Kind::Add:
+  case ExprNode::Kind::Sub:
+  case ExprNode::Kind::Mul:
+  case ExprNode::Kind::Div:
+  case ExprNode::Kind::Mod:
+  case ExprNode::Kind::Min:
+  case ExprNode::Kind::Max: {
+    const auto *BA = cast<BinaryNode>(A);
+    const auto *BB = cast<BinaryNode>(B);
+    return structuralEqual(BA->LHS, BB->LHS) &&
+           structuralEqual(BA->RHS, BB->RHS);
+  }
+  case ExprNode::Kind::Cast:
+    return structuralEqual(cast<CastNode>(A)->Value, cast<CastNode>(B)->Value);
+  case ExprNode::Kind::Load: {
+    const auto *LA = cast<LoadNode>(A);
+    const auto *LB = cast<LoadNode>(B);
+    if (LA->Buf != LB->Buf || LA->Indices.size() != LB->Indices.size())
+      return false;
+    for (size_t I = 0; I < LA->Indices.size(); ++I)
+      if (!structuralEqual(LA->Indices[I], LB->Indices[I]))
+        return false;
+    return true;
+  }
+  case ExprNode::Kind::Select: {
+    const auto *SA = cast<SelectNode>(A);
+    const auto *SB = cast<SelectNode>(B);
+    return structuralEqual(SA->Cond, SB->Cond) &&
+           structuralEqual(SA->TrueValue, SB->TrueValue) &&
+           structuralEqual(SA->FalseValue, SB->FalseValue);
+  }
+  case ExprNode::Kind::Ramp: {
+    const auto *RA = cast<RampNode>(A);
+    const auto *RB = cast<RampNode>(B);
+    return RA->Stride == RB->Stride && structuralEqual(RA->Base, RB->Base);
+  }
+  case ExprNode::Kind::Broadcast: {
+    const auto *BA = cast<BroadcastNode>(A);
+    const auto *BB = cast<BroadcastNode>(B);
+    return BA->Repeat == BB->Repeat && structuralEqual(BA->Value, BB->Value);
+  }
+  case ExprNode::Kind::Concat: {
+    const auto *CA = cast<ConcatNode>(A);
+    const auto *CB = cast<ConcatNode>(B);
+    if (CA->Parts.size() != CB->Parts.size())
+      return false;
+    for (size_t I = 0; I < CA->Parts.size(); ++I)
+      if (!structuralEqual(CA->Parts[I], CB->Parts[I]))
+        return false;
+    return true;
+  }
+  case ExprNode::Kind::Call: {
+    const auto *CA = cast<CallNode>(A);
+    const auto *CB = cast<CallNode>(B);
+    if (CA->Callee != CB->Callee || CA->Args.size() != CB->Args.size())
+      return false;
+    for (size_t I = 0; I < CA->Args.size(); ++I)
+      if (!structuralEqual(CA->Args[I], CB->Args[I]))
+        return false;
+    return true;
+  }
+  case ExprNode::Kind::Reduce: {
+    const auto *RA = cast<ReduceNode>(A);
+    const auto *RB = cast<ReduceNode>(B);
+    if (RA->RKind != RB->RKind || RA->Axes != RB->Axes)
+      return false;
+    if (static_cast<bool>(RA->Init) != static_cast<bool>(RB->Init))
+      return false;
+    if (RA->Init && !structuralEqual(RA->Init, RB->Init))
+      return false;
+    return structuralEqual(RA->Source, RB->Source);
+  }
+  }
+  unit_unreachable("unknown expression kind");
+}
+
+namespace {
+
+/// Replaces loop variables per a substitution map.
+class SubstMutator : public ExprMutator {
+  const VarSubst &Subst;
+
+public:
+  explicit SubstMutator(const VarSubst &Subst) : Subst(Subst) {}
+
+  ExprRef mutateVar(const ExprRef &E, const VarNode *N) override {
+    auto It = Subst.find(N->IV.get());
+    return It == Subst.end() ? E : It->second;
+  }
+};
+
+/// Collects distinct IterVars in appearance order.
+class VarCollector : public ExprVisitor {
+public:
+  std::vector<IterVar> Vars;
+
+  void visitVar(const VarNode *N) override {
+    if (std::find(Vars.begin(), Vars.end(), N->IV) == Vars.end())
+      Vars.push_back(N->IV);
+  }
+};
+
+/// Collects loads in visit order.
+class LoadCollector : public ExprVisitor {
+public:
+  std::vector<const LoadNode *> Loads;
+
+  void visitLoad(const LoadNode *N) override {
+    Loads.push_back(N);
+    ExprVisitor::visitLoad(N);
+  }
+};
+
+} // namespace
+
+ExprRef unit::substitute(const ExprRef &E, const VarSubst &Subst) {
+  SubstMutator M(Subst);
+  return M.mutate(E);
+}
+
+std::vector<IterVar> unit::collectVars(const ExprRef &E) {
+  VarCollector C;
+  C.visit(E);
+  return std::move(C.Vars);
+}
+
+std::vector<const LoadNode *> unit::collectLoads(const ExprRef &E) {
+  LoadCollector C;
+  C.visit(E);
+  return std::move(C.Loads);
+}
+
+bool unit::matchConstInt(const ExprRef &E, int64_t *Value) {
+  const auto *I = dyn_cast<IntImmNode>(E.get());
+  if (!I)
+    return false;
+  *Value = I->Value;
+  return true;
+}

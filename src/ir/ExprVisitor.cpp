@@ -1,0 +1,223 @@
+//===- ir/ExprVisitor.cpp --------------------------------------------------===//
+
+#include "ir/ExprVisitor.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace unit;
+
+ExprVisitor::~ExprVisitor() = default;
+ExprMutator::~ExprMutator() = default;
+
+void ExprVisitor::visit(const ExprRef &E) {
+  switch (E->kind()) {
+  case ExprNode::Kind::IntImm:
+    return visitIntImm(cast<IntImmNode>(E));
+  case ExprNode::Kind::FloatImm:
+    return visitFloatImm(cast<FloatImmNode>(E));
+  case ExprNode::Kind::Var:
+    return visitVar(cast<VarNode>(E));
+  case ExprNode::Kind::Add:
+  case ExprNode::Kind::Sub:
+  case ExprNode::Kind::Mul:
+  case ExprNode::Kind::Div:
+  case ExprNode::Kind::Mod:
+  case ExprNode::Kind::Min:
+  case ExprNode::Kind::Max:
+    return visitBinary(cast<BinaryNode>(E));
+  case ExprNode::Kind::Cast:
+    return visitCast(cast<CastNode>(E));
+  case ExprNode::Kind::Load:
+    return visitLoad(cast<LoadNode>(E));
+  case ExprNode::Kind::Select:
+    return visitSelect(cast<SelectNode>(E));
+  case ExprNode::Kind::Ramp:
+    return visitRamp(cast<RampNode>(E));
+  case ExprNode::Kind::Broadcast:
+    return visitBroadcast(cast<BroadcastNode>(E));
+  case ExprNode::Kind::Concat:
+    return visitConcat(cast<ConcatNode>(E));
+  case ExprNode::Kind::Call:
+    return visitCall(cast<CallNode>(E));
+  case ExprNode::Kind::Reduce:
+    return visitReduce(cast<ReduceNode>(E));
+  }
+  unit_unreachable("unknown expression kind");
+}
+
+void ExprVisitor::visitIntImm(const IntImmNode *) {}
+void ExprVisitor::visitFloatImm(const FloatImmNode *) {}
+void ExprVisitor::visitVar(const VarNode *) {}
+
+void ExprVisitor::visitBinary(const BinaryNode *N) {
+  visit(N->LHS);
+  visit(N->RHS);
+}
+
+void ExprVisitor::visitCast(const CastNode *N) { visit(N->Value); }
+
+void ExprVisitor::visitLoad(const LoadNode *N) {
+  for (const ExprRef &I : N->Indices)
+    visit(I);
+}
+
+void ExprVisitor::visitSelect(const SelectNode *N) {
+  visit(N->Cond);
+  visit(N->TrueValue);
+  visit(N->FalseValue);
+}
+
+void ExprVisitor::visitRamp(const RampNode *N) { visit(N->Base); }
+void ExprVisitor::visitBroadcast(const BroadcastNode *N) { visit(N->Value); }
+
+void ExprVisitor::visitConcat(const ConcatNode *N) {
+  for (const ExprRef &P : N->Parts)
+    visit(P);
+}
+
+void ExprVisitor::visitCall(const CallNode *N) {
+  for (const ExprRef &A : N->Args)
+    visit(A);
+}
+
+void ExprVisitor::visitReduce(const ReduceNode *N) {
+  visit(N->Source);
+  if (N->Init)
+    visit(N->Init);
+}
+
+ExprRef ExprMutator::mutate(const ExprRef &E) {
+  switch (E->kind()) {
+  case ExprNode::Kind::IntImm:
+    return mutateIntImm(E, cast<IntImmNode>(E));
+  case ExprNode::Kind::FloatImm:
+    return mutateFloatImm(E, cast<FloatImmNode>(E));
+  case ExprNode::Kind::Var:
+    return mutateVar(E, cast<VarNode>(E));
+  case ExprNode::Kind::Add:
+  case ExprNode::Kind::Sub:
+  case ExprNode::Kind::Mul:
+  case ExprNode::Kind::Div:
+  case ExprNode::Kind::Mod:
+  case ExprNode::Kind::Min:
+  case ExprNode::Kind::Max:
+    return mutateBinary(E, cast<BinaryNode>(E));
+  case ExprNode::Kind::Cast:
+    return mutateCast(E, cast<CastNode>(E));
+  case ExprNode::Kind::Load:
+    return mutateLoad(E, cast<LoadNode>(E));
+  case ExprNode::Kind::Select:
+    return mutateSelect(E, cast<SelectNode>(E));
+  case ExprNode::Kind::Ramp:
+    return mutateRamp(E, cast<RampNode>(E));
+  case ExprNode::Kind::Broadcast:
+    return mutateBroadcast(E, cast<BroadcastNode>(E));
+  case ExprNode::Kind::Concat:
+    return mutateConcat(E, cast<ConcatNode>(E));
+  case ExprNode::Kind::Call:
+    return mutateCall(E, cast<CallNode>(E));
+  case ExprNode::Kind::Reduce:
+    return mutateReduce(E, cast<ReduceNode>(E));
+  }
+  unit_unreachable("unknown expression kind");
+}
+
+ExprRef ExprMutator::mutateIntImm(const ExprRef &E, const IntImmNode *) {
+  return E;
+}
+ExprRef ExprMutator::mutateFloatImm(const ExprRef &E, const FloatImmNode *) {
+  return E;
+}
+ExprRef ExprMutator::mutateVar(const ExprRef &E, const VarNode *) { return E; }
+
+ExprRef ExprMutator::mutateBinary(const ExprRef &E, const BinaryNode *N) {
+  ExprRef LHS = mutate(N->LHS);
+  ExprRef RHS = mutate(N->RHS);
+  if (LHS == N->LHS && RHS == N->RHS)
+    return E;
+  return makeBinary(N->kind(), std::move(LHS), std::move(RHS));
+}
+
+ExprRef ExprMutator::mutateCast(const ExprRef &E, const CastNode *N) {
+  ExprRef Value = mutate(N->Value);
+  if (Value == N->Value)
+    return E;
+  return makeCast(N->dtype(), std::move(Value));
+}
+
+ExprRef ExprMutator::mutateLoad(const ExprRef &E, const LoadNode *N) {
+  std::vector<ExprRef> Indices;
+  Indices.reserve(N->Indices.size());
+  bool Changed = false;
+  for (const ExprRef &I : N->Indices) {
+    Indices.push_back(mutate(I));
+    Changed |= Indices.back() != I;
+  }
+  if (!Changed)
+    return E;
+  unsigned Lanes = 1;
+  for (const ExprRef &I : Indices)
+    Lanes *= I->dtype().lanes();
+  return std::make_shared<LoadNode>(N->Buf, std::move(Indices),
+                                    N->Buf->dtype().withLanes(Lanes));
+}
+
+ExprRef ExprMutator::mutateSelect(const ExprRef &E, const SelectNode *N) {
+  ExprRef Cond = mutate(N->Cond);
+  ExprRef TrueValue = mutate(N->TrueValue);
+  ExprRef FalseValue = mutate(N->FalseValue);
+  if (Cond == N->Cond && TrueValue == N->TrueValue &&
+      FalseValue == N->FalseValue)
+    return E;
+  return makeSelect(std::move(Cond), std::move(TrueValue),
+                    std::move(FalseValue));
+}
+
+ExprRef ExprMutator::mutateRamp(const ExprRef &E, const RampNode *N) {
+  ExprRef Base = mutate(N->Base);
+  if (Base == N->Base)
+    return E;
+  return makeRamp(std::move(Base), N->Stride, N->dtype().lanes());
+}
+
+ExprRef ExprMutator::mutateBroadcast(const ExprRef &E,
+                                     const BroadcastNode *N) {
+  ExprRef Value = mutate(N->Value);
+  if (Value == N->Value)
+    return E;
+  return makeBroadcast(std::move(Value), N->Repeat);
+}
+
+ExprRef ExprMutator::mutateConcat(const ExprRef &E, const ConcatNode *N) {
+  std::vector<ExprRef> Parts;
+  Parts.reserve(N->Parts.size());
+  bool Changed = false;
+  for (const ExprRef &P : N->Parts) {
+    Parts.push_back(mutate(P));
+    Changed |= Parts.back() != P;
+  }
+  if (!Changed)
+    return E;
+  return makeConcat(std::move(Parts));
+}
+
+ExprRef ExprMutator::mutateCall(const ExprRef &E, const CallNode *N) {
+  std::vector<ExprRef> Args;
+  Args.reserve(N->Args.size());
+  bool Changed = false;
+  for (const ExprRef &A : N->Args) {
+    Args.push_back(mutate(A));
+    Changed |= Args.back() != A;
+  }
+  if (!Changed)
+    return E;
+  return makeCall(N->Callee, N->CKind, std::move(Args), N->dtype());
+}
+
+ExprRef ExprMutator::mutateReduce(const ExprRef &E, const ReduceNode *N) {
+  ExprRef Source = mutate(N->Source);
+  ExprRef Init = N->Init ? mutate(N->Init) : nullptr;
+  if (Source == N->Source && Init == N->Init)
+    return E;
+  return makeReduce(N->RKind, std::move(Source), N->Axes, std::move(Init));
+}

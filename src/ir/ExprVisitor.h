@@ -1,0 +1,68 @@
+//===- ir/ExprVisitor.h - Expression visitors and mutators ----------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive visitor (read-only walk) and mutator (rebuilding walk) over
+/// the expression tree. Mutators preserve sharing: an unchanged subtree is
+/// returned by reference, not copied.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_IR_EXPRVISITOR_H
+#define UNIT_IR_EXPRVISITOR_H
+
+#include "ir/Expr.h"
+
+namespace unit {
+
+/// Read-only recursive expression walk. Override the per-kind hooks; the
+/// default implementations recurse into children.
+class ExprVisitor {
+public:
+  virtual ~ExprVisitor();
+
+  /// Dispatches on kind.
+  void visit(const ExprRef &E);
+
+  virtual void visitIntImm(const IntImmNode *N);
+  virtual void visitFloatImm(const FloatImmNode *N);
+  virtual void visitVar(const VarNode *N);
+  virtual void visitBinary(const BinaryNode *N);
+  virtual void visitCast(const CastNode *N);
+  virtual void visitLoad(const LoadNode *N);
+  virtual void visitSelect(const SelectNode *N);
+  virtual void visitRamp(const RampNode *N);
+  virtual void visitBroadcast(const BroadcastNode *N);
+  virtual void visitConcat(const ConcatNode *N);
+  virtual void visitCall(const CallNode *N);
+  virtual void visitReduce(const ReduceNode *N);
+};
+
+/// Rebuilding expression walk; override hooks to replace subtrees.
+class ExprMutator {
+public:
+  virtual ~ExprMutator();
+
+  /// Dispatches on kind; returns the (possibly shared) rebuilt node.
+  ExprRef mutate(const ExprRef &E);
+
+  virtual ExprRef mutateIntImm(const ExprRef &E, const IntImmNode *N);
+  virtual ExprRef mutateFloatImm(const ExprRef &E, const FloatImmNode *N);
+  virtual ExprRef mutateVar(const ExprRef &E, const VarNode *N);
+  virtual ExprRef mutateBinary(const ExprRef &E, const BinaryNode *N);
+  virtual ExprRef mutateCast(const ExprRef &E, const CastNode *N);
+  virtual ExprRef mutateLoad(const ExprRef &E, const LoadNode *N);
+  virtual ExprRef mutateSelect(const ExprRef &E, const SelectNode *N);
+  virtual ExprRef mutateRamp(const ExprRef &E, const RampNode *N);
+  virtual ExprRef mutateBroadcast(const ExprRef &E, const BroadcastNode *N);
+  virtual ExprRef mutateConcat(const ExprRef &E, const ConcatNode *N);
+  virtual ExprRef mutateCall(const ExprRef &E, const CallNode *N);
+  virtual ExprRef mutateReduce(const ExprRef &E, const ReduceNode *N);
+};
+
+} // namespace unit
+
+#endif // UNIT_IR_EXPRVISITOR_H

@@ -1,0 +1,135 @@
+//===- ir/Printer.cpp ------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+using namespace unit;
+
+namespace {
+
+const char *binaryOpSymbol(ExprNode::Kind K) {
+  switch (K) {
+  case ExprNode::Kind::Add:
+    return "+";
+  case ExprNode::Kind::Sub:
+    return "-";
+  case ExprNode::Kind::Mul:
+    return "*";
+  case ExprNode::Kind::Div:
+    return "/";
+  case ExprNode::Kind::Mod:
+    return "%";
+  case ExprNode::Kind::Min:
+    return "min";
+  case ExprNode::Kind::Max:
+    return "max";
+  default:
+    unit_unreachable("not a binary opcode");
+  }
+}
+
+/// Precedence used solely to minimize parentheses in output.
+int precedence(ExprNode::Kind K) {
+  switch (K) {
+  case ExprNode::Kind::Add:
+  case ExprNode::Kind::Sub:
+    return 1;
+  case ExprNode::Kind::Mul:
+  case ExprNode::Kind::Div:
+  case ExprNode::Kind::Mod:
+    return 2;
+  default:
+    return 3;
+  }
+}
+
+std::string print(const ExprRef &E, int ParentPrec);
+
+std::string printList(const std::vector<ExprRef> &Es) {
+  std::vector<std::string> Parts;
+  Parts.reserve(Es.size());
+  for (const ExprRef &I : Es)
+    Parts.push_back(print(I, 0));
+  return join(Parts, ", ");
+}
+
+std::string print(const ExprRef &E, int ParentPrec) {
+  switch (E->kind()) {
+  case ExprNode::Kind::IntImm:
+    return std::to_string(cast<IntImmNode>(E)->Value);
+  case ExprNode::Kind::FloatImm:
+    return formatStr("%g", cast<FloatImmNode>(E)->Value);
+  case ExprNode::Kind::Var:
+    return cast<VarNode>(E)->IV->name();
+  case ExprNode::Kind::Add:
+  case ExprNode::Kind::Sub:
+  case ExprNode::Kind::Mul:
+  case ExprNode::Kind::Div:
+  case ExprNode::Kind::Mod: {
+    const auto *B = cast<BinaryNode>(E);
+    int Prec = precedence(E->kind());
+    std::string S = print(B->LHS, Prec) + " " + binaryOpSymbol(E->kind()) +
+                    " " + print(B->RHS, Prec + 1);
+    if (Prec < ParentPrec)
+      S = "(" + S + ")";
+    return S;
+  }
+  case ExprNode::Kind::Min:
+  case ExprNode::Kind::Max: {
+    const auto *B = cast<BinaryNode>(E);
+    return std::string(binaryOpSymbol(E->kind())) + "(" + print(B->LHS, 0) +
+           ", " + print(B->RHS, 0) + ")";
+  }
+  case ExprNode::Kind::Cast: {
+    const auto *C = cast<CastNode>(E);
+    return C->dtype().str() + "(" + print(C->Value, 0) + ")";
+  }
+  case ExprNode::Kind::Load: {
+    const auto *L = cast<LoadNode>(E);
+    return L->Buf->name() + "[" + printList(L->Indices) + "]";
+  }
+  case ExprNode::Kind::Select: {
+    const auto *S = cast<SelectNode>(E);
+    return "select(" + print(S->Cond, 0) + ", " + print(S->TrueValue, 0) +
+           ", " + print(S->FalseValue, 0) + ")";
+  }
+  case ExprNode::Kind::Ramp: {
+    const auto *R = cast<RampNode>(E);
+    return formatStr("ramp(%s, %lld, %u)", print(R->Base, 0).c_str(),
+                     static_cast<long long>(R->Stride), R->dtype().lanes());
+  }
+  case ExprNode::Kind::Broadcast: {
+    const auto *B = cast<BroadcastNode>(E);
+    return formatStr("x%u(%s)", B->Repeat, print(B->Value, 0).c_str());
+  }
+  case ExprNode::Kind::Concat: {
+    const auto *C = cast<ConcatNode>(E);
+    return "concat(" + printList(C->Parts) + ")";
+  }
+  case ExprNode::Kind::Call: {
+    const auto *C = cast<CallNode>(E);
+    return C->Callee + "(" + printList(C->Args) + ")";
+  }
+  case ExprNode::Kind::Reduce: {
+    const auto *R = cast<ReduceNode>(E);
+    const char *Comb = R->RKind == ReduceKind::Sum   ? "sum"
+                       : R->RKind == ReduceKind::Max ? "max"
+                                                     : "min";
+    std::vector<std::string> AxisNames;
+    for (const IterVar &A : R->Axes)
+      AxisNames.push_back(A->name());
+    std::string S = std::string(Comb) + "[" + join(AxisNames, ", ") + "](" +
+                    print(R->Source, 0) + ")";
+    if (R->Init)
+      S = print(R->Init, 1) + " + " + S;
+    return S;
+  }
+  }
+  unit_unreachable("unknown expression kind");
+}
+
+} // namespace
+
+std::string unit::exprToString(const ExprRef &E) { return print(E, 0); }

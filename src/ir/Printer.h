@@ -1,0 +1,27 @@
+//===- ir/Printer.h - Expression pretty-printing ---------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders expressions as compact text; used for diagnostics, golden tests,
+/// and the stage-by-stage dumps of the example binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_IR_PRINTER_H
+#define UNIT_IR_PRINTER_H
+
+#include "ir/Expr.h"
+
+#include <string>
+
+namespace unit {
+
+/// Renders \p E like "c[x, y, k] + i32(a[x + r, y + s, rc]) * i32(b[...])".
+std::string exprToString(const ExprRef &E);
+
+} // namespace unit
+
+#endif // UNIT_IR_PRINTER_H

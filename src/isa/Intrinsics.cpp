@@ -1,0 +1,152 @@
+//===- isa/Intrinsics.cpp --------------------------------------------------===//
+
+#include "isa/Intrinsics.h"
+
+using namespace unit;
+
+namespace {
+
+/// Builds a VNNI/DOT-style dot-product instruction:
+///   d[i:Lanes] = c[i] + sum_{j<Reduce} i32(AType a[i*R+j]) * i32(BType b[..])
+ComputeOpRef makeDotSemantics(const std::string &Name, int64_t Lanes,
+                              int64_t Reduce, DataType AType, DataType BType) {
+  TensorRef A = makeTensor(Name + ".a", {Lanes * Reduce}, AType);
+  TensorRef B = makeTensor(Name + ".b", {Lanes * Reduce}, BType);
+  TensorRef C = makeTensor(Name + ".c", {Lanes}, DataType::i32());
+  TensorRef D = makeTensor(Name + ".d", {Lanes}, DataType::i32());
+
+  IterVar I = makeAxis("i", Lanes);
+  IterVar J = makeReduceAxis("j", Reduce);
+
+  ExprRef LaneA = makeVar(I) * makeIntImm(Reduce) + makeVar(J);
+  ExprRef LaneB = makeVar(I) * makeIntImm(Reduce) + makeVar(J);
+  ExprRef Prod = makeCast(DataType::i32(), makeLoad(A, {LaneA})) *
+                 makeCast(DataType::i32(), makeLoad(B, {LaneB}));
+  ExprRef Init = makeLoad(C, {makeVar(I)});
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {J}, Init);
+  return ComputeOp::create(Name, D, {I}, Body);
+}
+
+/// Builds a WMMA-style square matrix-multiply-accumulate instruction:
+///   C[i,j] += Acc(A[i,k]) * Acc(B[k,j]), accumulating in place.
+ComputeOpRef makeWmmaSemantics(const std::string &Name, int64_t M,
+                               DataType InType, DataType AccType) {
+  TensorRef A = makeTensor(Name + ".a", {M, M}, InType);
+  TensorRef B = makeTensor(Name + ".b", {M, M}, InType);
+  TensorRef C = makeTensor(Name + ".c", {M, M}, AccType);
+
+  IterVar I = makeAxis("i", M);
+  IterVar J = makeAxis("j", M);
+  IterVar K = makeReduceAxis("k", M);
+
+  ExprRef Prod = makeCast(AccType, makeLoad(A, {makeVar(I), makeVar(K)})) *
+                 makeCast(AccType, makeLoad(B, {makeVar(K), makeVar(J)}));
+  // In-place accumulate: the accumulator register *is* the output register
+  // (paper Fig. 4c's `+=`), so Init loads C itself and the Inspector must
+  // bind the accumulator to the operation's output buffer.
+  ExprRef Init = makeLoad(C, {makeVar(I), makeVar(J)});
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {K}, Init);
+  return ComputeOp::create(Name, C, {I, J}, Body, /*InPlaceUpdate=*/true);
+}
+
+} // namespace
+
+TensorIntrinsicRef unit::makeVNNIVpdpbusd() {
+  // Cascade Lake: VNNI on ports 0 and 5, latency ~5 cycles, 64 MACs/instr.
+  IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/64.0};
+  return std::make_shared<TensorIntrinsic>(
+      "vnni.vpdpbusd", "llvm.x86.avx512.vpdpbusd.512", TargetKind::X86,
+      makeDotSemantics("vnni.vpdpbusd", /*Lanes=*/16, /*Reduce=*/4,
+                       DataType::u8(), DataType::i8()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeVNNIVpdpbusd256() {
+  IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/32.0};
+  return std::make_shared<TensorIntrinsic>(
+      "vnni.vpdpbusd.256", "llvm.x86.avx512.vpdpbusd.256", TargetKind::X86,
+      makeDotSemantics("vnni.vpdpbusd.256", /*Lanes=*/8, /*Reduce=*/4,
+                       DataType::u8(), DataType::i8()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeVNNIVpdpbusd128() {
+  IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/16.0};
+  return std::make_shared<TensorIntrinsic>(
+      "vnni.vpdpbusd.128", "llvm.x86.avx512.vpdpbusd.128", TargetKind::X86,
+      makeDotSemantics("vnni.vpdpbusd.128", /*Lanes=*/4, /*Reduce=*/4,
+                       DataType::u8(), DataType::i8()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeAVX512Vpdpwssd() {
+  IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/32.0};
+  return std::make_shared<TensorIntrinsic>(
+      "avx512.vpdpwssd", "llvm.x86.avx512.vpdpwssd.512", TargetKind::X86,
+      makeDotSemantics("avx512.vpdpwssd", /*Lanes=*/16, /*Reduce=*/2,
+                       DataType::i16(), DataType::i16()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeARMSdot() {
+  // Neoverse N1 (Graviton2): SDOT latency 3, two ASIMD pipes, 16 MACs.
+  IntrinsicCost Cost{/*LatencyCycles=*/3.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/16.0};
+  return std::make_shared<TensorIntrinsic>(
+      "arm.sdot", "llvm.arm.neon.sdot.v4i32.v16i8", TargetKind::ARM,
+      makeDotSemantics("arm.sdot", /*Lanes=*/4, /*Reduce=*/4, DataType::i8(),
+                       DataType::i8()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeARMUdot() {
+  IntrinsicCost Cost{/*LatencyCycles=*/3.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/16.0};
+  return std::make_shared<TensorIntrinsic>(
+      "arm.udot", "llvm.arm.neon.udot.v4i32.v16i8", TargetKind::ARM,
+      makeDotSemantics("arm.udot", /*Lanes=*/4, /*Reduce=*/4, DataType::u8(),
+                       DataType::u8()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeWMMAF16() {
+  // V100: one wmma.m16n16k16 performs 4096 MACs; the dependent-reuse
+  // latency of the warp-level HMMA sequence is ~64 cycles — hidden by the
+  // p x p outer-product accumulation of Fig. 6.
+  IntrinsicCost Cost{/*LatencyCycles=*/64.0, /*IssuePerCycle=*/0.25,
+                     /*MacsPerInstr=*/4096.0};
+  return std::make_shared<TensorIntrinsic>(
+      "wmma.m16n16k16.f16", "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+      TargetKind::NvidiaGPU,
+      makeWmmaSemantics("wmma.m16n16k16.f16", /*M=*/16, DataType::f16(),
+                        DataType::f32()),
+      Cost);
+}
+
+TensorIntrinsicRef unit::makeWMMAS8() {
+  IntrinsicCost Cost{/*LatencyCycles=*/64.0, /*IssuePerCycle=*/0.25,
+                     /*MacsPerInstr=*/4096.0};
+  return std::make_shared<TensorIntrinsic>(
+      "wmma.m16n16k16.s8", "llvm.nvvm.wmma.m16n16k16.mma.row.row.s8.s32",
+      TargetKind::NvidiaGPU,
+      makeWmmaSemantics("wmma.m16n16k16.s8", /*M=*/16, DataType::i8(),
+                        DataType::i32()),
+      Cost);
+}
+
+void unit::registerBuiltinIntrinsics(IntrinsicRegistry &Registry) {
+  // Widest-first within a family: inspectTarget returns matches in
+  // registration order and callers prefer the first.
+  Registry.add(makeVNNIVpdpbusd());
+  Registry.add(makeVNNIVpdpbusd256());
+  Registry.add(makeVNNIVpdpbusd128());
+  Registry.add(makeAVX512Vpdpwssd());
+  Registry.add(makeARMSdot());
+  Registry.add(makeARMUdot());
+  Registry.add(makeWMMAF16());
+  Registry.add(makeWMMAS8());
+}

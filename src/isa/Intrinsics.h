@@ -1,0 +1,56 @@
+//===- isa/Intrinsics.h - Built-in tensorized instructions -----------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructors for the built-in instructions of paper Fig. 4 plus the
+/// int8 Tensor Core and AVX-512 word-dot variants. Each builder writes the
+/// instruction's semantics in the tensor DSL, exactly mirroring the paper:
+///
+///   vnni.vpdpbusd : d[i:16] = c[i] + sum_{j<4} i32(u8 a[i*4+j])*i32(i8 b[..])
+///   avx512.vpdpwssd: 16 lanes of i16-pair dot products
+///   arm.sdot/udot : d[i:4]  = c[i] + sum_{j<4} i32(a[i*4+j])*i32(b[i*4+j])
+///   wmma.f16      : C[16,16] += f32(A[i,k]) * f32(B[k,j])   (in-place)
+///   wmma.s8       : C[16,16] += i32(A[i,k]) * i32(B[k,j])   (in-place)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_ISA_INTRINSICS_H
+#define UNIT_ISA_INTRINSICS_H
+
+#include "isa/TensorIntrinsic.h"
+
+namespace unit {
+
+/// Intel AVX-512 VNNI vpdpbusd (zmm): u8 x i8 -> i32, 16 lanes x 4 reduce.
+TensorIntrinsicRef makeVNNIVpdpbusd();
+
+/// AVX512-VL narrow variants of vpdpbusd (ymm/xmm): 8 and 4 lanes. They
+/// let the Inspector serve output-channel counts the 512-bit form cannot
+/// tile (the registry is searched widest-first).
+TensorIntrinsicRef makeVNNIVpdpbusd256();
+TensorIntrinsicRef makeVNNIVpdpbusd128();
+
+/// Intel AVX-512 vpdpwssd: i16 x i16 -> i32, 16 lanes x 2-wide reduce.
+TensorIntrinsicRef makeAVX512Vpdpwssd();
+
+/// ARM NEON sdot: i8 x i8 -> i32, 4 lanes x 4-wide reduce.
+TensorIntrinsicRef makeARMSdot();
+
+/// ARM NEON udot: u8 x u8 -> i32, 4 lanes x 4-wide reduce.
+TensorIntrinsicRef makeARMUdot();
+
+/// Nvidia Tensor Core wmma m16n16k16 fp16 -> fp32 (in-place accumulate).
+TensorIntrinsicRef makeWMMAF16();
+
+/// Nvidia Tensor Core wmma m16n16k16 s8 -> i32 (in-place accumulate).
+TensorIntrinsicRef makeWMMAS8();
+
+/// Registers all of the above into \p Registry.
+void registerBuiltinIntrinsics(IntrinsicRegistry &Registry);
+
+} // namespace unit
+
+#endif // UNIT_ISA_INTRINSICS_H

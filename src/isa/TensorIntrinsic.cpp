@@ -1,0 +1,79 @@
+//===- isa/TensorIntrinsic.cpp ---------------------------------------------===//
+
+#include "isa/TensorIntrinsic.h"
+
+#include "isa/Intrinsics.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+
+using namespace unit;
+
+const char *unit::targetName(TargetKind T) {
+  switch (T) {
+  case TargetKind::X86:
+    return "x86";
+  case TargetKind::ARM:
+    return "arm";
+  case TargetKind::NvidiaGPU:
+    return "nvgpu";
+  }
+  unit_unreachable("unknown target");
+}
+
+TensorIntrinsic::TensorIntrinsic(std::string Name, std::string LLVMIntrinsic,
+                                 TargetKind Target, ComputeOpRef Semantics,
+                                 IntrinsicCost Cost)
+    : Name(std::move(Name)), LLVMIntrinsic(std::move(LLVMIntrinsic)),
+      Target(Target), Semantics(std::move(Semantics)), Cost(Cost) {
+  assert(this->Semantics && "intrinsic needs semantics");
+  assert(!this->Name.empty() && "intrinsic needs a name");
+}
+
+int64_t TensorIntrinsic::outputLanes() const {
+  int64_t N = 1;
+  for (const IterVar &IV : Semantics->axes())
+    N *= IV->extent();
+  return N;
+}
+
+int64_t TensorIntrinsic::reduceWidth() const {
+  int64_t N = 1;
+  for (const IterVar &IV : Semantics->reduceAxes())
+    N *= IV->extent();
+  return N;
+}
+
+IntrinsicRegistry &IntrinsicRegistry::instance() {
+  static IntrinsicRegistry Registry;
+  static bool BuiltinsRegistered = false;
+  if (!BuiltinsRegistered) {
+    BuiltinsRegistered = true;
+    registerBuiltinIntrinsics(Registry);
+  }
+  return Registry;
+}
+
+void IntrinsicRegistry::add(TensorIntrinsicRef Intrinsic) {
+  assert(Intrinsic && "null intrinsic");
+  if (lookup(Intrinsic->name()))
+    reportFatalError("intrinsic '" + Intrinsic->name() +
+                     "' registered twice");
+  Intrinsics.push_back(std::move(Intrinsic));
+}
+
+TensorIntrinsicRef IntrinsicRegistry::lookup(const std::string &Name) const {
+  for (const TensorIntrinsicRef &I : Intrinsics)
+    if (I->name() == Name)
+      return I;
+  return nullptr;
+}
+
+std::vector<TensorIntrinsicRef>
+IntrinsicRegistry::forTarget(TargetKind T) const {
+  std::vector<TensorIntrinsicRef> Out;
+  for (const TensorIntrinsicRef &I : Intrinsics)
+    if (I->target() == T)
+      Out.push_back(I);
+  return Out;
+}

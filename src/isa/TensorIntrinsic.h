@@ -1,0 +1,106 @@
+//===- isa/TensorIntrinsic.h - Tensorized instruction abstraction ---------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unified semantics abstraction of paper §III.A: every tensorized
+/// instruction is described as a small tensor-DSL program (a ComputeOp)
+/// whose tensors stand for the instruction's registers. Integrating a new
+/// instruction means registering one of these objects — no new compiler.
+///
+/// The attached cost numbers feed the analytic machine model that stands
+/// in for real hardware in this reproduction (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_ISA_TENSORINTRINSIC_H
+#define UNIT_ISA_TENSORINTRINSIC_H
+
+#include "ir/ComputeOp.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace unit {
+
+/// Hardware platform of an instruction.
+enum class TargetKind : uint8_t { X86, ARM, NvidiaGPU };
+
+/// Returns "x86", "arm", or "nvgpu".
+const char *targetName(TargetKind T);
+
+/// Pipeline characteristics used by the performance model.
+struct IntrinsicCost {
+  /// Result-to-use latency in cycles (the RAW hazard the CPU tuner hides
+  /// by unrolling independent accumulators, paper §III.C).
+  double LatencyCycles = 4.0;
+  /// Instructions issued per cycle per core (or per SM tensor-core group).
+  double IssuePerCycle = 1.0;
+  /// Multiply-accumulate operations performed by one instruction.
+  double MacsPerInstr = 1.0;
+};
+
+/// One tensorized instruction: name, target, DSL semantics, and costs.
+class TensorIntrinsic {
+  std::string Name;          ///< Registry key, e.g. "vnni.vpdpbusd".
+  std::string LLVMIntrinsic; ///< Informational, e.g. "x86.avx512.vpdpbusd".
+  TargetKind Target;
+  ComputeOpRef Semantics;
+  IntrinsicCost Cost;
+
+public:
+  TensorIntrinsic(std::string Name, std::string LLVMIntrinsic,
+                  TargetKind Target, ComputeOpRef Semantics,
+                  IntrinsicCost Cost);
+
+  const std::string &name() const { return Name; }
+  const std::string &llvmIntrinsic() const { return LLVMIntrinsic; }
+  TargetKind target() const { return Target; }
+  const ComputeOpRef &semantics() const { return Semantics; }
+  const IntrinsicCost &cost() const { return Cost; }
+
+  /// Number of output lanes (product of data-parallel axis extents).
+  int64_t outputLanes() const;
+  /// Reduction width (product of reduce axis extents; 1 if none).
+  int64_t reduceWidth() const;
+  /// True for += instructions whose accumulator register is the output
+  /// register (Tensor Core, paper Fig. 4c).
+  bool accumulatesInPlace() const { return Semantics->isInPlaceUpdate(); }
+};
+
+using TensorIntrinsicRef = std::shared_ptr<const TensorIntrinsic>;
+
+/// Process-wide instruction registry. Built-ins (VNNI, DOT, WMMA, ...) are
+/// registered lazily on first access; user code may add its own (see
+/// examples/custom_intrinsic.cpp).
+class IntrinsicRegistry {
+  std::vector<TensorIntrinsicRef> Intrinsics;
+
+  IntrinsicRegistry() = default;
+
+public:
+  IntrinsicRegistry(const IntrinsicRegistry &) = delete;
+  IntrinsicRegistry &operator=(const IntrinsicRegistry &) = delete;
+
+  /// The singleton, with built-ins registered.
+  static IntrinsicRegistry &instance();
+
+  /// Registers \p Intrinsic; fatal-errors on duplicate names.
+  void add(TensorIntrinsicRef Intrinsic);
+
+  /// Finds by name; returns null when absent.
+  TensorIntrinsicRef lookup(const std::string &Name) const;
+
+  /// All instructions for one target, registration order.
+  std::vector<TensorIntrinsicRef> forTarget(TargetKind T) const;
+
+  /// All registered instructions.
+  const std::vector<TensorIntrinsicRef> &all() const { return Intrinsics; }
+};
+
+} // namespace unit
+
+#endif // UNIT_ISA_TENSORINTRINSIC_H

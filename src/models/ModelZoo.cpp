@@ -1,0 +1,340 @@
+//===- models/ModelZoo.cpp -------------------------------------------------===//
+
+#include "models/ModelZoo.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace unit;
+
+namespace {
+
+ConvLayer conv(const std::string &Name, int64_t InC, int64_t HW, int64_t OutC,
+               int64_t K, int64_t Stride, int64_t Pad) {
+  ConvLayer L;
+  L.Name = Name;
+  L.InC = InC;
+  L.InH = L.InW = HW;
+  L.OutC = OutC;
+  L.KH = L.KW = K;
+  L.Stride = Stride;
+  L.PadH = L.PadW = Pad;
+  return L;
+}
+
+ConvLayer convRect(const std::string &Name, int64_t InC, int64_t HW,
+                   int64_t OutC, int64_t KH, int64_t KW, int64_t PadH,
+                   int64_t PadW) {
+  ConvLayer L;
+  L.Name = Name;
+  L.InC = InC;
+  L.InH = L.InW = HW;
+  L.OutC = OutC;
+  L.KH = KH;
+  L.KW = KW;
+  L.Stride = 1;
+  L.PadH = PadH;
+  L.PadW = PadW;
+  return L;
+}
+
+ConvLayer dwConv(const std::string &Name, int64_t C, int64_t HW,
+                 int64_t Stride) {
+  ConvLayer L = conv(Name, C, HW, C, 3, Stride, 1);
+  L.Depthwise = true;
+  return L;
+}
+
+/// Shared ResNet stem: 7x7/2 then (after the 3x3/2 maxpool) 56x56x64.
+void addResnetStem(Model &M) {
+  M.addConv(conv("conv0", 3, 224, 64, 7, 2, 3));
+}
+
+/// One basic block (two 3x3 convs) + optional downsample.
+void addBasicBlock(Model &M, const std::string &Name, int64_t InC, int64_t HW,
+                   int64_t OutC, int64_t Stride) {
+  M.addConv(conv(Name + ".conv1", InC, HW, OutC, 3, Stride, 1));
+  M.addConv(conv(Name + ".conv2", OutC, HW / Stride, OutC, 3, 1, 1));
+  if (Stride != 1 || InC != OutC)
+    M.addConv(conv(Name + ".down", InC, HW, OutC, 1, Stride, 0));
+}
+
+/// One bottleneck block (1x1, 3x3, 1x1). \p StrideOn3x3 selects the v1b
+/// variant (paper §V.C's resnet-50_v1b).
+void addBottleneck(Model &M, const std::string &Name, int64_t InC, int64_t HW,
+                   int64_t Mid, int64_t OutC, int64_t Stride,
+                   bool StrideOn3x3) {
+  int64_t S1 = StrideOn3x3 ? 1 : Stride;
+  int64_t S2 = StrideOn3x3 ? Stride : 1;
+  M.addConv(conv(Name + ".conv1", InC, HW, Mid, 1, S1, 0));
+  M.addConv(conv(Name + ".conv2", Mid, HW / S1, Mid, 3, S2, 1));
+  M.addConv(conv(Name + ".conv3", Mid, HW / Stride, OutC, 1, 1, 0));
+  if (Stride != 1 || InC != OutC)
+    M.addConv(conv(Name + ".down", InC, HW, OutC, 1, Stride, 0));
+}
+
+Model makeResnetBottleneck(const std::string &Name,
+                           const std::vector<int> &BlocksPerStage,
+                           bool StrideOn3x3) {
+  Model M;
+  M.Name = Name;
+  addResnetStem(M);
+  int64_t HW = 56, InC = 64;
+  const int64_t Mids[4] = {64, 128, 256, 512};
+  for (int Stage = 0; Stage < 4; ++Stage) {
+    int64_t Mid = Mids[Stage], OutC = Mid * 4;
+    for (int B = 0; B < BlocksPerStage[static_cast<size_t>(Stage)]; ++B) {
+      int64_t Stride = (Stage > 0 && B == 0) ? 2 : 1;
+      addBottleneck(M, formatStr("s%d.b%d", Stage + 1, B), InC, HW, Mid, OutC,
+                    Stride, StrideOn3x3);
+      HW /= Stride;
+      InC = OutC;
+    }
+  }
+  M.addDense("fc", 2048, 1000);
+  return M;
+}
+
+/// BN-Inception module. Channel vector: {1x1, 3x3reduce, 3x3, dbl3x3reduce,
+/// dbl3x3a, dbl3x3b, poolproj}; zero disables a branch. \p Stride 2 drops
+/// the 1x1 and pool-proj branches (grid reduction modules).
+void addInceptionBnModule(Model &M, const std::string &Name, int64_t InC,
+                          int64_t HW, const std::vector<int64_t> &Ch,
+                          int64_t Stride) {
+  int64_t OutHW = HW / Stride;
+  if (Ch[0] > 0)
+    M.addConv(conv(Name + ".1x1", InC, HW, Ch[0], 1, 1, 0));
+  M.addConv(conv(Name + ".3x3r", InC, HW, Ch[1], 1, 1, 0));
+  M.addConv(conv(Name + ".3x3", Ch[1], HW, Ch[2], 3, Stride, 1));
+  M.addConv(conv(Name + ".d3x3r", InC, HW, Ch[3], 1, 1, 0));
+  M.addConv(conv(Name + ".d3x3a", Ch[3], HW, Ch[4], 3, 1, 1));
+  M.addConv(conv(Name + ".d3x3b", Ch[4], HW, Ch[5], 3, Stride, 1));
+  if (Ch[6] > 0)
+    M.addConv(conv(Name + ".proj", InC, OutHW, Ch[6], 1, 1, 0));
+}
+
+} // namespace
+
+Model unit::makeResnet18() {
+  Model M;
+  M.Name = "resnet-18";
+  addResnetStem(M);
+  addBasicBlock(M, "s1.b0", 64, 56, 64, 1);
+  addBasicBlock(M, "s1.b1", 64, 56, 64, 1);
+  addBasicBlock(M, "s2.b0", 64, 56, 128, 2);
+  addBasicBlock(M, "s2.b1", 128, 28, 128, 1);
+  addBasicBlock(M, "s3.b0", 128, 28, 256, 2);
+  addBasicBlock(M, "s3.b1", 256, 14, 256, 1);
+  addBasicBlock(M, "s4.b0", 256, 14, 512, 2);
+  addBasicBlock(M, "s4.b1", 512, 7, 512, 1);
+  M.addDense("fc", 512, 1000);
+  return M;
+}
+
+Model unit::makeResnet50() {
+  return makeResnetBottleneck("resnet-50", {3, 4, 6, 3},
+                              /*StrideOn3x3=*/false);
+}
+
+Model unit::makeResnet50V1b() {
+  return makeResnetBottleneck("resnet-50_v1b", {3, 4, 6, 3},
+                              /*StrideOn3x3=*/true);
+}
+
+Model unit::makeResnet101() {
+  return makeResnetBottleneck("resnet-101", {3, 4, 23, 3},
+                              /*StrideOn3x3=*/false);
+}
+
+Model unit::makeResnet152() {
+  return makeResnetBottleneck("resnet-152", {3, 8, 36, 3},
+                              /*StrideOn3x3=*/false);
+}
+
+Model unit::makeInceptionBN() {
+  Model M;
+  M.Name = "inception-bn";
+  M.addConv(conv("conv1", 3, 224, 64, 7, 2, 3));       // 112
+  M.addConv(conv("conv2red", 64, 56, 64, 1, 1, 0));    // after pool
+  M.addConv(conv("conv2", 64, 56, 192, 3, 1, 1));
+  // 28x28 modules.
+  addInceptionBnModule(M, "3a", 192, 28, {64, 64, 64, 64, 96, 96, 32}, 1);
+  addInceptionBnModule(M, "3b", 256, 28, {64, 64, 96, 64, 96, 96, 64}, 1);
+  addInceptionBnModule(M, "3c", 320, 28, {0, 128, 160, 64, 96, 96, 0}, 2);
+  // 14x14 modules.
+  addInceptionBnModule(M, "4a", 576, 14, {224, 64, 96, 96, 128, 128, 128}, 1);
+  addInceptionBnModule(M, "4b", 576, 14, {192, 96, 128, 96, 128, 128, 128}, 1);
+  addInceptionBnModule(M, "4c", 576, 14, {160, 128, 160, 128, 160, 160, 128},
+                       1);
+  addInceptionBnModule(M, "4d", 608, 14, {96, 128, 192, 160, 192, 192, 128},
+                       1);
+  addInceptionBnModule(M, "4e", 608, 14, {0, 128, 192, 192, 256, 256, 0}, 2);
+  // 7x7 modules.
+  addInceptionBnModule(M, "5a", 1056, 7, {352, 192, 320, 160, 224, 224, 128},
+                       1);
+  addInceptionBnModule(M, "5b", 1024, 7, {352, 192, 320, 192, 224, 224, 128},
+                       1);
+  M.addDense("fc", 1024, 1000);
+  return M;
+}
+
+Model unit::makeInceptionV3() {
+  Model M;
+  M.Name = "inception-v3";
+  M.addConv(conv("conv0", 3, 299, 32, 3, 2, 0));    // 149
+  M.addConv(conv("conv1", 32, 149, 32, 3, 1, 0));   // 147
+  M.addConv(conv("conv2", 32, 147, 64, 3, 1, 1));   // 147, then pool -> 73
+  M.addConv(conv("conv3", 64, 73, 80, 1, 1, 0));    // 73
+  M.addConv(conv("conv4", 80, 73, 192, 3, 1, 0));   // 71, then pool -> 35
+
+  // Mixed 5b/5c/5d at 35x35 (in 192/256/288).
+  auto Mixed5 = [&](const std::string &Name, int64_t InC, int64_t Proj) {
+    M.addConv(conv(Name + ".1x1", InC, 35, 64, 1, 1, 0));
+    M.addConv(conv(Name + ".5x5r", InC, 35, 48, 1, 1, 0));
+    M.addConv(conv(Name + ".5x5", 48, 35, 64, 5, 1, 2));
+    M.addConv(conv(Name + ".d3x3r", InC, 35, 64, 1, 1, 0));
+    M.addConv(conv(Name + ".d3x3a", 64, 35, 96, 3, 1, 1));
+    M.addConv(conv(Name + ".d3x3b", 96, 35, 96, 3, 1, 1));
+    M.addConv(conv(Name + ".proj", InC, 35, Proj, 1, 1, 0));
+  };
+  Mixed5("5b", 192, 32);
+  Mixed5("5c", 256, 64);
+  Mixed5("5d", 288, 64);
+
+  // Mixed 6a: grid reduction 35 -> 17 (Table I workload #1 lives here).
+  M.addConv(conv("6a.3x3", 288, 35, 384, 3, 2, 0));
+  M.addConv(conv("6a.d3x3r", 288, 35, 64, 1, 1, 0));
+  M.addConv(conv("6a.d3x3a", 64, 35, 96, 3, 1, 1));
+  M.addConv(conv("6a.d3x3b", 96, 35, 96, 3, 2, 0));
+
+  // Mixed 6b..6e at 17x17 with factorized 7x1/1x7 branches.
+  auto Mixed6 = [&](const std::string &Name, int64_t C7) {
+    int64_t InC = 768;
+    M.addConv(conv(Name + ".1x1", InC, 17, 192, 1, 1, 0));
+    M.addConv(conv(Name + ".7x7r", InC, 17, C7, 1, 1, 0));
+    M.addConv(convRect(Name + ".1x7", C7, 17, C7, 1, 7, 0, 3));
+    M.addConv(convRect(Name + ".7x1", C7, 17, 192, 7, 1, 3, 0));
+    M.addConv(conv(Name + ".d7x7r", InC, 17, C7, 1, 1, 0));
+    M.addConv(convRect(Name + ".d7x1a", C7, 17, C7, 7, 1, 3, 0));
+    M.addConv(convRect(Name + ".d1x7a", C7, 17, C7, 1, 7, 0, 3));
+    M.addConv(convRect(Name + ".d7x1b", C7, 17, C7, 7, 1, 3, 0));
+    M.addConv(convRect(Name + ".d1x7b", C7, 17, 192, 1, 7, 0, 3));
+    M.addConv(conv(Name + ".proj", InC, 17, 192, 1, 1, 0));
+  };
+  Mixed6("6b", 128);
+  Mixed6("6c", 160);
+  Mixed6("6d", 160);
+  Mixed6("6e", 192);
+
+  // Mixed 7a: grid reduction 17 -> 8.
+  M.addConv(conv("7a.3x3r", 768, 17, 192, 1, 1, 0));
+  M.addConv(conv("7a.3x3", 192, 17, 320, 3, 2, 0));
+  M.addConv(conv("7a.7x7r", 768, 17, 192, 1, 1, 0));
+  M.addConv(convRect("7a.1x7", 192, 17, 192, 1, 7, 0, 3));
+  M.addConv(convRect("7a.7x1", 192, 17, 192, 7, 1, 3, 0));
+  M.addConv(conv("7a.3x3b", 192, 17, 192, 3, 2, 0));
+
+  // Mixed 7b/7c at 8x8 (in 1280/2048).
+  auto Mixed7 = [&](const std::string &Name, int64_t InC) {
+    M.addConv(conv(Name + ".1x1", InC, 8, 320, 1, 1, 0));
+    M.addConv(conv(Name + ".3x3r", InC, 8, 384, 1, 1, 0));
+    M.addConv(convRect(Name + ".1x3", 384, 8, 384, 1, 3, 0, 1));
+    M.addConv(convRect(Name + ".3x1", 384, 8, 384, 3, 1, 1, 0));
+    M.addConv(conv(Name + ".d3x3r", InC, 8, 448, 1, 1, 0));
+    M.addConv(conv(Name + ".d3x3", 448, 8, 384, 3, 1, 1));
+    M.addConv(convRect(Name + ".d1x3", 384, 8, 384, 1, 3, 0, 1));
+    M.addConv(convRect(Name + ".d3x1", 384, 8, 384, 3, 1, 1, 0));
+    M.addConv(conv(Name + ".proj", InC, 8, 192, 1, 1, 0));
+  };
+  Mixed7("7b", 1280);
+  Mixed7("7c", 2048);
+
+  M.addDense("fc", 2048, 1000);
+  return M;
+}
+
+Model unit::makeMobilenetV1() {
+  Model M;
+  M.Name = "mobilenet-v1";
+  M.addConv(conv("conv0", 3, 224, 32, 3, 2, 1));
+  struct Step {
+    int64_t OutC, Stride;
+  };
+  const Step Steps[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                        {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                        {512, 1}, {1024, 2}, {1024, 1}};
+  int64_t C = 32, HW = 112;
+  int Idx = 0;
+  for (const Step &S : Steps) {
+    M.addConv(dwConv(formatStr("dw%d", Idx), C, HW, S.Stride));
+    HW /= S.Stride;
+    M.addConv(conv(formatStr("pw%d", Idx), C, HW, S.OutC, 1, 1, 0));
+    C = S.OutC;
+    ++Idx;
+  }
+  M.addDense("fc", 1024, 1000);
+  return M;
+}
+
+Model unit::makeMobilenetV2() {
+  Model M;
+  M.Name = "mobilenet-v2";
+  M.addConv(conv("conv0", 3, 224, 32, 3, 2, 1));
+  struct Block {
+    int64_t T, C, N, S;
+  };
+  const Block Blocks[] = {{1, 16, 1, 1},  {6, 24, 2, 2}, {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1}, {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  int64_t C = 32, HW = 112;
+  int Idx = 0;
+  for (const Block &B : Blocks) {
+    for (int64_t N = 0; N < B.N; ++N) {
+      int64_t Stride = N == 0 ? B.S : 1;
+      int64_t Expanded = C * B.T;
+      if (B.T != 1)
+        M.addConv(conv(formatStr("b%d.expand", Idx), C, HW, Expanded, 1, 1, 0));
+      M.addConv(dwConv(formatStr("b%d.dw", Idx), Expanded, HW, Stride));
+      HW /= Stride;
+      M.addConv(conv(formatStr("b%d.project", Idx), Expanded, HW, B.C, 1, 1, 0));
+      C = B.C;
+      ++Idx;
+    }
+  }
+  M.addConv(conv("conv_last", 320, 7, 1280, 1, 1, 0));
+  M.addDense("fc", 1280, 1000);
+  return M;
+}
+
+std::vector<Model> unit::paperModels() {
+  return {makeResnet18(),    makeResnet50(),   makeResnet50V1b(),
+          makeInceptionBN(), makeInceptionV3(), makeResnet101(),
+          makeResnet152(),   makeMobilenetV1(), makeMobilenetV2()};
+}
+
+std::vector<Conv3dLayer> unit::makeResnet18Conv3d() {
+  // Lift each distinct resnet-18 conv to 3-D: the square spatial grid
+  // becomes a cube with edge ~ the square root (clamped to >= kernel),
+  // mirroring the paper's manual conversion.
+  std::vector<Conv3dLayer> Out;
+  Model R18 = makeResnet18();
+  int Idx = 0;
+  for (const ConvLayer &L : R18.Convs) {
+    if (L.KH != L.KW || L.InH == 1)
+      continue; // Skip the dense layer.
+    Conv3dLayer C3;
+    C3.Name = formatStr("res18-3d.%d", Idx++);
+    C3.InC = L.InC;
+    int64_t Edge = 4;
+    while (Edge * Edge < L.InH)
+      Edge += 2;
+    C3.InD = C3.InH = C3.InW = Edge;
+    C3.OutC = L.OutC;
+    C3.K = L.KH;
+    C3.Stride = L.Stride;
+    C3.Pad = L.PadH;
+    Out.push_back(C3);
+  }
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- models/ModelZoo.h - The paper's nine CNN models ---------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Layer tables for the nine models of the paper's evaluation (§V.C, all
+/// from the MXNet Model Zoo): resnet-18/50/50_v1b/101/152, inception-bn,
+/// inception-v3, mobilenet-v1/v2. Only the conv/dense shapes matter to the
+/// compiler; the tables follow the published architectures, giving the
+/// ~148 distinct convolution workloads the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_MODELS_MODELZOO_H
+#define UNIT_MODELS_MODELZOO_H
+
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace unit {
+
+Model makeResnet18();
+Model makeResnet50();
+Model makeResnet50V1b(); ///< v1b: the stride lives on the 3x3, not the 1x1.
+Model makeResnet101();
+Model makeResnet152();
+Model makeInceptionBN();
+Model makeInceptionV3();
+Model makeMobilenetV1();
+Model makeMobilenetV2();
+
+/// The nine models in the paper's figure order.
+std::vector<Model> paperModels();
+
+/// Resnet-18's convolutions lifted to 3-D (paper §VI.C / Fig. 13): the
+/// spatial extent becomes a cube of roughly the square root of the 2-D
+/// extent so layer cost stays in a comparable range.
+std::vector<Conv3dLayer> makeResnet18Conv3d();
+
+} // namespace unit
+
+#endif // UNIT_MODELS_MODELZOO_H

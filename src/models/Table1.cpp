@@ -1,0 +1,43 @@
+//===- models/Table1.cpp ---------------------------------------------------===//
+
+#include "models/Table1.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace unit;
+
+std::vector<ConvLayer> unit::table1Workloads() {
+  // Columns of paper Table I: C, IHW, K, R=S, Stride, OHW. All sixteen use
+  // valid padding (IHW, R, Stride and OHW are mutually consistent).
+  struct Row {
+    int64_t C, IHW, K, R, Stride, OHW;
+  };
+  static const Row Rows[16] = {
+      {288, 35, 384, 3, 2, 17},  {160, 9, 224, 3, 1, 7},
+      {1056, 7, 192, 1, 1, 7},   {80, 73, 192, 3, 1, 71},
+      {128, 16, 128, 3, 1, 14},  {192, 16, 192, 3, 1, 14},
+      {256, 16, 256, 3, 1, 14},  {1024, 14, 512, 1, 1, 14},
+      {128, 16, 160, 3, 1, 14},  {576, 14, 192, 1, 1, 14},
+      {96, 16, 128, 3, 1, 14},   {1024, 14, 256, 1, 1, 14},
+      {576, 14, 128, 1, 1, 14},  {64, 29, 96, 3, 1, 27},
+      {64, 56, 128, 1, 2, 28},   {608, 14, 192, 1, 1, 14},
+  };
+
+  std::vector<ConvLayer> Out;
+  for (int I = 0; I < 16; ++I) {
+    const Row &R = Rows[I];
+    ConvLayer L;
+    L.Name = formatStr("table1.%d", I + 1);
+    L.InC = R.C;
+    L.InH = L.InW = R.IHW;
+    L.OutC = R.K;
+    L.KH = L.KW = R.R;
+    L.Stride = R.Stride;
+    L.PadH = L.PadW = 0;
+    assert(L.outH() == R.OHW && "Table I row is internally inconsistent");
+    Out.push_back(L);
+  }
+  return Out;
+}

@@ -1,0 +1,29 @@
+//===- models/Table1.h - The paper's 16 selected conv layers --------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 16 representative convolution workloads of paper Table I, selected
+/// from the 148 distinct shapes across the model zoo: diverse channels,
+/// spatial sizes, kernels, and strides. Workloads #1/#4 (CPU) and #1/#15
+/// (GPU) are the adversarial cases the paper analyzes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_MODELS_TABLE1_H
+#define UNIT_MODELS_TABLE1_H
+
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace unit {
+
+/// Returns the 16 Table I workloads in paper order (index 0 is layer #1).
+std::vector<ConvLayer> table1Workloads();
+
+} // namespace unit
+
+#endif // UNIT_MODELS_TABLE1_H

@@ -1,0 +1,237 @@
+//===- perf/CostModel.cpp --------------------------------------------------===//
+
+#include "perf/CostModel.h"
+
+#include "core/OperandGen.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace unit;
+
+KernelStats unit::analyzeTensorized(const TensorizePlan &Plan) {
+  const Schedule &S = *Plan.Sched;
+  const ComputeOp &Op = *S.op();
+  const TensorIntrinsic &Intr = *Plan.Match.Intrinsic;
+
+  KernelStats Stats;
+  Stats.Cost = Intr.cost();
+  Stats.MacsPerCall = Intr.cost().MacsPerInstr;
+
+  // Walk the leaves, skipping the tensorized inner loops (they are covered
+  // by one instruction invocation).
+  Stats.Calls = 1;
+  for (const IterVar &Leaf : S.leaves()) {
+    bool IsInner = std::find(Plan.InnerLoops.begin(), Plan.InnerLoops.end(),
+                             Leaf) != Plan.InnerLoops.end();
+    if (IsInner)
+      continue;
+    Stats.Calls *= static_cast<double>(Leaf->extent());
+    switch (S.annotation(Leaf)) {
+    case ForKind::Unrolled:
+      Stats.Unroll *= static_cast<double>(Leaf->extent());
+      break;
+    case ForKind::Parallel:
+    case ForKind::GpuBlockX:
+    case ForKind::GpuBlockY:
+      Stats.ParallelExtent *= static_cast<double>(Leaf->extent());
+      break;
+    case ForKind::GpuThreadX:
+    case ForKind::GpuThreadY:
+      if (Leaf->isReduce())
+        Stats.SplitK *= static_cast<double>(Leaf->extent());
+      else
+        Stats.ParallelExtent *= static_cast<double>(Leaf->extent());
+      break;
+    case ForKind::Serial:
+    case ForKind::Vectorized:
+      break;
+    }
+  }
+
+  // Residue guards and padding waste from imperfect splits.
+  for (const Schedule::SplitRel &R : S.splits()) {
+    if (!R.NeedsGuard)
+      continue;
+    Stats.HasResidueGuards = true;
+    double Padded =
+        static_cast<double>(R.Outer->extent()) * static_cast<double>(R.Factor);
+    Stats.UsefulFraction *= static_cast<double>(R.Parent->extent()) / Padded;
+  }
+
+  // Loads per invocation, from the operand-generation roles: a Broadcast
+  // or Vectorize axis costs one vector load, every Unroll axis multiplies
+  // the piece count. The accumulator stays register-resident across the
+  // reduction, so it is not charged per call.
+  VarSubst Roots = S.rootBindings();
+  ExprRef OutIdx = generateOutputIndex(Plan, Roots);
+  double Loads = 0;
+  for (const OperandBinding &B : Plan.Match.Iso.Bindings) {
+    if (B.IsAccumulator)
+      continue;
+    OperandInfo Info = generateOperand(Plan, B, Roots, OutIdx);
+    double Pieces = 1;
+    for (const auto &[Axis, Role] : Info.Roles)
+      if (Role == OperandAxisRole::Unroll)
+        Pieces *= static_cast<double>(Axis->extent());
+    Loads += Pieces;
+  }
+  Stats.LoadsPerCall = std::max(1.0, Loads);
+
+  // Memory footprints.
+  auto FootprintBytes = [](const TensorRef &T) {
+    return static_cast<double>(T->numElements()) * T->dtype().lanesBytes();
+  };
+  Stats.OutputBytes = FootprintBytes(Op.output());
+  const std::vector<TensorRef> &Inputs = Op.inputs();
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    // Convention: the last reduce-only operand acts like weights; a 2-input
+    // MAC op has activations first, weights second.
+    if (I + 1 == Inputs.size() && Inputs.size() >= 2)
+      Stats.WeightBytes += FootprintBytes(Inputs[I]);
+    else
+      Stats.InputBytes += FootprintBytes(Inputs[I]);
+  }
+  return Stats;
+}
+
+KernelStats unit::analyzeSimdFallback(const ComputeOpRef &Op,
+                                      double WideningFactor,
+                                      double ParallelExtent) {
+  KernelStats Stats;
+  double Macs = 1;
+  for (const IterVar &IV : Op->allAxes())
+    Macs *= static_cast<double>(IV->extent());
+  Stats.SimdMacs = Macs;
+  Stats.SimdElemBytes = Op->inputs().empty()
+                            ? 1.0
+                            : Op->inputs().front()->dtype().lanesBytes();
+  Stats.WideningFactor = WideningFactor;
+  Stats.ParallelExtent = ParallelExtent;
+  auto FootprintBytes = [](const TensorRef &T) {
+    return static_cast<double>(T->numElements()) * T->dtype().lanesBytes();
+  };
+  Stats.OutputBytes = FootprintBytes(Op->output());
+  for (const TensorRef &T : Op->inputs())
+    Stats.InputBytes += FootprintBytes(T);
+  return Stats;
+}
+
+namespace {
+
+/// Penalty for unrolled bodies that overflow the instruction cache or
+/// decoded-uop budget (paper §III.C: "If it is too large, it will cause
+/// I-cache misses").
+double iCachePenalty(double BodyBytes, const CpuMachine &M) {
+  if (BodyBytes <= M.ICacheBodyBudgetBytes)
+    return 1.0;
+  return 1.0 + 0.3 * std::log2(BodyBytes / M.ICacheBodyBudgetBytes);
+}
+
+double dramTrafficBytes(const KernelStats &S) {
+  // One-pass traffic plus read-modify-write of the accumulator output.
+  return 2.0 * S.OutputBytes + S.InputBytes + S.WeightBytes;
+}
+
+} // namespace
+
+double unit::cpuLatencySeconds(const KernelStats &S, const CpuMachine &M) {
+  double Chunks = std::max(1.0, S.ParallelExtent);
+  double Threads = std::min<double>(M.Cores, Chunks);
+
+  // Per-call cycles: the dependent accumulate chain is hidden by `Unroll`
+  // independent accumulators (paper §III.C CPU tuning).
+  double IssueCycles = 1.0 / S.Cost.IssuePerCycle;
+  double ChainCycles = S.Cost.LatencyCycles / std::max(1.0, S.Unroll);
+  double LoadCycles = S.LoadsPerCall / M.LoadPortsPerCycle;
+  double BodyCycles = std::max({IssueCycles, ChainCycles, LoadCycles});
+  if (S.HasResidueGuards)
+    BodyCycles *= 1.0 + M.ResidueBranchPenalty;
+
+  // Unrolled body footprint: each call is roughly (loads + 1 FMA-class
+  // instruction) of ~8 encoded bytes.
+  double BodyBytes = S.Unroll * (S.LoadsPerCall + 1.0) * 8.0;
+  BodyCycles *= iCachePenalty(BodyBytes, M);
+
+  // Imbalance-aware per-core work.
+  double CallsPerChunk = S.Calls / Chunks;
+  double PerCoreCalls = std::ceil(Chunks / Threads) * CallsPerChunk;
+  double ComputeCycles = PerCoreCalls * BodyCycles;
+
+  double OverheadCycles =
+      M.ForkJoinCycles + M.PerChunkSchedCycles * (Chunks / Threads);
+
+  double MemCycles = dramTrafficBytes(S) / M.DramBytesPerCycle;
+
+  double Cycles = std::max(ComputeCycles, MemCycles) + OverheadCycles;
+  return Cycles / (M.FreqGHz * 1e9);
+}
+
+double unit::simdLatencySeconds(const KernelStats &S, const CpuMachine &M) {
+  double LanesPerVector = M.SimdVectorBytes / S.SimdElemBytes;
+  double MacsPerCyclePerCore =
+      LanesPerVector * M.SimdPipes / std::max(1.0, S.WideningFactor);
+  double Chunks = std::max(1.0, S.ParallelExtent);
+  double Threads = std::min<double>(M.Cores, Chunks);
+  double PerCoreMacs = std::ceil(Chunks / Threads) * (S.SimdMacs / Chunks);
+  double ComputeCycles = PerCoreMacs / MacsPerCyclePerCore;
+  double OverheadCycles =
+      M.ForkJoinCycles + M.PerChunkSchedCycles * (Chunks / Threads);
+  double MemCycles = dramTrafficBytes(S) / M.DramBytesPerCycle;
+  double Cycles = std::max(ComputeCycles, MemCycles) + OverheadCycles;
+  return Cycles / (M.FreqGHz * 1e9);
+}
+
+double unit::gpuLatencySeconds(const KernelStats &S, const GpuMachine &M) {
+  double Blocks = std::max(1.0, S.ParallelExtent);
+  double SplitK = std::max(1.0, S.SplitK);
+  double Unroll = std::max(1.0, S.Unroll);
+
+  // A block's split-K segments are concurrent warps on one SM. With bs=1
+  // there are often too few blocks to cover the SMs; split-K manufactures
+  // extra warps to "keep the Tensor Cores busy" (paper §VI.B).
+  double TotalWarps = Blocks * SplitK;
+  double ActiveSMs = std::min<double>(M.SMs, Blocks);
+  double WarpsPerSM = TotalWarps / ActiveSMs;
+
+  // One warp issues a wmma every WarpIssueCycles at best; the dependent
+  // accumulate chain stretches that unless `Unroll` independent
+  // accumulators (the p x p outer product of Fig. 6) hide it.
+  double PerWarpInterval =
+      std::max(M.WarpIssueCycles, S.Cost.LatencyCycles / Unroll);
+  double SMRate =
+      std::min(M.WmmaPerCyclePerSM, WarpsPerSM / PerWarpInterval);
+  double ComputeCycles = S.Calls / (ActiveSMs * SMRate);
+
+  // Register pressure: every live accumulator tile holds a fragment in
+  // the warp's registers; past the budget, spills dominate (the paper's
+  // "any unrolling degree larger than 2 may overwhelm the registers").
+  double RegsPerWarp = M.RegsBase + Unroll * M.RegsPerAccumTile;
+  double SpillPenalty = 1.0;
+  if (RegsPerWarp > M.RegBudgetPerWarp)
+    SpillPenalty = 1.0 + 1.5 * (RegsPerWarp / M.RegBudgetPerWarp - 1.0);
+
+  // Split-K epilogue: cross-segment reduction through shared memory.
+  double SyncCycles = 0.0;
+  if (SplitK > 1)
+    SyncCycles = M.SyncBaseCycles + M.SyncPerSegmentCycles * SplitK;
+
+  // Achievable DRAM bandwidth scales with memory-level parallelism: a
+  // handful of resident warps cannot keep HBM busy, so split-K also lifts
+  // the memory roofline of low-occupancy kernels.
+  double BwUtilization =
+      std::min(1.0, TotalWarps / M.WarpsForPeakBandwidth);
+  double MemCycles = dramTrafficBytes(S) /
+                     (M.DramBytesPerCycle * std::max(0.15, BwUtilization));
+
+  double Cycles =
+      std::max(ComputeCycles, MemCycles) * SpillPenalty + SyncCycles;
+  return Cycles / (M.FreqGHz * 1e9) + M.KernelLaunchMicros * 1e-6;
+}
+
+double unit::elementwiseLatencySeconds(double Bytes,
+                                       double LaunchOverheadSeconds,
+                                       double BytesPerSecond) {
+  return LaunchOverheadSeconds + Bytes / BytesPerSecond;
+}

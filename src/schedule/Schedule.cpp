@@ -1,0 +1,215 @@
+//===- schedule/Schedule.cpp ----------------------------------------------===//
+
+#include "schedule/Schedule.h"
+
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace unit;
+
+const char *unit::forKindName(ForKind K) {
+  switch (K) {
+  case ForKind::Serial:
+    return "serial";
+  case ForKind::Parallel:
+    return "parallel";
+  case ForKind::Unrolled:
+    return "unroll";
+  case ForKind::Vectorized:
+    return "vectorize";
+  case ForKind::GpuBlockX:
+    return "blockIdx.x";
+  case ForKind::GpuBlockY:
+    return "blockIdx.y";
+  case ForKind::GpuThreadX:
+    return "threadIdx.x";
+  case ForKind::GpuThreadY:
+    return "threadIdx.y";
+  }
+  unit_unreachable("unknown ForKind");
+}
+
+Schedule::Schedule(ComputeOpRef OpIn) : Op(std::move(OpIn)) {
+  assert(Op && "null ComputeOp");
+  Leaves = Op->allAxes();
+}
+
+bool Schedule::isLeaf(const IterVar &IV) const {
+  return std::find(Leaves.begin(), Leaves.end(), IV) != Leaves.end();
+}
+
+std::pair<IterVar, IterVar> Schedule::split(const IterVar &IV,
+                                            int64_t Factor) {
+  auto It = std::find(Leaves.begin(), Leaves.end(), IV);
+  if (It == Leaves.end())
+    reportFatalError("split: '" + IV->name() + "' is not a leaf loop");
+  if (Factor <= 0)
+    reportFatalError(formatStr("split: factor %lld must be positive",
+                               static_cast<long long>(Factor)));
+  if (Factor > IV->extent())
+    Factor = IV->extent(); // Clamp: a factor beyond the extent is one tile.
+
+  int64_t OuterExtent = (IV->extent() + Factor - 1) / Factor;
+  bool NeedsGuard = IV->extent() % Factor != 0;
+  auto Outer = std::make_shared<IterVarNode>(IV->name() + ".o", OuterExtent,
+                                             IV->kind());
+  auto Inner =
+      std::make_shared<IterVarNode>(IV->name() + ".i", Factor, IV->kind());
+
+  // Replace IV in the leaf list with (outer, inner).
+  *It = Outer;
+  Leaves.insert(It + 1, Inner);
+  Splits.push_back({IV, Outer, Inner, Factor, NeedsGuard});
+  return {Outer, Inner};
+}
+
+IterVar Schedule::fuse(const IterVar &Outer, const IterVar &Inner) {
+  auto OuterIt = std::find(Leaves.begin(), Leaves.end(), Outer);
+  if (OuterIt == Leaves.end() || OuterIt + 1 == Leaves.end() ||
+      *(OuterIt + 1) != Inner)
+    reportFatalError("fuse: '" + Outer->name() + "' and '" + Inner->name() +
+                     "' must be adjacent leaf loops");
+  if (Outer->kind() != Inner->kind())
+    reportFatalError("fuse: cannot fuse a data-parallel loop with a "
+                     "reduce loop");
+
+  auto Fused = std::make_shared<IterVarNode>(
+      Outer->name() + "." + Inner->name() + ".fused",
+      Outer->extent() * Inner->extent(), Outer->kind());
+  *OuterIt = Fused;
+  Leaves.erase(OuterIt + 1);
+  Fuses.push_back({Outer, Inner, Fused});
+  return Fused;
+}
+
+void Schedule::reorder(const std::vector<IterVar> &Order) {
+  // Gather current positions of the listed leaves; the leaves then occupy
+  // those same positions in the requested order (TVM semantics).
+  std::vector<size_t> Positions;
+  for (const IterVar &IV : Order) {
+    auto It = std::find(Leaves.begin(), Leaves.end(), IV);
+    if (It == Leaves.end())
+      reportFatalError("reorder: '" + IV->name() + "' is not a leaf loop");
+    Positions.push_back(static_cast<size_t>(It - Leaves.begin()));
+  }
+  std::vector<size_t> Sorted = Positions;
+  std::sort(Sorted.begin(), Sorted.end());
+  if (std::adjacent_find(Sorted.begin(), Sorted.end()) != Sorted.end())
+    reportFatalError("reorder: duplicate loop in order list");
+  for (size_t I = 0; I < Order.size(); ++I)
+    Leaves[Sorted[I]] = Order[I];
+}
+
+void Schedule::annotate(const IterVar &IV, ForKind K) {
+  if (!isLeaf(IV))
+    reportFatalError("annotate: '" + IV->name() + "' is not a leaf loop");
+  if (K == ForKind::Parallel && IV->isReduce())
+    reportFatalError("annotate: reduce loop '" + IV->name() +
+                     "' cannot be CPU-parallel");
+  Annotations[IV.get()] = K;
+}
+
+void Schedule::bind(const IterVar &IV, ForKind GpuKind) {
+  if (GpuKind != ForKind::GpuBlockX && GpuKind != ForKind::GpuBlockY &&
+      GpuKind != ForKind::GpuThreadX && GpuKind != ForKind::GpuThreadY)
+    reportFatalError("bind: expected a GPU thread/block kind");
+  if (!isLeaf(IV))
+    reportFatalError("bind: '" + IV->name() + "' is not a leaf loop");
+  Annotations[IV.get()] = GpuKind;
+}
+
+void Schedule::pragma(const IterVar &IV, std::string Key, std::string Value) {
+  if (!isLeaf(IV))
+    reportFatalError("pragma: '" + IV->name() + "' is not a leaf loop");
+  Pragmas[IV.get()].emplace_back(std::move(Key), std::move(Value));
+}
+
+ForKind Schedule::annotation(const IterVar &IV) const {
+  auto It = Annotations.find(IV.get());
+  return It == Annotations.end() ? ForKind::Serial : It->second;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Schedule::pragmas(const IterVar &IV) const {
+  auto It = Pragmas.find(IV.get());
+  return It == Pragmas.end()
+             ? std::vector<std::pair<std::string, std::string>>{}
+             : It->second;
+}
+
+/// Resolves the value of every IterVar ever mentioned (leaves and interior
+/// nodes of the split/fuse tree) as expressions over leaf variables. Runs a
+/// fixpoint because relations may be recorded in any order relative to each
+/// other (a split of a fused loop, a fuse of split products, ...).
+static VarSubst resolveAllValues(const std::vector<IterVar> &Leaves,
+                                 const std::vector<Schedule::SplitRel> &Splits,
+                                 const std::vector<Schedule::FuseRel> &Fuses) {
+  VarSubst Values;
+  for (const IterVar &Leaf : Leaves)
+    Values[Leaf.get()] = makeVar(Leaf);
+
+  std::vector<bool> SplitDone(Splits.size(), false);
+  std::vector<bool> FuseDone(Fuses.size(), false);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (size_t I = 0; I < Splits.size(); ++I) {
+      if (SplitDone[I])
+        continue;
+      const Schedule::SplitRel &R = Splits[I];
+      auto OuterIt = Values.find(R.Outer.get());
+      auto InnerIt = Values.find(R.Inner.get());
+      if (OuterIt == Values.end() || InnerIt == Values.end())
+        continue;
+      Values[R.Parent.get()] =
+          OuterIt->second * makeIntImm(R.Factor) + InnerIt->second;
+      SplitDone[I] = true;
+      Progress = true;
+    }
+    for (size_t I = 0; I < Fuses.size(); ++I) {
+      if (FuseDone[I])
+        continue;
+      const Schedule::FuseRel &R = Fuses[I];
+      auto FusedIt = Values.find(R.Fused.get());
+      if (FusedIt == Values.end())
+        continue;
+      ExprRef InnerExtent = makeIntImm(R.Inner->extent());
+      Values[R.Outer.get()] = FusedIt->second / InnerExtent;
+      Values[R.Inner.get()] = FusedIt->second % InnerExtent;
+      FuseDone[I] = true;
+      Progress = true;
+    }
+  }
+  return Values;
+}
+
+VarSubst Schedule::rootBindings() const {
+  VarSubst Values = resolveAllValues(Leaves, Splits, Fuses);
+  VarSubst Roots;
+  for (const IterVar &IV : Op->allAxes()) {
+    auto It = Values.find(IV.get());
+    assert(It != Values.end() && "unresolved root axis");
+    Roots[IV.get()] = It->second;
+  }
+  return Roots;
+}
+
+std::vector<ExprRef> Schedule::residuePredicates() const {
+  VarSubst Values = resolveAllValues(Leaves, Splits, Fuses);
+  std::vector<ExprRef> Preds;
+  for (const SplitRel &R : Splits) {
+    if (!R.NeedsGuard)
+      continue;
+    auto It = Values.find(R.Parent.get());
+    assert(It != Values.end() && "unresolved guarded parent");
+    // `parent < extent`, encoded as a Pure builtin call; the lowering wraps
+    // it in `likely(...)` to mirror TVM's residue guards.
+    Preds.push_back(makeCall("lt", CallKind::Pure,
+                             {It->second, makeIntImm(R.Parent->extent())},
+                             DataType::i32()));
+  }
+  return Preds;
+}

@@ -1,0 +1,61 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style. Node classes expose a
+/// `static bool classof(const Base *)` predicate keyed on a Kind tag; these
+/// templates provide checked downcasts without compiler RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SUPPORT_CASTING_H
+#define UNIT_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <memory>
+
+namespace unit {
+
+/// Returns true if \p Val is an instance of type To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast; asserts that \p Val is an instance of To.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast; returns null when \p Val is not an instance of To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null argument.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Convenience overloads so call sites can pass shared_ptr handles directly.
+template <typename To, typename From>
+bool isa(const std::shared_ptr<From> &Val) {
+  return isa<To>(Val.get());
+}
+template <typename To, typename From>
+const To *cast(const std::shared_ptr<From> &Val) {
+  return cast<To>(Val.get());
+}
+template <typename To, typename From>
+const To *dyn_cast(const std::shared_ptr<From> &Val) {
+  return dyn_cast<To>(Val.get());
+}
+
+} // namespace unit
+
+#endif // UNIT_SUPPORT_CASTING_H

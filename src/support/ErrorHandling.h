@@ -1,0 +1,34 @@
+//===- support/ErrorHandling.h - Fatal errors and unreachable ------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting helpers. The library does not use C++ exceptions;
+/// unrecoverable conditions abort with a diagnostic, matching LLVM practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SUPPORT_ERRORHANDLING_H
+#define UNIT_SUPPORT_ERRORHANDLING_H
+
+#include <string>
+
+namespace unit {
+
+/// Prints "fatal error: <Msg>" to stderr and aborts. Used for conditions
+/// triggered by bad user input (malformed DSL programs, shape mismatches).
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+/// Internal-invariant violation; prints location and aborts.
+[[noreturn]] void unitUnreachableImpl(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace unit
+
+/// Marks a point in code that must never execute.
+#define unit_unreachable(MSG)                                                  \
+  ::unit::unitUnreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // UNIT_SUPPORT_ERRORHANDLING_H

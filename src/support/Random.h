@@ -1,0 +1,51 @@
+//===- support/Random.h - Deterministic PRNG for tests/workloads ---------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic random number generator. Tests and
+/// workload generators must be reproducible across runs and platforms, so
+/// we avoid std::mt19937's distribution non-portability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SUPPORT_RANDOM_H
+#define UNIT_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace unit {
+
+/// Deterministic 64-bit PRNG (SplitMix64, Steele et al.).
+class SplitMix64 {
+  uint64_t State;
+
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  int64_t uniform(int64_t Lo, int64_t Hi) {
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniformReal() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+} // namespace unit
+
+#endif // UNIT_SUPPORT_RANDOM_H

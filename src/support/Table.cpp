@@ -1,0 +1,52 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace unit;
+
+std::string Table::str() const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  auto Render = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < NumCols; ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : "";
+      Line += padRight(Cell, Widths[I]);
+      if (I + 1 != NumCols)
+        Line += "  ";
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = Render(Header);
+  size_t RuleLen = 0;
+  for (size_t I = 0; I < NumCols; ++I)
+    RuleLen += Widths[I] + (I + 1 != NumCols ? 2 : 0);
+  Out += std::string(RuleLen, '-') + "\n";
+  for (const auto &Row : Rows)
+    Out += Render(Row);
+  return Out;
+}
+
+void Table::print() const {
+  std::string S = str();
+  std::fwrite(S.data(), 1, S.size(), stdout);
+}

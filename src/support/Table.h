@@ -1,0 +1,42 @@
+//===- support/Table.h - ASCII table rendering for bench output ----------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small column-aligned ASCII table used by every bench binary to print
+/// the rows/series the paper's figures plot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SUPPORT_TABLE_H
+#define UNIT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace unit {
+
+/// Column-aligned ASCII table builder.
+class Table {
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+
+public:
+  explicit Table(std::vector<std::string> HeaderCells)
+      : Header(std::move(HeaderCells)) {}
+
+  /// Appends a row; missing cells render empty, extra cells are kept.
+  void addRow(std::vector<std::string> Cells) { Rows.push_back(std::move(Cells)); }
+
+  /// Renders the table (header, separator, rows), one trailing newline.
+  std::string str() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+};
+
+} // namespace unit
+
+#endif // UNIT_SUPPORT_TABLE_H

@@ -1,0 +1,40 @@
+//===- tir/Lower.h - ComputeOp + Schedule -> tensor IR --------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a scheduled ComputeOp into imperative tensor IR:
+///
+///   * an initialization nest over the output (skipped for in-place-update
+///     ops, whose accumulator is the live output buffer), then
+///   * the main nest following the schedule's leaf order, where the store
+///     accumulates `out = combine(out, source)` for reductions,
+///   * with every multi-dimensional access flattened to row-major element
+///     offsets, residue guards wrapped in `likely`, loop annotations and
+///     pragmas materialized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TIR_LOWER_H
+#define UNIT_TIR_LOWER_H
+
+#include "schedule/Schedule.h"
+#include "tir/Stmt.h"
+
+namespace unit {
+
+/// Lowers \p S to tensor IR. Fatal-errors on malformed schedules.
+StmtRef lower(const Schedule &S);
+
+/// Flattens one DSL-level multi-index load into a single row-major index.
+/// Exposed for the Replacer, which builds operand expressions directly.
+ExprRef flattenLoad(const LoadNode *Load);
+
+/// Row-major flat index expression for \p Buf with \p Indices.
+ExprRef flattenIndex(const TensorRef &Buf, const std::vector<ExprRef> &Indices);
+
+} // namespace unit
+
+#endif // UNIT_TIR_LOWER_H

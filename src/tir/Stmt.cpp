@@ -1,0 +1,49 @@
+//===- tir/Stmt.cpp --------------------------------------------------------===//
+
+#include "tir/Stmt.h"
+
+#include <cassert>
+
+using namespace unit;
+
+StmtNode::~StmtNode() = default;
+
+StmtRef unit::makeFor(IterVar LoopVar, ForKind Annotation, StmtRef Body) {
+  assert(LoopVar && Body && "null For components");
+  return std::make_shared<ForNode>(std::move(LoopVar), Annotation,
+                                   std::move(Body));
+}
+
+StmtRef unit::makeStore(TensorRef Buf, ExprRef Index, ExprRef Value) {
+  assert(Buf && Index && Value && "null Store components");
+  assert(Index->dtype().lanes() == Value->dtype().lanes() &&
+         "store index and value lane counts must match");
+  assert(Value->dtype().sameScalarType(Buf->dtype()) &&
+         "store value scalar type must match the buffer");
+  return std::make_shared<StoreNode>(std::move(Buf), std::move(Index),
+                                     std::move(Value));
+}
+
+StmtRef unit::makeSeq(std::vector<StmtRef> Stmts) {
+  assert(!Stmts.empty() && "empty sequence");
+  if (Stmts.size() == 1)
+    return Stmts.front();
+  return std::make_shared<SeqNode>(std::move(Stmts));
+}
+
+StmtRef unit::makeIfThenElse(ExprRef Cond, StmtRef Then, StmtRef Else) {
+  assert(Cond && Then && "null If components");
+  return std::make_shared<IfThenElseNode>(std::move(Cond), std::move(Then),
+                                          std::move(Else));
+}
+
+StmtRef unit::makePragma(std::string Key, std::string Value, StmtRef Body) {
+  assert(Body && "null Pragma body");
+  return std::make_shared<PragmaNode>(std::move(Key), std::move(Value),
+                                      std::move(Body));
+}
+
+StmtRef unit::makeEvaluate(ExprRef Value) {
+  assert(Value && "null Evaluate value");
+  return std::make_shared<EvaluateNode>(std::move(Value));
+}

@@ -1,0 +1,147 @@
+//===- tir/Stmt.h - Imperative tensor IR -----------------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tensor IR of paper §II.C.3: an imperative loop program with two
+/// constraints that enable strong analysis assumptions — every loop is
+/// canonical (0..extent-1 step 1) and every buffer access is restrict
+/// (no aliasing between distinct tensors). Statements reference the same
+/// expression nodes as the DSL, but all loads/stores are flattened to a
+/// single (possibly vector) element index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TIR_STMT_H
+#define UNIT_TIR_STMT_H
+
+#include "ir/Expr.h"
+#include "schedule/Schedule.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace unit {
+
+class StmtNode;
+using StmtRef = std::shared_ptr<const StmtNode>;
+
+/// Base of all statements.
+class StmtNode {
+public:
+  enum class Kind : uint8_t { For, Store, Seq, IfThenElse, Pragma, Evaluate };
+
+private:
+  const Kind K;
+
+protected:
+  explicit StmtNode(Kind K) : K(K) {}
+
+public:
+  virtual ~StmtNode();
+  Kind kind() const { return K; }
+};
+
+/// Canonical counted loop. Extent comes from the loop variable.
+class ForNode : public StmtNode {
+public:
+  const IterVar LoopVar;
+  const ForKind Annotation;
+  const StmtRef Body;
+
+  ForNode(IterVar LoopVar, ForKind Annotation, StmtRef Body)
+      : StmtNode(Kind::For), LoopVar(std::move(LoopVar)),
+        Annotation(Annotation), Body(std::move(Body)) {}
+
+  int64_t extent() const { return LoopVar->extent(); }
+
+  static bool classof(const StmtNode *S) { return S->kind() == Kind::For; }
+};
+
+/// Buffer write with a flat element index; vector stores carry a vector
+/// index (Ramp/Concat) whose lane count matches the value.
+class StoreNode : public StmtNode {
+public:
+  const TensorRef Buf;
+  const ExprRef Index;
+  const ExprRef Value;
+
+  StoreNode(TensorRef Buf, ExprRef Index, ExprRef Value)
+      : StmtNode(Kind::Store), Buf(std::move(Buf)), Index(std::move(Index)),
+        Value(std::move(Value)) {}
+
+  static bool classof(const StmtNode *S) { return S->kind() == Kind::Store; }
+};
+
+/// Statement sequence.
+class SeqNode : public StmtNode {
+public:
+  const std::vector<StmtRef> Stmts;
+
+  explicit SeqNode(std::vector<StmtRef> Stmts)
+      : StmtNode(Kind::Seq), Stmts(std::move(Stmts)) {}
+
+  static bool classof(const StmtNode *S) { return S->kind() == Kind::Seq; }
+};
+
+/// Conditional; Else may be null. Residue guards lower to
+/// `if (likely(lt(i, extent)))` — the branch whose cost the paper blames
+/// for CPU workloads #1 and #4.
+class IfThenElseNode : public StmtNode {
+public:
+  const ExprRef Cond;
+  const StmtRef Then;
+  const StmtRef Else; ///< May be null.
+
+  IfThenElseNode(ExprRef Cond, StmtRef Then, StmtRef Else)
+      : StmtNode(Kind::IfThenElse), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  static bool classof(const StmtNode *S) {
+    return S->kind() == Kind::IfThenElse;
+  }
+};
+
+/// Key/value annotation region; `{"tensorize", <intrinsic>}` marks the loop
+/// nest the Replacer rewrites (paper Fig. 5c's `#pragma tensorize`).
+class PragmaNode : public StmtNode {
+public:
+  const std::string Key;
+  const std::string Value;
+  const StmtRef Body;
+
+  PragmaNode(std::string Key, std::string Value, StmtRef Body)
+      : StmtNode(Kind::Pragma), Key(std::move(Key)), Value(std::move(Value)),
+        Body(std::move(Body)) {}
+
+  static bool classof(const StmtNode *S) { return S->kind() == Kind::Pragma; }
+};
+
+/// Expression evaluated for effect.
+class EvaluateNode : public StmtNode {
+public:
+  const ExprRef Value;
+
+  explicit EvaluateNode(ExprRef Value)
+      : StmtNode(Kind::Evaluate), Value(std::move(Value)) {}
+
+  static bool classof(const StmtNode *S) {
+    return S->kind() == Kind::Evaluate;
+  }
+};
+
+// Factories.
+StmtRef makeFor(IterVar LoopVar, ForKind Annotation, StmtRef Body);
+StmtRef makeStore(TensorRef Buf, ExprRef Index, ExprRef Value);
+StmtRef makeSeq(std::vector<StmtRef> Stmts);
+StmtRef makeIfThenElse(ExprRef Cond, StmtRef Then, StmtRef Else = nullptr);
+StmtRef makePragma(std::string Key, std::string Value, StmtRef Body);
+StmtRef makeEvaluate(ExprRef Value);
+
+} // namespace unit
+
+#endif // UNIT_TIR_STMT_H

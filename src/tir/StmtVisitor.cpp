@@ -1,0 +1,123 @@
+//===- tir/StmtVisitor.cpp -------------------------------------------------===//
+
+#include "tir/StmtVisitor.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace unit;
+
+StmtVisitor::~StmtVisitor() = default;
+StmtMutator::~StmtMutator() = default;
+
+void StmtVisitor::visit(const StmtRef &S) {
+  switch (S->kind()) {
+  case StmtNode::Kind::For:
+    return visitFor(cast<ForNode>(S));
+  case StmtNode::Kind::Store:
+    return visitStore(cast<StoreNode>(S));
+  case StmtNode::Kind::Seq:
+    return visitSeq(cast<SeqNode>(S));
+  case StmtNode::Kind::IfThenElse:
+    return visitIfThenElse(cast<IfThenElseNode>(S));
+  case StmtNode::Kind::Pragma:
+    return visitPragma(cast<PragmaNode>(S));
+  case StmtNode::Kind::Evaluate:
+    return visitEvaluate(cast<EvaluateNode>(S));
+  }
+  unit_unreachable("unknown statement kind");
+}
+
+void StmtVisitor::visitFor(const ForNode *N) { visit(N->Body); }
+
+void StmtVisitor::visitStore(const StoreNode *N) {
+  visitExpr(N->Index);
+  visitExpr(N->Value);
+}
+
+void StmtVisitor::visitSeq(const SeqNode *N) {
+  for (const StmtRef &S : N->Stmts)
+    visit(S);
+}
+
+void StmtVisitor::visitIfThenElse(const IfThenElseNode *N) {
+  visitExpr(N->Cond);
+  visit(N->Then);
+  if (N->Else)
+    visit(N->Else);
+}
+
+void StmtVisitor::visitPragma(const PragmaNode *N) { visit(N->Body); }
+
+void StmtVisitor::visitEvaluate(const EvaluateNode *N) {
+  visitExpr(N->Value);
+}
+
+StmtRef StmtMutator::mutate(const StmtRef &S) {
+  switch (S->kind()) {
+  case StmtNode::Kind::For:
+    return mutateFor(S, cast<ForNode>(S));
+  case StmtNode::Kind::Store:
+    return mutateStore(S, cast<StoreNode>(S));
+  case StmtNode::Kind::Seq:
+    return mutateSeq(S, cast<SeqNode>(S));
+  case StmtNode::Kind::IfThenElse:
+    return mutateIfThenElse(S, cast<IfThenElseNode>(S));
+  case StmtNode::Kind::Pragma:
+    return mutatePragma(S, cast<PragmaNode>(S));
+  case StmtNode::Kind::Evaluate:
+    return mutateEvaluate(S, cast<EvaluateNode>(S));
+  }
+  unit_unreachable("unknown statement kind");
+}
+
+StmtRef StmtMutator::mutateFor(const StmtRef &S, const ForNode *N) {
+  StmtRef Body = mutate(N->Body);
+  if (Body == N->Body)
+    return S;
+  return makeFor(N->LoopVar, N->Annotation, std::move(Body));
+}
+
+StmtRef StmtMutator::mutateStore(const StmtRef &S, const StoreNode *N) {
+  ExprRef Index = mutateExpr(N->Index);
+  ExprRef Value = mutateExpr(N->Value);
+  if (Index == N->Index && Value == N->Value)
+    return S;
+  return makeStore(N->Buf, std::move(Index), std::move(Value));
+}
+
+StmtRef StmtMutator::mutateSeq(const StmtRef &S, const SeqNode *N) {
+  std::vector<StmtRef> Stmts;
+  Stmts.reserve(N->Stmts.size());
+  bool Changed = false;
+  for (const StmtRef &X : N->Stmts) {
+    Stmts.push_back(mutate(X));
+    Changed |= Stmts.back() != X;
+  }
+  if (!Changed)
+    return S;
+  return makeSeq(std::move(Stmts));
+}
+
+StmtRef StmtMutator::mutateIfThenElse(const StmtRef &S,
+                                      const IfThenElseNode *N) {
+  ExprRef Cond = mutateExpr(N->Cond);
+  StmtRef Then = mutate(N->Then);
+  StmtRef Else = N->Else ? mutate(N->Else) : nullptr;
+  if (Cond == N->Cond && Then == N->Then && Else == N->Else)
+    return S;
+  return makeIfThenElse(std::move(Cond), std::move(Then), std::move(Else));
+}
+
+StmtRef StmtMutator::mutatePragma(const StmtRef &S, const PragmaNode *N) {
+  StmtRef Body = mutate(N->Body);
+  if (Body == N->Body)
+    return S;
+  return makePragma(N->Key, N->Value, std::move(Body));
+}
+
+StmtRef StmtMutator::mutateEvaluate(const StmtRef &S, const EvaluateNode *N) {
+  ExprRef Value = mutateExpr(N->Value);
+  if (Value == N->Value)
+    return S;
+  return makeEvaluate(std::move(Value));
+}

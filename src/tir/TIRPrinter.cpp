@@ -1,0 +1,69 @@
+//===- tir/TIRPrinter.cpp --------------------------------------------------===//
+
+#include "tir/TIRPrinter.h"
+
+#include "ir/Printer.h"
+#include "support/StringUtils.h"
+#include "tir/StmtVisitor.h"
+
+using namespace unit;
+
+namespace {
+
+class Printer : public StmtVisitor {
+public:
+  std::string Out;
+  unsigned Indent = 0;
+
+  void line(const std::string &S) {
+    Out += std::string(Indent * 2, ' ') + S + "\n";
+  }
+
+  void visitFor(const ForNode *N) override {
+    std::string Anno;
+    if (N->Annotation != ForKind::Serial)
+      Anno = std::string(" // ") + forKindName(N->Annotation);
+    line(formatStr("for (%s = 0; %s < %lld; ++%s)%s",
+                   N->LoopVar->name().c_str(), N->LoopVar->name().c_str(),
+                   static_cast<long long>(N->extent()),
+                   N->LoopVar->name().c_str(), Anno.c_str()));
+    ++Indent;
+    visit(N->Body);
+    --Indent;
+  }
+
+  void visitStore(const StoreNode *N) override {
+    line(N->Buf->name() + "[" + exprToString(N->Index) +
+         "] = " + exprToString(N->Value) + ";");
+  }
+
+  void visitIfThenElse(const IfThenElseNode *N) override {
+    line("if (" + exprToString(N->Cond) + ")");
+    ++Indent;
+    visit(N->Then);
+    --Indent;
+    if (N->Else) {
+      line("else");
+      ++Indent;
+      visit(N->Else);
+      --Indent;
+    }
+  }
+
+  void visitPragma(const PragmaNode *N) override {
+    line("#pragma " + N->Key + " " + N->Value);
+    visit(N->Body);
+  }
+
+  void visitEvaluate(const EvaluateNode *N) override {
+    line(exprToString(N->Value) + ";");
+  }
+};
+
+} // namespace
+
+std::string unit::stmtToString(const StmtRef &S) {
+  Printer P;
+  P.visit(S);
+  return P.Out;
+}

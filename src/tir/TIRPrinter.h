@@ -1,0 +1,27 @@
+//===- tir/TIRPrinter.h - Tensor IR pretty-printing ------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Indented text rendering of tensor IR, used by diagnostics, the example
+/// binaries' stage dumps, and golden tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TIR_TIRPRINTER_H
+#define UNIT_TIR_TIRPRINTER_H
+
+#include "tir/Stmt.h"
+
+#include <string>
+
+namespace unit {
+
+/// Renders \p S as indented pseudo-C.
+std::string stmtToString(const StmtRef &S);
+
+} // namespace unit
+
+#endif // UNIT_TIR_TIRPRINTER_H

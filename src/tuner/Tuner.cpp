@@ -1,0 +1,214 @@
+//===- tuner/Tuner.cpp -----------------------------------------------------===//
+
+#include "tuner/Tuner.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace unit;
+
+/// Tile factor for unrolling a loop of \p Extent with \p Budget: prefer
+/// the largest exact divisor (no residue guard) unless it wastes more than
+/// half the budget, in which case take the guarded full budget — prime
+/// extents like the 17x17 and 71x71 outputs of Table I workloads #1/#4
+/// have no usable divisor and inherit `likely` guards (paper §VI.B).
+static int64_t chooseUnrollFactor(int64_t Budget, int64_t Extent) {
+  if (Budget >= Extent)
+    return Extent;
+  int64_t Divisor = 1;
+  for (int64_t F = 2; F <= Budget; ++F)
+    if (Extent % F == 0)
+      Divisor = F;
+  return 2 * Divisor >= Budget ? Divisor : Budget;
+}
+
+TensorizePlan unit::buildCpuPlan(const ComputeOpRef &Op,
+                                 const MatchResult &Match,
+                                 const CpuTuningPair &Pair) {
+  TensorizePlan Plan = reorganizeLoops(Op, Match);
+  Schedule &S = *Plan.Sched;
+
+  // --- Second breaking point: tile the innermost data-parallel outer
+  // loops to an unroll budget and sink them below the reduction (Fig. 7).
+  std::vector<IterVar> RemainingDP = Plan.OuterDataParallel;
+  std::vector<IterVar> UnrollParts;
+  int64_t Budget = std::max<int64_t>(1, Pair.UnrollFactor);
+  for (int I = static_cast<int>(RemainingDP.size()) - 1;
+       I >= 0 && Budget > 1; --I) {
+    int64_t Extent = RemainingDP[I]->extent();
+    int64_t Factor = chooseUnrollFactor(Budget, Extent);
+    if (Factor <= 1)
+      continue;
+    auto [Outer, Inner] = S.split(RemainingDP[I], Factor);
+    RemainingDP[I] = Outer;
+    UnrollParts.insert(UnrollParts.begin(), Inner);
+    Budget = (Budget + Factor - 1) / Factor;
+  }
+
+  // --- Leaf order: [parallel/serial DP] [reduce] [unrolled DP] [inner].
+  std::vector<IterVar> Order = RemainingDP;
+  Order.insert(Order.end(), Plan.OuterReduce.begin(), Plan.OuterReduce.end());
+  Order.insert(Order.end(), UnrollParts.begin(), UnrollParts.end());
+  S.reorder(Order);
+
+  // --- First breaking point: fuse a prefix of the data-parallel loops
+  // while the fused extent stays below the parallel limit, then
+  // parallelize the fused loop.
+  if (!RemainingDP.empty()) {
+    IterVar Fused = RemainingDP[0];
+    int64_t Prod = Fused->extent();
+    for (size_t Next = 1; Next < RemainingDP.size(); ++Next) {
+      if (Prod * RemainingDP[Next]->extent() > Pair.ParallelLimit)
+        break;
+      Prod *= RemainingDP[Next]->extent();
+      Fused = S.fuse(Fused, RemainingDP[Next]);
+    }
+    S.parallel(Fused);
+  }
+  for (const IterVar &U : UnrollParts)
+    S.unroll(U);
+  return Plan;
+}
+
+TensorizePlan unit::buildGpuPlan(const ComputeOpRef &Op,
+                                 const MatchResult &Match,
+                                 const GpuTuningConfig &Config) {
+  TensorizePlan Plan = reorganizeLoops(Op, Match);
+  Schedule &S = *Plan.Sched;
+
+  // --- Split-K: carve the outermost reduction loop into segments that
+  // run concurrently on threadIdx (paper §III.C GPU tuning).
+  std::vector<IterVar> ReduceLoops = Plan.OuterReduce;
+  IterVar KSegments;
+  if (Config.SplitK > 1 && !ReduceLoops.empty()) {
+    IterVar K = ReduceLoops[0];
+    int64_t Segments = std::min(Config.SplitK, K->extent());
+    int64_t Factor = (K->extent() + Segments - 1) / Segments;
+    auto [Seg, Rest] = S.split(K, Factor);
+    KSegments = Seg;
+    ReduceLoops[0] = Rest;
+  }
+
+  // --- p x p outer-product accumulation (Fig. 6): tile the two outermost
+  // data-parallel loops by p; the tile loops stay unrolled in registers.
+  std::vector<IterVar> BlockLoops = Plan.OuterDataParallel;
+  std::vector<IterVar> UnrollParts;
+  for (size_t I = 0; I < BlockLoops.size() && I < 2; ++I) {
+    int64_t Factor = std::min(Config.P, BlockLoops[I]->extent());
+    if (Factor <= 1)
+      continue;
+    auto [Outer, Inner] = S.split(BlockLoops[I], Factor);
+    BlockLoops[I] = Outer;
+    UnrollParts.push_back(Inner);
+  }
+
+  // --- Leaf order: blocks, split-K segments, serial reduction, unrolled
+  // accumulator tiles, tensorized inner loops.
+  std::vector<IterVar> Order = BlockLoops;
+  if (KSegments)
+    Order.push_back(KSegments);
+  Order.insert(Order.end(), ReduceLoops.begin(), ReduceLoops.end());
+  Order.insert(Order.end(), UnrollParts.begin(), UnrollParts.end());
+  S.reorder(Order);
+
+  if (!BlockLoops.empty())
+    S.bind(BlockLoops[0], ForKind::GpuBlockX);
+  if (BlockLoops.size() > 1)
+    S.bind(BlockLoops[1], ForKind::GpuBlockY);
+  if (KSegments)
+    S.bind(KSegments, ForKind::GpuThreadX);
+  for (const IterVar &U : UnrollParts)
+    S.unroll(U);
+  return Plan;
+}
+
+TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const CpuMachine &Machine, int MaxCandidates) {
+  std::vector<CpuTuningPair> Pairs = defaultCpuTuningPairs();
+  if (MaxCandidates > 0 &&
+      static_cast<size_t>(MaxCandidates) < Pairs.size())
+    Pairs.resize(static_cast<size_t>(MaxCandidates));
+
+  TunedKernel Best;
+  Best.LatencySeconds = 1e30;
+  for (size_t I = 0; I < Pairs.size(); ++I) {
+    TensorizePlan Plan = buildCpuPlan(Op, Match, Pairs[I]);
+    KernelStats Stats = analyzeTensorized(Plan);
+    double Latency = cpuLatencySeconds(Stats, Machine);
+    Best.CandidateLatencies.push_back(Latency);
+    if (Latency < Best.LatencySeconds) {
+      Best.LatencySeconds = Latency;
+      Best.Plan = std::move(Plan);
+      Best.Stats = Stats;
+      Best.BestCandidateIndex = static_cast<int>(I);
+    }
+  }
+  Best.CandidatesTried = static_cast<int>(Pairs.size());
+  return Best;
+}
+
+TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const GpuMachine &Machine, int MaxCandidates) {
+  std::vector<GpuTuningConfig> Configs = defaultGpuTuningConfigs();
+  if (MaxCandidates > 0 &&
+      static_cast<size_t>(MaxCandidates) < Configs.size())
+    Configs.resize(static_cast<size_t>(MaxCandidates));
+
+  TunedKernel Best;
+  Best.LatencySeconds = 1e30;
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    TensorizePlan Plan = buildGpuPlan(Op, Match, Configs[I]);
+    KernelStats Stats = analyzeTensorized(Plan);
+    double Latency = gpuLatencySeconds(Stats, Machine);
+    Best.CandidateLatencies.push_back(Latency);
+    if (Latency < Best.LatencySeconds) {
+      Best.LatencySeconds = Latency;
+      Best.Plan = std::move(Plan);
+      Best.Stats = Stats;
+      Best.BestCandidateIndex = static_cast<int>(I);
+    }
+  }
+  Best.CandidatesTried = static_cast<int>(Configs.size());
+  return Best;
+}
+
+CpuAblation unit::cpuAblation(const ComputeOpRef &Op,
+                              const MatchResult &Match,
+                              const CpuMachine &Machine) {
+  CpuAblation A;
+  {
+    TensorizePlan Plan = buildCpuPlan(Op, Match, {3000, 1});
+    A.ParallelOnly = cpuLatencySeconds(analyzeTensorized(Plan), Machine);
+  }
+  {
+    TensorizePlan Plan = buildCpuPlan(Op, Match, {3000, 8});
+    A.ParallelUnroll = cpuLatencySeconds(analyzeTensorized(Plan), Machine);
+  }
+  A.Tuned = tuneCpu(Op, Match, Machine).LatencySeconds;
+  return A;
+}
+
+GpuAblation unit::gpuAblation(const ComputeOpRef &Op,
+                              const MatchResult &Match,
+                              const GpuMachine &Machine) {
+  GpuAblation A;
+  {
+    TensorizePlan Plan = buildGpuPlan(Op, Match, {2, 1});
+    A.Generic = gpuLatencySeconds(analyzeTensorized(Plan), Machine);
+  }
+  {
+    // "Split the reduction dimension by 64": one segment per 64 reduction
+    // elements, expressed as a segment count on the outer reduce loop.
+    int64_t ReduceElems = 1;
+    for (const IterVar &IV : Op->reduceAxes())
+      ReduceElems *= IV->extent();
+    int64_t Segments =
+        std::clamp<int64_t>(ReduceElems / 64, 1, 64);
+    TensorizePlan Plan = buildGpuPlan(Op, Match, {2, Segments});
+    A.SplitK = gpuLatencySeconds(analyzeTensorized(Plan), Machine);
+  }
+  A.Tuned = tuneGpu(Op, Match, Machine).LatencySeconds;
+  return A;
+}

@@ -1,0 +1,80 @@
+//===- tuner/Tuner.h - Schedule tuning (paper §III.C.3 / §IV.B) -----------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds concrete tuned schedules from tuning-space candidates and
+/// searches the space against the cost model. Exposes per-stage latencies
+/// so the ablation benches (paper Figs. 10 and 11) can report the
+/// incremental impact of Parallel / +Unroll / +Tune on CPU and
+/// Generic / +SplitK / +Tune on GPU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TUNER_TUNER_H
+#define UNIT_TUNER_TUNER_H
+
+#include "perf/CostModel.h"
+#include "tuner/TuningSpace.h"
+
+#include <optional>
+
+namespace unit {
+
+/// Applies the Fig. 7 CPU loop structure for one tuning pair:
+/// outer data-parallel loops are fused while the fused extent stays below
+/// Pair.ParallelLimit and parallelized; the innermost data-parallel outer
+/// loops are tiled to Pair.UnrollFactor total, sunk below the reduction
+/// loops, and unrolled; everything in between executes serially.
+TensorizePlan buildCpuPlan(const ComputeOpRef &Op, const MatchResult &Match,
+                           const CpuTuningPair &Pair);
+
+/// Applies the Fig. 6 GPU structure for one config on a (matrix-shaped)
+/// operation: block-binds the two outermost data-parallel tile loops,
+/// keeps a PxP unrolled accumulator array, and splits the reduction into
+/// Config.SplitK thread-concurrent segments.
+TensorizePlan buildGpuPlan(const ComputeOpRef &Op, const MatchResult &Match,
+                           const GpuTuningConfig &Config);
+
+/// A tuned kernel with search telemetry.
+struct TunedKernel {
+  TensorizePlan Plan;            ///< The winning schedule.
+  KernelStats Stats;
+  double LatencySeconds = 0.0;
+  int BestCandidateIndex = -1;   ///< Position in the candidate list.
+  int CandidatesTried = 0;
+  std::vector<double> CandidateLatencies; ///< One per candidate tried.
+};
+
+/// Searches the CPU pair list (optionally truncated to \p MaxCandidates).
+TunedKernel tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                    const CpuMachine &Machine, int MaxCandidates = -1);
+
+/// Searches the GPU config list.
+TunedKernel tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
+                    const GpuMachine &Machine, int MaxCandidates = -1);
+
+/// Ablation stages for paper Fig. 10 (latencies in seconds).
+struct CpuAblation {
+  double ParallelOnly;   ///< Fuse<3000 + parallel, no unrolling.
+  double ParallelUnroll; ///< The (3000, 8) default pair.
+  double Tuned;          ///< Full search.
+};
+CpuAblation cpuAblation(const ComputeOpRef &Op, const MatchResult &Match,
+                        const CpuMachine &Machine);
+
+/// Ablation stages for paper Fig. 11 (FuseDim is enumerated by the caller
+/// at the graph level; these stages fix the kernel-level knobs).
+struct GpuAblation {
+  double Generic; ///< p=2, no split-K.
+  double SplitK;  ///< p=2, reduction split into 64-element segments.
+  double Tuned;   ///< Full search.
+};
+GpuAblation gpuAblation(const ComputeOpRef &Op, const MatchResult &Match,
+                        const GpuMachine &Machine);
+
+} // namespace unit
+
+#endif // UNIT_TUNER_TUNER_H

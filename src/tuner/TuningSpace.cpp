@@ -1,0 +1,42 @@
+//===- tuner/TuningSpace.cpp -----------------------------------------------===//
+
+#include "tuner/TuningSpace.h"
+
+#include "support/StringUtils.h"
+
+using namespace unit;
+
+std::string CpuTuningPair::str() const {
+  return formatStr("(parallel<%lld, unroll=%lld)",
+                   static_cast<long long>(ParallelLimit),
+                   static_cast<long long>(UnrollFactor));
+}
+
+std::vector<CpuTuningPair> unit::defaultCpuTuningPairs() {
+  // Ordered by prior quality: the paper's default first, then nearby
+  // refinements, then the long tail.
+  // Unroll degrees follow the paper's "< 8 per loop" guidance (two sunk
+  // loops give 16 total); parallel limits bracket the 3000 default.
+  std::vector<CpuTuningPair> Pairs = {
+      {3000, 8},  {3000, 16}, {3000, 4},  {6000, 8},   {1500, 8},
+      {6000, 16}, {1500, 16}, {12000, 8}, {750, 8},    {6000, 4},
+      {1500, 4},  {12000, 16}, {3000, 2}, {750, 16},   {12000, 4},
+      {750, 4},   {3000, 1},  {24000, 8}, {24000, 16}, {1500, 2},
+  };
+  return Pairs;
+}
+
+std::string GpuTuningConfig::str() const {
+  return formatStr("(p=%lld, splitK=%lld)", static_cast<long long>(P),
+                   static_cast<long long>(SplitK));
+}
+
+std::vector<GpuTuningConfig> unit::defaultGpuTuningConfigs() {
+  std::vector<GpuTuningConfig> Configs;
+  // p > 2 overwhelms the register file (paper §VI.B), but the tuner is
+  // allowed to discover that itself.
+  for (int64_t SplitK : {1, 2, 4, 8, 16, 32, 64})
+    for (int64_t P : {2, 1, 4})
+      Configs.push_back({P, SplitK});
+  return Configs;
+}

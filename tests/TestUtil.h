@@ -1,0 +1,184 @@
+//===- tests/TestUtil.h - Shared fixtures for the test suite --------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the tensor operations the paper compiles (quantized conv2d
+/// / conv3d, u8xi8 matmul, fp16 GEMM) plus helpers that execute a schedule
+/// against deterministic random inputs and return the output, so tests can
+/// assert bit-equality between transformed programs and references.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TESTS_TESTUTIL_H
+#define UNIT_TESTS_TESTUTIL_H
+
+#include "interp/Interp.h"
+#include "ir/ComputeOp.h"
+#include "schedule/Schedule.h"
+#include "support/Random.h"
+#include "tir/Lower.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace unit::testutil {
+
+/// A ComputeOp plus its operand tensors, inputs first, output last.
+struct OpFixture {
+  ComputeOpRef Op;
+  std::vector<TensorRef> Inputs;
+  TensorRef Output;
+};
+
+/// Quantized 2-D convolution in the paper Fig. 5 form:
+///   c[x,y,k] = sum_{r,s,rc} i32(a[x*Stride+r, y*Stride+s, rc])
+///                         * i32(b[r,s,k,rc])
+inline OpFixture makeConv2D(int64_t H, int64_t W, int64_t C, int64_t K,
+                            int64_t R, int64_t S, int64_t Stride = 1,
+                            DataType AType = DataType::u8(),
+                            DataType BType = DataType::i8()) {
+  int64_t OH = (H - R) / Stride + 1;
+  int64_t OW = (W - S) / Stride + 1;
+  TensorRef A = makeTensor("a", {H, W, C}, AType);
+  TensorRef B = makeTensor("b", {R, S, K, C}, BType);
+  TensorRef Out = makeTensor("c", {OH, OW, K}, DataType::i32());
+
+  IterVar X = makeAxis("x", OH), Y = makeAxis("y", OW), Kk = makeAxis("k", K);
+  IterVar Rr = makeReduceAxis("r", R), Ss = makeReduceAxis("s", S);
+  IterVar Rc = makeReduceAxis("rc", C);
+
+  ExprRef Ax = makeVar(X) * makeIntImm(Stride) + makeVar(Rr);
+  ExprRef Ay = makeVar(Y) * makeIntImm(Stride) + makeVar(Ss);
+  ExprRef Prod =
+      makeCast(DataType::i32(), makeLoad(A, {Ax, Ay, makeVar(Rc)})) *
+      makeCast(DataType::i32(),
+               makeLoad(B, {makeVar(Rr), makeVar(Ss), makeVar(Kk),
+                            makeVar(Rc)}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {Rr, Ss, Rc});
+  ComputeOpRef Op = ComputeOp::create("conv2d", Out, {X, Y, Kk}, Body);
+  return {Op, {A, B}, Out};
+}
+
+/// Quantized 3-D convolution (paper §VI.C extensibility study).
+inline OpFixture makeConv3D(int64_t D, int64_t H, int64_t W, int64_t C,
+                            int64_t K, int64_t R) {
+  int64_t OD = D - R + 1, OH = H - R + 1, OW = W - R + 1;
+  TensorRef A = makeTensor("a", {D, H, W, C}, DataType::u8());
+  TensorRef B = makeTensor("b", {R, R, R, K, C}, DataType::i8());
+  TensorRef Out = makeTensor("c", {OD, OH, OW, K}, DataType::i32());
+
+  IterVar Z = makeAxis("z", OD), X = makeAxis("x", OH), Y = makeAxis("y", OW);
+  IterVar Kk = makeAxis("k", K);
+  IterVar Rd = makeReduceAxis("rd", R), Rr = makeReduceAxis("r", R);
+  IterVar Ss = makeReduceAxis("s", R), Rc = makeReduceAxis("rc", C);
+
+  ExprRef Prod =
+      makeCast(DataType::i32(),
+               makeLoad(A, {makeVar(Z) + makeVar(Rd), makeVar(X) + makeVar(Rr),
+                            makeVar(Y) + makeVar(Ss), makeVar(Rc)})) *
+      makeCast(DataType::i32(),
+               makeLoad(B, {makeVar(Rd), makeVar(Rr), makeVar(Ss), makeVar(Kk),
+                            makeVar(Rc)}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {Rd, Rr, Ss, Rc});
+  ComputeOpRef Op = ComputeOp::create("conv3d", Out, {Z, X, Y, Kk}, Body);
+  return {Op, {A, B}, Out};
+}
+
+/// u8 x i8 -> i32 matmul with both operands reduced over their last dim
+/// (the VNNI-friendly "NT" form): c[i,j] = sum_k i32(a[i,k]) * i32(b[j,k]).
+inline OpFixture makeMatmulU8I8(int64_t N, int64_t M, int64_t K) {
+  TensorRef A = makeTensor("a", {N, K}, DataType::u8());
+  TensorRef B = makeTensor("b", {M, K}, DataType::i8());
+  TensorRef Out = makeTensor("c", {N, M}, DataType::i32());
+
+  IterVar I = makeAxis("i", N), J = makeAxis("j", M);
+  IterVar Kk = makeReduceAxis("k", K);
+  ExprRef Prod =
+      makeCast(DataType::i32(), makeLoad(A, {makeVar(I), makeVar(Kk)})) *
+      makeCast(DataType::i32(), makeLoad(B, {makeVar(J), makeVar(Kk)}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {Kk});
+  ComputeOpRef Op = ComputeOp::create("matmul", Out, {I, J}, Body);
+  return {Op, {A, B}, Out};
+}
+
+/// fp16 GEMM accumulating in fp32 (the Tensor Core workload):
+///   c[i,j] = sum_k f32(a[i,k]) * f32(b[k,j])
+inline OpFixture makeGemmF16(int64_t N, int64_t M, int64_t K) {
+  TensorRef A = makeTensor("a", {N, K}, DataType::f16());
+  TensorRef B = makeTensor("b", {K, M}, DataType::f16());
+  TensorRef Out = makeTensor("c", {N, M}, DataType::f32());
+
+  IterVar I = makeAxis("i", N), J = makeAxis("j", M);
+  IterVar Kk = makeReduceAxis("k", K);
+  ExprRef Prod =
+      makeCast(DataType::f32(), makeLoad(A, {makeVar(I), makeVar(Kk)})) *
+      makeCast(DataType::f32(), makeLoad(B, {makeVar(Kk), makeVar(J)}));
+  ExprRef Body = makeReduce(ReduceKind::Sum, Prod, {Kk});
+  ComputeOpRef Op = ComputeOp::create("gemm_f16", Out, {I, J}, Body);
+  return {Op, {A, B}, Out};
+}
+
+/// Runs \p Lowered against randomly filled inputs (seeded) and returns the
+/// integer output contents.
+inline std::vector<int64_t> runToInts(const OpFixture &F,
+                                      const StmtRef &Lowered,
+                                      uint64_t Seed = 1) {
+  SplitMix64 Rng(Seed);
+  std::vector<std::unique_ptr<Buffer>> Bufs;
+  Interp In;
+  for (const TensorRef &T : F.Inputs) {
+    Bufs.push_back(std::make_unique<Buffer>(T));
+    Bufs.back()->fillRandom(Rng);
+    In.bind(T, Bufs.back().get());
+  }
+  Buffer OutBuf(F.Output);
+  In.bind(F.Output, &OutBuf);
+  In.run(Lowered);
+  std::vector<int64_t> Out(static_cast<size_t>(OutBuf.size()));
+  for (int64_t I = 0; I < OutBuf.size(); ++I)
+    Out[static_cast<size_t>(I)] = OutBuf.getInt(I);
+  return Out;
+}
+
+/// Float-output variant of runToInts.
+inline std::vector<double> runToFloats(const OpFixture &F,
+                                       const StmtRef &Lowered,
+                                       uint64_t Seed = 1) {
+  SplitMix64 Rng(Seed);
+  std::vector<std::unique_ptr<Buffer>> Bufs;
+  Interp In;
+  for (const TensorRef &T : F.Inputs) {
+    Bufs.push_back(std::make_unique<Buffer>(T));
+    Bufs.back()->fillRandom(Rng);
+    In.bind(T, Bufs.back().get());
+  }
+  Buffer OutBuf(F.Output);
+  In.bind(F.Output, &OutBuf);
+  In.run(Lowered);
+  std::vector<double> Out(static_cast<size_t>(OutBuf.size()));
+  for (int64_t I = 0; I < OutBuf.size(); ++I)
+    Out[static_cast<size_t>(I)] = OutBuf.getFloat(I);
+  return Out;
+}
+
+/// Reference output of \p F under the default (untransformed) schedule.
+inline std::vector<int64_t> referenceInts(const OpFixture &F,
+                                          uint64_t Seed = 1) {
+  Schedule S(F.Op);
+  return runToInts(F, lower(S), Seed);
+}
+
+inline std::vector<double> referenceFloats(const OpFixture &F,
+                                           uint64_t Seed = 1) {
+  Schedule S(F.Op);
+  return runToFloats(F, lower(S), Seed);
+}
+
+} // namespace unit::testutil
+
+#endif // UNIT_TESTS_TESTUTIL_H

@@ -1,0 +1,94 @@
+//===- tests/test_computeop.cpp - ComputeOp construction tests ------------===//
+
+#include "TestUtil.h"
+#include "ir/ComputeOp.h"
+
+#include <gtest/gtest.h>
+
+using namespace unit;
+using namespace unit::testutil;
+
+namespace {
+
+TEST(ComputeOp, ConvShapeAndAxes) {
+  OpFixture F = makeConv2D(8, 8, 8, 16, 3, 3);
+  EXPECT_EQ(F.Op->axes().size(), 3u);
+  EXPECT_EQ(F.Op->reduceAxes().size(), 3u);
+  EXPECT_EQ(F.Op->output()->shape(), (std::vector<int64_t>{6, 6, 16}));
+  EXPECT_FALSE(F.Op->isInPlaceUpdate());
+}
+
+TEST(ComputeOp, InputsCollectedInOrder) {
+  OpFixture F = makeConv2D(8, 8, 8, 16, 3, 3);
+  ASSERT_EQ(F.Op->inputs().size(), 2u);
+  EXPECT_EQ(F.Op->inputs()[0]->name(), "a");
+  EXPECT_EQ(F.Op->inputs()[1]->name(), "b");
+}
+
+TEST(ComputeOp, ReduceRootExposed) {
+  OpFixture F = makeMatmulU8I8(4, 4, 8);
+  const ReduceNode *R = F.Op->reduceRoot();
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->RKind, ReduceKind::Sum);
+  EXPECT_EQ(R->Axes.size(), 1u);
+}
+
+TEST(ComputeOp, AllAxesOrdered) {
+  OpFixture F = makeConv2D(8, 8, 8, 16, 3, 3);
+  std::vector<IterVar> All = F.Op->allAxes();
+  ASSERT_EQ(All.size(), 6u);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_FALSE(All[I]->isReduce());
+  for (size_t I = 3; I < 6; ++I)
+    EXPECT_TRUE(All[I]->isReduce());
+}
+
+TEST(ComputeOp, ElementwiseOpHasNoReduce) {
+  TensorRef In = makeTensor("in", {32}, DataType::i32());
+  TensorRef Out = makeTensor("out", {32}, DataType::i32());
+  IterVar I = makeAxis("i", 32);
+  ExprRef Body = makeBinary(ExprNode::Kind::Max, makeLoad(In, {makeVar(I)}),
+                            makeIntImm(0));
+  ComputeOpRef Op = ComputeOp::create("relu", Out, {I}, Body);
+  EXPECT_EQ(Op->reduceRoot(), nullptr);
+  EXPECT_TRUE(Op->reduceAxes().empty());
+}
+
+TEST(ComputeOp, StrRendersProgram) {
+  OpFixture F = makeMatmulU8I8(4, 4, 8);
+  std::string S = F.Op->str();
+  EXPECT_NE(S.find("compute matmul"), std::string::npos);
+  EXPECT_NE(S.find("reduce_axis k"), std::string::npos);
+  EXPECT_NE(S.find("c[i, j] ="), std::string::npos);
+}
+
+TEST(ComputeOpDeath, AxisCountMismatch) {
+  TensorRef Out = makeTensor("o", {4, 4}, DataType::i32());
+  IterVar I = makeAxis("i", 4);
+  EXPECT_DEATH(ComputeOp::create("bad", Out, {I}, makeIntImm(0)),
+               "one data-parallel axis per output dimension");
+}
+
+TEST(ComputeOpDeath, AxisExtentMismatch) {
+  TensorRef Out = makeTensor("o", {4}, DataType::i32());
+  IterVar I = makeAxis("i", 5);
+  EXPECT_DEATH(ComputeOp::create("bad", Out, {I}, makeIntImm(0)),
+               "extent");
+}
+
+TEST(ComputeOpDeath, BodyTypeMismatch) {
+  TensorRef Out = makeTensor("o", {4}, DataType::i32());
+  IterVar I = makeAxis("i", 4);
+  EXPECT_DEATH(
+      ComputeOp::create("bad", Out, {I}, makeFloatImm(0.0, DataType::f32())),
+      "does not match output element type");
+}
+
+TEST(ComputeOpDeath, UndeclaredVariable) {
+  TensorRef Out = makeTensor("o", {4}, DataType::i32());
+  IterVar I = makeAxis("i", 4), J = makeAxis("j", 4);
+  EXPECT_DEATH(ComputeOp::create("bad", Out, {I}, makeVar(J)),
+               "not a declared axis");
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/test_datatype.cpp - DataType and fp16 rounding tests ---------===//
+
+#include "ir/DataType.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace unit;
+
+namespace {
+
+TEST(DataType, Basics) {
+  DataType T = DataType::i8(64);
+  EXPECT_TRUE(T.isInt());
+  EXPECT_FALSE(T.isUInt());
+  EXPECT_EQ(T.bits(), 8u);
+  EXPECT_EQ(T.lanes(), 64u);
+  EXPECT_EQ(T.totalBytes(), 64u);
+  EXPECT_EQ(T.str(), "i8x64");
+  EXPECT_EQ(T.scalar().str(), "i8");
+}
+
+TEST(DataType, Equality) {
+  EXPECT_EQ(DataType::u8(), DataType::u8());
+  EXPECT_NE(DataType::u8(), DataType::i8());
+  EXPECT_NE(DataType::i32(1), DataType::i32(16));
+  EXPECT_TRUE(DataType::i32(16).sameScalarType(DataType::i32(1)));
+}
+
+TEST(DataType, WithLanes) {
+  EXPECT_EQ(DataType::f16().withLanes(256).str(), "f16x256");
+  EXPECT_EQ(DataType::f32(4).withLanes(1), DataType::f32());
+}
+
+TEST(DataType, Names) {
+  EXPECT_EQ(DataType::u8().str(), "u8");
+  EXPECT_EQ(DataType::i16(32).str(), "i16x32");
+  EXPECT_EQ(DataType::f32().str(), "f32");
+  EXPECT_EQ(DataType::i64().str(), "i64");
+}
+
+TEST(Fp16, ExactValuesRoundTrip) {
+  // Values exactly representable in binary16 must be unchanged.
+  for (float V : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.f, -0.09375f, 65504.f})
+    EXPECT_EQ(fp16RoundToNearest(V), V) << V;
+}
+
+TEST(Fp16, RoundsToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1+2^-10);
+  // round-to-nearest-even picks 1.0 (even mantissa).
+  float Halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(fp16RoundToNearest(Halfway), 1.0f);
+  // Slightly above the halfway point must round up.
+  float Above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -20);
+  EXPECT_EQ(fp16RoundToNearest(Above), 1.0f + std::ldexp(1.0f, -10));
+}
+
+TEST(Fp16, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(fp16RoundToNearest(1e10f)));
+  EXPECT_TRUE(std::isinf(fp16RoundToNearest(-1e10f)));
+  EXPECT_LT(fp16RoundToNearest(-1e10f), 0.0f);
+}
+
+TEST(Fp16, SubnormalsPreserved) {
+  // Smallest positive binary16 subnormal is 2^-24.
+  float Tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(fp16RoundToNearest(Tiny), Tiny);
+  // Below half of it rounds to zero.
+  EXPECT_EQ(fp16RoundToNearest(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, UnderflowSign) {
+  EXPECT_EQ(fp16RoundToNearest(-std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, Idempotent) {
+  for (float V : {3.14159f, 0.1f, 123.456f, -9.87f}) {
+    float Once = fp16RoundToNearest(V);
+    EXPECT_EQ(fp16RoundToNearest(Once), Once) << V;
+  }
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/test_graph.cpp - Graph-level pass tests -----------------------===//
+
+#include "TestUtil.h"
+#include "core/Inspector.h"
+#include "core/Pipeline.h"
+#include "graph/Fusion.h"
+#include "graph/Layout.h"
+#include "graph/Quantize.h"
+
+#include <gtest/gtest.h>
+
+using namespace unit;
+using namespace unit::testutil;
+
+namespace {
+
+ConvLayer smallConv() {
+  ConvLayer L;
+  L.Name = "t";
+  L.InC = 6;  // Pads to 8 (= 2 reduce blocks of 4).
+  L.InH = L.InW = 8;
+  L.OutC = 20; // Pads to 32 (= 2 lane blocks of 16).
+  L.KH = L.KW = 3;
+  return L;
+}
+
+TEST(Layout, PadTo) {
+  EXPECT_EQ(padTo(13, 4), 16);
+  EXPECT_EQ(padTo(16, 4), 16);
+  EXPECT_EQ(padTo(1, 16), 16);
+}
+
+TEST(Layout, DirectConvPadsChannels) {
+  LaidOutOp Laid = buildDirectConvOp(smallConv(), DataType::u8(),
+                                     DataType::i8(), DataType::i32(), 16, 4);
+  // Output (KO, OH, OW, ki): 2 blocks of 16 lanes from OutC=20.
+  EXPECT_EQ(Laid.Op->output()->shape(),
+            (std::vector<int64_t>{2, 6, 6, 16}));
+  // Input (H, W, CO, ci): 2 blocks of 4 from InC=6.
+  EXPECT_EQ(Laid.Op->inputs()[0]->shape(),
+            (std::vector<int64_t>{8, 8, 2, 4}));
+  EXPECT_GT(Laid.PaddingWasteFraction, 0.0);
+  EXPECT_LT(Laid.PaddingWasteFraction, 0.8);
+}
+
+TEST(Layout, DirectConvAlwaysTensorizable) {
+  LaidOutOp Laid = buildDirectConvOp(smallConv(), DataType::u8(),
+                                     DataType::i8(), DataType::i32(), 16, 4);
+  EXPECT_FALSE(inspectTarget(Laid.Op, TargetKind::X86).empty())
+      << "padding must guarantee perfect tiling";
+}
+
+TEST(Layout, BlockedConvBitExactThroughPipeline) {
+  // The blocked-layout op must still tensorize bit-exactly.
+  LaidOutOp Laid = buildDirectConvOp(smallConv(), DataType::u8(),
+                                     DataType::i8(), DataType::i32(), 16, 4);
+  std::vector<MatchResult> Ms = inspectTarget(Laid.Op, TargetKind::X86);
+  ASSERT_FALSE(Ms.empty());
+  OpFixture F{Laid.Op, Laid.Op->inputs(), Laid.Op->output()};
+  std::optional<CompiledKernel> K = compileWithIntrinsic(
+      Laid.Op, Ms.front().Intrinsic);
+  ASSERT_TRUE(K);
+  EXPECT_EQ(runToInts(F, K->TIR, 51), referenceInts(F, 51));
+}
+
+TEST(Layout, Conv3dBlocked) {
+  Conv3dLayer L;
+  L.Name = "t3";
+  L.InC = 8;
+  L.InD = L.InH = L.InW = 6;
+  L.OutC = 16;
+  L.K = 3;
+  LaidOutOp Laid = buildDirectConv3dOp(L, DataType::u8(), DataType::i8(),
+                                       DataType::i32(), 16, 4);
+  EXPECT_EQ(Laid.Op->axes().size(), 5u);
+  EXPECT_FALSE(inspectTarget(Laid.Op, TargetKind::X86).empty());
+}
+
+TEST(Layout, ConvAsGemmFusedPadsLess) {
+  ConvLayer L = smallConv(); // 6x6 output.
+  L.InH = L.InW = 16;        // 14x14 output.
+  LaidOutOp Fused = buildConvAsGemmOp(L, DataType::f16(), DataType::f32(),
+                                      16, /*FuseSpatial=*/true);
+  LaidOutOp PerDim = buildConvAsGemmOp(L, DataType::f16(), DataType::f32(),
+                                       16, /*FuseSpatial=*/false);
+  // Fused: pad16(196) = 208; per-dim: pad4(14)*pad4(14) = 256.
+  EXPECT_EQ(Fused.Op->output()->dim(0), 208);
+  EXPECT_EQ(PerDim.Op->output()->dim(0), 256);
+  EXPECT_LT(Fused.PaddingWasteFraction, PerDim.PaddingWasteFraction);
+  // Fusion pays the rearrangement pass; implicit GEMM does not.
+  EXPECT_GT(Fused.RearrangeBytes, 0.0);
+  EXPECT_EQ(PerDim.RearrangeBytes, 0.0);
+}
+
+TEST(Layout, ConvAsGemmTensorizableByWmma) {
+  ConvLayer L = smallConv();
+  LaidOutOp Laid = buildConvAsGemmOp(L, DataType::f16(), DataType::f32(),
+                                     16, true);
+  TensorIntrinsicRef W =
+      IntrinsicRegistry::instance().lookup("wmma.m16n16k16.f16");
+  EXPECT_TRUE(inspect(Laid.Op, W).has_value());
+}
+
+TEST(Quantize, SchemesPerTarget) {
+  QuantScheme X86 = quantSchemeFor(TargetKind::X86);
+  EXPECT_EQ(X86.Activation, DataType::u8());
+  EXPECT_EQ(X86.Weight, DataType::i8());
+  EXPECT_EQ(X86.LaneMultiple, 16);
+  EXPECT_EQ(X86.ReduceMultiple, 4);
+
+  QuantScheme Arm = quantSchemeFor(TargetKind::ARM);
+  EXPECT_EQ(Arm.Activation, DataType::i8());
+  EXPECT_EQ(Arm.LaneMultiple, 4);
+
+  QuantScheme Gpu = quantSchemeFor(TargetKind::NvidiaGPU);
+  EXPECT_EQ(Gpu.Activation, DataType::f16());
+  EXPECT_EQ(Gpu.Accumulator, DataType::f32());
+  EXPECT_EQ(Gpu.LaneMultiple, 16);
+  EXPECT_EQ(Gpu.ReduceMultiple, 16);
+}
+
+TEST(Fusion, QualityInterpolates) {
+  Model M;
+  M.ElementwiseBytes = 1000;
+  M.GlueOps = 40;
+  FusionPlan None = fuseElementwise(M, 0.0);
+  EXPECT_DOUBLE_EQ(None.RemainingElementwiseBytes, 1000);
+  EXPECT_EQ(None.RemainingGlueOps, 40);
+  FusionPlan Full = fuseElementwise(M, 1.0);
+  EXPECT_DOUBLE_EQ(Full.RemainingElementwiseBytes, 150);
+  EXPECT_EQ(Full.RemainingGlueOps, 10);
+  FusionPlan Half = fuseElementwise(M, 0.5);
+  EXPECT_GT(Half.RemainingElementwiseBytes, Full.RemainingElementwiseBytes);
+  EXPECT_LT(Half.RemainingElementwiseBytes, None.RemainingElementwiseBytes);
+}
+
+TEST(ConvLayer, ShapeMath) {
+  ConvLayer L;
+  L.InC = 64;
+  L.InH = L.InW = 56;
+  L.OutC = 128;
+  L.KH = L.KW = 3;
+  L.Stride = 2;
+  L.PadH = L.PadW = 1;
+  EXPECT_EQ(L.outH(), 28);
+  EXPECT_DOUBLE_EQ(L.macs(), 28.0 * 28 * 128 * 64 * 9);
+  ConvLayer Dw = L;
+  Dw.Depthwise = true;
+  Dw.OutC = Dw.InC;
+  EXPECT_DOUBLE_EQ(Dw.macs(), 28.0 * 28 * 64 * 9);
+}
+
+TEST(ConvLayer, ShapeKeyDistinguishes) {
+  ConvLayer A = smallConv(), B = smallConv();
+  EXPECT_EQ(A.shapeKey(), B.shapeKey());
+  B.Stride = 2;
+  EXPECT_NE(A.shapeKey(), B.shapeKey());
+  B = A;
+  B.Depthwise = true;
+  EXPECT_NE(A.shapeKey(), B.shapeKey());
+}
+
+} // namespace

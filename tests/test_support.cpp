@@ -1,0 +1,95 @@
+//===- tests/test_support.cpp - support library unit tests ----------------===//
+
+#include "support/Casting.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace unit;
+
+namespace {
+
+// A tiny class hierarchy exercising the LLVM-style RTTI.
+struct Animal {
+  enum class Kind { Cat, Dog };
+  Kind K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Cat; }
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Dog; }
+};
+
+TEST(Casting, IsaAndDynCast) {
+  Cat C;
+  Animal *A = &C;
+  EXPECT_TRUE(isa<Cat>(A));
+  EXPECT_FALSE(isa<Dog>(A));
+  EXPECT_NE(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Dog>(A), nullptr);
+  EXPECT_EQ(cast<Cat>(A), &C);
+}
+
+TEST(Casting, DynCastOrNull) {
+  EXPECT_EQ((dyn_cast_or_null<Cat, Animal>(nullptr)), nullptr);
+  Dog D;
+  EXPECT_EQ(dyn_cast_or_null<Cat>(static_cast<Animal *>(&D)), nullptr);
+}
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, UniformInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = Rng.uniform(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Random, UniformRealInUnitInterval) {
+  SplitMix64 Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    double V = Rng.uniformReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(StringUtils, FormatStr) {
+  EXPECT_EQ(formatStr("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(formatStr("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringUtils, JoinAndShape) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(shapeStr({2, 3, 4}), "2x3x4");
+}
+
+TEST(StringUtils, Pad) {
+  EXPECT_EQ(padLeft("x", 3), "  x");
+  EXPECT_EQ(padRight("x", 3), "x  ");
+  EXPECT_EQ(padLeft("xxxx", 3), "xxxx");
+}
+
+TEST(Table, RendersAligned) {
+  Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"long-name", "22"});
+  std::string S = T.str();
+  EXPECT_NE(S.find("name       value"), std::string::npos);
+  EXPECT_NE(S.find("long-name  22"), std::string::npos);
+}
+
+} // namespace
