@@ -2,17 +2,30 @@
 //
 // google-benchmark suite measuring UNIT's own compilation costs: the
 // Inspector's applicability analysis, the Rewriter's loop reorganization,
-// lowering + instruction replacement, and a full CPU tuning run. Keeps the
-// "moderate effort" claim of the paper honest on the compiler side.
+// lowering + instruction replacement, a full CPU tuning run, and the
+// runtime layer — cold compile vs. KernelCache hit, and sequential vs.
+// parallel whole-model compilation. Keeps the "moderate effort" claim of
+// the paper honest on the compiler side.
+//
+// main() first cross-checks that parallel compileModel produces
+// byte-identical per-layer reports to sequential mode and prints a
+// cold-vs-hit latency summary, then runs the registered benchmarks.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
 #include "graph/Executor.h"
+#include "models/ModelZoo.h"
 #include "models/Table1.h"
+#include "runtime/CompilerSession.h"
 #include "tuner/Tuner.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace unit;
 
@@ -83,6 +96,162 @@ void BM_FullCpuTuneOneLayer(benchmark::State &State) {
 }
 BENCHMARK(BM_FullCpuTuneOneLayer);
 
+//===----------------------------------------------------------------------===//
+// Runtime layer: KernelCache and CompilerSession
+//===----------------------------------------------------------------------===//
+
+SessionConfig sequentialConfig() {
+  SessionConfig C;
+  C.Threads = 1;
+  C.ParallelShapes = false;
+  C.ParallelCandidates = false;
+  return C;
+}
+
+/// One full compile of a Table I layer with no cache in front of it.
+void BM_ColdCompileOneLayer(benchmark::State &State) {
+  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer L = table1Workloads()[4];
+  for (auto _ : State) {
+    KernelReport R = Backend->compileConv(L, /*Pool=*/nullptr);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ColdCompileOneLayer);
+
+/// The same layer served from the shared KernelCache (key derivation plus
+/// one map probe).
+void BM_CacheHitRecompile(benchmark::State &State) {
+  CompilerSession Session(sequentialConfig());
+  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer L = table1Workloads()[4];
+  Session.compileConv(L, *Backend); // Warm the entry.
+  for (auto _ : State) {
+    KernelReport R = Session.compileConv(L, *Backend);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CacheHitRecompile);
+
+/// Whole-model compile, one shape at a time (cache cleared per iteration,
+/// pool kept warm so only compilation is measured).
+void BM_CompileModelSequential(benchmark::State &State) {
+  Model Resnet = makeResnet18();
+  CompilerSession Session(sequentialConfig());
+  for (auto _ : State) {
+    State.PauseTiming();
+    Session.cache().clear();
+    State.ResumeTiming();
+    ModelCompileResult R = Session.compileModel(Resnet, TargetKind::X86);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CompileModelSequential)->Unit(benchmark::kMillisecond);
+
+/// Whole-model compile with distinct shapes tuned concurrently and tuning
+/// candidates scored in parallel.
+void BM_CompileModelParallel(benchmark::State &State) {
+  Model Resnet = makeResnet18();
+  CompilerSession Session; // Defaults: pool-wide parallelism.
+  for (auto _ : State) {
+    State.PauseTiming();
+    Session.cache().clear();
+    State.ResumeTiming();
+    ModelCompileResult R = Session.compileModel(Resnet, TargetKind::X86);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CompileModelParallel)->Unit(benchmark::kMillisecond);
+
+/// Re-compiling a model whose every shape is already cached.
+void BM_CompileModelAllCacheHits(benchmark::State &State) {
+  Model Resnet = makeResnet18();
+  CompilerSession Session(sequentialConfig());
+  Session.compileModel(Resnet, TargetKind::X86); // Warm everything.
+  for (auto _ : State) {
+    ModelCompileResult R = Session.compileModel(Resnet, TargetKind::X86);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_CompileModelAllCacheHits)->Unit(benchmark::kMillisecond);
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Prints the cold-vs-hit summary and verifies parallel/sequential
+/// compileModel determinism before the benchmark loop runs.
+void runtimeSummary() {
+  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer L = table1Workloads()[4];
+
+  double T0 = nowSeconds();
+  KernelReport Cold = Backend->compileConv(L, nullptr);
+  double ColdSeconds = nowSeconds() - T0;
+
+  CompilerSession Session(sequentialConfig());
+  Session.compileConv(L, *Backend);
+  constexpr int Hits = 200;
+  T0 = nowSeconds();
+  for (int I = 0; I < Hits; ++I) {
+    KernelReport R = Session.compileConv(L, *Backend);
+    benchmark::DoNotOptimize(R);
+  }
+  double HitSeconds = (nowSeconds() - T0) / Hits;
+  std::printf("cold compile: %.1f us | cache-hit recompile: %.2f us | "
+              "speedup: %.0fx (report %.3g s)\n",
+              ColdSeconds * 1e6, HitSeconds * 1e6, ColdSeconds / HitSeconds,
+              Cold.Seconds);
+
+  Model Resnet = makeResnet18();
+  CompilerSession Seq(sequentialConfig());
+  CompilerSession Par;
+  ModelCompileResult A = Seq.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult B = Par.compileModel(Resnet, TargetKind::X86);
+  for (size_t I = 0; I < A.Layers.size(); ++I) {
+    bool Same =
+        std::memcmp(&A.Layers[I].Seconds, &B.Layers[I].Seconds,
+                    sizeof(double)) == 0 &&
+        A.Layers[I].Tensorized == B.Layers[I].Tensorized &&
+        A.Layers[I].BestCandidateIndex == B.Layers[I].BestCandidateIndex &&
+        A.Layers[I].IntrinsicName == B.Layers[I].IntrinsicName;
+    if (!Same) {
+      std::fprintf(stderr,
+                   "FAIL: parallel compileModel diverged from sequential "
+                   "at layer %zu (%s)\n",
+                   I, Resnet.Convs[I].Name.c_str());
+      std::exit(1);
+    }
+  }
+  std::printf("resnet18 compileModel: sequential %.1f ms | parallel %.1f ms "
+              "| %zu distinct shapes | per-layer reports byte-identical\n",
+              A.WallSeconds * 1e3, B.WallSeconds * 1e3, B.DistinctShapes);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // --benchmark_list_tests should print names and exit instantly, not
+  // pay for model compiles; skip the summary for it.
+  bool ListOnly = false;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    // Bare flag or any value except an explicit =false.
+    if (std::strcmp(Arg, "--benchmark_list_tests") == 0 ||
+        (std::strncmp(Arg, "--benchmark_list_tests=",
+                      sizeof("--benchmark_list_tests=") - 1) == 0 &&
+         std::strcmp(Arg + sizeof("--benchmark_list_tests=") - 1, "false") !=
+             0))
+      ListOnly = true;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  if (!ListOnly)
+    runtimeSummary();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

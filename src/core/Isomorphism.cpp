@@ -11,6 +11,9 @@
 #include "ir/Printer.h"
 #include "support/ErrorHandling.h"
 
+#include <cstdio>
+#include <map>
+
 using namespace unit;
 
 const OperandBinding *IsoResult::bindingFor(const TensorRef &T) const {
@@ -133,6 +136,195 @@ bool inspect(const ExprRef &A, const ExprRef &B, BindState &State) {
 }
 
 } // namespace
+
+namespace {
+
+/// Serialization state for canonicalComputeKey: positional ids for loop
+/// variables and tensors so names never reach the key.
+struct KeyPrinter {
+  std::map<const IterVarNode *, int> VarIds;
+  std::map<const TensorNode *, int> TensorIds;
+  std::vector<TensorRef> TensorTable; ///< Id order, for the shape suffix.
+  std::string Out;
+
+  int varId(const IterVarNode *IV) {
+    auto It = VarIds.find(IV);
+    if (It != VarIds.end())
+      return It->second;
+    int Id = static_cast<int>(VarIds.size());
+    VarIds.emplace(IV, Id);
+    return Id;
+  }
+
+  int tensorId(const TensorRef &T) {
+    auto It = TensorIds.find(T.get());
+    if (It != TensorIds.end())
+      return It->second;
+    int Id = static_cast<int>(TensorIds.size());
+    TensorIds.emplace(T.get(), Id);
+    TensorTable.push_back(T);
+    return Id;
+  }
+
+  void print(const ExprRef &E) {
+    switch (E->kind()) {
+    case ExprNode::Kind::IntImm:
+      // Immediates carry their dtype: inspect() rejects dtype mismatches,
+      // so the key must separate them too.
+      Out += "i" + std::to_string(cast<IntImmNode>(E.get())->Value) + ":" +
+             E->dtype().str();
+      return;
+    case ExprNode::Kind::FloatImm: {
+      // Hex-float round-trips exactly; to_string's fixed 6 decimals would
+      // collapse distinct immediates onto one key.
+      char Buf[48];
+      std::snprintf(Buf, sizeof(Buf), "f%a:",
+                    cast<FloatImmNode>(E.get())->Value);
+      Out += Buf;
+      Out += E->dtype().str();
+      return;
+    }
+    case ExprNode::Kind::Var:
+      Out += "%" + std::to_string(varId(cast<VarNode>(E.get())->IV.get()));
+      return;
+    case ExprNode::Kind::Cast: {
+      const auto *C = cast<CastNode>(E.get());
+      Out += "cast<" + E->dtype().str() + ">(";
+      print(C->Value);
+      Out += ")";
+      return;
+    }
+    case ExprNode::Kind::Load: {
+      const auto *L = cast<LoadNode>(E.get());
+      Out += "@" + std::to_string(tensorId(L->Buf)) + "[";
+      for (size_t I = 0; I < L->Indices.size(); ++I) {
+        if (I)
+          Out += ",";
+        print(L->Indices[I]);
+      }
+      Out += "]";
+      return;
+    }
+    case ExprNode::Kind::Select: {
+      const auto *S = cast<SelectNode>(E.get());
+      Out += "sel(";
+      print(S->Cond);
+      Out += ",";
+      print(S->TrueValue);
+      Out += ",";
+      print(S->FalseValue);
+      Out += ")";
+      return;
+    }
+    case ExprNode::Kind::Call: {
+      const auto *C = cast<CallNode>(E.get());
+      Out += "call:" + C->Callee + "(";
+      for (size_t I = 0; I < C->Args.size(); ++I) {
+        if (I)
+          Out += ",";
+        print(C->Args[I]);
+      }
+      Out += ")";
+      return;
+    }
+    case ExprNode::Kind::Reduce: {
+      const auto *R = cast<ReduceNode>(E.get());
+      Out += "red" + std::to_string(static_cast<int>(R->RKind)) + "<";
+      for (size_t I = 0; I < R->Axes.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += "%" + std::to_string(varId(R->Axes[I].get()));
+      }
+      Out += ">(";
+      print(R->Source);
+      if (R->Init) {
+        Out += ";";
+        print(R->Init);
+      }
+      Out += ")";
+      return;
+    }
+    default:
+      // Binary arithmetic (Add..Max) and the vector-level nodes (Ramp,
+      // Broadcast, Concat) share the generic opcode rendering.
+      if (const auto *B = dyn_cast<BinaryNode>(E.get())) {
+        Out += "op" + std::to_string(static_cast<int>(E->kind())) + "(";
+        print(B->LHS);
+        Out += ",";
+        print(B->RHS);
+        Out += ")";
+        return;
+      }
+      if (const auto *R = dyn_cast<RampNode>(E.get())) {
+        Out += "ramp" + std::to_string(R->Stride) + "x" +
+               std::to_string(E->dtype().lanes()) + "(";
+        print(R->Base);
+        Out += ")";
+        return;
+      }
+      if (const auto *B = dyn_cast<BroadcastNode>(E.get())) {
+        Out += "bcast" + std::to_string(B->Repeat) + "(";
+        print(B->Value);
+        Out += ")";
+        return;
+      }
+      if (const auto *C = dyn_cast<ConcatNode>(E.get())) {
+        Out += "cat(";
+        for (size_t I = 0; I < C->Parts.size(); ++I) {
+          if (I)
+            Out += ",";
+          print(C->Parts[I]);
+        }
+        Out += ")";
+        return;
+      }
+      unit_unreachable("unhandled expression node in canonicalComputeKey");
+    }
+  }
+};
+
+} // namespace
+
+std::string unit::canonicalComputeKey(const ComputeOp &Op) {
+  KeyPrinter P;
+  // Axes first, declaration order, so the body's variable ids line up for
+  // any naming of the same loop structure.
+  P.Out += "dp[";
+  for (size_t I = 0; I < Op.axes().size(); ++I) {
+    if (I)
+      P.Out += ",";
+    P.Out += std::to_string(Op.axes()[I]->extent());
+    P.varId(Op.axes()[I].get());
+  }
+  P.Out += "]rd[";
+  for (size_t I = 0; I < Op.reduceAxes().size(); ++I) {
+    if (I)
+      P.Out += ",";
+    P.Out += std::to_string(Op.reduceAxes()[I]->extent());
+    P.varId(Op.reduceAxes()[I].get());
+  }
+  P.Out += "]";
+  if (Op.isInPlaceUpdate())
+    P.Out += "inplace;";
+  P.tensorId(Op.output()); // Output is always tensor @0.
+  P.Out += "body:";
+  P.print(Op.body());
+  // Tensor table: dtype and shape per positional id (names excluded).
+  P.Out += ";tensors:";
+  for (size_t I = 0; I < P.TensorTable.size(); ++I) {
+    const TensorRef &T = P.TensorTable[I];
+    if (I)
+      P.Out += "|";
+    P.Out += T->dtype().str() + "[";
+    for (unsigned D = 0; D < T->rank(); ++D) {
+      if (D)
+        P.Out += ",";
+      P.Out += std::to_string(T->dim(D));
+    }
+    P.Out += "]";
+  }
+  return P.Out;
+}
 
 IsoResult unit::matchCompute(const ComputeOp &Instr, const ComputeOp &Op) {
   IsoResult Result;

@@ -52,6 +52,15 @@ struct IsoResult {
 /// trees, accumulator initialization) and produces register bindings.
 IsoResult matchCompute(const ComputeOp &Instr, const ComputeOp &Op);
 
+/// Canonical structural serialization of \p Op. Loop variables and tensors
+/// are numbered by first appearance (axes in declaration order, tensors
+/// output-first), so two operations that differ only in variable, tensor,
+/// or operation names — the renamings matchCompute treats as isomorphic —
+/// serialize to the same string, while any difference in topology, opcodes,
+/// extents, shapes, or data types produces a different one. The runtime's
+/// KernelCache uses this as its kernel key (runtime/KernelCache.h).
+std::string canonicalComputeKey(const ComputeOp &Op);
+
 } // namespace unit
 
 #endif // UNIT_CORE_ISOMORPHISM_H

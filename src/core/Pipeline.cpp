@@ -35,11 +35,11 @@ unit::compileWithIntrinsic(const ComputeOpRef &Op,
   return Kernel;
 }
 
-CompiledKernel unit::compileForTarget(const ComputeOpRef &Op,
-                                      TargetKind Target,
-                                      const TuneHook &Tune) {
-  for (const TensorIntrinsicRef &Intr :
-       IntrinsicRegistry::instance().forTarget(Target)) {
+CompiledKernel
+unit::compileForIntrinsics(const ComputeOpRef &Op,
+                           const std::vector<TensorIntrinsicRef> &Intrinsics,
+                           const TuneHook &Tune) {
+  for (const TensorIntrinsicRef &Intr : Intrinsics) {
     if (std::optional<CompiledKernel> K =
             compileWithIntrinsic(Op, Intr, Tune))
       return std::move(*K);
@@ -57,4 +57,11 @@ CompiledKernel unit::compileForTarget(const ComputeOpRef &Op,
   if (!V.ok())
     reportFatalError("pipeline: fallback IR failed verification: " + V.Error);
   return Kernel;
+}
+
+CompiledKernel unit::compileForTarget(const ComputeOpRef &Op,
+                                      TargetKind Target,
+                                      const TuneHook &Tune) {
+  return compileForIntrinsics(
+      Op, IntrinsicRegistry::instance().forTarget(Target), Tune);
 }

@@ -21,6 +21,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace unit {
 
@@ -46,10 +47,18 @@ std::optional<CompiledKernel> compileWithIntrinsic(const ComputeOpRef &Op,
                                                    const TensorIntrinsicRef &Intr,
                                                    const TuneHook &Tune = {});
 
-/// Full pipeline against a target: tries registered instructions in order
+/// Full pipeline against an explicit instruction list: tries each in order
 /// and uses the first applicable one. Falls back to a plain (vectorizable)
 /// schedule when nothing matches — mobilenet's depthwise convolutions take
-/// this path.
+/// this path. The runtime's TargetBackends call this with their own
+/// intrinsic list, keeping target dispatch in one place
+/// (runtime/TargetRegistry.h).
+CompiledKernel
+compileForIntrinsics(const ComputeOpRef &Op,
+                     const std::vector<TensorIntrinsicRef> &Intrinsics,
+                     const TuneHook &Tune = {});
+
+/// Convenience overload: the registered instructions of \p Target.
 CompiledKernel compileForTarget(const ComputeOpRef &Op, TargetKind Target,
                                 const TuneHook &Tune = {});
 

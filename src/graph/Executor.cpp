@@ -2,9 +2,6 @@
 
 #include "graph/Executor.h"
 
-#include "core/Inspector.h"
-#include "support/ErrorHandling.h"
-
 #include <algorithm>
 
 using namespace unit;
@@ -66,109 +63,53 @@ double unit::gpuCudaCoreConvSeconds(const ConvLayer &Layer,
 // UnitCpuEngine
 //===----------------------------------------------------------------------===//
 
-UnitCpuEngine::UnitCpuEngine(CpuMachine MachineIn, TargetKind TargetIn)
-    : Machine(std::move(MachineIn)), Target(TargetIn),
-      Scheme(quantSchemeFor(TargetIn)) {}
+UnitCpuEngine::UnitCpuEngine(CpuMachine MachineIn, TargetKind TargetIn,
+                             std::shared_ptr<CompilerSession> SessionIn)
+    : Backend(std::make_shared<CpuBackend>(std::move(MachineIn), TargetIn)),
+      Session(SessionIn ? std::move(SessionIn) : CompilerSession::shared()) {}
 
 std::string UnitCpuEngine::name() const {
-  return std::string("UNIT (") + targetName(Target) + ")";
+  return std::string("UNIT (") + targetName(Backend->kind()) + ")";
 }
 
 double UnitCpuEngine::glueBytesPerSecond() const {
-  return Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9;
+  const CpuMachine &M = Backend->machine();
+  return M.DramBytesPerCycle * M.FreqGHz * 1e9;
 }
 
 CpuLayerReport UnitCpuEngine::convReport(const ConvLayer &Layer) {
-  std::string Key = Layer.shapeKey();
-  auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return It->second;
-
+  KernelReport R = Session->compileConv(Layer, *Backend);
   CpuLayerReport Report;
-  if (Layer.Depthwise) {
-    KernelStats Stats = depthwiseSimdStats(Layer, /*WideningFactor=*/1.5);
-    Report.Seconds = simdLatencySeconds(Stats, Machine);
-  } else {
-    LaidOutOp Laid =
-        buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
-                          Scheme.Accumulator, Scheme.LaneMultiple,
-                          Scheme.ReduceMultiple);
-    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, Target);
-    if (Matches.empty()) {
-      KernelStats Stats = analyzeSimdFallback(
-          Laid.Op, /*WideningFactor=*/1.0,
-          static_cast<double>(Layer.outH()) * Layer.outW());
-      Report.Seconds = simdLatencySeconds(Stats, Machine);
-    } else {
-      TunedKernel Tuned = tuneCpu(Laid.Op, Matches.front(), Machine);
-      Report.Seconds = Tuned.LatencySeconds;
-      Report.Tensorized = true;
-      Report.BestCandidateIndex = Tuned.BestCandidateIndex;
-    }
-  }
-  Cache[Key] = Report;
+  Report.Seconds = R.Seconds;
+  Report.Tensorized = R.Tensorized;
+  Report.BestCandidateIndex = R.BestCandidateIndex;
   return Report;
 }
 
 double UnitCpuEngine::convSeconds(const ConvLayer &Layer) {
-  return convReport(Layer).Seconds;
+  return Session->compileConv(Layer, *Backend).Seconds;
 }
 
 double UnitCpuEngine::conv3dSeconds(const Conv3dLayer &Layer) {
-  LaidOutOp Laid =
-      buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
-                          Scheme.Accumulator, Scheme.LaneMultiple,
-                          Scheme.ReduceMultiple);
-  std::vector<MatchResult> Matches = inspectTarget(Laid.Op, Target);
-  if (Matches.empty())
-    reportFatalError("conv3d failed to tensorize");
-  return tuneCpu(Laid.Op, Matches.front(), Machine).LatencySeconds;
+  return Session->compileConv3d(Layer, *Backend).Seconds;
 }
 
 //===----------------------------------------------------------------------===//
 // UnitGpuEngine
 //===----------------------------------------------------------------------===//
 
-UnitGpuEngine::UnitGpuEngine(GpuMachine MachineIn)
-    : Machine(std::move(MachineIn)) {}
+UnitGpuEngine::UnitGpuEngine(GpuMachine MachineIn,
+                             std::shared_ptr<CompilerSession> SessionIn)
+    : Backend(std::make_shared<GpuBackend>(std::move(MachineIn))),
+      Session(SessionIn ? std::move(SessionIn) : CompilerSession::shared()) {}
 
 std::string UnitGpuEngine::name() const { return "UNIT (tensor core)"; }
 
 double UnitGpuEngine::glueBytesPerSecond() const {
-  return Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9;
+  const GpuMachine &M = Backend->machine();
+  return M.DramBytesPerCycle * M.FreqGHz * 1e9;
 }
 
 double UnitGpuEngine::convSeconds(const ConvLayer &Layer) {
-  std::string Key = Layer.shapeKey();
-  auto It = Cache.find(Key);
-  if (It != Cache.end())
-    return It->second;
-
-  double Best;
-  if (Layer.Depthwise) {
-    Best = gpuCudaCoreConvSeconds(Layer, Machine, /*Scale=*/1.0);
-  } else {
-    // Enumerate the graph-level dimension-fusion choice alongside the
-    // kernel tuning space (paper §IV.B GPU tuning) and keep the best.
-    Best = 1e30;
-    TensorIntrinsicRef Wmma =
-        IntrinsicRegistry::instance().lookup("wmma.m16n16k16.f16");
-    for (bool Fuse : {true, false}) {
-      LaidOutOp Laid = buildConvAsGemmOp(Layer, DataType::f16(),
-                                         DataType::f32(), 16, Fuse);
-      std::optional<MatchResult> Match = inspect(Laid.Op, Wmma);
-      if (!Match)
-        continue;
-      TunedKernel Tuned = tuneGpu(Laid.Op, *Match, Machine);
-      double Rearrange =
-          Laid.RearrangeBytes /
-          (Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9);
-      double Total = Tuned.LatencySeconds + Rearrange;
-      Best = std::min(Best, Total);
-    }
-    if (Best >= 1e30)
-      Best = gpuCudaCoreConvSeconds(Layer, Machine, 2.0);
-  }
-  Cache[Key] = Best;
-  return Best;
+  return Session->compileConv(Layer, *Backend).Seconds;
 }

@@ -20,9 +20,10 @@
 #include "graph/Fusion.h"
 #include "graph/Layout.h"
 #include "graph/Quantize.h"
+#include "runtime/CompilerSession.h"
 #include "tuner/Tuner.h"
 
-#include <map>
+#include <memory>
 #include <string>
 
 namespace unit {
@@ -53,15 +54,17 @@ struct CpuLayerReport {
   int BestCandidateIndex = -1;
 };
 
-/// UNIT on a CPU target (x86 VNNI or ARM DOT), with per-shape kernel cache.
+/// UNIT on a CPU target (x86 VNNI or ARM DOT). Kernels are compiled
+/// through the CompilerSession's shared KernelCache — isomorphic layers,
+/// even across engines and models, tune once.
 class UnitCpuEngine : public InferenceEngine {
-  CpuMachine Machine;
-  TargetKind Target;
-  QuantScheme Scheme;
-  std::map<std::string, CpuLayerReport> Cache;
+  std::shared_ptr<const CpuBackend> Backend;
+  std::shared_ptr<CompilerSession> Session;
 
 public:
-  UnitCpuEngine(CpuMachine Machine, TargetKind Target);
+  /// \p Session defaults to the process-wide CompilerSession::shared().
+  UnitCpuEngine(CpuMachine Machine, TargetKind Target,
+                std::shared_ptr<CompilerSession> Session = nullptr);
 
   std::string name() const override;
   double convSeconds(const ConvLayer &Layer) override;
@@ -73,22 +76,30 @@ public:
   CpuLayerReport convReport(const ConvLayer &Layer);
   /// Modeled seconds for a conv3d layer (paper Fig. 13).
   double conv3dSeconds(const Conv3dLayer &Layer);
+
+  const CpuBackend &backend() const { return *Backend; }
+  CompilerSession &session() { return *Session; }
 };
 
 /// UNIT on an Nvidia GPU (Tensor Core implicit-GEMM path), enumerating the
-/// dimension-fusion choice alongside the kernel tuning space.
+/// dimension-fusion choice alongside the kernel tuning space. Compiles
+/// through the shared CompilerSession like the CPU engine.
 class UnitGpuEngine : public InferenceEngine {
-  GpuMachine Machine;
-  std::map<std::string, double> Cache;
+  std::shared_ptr<const GpuBackend> Backend;
+  std::shared_ptr<CompilerSession> Session;
 
 public:
-  explicit UnitGpuEngine(GpuMachine Machine);
+  explicit UnitGpuEngine(GpuMachine Machine,
+                         std::shared_ptr<CompilerSession> Session = nullptr);
 
   std::string name() const override;
   double convSeconds(const ConvLayer &Layer) override;
   double perOpOverheadSeconds() const override { return 4e-6; }
   double fusionQuality() const override { return 1.0; }
   double glueBytesPerSecond() const override;
+
+  const GpuBackend &backend() const { return *Backend; }
+  CompilerSession &session() { return *Session; }
 };
 
 /// SIMD fallback stats for a depthwise conv (no channel reduction, so the

@@ -45,35 +45,49 @@ int64_t TensorIntrinsic::reduceWidth() const {
 }
 
 IntrinsicRegistry &IntrinsicRegistry::instance() {
-  static IntrinsicRegistry Registry;
-  static bool BuiltinsRegistered = false;
-  if (!BuiltinsRegistered) {
-    BuiltinsRegistered = true;
-    registerBuiltinIntrinsics(Registry);
-  }
-  return Registry;
+  // Magic-static initialization is thread-safe, so built-ins register
+  // exactly once even when the first access races across pool threads.
+  static IntrinsicRegistry *Registry = [] {
+    auto *R = new IntrinsicRegistry();
+    registerBuiltinIntrinsics(*R);
+    return R;
+  }();
+  return *Registry;
 }
 
 void IntrinsicRegistry::add(TensorIntrinsicRef Intrinsic) {
   assert(Intrinsic && "null intrinsic");
-  if (lookup(Intrinsic->name()))
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (lookupLocked(Intrinsic->name()))
     reportFatalError("intrinsic '" + Intrinsic->name() +
                      "' registered twice");
   Intrinsics.push_back(std::move(Intrinsic));
 }
 
-TensorIntrinsicRef IntrinsicRegistry::lookup(const std::string &Name) const {
+TensorIntrinsicRef
+IntrinsicRegistry::lookupLocked(const std::string &Name) const {
   for (const TensorIntrinsicRef &I : Intrinsics)
     if (I->name() == Name)
       return I;
   return nullptr;
 }
 
+TensorIntrinsicRef IntrinsicRegistry::lookup(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return lookupLocked(Name);
+}
+
 std::vector<TensorIntrinsicRef>
 IntrinsicRegistry::forTarget(TargetKind T) const {
+  std::lock_guard<std::mutex> Lock(Mu);
   std::vector<TensorIntrinsicRef> Out;
   for (const TensorIntrinsicRef &I : Intrinsics)
     if (I->target() == T)
       Out.push_back(I);
   return Out;
+}
+
+std::vector<TensorIntrinsicRef> IntrinsicRegistry::all() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Intrinsics;
 }

@@ -21,6 +21,7 @@
 #include "ir/ComputeOp.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -75,11 +76,14 @@ using TensorIntrinsicRef = std::shared_ptr<const TensorIntrinsic>;
 
 /// Process-wide instruction registry. Built-ins (VNNI, DOT, WMMA, ...) are
 /// registered lazily on first access; user code may add its own (see
-/// examples/custom_intrinsic.cpp).
+/// examples/custom_intrinsic.cpp). Thread-safe: the CompilerSession's pool
+/// consults the registry from concurrent tuning tasks.
 class IntrinsicRegistry {
+  mutable std::mutex Mu;
   std::vector<TensorIntrinsicRef> Intrinsics;
 
   IntrinsicRegistry() = default;
+  TensorIntrinsicRef lookupLocked(const std::string &Name) const;
 
 public:
   IntrinsicRegistry(const IntrinsicRegistry &) = delete;
@@ -97,8 +101,8 @@ public:
   /// All instructions for one target, registration order.
   std::vector<TensorIntrinsicRef> forTarget(TargetKind T) const;
 
-  /// All registered instructions.
-  const std::vector<TensorIntrinsicRef> &all() const { return Intrinsics; }
+  /// Snapshot of every registered instruction.
+  std::vector<TensorIntrinsicRef> all() const;
 };
 
 } // namespace unit

@@ -2,7 +2,18 @@
 
 #include "perf/MachineModel.h"
 
+#include <cstdio>
+
 using namespace unit;
+
+namespace {
+/// Appends one double in exact hex-float form.
+void appendParam(std::string &Out, double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), ",%a", V);
+  Out += Buf;
+}
+} // namespace
 
 CpuMachine CpuMachine::cascadeLake() {
   CpuMachine M;
@@ -43,6 +54,17 @@ CpuMachine CpuMachine::graviton2() {
   return M;
 }
 
+std::string CpuMachine::cacheFingerprint() const {
+  std::string Out = Name;
+  for (double V :
+       {FreqGHz, static_cast<double>(Cores), LoadPortsPerCycle,
+        ForkJoinCycles, PerChunkSchedCycles, ICacheBodyBudgetBytes,
+        ResidueBranchPenalty, DramBytesPerCycle, L2BytesPerCore,
+        SimdVectorBytes, SimdPipes, WideningFactorNoDot})
+    appendParam(Out, V);
+  return Out;
+}
+
 GpuMachine GpuMachine::v100() {
   GpuMachine M;
   M.Name = "p3.2xlarge (Tesla V100-SXM2)";
@@ -64,4 +86,16 @@ GpuMachine GpuMachine::v100() {
   M.WarpsForPeakBandwidth = 160.0;  // ~2 warps per SM keep HBM busy.
   M.SharedBytesPerSM = 96.0 * 1024.0;
   return M;
+}
+
+std::string GpuMachine::cacheFingerprint() const {
+  std::string Out = Name;
+  for (double V :
+       {FreqGHz, static_cast<double>(SMs), WmmaPerCyclePerSM,
+        WarpIssueCycles, FmaPerCyclePerSM, KernelLaunchMicros,
+        SyncBaseCycles, SyncPerSegmentCycles, RegsPerAccumTile, RegsBase,
+        RegBudgetPerWarp, DramBytesPerCycle, WarpsForPeakBandwidth,
+        SharedBytesPerSM})
+    appendParam(Out, V);
+  return Out;
 }

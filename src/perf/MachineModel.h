@@ -51,6 +51,11 @@ struct CpuMachine {
   /// AWS m6g.8xlarge: Graviton2 (Neoverse N1), 32 cores at 2.3 GHz,
   /// 128-bit NEON with the DOT extension.
   static CpuMachine graviton2();
+
+  /// Exact serialization of every latency-relevant parameter (name
+  /// included). Kernel-cache salts use this so two machines that share a
+  /// name but differ in any parameter never share cached latencies.
+  std::string cacheFingerprint() const;
 };
 
 /// A CUDA GPU with per-SM tensor cores.
@@ -79,6 +84,9 @@ struct GpuMachine {
 
   /// AWS p3.2xlarge: Tesla V100-SXM2, 80 SMs at 1.53 GHz.
   static GpuMachine v100();
+
+  /// Exact parameter serialization; see CpuMachine::cacheFingerprint.
+  std::string cacheFingerprint() const;
 };
 
 } // namespace unit

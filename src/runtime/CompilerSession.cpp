@@ -1,0 +1,103 @@
+//===- runtime/CompilerSession.cpp -----------------------------------------===//
+
+#include "runtime/CompilerSession.h"
+
+#include "core/Isomorphism.h"
+
+#include <chrono>
+#include <unordered_map>
+
+using namespace unit;
+
+CompilerSession::CompilerSession(SessionConfig ConfigIn)
+    : Config(ConfigIn), Pool(std::make_unique<ThreadPool>(Config.Threads)) {}
+
+CompilerSession::~CompilerSession() = default;
+
+const std::shared_ptr<CompilerSession> &CompilerSession::shared() {
+  static std::shared_ptr<CompilerSession> Session =
+      std::make_shared<CompilerSession>();
+  return Session;
+}
+
+KernelReport CompilerSession::compile(const ComputeOpRef &Op,
+                                      TargetKind Target) {
+  return compile(Op, *TargetRegistry::instance().get(Target));
+}
+
+KernelReport CompilerSession::compile(const ComputeOpRef &Op,
+                                      const TargetBackend &Backend) {
+  std::string Key = Backend.cacheSalt() + "|op|" + canonicalComputeKey(*Op);
+  return Cache.getOrCompute(
+      Key, [&] { return Backend.compileOp(Op, tuningPool()); });
+}
+
+KernelReport CompilerSession::compileConv(const ConvLayer &Layer,
+                                          const TargetBackend &Backend) {
+  return Cache.getOrCompute(Backend.convKey(Layer), [&] {
+    return Backend.compileConv(Layer, tuningPool());
+  });
+}
+
+KernelReport CompilerSession::compileConv3d(const Conv3dLayer &Layer,
+                                            const CpuBackend &Backend) {
+  return Cache.getOrCompute(Backend.conv3dKey(Layer), [&] {
+    return Backend.compileConv3d(Layer, tuningPool());
+  });
+}
+
+ModelCompileResult CompilerSession::compileModel(const Model &M,
+                                                 TargetKind Target) {
+  return compileModel(M, *TargetRegistry::instance().get(Target));
+}
+
+ModelCompileResult
+CompilerSession::compileModel(const Model &M, const TargetBackend &Backend) {
+  auto Start = std::chrono::steady_clock::now();
+  ModelCompileResult Result;
+
+  // Canonical key per layer; isomorphic layers (and layers compiled by a
+  // previous model on the same backend) collapse onto one cache entry.
+  std::vector<std::string> Keys;
+  Keys.reserve(M.Convs.size());
+  std::unordered_map<std::string, size_t> FirstLayerOf;
+  std::vector<size_t> DistinctLayers; ///< Index of each key's first layer.
+  for (size_t I = 0; I < M.Convs.size(); ++I) {
+    Keys.push_back(Backend.convKey(M.Convs[I]));
+    if (FirstLayerOf.emplace(Keys.back(), I).second)
+      DistinctLayers.push_back(I);
+  }
+  // Only entries that existed before this call count as hits; intra-model
+  // duplicates of a cold shape are deduplicated work, not cache hits.
+  for (const std::string &Key : Keys)
+    if (Cache.contains(Key))
+      ++Result.CacheHitLayers;
+  Result.DistinctShapes = DistinctLayers.size();
+
+  auto CompileOne = [&](size_t Slot) {
+    size_t LayerIndex = DistinctLayers[Slot];
+    Cache.getOrCompute(Keys[LayerIndex], [&] {
+      return Backend.compileConv(M.Convs[LayerIndex], tuningPool());
+    });
+  };
+  if (Config.ParallelShapes && DistinctLayers.size() > 1)
+    Pool->parallelFor(DistinctLayers.size(), CompileOne);
+  else
+    for (size_t Slot = 0; Slot < DistinctLayers.size(); ++Slot)
+      CompileOne(Slot);
+
+  Result.Layers.reserve(M.Convs.size());
+  for (size_t I = 0; I < Keys.size(); ++I) {
+    std::optional<KernelReport> R = Cache.lookup(Keys[I]);
+    if (!R) // Entry evicted by a concurrent clear(): recompile it.
+      R = Cache.getOrCompute(Keys[I], [&] {
+        return Backend.compileConv(M.Convs[I], tuningPool());
+      });
+    Result.Layers.push_back(*R);
+  }
+
+  Result.WallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}

@@ -1,0 +1,92 @@
+//===- runtime/CompilerSession.h - Reusable concurrent compile layer ------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reusable compilation layer between graph executors and kernel
+/// search: one object owning the shared KernelCache and a work-stealing
+/// thread pool, exposing compile(op, target) / compileModel(model, target).
+/// Distinct shapes of a model tune concurrently and tuning candidates are
+/// scored in parallel, but every winner is chosen by an index-stable
+/// argmin — parallel and sequential modes produce byte-identical reports.
+///
+/// Engines (graph/Executor.h) share the process-wide session by default,
+/// so a resnet50 compile warms resnet18's kernels and vice versa.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_RUNTIME_COMPILERSESSION_H
+#define UNIT_RUNTIME_COMPILERSESSION_H
+
+#include "runtime/KernelCache.h"
+#include "runtime/TargetRegistry.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <vector>
+
+namespace unit {
+
+struct SessionConfig {
+  unsigned Threads = 0;           ///< Pool size; 0 = hardware concurrency.
+  bool ParallelShapes = true;     ///< Tune distinct model shapes concurrently.
+  bool ParallelCandidates = true; ///< Score tuning candidates concurrently.
+};
+
+/// What compiling a whole model produced.
+struct ModelCompileResult {
+  std::vector<KernelReport> Layers; ///< One per Model::Convs entry.
+  size_t DistinctShapes = 0;        ///< Kernels actually visited.
+  size_t CacheHitLayers = 0;        ///< Layers served by pre-existing entries.
+  double WallSeconds = 0.0;         ///< Measured compile wall time (telemetry).
+};
+
+class CompilerSession {
+  SessionConfig Config;
+  KernelCache Cache;
+  std::unique_ptr<ThreadPool> Pool;
+
+  /// The pool handed to tuners, or null when candidate-parallelism is off.
+  ThreadPool *tuningPool() { return Config.ParallelCandidates ? Pool.get() : nullptr; }
+
+public:
+  explicit CompilerSession(SessionConfig Config = {});
+  ~CompilerSession();
+
+  CompilerSession(const CompilerSession &) = delete;
+  CompilerSession &operator=(const CompilerSession &) = delete;
+
+  /// The process-wide session every engine uses unless given its own.
+  static const std::shared_ptr<CompilerSession> &shared();
+
+  KernelCache &cache() { return Cache; }
+  ThreadPool &pool() { return *Pool; }
+  const SessionConfig &config() const { return Config; }
+
+  /// Compiles one tensor operation for \p Target's registered backend
+  /// (or an explicit backend), returning the cached report when the
+  /// canonical key is already present.
+  KernelReport compile(const ComputeOpRef &Op, TargetKind Target);
+  KernelReport compile(const ComputeOpRef &Op, const TargetBackend &Backend);
+
+  /// Conv-layer entry the engines use.
+  KernelReport compileConv(const ConvLayer &Layer,
+                           const TargetBackend &Backend);
+
+  /// Conv3d entry (CPU targets, paper §VI.C).
+  KernelReport compileConv3d(const Conv3dLayer &Layer,
+                             const CpuBackend &Backend);
+
+  /// Compiles every conv layer of \p M, tuning distinct shapes
+  /// concurrently when the config allows. Per-layer reports are
+  /// byte-identical between parallel and sequential modes.
+  ModelCompileResult compileModel(const Model &M, TargetKind Target);
+  ModelCompileResult compileModel(const Model &M,
+                                  const TargetBackend &Backend);
+};
+
+} // namespace unit
+
+#endif // UNIT_RUNTIME_COMPILERSESSION_H

@@ -1,0 +1,81 @@
+//===- runtime/KernelCache.cpp ---------------------------------------------===//
+
+#include "runtime/KernelCache.h"
+
+#include <chrono>
+
+using namespace unit;
+
+KernelReport KernelCache::getOrCompute(const std::string &Key,
+                                       const Compiler &Compile) {
+  std::shared_future<KernelReport> Fut;
+  std::promise<KernelReport> Mine;
+  bool Winner = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Key);
+    if (It == Entries.end()) {
+      Fut = Mine.get_future().share();
+      Entries.emplace(Key, Fut);
+      Winner = true;
+    } else {
+      Fut = It->second;
+    }
+  }
+  if (!Winner) {
+    Hits.fetch_add(1);
+    return Fut.get();
+  }
+  Misses.fetch_add(1);
+  // The library itself aborts rather than throws, but user-registered
+  // backends (and std::bad_alloc) can still unwind through here. Without
+  // this handler the unfulfilled promise would poison the key forever
+  // (every later lookup getting broken_promise); instead, evict the
+  // entry so the key can be retried and propagate the error to waiters.
+  try {
+    KernelReport Report = Compile();
+    Mine.set_value(Report);
+    return Report;
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Entries.erase(Key);
+    }
+    Mine.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+std::optional<KernelReport>
+KernelCache::lookup(const std::string &Key) const {
+  std::shared_future<KernelReport> Fut;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      return std::nullopt;
+    Fut = It->second;
+  }
+  if (Fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+    return std::nullopt;
+  return Fut.get();
+}
+
+bool KernelCache::contains(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.count(Key) != 0;
+}
+
+size_t KernelCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}
+
+void KernelCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries.clear();
+}
+
+KernelCache::CacheStats KernelCache::stats() const {
+  return {Hits.load(), Misses.load()};
+}

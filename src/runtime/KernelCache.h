@@ -1,0 +1,76 @@
+//===- runtime/KernelCache.h - Shared compiled-kernel cache ---------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One thread-safe cache of compiled-kernel reports shared by every engine
+/// and session, replacing the per-engine string maps the executors used to
+/// carry. Keys are canonical structural serializations of the tensor
+/// operation (core/Isomorphism.h canonicalComputeKey) prefixed with the
+/// backend's salt, so isomorphic layers with renamed variables hit the same
+/// entry while different machines never collide.
+///
+/// Lookups are single-flight: when two threads ask for the same missing key
+/// concurrently, one compiles and the other waits on the same future — a
+/// model with repeated shapes never tunes a shape twice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_RUNTIME_KERNELCACHE_H
+#define UNIT_RUNTIME_KERNELCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace unit {
+
+/// What compiling one kernel produced: the modeled latency plus the search
+/// telemetry the benches and per-layer reports surface.
+struct KernelReport {
+  double Seconds = 0.0;
+  bool Tensorized = false;
+  int BestCandidateIndex = -1; ///< Winning tuning candidate, -1 = fallback.
+  int CandidatesTried = 0;
+  std::string IntrinsicName;   ///< Winning instruction; empty for fallback.
+};
+
+class KernelCache {
+public:
+  using Compiler = std::function<KernelReport()>;
+
+  /// Returns the cached report for \p Key, compiling it with \p Compile on
+  /// a miss. Concurrent misses on one key run \p Compile exactly once; the
+  /// losers block on the winner's future.
+  KernelReport getOrCompute(const std::string &Key, const Compiler &Compile);
+
+  /// Non-computing probe; std::nullopt when absent or still compiling.
+  std::optional<KernelReport> lookup(const std::string &Key) const;
+
+  bool contains(const std::string &Key) const;
+  size_t size() const;
+  void clear();
+
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+  };
+  CacheStats stats() const;
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, std::shared_future<KernelReport>> Entries;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace unit
+
+#endif // UNIT_RUNTIME_KERNELCACHE_H

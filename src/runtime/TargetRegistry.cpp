@@ -1,0 +1,300 @@
+//===- runtime/TargetRegistry.cpp ------------------------------------------===//
+
+#include "runtime/TargetRegistry.h"
+
+#include "core/Inspector.h"
+#include "core/Isomorphism.h"
+#include "graph/Executor.h"
+#include "graph/Layout.h"
+#include "perf/CostModel.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+#include "tuner/Tuner.h"
+
+#include <algorithm>
+
+using namespace unit;
+
+TargetBackend::~TargetBackend() = default;
+
+std::vector<TensorIntrinsicRef> TargetBackend::intrinsics() const {
+  return IntrinsicRegistry::instance().forTarget(kind());
+}
+
+namespace {
+
+/// First applicable instruction from \p Intrs against \p Op.
+std::optional<MatchResult>
+firstMatch(const ComputeOpRef &Op,
+           const std::vector<TensorIntrinsicRef> &Intrs) {
+  for (const TensorIntrinsicRef &Intr : Intrs)
+    if (std::optional<MatchResult> M = inspect(Op, Intr))
+      return M;
+  return std::nullopt;
+}
+
+KernelReport reportFromTuned(const TunedKernel &Tuned,
+                             const std::string &IntrName) {
+  KernelReport R;
+  R.Seconds = Tuned.LatencySeconds;
+  R.Tensorized = true;
+  R.BestCandidateIndex = Tuned.BestCandidateIndex;
+  R.CandidatesTried = Tuned.CandidatesTried;
+  R.IntrinsicName = IntrName;
+  return R;
+}
+
+int64_t dataParallelExtent(const ComputeOpRef &Op) {
+  int64_t Extent = 1;
+  for (const IterVar &IV : Op->axes())
+    Extent *= IV->extent();
+  return Extent;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CpuBackend
+//===----------------------------------------------------------------------===//
+
+CpuBackend::CpuBackend(CpuMachine MachineIn, TargetKind TargetIn)
+    : Machine(std::move(MachineIn)), Target(TargetIn),
+      Scheme(quantSchemeFor(TargetIn)) {
+  if (TargetIn == TargetKind::NvidiaGPU)
+    reportFatalError("CpuBackend cannot serve the GPU target");
+  // Full parameter fingerprint, not just the name: two machines sharing
+  // a label but differing in any latency-relevant knob must never share
+  // cached reports.
+  Salt = std::string(targetName(Target)) + "|" + Machine.cacheFingerprint();
+}
+
+std::string CpuBackend::cacheSalt() const { return Salt; }
+
+std::string CpuBackend::convKey(const ConvLayer &Layer) const {
+  if (Layer.Depthwise)
+    return cacheSalt() + "|dw|" + Layer.shapeKey();
+  std::string Shape = Layer.shapeKey();
+  {
+    std::lock_guard<std::mutex> Lock(KeyMu);
+    auto It = KeyMemo.find(Shape);
+    if (It != KeyMemo.end())
+      return It->second;
+  }
+  // The CPU report is a pure function of the laid-out op, so the
+  // canonical key is sound here: layers whose different raw shapes pad
+  // to isomorphic blocked ops share one compiled kernel.
+  LaidOutOp Laid =
+      buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
+                        Scheme.Accumulator, Scheme.LaneMultiple,
+                        Scheme.ReduceMultiple);
+  std::string Key = cacheSalt() + "|conv|" + canonicalComputeKey(*Laid.Op);
+  std::lock_guard<std::mutex> Lock(KeyMu);
+  KeyMemo.emplace(std::move(Shape), Key);
+  return Key;
+}
+
+KernelReport CpuBackend::compileConv(const ConvLayer &Layer,
+                                     ThreadPool *Pool) const {
+  KernelReport Report;
+  if (Layer.Depthwise) {
+    // No channel reduction, so the Inspector rejects every dot
+    // instruction; price the SIMD schedule directly.
+    KernelStats Stats = depthwiseSimdStats(Layer, /*WideningFactor=*/1.5);
+    Report.Seconds = simdLatencySeconds(Stats, Machine);
+    return Report;
+  }
+  LaidOutOp Laid =
+      buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
+                        Scheme.Accumulator, Scheme.LaneMultiple,
+                        Scheme.ReduceMultiple);
+  std::optional<MatchResult> Match = firstMatch(Laid.Op, intrinsics());
+  if (!Match) {
+    KernelStats Stats = analyzeSimdFallback(
+        Laid.Op, /*WideningFactor=*/1.0,
+        static_cast<double>(Layer.outH()) * Layer.outW());
+    Report.Seconds = simdLatencySeconds(Stats, Machine);
+    return Report;
+  }
+  TunedKernel Tuned = tuneCpu(Laid.Op, *Match, Machine, Pool);
+  return reportFromTuned(Tuned, Match->Intrinsic->name());
+}
+
+KernelReport CpuBackend::compileOp(const ComputeOpRef &Op,
+                                   ThreadPool *Pool) const {
+  if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
+    TunedKernel Tuned = tuneCpu(Op, *Match, Machine, Pool);
+    return reportFromTuned(Tuned, Match->Intrinsic->name());
+  }
+  KernelReport Report;
+  KernelStats Stats =
+      analyzeSimdFallback(Op, /*WideningFactor=*/1.0,
+                          static_cast<double>(dataParallelExtent(Op)));
+  Report.Seconds = simdLatencySeconds(Stats, Machine);
+  return Report;
+}
+
+std::string CpuBackend::conv3dKey(const Conv3dLayer &Layer) const {
+  std::string Shape = formatStr(
+      "3d|c%lld.d%lld.h%lld.w%lld.k%lld.r%lld.st%lld.p%lld",
+      static_cast<long long>(Layer.InC), static_cast<long long>(Layer.InD),
+      static_cast<long long>(Layer.InH), static_cast<long long>(Layer.InW),
+      static_cast<long long>(Layer.OutC), static_cast<long long>(Layer.K),
+      static_cast<long long>(Layer.Stride),
+      static_cast<long long>(Layer.Pad));
+  {
+    std::lock_guard<std::mutex> Lock(KeyMu);
+    auto It = KeyMemo.find(Shape);
+    if (It != KeyMemo.end())
+      return It->second;
+  }
+  LaidOutOp Laid =
+      buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
+                          Scheme.Accumulator, Scheme.LaneMultiple,
+                          Scheme.ReduceMultiple);
+  std::string Key = cacheSalt() + "|conv3d|" + canonicalComputeKey(*Laid.Op);
+  std::lock_guard<std::mutex> Lock(KeyMu);
+  KeyMemo.emplace(std::move(Shape), Key);
+  return Key;
+}
+
+KernelReport CpuBackend::compileConv3d(const Conv3dLayer &Layer,
+                                       ThreadPool *Pool) const {
+  LaidOutOp Laid =
+      buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
+                          Scheme.Accumulator, Scheme.LaneMultiple,
+                          Scheme.ReduceMultiple);
+  std::optional<MatchResult> Match = firstMatch(Laid.Op, intrinsics());
+  if (!Match)
+    reportFatalError("conv3d failed to tensorize");
+  TunedKernel Tuned = tuneCpu(Laid.Op, *Match, Machine, Pool);
+  return reportFromTuned(Tuned, Match->Intrinsic->name());
+}
+
+//===----------------------------------------------------------------------===//
+// GpuBackend
+//===----------------------------------------------------------------------===//
+
+GpuBackend::GpuBackend(GpuMachine MachineIn)
+    : Machine(std::move(MachineIn)),
+      Scheme(quantSchemeFor(TargetKind::NvidiaGPU)) {
+  Salt = std::string(targetName(TargetKind::NvidiaGPU)) + "|" +
+         Machine.cacheFingerprint();
+}
+
+std::string GpuBackend::cacheSalt() const { return Salt; }
+
+std::string GpuBackend::convKey(const ConvLayer &Layer) const {
+  if (Layer.Depthwise)
+    return cacheSalt() + "|dw|" + Layer.shapeKey();
+  // The compiled result folds in the fused *and* unfused implicit-GEMM
+  // views plus their layout-rearrangement traffic, all of which the
+  // padded GEMM op erases (two layers with different strides can build
+  // identical GEMMs yet pay different rearrange costs) — so the key is
+  // the full conv geometry, which still excludes names and therefore
+  // still collapses isomorphic renamed layers.
+  return cacheSalt() + "|conv+fuse-enum|" + Layer.shapeKey();
+}
+
+KernelReport GpuBackend::compileConv(const ConvLayer &Layer,
+                                     ThreadPool *Pool) const {
+  KernelReport Report;
+  if (Layer.Depthwise) {
+    Report.Seconds = gpuCudaCoreConvSeconds(Layer, Machine, /*Scale=*/1.0);
+    return Report;
+  }
+  // Enumerate the graph-level dimension-fusion choice alongside the kernel
+  // tuning space (paper §IV.B GPU tuning) and keep the best.
+  std::vector<TensorIntrinsicRef> Intrs = intrinsics();
+  double Best = 1e30;
+  for (bool Fuse : {true, false}) {
+    LaidOutOp Laid =
+        buildConvAsGemmOp(Layer, Scheme.Activation, Scheme.Accumulator,
+                          Scheme.LaneMultiple, Fuse);
+    std::optional<MatchResult> Match = firstMatch(Laid.Op, Intrs);
+    if (!Match)
+      continue;
+    TunedKernel Tuned = tuneGpu(Laid.Op, *Match, Machine, Pool);
+    double Rearrange = Laid.RearrangeBytes /
+                       (Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9);
+    double Total = Tuned.LatencySeconds + Rearrange;
+    if (Total < Best) {
+      Best = Total;
+      Report.Tensorized = true;
+      // Index into the concatenated [fused..., unfused...] candidate
+      // enumeration, consistent with the summed CandidatesTried — an
+      // index >= the fused variant's count means the unfused view won.
+      Report.BestCandidateIndex =
+          Report.CandidatesTried + Tuned.BestCandidateIndex;
+      Report.IntrinsicName = Match->Intrinsic->name();
+    }
+    Report.CandidatesTried += Tuned.CandidatesTried;
+  }
+  if (Best >= 1e30)
+    Best = gpuCudaCoreConvSeconds(Layer, Machine, 2.0);
+  Report.Seconds = Best;
+  return Report;
+}
+
+KernelReport GpuBackend::compileOp(const ComputeOpRef &Op,
+                                   ThreadPool *Pool) const {
+  if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
+    TunedKernel Tuned = tuneGpu(Op, *Match, Machine, Pool);
+    return reportFromTuned(Tuned, Match->Intrinsic->name());
+  }
+  // CUDA-core fallback for untensorizable ops: roofline over total MACs
+  // (the Fig. 1 no-tensor-core path, without layer-level utilization
+  // detail since all we have here is the operation).
+  KernelReport Report;
+  double Macs = static_cast<double>(dataParallelExtent(Op));
+  for (const IterVar &IV : Op->reduceAxes())
+    Macs *= static_cast<double>(IV->extent());
+  double MacsPerSecond = Machine.SMs * Machine.FmaPerCyclePerSM *
+                         Machine.FreqGHz * 1e9;
+  Report.Seconds = Macs / MacsPerSecond + Machine.KernelLaunchMicros * 1e-6;
+  return Report;
+}
+
+//===----------------------------------------------------------------------===//
+// TargetRegistry
+//===----------------------------------------------------------------------===//
+
+TargetRegistry &TargetRegistry::instance() {
+  // Magic-static init is thread-safe; defaults are the paper's machines.
+  static TargetRegistry *Registry = [] {
+    auto *R = new TargetRegistry();
+    R->registerBackend(std::make_shared<CpuBackend>(CpuMachine::cascadeLake(),
+                                                    TargetKind::X86));
+    R->registerBackend(
+        std::make_shared<CpuBackend>(CpuMachine::graviton2(),
+                                     TargetKind::ARM));
+    R->registerBackend(std::make_shared<GpuBackend>(GpuMachine::v100()));
+    return R;
+  }();
+  return *Registry;
+}
+
+void TargetRegistry::registerBackend(TargetBackendRef Backend) {
+  if (!Backend)
+    reportFatalError("TargetRegistry: null backend");
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (TargetBackendRef &B : Backends)
+    if (B->kind() == Backend->kind()) {
+      B = std::move(Backend);
+      return;
+    }
+  Backends.push_back(std::move(Backend));
+}
+
+TargetBackendRef TargetRegistry::get(TargetKind K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const TargetBackendRef &B : Backends)
+    if (B->kind() == K)
+      return B;
+  reportFatalError(std::string("TargetRegistry: no backend registered for ") +
+                   targetName(K));
+}
+
+std::vector<TargetBackendRef> TargetRegistry::all() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Backends;
+}

@@ -1,0 +1,153 @@
+//===- runtime/TargetRegistry.h - Backend registration & dispatch ---------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One object per hardware platform bundling everything the runtime needs
+/// to compile for it — quantization scheme, machine model, intrinsic list,
+/// plan builder / tuner dispatch — which the seed had spread as TargetKind
+/// switches across Pipeline.cpp, Tuner.cpp, Executor.cpp, and the engines.
+/// Adding a backend is now one TargetRegistry::registerBackend call; the
+/// engines, the CompilerSession, and compileForTarget all route through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_RUNTIME_TARGETREGISTRY_H
+#define UNIT_RUNTIME_TARGETREGISTRY_H
+
+#include "graph/Graph.h"
+#include "graph/Quantize.h"
+#include "perf/MachineModel.h"
+#include "runtime/KernelCache.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace unit {
+
+class ThreadPool;
+
+/// Compilation services for one hardware platform. Implementations are
+/// immutable and thread-safe: compile* methods may run concurrently from
+/// the CompilerSession's pool.
+class TargetBackend {
+public:
+  virtual ~TargetBackend();
+
+  virtual TargetKind kind() const = 0;
+
+  /// Prefixed to every cache key ("x86|Cascade Lake (c5.12xlarge)"), so
+  /// backends of the same kind with different machine models never share
+  /// cache entries.
+  virtual std::string cacheSalt() const = 0;
+
+  /// The operand/accumulator types this platform's instructions consume.
+  virtual const QuantScheme &scheme() const = 0;
+
+  /// Registered instructions for this target, widest-first.
+  virtual std::vector<TensorIntrinsicRef> intrinsics() const;
+
+  /// Canonical cache key for one conv layer: the backend's salt plus the
+  /// structural serialization of the operation it would build, so two
+  /// layers that build isomorphic operations share one compiled kernel.
+  virtual std::string convKey(const ConvLayer &Layer) const = 0;
+
+  /// Tunes one conv layer. \p Pool, when non-null, scores tuning
+  /// candidates concurrently (result is identical either way).
+  virtual KernelReport compileConv(const ConvLayer &Layer,
+                                   ThreadPool *Pool) const = 0;
+
+  /// Tunes one already-built tensor operation.
+  virtual KernelReport compileOp(const ComputeOpRef &Op,
+                                 ThreadPool *Pool) const = 0;
+};
+
+using TargetBackendRef = std::shared_ptr<const TargetBackend>;
+
+/// UNIT on a dot-product CPU (x86 VNNI or ARM DOT).
+class CpuBackend : public TargetBackend {
+  CpuMachine Machine;
+  TargetKind Target;
+  QuantScheme Scheme;
+  std::string Salt; ///< Computed once: target + machine fingerprint.
+  /// ConvLayer::shapeKey -> canonical cache key. The shape key is a
+  /// strictly finer partition than the canonical key, so memoizing is
+  /// sound — and it keeps the cache-hit path from rebuilding the whole
+  /// blocked-layout op just to probe the cache.
+  mutable std::mutex KeyMu;
+  mutable std::unordered_map<std::string, std::string> KeyMemo;
+
+public:
+  CpuBackend(CpuMachine Machine, TargetKind Target);
+
+  TargetKind kind() const override { return Target; }
+  std::string cacheSalt() const override;
+  const QuantScheme &scheme() const override { return Scheme; }
+  std::string convKey(const ConvLayer &Layer) const override;
+  KernelReport compileConv(const ConvLayer &Layer,
+                           ThreadPool *Pool) const override;
+  KernelReport compileOp(const ComputeOpRef &Op,
+                         ThreadPool *Pool) const override;
+
+  /// Conv3d flows through the same pipeline (paper §VI.C).
+  std::string conv3dKey(const Conv3dLayer &Layer) const;
+  KernelReport compileConv3d(const Conv3dLayer &Layer,
+                             ThreadPool *Pool) const;
+
+  const CpuMachine &machine() const { return Machine; }
+};
+
+/// UNIT on an Nvidia GPU (Tensor Core implicit-GEMM path); the conv
+/// compile enumerates the graph-level dimension-fusion choice alongside
+/// the kernel tuning space.
+class GpuBackend : public TargetBackend {
+  GpuMachine Machine;
+  QuantScheme Scheme;
+  std::string Salt; ///< Computed once: target + machine fingerprint.
+
+public:
+  explicit GpuBackend(GpuMachine Machine);
+
+  TargetKind kind() const override { return TargetKind::NvidiaGPU; }
+  std::string cacheSalt() const override;
+  const QuantScheme &scheme() const override { return Scheme; }
+  std::string convKey(const ConvLayer &Layer) const override;
+  KernelReport compileConv(const ConvLayer &Layer,
+                           ThreadPool *Pool) const override;
+  KernelReport compileOp(const ComputeOpRef &Op,
+                         ThreadPool *Pool) const override;
+
+  const GpuMachine &machine() const { return Machine; }
+};
+
+/// Process-wide TargetKind -> backend table. The paper's three evaluation
+/// machines (Cascade Lake, Graviton2, V100) are registered as defaults on
+/// first access; registering a backend for an existing kind replaces it.
+class TargetRegistry {
+  mutable std::mutex Mu;
+  std::vector<TargetBackendRef> Backends;
+
+  TargetRegistry() = default;
+
+public:
+  TargetRegistry(const TargetRegistry &) = delete;
+  TargetRegistry &operator=(const TargetRegistry &) = delete;
+
+  static TargetRegistry &instance();
+
+  void registerBackend(TargetBackendRef Backend);
+
+  /// The backend for \p K; fatal-errors when none is registered.
+  TargetBackendRef get(TargetKind K) const;
+
+  std::vector<TargetBackendRef> all() const;
+};
+
+} // namespace unit
+
+#endif // UNIT_RUNTIME_TARGETREGISTRY_H

@@ -1,0 +1,203 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <chrono>
+
+using namespace unit;
+
+namespace {
+/// Which pool (if any) owns the current thread, and that worker's queue
+/// index. Lets enqueue() route nested submissions to the worker's own deque.
+thread_local const ThreadPool *OwnerPool = nullptr;
+thread_local size_t OwnerIndex = 0;
+} // namespace
+
+ThreadPool::ThreadPool(unsigned ThreadsRequested) {
+  unsigned N = ThreadsRequested;
+  if (N == 0) {
+    N = std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1;
+  }
+  Queues.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Queues.push_back(std::make_unique<WorkerQueue>());
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain: workers only exit once Stop is set *and* their scan comes up
+  // empty, so queued tasks still run. Publishing Stop under SleepMu pairs
+  // with the workers' untimed wait (no missed-wakeup window).
+  {
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    Stop.store(true);
+  }
+  SleepCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(Task T, uint64_t Group) {
+  size_t Index;
+  if (OwnerPool == this)
+    Index = OwnerIndex;
+  else
+    Index = NextQueue.fetch_add(1) % Queues.size();
+  {
+    std::lock_guard<std::mutex> Lock(Queues[Index]->Mu);
+    Queues[Index]->Tasks.push_back({std::move(T), Group});
+  }
+  {
+    // Publish under SleepMu so a worker between its failed scan and its
+    // wait cannot miss the update — which lets workers use an untimed
+    // wait instead of burning CPU on a polling timeout.
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    Pending.fetch_add(1);
+  }
+  SleepCv.notify_one();
+}
+
+void ThreadPool::submit(Task T) { enqueue(std::move(T), /*Group=*/0); }
+
+bool ThreadPool::popFrom(size_t Index, Task &Out, bool Steal,
+                         uint64_t Group) {
+  WorkerQueue &Q = *Queues[Index];
+  std::lock_guard<std::mutex> Lock(Q.Mu);
+  if (Group == 0) {
+    if (Q.Tasks.empty())
+      return false;
+    if (Steal) {
+      Out = std::move(Q.Tasks.front().Fn);
+      Q.Tasks.pop_front();
+    } else {
+      Out = std::move(Q.Tasks.back().Fn);
+      Q.Tasks.pop_back();
+    }
+    Pending.fetch_sub(1);
+    return true;
+  }
+  // Group-restricted scan (owner LIFO / thief FIFO over matching tasks).
+  if (Steal) {
+    for (auto It = Q.Tasks.begin(); It != Q.Tasks.end(); ++It)
+      if (It->Group == Group) {
+        Out = std::move(It->Fn);
+        Q.Tasks.erase(It);
+        Pending.fetch_sub(1);
+        return true;
+      }
+  } else {
+    for (auto It = Q.Tasks.rbegin(); It != Q.Tasks.rend(); ++It)
+      if (It->Group == Group) {
+        Out = std::move(It->Fn);
+        Q.Tasks.erase(std::next(It).base());
+        Pending.fetch_sub(1);
+        return true;
+      }
+  }
+  return false;
+}
+
+bool ThreadPool::findTask(Task &Out, size_t HomeIndex, uint64_t Group) {
+  if (HomeIndex < Queues.size() &&
+      popFrom(HomeIndex, Out, /*Steal=*/false, Group))
+    return true;
+  for (size_t Off = 1; Off <= Queues.size(); ++Off) {
+    size_t Victim = (HomeIndex + Off) % Queues.size();
+    if (Victim == HomeIndex)
+      continue;
+    if (popFrom(Victim, Out, /*Steal=*/true, Group))
+      return true;
+  }
+  return false;
+}
+
+bool ThreadPool::runOne() {
+  Task T;
+  // External threads have no home queue; start stealing at 0.
+  size_t Home = (OwnerPool == this) ? OwnerIndex : 0;
+  if (!findTask(T, Home, /*Group=*/0))
+    return false;
+  T();
+  return true;
+}
+
+void ThreadPool::workerLoop(size_t Index) {
+  OwnerPool = this;
+  OwnerIndex = Index;
+  Task T;
+  while (true) {
+    if (findTask(T, Index, /*Group=*/0)) {
+      T();
+      T = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMu);
+    if (Stop.load() && Pending.load() == 0)
+      return;
+    SleepCv.wait(Lock, [this] {
+      return Stop.load() || Pending.load() > 0;
+    });
+  }
+}
+
+void ThreadPool::parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (N == 1) {
+    Fn(0);
+    return;
+  }
+  uint64_t Group = NextGroup.fetch_add(1);
+  struct Latch {
+    std::mutex Mu;
+    std::condition_variable Cv;
+    size_t Remaining;
+    std::exception_ptr FirstError;
+  };
+  auto Done = std::make_shared<Latch>();
+  Done->Remaining = N;
+  for (size_t I = 0; I < N; ++I)
+    enqueue(
+        [&Fn, Done, I] {
+          // Contain exceptions in the task: escaping a worker's T() would
+          // std::terminate, and unwinding a helping caller would free the
+          // frame sibling tasks still reference. The first error is
+          // rethrown from parallelFor once every task has finished.
+          std::exception_ptr Error;
+          try {
+            Fn(I);
+          } catch (...) {
+            Error = std::current_exception();
+          }
+          std::lock_guard<std::mutex> Lock(Done->Mu);
+          if (Error && !Done->FirstError)
+            Done->FirstError = Error;
+          if (--Done->Remaining == 0)
+            Done->Cv.notify_all();
+        },
+        Group);
+  // Help with *this group only* while waiting; see the header for why the
+  // restriction matters for nested single-flight waits. Once the group's
+  // queues are drained the stragglers run on other threads, so block on
+  // the latch instead of spinning.
+  size_t Home = (OwnerPool == this) ? OwnerIndex : 0;
+  Task T;
+  while (true) {
+    if (findTask(T, Home, Group)) {
+      T();
+      T = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(Done->Mu);
+    if (Done->Remaining == 0)
+      break;
+    Done->Cv.wait(Lock);
+  }
+  std::lock_guard<std::mutex> Lock(Done->Mu);
+  if (Done->FirstError)
+    std::rethrow_exception(Done->FirstError);
+}

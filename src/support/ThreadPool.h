@@ -1,0 +1,103 @@
+//===- support/ThreadPool.h - Work-stealing task pool ---------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool. Each worker owns a deque: tasks
+/// submitted from a worker go to its own deque (LIFO pop for locality),
+/// external submissions are distributed round-robin, and idle workers steal
+/// from the front of their siblings' deques. The calling thread can help
+/// drain the pool (runOne / parallelFor), so nested waits never deadlock.
+///
+/// The CompilerSession uses one of these to tune distinct kernel shapes
+/// concurrently and to score tuning candidates in parallel; determinism is
+/// the *callers'* responsibility (index-stable result slots + index-stable
+/// argmin), the pool guarantees only that every submitted task runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SUPPORT_THREADPOOL_H
+#define UNIT_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace unit {
+
+class ThreadPool {
+public:
+  using Task = std::function<void()>;
+
+  /// \p ThreadsRequested == 0 picks std::thread::hardware_concurrency()
+  /// (at least 1). A pool with 1 thread still overlaps with the caller,
+  /// which helps via runOne() while waiting.
+  explicit ThreadPool(unsigned ThreadsRequested = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned threadCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p T. From a worker thread the task lands on that worker's
+  /// own deque; from outside it is distributed round-robin.
+  void submit(Task T);
+
+  /// Runs one pending task on the calling thread (stealing from any
+  /// worker). Returns false when nothing was pending.
+  bool runOne();
+
+  /// Runs Fn(0), ..., Fn(N-1) across the pool; the calling thread helps
+  /// until every index has finished. Indices may execute in any order and
+  /// concurrently — Fn must only touch per-index state.
+  ///
+  /// While waiting, the caller only ever executes *this call's own*
+  /// tasks, never unrelated ones. That restriction is what makes nested
+  /// blocking safe: a thread mid-way through a single-flight compile can
+  /// help its own candidate scoring, but can never steal a task that
+  /// would block on the very future it is responsible for fulfilling.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  /// 0 = ungrouped (any thread may run it); otherwise the parallelFor
+  /// call it belongs to.
+  struct QueuedTask {
+    Task Fn;
+    uint64_t Group = 0;
+  };
+  struct WorkerQueue {
+    std::mutex Mu;
+    std::deque<QueuedTask> Tasks;
+  };
+
+  void enqueue(Task T, uint64_t Group);
+  /// Pops from queue \p Index: back (LIFO) for its owner, front (steal)
+  /// for everyone else. With \p Group != 0 only that group's tasks match.
+  bool popFrom(size_t Index, Task &Out, bool Steal, uint64_t Group);
+  /// Finds a pending task, preferring \p HomeIndex's queue.
+  bool findTask(Task &Out, size_t HomeIndex, uint64_t Group);
+  void workerLoop(size_t Index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> Queues;
+  std::vector<std::thread> Workers;
+  std::mutex SleepMu;
+  std::condition_variable SleepCv;
+  std::atomic<bool> Stop{false};
+  std::atomic<size_t> NextQueue{0};
+  std::atomic<uint64_t> NextGroup{1};
+  std::atomic<int> Pending{0}; ///< Submitted but not yet dequeued.
+};
+
+} // namespace unit
+
+#endif // UNIT_SUPPORT_THREADPOOL_H

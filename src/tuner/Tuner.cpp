@@ -3,9 +3,11 @@
 #include "tuner/Tuner.h"
 
 #include "support/ErrorHandling.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 using namespace unit;
 
@@ -124,54 +126,96 @@ TensorizePlan unit::buildGpuPlan(const ComputeOpRef &Op,
   return Plan;
 }
 
-TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
-                          const CpuMachine &Machine, int MaxCandidates) {
-  std::vector<CpuTuningPair> Pairs = defaultCpuTuningPairs();
-  if (MaxCandidates > 0 &&
-      static_cast<size_t>(MaxCandidates) < Pairs.size())
-    Pairs.resize(static_cast<size_t>(MaxCandidates));
+namespace {
+
+/// Shared candidate search. Builds and scores every candidate — serially,
+/// or concurrently on \p Pool — into an index-stable slot vector, then
+/// picks the winner with a strict-less argmin over ascending indices: the
+/// same "first minimal latency wins" rule the sequential loop applied, so
+/// thread timing cannot change the result. Only stats are retained per
+/// slot; the winning plan is rebuilt once at the end (plan construction
+/// is deterministic), so peak memory stays one plan regardless of the
+/// candidate count.
+template <typename Candidate, typename BuildFn, typename LatencyFn>
+TunedKernel searchCandidates(const std::vector<Candidate> &Candidates,
+                             const BuildFn &Build, const LatencyFn &Latency,
+                             ThreadPool *Pool) {
+  struct Scored {
+    KernelStats Stats;
+    double LatencySeconds;
+  };
+  std::vector<Scored> Slots(Candidates.size());
+  auto ScoreOne = [&](size_t I) {
+    TensorizePlan Plan = Build(Candidates[I]);
+    KernelStats Stats = analyzeTensorized(Plan);
+    Slots[I] = Scored{Stats, Latency(Stats)};
+  };
+  if (Pool && Candidates.size() > 1)
+    Pool->parallelFor(Candidates.size(), ScoreOne);
+  else
+    for (size_t I = 0; I < Candidates.size(); ++I)
+      ScoreOne(I);
 
   TunedKernel Best;
   Best.LatencySeconds = 1e30;
-  for (size_t I = 0; I < Pairs.size(); ++I) {
-    TensorizePlan Plan = buildCpuPlan(Op, Match, Pairs[I]);
-    KernelStats Stats = analyzeTensorized(Plan);
-    double Latency = cpuLatencySeconds(Stats, Machine);
-    Best.CandidateLatencies.push_back(Latency);
-    if (Latency < Best.LatencySeconds) {
-      Best.LatencySeconds = Latency;
-      Best.Plan = std::move(Plan);
-      Best.Stats = Stats;
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    Best.CandidateLatencies.push_back(Slots[I].LatencySeconds);
+    if (Slots[I].LatencySeconds < Best.LatencySeconds) {
+      Best.LatencySeconds = Slots[I].LatencySeconds;
+      Best.Stats = Slots[I].Stats;
       Best.BestCandidateIndex = static_cast<int>(I);
     }
   }
-  Best.CandidatesTried = static_cast<int>(Pairs.size());
+  if (Best.BestCandidateIndex >= 0)
+    Best.Plan = Build(Candidates[static_cast<size_t>(Best.BestCandidateIndex)]);
+  Best.CandidatesTried = static_cast<int>(Candidates.size());
   return Best;
+}
+
+template <typename Candidate>
+void truncateCandidates(std::vector<Candidate> &Candidates,
+                        int MaxCandidates) {
+  if (MaxCandidates > 0 &&
+      static_cast<size_t>(MaxCandidates) < Candidates.size())
+    Candidates.resize(static_cast<size_t>(MaxCandidates));
+}
+
+} // namespace
+
+TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const CpuMachine &Machine, ThreadPool *Pool,
+                          int MaxCandidates) {
+  std::vector<CpuTuningPair> Pairs = defaultCpuTuningPairs();
+  truncateCandidates(Pairs, MaxCandidates);
+  return searchCandidates(
+      Pairs,
+      [&](const CpuTuningPair &Pair) { return buildCpuPlan(Op, Match, Pair); },
+      [&](const KernelStats &S) { return cpuLatencySeconds(S, Machine); },
+      Pool);
+}
+
+TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const CpuMachine &Machine, int MaxCandidates) {
+  return tuneCpu(Op, Match, Machine, /*Pool=*/nullptr, MaxCandidates);
+}
+
+TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const GpuMachine &Machine, ThreadPool *Pool,
+                          int MaxCandidates) {
+  std::vector<GpuTuningConfig> Configs = defaultGpuTuningConfigs();
+  truncateCandidates(Configs, MaxCandidates);
+  return searchCandidates(
+      Configs,
+      [&](const GpuTuningConfig &Config) {
+        return buildGpuPlan(Op, Match, Config);
+      },
+      [&](const KernelStats &S) { return gpuLatencySeconds(S, Machine); },
+      Pool);
 }
 
 TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const GpuMachine &Machine, int MaxCandidates) {
-  std::vector<GpuTuningConfig> Configs = defaultGpuTuningConfigs();
-  if (MaxCandidates > 0 &&
-      static_cast<size_t>(MaxCandidates) < Configs.size())
-    Configs.resize(static_cast<size_t>(MaxCandidates));
-
-  TunedKernel Best;
-  Best.LatencySeconds = 1e30;
-  for (size_t I = 0; I < Configs.size(); ++I) {
-    TensorizePlan Plan = buildGpuPlan(Op, Match, Configs[I]);
-    KernelStats Stats = analyzeTensorized(Plan);
-    double Latency = gpuLatencySeconds(Stats, Machine);
-    Best.CandidateLatencies.push_back(Latency);
-    if (Latency < Best.LatencySeconds) {
-      Best.LatencySeconds = Latency;
-      Best.Plan = std::move(Plan);
-      Best.Stats = Stats;
-      Best.BestCandidateIndex = static_cast<int>(I);
-    }
-  }
-  Best.CandidatesTried = static_cast<int>(Configs.size());
-  return Best;
+  return tuneGpu(Op, Match, Machine, /*Pool=*/nullptr, MaxCandidates);
 }
 
 CpuAblation unit::cpuAblation(const ComputeOpRef &Op,

@@ -23,6 +23,8 @@
 
 namespace unit {
 
+class ThreadPool;
+
 /// Applies the Fig. 7 CPU loop structure for one tuning pair:
 /// outer data-parallel loops are fused while the fused extent stays below
 /// Pair.ParallelLimit and parallelized; the innermost data-parallel outer
@@ -55,6 +57,17 @@ TunedKernel tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
 /// Searches the GPU config list.
 TunedKernel tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                     const GpuMachine &Machine, int MaxCandidates = -1);
+
+/// Pool-accelerated variants: candidates are built and scored concurrently
+/// on \p Pool (when non-null), but the winner is chosen by an index-stable
+/// argmin, so the result — plan, stats, telemetry — is bit-identical to the
+/// sequential search regardless of thread timing.
+TunedKernel tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                    const CpuMachine &Machine, ThreadPool *Pool,
+                    int MaxCandidates = -1);
+TunedKernel tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
+                    const GpuMachine &Machine, ThreadPool *Pool,
+                    int MaxCandidates = -1);
 
 /// Ablation stages for paper Fig. 10 (latencies in seconds).
 struct CpuAblation {

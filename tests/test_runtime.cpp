@@ -1,0 +1,339 @@
+//===- tests/test_runtime.cpp - CompilerSession / KernelCache tests --------===//
+
+#include "TestUtil.h"
+#include "core/Isomorphism.h"
+#include "graph/Executor.h"
+#include "models/ModelZoo.h"
+#include "runtime/CompilerSession.h"
+#include "runtime/KernelCache.h"
+#include "runtime/TargetRegistry.h"
+#include "support/ThreadPool.h"
+#include "tuner/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+using namespace unit;
+using namespace unit::testutil;
+
+namespace {
+
+/// Sequential-mode session: one pool thread, no shape or candidate
+/// concurrency. The determinism tests compare against this.
+SessionConfig sequentialConfig() {
+  SessionConfig C;
+  C.Threads = 1;
+  C.ParallelShapes = false;
+  C.ParallelCandidates = false;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical kernel keys
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalKey, RenamedOpsShareAKey) {
+  // Same structure, every name different: variables, tensors, op.
+  OpFixture A = makeMatmulU8I8(64, 64, 64);
+
+  TensorRef X = makeTensor("activations", {64, 64}, DataType::u8());
+  TensorRef W = makeTensor("weights", {64, 64}, DataType::i8());
+  TensorRef O = makeTensor("result", {64, 64}, DataType::i32());
+  IterVar Row = makeAxis("row", 64), Col = makeAxis("col", 64);
+  IterVar Depth = makeReduceAxis("depth", 64);
+  ExprRef Prod =
+      makeCast(DataType::i32(), makeLoad(X, {makeVar(Row), makeVar(Depth)})) *
+      makeCast(DataType::i32(), makeLoad(W, {makeVar(Col), makeVar(Depth)}));
+  ComputeOpRef B = ComputeOp::create(
+      "renamed_matmul", O, {Row, Col},
+      makeReduce(ReduceKind::Sum, Prod, {Depth}));
+
+  EXPECT_EQ(canonicalComputeKey(*A.Op), canonicalComputeKey(*B));
+}
+
+TEST(CanonicalKey, DifferentShapesDiffer) {
+  OpFixture A = makeMatmulU8I8(64, 64, 64);
+  OpFixture B = makeMatmulU8I8(64, 64, 128);
+  EXPECT_NE(canonicalComputeKey(*A.Op), canonicalComputeKey(*B.Op));
+}
+
+TEST(CanonicalKey, DifferentDataTypesDiffer) {
+  OpFixture A = makeMatmulU8I8(64, 64, 64);
+  OpFixture B = makeGemmF16(64, 64, 64);
+  EXPECT_NE(canonicalComputeKey(*A.Op), canonicalComputeKey(*B.Op));
+}
+
+TEST(CanonicalKey, OperandOrderMatters) {
+  // a[i,k]*b[j,k] vs a[j,k]*b[i,k]: same tensors, different access roles.
+  OpFixture A = makeMatmulU8I8(32, 64, 16);
+  TensorRef X = makeTensor("a", {32, 16}, DataType::u8());
+  TensorRef W = makeTensor("b", {64, 16}, DataType::i8());
+  TensorRef O = makeTensor("c", {32, 64}, DataType::i32());
+  IterVar I = makeAxis("i", 32), J = makeAxis("j", 64);
+  IterVar K = makeReduceAxis("k", 16);
+  ExprRef Prod =
+      makeCast(DataType::i32(), makeLoad(W, {makeVar(J), makeVar(K)})) *
+      makeCast(DataType::i32(), makeLoad(X, {makeVar(I), makeVar(K)}));
+  ComputeOpRef B = ComputeOp::create(
+      "swapped", O, {I, J}, makeReduce(ReduceKind::Sum, Prod, {K}));
+  EXPECT_NE(canonicalComputeKey(*A.Op), canonicalComputeKey(*B));
+}
+
+TEST(CanonicalKey, ConvLayersWithRenamedVarsHitOneEntry) {
+  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer A{"stage1_unit2_conv", 64, 56, 56, 64, 3, 3, 1, 1, 1, false};
+  ConvLayer B{"stage4_unit1_sc", 64, 56, 56, 64, 3, 3, 1, 1, 1, false};
+  EXPECT_EQ(X86->convKey(A), X86->convKey(B));
+
+  ConvLayer C = A;
+  C.OutC = 128;
+  EXPECT_NE(X86->convKey(A), X86->convKey(C));
+
+  // Same layer on a different backend must never collide.
+  TargetBackendRef Arm = TargetRegistry::instance().get(TargetKind::ARM);
+  EXPECT_NE(X86->convKey(A), Arm->convKey(A));
+}
+
+//===----------------------------------------------------------------------===//
+// KernelCache
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCache, HitSkipsTheCompiler) {
+  KernelCache Cache;
+  int Compiles = 0;
+  auto Compile = [&] {
+    ++Compiles;
+    KernelReport R;
+    R.Seconds = 1.5;
+    return R;
+  };
+  KernelReport First = Cache.getOrCompute("k", Compile);
+  KernelReport Again = Cache.getOrCompute("k", Compile);
+  EXPECT_EQ(Compiles, 1);
+  EXPECT_EQ(First.Seconds, Again.Seconds);
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_TRUE(Cache.contains("k"));
+  EXPECT_FALSE(Cache.contains("other"));
+  ASSERT_TRUE(Cache.lookup("k").has_value());
+  EXPECT_EQ(Cache.lookup("k")->Seconds, 1.5);
+}
+
+TEST(KernelCache, ConcurrentMissesCompileOnce) {
+  KernelCache Cache;
+  std::atomic<int> Compiles{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&] {
+      Cache.getOrCompute("shared", [&] {
+        Compiles.fetch_add(1);
+        // Widen the race window so losers really do wait on the future.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        KernelReport R;
+        R.Seconds = 2.0;
+        return R;
+      });
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Compiles.load(), 1);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool Pool(4);
+  std::vector<int> Touched(1000, 0);
+  Pool.parallelFor(Touched.size(), [&](size_t I) { Touched[I] += 1; });
+  for (int V : Touched)
+    EXPECT_EQ(V, 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool Pool(2);
+  std::atomic<int> Sum{0};
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(8, [&](size_t) { Sum.fetch_add(1); });
+  });
+  EXPECT_EQ(Sum.load(), 64);
+}
+
+//===----------------------------------------------------------------------===//
+// Tuner: parallel candidate scoring is bit-identical to sequential
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelTuning, CpuSearchMatchesSequential) {
+  OpFixture F = makeConv2D(16, 16, 16, 64, 3, 3);
+  TensorIntrinsicRef Vnni =
+      IntrinsicRegistry::instance().lookup("vnni.vpdpbusd");
+  std::optional<MatchResult> M = inspect(F.Op, Vnni);
+  ASSERT_TRUE(M.has_value());
+  CpuMachine Machine = CpuMachine::cascadeLake();
+
+  TunedKernel Seq = tuneCpu(F.Op, *M, Machine);
+  ThreadPool Pool(4);
+  TunedKernel Par = tuneCpu(F.Op, *M, Machine, &Pool);
+
+  EXPECT_EQ(Seq.BestCandidateIndex, Par.BestCandidateIndex);
+  EXPECT_EQ(Seq.CandidatesTried, Par.CandidatesTried);
+  ASSERT_EQ(Seq.CandidateLatencies.size(), Par.CandidateLatencies.size());
+  for (size_t I = 0; I < Seq.CandidateLatencies.size(); ++I)
+    EXPECT_EQ(Seq.CandidateLatencies[I], Par.CandidateLatencies[I]);
+  EXPECT_EQ(Seq.LatencySeconds, Par.LatencySeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// CompilerSession
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerSession, IsomorphicOpsShareOneCompile) {
+  CompilerSession Session(sequentialConfig());
+  OpFixture A = makeMatmulU8I8(64, 64, 64);
+  KernelReport RA = Session.compile(A.Op, TargetKind::X86);
+  EXPECT_TRUE(RA.Tensorized);
+  EXPECT_EQ(Session.cache().size(), 1u);
+
+  // Renamed twin: must be a cache hit, not a second entry.
+  OpFixture B = makeMatmulU8I8(64, 64, 64);
+  KernelReport RB = Session.compile(B.Op, TargetKind::X86);
+  EXPECT_EQ(Session.cache().size(), 1u);
+  EXPECT_EQ(Session.cache().stats().Hits, 1u);
+  EXPECT_EQ(RA.Seconds, RB.Seconds);
+  EXPECT_EQ(RA.BestCandidateIndex, RB.BestCandidateIndex);
+}
+
+TEST(CompilerSession, EnginesShareTheSessionCache) {
+  auto Session = std::make_shared<CompilerSession>(sequentialConfig());
+  UnitCpuEngine A(CpuMachine::cascadeLake(), TargetKind::X86, Session);
+  UnitCpuEngine B(CpuMachine::cascadeLake(), TargetKind::X86, Session);
+  ConvLayer L{"conv", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+
+  A.convReport(L);
+  uint64_t MissesAfterA = Session->cache().stats().Misses;
+  B.convReport(L); // Same machine + same shape: B hits A's entry.
+  EXPECT_EQ(Session->cache().stats().Misses, MissesAfterA);
+  EXPECT_GE(Session->cache().stats().Hits, 1u);
+}
+
+TEST(CompilerSession, ParallelModelCompileIsByteIdenticalToSequential) {
+  Model Resnet = makeResnet18();
+
+  CompilerSession Seq(sequentialConfig());
+  SessionConfig ParConfig;
+  ParConfig.Threads = 4;
+  CompilerSession Par(ParConfig);
+
+  ModelCompileResult A = Seq.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult B = Par.compileModel(Resnet, TargetKind::X86);
+
+  ASSERT_EQ(A.Layers.size(), Resnet.Convs.size());
+  ASSERT_EQ(A.Layers.size(), B.Layers.size());
+  EXPECT_EQ(A.DistinctShapes, B.DistinctShapes);
+  for (size_t I = 0; I < A.Layers.size(); ++I) {
+    // Byte-identical per-layer reports: the modeled latency doubles must
+    // match exactly, not approximately.
+    EXPECT_EQ(0, std::memcmp(&A.Layers[I].Seconds, &B.Layers[I].Seconds,
+                             sizeof(double)))
+        << "layer " << I << " (" << Resnet.Convs[I].Name << ")";
+    EXPECT_EQ(A.Layers[I].Tensorized, B.Layers[I].Tensorized);
+    EXPECT_EQ(A.Layers[I].BestCandidateIndex, B.Layers[I].BestCandidateIndex);
+    EXPECT_EQ(A.Layers[I].CandidatesTried, B.Layers[I].CandidatesTried);
+    EXPECT_EQ(A.Layers[I].IntrinsicName, B.Layers[I].IntrinsicName);
+  }
+}
+
+TEST(CompilerSession, SecondModelCompileIsAllHits) {
+  CompilerSession Session(sequentialConfig());
+  Model Resnet = makeResnet18();
+  ModelCompileResult Cold = Session.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult Warm = Session.compileModel(Resnet, TargetKind::X86);
+  EXPECT_EQ(Warm.CacheHitLayers, Resnet.Convs.size());
+  ASSERT_EQ(Cold.Layers.size(), Warm.Layers.size());
+  for (size_t I = 0; I < Cold.Layers.size(); ++I)
+    EXPECT_EQ(Cold.Layers[I].Seconds, Warm.Layers[I].Seconds);
+}
+
+TEST(CompilerSession, ModelReportsAgreeWithEngineReports) {
+  auto Session = std::make_shared<CompilerSession>(sequentialConfig());
+  UnitCpuEngine Engine(CpuMachine::cascadeLake(), TargetKind::X86, Session);
+  Model Resnet = makeResnet18();
+  ModelCompileResult R = Session->compileModel(Resnet, TargetKind::X86);
+  // The registry's default X86 backend is Cascade Lake, so the engine's
+  // per-layer numbers must be the same kernels.
+  for (size_t I = 0; I < Resnet.Convs.size(); ++I)
+    EXPECT_EQ(R.Layers[I].Seconds, Engine.convReport(Resnet.Convs[I]).Seconds);
+}
+
+TEST(CompilerSession, ConcurrentModelCompilesOnOneSessionComplete) {
+  // Two threads compiling overlapping shapes through one session: the
+  // single-flight losers must never deadlock against a winner that is
+  // helping its own candidate tasks (the task-group restriction in
+  // ThreadPool::parallelFor).
+  SessionConfig C;
+  C.Threads = 2;
+  CompilerSession Session(C);
+  Model Resnet = makeResnet18();
+  ModelCompileResult RA, RB;
+  std::thread A([&] { RA = Session.compileModel(Resnet, TargetKind::X86); });
+  std::thread B([&] { RB = Session.compileModel(Resnet, TargetKind::X86); });
+  A.join();
+  B.join();
+
+  CompilerSession Ref(sequentialConfig());
+  ModelCompileResult Expected = Ref.compileModel(Resnet, TargetKind::X86);
+  ASSERT_EQ(RA.Layers.size(), Expected.Layers.size());
+  for (size_t I = 0; I < Expected.Layers.size(); ++I) {
+    EXPECT_EQ(RA.Layers[I].Seconds, Expected.Layers[I].Seconds);
+    EXPECT_EQ(RB.Layers[I].Seconds, Expected.Layers[I].Seconds);
+  }
+}
+
+TEST(CompilerSession, SameNameDifferentMachinesDoNotShareEntries) {
+  // Same machine label, different frequency: the fingerprint salt must
+  // keep their kernels apart.
+  CpuMachine Fast = CpuMachine::cascadeLake();
+  CpuMachine Slow = CpuMachine::cascadeLake();
+  Slow.FreqGHz = 1.0;
+  CpuBackend A(Fast, TargetKind::X86), B(Slow, TargetKind::X86);
+  ConvLayer L{"conv", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+  EXPECT_NE(A.convKey(L), B.convKey(L));
+
+  auto Session = std::make_shared<CompilerSession>(sequentialConfig());
+  UnitCpuEngine EA(Fast, TargetKind::X86, Session);
+  UnitCpuEngine EB(Slow, TargetKind::X86, Session);
+  EXPECT_LT(EA.convSeconds(L), EB.convSeconds(L));
+}
+
+TEST(CompilerSession, GpuModelCompileWorks) {
+  CompilerSession Session(sequentialConfig());
+  Model Resnet = makeResnet18();
+  ModelCompileResult R = Session.compileModel(Resnet, TargetKind::NvidiaGPU);
+  ASSERT_EQ(R.Layers.size(), Resnet.Convs.size());
+  for (const KernelReport &L : R.Layers)
+    EXPECT_GT(L.Seconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// TargetRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(TargetRegistry, DefaultsCoverThePaperMachines) {
+  TargetRegistry &R = TargetRegistry::instance();
+  EXPECT_EQ(R.get(TargetKind::X86)->kind(), TargetKind::X86);
+  EXPECT_EQ(R.get(TargetKind::ARM)->kind(), TargetKind::ARM);
+  EXPECT_EQ(R.get(TargetKind::NvidiaGPU)->kind(), TargetKind::NvidiaGPU);
+  EXPECT_GE(R.all().size(), 3u);
+  // Widest-first intrinsic list, same as the pipeline's search order.
+  std::vector<TensorIntrinsicRef> Intrs = R.get(TargetKind::X86)->intrinsics();
+  ASSERT_FALSE(Intrs.empty());
+  EXPECT_EQ(Intrs.front()->name(), "vnni.vpdpbusd");
+}
+
+} // namespace
