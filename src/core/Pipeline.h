@@ -58,7 +58,11 @@ compileForIntrinsics(const ComputeOpRef &Op,
                      const std::vector<TensorIntrinsicRef> &Intrinsics,
                      const TuneHook &Tune = {});
 
-/// Convenience overload: the registered instructions of \p Target.
+/// Convenience overload: the registered instructions of \p Target. The
+/// runtime's unified entry, compileWorkload (runtime/Workload.h), routes
+/// every workload kind — conv2d / conv3d / dense-as-1x1 / raw op —
+/// through this same pipeline; prefer it when compiling anything other
+/// than an already-built operation.
 CompiledKernel compileForTarget(const ComputeOpRef &Op, TargetKind Target,
                                 const TuneHook &Tune = {});
 

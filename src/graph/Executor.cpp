@@ -3,12 +3,34 @@
 #include "graph/Executor.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace unit;
 
 InferenceEngine::~InferenceEngine() = default;
 
+namespace {
+
+/// Fire-and-forget async submission of every distinct conv shape in \p M:
+/// the jobs land in the session cache, so the pricing loop's per-layer
+/// compiles join in-flight tuning instead of running it serially. Skipped
+/// when the session is configured for strictly sequential shapes.
+void prefetchModel(CompilerSession &Session, const TargetBackendRef &Backend,
+                   const Model &M) {
+  if (!Session.config().ParallelShapes)
+    return;
+  std::unordered_set<std::string> Seen;
+  std::vector<CompileRequest> Requests;
+  for (const ConvLayer &L : M.Convs)
+    if (Seen.insert(L.shapeKey()).second)
+      Requests.emplace_back(Workload::conv2d(L), Backend);
+  Session.compileAllAsync(std::move(Requests));
+}
+
+} // namespace
+
 double unit::modelLatencySeconds(const Model &M, InferenceEngine &Engine) {
+  Engine.prefetch(M);
   double Total = 0.0;
   for (const ConvLayer &L : M.Convs)
     Total += Engine.convSeconds(L) + Engine.perOpOverheadSeconds();
@@ -78,7 +100,8 @@ double UnitCpuEngine::glueBytesPerSecond() const {
 }
 
 CpuLayerReport UnitCpuEngine::convReport(const ConvLayer &Layer) {
-  KernelReport R = Session->compileConv(Layer, *Backend);
+  KernelReport R =
+      Session->compile(CompileRequest(Workload::conv2d(Layer), Backend));
   CpuLayerReport Report;
   Report.Seconds = R.Seconds;
   Report.Tensorized = R.Tensorized;
@@ -87,11 +110,17 @@ CpuLayerReport UnitCpuEngine::convReport(const ConvLayer &Layer) {
 }
 
 double UnitCpuEngine::convSeconds(const ConvLayer &Layer) {
-  return Session->compileConv(Layer, *Backend).Seconds;
+  return Session->compile(CompileRequest(Workload::conv2d(Layer), Backend))
+      .Seconds;
+}
+
+void UnitCpuEngine::prefetch(const Model &M) {
+  prefetchModel(*Session, Backend, M);
 }
 
 double UnitCpuEngine::conv3dSeconds(const Conv3dLayer &Layer) {
-  return Session->compileConv3d(Layer, *Backend).Seconds;
+  return Session->compile(CompileRequest(Workload::conv3d(Layer), Backend))
+      .Seconds;
 }
 
 //===----------------------------------------------------------------------===//
@@ -111,5 +140,10 @@ double UnitGpuEngine::glueBytesPerSecond() const {
 }
 
 double UnitGpuEngine::convSeconds(const ConvLayer &Layer) {
-  return Session->compileConv(Layer, *Backend).Seconds;
+  return Session->compile(CompileRequest(Workload::conv2d(Layer), Backend))
+      .Seconds;
+}
+
+void UnitGpuEngine::prefetch(const Model &M) {
+  prefetchModel(*Session, Backend, M);
 }

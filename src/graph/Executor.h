@@ -36,6 +36,12 @@ public:
   virtual std::string name() const = 0;
   /// Modeled seconds for one conv (or dense-as-1x1) layer.
   virtual double convSeconds(const ConvLayer &Layer) = 0;
+  /// Hint that \p M's layers are about to be priced. UNIT engines submit
+  /// async compile jobs for every distinct shape, so the per-layer
+  /// convSeconds calls overlap graph pricing with kernel tuning instead
+  /// of blocking layer by layer. Default: no-op (vendor baselines price
+  /// fixed expert schedules with nothing to warm).
+  virtual void prefetch(const Model &M) { (void)M; }
   /// Framework dispatch overhead per operator.
   virtual double perOpOverheadSeconds() const = 0;
   /// Fraction of elementwise epilogues fused into producing kernels.
@@ -68,6 +74,7 @@ public:
 
   std::string name() const override;
   double convSeconds(const ConvLayer &Layer) override;
+  void prefetch(const Model &M) override;
   double perOpOverheadSeconds() const override { return 4e-6; }
   double fusionQuality() const override { return 1.0; }
   double glueBytesPerSecond() const override;
@@ -94,6 +101,7 @@ public:
 
   std::string name() const override;
   double convSeconds(const ConvLayer &Layer) override;
+  void prefetch(const Model &M) override;
   double perOpOverheadSeconds() const override { return 4e-6; }
   double fusionQuality() const override { return 1.0; }
   double glueBytesPerSecond() const override;

@@ -2,59 +2,135 @@
 
 #include "runtime/CompilerSession.h"
 
-#include "core/Isomorphism.h"
+#include "tuner/TuningSpace.h"
 
+#include <algorithm>
 #include <chrono>
+#include <numeric>
 #include <unordered_map>
 
 using namespace unit;
 
 CompilerSession::CompilerSession(SessionConfig ConfigIn)
-    : Config(ConfigIn), Pool(std::make_unique<ThreadPool>(Config.Threads)) {}
+    : Config(ConfigIn), Cache(ConfigIn.CacheCapacity),
+      Pool(std::make_unique<ThreadPool>(Config.Threads)) {}
 
 CompilerSession::~CompilerSession() = default;
 
-const std::shared_ptr<CompilerSession> &CompilerSession::shared() {
+namespace {
+
+std::mutex &sharedSessionMutex() {
+  static std::mutex Mu;
+  return Mu;
+}
+
+std::shared_ptr<CompilerSession> &sharedSessionSlot() {
   static std::shared_ptr<CompilerSession> Session =
       std::make_shared<CompilerSession>();
   return Session;
 }
 
-KernelReport CompilerSession::compile(const ComputeOpRef &Op,
-                                      TargetKind Target) {
-  return compile(Op, *TargetRegistry::instance().get(Target));
+/// Non-owning handle for borrowed-backend entry points (compileModel with
+/// a const reference joins every job before returning, so the borrow is
+/// always outlived).
+TargetBackendRef borrow(const TargetBackend &Backend) {
+  return TargetBackendRef(&Backend, [](const TargetBackend *) {});
 }
 
-KernelReport CompilerSession::compile(const ComputeOpRef &Op,
-                                      const TargetBackend &Backend) {
-  std::string Key = Backend.cacheSalt() + "|op|" + canonicalComputeKey(*Op);
-  return Cache.getOrCompute(
-      Key, [&] { return Backend.compileOp(Op, tuningPool()); });
+} // namespace
+
+std::shared_ptr<CompilerSession> CompilerSession::shared() {
+  // By value, copied under the lock: a reference to the slot would escape
+  // the critical section and race with resetShared()'s assignment.
+  std::lock_guard<std::mutex> Lock(sharedSessionMutex());
+  return sharedSessionSlot();
 }
 
-KernelReport CompilerSession::compileConv(const ConvLayer &Layer,
-                                          const TargetBackend &Backend) {
-  return Cache.getOrCompute(Backend.convKey(Layer), [&] {
-    return Backend.compileConv(Layer, tuningPool());
+std::shared_ptr<CompilerSession>
+CompilerSession::resetShared(SessionConfig Config) {
+  auto Fresh = std::make_shared<CompilerSession>(Config);
+  std::lock_guard<std::mutex> Lock(sharedSessionMutex());
+  sharedSessionSlot() = Fresh;
+  return Fresh;
+}
+
+//===----------------------------------------------------------------------===//
+// The unified surface
+//===----------------------------------------------------------------------===//
+
+KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
+                                           const std::string &Key) {
+  switch (Request.Options.Policy) {
+  case CachePolicy::Bypass:
+    return Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                    Request.Options);
+  case CachePolicy::Refresh:
+    // Ready entries are dropped and recompiled; an in-flight compile is
+    // left alone (it is fresh enough, and erasing it would break the
+    // single-flight invariant its winner relies on).
+    Cache.eraseReady(Key);
+    break;
+  case CachePolicy::Default:
+    break;
+  }
+  return Cache.getOrCompute(Key, [&] {
+    return Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                    Request.Options);
   });
 }
 
-KernelReport CompilerSession::compileConv3d(const Conv3dLayer &Layer,
-                                            const CpuBackend &Backend) {
-  return Cache.getOrCompute(Backend.conv3dKey(Layer), [&] {
-    return Backend.compileConv3d(Layer, tuningPool());
+KernelReport CompilerSession::compile(const CompileRequest &Request) {
+  return compileKeyed(Request, Request.cacheKey());
+}
+
+CompileJob CompilerSession::compileAsync(CompileRequest Request) {
+  std::string Key = Request.cacheKey();
+  // Ready or in-flight entries are joined directly — no pool round-trip,
+  // and a whole warm model submits without spawning a single task.
+  if (Request.Options.Policy == CachePolicy::Default)
+    if (std::optional<std::shared_future<KernelReport>> Fut = Cache.peek(Key))
+      return CompileJob(std::move(Key), std::move(*Fut));
+
+  auto Done = std::make_shared<std::promise<KernelReport>>();
+  std::shared_future<KernelReport> Fut = Done->get_future().share();
+  Pool->submit(
+      [this, Request = std::move(Request), Key, Done]() mutable {
+        try {
+          Done->set_value(compileKeyed(Request, Key));
+        } catch (...) {
+          Done->set_exception(std::current_exception());
+        }
+      });
+  return CompileJob(std::move(Key), std::move(Fut));
+}
+
+std::vector<CompileJob>
+CompilerSession::compileAllAsync(std::vector<CompileRequest> Requests) {
+  // Submit higher-priority requests first (stable: ties keep caller
+  // order), but hand the jobs back in the original order.
+  std::vector<size_t> Order(Requests.size());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Requests[A].Options.Priority > Requests[B].Options.Priority;
   });
+  std::vector<CompileJob> Jobs(Requests.size());
+  for (size_t Slot : Order)
+    Jobs[Slot] = compileAsync(std::move(Requests[Slot]));
+  return Jobs;
 }
 
 ModelCompileResult CompilerSession::compileModel(const Model &M,
-                                                 TargetKind Target) {
-  return compileModel(M, *TargetRegistry::instance().get(Target));
+                                                 TargetKind Target,
+                                                 const CompileOptions &Options) {
+  return compileModel(M, *TargetRegistry::instance().get(Target), Options);
 }
 
 ModelCompileResult
-CompilerSession::compileModel(const Model &M, const TargetBackend &Backend) {
+CompilerSession::compileModel(const Model &M, const TargetBackend &Backend,
+                              const CompileOptions &Options) {
   auto Start = std::chrono::steady_clock::now();
   ModelCompileResult Result;
+  TargetBackendRef Borrowed = borrow(Backend);
 
   // Canonical key per layer; isomorphic layers (and layers compiled by a
   // previous model on the same backend) collapse onto one cache entry.
@@ -63,41 +139,138 @@ CompilerSession::compileModel(const Model &M, const TargetBackend &Backend) {
   std::unordered_map<std::string, size_t> FirstLayerOf;
   std::vector<size_t> DistinctLayers; ///< Index of each key's first layer.
   for (size_t I = 0; I < M.Convs.size(); ++I) {
-    Keys.push_back(Backend.convKey(M.Convs[I]));
+    Keys.push_back(
+        CompileRequest(Workload::conv2d(M.Convs[I]), Borrowed, Options)
+            .cacheKey());
     if (FirstLayerOf.emplace(Keys.back(), I).second)
       DistinctLayers.push_back(I);
   }
-  // Only entries that existed before this call count as hits; intra-model
-  // duplicates of a cold shape are deduplicated work, not cache hits.
-  for (const std::string &Key : Keys)
-    if (Cache.contains(Key))
-      ++Result.CacheHitLayers;
   Result.DistinctShapes = DistinctLayers.size();
 
-  auto CompileOne = [&](size_t Slot) {
-    size_t LayerIndex = DistinctLayers[Slot];
-    Cache.getOrCompute(Keys[LayerIndex], [&] {
-      return Backend.compileConv(M.Convs[LayerIndex], tuningPool());
-    });
-  };
-  if (Config.ParallelShapes && DistinctLayers.size() > 1)
-    Pool->parallelFor(DistinctLayers.size(), CompileOne);
-  else
-    for (size_t Slot = 0; Slot < DistinctLayers.size(); ++Slot)
-      CompileOne(Slot);
+  // Only entries that existed before this call count as hits; intra-model
+  // duplicates of a cold shape are deduplicated work, not cache hits. A
+  // refreshing compile is about to drop those entries (and a bypassing
+  // one ignores them), so both report zero.
+  if (Options.Policy == CachePolicy::Default)
+    for (const std::string &Key : Keys)
+      if (Cache.contains(Key))
+        ++Result.CacheHitLayers;
+
+  // Compile every distinct shape into a local key -> report map — cache
+  // policy (including Bypass) is handled per request. Holding the
+  // reports locally keeps the per-layer fan-out independent of the
+  // cache, so LRU caps smaller than the model and concurrent clear()s
+  // can never force a mid-collection re-tune.
+  std::unordered_map<std::string, KernelReport> Reports;
+  Reports.reserve(DistinctLayers.size());
+  if (Config.ParallelShapes && DistinctLayers.size() > 1) {
+    // Submit all, then join: distinct shapes tune concurrently on the
+    // pool; while joining, this thread helps drain pending tasks so a
+    // small pool still tunes caller+workers wide.
+    std::vector<CompileRequest> Requests;
+    Requests.reserve(DistinctLayers.size());
+    for (size_t LayerIndex : DistinctLayers)
+      Requests.emplace_back(Workload::conv2d(M.Convs[LayerIndex]), Borrowed,
+                            Options);
+    std::vector<CompileJob> Jobs = compileAllAsync(std::move(Requests));
+    // Join *every* job before any rethrow: in-flight tasks hold a
+    // non-owning reference to the caller's backend, so unwinding while
+    // they still run would dangle it.
+    std::exception_ptr FirstFailure;
+    for (size_t Slot = 0; Slot < Jobs.size(); ++Slot) {
+      while (!Jobs[Slot].ready() && Pool->runOne()) {
+      }
+      try {
+        Reports.emplace(Keys[DistinctLayers[Slot]], Jobs[Slot].get());
+      } catch (...) {
+        if (!FirstFailure)
+          FirstFailure = std::current_exception();
+      }
+    }
+    if (FirstFailure)
+      std::rethrow_exception(FirstFailure);
+  } else {
+    for (size_t LayerIndex : DistinctLayers)
+      Reports.emplace(
+          Keys[LayerIndex],
+          compileKeyed(CompileRequest(Workload::conv2d(M.Convs[LayerIndex]),
+                                      Borrowed, Options),
+                       Keys[LayerIndex]));
+  }
 
   Result.Layers.reserve(M.Convs.size());
-  for (size_t I = 0; I < Keys.size(); ++I) {
-    std::optional<KernelReport> R = Cache.lookup(Keys[I]);
-    if (!R) // Entry evicted by a concurrent clear(): recompile it.
-      R = Cache.getOrCompute(Keys[I], [&] {
-        return Backend.compileConv(M.Convs[I], tuningPool());
-      });
-    Result.Layers.push_back(*R);
-  }
+  for (const std::string &Key : Keys)
+    Result.Layers.push_back(Reports.at(Key));
 
   Result.WallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   return Result;
 }
+
+//===----------------------------------------------------------------------===//
+// Cache persistence
+//===----------------------------------------------------------------------===//
+
+std::string CompilerSession::persistenceFingerprint() {
+  std::vector<std::string> Salts;
+  for (const TargetBackendRef &B : TargetRegistry::instance().all())
+    Salts.push_back(B->cacheSalt());
+  std::sort(Salts.begin(), Salts.end());
+  // Persisted reports depend on the tuner's candidate spaces as much as
+  // on machine parameters, so the space sizes are folded in — a build
+  // that widens either space rejects older files. The "-v1" tag must be
+  // bumped by hand when the cost model or search semantics change in a
+  // way the space sizes don't reflect.
+  std::string Fp = "unit-kernel-cache-fp-v1|cpu-space:" +
+                   std::to_string(defaultCpuTuningPairs().size()) +
+                   "|gpu-space:" +
+                   std::to_string(defaultGpuTuningConfigs().size());
+  for (const std::string &Salt : Salts)
+    Fp += ";" + Salt;
+  return Fp;
+}
+
+std::optional<size_t>
+CompilerSession::saveCache(const std::string &Path) const {
+  return Cache.saveFile(Path, persistenceFingerprint());
+}
+
+KernelCache::LoadResult CompilerSession::loadCache(const std::string &Path) {
+  return Cache.loadFile(Path, persistenceFingerprint());
+}
+
+//===----------------------------------------------------------------------===//
+// Deprecated shims
+//===----------------------------------------------------------------------===//
+
+// The shims are the old fragmented entry points re-expressed over the
+// unified surface; their definitions necessarily name themselves.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+KernelReport CompilerSession::compile(const ComputeOpRef &Op,
+                                      TargetKind Target) {
+  return compile(CompileRequest(Workload::op(Op), Target));
+}
+
+KernelReport CompilerSession::compile(const ComputeOpRef &Op,
+                                      const TargetBackend &Backend) {
+  return compile(CompileRequest(Workload::op(Op), borrow(Backend)));
+}
+
+KernelReport CompilerSession::compileConv(const ConvLayer &Layer,
+                                          const TargetBackend &Backend) {
+  return compile(CompileRequest(Workload::conv2d(Layer), borrow(Backend)));
+}
+
+KernelReport CompilerSession::compileConv3d(const Conv3dLayer &Layer,
+                                            const CpuBackend &Backend) {
+  return compile(CompileRequest(Workload::conv3d(Layer), borrow(Backend)));
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

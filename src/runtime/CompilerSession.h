@@ -7,10 +7,23 @@
 /// \file
 /// The reusable compilation layer between graph executors and kernel
 /// search: one object owning the shared KernelCache and a work-stealing
-/// thread pool, exposing compile(op, target) / compileModel(model, target).
-/// Distinct shapes of a model tune concurrently and tuning candidates are
-/// scored in parallel, but every winner is chosen by an index-stable
-/// argmin — parallel and sequential modes produce byte-identical reports.
+/// thread pool, exposing the unified request surface —
+///
+///   compile(CompileRequest)       blocking
+///   compileAsync(CompileRequest)  future-based CompileJob
+///   compileAllAsync(requests)     priority-ordered batch submission
+///   compileModel(model, target)   submit every distinct layer, then join
+///
+/// Every workload kind (conv2d / conv3d / dense-as-1x1 / raw op) flows
+/// through the same path; the legacy per-kind compile* methods survive
+/// only as deprecated shims over it. Distinct shapes of a model tune
+/// concurrently and tuning candidates are scored in parallel, but every
+/// winner is chosen by an index-stable argmin — parallel and sequential
+/// modes produce byte-identical reports.
+///
+/// The cache persists: saveCache() serializes every surviving entry under
+/// a fingerprint of the registered machines, and loadCache() rejects
+/// stale or cross-machine files, so a repeat run starts with zero tuning.
 ///
 /// Engines (graph/Executor.h) share the process-wide session by default,
 /// so a resnet50 compile warms resnet18's kernels and vice versa.
@@ -20,11 +33,13 @@
 #ifndef UNIT_RUNTIME_COMPILERSESSION_H
 #define UNIT_RUNTIME_COMPILERSESSION_H
 
+#include "runtime/CompileRequest.h"
 #include "runtime/KernelCache.h"
 #include "runtime/TargetRegistry.h"
 #include "support/ThreadPool.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace unit {
@@ -33,6 +48,7 @@ struct SessionConfig {
   unsigned Threads = 0;           ///< Pool size; 0 = hardware concurrency.
   bool ParallelShapes = true;     ///< Tune distinct model shapes concurrently.
   bool ParallelCandidates = true; ///< Score tuning candidates concurrently.
+  size_t CacheCapacity = 0;       ///< LRU entry cap; 0 = unbounded.
 };
 
 /// What compiling a whole model produced.
@@ -51,6 +67,10 @@ class CompilerSession {
   /// The pool handed to tuners, or null when candidate-parallelism is off.
   ThreadPool *tuningPool() { return Config.ParallelCandidates ? Pool.get() : nullptr; }
 
+  /// Runs \p Request synchronously under \p Key (already derived).
+  KernelReport compileKeyed(const CompileRequest &Request,
+                            const std::string &Key);
+
 public:
   explicit CompilerSession(SessionConfig Config = {});
   ~CompilerSession();
@@ -58,33 +78,77 @@ public:
   CompilerSession(const CompilerSession &) = delete;
   CompilerSession &operator=(const CompilerSession &) = delete;
 
-  /// The process-wide session every engine uses unless given its own.
-  static const std::shared_ptr<CompilerSession> &shared();
+  /// The process-wide session every engine uses unless given its own
+  /// (returned by value: a reference would race with resetShared).
+  static std::shared_ptr<CompilerSession> shared();
+
+  /// Test-only hook: replaces the process-wide session with a fresh one so
+  /// tests that mutate the shared cache don't order-depend on each other.
+  /// Engines constructed earlier keep their (old) session alive; new
+  /// default-constructed engines pick up the replacement.
+  static std::shared_ptr<CompilerSession> resetShared(SessionConfig Config = {});
 
   KernelCache &cache() { return Cache; }
   ThreadPool &pool() { return *Pool; }
   const SessionConfig &config() const { return Config; }
 
-  /// Compiles one tensor operation for \p Target's registered backend
-  /// (or an explicit backend), returning the cached report when the
-  /// canonical key is already present.
-  KernelReport compile(const ComputeOpRef &Op, TargetKind Target);
-  KernelReport compile(const ComputeOpRef &Op, const TargetBackend &Backend);
+  //===--------------------------------------------------------------------===//
+  // The unified compile surface
+  //===--------------------------------------------------------------------===//
 
-  /// Conv-layer entry the engines use.
+  /// Compiles one request, honoring its cache policy and tuning budget.
+  KernelReport compile(const CompileRequest &Request);
+
+  /// Submits one request to the session pool and returns immediately. A
+  /// ready or in-flight cache entry is joined without a pool round-trip.
+  /// CompileJob::get() rethrows any exception the backend raised.
+  CompileJob compileAsync(CompileRequest Request);
+
+  /// Submits a batch, higher CompileOptions::Priority first; the returned
+  /// jobs are in the original request order.
+  std::vector<CompileJob> compileAllAsync(std::vector<CompileRequest> Requests);
+
+  /// Compiles every conv layer of \p M by submitting all distinct shapes
+  /// async and then joining ("submit all, then join") when the config
+  /// allows shape parallelism; sequential otherwise. Per-layer reports
+  /// are byte-identical between the two modes.
+  ModelCompileResult compileModel(const Model &M, TargetKind Target,
+                                  const CompileOptions &Options = {});
+  ModelCompileResult compileModel(const Model &M, const TargetBackend &Backend,
+                                  const CompileOptions &Options = {});
+
+  //===--------------------------------------------------------------------===//
+  // Cache persistence
+  //===--------------------------------------------------------------------===//
+
+  /// Fingerprint the session's cache files are versioned under: a format
+  /// tag plus every registered backend's machine-parameter salt, so a
+  /// file written under different machine models (or a different format
+  /// revision) is rejected on load.
+  static std::string persistenceFingerprint();
+
+  /// Serializes the surviving ready cache entries to \p Path. Returns the
+  /// number of entries written, or std::nullopt on I/O failure.
+  std::optional<size_t> saveCache(const std::string &Path) const;
+
+  /// Merges a saveCache() file into this session's cache; stale,
+  /// corrupted, or cross-machine files load zero entries.
+  KernelCache::LoadResult loadCache(const std::string &Path);
+
+  //===--------------------------------------------------------------------===//
+  // Deprecated shims over the unified surface
+  //===--------------------------------------------------------------------===//
+
+  [[deprecated("use compile(CompileRequest) with Workload::op")]]
+  KernelReport compile(const ComputeOpRef &Op, TargetKind Target);
+  [[deprecated("use compile(CompileRequest) with Workload::op")]]
+  KernelReport compile(const ComputeOpRef &Op, const TargetBackend &Backend);
+  [[deprecated("use compile(CompileRequest) with Workload::conv2d")]]
   KernelReport compileConv(const ConvLayer &Layer,
                            const TargetBackend &Backend);
-
-  /// Conv3d entry (CPU targets, paper §VI.C).
+  [[deprecated("use compile(CompileRequest) with Workload::conv3d")]]
   KernelReport compileConv3d(const Conv3dLayer &Layer,
                              const CpuBackend &Backend);
-
-  /// Compiles every conv layer of \p M, tuning distinct shapes
-  /// concurrently when the config allows. Per-layer reports are
-  /// byte-identical between parallel and sequential modes.
-  ModelCompileResult compileModel(const Model &M, TargetKind Target);
-  ModelCompileResult compileModel(const Model &M,
-                                  const TargetBackend &Backend);
 };
 
 } // namespace unit

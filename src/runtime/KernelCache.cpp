@@ -2,9 +2,71 @@
 
 #include "runtime/KernelCache.h"
 
+#include "support/StringUtils.h"
+
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
 
 using namespace unit;
+
+namespace {
+
+bool isReady(const std::shared_future<KernelReport> &Fut) {
+  return Fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+std::shared_future<KernelReport> readyFuture(const KernelReport &Report) {
+  std::promise<KernelReport> P;
+  P.set_value(Report);
+  return P.get_future().share();
+}
+
+} // namespace
+
+void KernelCache::touchLocked(const Entry &E) const {
+  if (E.LruIt != Lru.begin())
+    Lru.splice(Lru.begin(), Lru, E.LruIt);
+}
+
+KernelCache::Entry &
+KernelCache::insertLocked(const std::string &Key,
+                          std::shared_future<KernelReport> Fut) {
+  Lru.push_front(Key);
+  Entry &E = Entries[Key];
+  E.Fut = std::move(Fut);
+  E.LruIt = Lru.begin();
+  return E;
+}
+
+void KernelCache::eraseLocked(const std::string &Key) {
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return;
+  Lru.erase(It->second.LruIt);
+  Entries.erase(It);
+}
+
+void KernelCache::enforceCapacityLocked() {
+  if (MaxEntries == 0 || Entries.size() <= MaxEntries)
+    return;
+  // Walk from the cold end; in-flight compiles are skipped — evicting one
+  // would break the single-flight guarantee for its waiters' key.
+  auto It = Lru.end();
+  while (Entries.size() > MaxEntries && It != Lru.begin()) {
+    --It;
+    auto MapIt = Entries.find(*It);
+    if (MapIt == Entries.end() || !isReady(MapIt->second.Fut))
+      continue;
+    It = Lru.erase(It);
+    Entries.erase(MapIt);
+    Evictions.fetch_add(1);
+  }
+}
 
 KernelReport KernelCache::getOrCompute(const std::string &Key,
                                        const Compiler &Compile) {
@@ -16,10 +78,11 @@ KernelReport KernelCache::getOrCompute(const std::string &Key,
     auto It = Entries.find(Key);
     if (It == Entries.end()) {
       Fut = Mine.get_future().share();
-      Entries.emplace(Key, Fut);
+      insertLocked(Key, Fut);
       Winner = true;
     } else {
-      Fut = It->second;
+      Fut = It->second.Fut;
+      touchLocked(It->second);
     }
   }
   if (!Winner) {
@@ -35,11 +98,17 @@ KernelReport KernelCache::getOrCompute(const std::string &Key,
   try {
     KernelReport Report = Compile();
     Mine.set_value(Report);
+    {
+      // Capacity is enforced only once the winner is ready: the new entry
+      // sits at the LRU front, so eviction hits the coldest ready keys.
+      std::lock_guard<std::mutex> Lock(Mu);
+      enforceCapacityLocked();
+    }
     return Report;
   } catch (...) {
     {
       std::lock_guard<std::mutex> Lock(Mu);
-      Entries.erase(Key);
+      eraseLocked(Key);
     }
     Mine.set_exception(std::current_exception());
     throw;
@@ -54,11 +123,47 @@ KernelCache::lookup(const std::string &Key) const {
     auto It = Entries.find(Key);
     if (It == Entries.end())
       return std::nullopt;
-    Fut = It->second;
+    Fut = It->second.Fut;
+    touchLocked(It->second);
   }
-  if (Fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+  if (!isReady(Fut))
     return std::nullopt;
   return Fut.get();
+}
+
+std::optional<std::shared_future<KernelReport>>
+KernelCache::peek(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return std::nullopt;
+  touchLocked(It->second);
+  // Joining an entry (ready or in flight) is a served request, same as a
+  // getOrCompute hit — async fast-path joins must show up in the stats.
+  Hits.fetch_add(1);
+  return It->second.Fut;
+}
+
+void KernelCache::insert(const std::string &Key, const KernelReport &Report) {
+  std::shared_future<KernelReport> Fut = readyFuture(Report);
+  std::lock_guard<std::mutex> Lock(Mu);
+  eraseLocked(Key);
+  insertLocked(Key, std::move(Fut));
+  enforceCapacityLocked();
+}
+
+void KernelCache::erase(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  eraseLocked(Key);
+}
+
+void KernelCache::eraseReady(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end() || !isReady(It->second.Fut))
+    return;
+  Lru.erase(It->second.LruIt);
+  Entries.erase(It);
 }
 
 bool KernelCache::contains(const std::string &Key) const {
@@ -74,8 +179,179 @@ size_t KernelCache::size() const {
 void KernelCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Entries.clear();
+  Lru.clear();
+}
+
+void KernelCache::setCapacity(size_t NewMaxEntries) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MaxEntries = NewMaxEntries;
+  enforceCapacityLocked();
+}
+
+size_t KernelCache::capacity() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return MaxEntries;
 }
 
 KernelCache::CacheStats KernelCache::stats() const {
-  return {Hits.load(), Misses.load()};
+  return {Hits.load(), Misses.load(), Evictions.load()};
+}
+
+//===----------------------------------------------------------------------===//
+// Disk persistence
+//===----------------------------------------------------------------------===//
+//
+// Text format, length-prefixed so keys and intrinsic names may contain any
+// byte but '\n'-framing stays parseable:
+//
+//   UNITKC 1
+//   fingerprint <len>
+//   <fingerprint bytes>
+//   entries <count>
+//   entry <keylen> <intrlen> <tensorized> <bestidx> <tried> <seconds %a>
+//   <key bytes>
+//   <intrinsic bytes>
+//   ... (repeated)
+//
+// Doubles round-trip exactly via hex-float (%a) formatting.
+
+static const char *KernelCacheMagic = "UNITKC 1";
+
+size_t KernelCache::save(std::ostream &Out,
+                         const std::string &Fingerprint) const {
+  // Snapshot under the lock, write outside it.
+  std::vector<std::pair<std::string, KernelReport>> Ready;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Ready.reserve(Entries.size());
+    for (const std::string &Key : Lru) {
+      auto It = Entries.find(Key);
+      if (It == Entries.end() || !isReady(It->second.Fut))
+        continue;
+      Ready.emplace_back(Key, It->second.Fut.get());
+    }
+  }
+  Out << KernelCacheMagic << "\n";
+  Out << "fingerprint " << Fingerprint.size() << "\n" << Fingerprint << "\n";
+  Out << "entries " << Ready.size() << "\n";
+  for (const auto &KV : Ready) {
+    const KernelReport &R = KV.second;
+    Out << "entry " << KV.first.size() << " " << R.IntrinsicName.size() << " "
+        << (R.Tensorized ? 1 : 0) << " " << R.BestCandidateIndex << " "
+        << R.CandidatesTried << " " << formatStr("%a", R.Seconds) << "\n";
+    Out << KV.first << "\n";
+    Out << R.IntrinsicName << "\n";
+  }
+  return Ready.size();
+}
+
+namespace {
+
+/// Upper bounds on file-supplied sizes. A corrupted length or count field
+/// must surface as BadFormat, never as a std::length_error / bad_alloc
+/// escaping the documented no-throw LoadResult contract.
+constexpr size_t MaxFramedBytes = 1u << 20;  ///< Per string (keys are ~KB).
+constexpr size_t MaxLoadEntries = 1u << 22;  ///< Per file.
+
+/// Reads exactly \p Len bytes followed by a '\n' frame terminator.
+bool readFramed(std::istream &In, size_t Len, std::string &Out) {
+  if (Len > MaxFramedBytes)
+    return false;
+  Out.resize(Len);
+  if (Len > 0 && !In.read(&Out[0], static_cast<std::streamsize>(Len)))
+    return false;
+  return In.get() == '\n';
+}
+
+} // namespace
+
+KernelCache::LoadResult KernelCache::load(std::istream &In,
+                                          const std::string &Fingerprint) {
+  LoadResult Result;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != KernelCacheMagic)
+    return Result; // BadFormat
+
+  std::string Tag;
+  size_t FpLen = 0;
+  if (!(In >> Tag >> FpLen) || Tag != "fingerprint" || In.get() != '\n')
+    return Result;
+  std::string FileFingerprint;
+  if (!readFramed(In, FpLen, FileFingerprint))
+    return Result;
+  if (FileFingerprint != Fingerprint) {
+    Result.Status = LoadStatus::FingerprintMismatch;
+    return Result;
+  }
+
+  size_t Count = 0;
+  if (!(In >> Tag >> Count) || Tag != "entries" || In.get() != '\n' ||
+      Count > MaxLoadEntries)
+    return Result;
+
+  // All-or-nothing: parse everything before touching the cache. The
+  // reservation is capped — Count is untrusted until the entries parse.
+  std::vector<std::pair<std::string, KernelReport>> Parsed;
+  Parsed.reserve(std::min<size_t>(Count, 4096));
+  for (size_t I = 0; I < Count; ++I) {
+    size_t KeyLen = 0, IntrLen = 0;
+    int Tensorized = 0;
+    KernelReport R;
+    std::string SecondsTok;
+    if (!(In >> Tag >> KeyLen >> IntrLen >> Tensorized >>
+          R.BestCandidateIndex >> R.CandidatesTried >> SecondsTok) ||
+        Tag != "entry" || In.get() != '\n')
+      return Result;
+    char *End = nullptr;
+    R.Seconds = std::strtod(SecondsTok.c_str(), &End);
+    if (End == SecondsTok.c_str() || *End != '\0')
+      return Result;
+    R.Tensorized = Tensorized != 0;
+    std::string Key;
+    if (!readFramed(In, KeyLen, Key) ||
+        !readFramed(In, IntrLen, R.IntrinsicName))
+      return Result;
+    Parsed.emplace_back(std::move(Key), std::move(R));
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    // File order is hottest-first; walking it forward keeps that recency
+    // order in the rebuilt LRU list (each insert lands at the front, so
+    // later == colder... hence iterate coldest-first).
+    for (auto It = Parsed.rbegin(); It != Parsed.rend(); ++It) {
+      if (Entries.count(It->first))
+        continue; // Live (possibly in-flight) entries win over disk.
+      insertLocked(It->first, readyFuture(It->second));
+      ++Result.EntriesLoaded;
+    }
+    enforceCapacityLocked();
+  }
+  Result.Status = LoadStatus::Loaded;
+  return Result;
+}
+
+std::optional<size_t>
+KernelCache::saveFile(const std::string &Path,
+                      const std::string &Fingerprint) const {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return std::nullopt;
+  size_t N = save(Out, Fingerprint);
+  Out.flush();
+  if (!Out)
+    return std::nullopt;
+  return N;
+}
+
+KernelCache::LoadResult
+KernelCache::loadFile(const std::string &Path,
+                      const std::string &Fingerprint) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    LoadResult R;
+    R.Status = LoadStatus::FileNotFound;
+    return R;
+  }
+  return load(In, Fingerprint);
 }

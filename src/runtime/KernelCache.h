@@ -16,6 +16,12 @@
 /// concurrently, one compiles and the other waits on the same future — a
 /// model with repeated shapes never tunes a shape twice.
 ///
+/// The cache is bounded (optionally) by an LRU entry cap, and persists to
+/// disk: save() writes the surviving ready entries under a caller-supplied
+/// fingerprint (machine parameters + format version), and load() rejects
+/// files whose fingerprint does not match byte-for-byte — stale or
+/// cross-machine entries never leak into a session.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef UNIT_RUNTIME_KERNELCACHE_H
@@ -25,6 +31,8 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <iosfwd>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -46,6 +54,10 @@ class KernelCache {
 public:
   using Compiler = std::function<KernelReport()>;
 
+  /// \p MaxEntries == 0 means unbounded; otherwise least-recently-used
+  /// ready entries are evicted once the cap is exceeded.
+  explicit KernelCache(size_t MaxEntries = 0) : MaxEntries(MaxEntries) {}
+
   /// Returns the cached report for \p Key, compiling it with \p Compile on
   /// a miss. Concurrent misses on one key run \p Compile exactly once; the
   /// losers block on the winner's future.
@@ -54,21 +66,102 @@ public:
   /// Non-computing probe; std::nullopt when absent or still compiling.
   std::optional<KernelReport> lookup(const std::string &Key) const;
 
+  /// The entry's future when present — ready or still in flight. Lets
+  /// async callers join an in-flight compile without blocking a thread;
+  /// counts as a cache hit in stats(), like a getOrCompute hit.
+  std::optional<std::shared_future<KernelReport>>
+  peek(const std::string &Key) const;
+
+  /// Inserts a ready report, replacing any existing entry — including an
+  /// in-flight one, so production code prefers getOrCompute/load (which
+  /// never displace a compile in progress); this is a seeding hook for
+  /// tests and tooling.
+  void insert(const std::string &Key, const KernelReport &Report);
+
+  /// Drops \p Key if present (no-op otherwise).
+  void erase(const std::string &Key);
+
+  /// Drops \p Key only when its entry is ready. An in-flight entry stays:
+  /// removing it would let a second compile of the same key start, and
+  /// the winner's completion paths assume the entry is still theirs.
+  /// CachePolicy::Refresh uses this — a compile currently in flight is
+  /// fresh enough to serve as the refreshed result.
+  void eraseReady(const std::string &Key);
+
   bool contains(const std::string &Key) const;
   size_t size() const;
   void clear();
 
+  /// Changes the LRU entry cap (0 = unbounded); evicts immediately when
+  /// the current size exceeds the new cap.
+  void setCapacity(size_t NewMaxEntries);
+  size_t capacity() const;
+
   struct CacheStats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
+    uint64_t Evictions = 0;
   };
   CacheStats stats() const;
 
+  //===--------------------------------------------------------------------===//
+  // Disk persistence
+  //===--------------------------------------------------------------------===//
+
+  enum class LoadStatus {
+    Loaded,              ///< Entries merged into the cache.
+    FileNotFound,        ///< Path could not be opened for reading.
+    BadFormat,           ///< Corrupted / truncated / wrong format version.
+    FingerprintMismatch, ///< Valid file from a different machine or config.
+  };
+  struct LoadResult {
+    LoadStatus Status = LoadStatus::BadFormat;
+    size_t EntriesLoaded = 0;
+  };
+
+  /// Writes every *ready* entry (in-flight compiles are skipped, evicted
+  /// entries are gone — survivors only) in most-recently-used-first order
+  /// under \p Fingerprint. Returns the number of entries written.
+  size_t save(std::ostream &Out, const std::string &Fingerprint) const;
+
+  /// Parses a save()d stream. All-or-nothing: a corrupted file or a
+  /// fingerprint mismatch loads zero entries. Loaded entries are merged —
+  /// keys already present (or in flight) keep their current value.
+  LoadResult load(std::istream &In, const std::string &Fingerprint);
+
+  /// File convenience wrappers. saveFile returns entries written, or
+  /// std::nullopt when the file could not be created.
+  std::optional<size_t> saveFile(const std::string &Path,
+                                 const std::string &Fingerprint) const;
+  LoadResult loadFile(const std::string &Path, const std::string &Fingerprint);
+
 private:
+  struct Entry {
+    std::shared_future<KernelReport> Fut;
+    std::list<std::string>::iterator LruIt; ///< Position in Lru.
+  };
+
+  /// Moves \p E's node to the front of the LRU list (splice keeps the
+  /// stored iterator valid, so the entry itself is untouched). Mu held.
+  void touchLocked(const Entry &E) const;
+  /// Inserts an entry (Mu must be held) and returns its map slot.
+  Entry &insertLocked(const std::string &Key,
+                      std::shared_future<KernelReport> Fut);
+  /// Erases \p Key from map + LRU list. Mu must be held.
+  void eraseLocked(const std::string &Key);
+  /// Evicts ready LRU-tail entries until size() <= MaxEntries (in-flight
+  /// compiles are never evicted). Mu must be held.
+  void enforceCapacityLocked();
+
   mutable std::mutex Mu;
-  std::unordered_map<std::string, std::shared_future<KernelReport>> Entries;
-  std::atomic<uint64_t> Hits{0};
+  std::unordered_map<std::string, Entry> Entries;
+  /// Front = most recently used. Mutated by const probes (lookup/peek
+  /// refresh recency), hence mutable.
+  mutable std::list<std::string> Lru;
+  size_t MaxEntries = 0;
+  mutable std::atomic<uint64_t> Hits{0}; ///< peek() is a const hit path.
   std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Evictions{0};
 };
 
 } // namespace unit

@@ -21,6 +21,17 @@ std::vector<TensorIntrinsicRef> TargetBackend::intrinsics() const {
   return IntrinsicRegistry::instance().forTarget(kind());
 }
 
+std::string TargetBackend::conv3dKey(const Conv3dLayer &) const {
+  reportFatalError(std::string(targetName(kind())) +
+                   " backend does not support conv3d workloads");
+}
+
+KernelReport TargetBackend::compileConv3d(const Conv3dLayer &, ThreadPool *,
+                                          const CompileOptions &) const {
+  reportFatalError(std::string(targetName(kind())) +
+                   " backend does not support conv3d workloads");
+}
+
 namespace {
 
 /// First applicable instruction from \p Intrs against \p Op.
@@ -93,8 +104,8 @@ std::string CpuBackend::convKey(const ConvLayer &Layer) const {
   return Key;
 }
 
-KernelReport CpuBackend::compileConv(const ConvLayer &Layer,
-                                     ThreadPool *Pool) const {
+KernelReport CpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                                     const CompileOptions &Options) const {
   KernelReport Report;
   if (Layer.Depthwise) {
     // No channel reduction, so the Inspector rejects every dot
@@ -115,14 +126,16 @@ KernelReport CpuBackend::compileConv(const ConvLayer &Layer,
     Report.Seconds = simdLatencySeconds(Stats, Machine);
     return Report;
   }
-  TunedKernel Tuned = tuneCpu(Laid.Op, *Match, Machine, Pool);
+  TunedKernel Tuned =
+      tuneCpu(Laid.Op, *Match, Machine, Pool, Options.MaxCandidates);
   return reportFromTuned(Tuned, Match->Intrinsic->name());
 }
 
-KernelReport CpuBackend::compileOp(const ComputeOpRef &Op,
-                                   ThreadPool *Pool) const {
+KernelReport CpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                                   const CompileOptions &Options) const {
   if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
-    TunedKernel Tuned = tuneCpu(Op, *Match, Machine, Pool);
+    TunedKernel Tuned = tuneCpu(Op, *Match, Machine, Pool,
+                                Options.MaxCandidates);
     return reportFromTuned(Tuned, Match->Intrinsic->name());
   }
   KernelReport Report;
@@ -158,7 +171,8 @@ std::string CpuBackend::conv3dKey(const Conv3dLayer &Layer) const {
 }
 
 KernelReport CpuBackend::compileConv3d(const Conv3dLayer &Layer,
-                                       ThreadPool *Pool) const {
+                                       ThreadPool *Pool,
+                                       const CompileOptions &Options) const {
   LaidOutOp Laid =
       buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
                           Scheme.Accumulator, Scheme.LaneMultiple,
@@ -166,7 +180,8 @@ KernelReport CpuBackend::compileConv3d(const Conv3dLayer &Layer,
   std::optional<MatchResult> Match = firstMatch(Laid.Op, intrinsics());
   if (!Match)
     reportFatalError("conv3d failed to tensorize");
-  TunedKernel Tuned = tuneCpu(Laid.Op, *Match, Machine, Pool);
+  TunedKernel Tuned =
+      tuneCpu(Laid.Op, *Match, Machine, Pool, Options.MaxCandidates);
   return reportFromTuned(Tuned, Match->Intrinsic->name());
 }
 
@@ -195,8 +210,8 @@ std::string GpuBackend::convKey(const ConvLayer &Layer) const {
   return cacheSalt() + "|conv+fuse-enum|" + Layer.shapeKey();
 }
 
-KernelReport GpuBackend::compileConv(const ConvLayer &Layer,
-                                     ThreadPool *Pool) const {
+KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                                     const CompileOptions &Options) const {
   KernelReport Report;
   if (Layer.Depthwise) {
     Report.Seconds = gpuCudaCoreConvSeconds(Layer, Machine, /*Scale=*/1.0);
@@ -213,7 +228,8 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer,
     std::optional<MatchResult> Match = firstMatch(Laid.Op, Intrs);
     if (!Match)
       continue;
-    TunedKernel Tuned = tuneGpu(Laid.Op, *Match, Machine, Pool);
+    TunedKernel Tuned =
+        tuneGpu(Laid.Op, *Match, Machine, Pool, Options.MaxCandidates);
     double Rearrange = Laid.RearrangeBytes /
                        (Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9);
     double Total = Tuned.LatencySeconds + Rearrange;
@@ -235,10 +251,11 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer,
   return Report;
 }
 
-KernelReport GpuBackend::compileOp(const ComputeOpRef &Op,
-                                   ThreadPool *Pool) const {
+KernelReport GpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                                   const CompileOptions &Options) const {
   if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
-    TunedKernel Tuned = tuneGpu(Op, *Match, Machine, Pool);
+    TunedKernel Tuned = tuneGpu(Op, *Match, Machine, Pool,
+                                Options.MaxCandidates);
     return reportFromTuned(Tuned, Match->Intrinsic->name());
   }
   // CUDA-core fallback for untensorizable ops: roofline over total MACs

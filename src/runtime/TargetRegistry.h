@@ -20,6 +20,7 @@
 #include "graph/Graph.h"
 #include "graph/Quantize.h"
 #include "perf/MachineModel.h"
+#include "runtime/CompileOptions.h"
 #include "runtime/KernelCache.h"
 
 #include <memory>
@@ -58,13 +59,21 @@ public:
   virtual std::string convKey(const ConvLayer &Layer) const = 0;
 
   /// Tunes one conv layer. \p Pool, when non-null, scores tuning
-  /// candidates concurrently (result is identical either way).
-  virtual KernelReport compileConv(const ConvLayer &Layer,
-                                   ThreadPool *Pool) const = 0;
+  /// candidates concurrently (result is identical either way);
+  /// \p Options.MaxCandidates caps the search space.
+  virtual KernelReport compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                                   const CompileOptions &Options = {}) const = 0;
 
   /// Tunes one already-built tensor operation.
-  virtual KernelReport compileOp(const ComputeOpRef &Op,
-                                 ThreadPool *Pool) const = 0;
+  virtual KernelReport compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                                 const CompileOptions &Options = {}) const = 0;
+
+  /// Conv3d support (paper §VI.C). The base implementations fatal-error;
+  /// backends that can tensorize 3d convolutions override both.
+  virtual std::string conv3dKey(const Conv3dLayer &Layer) const;
+  virtual KernelReport compileConv3d(const Conv3dLayer &Layer,
+                                     ThreadPool *Pool,
+                                     const CompileOptions &Options = {}) const;
 };
 
 using TargetBackendRef = std::shared_ptr<const TargetBackend>;
@@ -89,15 +98,15 @@ public:
   std::string cacheSalt() const override;
   const QuantScheme &scheme() const override { return Scheme; }
   std::string convKey(const ConvLayer &Layer) const override;
-  KernelReport compileConv(const ConvLayer &Layer,
-                           ThreadPool *Pool) const override;
-  KernelReport compileOp(const ComputeOpRef &Op,
-                         ThreadPool *Pool) const override;
+  KernelReport compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                           const CompileOptions &Options = {}) const override;
+  KernelReport compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                         const CompileOptions &Options = {}) const override;
 
   /// Conv3d flows through the same pipeline (paper §VI.C).
-  std::string conv3dKey(const Conv3dLayer &Layer) const;
-  KernelReport compileConv3d(const Conv3dLayer &Layer,
-                             ThreadPool *Pool) const;
+  std::string conv3dKey(const Conv3dLayer &Layer) const override;
+  KernelReport compileConv3d(const Conv3dLayer &Layer, ThreadPool *Pool,
+                             const CompileOptions &Options = {}) const override;
 
   const CpuMachine &machine() const { return Machine; }
 };
@@ -117,10 +126,10 @@ public:
   std::string cacheSalt() const override;
   const QuantScheme &scheme() const override { return Scheme; }
   std::string convKey(const ConvLayer &Layer) const override;
-  KernelReport compileConv(const ConvLayer &Layer,
-                           ThreadPool *Pool) const override;
-  KernelReport compileOp(const ComputeOpRef &Op,
-                         ThreadPool *Pool) const override;
+  KernelReport compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                           const CompileOptions &Options = {}) const override;
+  KernelReport compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                         const CompileOptions &Options = {}) const override;
 
   const GpuMachine &machine() const { return Machine; }
 };

@@ -1,0 +1,122 @@
+//===- runtime/Workload.cpp ------------------------------------------------===//
+
+#include "runtime/Workload.h"
+
+#include "core/Isomorphism.h"
+#include "runtime/TargetRegistry.h"
+#include "support/ErrorHandling.h"
+
+using namespace unit;
+
+Workload Workload::conv2d(ConvLayer Layer) {
+  Workload W(Kind::Conv2d);
+  W.C2 = std::move(Layer);
+  return W;
+}
+
+Workload Workload::conv3d(Conv3dLayer Layer) {
+  Workload W(Kind::Conv3d);
+  W.C3 = std::move(Layer);
+  return W;
+}
+
+Workload Workload::dense(const std::string &Name, int64_t In, int64_t Out) {
+  // Same canonicalization Model::addDense applies: a 1x1 conv on a 1x1
+  // image, so dense workloads share the conv2d path and cache entries.
+  ConvLayer L;
+  L.Name = Name;
+  L.InC = In;
+  L.OutC = Out;
+  return conv2d(std::move(L));
+}
+
+Workload Workload::op(ComputeOpRef Op) {
+  if (!Op)
+    reportFatalError("Workload::op: null operation");
+  Workload W(Kind::Op);
+  W.Raw = std::move(Op);
+  return W;
+}
+
+const std::string &Workload::name() const {
+  static const std::string Empty;
+  switch (K) {
+  case Kind::Conv2d:
+    return C2.Name;
+  case Kind::Conv3d:
+    return C3.Name;
+  case Kind::Op:
+    return Raw ? Raw->name() : Empty;
+  }
+  return Empty;
+}
+
+const ConvLayer &Workload::conv2dLayer() const {
+  if (K != Kind::Conv2d)
+    reportFatalError("Workload: not a conv2d workload");
+  return C2;
+}
+
+const Conv3dLayer &Workload::conv3dLayer() const {
+  if (K != Kind::Conv3d)
+    reportFatalError("Workload: not a conv3d workload");
+  return C3;
+}
+
+const ComputeOpRef &Workload::rawOp() const {
+  if (K != Kind::Op)
+    reportFatalError("Workload: not a raw-op workload");
+  return Raw;
+}
+
+std::string Workload::cacheKey(const TargetBackend &Backend) const {
+  switch (K) {
+  case Kind::Conv2d:
+    return Backend.convKey(C2);
+  case Kind::Conv3d:
+    return Backend.conv3dKey(C3);
+  case Kind::Op:
+    return Backend.cacheSalt() + "|op|" + canonicalComputeKey(*Raw);
+  }
+  reportFatalError("Workload: unknown kind");
+}
+
+KernelReport Workload::compileWith(const TargetBackend &Backend,
+                                   ThreadPool *Pool,
+                                   const CompileOptions &Options) const {
+  switch (K) {
+  case Kind::Conv2d:
+    return Backend.compileConv(C2, Pool, Options);
+  case Kind::Conv3d:
+    return Backend.compileConv3d(C3, Pool, Options);
+  case Kind::Op:
+    return Backend.compileOp(Raw, Pool, Options);
+  }
+  reportFatalError("Workload: unknown kind");
+}
+
+CompiledKernel unit::compileWorkload(const Workload &W, TargetKind Target,
+                                     const TuneHook &Tune) {
+  LaidOutOp Laid = W.buildOp(quantSchemeFor(Target));
+  return compileForIntrinsics(
+      Laid.Op, IntrinsicRegistry::instance().forTarget(Target), Tune);
+}
+
+LaidOutOp Workload::buildOp(const QuantScheme &Scheme) const {
+  switch (K) {
+  case Kind::Conv2d:
+    return buildDirectConvOp(C2, Scheme.Activation, Scheme.Weight,
+                             Scheme.Accumulator, Scheme.LaneMultiple,
+                             Scheme.ReduceMultiple);
+  case Kind::Conv3d:
+    return buildDirectConv3dOp(C3, Scheme.Activation, Scheme.Weight,
+                               Scheme.Accumulator, Scheme.LaneMultiple,
+                               Scheme.ReduceMultiple);
+  case Kind::Op: {
+    LaidOutOp Laid;
+    Laid.Op = Raw;
+    return Laid;
+  }
+  }
+  reportFatalError("Workload: unknown kind");
+}

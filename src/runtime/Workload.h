@@ -1,0 +1,93 @@
+//===- runtime/Workload.h - The one thing the compiler compiles -----------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Workload is the sum type every supported operation canonicalizes
+/// into before compilation: a conv2d layer, a conv3d layer, a dense layer
+/// (canonicalized to a 1x1 conv on a 1x1 image, so a dense workload and
+/// its equivalent conv share one cache entry), or a raw tensor operation.
+/// It is the single currency of the compile surface — CompileRequest
+/// carries one, CompilerSession keys its cache off one, and the pipeline's
+/// compileWorkload lowers one — so adding a workload kind extends every
+/// entry point at once instead of growing a new compile* overload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_RUNTIME_WORKLOAD_H
+#define UNIT_RUNTIME_WORKLOAD_H
+
+#include "core/Pipeline.h"
+#include "graph/Graph.h"
+#include "graph/Layout.h"
+#include "graph/Quantize.h"
+#include "ir/ComputeOp.h"
+#include "runtime/CompileOptions.h"
+#include "runtime/KernelCache.h"
+
+#include <string>
+
+namespace unit {
+
+class TargetBackend;
+class ThreadPool;
+
+class Workload {
+public:
+  enum class Kind { Conv2d, Conv3d, Op };
+
+  static Workload conv2d(ConvLayer Layer);
+  static Workload conv3d(Conv3dLayer Layer);
+  /// Dense-as-1x1 canonicalization: the same ConvLayer Model::addDense
+  /// builds, so it hits the conv2d compile path and cache entries.
+  static Workload dense(const std::string &Name, int64_t In, int64_t Out);
+  static Workload op(ComputeOpRef Op);
+
+  Kind kind() const { return K; }
+  /// Layer / op name, for diagnostics only (never part of cache keys).
+  const std::string &name() const;
+
+  /// Kind-checked accessors; fatal-error on mismatch.
+  const ConvLayer &conv2dLayer() const;
+  const Conv3dLayer &conv3dLayer() const;
+  const ComputeOpRef &rawOp() const;
+
+  /// Canonical cache key on \p Backend: the backend's machine salt plus
+  /// the structural serialization of the operation this workload builds,
+  /// so isomorphic workloads (renamed layers, dense vs. equivalent 1x1
+  /// conv) collapse onto one compiled kernel.
+  std::string cacheKey(const TargetBackend &Backend) const;
+
+  /// Compiles this workload on \p Backend, threading the tuning budget
+  /// from \p Options into the search.
+  KernelReport compileWith(const TargetBackend &Backend, ThreadPool *Pool,
+                           const CompileOptions &Options) const;
+
+  /// Canonicalizes the workload into its laid-out tensor operation under
+  /// \p Scheme (direct-conv blocking for conv kinds; raw ops pass
+  /// through). This is the operation the core pipeline lowers; GPU
+  /// backends substitute their own implicit-GEMM view at compile time.
+  LaidOutOp buildOp(const QuantScheme &Scheme) const;
+
+private:
+  explicit Workload(Kind K) : K(K) {}
+
+  Kind K;
+  ConvLayer C2;   ///< Kind::Conv2d
+  Conv3dLayer C3; ///< Kind::Conv3d
+  ComputeOpRef Raw; ///< Kind::Op
+};
+
+/// The unified pipeline entry: canonicalizes \p W into its laid-out
+/// tensor operation under \p Target's quantization scheme, then runs the
+/// core Inspector -> Rewriter -> Replacer pipeline against the target's
+/// registered instructions. Every workload kind shares this one path;
+/// core/Pipeline's compileForTarget is the raw-op special case.
+CompiledKernel compileWorkload(const Workload &W, TargetKind Target,
+                               const TuneHook &Tune = {});
+
+} // namespace unit
+
+#endif // UNIT_RUNTIME_WORKLOAD_H

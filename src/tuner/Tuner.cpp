@@ -6,7 +6,9 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <optional>
 
 using namespace unit;
@@ -182,9 +184,18 @@ void truncateCandidates(std::vector<Candidate> &Candidates,
 
 } // namespace
 
+namespace {
+/// Process-wide count of tuner searches; lets tests assert that a
+/// warm-from-disk session performs literally zero tuning.
+std::atomic<uint64_t> TunerRuns{0};
+} // namespace
+
+uint64_t unit::tunerInvocations() { return TunerRuns.load(); }
+
 TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const CpuMachine &Machine, ThreadPool *Pool,
                           int MaxCandidates) {
+  TunerRuns.fetch_add(1);
   std::vector<CpuTuningPair> Pairs = defaultCpuTuningPairs();
   truncateCandidates(Pairs, MaxCandidates);
   return searchCandidates(
@@ -202,6 +213,7 @@ TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
 TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const GpuMachine &Machine, ThreadPool *Pool,
                           int MaxCandidates) {
+  TunerRuns.fetch_add(1);
   std::vector<GpuTuningConfig> Configs = defaultGpuTuningConfigs();
   truncateCandidates(Configs, MaxCandidates);
   return searchCandidates(

@@ -19,6 +19,7 @@
 #include "perf/CostModel.h"
 #include "tuner/TuningSpace.h"
 
+#include <cstdint>
 #include <optional>
 
 namespace unit {
@@ -68,6 +69,11 @@ TunedKernel tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
 TunedKernel tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                     const GpuMachine &Machine, ThreadPool *Pool,
                     int MaxCandidates = -1);
+
+/// Monotone process-wide count of tuner searches run so far (tuneCpu +
+/// tuneGpu). The persistence tests assert a warm-from-disk model compile
+/// leaves this untouched — zero tuner invocations.
+uint64_t tunerInvocations();
 
 /// Ablation stages for paper Fig. 10 (latencies in seconds).
 struct CpuAblation {

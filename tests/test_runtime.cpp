@@ -4,9 +4,11 @@
 #include "core/Isomorphism.h"
 #include "graph/Executor.h"
 #include "models/ModelZoo.h"
+#include "runtime/CompileRequest.h"
 #include "runtime/CompilerSession.h"
 #include "runtime/KernelCache.h"
 #include "runtime/TargetRegistry.h"
+#include "runtime/Workload.h"
 #include "support/ThreadPool.h"
 #include "tuner/Tuner.h"
 
@@ -14,8 +16,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
+#include <unistd.h>
 
 using namespace unit;
 using namespace unit::testutil;
@@ -196,13 +202,13 @@ TEST(ParallelTuning, CpuSearchMatchesSequential) {
 TEST(CompilerSession, IsomorphicOpsShareOneCompile) {
   CompilerSession Session(sequentialConfig());
   OpFixture A = makeMatmulU8I8(64, 64, 64);
-  KernelReport RA = Session.compile(A.Op, TargetKind::X86);
+  KernelReport RA = Session.compile({Workload::op(A.Op), TargetKind::X86});
   EXPECT_TRUE(RA.Tensorized);
   EXPECT_EQ(Session.cache().size(), 1u);
 
   // Renamed twin: must be a cache hit, not a second entry.
   OpFixture B = makeMatmulU8I8(64, 64, 64);
-  KernelReport RB = Session.compile(B.Op, TargetKind::X86);
+  KernelReport RB = Session.compile({Workload::op(B.Op), TargetKind::X86});
   EXPECT_EQ(Session.cache().size(), 1u);
   EXPECT_EQ(Session.cache().stats().Hits, 1u);
   EXPECT_EQ(RA.Seconds, RB.Seconds);
@@ -319,6 +325,430 @@ TEST(CompilerSession, GpuModelCompileWorks) {
   for (const KernelReport &L : R.Layers)
     EXPECT_GT(L.Seconds, 0.0);
 }
+
+//===----------------------------------------------------------------------===//
+// Workload: the one canonical compile currency
+//===----------------------------------------------------------------------===//
+
+TEST(Workload, DenseCanonicalizesToOneByOneConv) {
+  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  Workload Dense = Workload::dense("fc", 512, 1000);
+  ConvLayer AsConv;
+  AsConv.Name = "fc_as_conv";
+  AsConv.InC = 512;
+  AsConv.OutC = 1000;
+  // Dense-as-1x1: the dense workload and its conv equivalent must share
+  // one cache entry (names never enter keys).
+  EXPECT_EQ(Dense.cacheKey(*X86), Workload::conv2d(AsConv).cacheKey(*X86));
+  EXPECT_EQ(Dense.kind(), Workload::Kind::Conv2d);
+}
+
+TEST(Workload, KindsProduceDistinctKeys) {
+  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+  Conv3dLayer L3;
+  L3.InC = 64;
+  L3.InD = L3.InH = L3.InW = 14;
+  L3.OutC = 128;
+  L3.K = 3;
+  L3.Pad = 1;
+  EXPECT_NE(Workload::conv2d(L).cacheKey(*X86),
+            Workload::conv3d(L3).cacheKey(*X86));
+}
+
+TEST(Workload, RequestBudgetSaltsTheKey) {
+  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+  CompileOptions Capped;
+  Capped.MaxCandidates = 1;
+  CompileRequest Full(Workload::conv2d(L), X86);
+  CompileRequest Budgeted(Workload::conv2d(L), X86, Capped);
+  EXPECT_NE(Full.cacheKey(), Budgeted.cacheKey());
+}
+
+TEST(CompileOptions, TuningBudgetCapsTheSearch) {
+  CompilerSession Session(sequentialConfig());
+  ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+  KernelReport Full =
+      Session.compile({Workload::conv2d(L), TargetKind::X86});
+  CompileOptions Capped;
+  Capped.MaxCandidates = 1;
+  KernelReport One =
+      Session.compile({Workload::conv2d(L), TargetKind::X86, Capped});
+  EXPECT_GT(Full.CandidatesTried, 1);
+  EXPECT_EQ(One.CandidatesTried, 1);
+  EXPECT_EQ(One.BestCandidateIndex, 0);
+  // Distinct keys: the budgeted report must not shadow the full one.
+  EXPECT_EQ(Session.cache().size(), 2u);
+  EXPECT_LE(Full.Seconds, One.Seconds);
+}
+
+//===----------------------------------------------------------------------===//
+// Async jobs: exception propagation + single-flight
+//===----------------------------------------------------------------------===//
+
+/// Minimal synthetic backend for the async tests: counts compiles,
+/// optionally sleeps (to widen race windows) and fails the first N
+/// compiles, without running any real tuning.
+class ProbeBackend : public TargetBackend {
+public:
+  std::string Salt;
+  mutable std::atomic<int> Compiles{0};
+  int ThrowFirstN = 0;
+  int SleepMillis = 0;
+  double ReportSeconds = 0.25;
+
+  explicit ProbeBackend(std::string SaltIn) : Salt(std::move(SaltIn)) {}
+
+  TargetKind kind() const override { return TargetKind::X86; }
+  std::string cacheSalt() const override { return "probe|" + Salt; }
+  const QuantScheme &scheme() const override {
+    static QuantScheme S = quantSchemeFor(TargetKind::X86);
+    return S;
+  }
+  std::string convKey(const ConvLayer &L) const override {
+    return cacheSalt() + "|conv|" + L.shapeKey();
+  }
+  KernelReport compileConv(const ConvLayer &, ThreadPool *,
+                           const CompileOptions &) const override {
+    return run();
+  }
+  KernelReport compileOp(const ComputeOpRef &, ThreadPool *,
+                         const CompileOptions &) const override {
+    return run();
+  }
+
+private:
+  KernelReport run() const {
+    int N = Compiles.fetch_add(1) + 1;
+    if (SleepMillis)
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMillis));
+    if (N <= ThrowFirstN)
+      throw std::runtime_error("probe backend failure");
+    KernelReport R;
+    R.Seconds = ReportSeconds;
+    return R;
+  }
+};
+
+TEST(CompileAsync, ExceptionPropagatesAndKeyStaysRetryable) {
+  SessionConfig C;
+  C.Threads = 2;
+  CompilerSession Session(C);
+  auto Backend = std::make_shared<ProbeBackend>("throwing");
+  Backend->ThrowFirstN = 1;
+  ConvLayer L{"c", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+
+  CompileJob Failed =
+      Session.compileAsync({Workload::conv2d(L), Backend});
+  EXPECT_THROW(Failed.get(), std::runtime_error);
+  // The failure must evict the entry, not poison the key: the next
+  // request compiles fresh and succeeds.
+  CompileJob Retry = Session.compileAsync({Workload::conv2d(L), Backend});
+  EXPECT_EQ(Retry.get().Seconds, 0.25);
+  EXPECT_EQ(Backend->Compiles.load(), 2);
+}
+
+TEST(CompileAsync, ManyWaitersOneKeyCompileOnce) {
+  SessionConfig C;
+  C.Threads = 4;
+  CompilerSession Session(C);
+  auto Backend = std::make_shared<ProbeBackend>("singleflight");
+  Backend->SleepMillis = 10; // Widen the window so waiters really wait.
+  ConvLayer L{"c", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+
+  std::vector<CompileJob> Jobs;
+  for (int I = 0; I < 8; ++I)
+    Jobs.push_back(Session.compileAsync({Workload::conv2d(L), Backend}));
+  for (const CompileJob &Job : Jobs)
+    EXPECT_EQ(Job.get().Seconds, 0.25);
+  EXPECT_EQ(Backend->Compiles.load(), 1);
+  EXPECT_EQ(Session.cache().size(), 1u);
+}
+
+TEST(CompileAsync, BatchSubmissionMatchesBlockingReports) {
+  Model Resnet = makeResnet18();
+  CompilerSession Seq(sequentialConfig());
+  ModelCompileResult Expected = Seq.compileModel(Resnet, TargetKind::X86);
+
+  SessionConfig C;
+  C.Threads = 4;
+  CompilerSession Par(C);
+  std::vector<CompileRequest> Requests;
+  for (const ConvLayer &L : Resnet.Convs)
+    Requests.emplace_back(Workload::conv2d(L), TargetKind::X86);
+  std::vector<CompileJob> Jobs = Par.compileAllAsync(std::move(Requests));
+  ASSERT_EQ(Jobs.size(), Expected.Layers.size());
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    const KernelReport &R = Jobs[I].get();
+    EXPECT_EQ(0, std::memcmp(&R.Seconds, &Expected.Layers[I].Seconds,
+                             sizeof(double)));
+    EXPECT_EQ(R.BestCandidateIndex, Expected.Layers[I].BestCandidateIndex);
+    EXPECT_EQ(R.IntrinsicName, Expected.Layers[I].IntrinsicName);
+  }
+}
+
+TEST(CachePolicy, BypassNeverTouchesTheCache) {
+  CompilerSession Session(sequentialConfig());
+  auto Backend = std::make_shared<ProbeBackend>("bypass");
+  ConvLayer L{"c", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+  CompileOptions Bypass;
+  Bypass.Policy = CachePolicy::Bypass;
+  Session.compile({Workload::conv2d(L), Backend, Bypass});
+  Session.compile({Workload::conv2d(L), Backend, Bypass});
+  EXPECT_EQ(Backend->Compiles.load(), 2);
+  EXPECT_EQ(Session.cache().size(), 0u);
+}
+
+TEST(CachePolicy, RefreshRecompilesAndReinserts) {
+  CompilerSession Session(sequentialConfig());
+  auto Backend = std::make_shared<ProbeBackend>("refresh");
+  ConvLayer L{"c", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+  Session.compile({Workload::conv2d(L), Backend});
+  CompileOptions Refresh;
+  Refresh.Policy = CachePolicy::Refresh;
+  Session.compile({Workload::conv2d(L), Backend, Refresh});
+  EXPECT_EQ(Backend->Compiles.load(), 2);
+  EXPECT_EQ(Session.cache().size(), 1u);
+  // And the refreshed entry serves later default requests.
+  Session.compile({Workload::conv2d(L), Backend});
+  EXPECT_EQ(Backend->Compiles.load(), 2);
+}
+
+//===----------------------------------------------------------------------===//
+// KernelCache: LRU eviction
+//===----------------------------------------------------------------------===//
+
+KernelReport reportOf(double Seconds) {
+  KernelReport R;
+  R.Seconds = Seconds;
+  return R;
+}
+
+TEST(KernelCacheLru, EvictsLeastRecentlyUsedAtCapacity) {
+  KernelCache Cache(2);
+  Cache.insert("a", reportOf(1));
+  Cache.insert("b", reportOf(2));
+  Cache.insert("c", reportOf(3));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_FALSE(Cache.contains("a"));
+  EXPECT_TRUE(Cache.contains("b"));
+  EXPECT_TRUE(Cache.contains("c"));
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+}
+
+TEST(KernelCacheLru, LookupRefreshesRecency) {
+  KernelCache Cache(2);
+  Cache.insert("a", reportOf(1));
+  Cache.insert("b", reportOf(2));
+  ASSERT_TRUE(Cache.lookup("a").has_value()); // "a" is now the hot entry.
+  Cache.insert("c", reportOf(3));
+  EXPECT_TRUE(Cache.contains("a"));
+  EXPECT_FALSE(Cache.contains("b"));
+  EXPECT_TRUE(Cache.contains("c"));
+}
+
+TEST(KernelCacheLru, SetCapacityShrinksImmediately) {
+  KernelCache Cache; // Unbounded.
+  for (int I = 0; I < 8; ++I)
+    Cache.insert("k" + std::to_string(I), reportOf(I));
+  EXPECT_EQ(Cache.size(), 8u);
+  Cache.setCapacity(3);
+  EXPECT_EQ(Cache.size(), 3u);
+  // The three hottest (most recently inserted) survive.
+  EXPECT_TRUE(Cache.contains("k7"));
+  EXPECT_TRUE(Cache.contains("k6"));
+  EXPECT_TRUE(Cache.contains("k5"));
+}
+
+TEST(KernelCacheLru, SessionConfigCapIsApplied) {
+  SessionConfig C = sequentialConfig();
+  C.CacheCapacity = 1;
+  CompilerSession Session(C);
+  auto Backend = std::make_shared<ProbeBackend>("lru");
+  ConvLayer A{"a", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+  ConvLayer B{"b", 8, 8, 8, 16, 1, 1, 1, 0, 0, false};
+  Session.compile({Workload::conv2d(A), Backend});
+  Session.compile({Workload::conv2d(B), Backend});
+  EXPECT_EQ(Session.cache().size(), 1u);
+  // Recompiling the evicted shape is a fresh compile, not a hit.
+  Session.compile({Workload::conv2d(A), Backend});
+  EXPECT_EQ(Backend->Compiles.load(), 3);
+}
+
+TEST(KernelCacheLru, ModelCompileIsCorrectWithCapSmallerThanModel) {
+  // The per-layer reports come from the compile results themselves, so a
+  // cap smaller than the model's distinct-shape count costs extra tuning
+  // on the next run but never corrupts (or re-tunes during) this one.
+  SessionConfig C = sequentialConfig();
+  C.CacheCapacity = 2;
+  CompilerSession Tiny(C);
+  CompilerSession Ref(sequentialConfig());
+  Model Resnet = makeResnet18();
+  ModelCompileResult A = Tiny.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult B = Ref.compileModel(Resnet, TargetKind::X86);
+  ASSERT_EQ(A.Layers.size(), B.Layers.size());
+  for (size_t I = 0; I < A.Layers.size(); ++I)
+    EXPECT_EQ(A.Layers[I].Seconds, B.Layers[I].Seconds);
+  EXPECT_LE(Tiny.cache().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache persistence
+//===----------------------------------------------------------------------===//
+
+std::string tempCachePath(const std::string &Tag) {
+  return "unit_test_cache_" + Tag + "_" + std::to_string(getpid()) + ".kc";
+}
+
+TEST(CachePersistence, StreamRoundTripIsExact) {
+  KernelCache A;
+  KernelReport R;
+  R.Seconds = 1.0 / 3.0; // Needs exact (hex-float) serialization.
+  R.Tensorized = true;
+  R.BestCandidateIndex = 7;
+  R.CandidatesTried = 42;
+  R.IntrinsicName = "vnni.vpdpbusd";
+  A.insert("some|key with spaces", R);
+  A.insert("other|key", reportOf(2.5e-6));
+
+  std::stringstream Stream;
+  EXPECT_EQ(A.save(Stream, "fp"), 2u);
+
+  KernelCache B;
+  KernelCache::LoadResult Load = B.load(Stream, "fp");
+  EXPECT_EQ(Load.Status, KernelCache::LoadStatus::Loaded);
+  EXPECT_EQ(Load.EntriesLoaded, 2u);
+  std::optional<KernelReport> Back = B.lookup("some|key with spaces");
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(0, std::memcmp(&Back->Seconds, &R.Seconds, sizeof(double)));
+  EXPECT_EQ(Back->Tensorized, R.Tensorized);
+  EXPECT_EQ(Back->BestCandidateIndex, R.BestCandidateIndex);
+  EXPECT_EQ(Back->CandidatesTried, R.CandidatesTried);
+  EXPECT_EQ(Back->IntrinsicName, R.IntrinsicName);
+}
+
+TEST(CachePersistence, FingerprintMismatchRejectedCleanly) {
+  KernelCache A;
+  A.insert("k", reportOf(1));
+  std::stringstream Stream;
+  A.save(Stream, "machine-A");
+  KernelCache B;
+  KernelCache::LoadResult Load = B.load(Stream, "machine-B");
+  EXPECT_EQ(Load.Status, KernelCache::LoadStatus::FingerprintMismatch);
+  EXPECT_EQ(Load.EntriesLoaded, 0u);
+  EXPECT_EQ(B.size(), 0u);
+}
+
+TEST(CachePersistence, CorruptedFileRejectedCleanly) {
+  {
+    KernelCache B;
+    std::stringstream Garbage("not a cache file at all\njunk\n");
+    EXPECT_EQ(B.load(Garbage, "fp").Status,
+              KernelCache::LoadStatus::BadFormat);
+    EXPECT_EQ(B.size(), 0u);
+  }
+  {
+    // Truncated mid-entry: all-or-nothing, zero entries leak in.
+    KernelCache A;
+    A.insert("key-one", reportOf(1));
+    A.insert("key-two", reportOf(2));
+    std::stringstream Stream;
+    A.save(Stream, "fp");
+    std::string Text = Stream.str();
+    std::istringstream Truncated(Text.substr(0, Text.size() / 2));
+    KernelCache B;
+    EXPECT_EQ(B.load(Truncated, "fp").Status,
+              KernelCache::LoadStatus::BadFormat);
+    EXPECT_EQ(B.size(), 0u);
+  }
+}
+
+TEST(CachePersistence, MissingFileReported) {
+  KernelCache Cache;
+  EXPECT_EQ(Cache.loadFile("does/not/exist.kc", "fp").Status,
+            KernelCache::LoadStatus::FileNotFound);
+}
+
+TEST(CachePersistence, PersistenceWritesSurvivorsOnly) {
+  KernelCache Cache(2); // LRU cap 2: the first insert is evicted.
+  Cache.insert("a", reportOf(1));
+  Cache.insert("b", reportOf(2));
+  Cache.insert("c", reportOf(3));
+  std::stringstream Stream;
+  EXPECT_EQ(Cache.save(Stream, "fp"), 2u);
+}
+
+TEST(CachePersistence, WarmFromDiskCompilesWithZeroTunerInvocations) {
+  std::string Path = tempCachePath("warm");
+  Model Resnet = makeResnet18();
+
+  CompilerSession Cold(sequentialConfig());
+  ModelCompileResult ColdResult = Cold.compileModel(Resnet, TargetKind::X86);
+  std::optional<size_t> Saved = Cold.saveCache(Path);
+  ASSERT_TRUE(Saved.has_value());
+  EXPECT_EQ(*Saved, Cold.cache().size());
+
+  // A fresh session (standing in for a second process) restores the file
+  // and compiles the whole model without invoking the tuner once.
+  CompilerSession Warm(sequentialConfig());
+  KernelCache::LoadResult Load = Warm.loadCache(Path);
+  ASSERT_EQ(Load.Status, KernelCache::LoadStatus::Loaded);
+  EXPECT_EQ(Load.EntriesLoaded, *Saved);
+
+  uint64_t TunesBefore = tunerInvocations();
+  ModelCompileResult WarmResult = Warm.compileModel(Resnet, TargetKind::X86);
+  EXPECT_EQ(tunerInvocations(), TunesBefore);
+  EXPECT_EQ(Warm.cache().stats().Misses, 0u);
+  EXPECT_EQ(WarmResult.CacheHitLayers, Resnet.Convs.size());
+
+  ASSERT_EQ(ColdResult.Layers.size(), WarmResult.Layers.size());
+  for (size_t I = 0; I < ColdResult.Layers.size(); ++I) {
+    EXPECT_EQ(0, std::memcmp(&ColdResult.Layers[I].Seconds,
+                             &WarmResult.Layers[I].Seconds, sizeof(double)));
+    EXPECT_EQ(ColdResult.Layers[I].IntrinsicName,
+              WarmResult.Layers[I].IntrinsicName);
+  }
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-session reset + deprecated shims
+//===----------------------------------------------------------------------===//
+
+TEST(SharedSession, ResetReplacesTheProcessWideSession) {
+  std::shared_ptr<CompilerSession> Before = CompilerSession::shared();
+  EXPECT_EQ(Before.get(), CompilerSession::shared().get());
+  std::shared_ptr<CompilerSession> Fresh = CompilerSession::resetShared();
+  EXPECT_NE(Before.get(), Fresh.get());
+  EXPECT_EQ(Fresh.get(), CompilerSession::shared().get());
+  EXPECT_EQ(Fresh->cache().size(), 0u);
+  // Old handles (engines built earlier) stay usable.
+  EXPECT_GE(Before.use_count(), 1);
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(DeprecatedShims, OldEntryPointsStillResolveThroughTheNewSurface) {
+  CompilerSession Session(sequentialConfig());
+  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+  KernelReport Old = Session.compileConv(L, *X86);
+  KernelReport New = Session.compile({Workload::conv2d(L), X86});
+  // Same cache key, so the second call must be a hit with equal bytes.
+  EXPECT_EQ(Session.cache().size(), 1u);
+  EXPECT_EQ(0, std::memcmp(&Old.Seconds, &New.Seconds, sizeof(double)));
+
+  OpFixture F = makeMatmulU8I8(64, 64, 64);
+  KernelReport OldOp = Session.compile(F.Op, TargetKind::X86);
+  KernelReport NewOp = Session.compile({Workload::op(F.Op), TargetKind::X86});
+  EXPECT_EQ(OldOp.Seconds, NewOp.Seconds);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 //===----------------------------------------------------------------------===//
 // TargetRegistry
