@@ -19,15 +19,19 @@
 #include "models/Table1.h"
 #include "runtime/CompileRequest.h"
 #include "runtime/CompilerSession.h"
+#include "server/CompileClient.h"
+#include "server/CompileServer.h"
+#include "support/Time.h"
 #include "tuner/Tuner.h"
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+
+#include <unistd.h>
 
 using namespace unit;
 
@@ -177,12 +181,6 @@ void BM_CompileModelAllCacheHits(benchmark::State &State) {
 }
 BENCHMARK(BM_CompileModelAllCacheHits)->Unit(benchmark::kMillisecond);
 
-double nowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 /// Prints the cold-vs-hit summary, verifies parallel/sequential
 /// compileModel determinism, measures the warm-from-disk path, and emits
 /// the machine-readable BENCH_compile.json the CI job archives.
@@ -190,19 +188,19 @@ void runtimeSummary() {
   TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
   ConvLayer L = table1Workloads()[4];
 
-  double T0 = nowSeconds();
+  double T0 = steadyNowSeconds();
   KernelReport Cold = Backend->compileConv(L, nullptr);
-  double ColdSeconds = nowSeconds() - T0;
+  double ColdSeconds = steadyNowSeconds() - T0;
 
   CompilerSession Session(sequentialConfig());
   Session.compile({Workload::conv2d(L), Backend});
   constexpr int Hits = 200;
-  T0 = nowSeconds();
+  T0 = steadyNowSeconds();
   for (int I = 0; I < Hits; ++I) {
     KernelReport R = Session.compile({Workload::conv2d(L), Backend});
     benchmark::DoNotOptimize(R);
   }
-  double HitSeconds = (nowSeconds() - T0) / Hits;
+  double HitSeconds = (steadyNowSeconds() - T0) / Hits;
   std::printf("cold compile: %.1f us | cache-hit recompile: %.2f us | "
               "speedup: %.0fx (report %.3g s)\n",
               ColdSeconds * 1e6, HitSeconds * 1e6, ColdSeconds / HitSeconds,
@@ -242,9 +240,9 @@ void runtimeSummary() {
   double WarmDiskHitSeconds = 0;
   size_t PersistedEntries = 0;
   {
-    T0 = nowSeconds();
+    T0 = steadyNowSeconds();
     std::optional<size_t> Saved = Seq.saveCache(CachePath);
-    DiskSaveSeconds = nowSeconds() - T0;
+    DiskSaveSeconds = steadyNowSeconds() - T0;
     if (!Saved) {
       std::fprintf(stderr, "FAIL: could not write %s\n", CachePath.c_str());
       std::exit(1);
@@ -252,9 +250,9 @@ void runtimeSummary() {
     PersistedEntries = *Saved;
 
     CompilerSession FromDisk(sequentialConfig());
-    T0 = nowSeconds();
+    T0 = steadyNowSeconds();
     KernelCache::LoadResult Load = FromDisk.loadCache(CachePath);
-    DiskLoadSeconds = nowSeconds() - T0;
+    DiskLoadSeconds = steadyNowSeconds() - T0;
     if (Load.Status != KernelCache::LoadStatus::Loaded ||
         Load.EntriesLoaded != PersistedEntries) {
       std::fprintf(stderr, "FAIL: persisted cache did not restore\n");
@@ -269,18 +267,54 @@ void runtimeSummary() {
       std::exit(1);
     }
     // Single-layer hit latency against the restored (not re-tuned) cache.
-    T0 = nowSeconds();
+    T0 = steadyNowSeconds();
     for (int I = 0; I < Hits; ++I) {
       KernelReport R = FromDisk.compile({Workload::conv2d(L), Backend});
       benchmark::DoNotOptimize(R);
     }
-    WarmDiskHitSeconds = (nowSeconds() - T0) / Hits;
-    std::remove(CachePath.c_str());
+    WarmDiskHitSeconds = (steadyNowSeconds() - T0) / Hits;
   }
   std::printf("persisted %zu kernels: save %.2f ms | load %.2f ms | "
               "warm-from-disk resnet18 %.2f ms (zero tuner invocations)\n",
               PersistedEntries, DiskSaveSeconds * 1e3, DiskLoadSeconds * 1e3,
               WarmDiskModelSeconds * 1e3);
+
+  // Server restart from the same persisted cache: time from start() (which
+  // loads the file) to a client's fully-warm whole-model compile over the
+  // socket — the fast-restart number a deployment actually sees.
+  double ServerRestartWarmSeconds = 0;
+  {
+    ServerConfig Config;
+    Config.SocketPath =
+        "/tmp/unit_micro_" + std::to_string(::getpid()) + ".sock";
+    Config.CacheFile = CachePath;
+    Config.PersistIntervalSeconds = 0;
+    CompileServer Server(Config);
+    uint64_t TunesBefore = tunerInvocations();
+    T0 = steadyNowSeconds();
+    std::string Err;
+    CompileClient Client;
+    std::optional<CompileClient::ModelResult> Warm;
+    if (!Server.start(&Err) || !Client.connect(Config.SocketPath, &Err) ||
+        !Client.hello("micro_compile", 0, &Err) ||
+        !(Warm = Client.compileModel(TargetKind::X86, Resnet, {}, &Err))) {
+      std::fprintf(stderr, "FAIL: server restart bench: %s\n", Err.c_str());
+      std::exit(1);
+    }
+    ServerRestartWarmSeconds = steadyNowSeconds() - T0;
+    if (tunerInvocations() != TunesBefore ||
+        Warm->CacheHitLayers != Resnet.Convs.size()) {
+      std::fprintf(stderr,
+                   "FAIL: server restart was not warm-from-persisted-cache\n");
+      std::exit(1);
+    }
+    Client.close();
+    Server.stop();
+  }
+  std::remove(CachePath.c_str());
+  std::printf("server restart from persisted cache: start+connect+compile "
+              "resnet18 %.2f ms (zero tuner invocations)\n",
+              ServerRestartWarmSeconds * 1e3);
 
   std::FILE *Json = std::fopen("BENCH_compile.json", "w");
   if (!Json) {
@@ -302,13 +336,15 @@ void runtimeSummary() {
       "  \"model_cold_sequential_ms\": %.3f,\n"
       "  \"model_cold_parallel_ms\": %.3f,\n"
       "  \"model_warm_from_disk_ms\": %.3f,\n"
+      "  \"server_restart_warm_ms\": %.3f,\n"
       "  \"parallel_byte_identical\": true,\n"
-      "  \"warm_from_disk_zero_tuner_invocations\": true\n"
+      "  \"warm_from_disk_zero_tuner_invocations\": true,\n"
+      "  \"server_restart_zero_tuner_invocations\": true\n"
       "}\n",
       ColdSeconds * 1e6, HitSeconds * 1e6, WarmDiskHitSeconds * 1e6,
       DiskSaveSeconds * 1e3, DiskLoadSeconds * 1e3, PersistedEntries,
       B.DistinctShapes, A.WallSeconds * 1e3, B.WallSeconds * 1e3,
-      WarmDiskModelSeconds * 1e3);
+      WarmDiskModelSeconds * 1e3, ServerRestartWarmSeconds * 1e3);
   std::fclose(Json);
   std::printf("wrote BENCH_compile.json\n");
 }

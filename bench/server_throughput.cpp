@@ -1,0 +1,245 @@
+//===- bench/server_throughput.cpp - Multi-client compile throughput -------===//
+//
+// Measures the compile server end to end: several clients connected at
+// once, compiling overlapping model sets against one shared session.
+// Reports cold throughput (every kernel tuned once, cross-client dedup),
+// warm throughput (every layer a cache hit), and restart-from-persisted-
+// cache time; emits machine-readable BENCH_server.json (archived by CI).
+//
+// Plain binary (no google-benchmark): the interesting numbers are
+// one-shot wall times, like the fig* benches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/ModelZoo.h"
+#include "runtime/CompileRequest.h"
+#include "server/CompileClient.h"
+#include "server/CompileServer.h"
+#include "support/Time.h"
+#include "tuner/Tuner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace unit;
+
+namespace {
+
+struct ClientOutcome {
+  size_t Layers = 0;
+  size_t CacheHitLayers = 0;
+  bool Ok = true;
+  std::string Err;
+};
+
+/// Each client compiles its share of \p Models over one connection.
+ClientOutcome runClient(const std::string &SocketPath, const std::string &Name,
+                        const std::vector<const Model *> &Models) {
+  ClientOutcome Out;
+  CompileClient Client;
+  if (!Client.connect(SocketPath, &Out.Err) ||
+      !Client.hello(Name, 0, &Out.Err)) {
+    Out.Ok = false;
+    return Out;
+  }
+  for (const Model *M : Models) {
+    std::optional<CompileClient::ModelResult> R =
+        Client.compileModel(TargetKind::X86, *M, {}, &Out.Err);
+    if (!R) {
+      Out.Ok = false;
+      return Out;
+    }
+    Out.Layers += R->Layers.size();
+    Out.CacheHitLayers += R->CacheHitLayers;
+  }
+  return Out;
+}
+
+/// Fans \p Models out across \p ClientCount concurrent clients
+/// round-robin and returns the wall time plus merged outcomes.
+double runWave(const std::string &SocketPath, const char *Tag,
+               const std::vector<Model> &Models, size_t ClientCount,
+               size_t &LayersOut, size_t &HitsOut) {
+  std::vector<std::vector<const Model *>> Shares(ClientCount);
+  for (size_t I = 0; I < Models.size(); ++I)
+    Shares[I % ClientCount].push_back(&Models[I]);
+  std::vector<ClientOutcome> Outcomes(ClientCount);
+  double T0 = steadyNowSeconds();
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < ClientCount; ++C)
+    Threads.emplace_back([&, C] {
+      Outcomes[C] = runClient(SocketPath,
+                              std::string(Tag) + "-" + std::to_string(C),
+                              Shares[C]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double Wall = steadyNowSeconds() - T0;
+  LayersOut = 0;
+  HitsOut = 0;
+  for (const ClientOutcome &O : Outcomes) {
+    if (!O.Ok) {
+      std::fprintf(stderr, "FAIL: client error: %s\n", O.Err.c_str());
+      std::exit(1);
+    }
+    LayersOut += O.Layers;
+    HitsOut += O.CacheHitLayers;
+  }
+  return Wall;
+}
+
+} // namespace
+
+int main() {
+  const std::string SocketPath =
+      "/tmp/unit_bench_" + std::to_string(::getpid()) + ".sock";
+  const std::string CachePath =
+      "/tmp/unit_bench_" + std::to_string(::getpid()) + ".kc";
+  constexpr size_t ClientCount = 4;
+
+  std::vector<Model> Models = paperModels();
+  size_t TotalLayers = 0;
+  std::set<std::string> DistinctKeys;
+  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  for (const Model &M : Models) {
+    TotalLayers += M.Convs.size();
+    for (const ConvLayer &L : M.Convs)
+      DistinctKeys.insert(
+          CompileRequest(Workload::conv2d(L), Backend).cacheKey());
+  }
+
+  // Baseline: the tuner work ONE session needs for all nine models (not
+  // every distinct key reaches the tuner — depthwise layers fall back to
+  // SIMD without a search). Four concurrent clients must match this.
+  uint64_t TunesBefore = tunerInvocations();
+  {
+    CompilerSession Baseline;
+    for (const Model &M : Models)
+      Baseline.compileModel(M, TargetKind::X86);
+  }
+  uint64_t ExpectedTunes = tunerInvocations() - TunesBefore;
+
+  ServerConfig Config;
+  Config.SocketPath = SocketPath;
+  Config.CacheFile = CachePath;
+  Config.PersistIntervalSeconds = 0; // Persist on shutdown only.
+  auto Server = std::make_unique<CompileServer>(Config);
+  std::string Err;
+  if (!Server->start(&Err)) {
+    std::fprintf(stderr, "FAIL: %s\n", Err.c_str());
+    return 1;
+  }
+
+  // Wave 1 — cold: every tunable kernel tuned exactly once across all
+  // clients (single-flight dedup, isomorphic layers across the nine
+  // models collapse).
+  TunesBefore = tunerInvocations();
+  size_t ColdLayers = 0, ColdHits = 0;
+  double ColdWall = runWave(SocketPath, "cold", Models, ClientCount,
+                            ColdLayers, ColdHits);
+  uint64_t ColdTunes = tunerInvocations() - TunesBefore;
+  bool DedupOk = ColdTunes == ExpectedTunes;
+  if (!DedupOk)
+    std::fprintf(stderr,
+                 "FAIL: expected %llu tuner invocations, measured %llu\n",
+                 static_cast<unsigned long long>(ExpectedTunes),
+                 static_cast<unsigned long long>(ColdTunes));
+  std::printf("cold: %zu clients, %zu models, %zu layers -> %llu tuned "
+              "kernels (%zu distinct, single-session baseline %llu tunes) "
+              "in %.1f ms\n",
+              ClientCount, Models.size(), ColdLayers,
+              static_cast<unsigned long long>(ColdTunes), DistinctKeys.size(),
+              static_cast<unsigned long long>(ExpectedTunes), ColdWall * 1e3);
+
+  // Wave 2 — warm: all layers served from the shared cache.
+  TunesBefore = tunerInvocations();
+  size_t WarmLayers = 0, WarmHits = 0;
+  double WarmWall = runWave(SocketPath, "warm", Models, ClientCount,
+                            WarmLayers, WarmHits);
+  bool WarmOk =
+      tunerInvocations() == TunesBefore && WarmHits == WarmLayers;
+  if (!WarmOk)
+    std::fprintf(stderr, "FAIL: warm wave hit the tuner (%zu/%zu hits)\n",
+                 WarmHits, WarmLayers);
+  double WarmRps = static_cast<double>(Models.size()) / WarmWall;
+  std::printf("warm: %zu layers all cache hits in %.2f ms "
+              "(%.0f model compiles/s)\n",
+              WarmLayers, WarmWall * 1e3, WarmRps);
+
+  size_t CacheBytes = Server->session().cache().bytesUsed();
+  size_t CacheEntries = Server->session().cache().size();
+
+  // Restart: stop (persists), start a fresh server on the same cache
+  // file, and compile everything again — zero tuner invocations.
+  double T0 = steadyNowSeconds();
+  Server->stop();
+  Server.reset();
+  double StopSeconds = steadyNowSeconds() - T0;
+
+  Server = std::make_unique<CompileServer>(Config);
+  T0 = steadyNowSeconds();
+  if (!Server->start(&Err)) {
+    std::fprintf(stderr, "FAIL: restart: %s\n", Err.c_str());
+    return 1;
+  }
+  double RestartStartSeconds = steadyNowSeconds() - T0;
+  TunesBefore = tunerInvocations();
+  size_t RestartLayers = 0, RestartHits = 0;
+  T0 = steadyNowSeconds();
+  double RestartWall = runWave(SocketPath, "restart", Models, ClientCount,
+                               RestartLayers, RestartHits);
+  bool RestartOk =
+      tunerInvocations() == TunesBefore && RestartHits == RestartLayers;
+  if (!RestartOk)
+    std::fprintf(stderr, "FAIL: restart re-tuned (%zu/%zu hits)\n",
+                 RestartHits, RestartLayers);
+  std::printf("restart: stop+persist %.2f ms | start+load %.2f ms | "
+              "recompile all models %.2f ms (zero tuner invocations)\n",
+              StopSeconds * 1e3, RestartStartSeconds * 1e3,
+              RestartWall * 1e3);
+  Server->stop();
+  std::remove(CachePath.c_str());
+
+  std::FILE *Json = std::fopen("BENCH_server.json", "w");
+  if (!Json) {
+    std::fprintf(stderr, "FAIL: could not write BENCH_server.json\n");
+    return 1;
+  }
+  std::fprintf(
+      Json,
+      "{\n"
+      "  \"bench\": \"server_throughput\",\n"
+      "  \"clients\": %zu,\n"
+      "  \"models\": %zu,\n"
+      "  \"total_layers\": %zu,\n"
+      "  \"distinct_kernels\": %zu,\n"
+      "  \"single_session_tuner_invocations\": %llu,\n"
+      "  \"cold_tuner_invocations\": %llu,\n"
+      "  \"cross_client_dedup_ok\": %s,\n"
+      "  \"cold_wall_ms\": %.3f,\n"
+      "  \"warm_wall_ms\": %.3f,\n"
+      "  \"warm_model_compiles_per_sec\": %.1f,\n"
+      "  \"warm_all_cache_hits\": %s,\n"
+      "  \"cache_entries\": %zu,\n"
+      "  \"cache_bytes\": %zu,\n"
+      "  \"restart_stop_persist_ms\": %.3f,\n"
+      "  \"restart_start_load_ms\": %.3f,\n"
+      "  \"restart_recompile_ms\": %.3f,\n"
+      "  \"restart_zero_tuner_invocations\": %s\n"
+      "}\n",
+      ClientCount, Models.size(), TotalLayers, DistinctKeys.size(),
+      static_cast<unsigned long long>(ExpectedTunes),
+      static_cast<unsigned long long>(ColdTunes), DedupOk ? "true" : "false",
+      ColdWall * 1e3, WarmWall * 1e3, WarmRps, WarmOk ? "true" : "false",
+      CacheEntries, CacheBytes, StopSeconds * 1e3, RestartStartSeconds * 1e3,
+      RestartWall * 1e3, RestartOk ? "true" : "false");
+  std::fclose(Json);
+  std::printf("wrote BENCH_server.json\n");
+  return (DedupOk && WarmOk && RestartOk) ? 0 : 1;
+}

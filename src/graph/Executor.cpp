@@ -94,9 +94,16 @@ std::string UnitCpuEngine::name() const {
   return std::string("UNIT (") + targetName(Backend->kind()) + ")";
 }
 
-double UnitCpuEngine::glueBytesPerSecond() const {
-  const CpuMachine &M = Backend->machine();
+double unit::cpuGlueBytesPerSecond(const CpuMachine &M) {
   return M.DramBytesPerCycle * M.FreqGHz * 1e9;
+}
+
+double unit::gpuGlueBytesPerSecond(const GpuMachine &M) {
+  return M.DramBytesPerCycle * M.FreqGHz * 1e9;
+}
+
+double UnitCpuEngine::glueBytesPerSecond() const {
+  return cpuGlueBytesPerSecond(Backend->machine());
 }
 
 CpuLayerReport UnitCpuEngine::convReport(const ConvLayer &Layer) {
@@ -135,8 +142,7 @@ UnitGpuEngine::UnitGpuEngine(GpuMachine MachineIn,
 std::string UnitGpuEngine::name() const { return "UNIT (tensor core)"; }
 
 double UnitGpuEngine::glueBytesPerSecond() const {
-  const GpuMachine &M = Backend->machine();
-  return M.DramBytesPerCycle * M.FreqGHz * 1e9;
+  return gpuGlueBytesPerSecond(Backend->machine());
 }
 
 double UnitGpuEngine::convSeconds(const ConvLayer &Layer) {

@@ -53,6 +53,13 @@ public:
 /// Sums conv kernels, glue traffic, and dispatch overheads.
 double modelLatencySeconds(const Model &M, InferenceEngine &Engine);
 
+/// Streaming bandwidth the UNIT engines assume for unfused glue
+/// operators on \p M. Shared so an engine that compiles *remotely*
+/// (server/RemoteEngine.h) prices glue identically to the in-process
+/// UnitCpuEngine / UnitGpuEngine.
+double cpuGlueBytesPerSecond(const CpuMachine &M);
+double gpuGlueBytesPerSecond(const GpuMachine &M);
+
 /// Per-layer stats a UNIT CPU engine exposes for the ablation benches.
 struct CpuLayerReport {
   double Seconds = 0;

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <chrono>
 #include <numeric>
+#include <thread>
 #include <unordered_map>
 
 using namespace unit;
@@ -59,9 +60,12 @@ CompilerSession::resetShared(SessionConfig Config) {
 //===----------------------------------------------------------------------===//
 
 KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
-                                           const std::string &Key) {
+                                           const std::string &Key,
+                                           bool *ComputedHere) {
   switch (Request.Options.Policy) {
   case CachePolicy::Bypass:
+    if (ComputedHere)
+      *ComputedHere = true;
     return Request.Work.compileWith(*Request.Backend, tuningPool(),
                                     Request.Options);
   case CachePolicy::Refresh:
@@ -73,17 +77,27 @@ KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
   case CachePolicy::Default:
     break;
   }
-  return Cache.getOrCompute(Key, [&] {
-    return Request.Work.compileWith(*Request.Backend, tuningPool(),
-                                    Request.Options);
-  });
+  return Cache.getOrCompute(
+      Key,
+      [&] {
+        return Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                        Request.Options);
+      },
+      ComputedHere);
 }
 
-KernelReport CompilerSession::compile(const CompileRequest &Request) {
-  return compileKeyed(Request, Request.cacheKey());
+KernelReport CompilerSession::compile(const CompileRequest &Request,
+                                      bool *ComputedHere) {
+  return compileKeyed(Request, Request.cacheKey(), ComputedHere);
 }
 
 CompileJob CompilerSession::compileAsync(CompileRequest Request) {
+  return compileAsyncCounted(std::move(Request), nullptr);
+}
+
+CompileJob
+CompilerSession::compileAsyncCounted(CompileRequest Request,
+                                     std::atomic<size_t> *FreshCounter) {
   std::string Key = Request.cacheKey();
   // Ready or in-flight entries are joined directly — no pool round-trip,
   // and a whole warm model submits without spawning a single task.
@@ -93,19 +107,49 @@ CompileJob CompilerSession::compileAsync(CompileRequest Request) {
 
   auto Done = std::make_shared<std::promise<KernelReport>>();
   std::shared_future<KernelReport> Fut = Done->get_future().share();
+  InFlight.fetch_add(1);
   Pool->submit(
-      [this, Request = std::move(Request), Key, Done]() mutable {
+      [this, Request = std::move(Request), Key, Done, FreshCounter]() mutable {
         try {
-          Done->set_value(compileKeyed(Request, Key));
+          bool Computed = false;
+          KernelReport Report = compileKeyed(Request, Key, &Computed);
+          if (Computed && FreshCounter)
+            FreshCounter->fetch_add(1);
+          Done->set_value(Report);
         } catch (...) {
           Done->set_exception(std::current_exception());
+        }
+        // Pair the decrement with the quiesce cv so a waiter parked on
+        // an empty queue (job running on a worker) wakes promptly.
+        if (InFlight.fetch_sub(1) == 1) {
+          { std::lock_guard<std::mutex> Lock(QuiesceMu); }
+          QuiesceCv.notify_all();
         }
       });
   return CompileJob(std::move(Key), std::move(Fut));
 }
 
+void CompilerSession::quiesce() {
+  while (InFlight.load() != 0) {
+    // Help drain queued work; once the queue is empty but jobs still run
+    // on workers, park on the cv instead of spinning a core.
+    if (Pool->runOne())
+      continue;
+    std::unique_lock<std::mutex> Lock(QuiesceMu);
+    if (InFlight.load() == 0)
+      break;
+    QuiesceCv.wait_for(Lock, std::chrono::milliseconds(10));
+  }
+}
+
 std::vector<CompileJob>
 CompilerSession::compileAllAsync(std::vector<CompileRequest> Requests) {
+  return compileAllAsyncCounted(std::move(Requests), nullptr);
+}
+
+std::vector<CompileJob>
+CompilerSession::compileAllAsyncCounted(std::vector<CompileRequest> Requests,
+                                        std::atomic<size_t> *FreshCounter) {
   // Submit higher-priority requests first (stable: ties keep caller
   // order), but hand the jobs back in the original order.
   std::vector<size_t> Order(Requests.size());
@@ -115,7 +159,7 @@ CompilerSession::compileAllAsync(std::vector<CompileRequest> Requests) {
   });
   std::vector<CompileJob> Jobs(Requests.size());
   for (size_t Slot : Order)
-    Jobs[Slot] = compileAsync(std::move(Requests[Slot]));
+    Jobs[Slot] = compileAsyncCounted(std::move(Requests[Slot]), FreshCounter);
   return Jobs;
 }
 
@@ -163,6 +207,7 @@ CompilerSession::compileModel(const Model &M, const TargetBackend &Backend,
   // can never force a mid-collection re-tune.
   std::unordered_map<std::string, KernelReport> Reports;
   Reports.reserve(DistinctLayers.size());
+  std::atomic<size_t> FreshCompiles{0};
   if (Config.ParallelShapes && DistinctLayers.size() > 1) {
     // Submit all, then join: distinct shapes tune concurrently on the
     // pool; while joining, this thread helps drain pending tasks so a
@@ -172,7 +217,8 @@ CompilerSession::compileModel(const Model &M, const TargetBackend &Backend,
     for (size_t LayerIndex : DistinctLayers)
       Requests.emplace_back(Workload::conv2d(M.Convs[LayerIndex]), Borrowed,
                             Options);
-    std::vector<CompileJob> Jobs = compileAllAsync(std::move(Requests));
+    std::vector<CompileJob> Jobs =
+        compileAllAsyncCounted(std::move(Requests), &FreshCompiles);
     // Join *every* job before any rethrow: in-flight tasks hold a
     // non-owning reference to the caller's backend, so unwinding while
     // they still run would dangle it.
@@ -190,13 +236,18 @@ CompilerSession::compileModel(const Model &M, const TargetBackend &Backend,
     if (FirstFailure)
       std::rethrow_exception(FirstFailure);
   } else {
-    for (size_t LayerIndex : DistinctLayers)
+    for (size_t LayerIndex : DistinctLayers) {
+      bool Computed = false;
       Reports.emplace(
           Keys[LayerIndex],
           compileKeyed(CompileRequest(Workload::conv2d(M.Convs[LayerIndex]),
                                       Borrowed, Options),
-                       Keys[LayerIndex]));
+                       Keys[LayerIndex], &Computed));
+      if (Computed)
+        FreshCompiles.fetch_add(1);
+    }
   }
+  Result.FreshCompiles = FreshCompiles.load();
 
   Result.Layers.reserve(M.Convs.size());
   for (const std::string &Key : Keys)

@@ -38,7 +38,10 @@
 #include "runtime/TargetRegistry.h"
 #include "support/ThreadPool.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,13 +58,29 @@ struct SessionConfig {
 struct ModelCompileResult {
   std::vector<KernelReport> Layers; ///< One per Model::Convs entry.
   size_t DistinctShapes = 0;        ///< Kernels actually visited.
-  size_t CacheHitLayers = 0;        ///< Layers served by pre-existing entries.
+  size_t CacheHitLayers = 0;        ///< Layers whose entry predated this call
+                                    ///< (approximate under concurrent cold
+                                    ///< submissions — the probe races).
+  size_t FreshCompiles = 0;         ///< Kernels this call actually compiled —
+                                    ///< race-free (from the compile itself,
+                                    ///< not a cache probe); single-flight
+                                    ///< joins of concurrent callers are 0.
   double WallSeconds = 0.0;         ///< Measured compile wall time (telemetry).
 };
 
 class CompilerSession {
   SessionConfig Config;
   KernelCache Cache;
+  /// Async compile tasks submitted but not yet finished. Long-lived hosts
+  /// (the CompileServer) quiesce() on this before tearing anything down.
+  /// Declared (with the cv pair below) before Pool: the pool's destructor
+  /// joins workers that still touch them, so they must be destroyed
+  /// after the join.
+  std::atomic<size_t> InFlight{0};
+  /// Wakes quiesce() when the last in-flight job finishes while the
+  /// waiter is parked on an empty queue.
+  std::mutex QuiesceMu;
+  std::condition_variable QuiesceCv;
   std::unique_ptr<ThreadPool> Pool;
 
   /// The pool handed to tuners, or null when candidate-parallelism is off.
@@ -69,7 +88,17 @@ class CompilerSession {
 
   /// Runs \p Request synchronously under \p Key (already derived).
   KernelReport compileKeyed(const CompileRequest &Request,
-                            const std::string &Key);
+                            const std::string &Key,
+                            bool *ComputedHere = nullptr);
+
+  /// compileAsync with an optional \p FreshCounter incremented iff the
+  /// submitted job runs the compile itself (not a cache join) — the
+  /// race-free accounting compileModel aggregates into FreshCompiles.
+  CompileJob compileAsyncCounted(CompileRequest Request,
+                                 std::atomic<size_t> *FreshCounter);
+  std::vector<CompileJob>
+  compileAllAsyncCounted(std::vector<CompileRequest> Requests,
+                         std::atomic<size_t> *FreshCounter);
 
 public:
   explicit CompilerSession(SessionConfig Config = {});
@@ -92,12 +121,29 @@ public:
   ThreadPool &pool() { return *Pool; }
   const SessionConfig &config() const { return Config; }
 
+  /// Async compile tasks currently submitted or running — the session's
+  /// queue depth (a stats() field of the compile server).
+  size_t inFlightJobs() const { return InFlight.load(); }
+
+  /// Blocks until every submitted async compile has finished, helping
+  /// drain the pool from the calling thread. Jobs submitted *while*
+  /// quiescing are waited for too; the caller is responsible for stopping
+  /// new submissions first (graceful-shutdown order: stop intake, then
+  /// quiesce, then persist).
+  void quiesce();
+
   //===--------------------------------------------------------------------===//
   // The unified compile surface
   //===--------------------------------------------------------------------===//
 
   /// Compiles one request, honoring its cache policy and tuning budget.
-  KernelReport compile(const CompileRequest &Request);
+  /// \p ComputedHere, when non-null, reports whether this call ran a
+  /// fresh compile (true) or was served by the cache — a ready entry or
+  /// a single-flight join of a concurrent compile (false). Race-free,
+  /// unlike probing the cache before compiling; the server's "cached"
+  /// response flag and compiled-layer accounting ride on it.
+  KernelReport compile(const CompileRequest &Request,
+                       bool *ComputedHere = nullptr);
 
   /// Submits one request to the session pool and returns immediately. A
   /// ready or in-flight cache entry is joined without a pool round-trip.

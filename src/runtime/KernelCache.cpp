@@ -6,11 +6,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <vector>
+
+#include <dirent.h>
+#include <unistd.h>
 
 using namespace unit;
 
@@ -69,7 +74,8 @@ void KernelCache::enforceCapacityLocked() {
 }
 
 KernelReport KernelCache::getOrCompute(const std::string &Key,
-                                       const Compiler &Compile) {
+                                       const Compiler &Compile,
+                                       bool *ComputedHere) {
   std::shared_future<KernelReport> Fut;
   std::promise<KernelReport> Mine;
   bool Winner = false;
@@ -85,6 +91,8 @@ KernelReport KernelCache::getOrCompute(const std::string &Key,
       touchLocked(It->second);
     }
   }
+  if (ComputedHere)
+    *ComputedHere = Winner;
   if (!Winner) {
     Hits.fetch_add(1);
     return Fut.get();
@@ -194,7 +202,54 @@ size_t KernelCache::capacity() const {
 }
 
 KernelCache::CacheStats KernelCache::stats() const {
-  return {Hits.load(), Misses.load(), Evictions.load()};
+  CacheStats S;
+  S.Hits = Hits.load();
+  S.Misses = Misses.load();
+  S.Evictions = Evictions.load();
+  std::lock_guard<std::mutex> Lock(Mu);
+  S.Entries = Entries.size();
+  for (const auto &KV : Entries)
+    S.BytesUsed += entryBytesLocked(KV.first, KV.second);
+  return S;
+}
+
+size_t KernelCache::entryBytesLocked(const std::string &Key,
+                                     const Entry &E) const {
+  // The key is resident twice — once as the hash-map key, once as the LRU
+  // list node — and a ready report owns its intrinsic-name string. The
+  // fixed part approximates the map node, the LRU node links, and the
+  // future's shared state.
+  size_t Bytes = 2 * Key.size() + sizeof(Entry) + sizeof(KernelReport) +
+                 3 * sizeof(void *);
+  if (isReady(E.Fut))
+    Bytes += E.Fut.get().IntrinsicName.size();
+  return Bytes;
+}
+
+size_t KernelCache::bytesUsed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Total = 0;
+  for (const auto &KV : Entries)
+    Total += entryBytesLocked(KV.first, KV.second);
+  return Total;
+}
+
+std::vector<KernelCache::EntrySize>
+KernelCache::entrySizes(size_t MaxKeyBytes) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<EntrySize> Sizes;
+  Sizes.reserve(Entries.size());
+  for (const std::string &Key : Lru) {
+    auto It = Entries.find(Key);
+    if (It == Entries.end())
+      continue;
+    EntrySize S;
+    S.Key = MaxKeyBytes > 0 ? Key.substr(0, MaxKeyBytes) : Key;
+    S.Bytes = entryBytesLocked(Key, It->second);
+    S.Ready = isReady(It->second.Fut);
+    Sizes.push_back(std::move(S));
+  }
+  return Sizes;
 }
 
 //===----------------------------------------------------------------------===//
@@ -334,14 +389,51 @@ KernelCache::LoadResult KernelCache::load(std::istream &In,
 std::optional<size_t>
 KernelCache::saveFile(const std::string &Path,
                       const std::string &Fingerprint) const {
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out)
+  // Write-then-rename: a crash (or a concurrent reader) mid-save must
+  // never leave a truncated file at Path — the all-or-nothing loader
+  // would reject it and silently cost the next run its warm start. The
+  // temp name is unique per process *and* per call (the cache is
+  // documented thread-safe, so two threads may save one path
+  // concurrently) — writers can never interleave into one temp and
+  // rename garbage into place; the last completed rename wins and every
+  // published snapshot is internally consistent.
+  static std::atomic<uint64_t> SaveSerial{0};
+  const std::string TmpPath = Path + ".tmp." + std::to_string(::getpid()) +
+                              "." + std::to_string(SaveSerial.fetch_add(1));
+  size_t N = 0;
+  {
+    std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return std::nullopt;
+    N = save(Out, Fingerprint);
+    Out.flush();
+    if (!Out) {
+      std::remove(TmpPath.c_str());
+      return std::nullopt;
+    }
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
     return std::nullopt;
-  size_t N = save(Out, Fingerprint);
-  Out.flush();
-  if (!Out)
-    return std::nullopt;
+  }
   return N;
+}
+
+void KernelCache::removeStaleSaves(const std::string &Path) {
+  std::string Dir = ".", Base = Path;
+  size_t Slash = Path.find_last_of('/');
+  if (Slash != std::string::npos) {
+    Dir = Path.substr(0, Slash);
+    Base = Path.substr(Slash + 1);
+  }
+  const std::string Prefix = Base + ".tmp.";
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return;
+  while (dirent *E = ::readdir(D))
+    if (std::strncmp(E->d_name, Prefix.c_str(), Prefix.size()) == 0)
+      ::unlink((Dir + "/" + E->d_name).c_str());
+  ::closedir(D);
 }
 
 KernelCache::LoadResult

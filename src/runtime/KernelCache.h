@@ -37,6 +37,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace unit {
 
@@ -60,8 +61,11 @@ public:
 
   /// Returns the cached report for \p Key, compiling it with \p Compile on
   /// a miss. Concurrent misses on one key run \p Compile exactly once; the
-  /// losers block on the winner's future.
-  KernelReport getOrCompute(const std::string &Key, const Compiler &Compile);
+  /// losers block on the winner's future. \p ComputedHere, when non-null,
+  /// reports whether *this* call ran the compile (false for ready hits
+  /// and single-flight joiners) — the race-free "was it cached" signal.
+  KernelReport getOrCompute(const std::string &Key, const Compiler &Compile,
+                            bool *ComputedHere = nullptr);
 
   /// Non-computing probe; std::nullopt when absent or still compiling.
   std::optional<KernelReport> lookup(const std::string &Key) const;
@@ -101,8 +105,37 @@ public:
     uint64_t Hits = 0;
     uint64_t Misses = 0;
     uint64_t Evictions = 0;
+    size_t Entries = 0;   ///< Current entry count (== size()).
+    size_t BytesUsed = 0; ///< Approximate resident bytes (== bytesUsed()).
   };
   CacheStats stats() const;
+
+  /// Approximate resident size of the cache in bytes: for each entry the
+  /// key (stored twice — hash-map key and LRU node), the report's owned
+  /// intrinsic-name string, and the fixed per-entry bookkeeping. In-flight
+  /// entries count without their (not-yet-known) intrinsic name. This is
+  /// the sizing signal a long-lived server reports; the eviction *cap*
+  /// stays entry-count based (ROADMAP "cache sizing policy", first half).
+  ///
+  /// Deliberately an O(entries) walk under the mutex rather than an
+  /// incrementally maintained counter: an entry's size changes when its
+  /// in-flight future becomes ready (the intrinsic name materializes),
+  /// and keeping a counter exact across that transition racing erase()
+  /// is subtle, while the walk costs ~10µs/1k entries on a rare,
+  /// operator-driven stats path.
+  size_t bytesUsed() const;
+
+  /// Per-entry byte accounting, most-recently-used first. Canonical keys
+  /// serialize the whole operation (multi-KB each); a display-only
+  /// consumer passes \p MaxKeyBytes to bound how much key material is
+  /// copied while the cache mutex is held (Bytes still accounts the full
+  /// key; 0 = copy keys whole).
+  struct EntrySize {
+    std::string Key;
+    size_t Bytes = 0;
+    bool Ready = true; ///< False while the entry's compile is in flight.
+  };
+  std::vector<EntrySize> entrySizes(size_t MaxKeyBytes = 0) const;
 
   //===--------------------------------------------------------------------===//
   // Disk persistence
@@ -135,6 +168,14 @@ public:
                                  const std::string &Fingerprint) const;
   LoadResult loadFile(const std::string &Path, const std::string &Fingerprint);
 
+  /// Deletes "<Path>.tmp.*" leftovers a crashed saver orphaned (the
+  /// write-then-rename scheme never publishes them, but each crash
+  /// leaves one behind). Call at startup, before serving: a *live*
+  /// process concurrently saving the same path could lose its in-flight
+  /// temp to this sweep, and sharing one cache file between running
+  /// daemons is unsupported anyway.
+  static void removeStaleSaves(const std::string &Path);
+
 private:
   struct Entry {
     std::shared_future<KernelReport> Fut;
@@ -152,6 +193,8 @@ private:
   /// Evicts ready LRU-tail entries until size() <= MaxEntries (in-flight
   /// compiles are never evicted). Mu must be held.
   void enforceCapacityLocked();
+  /// Approximate bytes one entry keeps resident. Mu must be held.
+  size_t entryBytesLocked(const std::string &Key, const Entry &E) const;
 
   mutable std::mutex Mu;
   std::unordered_map<std::string, Entry> Entries;

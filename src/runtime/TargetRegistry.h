@@ -69,7 +69,10 @@ public:
                                  const CompileOptions &Options = {}) const = 0;
 
   /// Conv3d support (paper §VI.C). The base implementations fatal-error;
-  /// backends that can tensorize 3d convolutions override both.
+  /// backends that can tensorize 3d convolutions override all three.
+  /// Hosts that must not abort on bad input (the compile server) check
+  /// supportsConv3d() before routing a conv3d workload here.
+  virtual bool supportsConv3d() const { return false; }
   virtual std::string conv3dKey(const Conv3dLayer &Layer) const;
   virtual KernelReport compileConv3d(const Conv3dLayer &Layer,
                                      ThreadPool *Pool,
@@ -104,6 +107,7 @@ public:
                          const CompileOptions &Options = {}) const override;
 
   /// Conv3d flows through the same pipeline (paper §VI.C).
+  bool supportsConv3d() const override { return true; }
   std::string conv3dKey(const Conv3dLayer &Layer) const override;
   KernelReport compileConv3d(const Conv3dLayer &Layer, ThreadPool *Pool,
                              const CompileOptions &Options = {}) const override;

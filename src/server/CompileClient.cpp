@@ -1,0 +1,227 @@
+//===- server/CompileClient.cpp --------------------------------------------===//
+
+#include "server/CompileClient.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace unit;
+
+namespace {
+
+void setErr(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+}
+
+} // namespace
+
+CompileClient::~CompileClient() { close(); }
+
+bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
+  close();
+  sockaddr_un Addr;
+  if (!makeUnixSocketAddr(SocketPath, Addr, Err))
+    return false;
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setErr(Err, std::string("socket() failed: ") + std::strerror(errno));
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    setErr(Err, "connect(" + SocketPath + ") failed: " + std::strerror(errno));
+    close();
+    return false;
+  }
+  return true;
+}
+
+void CompileClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+std::optional<Json> CompileClient::request(const Json &Request,
+                                           std::string *Err) {
+  if (Fd < 0) {
+    setErr(Err, "not connected");
+    return std::nullopt;
+  }
+  if (!writeFrame(Fd, Request.dump())) {
+    setErr(Err, "write failed (server gone?)");
+    close();
+    return std::nullopt;
+  }
+  std::string Payload;
+  FrameStatus Status = readFrame(Fd, Payload);
+  if (Status != FrameStatus::Ok) {
+    setErr(Err, Status == FrameStatus::Eof ? "server closed the connection"
+                                           : "read failed");
+    close();
+    return std::nullopt;
+  }
+  std::string ParseErr;
+  std::optional<Json> Response = Json::parse(Payload, &ParseErr);
+  if (!Response)
+    setErr(Err, "malformed response: " + ParseErr);
+  return Response;
+}
+
+std::optional<Json> CompileClient::roundTrip(const Json &Request,
+                                             const char *ExpectType,
+                                             std::string *Err) {
+  std::optional<Json> Response = request(Request, Err);
+  if (!Response)
+    return std::nullopt;
+  std::string Type = Response->str("type");
+  if (Type == "error") {
+    setErr(Err, "server error: " + Response->str("message"));
+    return std::nullopt;
+  }
+  if (Type != ExpectType) {
+    setErr(Err, "expected '" + std::string(ExpectType) + "' response, got '" +
+                    Type + "'");
+    return std::nullopt;
+  }
+  return Response;
+}
+
+std::optional<Json> CompileClient::hello(const std::string &ClientName,
+                                         int MaxCandidates, std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "hello");
+  J.set("client", ClientName);
+  if (MaxCandidates > 0)
+    J.set("max_candidates", MaxCandidates);
+  return roundTrip(J, "welcome", Err);
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::decodeResult(const Json &Response, std::string *Err) {
+  const Json *ReportJson = Response.get("report");
+  if (!ReportJson) {
+    setErr(Err, "result missing 'report'");
+    return std::nullopt;
+  }
+  CompileResult R;
+  std::string DecodeErr;
+  if (!kernelReportFromJson(*ReportJson, R.Report, DecodeErr)) {
+    setErr(Err, DecodeErr);
+    return std::nullopt;
+  }
+  R.Cached = Response.boolean("cached", false);
+  return R;
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::compileWorkload(TargetKind Target, Json WorkloadJson,
+                               const CompileOptions &Options,
+                               std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "compile");
+  J.set("id", NextId++);
+  J.set("target", targetName(Target));
+  J.set("workload", std::move(WorkloadJson));
+  J.set("options", toJson(Options));
+  std::optional<Json> Response = roundTrip(J, "result", Err);
+  if (!Response)
+    return std::nullopt;
+  return decodeResult(*Response, Err);
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::compileConv(TargetKind Target, const ConvLayer &Layer,
+                           const CompileOptions &Options, std::string *Err) {
+  return compileWorkload(Target, toJson(Layer), Options, Err);
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::compileConv3d(TargetKind Target, const Conv3dLayer &Layer,
+                             const CompileOptions &Options, std::string *Err) {
+  return compileWorkload(Target, toJson(Layer), Options, Err);
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::compileDense(TargetKind Target, const std::string &Name,
+                            int64_t In, int64_t Out,
+                            const CompileOptions &Options, std::string *Err) {
+  Json Work = Json::object();
+  Work.set("kind", "dense");
+  Work.set("name", Name);
+  Work.set("in", In);
+  Work.set("out", Out);
+  return compileWorkload(Target, std::move(Work), Options, Err);
+}
+
+std::optional<CompileClient::ModelResult>
+CompileClient::compileModel(TargetKind Target, const Model &M,
+                            const CompileOptions &Options, std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "compile_model");
+  J.set("id", NextId++);
+  J.set("target", targetName(Target));
+  J.set("model", toJson(M));
+  J.set("options", toJson(Options));
+  std::optional<Json> Response = roundTrip(J, "model_result", Err);
+  if (!Response)
+    return std::nullopt;
+
+  const Json *Layers = Response->get("layers");
+  if (!Layers || !Layers->isArray()) {
+    setErr(Err, "model_result missing 'layers'");
+    return std::nullopt;
+  }
+  ModelResult R;
+  R.ModelName = Response->str("model");
+  R.Layers.reserve(Layers->items().size());
+  for (const Json &LayerJson : Layers->items()) {
+    KernelReport Report;
+    std::string DecodeErr;
+    if (!kernelReportFromJson(LayerJson, Report, DecodeErr)) {
+      setErr(Err, DecodeErr);
+      return std::nullopt;
+    }
+    R.Layers.push_back(std::move(Report));
+  }
+  R.DistinctShapes = static_cast<size_t>(Response->integer("distinct_shapes"));
+  R.CacheHitLayers =
+      static_cast<size_t>(Response->integer("cache_hit_layers"));
+  R.ServerWallSeconds = Response->num("wall_seconds");
+  return R;
+}
+
+std::optional<Json> CompileClient::stats(bool Detail, std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "stats");
+  J.set("id", NextId++);
+  if (Detail)
+    J.set("detail", true);
+  return roundTrip(J, "stats_result", Err);
+}
+
+std::optional<size_t> CompileClient::saveCache(const std::string &Path,
+                                               std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "save_cache");
+  J.set("id", NextId++);
+  if (!Path.empty())
+    J.set("path", Path);
+  std::optional<Json> Response = roundTrip(J, "saved", Err);
+  if (!Response)
+    return std::nullopt;
+  return static_cast<size_t>(Response->integer("entries"));
+}
+
+bool CompileClient::shutdownServer(std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "shutdown");
+  bool Ok = roundTrip(J, "bye", Err).has_value();
+  close();
+  return Ok;
+}

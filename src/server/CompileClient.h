@@ -1,0 +1,116 @@
+//===- server/CompileClient.h - Compile-server client library -------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the compile-server protocol (docs/SERVER.md): a
+/// blocking, single-connection handle that frames requests, awaits the
+/// matching response, and decodes it back into runtime types. One request
+/// is in flight per client at a time (the protocol is strictly
+/// request/response); concurrency comes from connecting more clients —
+/// the server's shared session deduplicates their isomorphic work.
+///
+/// Every typed call returns std::nullopt / false on failure and fills the
+/// optional \p Err out-param with either the transport error or the
+/// server's error-message payload. request() is the raw escape hatch the
+/// tests use to exercise malformed traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SERVER_COMPILECLIENT_H
+#define UNIT_SERVER_COMPILECLIENT_H
+
+#include "server/Protocol.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace unit {
+
+class CompileClient {
+public:
+  CompileClient() = default;
+  ~CompileClient();
+
+  CompileClient(const CompileClient &) = delete;
+  CompileClient &operator=(const CompileClient &) = delete;
+
+  /// Connects to the server's Unix socket. Does not send hello.
+  bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one request frame and reads the matching response frame.
+  std::optional<Json> request(const Json &Request, std::string *Err = nullptr);
+
+  /// hello handshake; \p MaxCandidates > 0 registers a per-client tuning
+  /// budget the server will clamp every later request to. Returns the
+  /// welcome message (server name, protocol version, cache fingerprint).
+  std::optional<Json> hello(const std::string &ClientName,
+                            int MaxCandidates = 0, std::string *Err = nullptr);
+
+  struct CompileResult {
+    KernelReport Report;
+    bool Cached = false; ///< Served from a pre-existing ready entry.
+  };
+  std::optional<CompileResult> compileConv(TargetKind Target,
+                                           const ConvLayer &Layer,
+                                           const CompileOptions &Options = {},
+                                           std::string *Err = nullptr);
+  std::optional<CompileResult> compileConv3d(TargetKind Target,
+                                             const Conv3dLayer &Layer,
+                                             const CompileOptions &Options = {},
+                                             std::string *Err = nullptr);
+  std::optional<CompileResult> compileDense(TargetKind Target,
+                                            const std::string &Name,
+                                            int64_t In, int64_t Out,
+                                            const CompileOptions &Options = {},
+                                            std::string *Err = nullptr);
+
+  struct ModelResult {
+    std::string ModelName;
+    std::vector<KernelReport> Layers;
+    size_t DistinctShapes = 0;
+    size_t CacheHitLayers = 0;
+    double ServerWallSeconds = 0; ///< Compile wall time inside the server.
+  };
+  std::optional<ModelResult> compileModel(TargetKind Target, const Model &M,
+                                          const CompileOptions &Options = {},
+                                          std::string *Err = nullptr);
+
+  /// The server's stats_result message (left as Json: the schema is the
+  /// protocol's, docs/SERVER.md; \p Detail adds per-entry cache bytes).
+  std::optional<Json> stats(bool Detail = false, std::string *Err = nullptr);
+
+  /// Asks the server to persist its cache; returns entries written.
+  std::optional<size_t> saveCache(const std::string &Path = "",
+                                  std::string *Err = nullptr);
+
+  /// Sends shutdown and awaits bye. The server stops accepting after its
+  /// owner observes the request; this connection is closed either way.
+  bool shutdownServer(std::string *Err = nullptr);
+
+private:
+  /// request() + error-response unwrapping + expected-type check.
+  std::optional<Json> roundTrip(const Json &Request, const char *ExpectType,
+                                std::string *Err);
+  /// The shared compile envelope: every compile* method encodes its
+  /// workload and funnels through here.
+  std::optional<CompileResult> compileWorkload(TargetKind Target,
+                                               Json WorkloadJson,
+                                               const CompileOptions &Options,
+                                               std::string *Err);
+  std::optional<CompileResult> decodeResult(const Json &Response,
+                                            std::string *Err);
+
+  int Fd = -1;
+  uint64_t NextId = 1;
+};
+
+} // namespace unit
+
+#endif // UNIT_SERVER_COMPILECLIENT_H

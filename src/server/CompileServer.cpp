@@ -1,0 +1,763 @@
+//===- server/CompileServer.cpp --------------------------------------------===//
+
+#include "server/CompileServer.h"
+
+#include "runtime/CompileRequest.h"
+#include "runtime/Workload.h"
+#include "tuner/Tuner.h"
+
+#include "support/Time.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace unit;
+
+namespace {
+
+/// Shown in stats detail: enough of a canonical structural key to
+/// recognize the kernel without shipping (or copying under the cache
+/// mutex) the whole serialization.
+constexpr size_t MaxShownKeyBytes = 72;
+
+/// Distinct named stats buckets a daemon keeps before folding new names
+/// into "(overflow)" (names are caller-controlled wire input).
+constexpr size_t MaxClientBuckets = 1024;
+
+/// Concurrent connections the daemon serves. One thread + one fd each;
+/// without a cap, stalled peers pin them until fd exhaustion makes even
+/// the shutdown message unreachable. Excess connections are accepted
+/// and immediately closed (the client sees EOF).
+constexpr size_t MaxConnections = 256;
+
+} // namespace
+
+CompileServer::CompileServer(ServerConfig ConfigIn)
+    : Config(std::move(ConfigIn)),
+      Session(Config.Session
+                  ? Config.Session
+                  : std::make_shared<CompilerSession>(Config.SessionCfg)) {}
+
+CompileServer::~CompileServer() { stop(); }
+
+bool CompileServer::start(std::string *Err) {
+  // Releases every resource this call acquired; flock drops with the fd.
+  auto FailMsg = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    if (LockFd >= 0) {
+      ::close(LockFd);
+      LockFd = -1;
+    }
+    return false;
+  };
+  auto Fail = [&](const std::string &Msg) {
+    return FailMsg(Msg + " (" + std::strerror(errno) + ")");
+  };
+
+  if (Running.load()) {
+    if (Err)
+      *Err = "server already running";
+    return false;
+  }
+  sockaddr_un Addr;
+  if (!makeUnixSocketAddr(Config.SocketPath, Addr, Err))
+    return false;
+
+  // Claim the path first: a lifetime flock on "<path>.lock" is the
+  // authoritative ownership of the socket name. Without it, two daemons
+  // racing a *stale* socket can both pass the liveness probe below,
+  // and the loser's unlink orphans the winner's freshly bound socket.
+  LockFd = ::open((Config.SocketPath + ".lock").c_str(),
+                  O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (LockFd < 0)
+    return Fail("open(" + Config.SocketPath + ".lock) failed");
+  if (::flock(LockFd, LOCK_EX | LOCK_NB) != 0)
+    return FailMsg("another server owns " + Config.SocketPath +
+                   " (lock held on its .lock file)");
+
+  // Replace a *stale socket* only: anything else at the path (a mistyped
+  // --socket pointing at a real file) must never be deleted, and if
+  // something answers on the path a daemon is alive there — silently
+  // unlinking its socket would orphan it (reachable by nobody, still
+  // holding the cache). With the lock held this is belt-and-braces plus
+  // a clearer error message.
+  struct stat PathStat;
+  if (::lstat(Config.SocketPath.c_str(), &PathStat) == 0) {
+    if (!S_ISSOCK(PathStat.st_mode))
+      return FailMsg(Config.SocketPath + " exists and is not a socket");
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Probe >= 0) {
+      bool Alive = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                             sizeof(Addr)) == 0;
+      ::close(Probe);
+      if (Alive)
+        return FailMsg("a server is already listening on " +
+                       Config.SocketPath);
+    }
+    ::unlink(Config.SocketPath.c_str()); // Stale (nothing answered).
+  }
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket() failed");
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0)
+    return Fail("bind(" + Config.SocketPath + ") failed");
+  if (::listen(ListenFd, 64) < 0)
+    return Fail("listen() failed");
+
+  if (!Config.CacheFile.empty()) {
+    // Sweep temp files a crashed predecessor orphaned, then warm up.
+    KernelCache::removeStaleSaves(Config.CacheFile);
+    CacheLoad = Session->loadCache(Config.CacheFile); // Missing file: no-op.
+  }
+
+  StartSeconds = steadyNowSeconds();
+  Stopping.store(false);
+  {
+    std::lock_guard<std::mutex> Lock(ShutdownMu);
+    ShutdownRequested = false;
+  }
+  Running.store(true);
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  if (!Config.CacheFile.empty() && Config.PersistIntervalSeconds > 0)
+    PersistThread = std::thread([this] { persistLoop(); });
+  return true;
+}
+
+void CompileServer::stop() {
+  // Late callers (e.g. a destructor racing an explicit stop()) block
+  // here until the in-progress teardown completes, then no-op.
+  std::lock_guard<std::mutex> StopLock(StopMu);
+  if (!Running.exchange(false))
+    return;
+  Stopping.store(true);
+
+  // 1. Stop intake: wake the blocked accept() and join the accept loop.
+  //    (shutdown() on a listening socket waking accept() is a Linux
+  //    behavior — the platform this repo builds and tests on.) The
+  //    socket path is unlinked immediately, while the name still
+  //    belongs to this daemon: deferring it past the (potentially long)
+  //    connection drain would race a replacement daemon that correctly
+  //    judged the silent socket stale and bound its own at this path.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(Config.SocketPath.c_str());
+
+  // 2. Unblock idle connections (threads parked in readFrame see EOF);
+  //    a thread mid-request keeps its write side and delivers its
+  //    response before noticing Stopping. Connection fds stay open until
+  //    their threads are joined (only the reaper above and this function
+  //    ever close them — and the reaper cannot run concurrently with
+  //    this, the accept loop is already joined), so shutdown() can never
+  //    hit a recycled descriptor.
+  std::vector<std::unique_ptr<Connection>> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    for (const auto &Conn : Connections)
+      if (!Conn->Done.load())
+        ::shutdown(Conn->Fd, SHUT_RD);
+    ToJoin.swap(Connections);
+  }
+  for (const auto &Conn : ToJoin) {
+    if (Conn->Thread.joinable())
+      Conn->Thread.join();
+    ::close(Conn->Fd);
+  }
+
+  // 3. Drain async jobs still in the session pool (prefetches etc.).
+  Session->quiesce();
+
+  // 4. Stop the persist thread, then take the final consistent save. A
+  //    failed shutdown save means a cold restart the operator expects to
+  //    be warm — say so.
+  requestShutdown();
+  if (PersistThread.joinable())
+    PersistThread.join();
+  if (!Config.CacheFile.empty()) {
+    std::lock_guard<std::mutex> Lock(SaveMu);
+    if (!Session->saveCache(Config.CacheFile))
+      std::fprintf(stderr,
+                   "unit CompileServer: final cache save to %s failed; "
+                   "the next start will be cold\n",
+                   Config.CacheFile.c_str());
+  }
+
+  // 5. Only now release the path claim (the .lock file itself stays —
+  //    unlinking it would reopen the takeover race for a waiter already
+  //    holding an open fd to it). Held through the final save so a
+  //    replacement daemon cannot sweep our in-flight save temp or load
+  //    the cache file before the last snapshot lands; a successor
+  //    start()ing earlier fails fast with "another server owns" and its
+  //    supervisor retries.
+  if (LockFd >= 0) {
+    ::close(LockFd);
+    LockFd = -1;
+  }
+}
+
+void CompileServer::requestShutdown() {
+  {
+    std::lock_guard<std::mutex> Lock(ShutdownMu);
+    ShutdownRequested = true;
+  }
+  ShutdownCv.notify_all();
+}
+
+void CompileServer::waitForShutdownRequest(
+    const volatile std::sig_atomic_t *InterruptFlag) {
+  std::unique_lock<std::mutex> Lock(ShutdownMu);
+  while (!ShutdownRequested && !Stopping.load() &&
+         !(InterruptFlag && *InterruptFlag))
+    ShutdownCv.wait_for(Lock, std::chrono::milliseconds(100));
+}
+
+CompileServer::Totals CompileServer::totals() const {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  return Lifetime;
+}
+
+//===----------------------------------------------------------------------===//
+// Accept / connection loops
+//===----------------------------------------------------------------------===//
+
+void CompileServer::acceptLoop() {
+  while (!Stopping.load()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (Stopping.load())
+        break; // stop() shut the listener down.
+      // Transient errors must not end the loop: the listener would stay
+      // open (so replacement daemons refuse to start) while nobody
+      // serves the backlog. ECONNABORTED = client gone mid-handshake;
+      // EMFILE/ENFILE = fd exhaustion, back off and let connections
+      // close before retrying.
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Reap before retrying: waiting for the next *successful*
+        // accept to reap would deadlock — it is exactly the finished
+        // connections' still-open fds keeping accept() at EMFILE.
+        reapFinishedConnections();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      // Genuinely broken listener: a daemon that silently stops
+      // accepting while Running would hang its owner's
+      // waitForShutdownRequest() forever, reachable by nobody. Make the
+      // failure loud and self-terminating.
+      std::fprintf(stderr,
+                   "unit CompileServer: accept() failed (%s); requesting "
+                   "shutdown\n",
+                   std::strerror(errno));
+      requestShutdown();
+      break;
+    }
+    // Bound response writes: a client that stops reading while a large
+    // response is mid-write must not pin this connection's thread —
+    // stop() joins every handler, so an unbounded write would turn one
+    // stalled client into a daemon that cannot shut down.
+    timeval SendTimeout;
+    SendTimeout.tv_sec = 30;
+    SendTimeout.tv_usec = 0;
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &SendTimeout,
+                 sizeof(SendTimeout));
+    // Reap finished connections so a long-lived daemon doesn't
+    // accumulate joined-out threads (or their fds).
+    reapFinishedConnections();
+    {
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      if (Connections.size() >= MaxConnections) {
+        ::close(Fd);
+        continue;
+      }
+    }
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = Fd;
+    Conn->ClientName = "(anonymous)";
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Lifetime.Connections;
+    }
+    Connection *Raw = Conn.get();
+    Raw->Thread = std::thread([this, Raw] { serveConnection(*Raw); });
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Connections.push_back(std::move(Conn));
+  }
+}
+
+void CompileServer::reapFinishedConnections() {
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  for (auto It = Connections.begin(); It != Connections.end();) {
+    if ((*It)->Done.load()) {
+      if ((*It)->Thread.joinable())
+        (*It)->Thread.join();
+      ::close((*It)->Fd);
+      It = Connections.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void CompileServer::serveConnection(Connection &Conn) {
+  std::string Payload;
+  while (!Stopping.load()) {
+    FrameStatus Status = readFrame(Conn.Fd, Payload);
+    if (Status != FrameStatus::Ok)
+      break;
+    {
+      std::lock_guard<std::mutex> Lock(StatsMu);
+      ++Lifetime.Requests;
+    }
+    bool CloseAfter = false;
+    Json Response;
+    std::string ParseErr;
+    std::optional<Json> Request = Json::parse(Payload, &ParseErr);
+    if (Request) {
+      // Exception barrier: compiles can throw (user-registered backends,
+      // bad_alloc under memory pressure — KernelCache deliberately
+      // propagates them so the key stays retryable). One request's
+      // failure must become one error response, never std::terminate
+      // for the whole shared daemon.
+      try {
+        Response = handleRequest(Conn, *Request, CloseAfter);
+      } catch (const std::exception &E) {
+        Response = errorResponse(*Request,
+                                 std::string("compile failed: ") + E.what());
+      } catch (...) {
+        Response = errorResponse(*Request, "compile failed: unknown error");
+      }
+    } else {
+      Response = errorResponse(Json(), "malformed JSON: " + ParseErr);
+    }
+    std::string Dump = Response.dump();
+    if (Dump.size() > MaxFrameBytes) {
+      // A silently dropped connection reads as a crashed daemon; tell
+      // the client its request produced an unshippable response
+      // instead. Built minimal on purpose: echoing the request id here
+      // could make the fallback itself oversize (ids are arbitrary
+      // client JSON).
+      if (Response.str("type") != "error") {
+        std::lock_guard<std::mutex> Lock(StatsMu);
+        ++Lifetime.Errors;
+      }
+      Json TooBig = Json::object();
+      TooBig.set("type", "error");
+      TooBig.set("message", "response exceeds the frame limit; request "
+                            "less at once (split the model, or drop "
+                            "'detail')");
+      Dump = TooBig.dump();
+    }
+    if (!writeFrame(Conn.Fd, Dump))
+      break;
+    if (CloseAfter)
+      break;
+  }
+  // Tell the peer we are done *now* (EOF on its next read): the fd is
+  // close()d only by whoever joins this thread (the accept loop's
+  // reaper or stop() — closing here would race stop()'s shutdown() on a
+  // recycled descriptor number), and that join can be arbitrarily far
+  // away on an idle daemon. A double shutdown() from a racing stop() is
+  // harmless.
+  ::shutdown(Conn.Fd, SHUT_RDWR);
+  Conn.Done.store(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Request dispatch
+//===----------------------------------------------------------------------===//
+
+Json CompileServer::errorResponse(const Json &Request,
+                                  const std::string &Message) {
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Lifetime.Errors;
+  }
+  Json J = Json::object();
+  J.set("type", "error");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("message", Message);
+  return J;
+}
+
+Json CompileServer::handleRequest(Connection &Conn, const Json &Request,
+                                  bool &CloseAfter) {
+  const std::string Type = Request.str("type");
+  if (Type == "hello")
+    return handleHello(Conn, Request);
+  if (Type == "compile")
+    return handleCompile(Conn, Request);
+  if (Type == "compile_model")
+    return handleCompileModel(Conn, Request);
+  if (Type == "stats")
+    return handleStats(Request);
+  if (Type == "save_cache")
+    return handleSaveCache(Request);
+  if (Type == "shutdown") {
+    CloseAfter = true;
+    requestShutdown();
+    Json J = Json::object();
+    J.set("type", "bye");
+    if (const Json *Id = Request.get("id"))
+      J.set("id", *Id);
+    return J;
+  }
+  return errorResponse(Request, "unknown request type '" + Type + "'");
+}
+
+Json CompileServer::handleHello(Connection &Conn, const Json &Request) {
+  std::string Name = Request.str("client");
+  if (!Name.empty())
+    Conn.ClientName = Name;
+  int Cap = static_cast<int>(Request.integer("max_candidates", 0));
+  bool BudgetRejected = false;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    // A budget stored in the shared overflow bucket would be silently
+    // ignored (effectiveBudget looks up the real name) — fail loudly
+    // instead of quietly dropping the client's admission contract.
+    // (errorResponse takes StatsMu itself, so only flag it here.)
+    bool WouldFold = Clients.find(Conn.ClientName) == Clients.end() &&
+                     Clients.size() >= MaxClientBuckets;
+    if (Cap > 0 && WouldFold) {
+      BudgetRejected = true;
+    } else {
+      ClientStats &C = clientSlotLocked(Conn.ClientName);
+      // Every hello (re)sets the cap: omitting the budget clears any
+      // previously registered one, so a reconnecting client is never
+      // silently stuck with a stale clamp under its name.
+      C.MaxCandidatesCap = Cap > 0 ? Cap : 0;
+      ++C.Requests;
+    }
+  }
+  if (BudgetRejected)
+    return errorResponse(Request,
+                         "too many distinct client names to register a "
+                         "per-client budget; reuse an existing name");
+  Json J = Json::object();
+  J.set("type", "welcome");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("server", "unit_serve");
+  J.set("protocol", ProtocolVersion);
+  J.set("fingerprint", CompilerSession::persistenceFingerprint());
+  if (Config.MaxCandidatesCap > 0)
+    J.set("server_max_candidates", Config.MaxCandidatesCap);
+  return J;
+}
+
+CompileServer::ClientStats &
+CompileServer::clientSlotLocked(const std::string &ClientName) {
+  auto It = Clients.find(ClientName);
+  if (It != Clients.end())
+    return It->second;
+  if (Clients.size() >= MaxClientBuckets)
+    return Clients["(overflow)"];
+  return Clients[ClientName];
+}
+
+int CompileServer::effectiveBudget(const std::string &ClientName,
+                                   int Requested) const {
+  int Effective = Requested;
+  auto Tighten = [&Effective](int Cap) {
+    if (Cap > 0 && (Effective <= 0 || Effective > Cap))
+      Effective = Cap;
+  };
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    auto It = Clients.find(ClientName);
+    if (It != Clients.end())
+      Tighten(It->second.MaxCandidatesCap);
+  }
+  Tighten(Config.MaxCandidatesCap);
+  return Effective;
+}
+
+void CompileServer::recordServed(Connection &Conn, double Seconds,
+                                 uint64_t Layers, uint64_t FromCache,
+                                 uint64_t FreshKernels, bool IsCompile) {
+  std::lock_guard<std::mutex> Lock(StatsMu);
+  ClientStats &C = clientSlotLocked(Conn.ClientName);
+  ++C.Requests;
+  if (IsCompile) {
+    ++C.CompileRequests;
+    C.LayersRequested += Layers;
+    C.LayersFromCache += FromCache;
+    Lifetime.CompiledKernels += FreshKernels;
+  }
+  C.TotalSeconds += Seconds;
+  C.MaxSeconds = std::max(C.MaxSeconds, Seconds);
+}
+
+Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
+  std::optional<TargetKind> Target =
+      targetKindFromName(Request.str("target", "x86"));
+  if (!Target)
+    return errorResponse(Request,
+                         "unknown target '" + Request.str("target") + "'");
+  const Json *WorkloadJson = Request.get("workload");
+  if (!WorkloadJson || !WorkloadJson->isObject())
+    return errorResponse(Request, "missing 'workload' object");
+
+  CompileOptions Options = optionsFromJson(Request.get("options"));
+  Options.MaxCandidates =
+      effectiveBudget(Conn.ClientName, Options.MaxCandidates);
+
+  std::string WireErr;
+  std::optional<Workload> Work;
+  const std::string Kind = WorkloadJson->str("kind", "conv2d");
+  if (Kind == "conv2d") {
+    ConvLayer L;
+    if (!convLayerFromJson(*WorkloadJson, L, WireErr))
+      return errorResponse(Request, WireErr);
+    Work = Workload::conv2d(std::move(L));
+  } else if (Kind == "dense") {
+    int64_t In = 0, Out = 0;
+    if (!readIntField(*WorkloadJson, "in", 0, In, WireErr) ||
+        !readIntField(*WorkloadJson, "out", 0, Out, WireErr))
+      return errorResponse(Request, WireErr);
+    if (In <= 0 || Out <= 0 || In > MaxWorkloadDim || Out > MaxWorkloadDim)
+      return errorResponse(Request, "dense requires positive 'in' and 'out' "
+                                    "within the supported maximum");
+    Work = Workload::dense(WorkloadJson->str("name", "dense"), In, Out);
+  } else if (Kind == "conv3d") {
+    // Routing conv3d to a backend without the hook would fatal-error the
+    // daemon, so gate on the backend's declared capability — new
+    // registered backends are picked up without touching the server.
+    if (!TargetRegistry::instance().get(*Target)->supportsConv3d())
+      return errorResponse(Request,
+                           "conv3d is not supported on " +
+                               Request.str("target", "x86"));
+    Conv3dLayer L;
+    if (!conv3dLayerFromJson(*WorkloadJson, L, WireErr))
+      return errorResponse(Request, WireErr);
+    Work = Workload::conv3d(std::move(L));
+  } else {
+    return errorResponse(Request, "unknown workload kind '" + Kind + "'");
+  }
+
+  CompileRequest Compile(std::move(*Work), *Target, Options);
+  // "Cached" means this request triggered no fresh compile: served by a
+  // ready entry or a single-flight join of a concurrent client's
+  // compile. The signal comes from the compile call itself (race-free,
+  // unlike probing the cache first) — so racing clients on one cold key
+  // account exactly one compiled layer between them.
+  double T0 = steadyNowSeconds();
+  bool Computed = false;
+  KernelReport Report = Session->compile(Compile, &Computed);
+  double Seconds = steadyNowSeconds() - T0;
+  bool Cached = !Computed;
+  // Dirty-flag for the persist thread — only compiles that actually
+  // inserted into the cache count (Bypass computes but writes nothing).
+  if (Computed && Options.Policy != CachePolicy::Bypass)
+    CompilesSinceSave.fetch_add(1);
+  recordServed(Conn, Seconds, /*Layers=*/1, /*FromCache=*/Cached ? 1 : 0,
+               /*FreshKernels=*/Computed ? 1 : 0, /*IsCompile=*/true);
+
+  Json J = Json::object();
+  J.set("type", "result");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("cached", Cached);
+  J.set("report", toJson(Report));
+  return J;
+}
+
+Json CompileServer::handleCompileModel(Connection &Conn, const Json &Request) {
+  std::optional<TargetKind> Target =
+      targetKindFromName(Request.str("target", "x86"));
+  if (!Target)
+    return errorResponse(Request,
+                         "unknown target '" + Request.str("target") + "'");
+  const Json *ModelJson = Request.get("model");
+  if (!ModelJson)
+    return errorResponse(Request, "missing 'model' object");
+  Model M;
+  std::string WireErr;
+  if (!modelFromJson(*ModelJson, M, WireErr))
+    return errorResponse(Request, WireErr);
+
+  CompileOptions Options = optionsFromJson(Request.get("options"));
+  Options.MaxCandidates =
+      effectiveBudget(Conn.ClientName, Options.MaxCandidates);
+
+  double T0 = steadyNowSeconds();
+  ModelCompileResult Result;
+  try {
+    Result = Session->compileModel(M, *Target, Options);
+  } catch (...) {
+    // Layers compiled before the failing one are already in the cache;
+    // a conservative dirty tick keeps the persist thread from skipping
+    // them if the daemon later dies ungracefully.
+    if (Options.Policy != CachePolicy::Bypass)
+      CompilesSinceSave.fetch_add(1);
+    throw; // serveConnection's barrier turns this into an error reply.
+  }
+  double Seconds = steadyNowSeconds() - T0;
+  // Dirty-flag for the persist thread: only kernels this call actually
+  // compiled changed the cache (race-free FreshCompiles, not the probed
+  // hit count — and Bypass writes nothing).
+  if (Options.Policy != CachePolicy::Bypass && Result.FreshCompiles > 0)
+    CompilesSinceSave.fetch_add(1);
+  recordServed(Conn, Seconds, Result.Layers.size(), Result.CacheHitLayers,
+               /*FreshKernels=*/Result.FreshCompiles, /*IsCompile=*/true);
+
+  Json Layers = Json::array();
+  for (const KernelReport &R : Result.Layers)
+    Layers.push(toJson(R));
+  Json J = Json::object();
+  J.set("type", "model_result");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("model", M.Name);
+  J.set("layers", std::move(Layers));
+  J.set("distinct_shapes", Result.DistinctShapes);
+  J.set("cache_hit_layers", Result.CacheHitLayers);
+  J.set("wall_seconds", Result.WallSeconds);
+  return J;
+}
+
+Json CompileServer::handleStats(const Json &Request) {
+  KernelCache::CacheStats CS = Session->cache().stats();
+  Json Cache = Json::object();
+  Cache.set("entries", CS.Entries);
+  Cache.set("bytes", CS.BytesUsed);
+  Cache.set("capacity", Session->cache().capacity());
+  Cache.set("hits", CS.Hits);
+  Cache.set("misses", CS.Misses);
+  Cache.set("evictions", CS.Evictions);
+
+  Json ClientsJson = Json::array();
+  Totals Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    Snapshot = Lifetime;
+    for (const auto &KV : Clients) {
+      const ClientStats &C = KV.second;
+      Json CJ = Json::object();
+      CJ.set("client", KV.first);
+      CJ.set("requests", C.Requests);
+      CJ.set("compile_requests", C.CompileRequests);
+      CJ.set("layers_requested", C.LayersRequested);
+      CJ.set("layers_from_cache", C.LayersFromCache);
+      if (C.MaxCandidatesCap > 0)
+        CJ.set("max_candidates", C.MaxCandidatesCap);
+      CJ.set("total_seconds", C.TotalSeconds);
+      CJ.set("max_seconds", C.MaxSeconds);
+      if (C.CompileRequests > 0)
+        CJ.set("mean_seconds", C.TotalSeconds / C.CompileRequests);
+      ClientsJson.push(std::move(CJ));
+    }
+  }
+
+  Json J = Json::object();
+  J.set("type", "stats_result");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("uptime_seconds", steadyNowSeconds() - StartSeconds);
+  J.set("connections", Snapshot.Connections);
+  J.set("requests", Snapshot.Requests);
+  J.set("compiled_kernels", Snapshot.CompiledKernels);
+  J.set("errors", Snapshot.Errors);
+  J.set("tuner_invocations", tunerInvocations());
+  J.set("inflight_jobs", Session->inFlightJobs());
+  J.set("cache", std::move(Cache));
+  J.set("clients", std::move(ClientsJson));
+
+  if (Request.boolean("detail", false)) {
+    Json Entries = Json::array();
+    for (const KernelCache::EntrySize &E :
+         Session->cache().entrySizes(MaxShownKeyBytes)) {
+      Json EJ = Json::object();
+      EJ.set("key", E.Key);
+      EJ.set("bytes", E.Bytes);
+      EJ.set("ready", E.Ready);
+      Entries.push(std::move(EJ));
+    }
+    J.set("entries", std::move(Entries));
+  }
+  return J;
+}
+
+Json CompileServer::handleSaveCache(const Json &Request) {
+  // Wire input is untrusted: an arbitrary client-supplied path would let
+  // any connection rename-replace any file the daemon user can write.
+  // Saves go to the operator-configured cache file, full stop; a 'path'
+  // is accepted only when it matches it.
+  std::string Path = Request.str("path", Config.CacheFile);
+  if (Config.CacheFile.empty())
+    return errorResponse(Request, "the server has no configured cache file");
+  if (Path != Config.CacheFile)
+    return errorResponse(Request, "save_cache only writes the server's "
+                                  "configured cache file");
+  // The dirty snapshot is taken under SaveMu so racing savers cannot
+  // both subtract the same ticks (an underflow would disable the
+  // persist thread's idle short-circuit forever); ticks from compiles
+  // finishing during the save still survive it.
+  std::optional<size_t> Saved;
+  {
+    std::lock_guard<std::mutex> Lock(SaveMu);
+    uint64_t Dirty = CompilesSinceSave.load();
+    Saved = Session->saveCache(Path);
+    if (Saved)
+      CompilesSinceSave.fetch_sub(Dirty);
+  }
+  if (!Saved)
+    return errorResponse(Request, "could not write '" + Path + "'");
+  Json J = Json::object();
+  J.set("type", "saved");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("path", Path);
+  J.set("entries", *Saved);
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Periodic persistence
+//===----------------------------------------------------------------------===//
+
+void CompileServer::persistLoop() {
+  std::unique_lock<std::mutex> Lock(ShutdownMu);
+  auto Interval = std::chrono::duration<double>(Config.PersistIntervalSeconds);
+  while (!ShutdownRequested && !Stopping.load()) {
+    ShutdownCv.wait_for(Lock, Interval);
+    if (ShutdownRequested || Stopping.load())
+      break; // stop() takes the final save after joining this thread.
+    if (CompilesSinceSave.load() == 0)
+      continue;
+    Lock.unlock();
+    {
+      // Snapshot under SaveMu (see handleSaveCache), and only a
+      // successful save consumes the dirty count — a transient write
+      // failure leaves it set, so the next interval retries instead of
+      // silently dropping everything since the last good save.
+      std::lock_guard<std::mutex> SaveLock(SaveMu);
+      uint64_t Dirty = CompilesSinceSave.load();
+      if (Dirty != 0 && Session->saveCache(Config.CacheFile))
+        CompilesSinceSave.fetch_sub(Dirty);
+    }
+    Lock.lock();
+  }
+}

@@ -1,0 +1,234 @@
+//===- server/CompileServer.h - Cross-model batch compile daemon ----------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer over CompilerSession: one daemon accepting many
+/// clients on a Unix-domain socket (length-prefixed JSON messages, see
+/// docs/SERVER.md), all sharing one session — so isomorphic layers of
+/// concurrently submitted models single-flight onto one tuner run, and a
+/// model one client already compiled is a pure cache hit for the next.
+/// The *session*, not a model, is the unit of deployment.
+///
+/// Admission control: each compile request carries CompileOptions
+/// (priority orders batch submission inside the session pool), and each
+/// client may be capped to a per-client tuning budget at hello time; the
+/// server clamps every request's MaxCandidates to the client's cap and
+/// the server-wide cap, whichever is tighter.
+///
+/// Persistence: when configured with a cache file the server loads it at
+/// start (warm restart: zero tuner invocations for known kernels), saves
+/// it periodically while compiles are happening, and saves once more on
+/// graceful shutdown.
+///
+/// Shutdown is orderly: stop() (or a client's shutdown message followed
+/// by the owner calling stop()) closes the listener, lets every in-flight
+/// request finish and deliver its response, quiesces the session's async
+/// jobs, persists, and only then returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SERVER_COMPILESERVER_H
+#define UNIT_SERVER_COMPILESERVER_H
+
+#include "runtime/CompilerSession.h"
+#include "server/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace unit {
+
+struct ServerConfig {
+  /// Unix-domain socket path the daemon listens on. Required. Kept short
+  /// (sun_path is ~100 bytes); an existing stale socket file is replaced.
+  std::string SocketPath;
+
+  /// Kernel-cache persistence file; empty disables persistence.
+  std::string CacheFile;
+
+  /// Seconds between periodic cache saves (only when compiles happened
+  /// since the last save); <= 0 disables the periodic thread — the cache
+  /// is then saved only on graceful shutdown.
+  double PersistIntervalSeconds = 30.0;
+
+  /// Server-wide tuning-budget cap applied to every request
+  /// (<= 0 = unlimited). Per-client caps from hello tighten it further.
+  int MaxCandidatesCap = 0;
+
+  /// The session to serve. Null = the server constructs a private one
+  /// from SessionCfg (the common daemon case; tests pass their own).
+  std::shared_ptr<CompilerSession> Session;
+  SessionConfig SessionCfg;
+};
+
+class CompileServer {
+public:
+  explicit CompileServer(ServerConfig Config);
+  ~CompileServer();
+
+  CompileServer(const CompileServer &) = delete;
+  CompileServer &operator=(const CompileServer &) = delete;
+
+  /// Binds + listens + starts the accept loop (and the persist thread
+  /// when configured). Loads CacheFile first when present. Returns false
+  /// with \p Err filled on socket errors.
+  bool start(std::string *Err = nullptr);
+
+  /// Graceful shutdown; idempotent and safe to call concurrently from
+  /// any thread that is not a connection handler — late callers block
+  /// until the teardown in progress completes (so a destructor racing an
+  /// explicit stop() never destroys members still in use). See file
+  /// comment for the ordering.
+  void stop();
+
+  bool running() const { return Running.load(); }
+
+  /// Blocks until a client sends a shutdown message, stop() runs, or
+  /// \p InterruptFlag (when non-null, e.g. wired to SIGINT) becomes
+  /// non-zero. The caller still calls stop() afterwards.
+  void waitForShutdownRequest(
+      const volatile std::sig_atomic_t *InterruptFlag = nullptr);
+
+  CompilerSession &session() { return *Session; }
+  const std::string &socketPath() const { return Config.SocketPath; }
+
+  /// Outcome of start()'s CacheFile load — lets the host warn when a
+  /// warm-start file was rejected (corrupted, or written under another
+  /// machine/tuner fingerprint) instead of starting cold in silence.
+  const KernelCache::LoadResult &cacheLoadResult() const { return CacheLoad; }
+
+  /// Lifetime totals (also surfaced through the stats message).
+  struct Totals {
+    uint64_t Connections = 0;
+    uint64_t Requests = 0;
+    /// Kernels this server actually compiled (race-free, from the
+    /// compile itself): cache hits and single-flight joins of another
+    /// client's in-flight compile never count.
+    uint64_t CompiledKernels = 0;
+    uint64_t Errors = 0; ///< Error responses sent.
+  };
+  Totals totals() const;
+
+private:
+  /// Everything the server tracks about one client name: admission cap
+  /// and latency accounting. Kept by name across reconnects.
+  struct ClientStats {
+    int MaxCandidatesCap = 0; ///< <= 0 = uncapped (beyond the server cap).
+    uint64_t Requests = 0;
+    uint64_t CompileRequests = 0;
+    uint64_t LayersRequested = 0;
+    uint64_t LayersFromCache = 0;
+    double TotalSeconds = 0; ///< Wall time spent serving this client.
+    double MaxSeconds = 0;
+  };
+
+  struct Connection {
+    int Fd = -1;
+    /// From hello; connections that never introduce themselves share the
+    /// "(anonymous)" stats bucket — per-connection names would grow the
+    /// Clients map without bound on a daemon serving short connections.
+    std::string ClientName;
+    std::thread Thread;
+    std::atomic<bool> Done{false};
+  };
+
+  void acceptLoop();
+  void serveConnection(Connection &Conn);
+  void persistLoop();
+  /// Joins and closes finished connections. Called from the accept loop
+  /// on every new connection *and* on fd exhaustion — finished fds are
+  /// closed only here and in stop(), and freeing them is what gets
+  /// accept() past EMFILE.
+  void reapFinishedConnections();
+
+  /// Sets ShutdownRequested and wakes waitForShutdownRequest() and the
+  /// persist thread — the one place the signaling sequence lives.
+  void requestShutdown();
+
+  /// Dispatches one request; returns the response message and sets
+  /// \p CloseAfter for shutdown. Compile paths may throw (backends and
+  /// bad_alloc propagate through the cache by design) — serveConnection
+  /// wraps the call in an exception barrier that turns the failure into
+  /// an error response instead of terminating the daemon.
+  Json handleRequest(Connection &Conn, const Json &Request, bool &CloseAfter);
+  Json handleHello(Connection &Conn, const Json &Request);
+  Json handleCompile(Connection &Conn, const Json &Request);
+  Json handleCompileModel(Connection &Conn, const Json &Request);
+  Json handleStats(const Json &Request);
+  Json handleSaveCache(const Json &Request);
+
+  /// Clamps \p Requested through the client's and the server's budget
+  /// caps (tightest positive cap wins; <= 0 stays "full space" only when
+  /// no cap applies).
+  int effectiveBudget(const std::string &ClientName, int Requested) const;
+
+  /// The stats bucket for \p ClientName, bounded: hello names are
+  /// caller-controlled, so past MaxClientBuckets distinct names new ones
+  /// fold into one "(overflow)" bucket instead of growing the map (and
+  /// every stats response) without bound over a daemon's uptime.
+  /// StatsMu must be held.
+  ClientStats &clientSlotLocked(const std::string &ClientName);
+
+  Json errorResponse(const Json &Request, const std::string &Message);
+  void recordServed(Connection &Conn, double Seconds, uint64_t Layers,
+                    uint64_t FromCache, uint64_t FreshKernels,
+                    bool IsCompile);
+
+  ServerConfig Config;
+  std::shared_ptr<CompilerSession> Session;
+
+  int ListenFd = -1;
+  /// flock()-held for the server's lifetime ("<socket>.lock"): the
+  /// authoritative claim on the socket path. The connect()-probe in
+  /// start() only produces a nicer message; the lock is what prevents
+  /// two daemons racing a stale socket from both binding (and stop()
+  /// from unlinking a replacement's live socket).
+  int LockFd = -1;
+  std::thread AcceptThread;
+  std::thread PersistThread;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stopping{false};
+  /// Serializes stop() so a second caller returns only after teardown
+  /// finished, not while it is in progress.
+  std::mutex StopMu;
+
+  mutable std::mutex ConnMu;
+  std::vector<std::unique_ptr<Connection>> Connections;
+
+  mutable std::mutex StatsMu;
+  std::map<std::string, ClientStats> Clients; ///< Ordered => stable stats.
+  Totals Lifetime;
+  double StartSeconds = 0;
+  /// From start(); see cacheLoadResult(). Initialized to FileNotFound
+  /// (LoadResult's own default is BadFormat, which would read as a
+  /// corruption warning on a server configured without a cache file).
+  KernelCache::LoadResult CacheLoad{KernelCache::LoadStatus::FileNotFound, 0};
+
+  std::mutex ShutdownMu;
+  std::condition_variable ShutdownCv;
+  bool ShutdownRequested = false;
+
+  /// Serializes cache saves: the persist thread, save_cache handlers,
+  /// and stop() must never write one file concurrently (saveFile is
+  /// atomic per call via tmp+rename, but interleaved renames would
+  /// still race on which snapshot wins).
+  std::mutex SaveMu;
+
+  /// Compiles completed since the last persist (persist thread trigger).
+  std::atomic<uint64_t> CompilesSinceSave{0};
+};
+
+} // namespace unit
+
+#endif // UNIT_SERVER_COMPILESERVER_H

@@ -1,0 +1,43 @@
+//===- server/RemoteEngine.cpp ---------------------------------------------===//
+
+#include "server/RemoteEngine.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace unit;
+
+bool RemoteCpuEngine::connect(const std::string &SocketPath,
+                              const std::string &ClientName,
+                              int MaxCandidates, std::string *Err) {
+  if (!Client.connect(SocketPath, Err))
+    return false;
+  return Client.hello(ClientName, MaxCandidates, Err).has_value();
+}
+
+std::string RemoteCpuEngine::name() const {
+  return std::string("UNIT (") + targetName(Target) + ", remote)";
+}
+
+double RemoteCpuEngine::convSeconds(const ConvLayer &Layer) {
+  auto It = SecondsByShape.find(Layer.shapeKey());
+  if (It != SecondsByShape.end())
+    return It->second;
+  std::string Err;
+  std::optional<CompileClient::CompileResult> Result =
+      Client.compileConv(Target, Layer, {}, &Err);
+  if (!Result)
+    reportFatalError("remote compile of '" + Layer.Name + "' failed: " + Err);
+  SecondsByShape.emplace(Layer.shapeKey(), Result->Report.Seconds);
+  return Result->Report.Seconds;
+}
+
+void RemoteCpuEngine::prefetch(const Model &M) {
+  std::string Err;
+  std::optional<CompileClient::ModelResult> Result =
+      Client.compileModel(Target, M, {}, &Err);
+  if (!Result)
+    reportFatalError("remote compile of model '" + M.Name + "' failed: " +
+                     Err);
+  for (size_t I = 0; I < M.Convs.size() && I < Result->Layers.size(); ++I)
+    SecondsByShape.emplace(M.Convs[I].shapeKey(), Result->Layers[I].Seconds);
+}

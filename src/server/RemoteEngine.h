@@ -1,0 +1,68 @@
+//===- server/RemoteEngine.h - InferenceEngine over the compile server ----===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The engine-as-client path: an InferenceEngine whose kernel reports come
+/// from a CompileServer over the socket instead of an in-process
+/// CompilerSession. Glue traffic, dispatch overheads, and fusion quality
+/// are priced locally from the same machine model the in-process
+/// UnitCpuEngine uses, so for the same machine + target,
+/// modelLatencySeconds over a RemoteCpuEngine equals the in-process
+/// number exactly (the whole stack is deterministic) — asserted in
+/// tests/test_server.cpp.
+///
+/// prefetch(model) maps onto one compile_model request (the server tunes
+/// distinct shapes concurrently and the reply carries every per-layer
+/// report), so the per-layer convSeconds calls during pricing are local
+/// map lookups, not round trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SERVER_REMOTEENGINE_H
+#define UNIT_SERVER_REMOTEENGINE_H
+
+#include "graph/Executor.h"
+#include "server/CompileClient.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace unit {
+
+/// UNIT on a dot-product CPU, compiled by a remote CompileServer.
+class RemoteCpuEngine : public InferenceEngine {
+  CompileClient Client;
+  CpuMachine Machine;
+  TargetKind Target;
+  /// ConvLayer::shapeKey -> modeled seconds. The shape key is a strictly
+  /// finer partition than the server's canonical cache key, so memoizing
+  /// locally is sound (same reasoning as CpuBackend's key memo).
+  std::unordered_map<std::string, double> SecondsByShape;
+
+public:
+  RemoteCpuEngine(CpuMachine Machine, TargetKind Target)
+      : Machine(std::move(Machine)), Target(Target) {}
+
+  /// Connects and sends hello; \p MaxCandidates > 0 registers this
+  /// engine's per-client tuning budget with the server.
+  bool connect(const std::string &SocketPath, const std::string &ClientName,
+               int MaxCandidates = 0, std::string *Err = nullptr);
+
+  std::string name() const override;
+  double convSeconds(const ConvLayer &Layer) override;
+  void prefetch(const Model &M) override;
+  double perOpOverheadSeconds() const override { return 4e-6; }
+  double fusionQuality() const override { return 1.0; }
+  double glueBytesPerSecond() const override {
+    return cpuGlueBytesPerSecond(Machine);
+  }
+
+  CompileClient &client() { return Client; }
+};
+
+} // namespace unit
+
+#endif // UNIT_SERVER_REMOTEENGINE_H

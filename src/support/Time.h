@@ -1,0 +1,30 @@
+//===- support/Time.h - Monotonic wall-clock helper -----------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one steady-clock-in-seconds helper the benches and the server
+/// share for wall-time deltas. Monotonic — suitable only for measuring
+/// durations, never for timestamps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_SUPPORT_TIME_H
+#define UNIT_SUPPORT_TIME_H
+
+#include <chrono>
+
+namespace unit {
+
+/// Seconds on the monotonic clock; subtract two calls for a duration.
+inline double steadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace unit
+
+#endif // UNIT_SUPPORT_TIME_H

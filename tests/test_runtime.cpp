@@ -594,6 +594,72 @@ TEST(KernelCacheLru, ModelCompileIsCorrectWithCapSmallerThanModel) {
 }
 
 //===----------------------------------------------------------------------===//
+// Byte-accounted cache sizing (surfaced by the compile server's stats)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCacheBytes, EmptyCacheReportsZero) {
+  KernelCache Cache;
+  EXPECT_EQ(Cache.bytesUsed(), 0u);
+  EXPECT_TRUE(Cache.entrySizes().empty());
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  EXPECT_EQ(Cache.stats().BytesUsed, 0u);
+}
+
+TEST(KernelCacheBytes, PerEntrySizesSumToTotal) {
+  KernelCache Cache;
+  KernelReport R = reportOf(1);
+  R.IntrinsicName = "vnni.vpdpbusd";
+  Cache.insert("short-key", R);
+  Cache.insert(std::string(200, 'k'), reportOf(2));
+
+  std::vector<KernelCache::EntrySize> Sizes = Cache.entrySizes();
+  ASSERT_EQ(Sizes.size(), 2u);
+  size_t Sum = 0;
+  for (const KernelCache::EntrySize &E : Sizes) {
+    EXPECT_GT(E.Bytes, 0u);
+    EXPECT_TRUE(E.Ready);
+    Sum += E.Bytes;
+  }
+  EXPECT_EQ(Sum, Cache.bytesUsed());
+  EXPECT_EQ(Cache.stats().BytesUsed, Sum);
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+
+  // A longer key accounts for more bytes; the key is resident twice
+  // (map + LRU node), so the delta is at least twice the length delta.
+  EXPECT_EQ(Sizes.front().Key, std::string(200, 'k')); // MRU first.
+  EXPECT_GE(Sizes.front().Bytes, Sizes.back().Bytes + 2 * (200 - 9) -
+                                     R.IntrinsicName.size());
+}
+
+TEST(KernelCacheBytes, EvictionAndEraseShrinkTheAccounting) {
+  KernelCache Cache(2);
+  Cache.insert("a", reportOf(1));
+  size_t OneEntry = Cache.bytesUsed();
+  Cache.insert("b", reportOf(2));
+  Cache.insert("c", reportOf(3)); // Evicts "a".
+  EXPECT_EQ(Cache.stats().Entries, 2u);
+  Cache.erase("b");
+  Cache.erase("c");
+  EXPECT_EQ(Cache.bytesUsed(), 0u);
+  EXPECT_GT(OneEntry, 0u);
+}
+
+TEST(KernelCacheBytes, RealModelCompileAccountsItsKernels) {
+  CompilerSession Session(sequentialConfig());
+  Model Resnet = makeResnet18();
+  Session.compileModel(Resnet, TargetKind::X86);
+  KernelCache::CacheStats S = Session.cache().stats();
+  EXPECT_EQ(S.Entries, static_cast<size_t>(Resnet.distinctConvShapes()));
+  // Canonical structural keys are long (they serialize the whole op);
+  // every entry must account for at least its two key copies.
+  size_t MinExpected = 0;
+  for (const KernelCache::EntrySize &E : Session.cache().entrySizes())
+    MinExpected += 2 * E.Key.size();
+  EXPECT_GE(S.BytesUsed, MinExpected);
+  EXPECT_GT(MinExpected, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Cache persistence
 //===----------------------------------------------------------------------===//
 

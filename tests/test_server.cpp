@@ -1,0 +1,723 @@
+//===- tests/test_server.cpp - CompileServer / protocol tests --------------===//
+//
+// Covers every protocol message documented in docs/SERVER.md (hello,
+// compile, compile_model, stats, save_cache, shutdown, and the error
+// response), the cross-client single-flight guarantee, and orderly
+// shutdown with requests in flight.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Executor.h"
+#include "models/ModelZoo.h"
+#include "runtime/CompileRequest.h"
+#include "runtime/CompilerSession.h"
+#include "server/CompileClient.h"
+#include "server/CompileServer.h"
+#include "server/Protocol.h"
+#include "server/RemoteEngine.h"
+#include "tuner/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace unit;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(Json, DumpParseRoundTrip) {
+  Json J = Json::object();
+  J.set("str", "he\"llo\n");
+  J.set("num", 42);
+  J.set("frac", 1.5);
+  J.set("yes", true);
+  J.set("nothing", Json());
+  Json Arr = Json::array();
+  Arr.push(1).push("two").push(false);
+  J.set("arr", std::move(Arr));
+  Json Nested = Json::object();
+  Nested.set("k", "v");
+  J.set("obj", std::move(Nested));
+
+  std::string Text = J.dump();
+  std::optional<Json> Back = Json::parse(Text);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->str("str"), "he\"llo\n");
+  EXPECT_EQ(Back->integer("num"), 42);
+  EXPECT_DOUBLE_EQ(Back->num("frac"), 1.5);
+  EXPECT_TRUE(Back->boolean("yes"));
+  EXPECT_TRUE(Back->get("nothing")->isNull());
+  ASSERT_TRUE(Back->get("arr")->isArray());
+  EXPECT_EQ(Back->get("arr")->items().size(), 3u);
+  EXPECT_EQ(Back->get("obj")->str("k"), "v");
+  // Dump is deterministic (insertion-ordered objects).
+  EXPECT_EQ(Back->dump(), Text);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  std::string Err;
+  EXPECT_FALSE(Json::parse("{", &Err).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &Err).has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated", &Err).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}", &Err).has_value());
+  EXPECT_FALSE(Json::parse("nul", &Err).has_value());
+  EXPECT_FALSE(Json::parse("", &Err).has_value());
+  // Depth bomb parses without stack overflow and reports an error.
+  std::string Deep(1000, '[');
+  EXPECT_FALSE(Json::parse(Deep, &Err).has_value());
+}
+
+TEST(Json, EscapesRoundTrip) {
+  std::optional<Json> J = Json::parse("\"a\\u0041\\t\\\\b\"");
+  ASSERT_TRUE(J.has_value());
+  EXPECT_EQ(J->asString(), "aA\t\\b");
+}
+
+//===----------------------------------------------------------------------===//
+// Frames
+//===----------------------------------------------------------------------===//
+
+TEST(Frames, RoundTripOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  EXPECT_TRUE(writeFrame(Fds[0], "{\"type\":\"hello\"}"));
+  EXPECT_TRUE(writeFrame(Fds[0], "")); // Empty payload frames fine.
+  std::string Payload;
+  EXPECT_EQ(readFrame(Fds[1], Payload), FrameStatus::Ok);
+  EXPECT_EQ(Payload, "{\"type\":\"hello\"}");
+  EXPECT_EQ(readFrame(Fds[1], Payload), FrameStatus::Ok);
+  EXPECT_EQ(Payload, "");
+  ::close(Fds[0]);
+  EXPECT_EQ(readFrame(Fds[1], Payload), FrameStatus::Eof);
+  ::close(Fds[1]);
+}
+
+TEST(Frames, OversizedLengthPrefixIsError) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const char Huge[4] = {0x7f, 0x00, 0x00, 0x00}; // ~2 GB claimed.
+  ASSERT_EQ(::write(Fds[0], Huge, 4), 4);
+  std::string Payload;
+  EXPECT_EQ(readFrame(Fds[1], Payload), FrameStatus::Error);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(Frames, MidFrameEofIsError) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const char Partial[6] = {0x00, 0x00, 0x00, 0x08, 'a', 'b'}; // Claims 8.
+  ASSERT_EQ(::write(Fds[0], Partial, 6), 6);
+  ::close(Fds[0]);
+  std::string Payload;
+  EXPECT_EQ(readFrame(Fds[1], Payload), FrameStatus::Error);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Schema codecs
+//===----------------------------------------------------------------------===//
+
+TEST(Codecs, ConvLayerRoundTrip) {
+  ConvLayer L;
+  L.Name = "conv1";
+  L.InC = 3; L.InH = 224; L.InW = 224;
+  L.OutC = 64; L.KH = 7; L.KW = 7;
+  L.Stride = 2; L.PadH = 3; L.PadW = 3;
+  ConvLayer Back;
+  std::string Err;
+  ASSERT_TRUE(convLayerFromJson(toJson(L), Back, Err)) << Err;
+  EXPECT_EQ(Back.shapeKey(), L.shapeKey());
+  EXPECT_EQ(Back.Name, "conv1");
+}
+
+TEST(Codecs, ModelRoundTripPreservesEveryLayer) {
+  Model M = makeResnet18();
+  Model Back;
+  std::string Err;
+  ASSERT_TRUE(modelFromJson(toJson(M), Back, Err)) << Err;
+  ASSERT_EQ(Back.Convs.size(), M.Convs.size());
+  for (size_t I = 0; I < M.Convs.size(); ++I)
+    EXPECT_EQ(Back.Convs[I].shapeKey(), M.Convs[I].shapeKey());
+  EXPECT_EQ(Back.Name, M.Name);
+  EXPECT_DOUBLE_EQ(Back.ElementwiseBytes, M.ElementwiseBytes);
+  EXPECT_EQ(Back.GlueOps, M.GlueOps);
+}
+
+TEST(Codecs, MissingDimensionIsAnError) {
+  Json J = Json::object();
+  J.set("kind", "conv2d");
+  J.set("name", "bad");
+  J.set("in_c", 3); // Everything else missing.
+  ConvLayer L;
+  std::string Err;
+  EXPECT_FALSE(convLayerFromJson(J, L, Err));
+  EXPECT_NE(Err.find("in_h"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Server fixture
+//===----------------------------------------------------------------------===//
+
+/// One server on a private session and a temp socket per test.
+class ServerTest : public ::testing::Test {
+protected:
+  std::string SocketPath;
+  std::unique_ptr<CompileServer> Server;
+
+  static std::string tempPath(const char *Suffix) {
+    static std::atomic<int> Counter{0};
+    return "/tmp/unit_test_" + std::to_string(::getpid()) + "_" +
+           std::to_string(Counter.fetch_add(1)) + Suffix;
+  }
+
+  void startServer(ServerConfig Config = {}) {
+    SocketPath = tempPath(".sock");
+    Config.SocketPath = SocketPath;
+    Server = std::make_unique<CompileServer>(std::move(Config));
+    std::string Err;
+    ASSERT_TRUE(Server->start(&Err)) << Err;
+  }
+
+  void TearDown() override {
+    if (Server)
+      Server->stop();
+  }
+
+  /// A connected, hello'd client.
+  std::unique_ptr<CompileClient> makeClient(const std::string &Name,
+                                            int Budget = 0) {
+    auto Client = std::make_unique<CompileClient>();
+    std::string Err;
+    EXPECT_TRUE(Client->connect(SocketPath, &Err)) << Err;
+    EXPECT_TRUE(Client->hello(Name, Budget, &Err).has_value()) << Err;
+    return Client;
+  }
+};
+
+TEST_F(ServerTest, HelloReturnsWelcome) {
+  startServer();
+  CompileClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(SocketPath, &Err)) << Err;
+  std::optional<Json> Welcome = Client.hello("tester", 0, &Err);
+  ASSERT_TRUE(Welcome.has_value()) << Err;
+  EXPECT_EQ(Welcome->str("type"), "welcome");
+  EXPECT_EQ(Welcome->str("server"), "unit_serve");
+  EXPECT_EQ(Welcome->integer("protocol"), ProtocolVersion);
+  EXPECT_EQ(Welcome->str("fingerprint"),
+            CompilerSession::persistenceFingerprint());
+}
+
+TEST_F(ServerTest, CompileConvColdThenCached) {
+  startServer();
+  auto Client = makeClient("c");
+  ConvLayer L = makeResnet18().Convs[3];
+  std::string Err;
+  std::optional<CompileClient::CompileResult> Cold =
+      Client->compileConv(TargetKind::X86, L, {}, &Err);
+  ASSERT_TRUE(Cold.has_value()) << Err;
+  EXPECT_FALSE(Cold->Cached);
+  EXPECT_GT(Cold->Report.Seconds, 0.0);
+  EXPECT_TRUE(Cold->Report.Tensorized);
+
+  std::optional<CompileClient::CompileResult> Warm =
+      Client->compileConv(TargetKind::X86, L, {}, &Err);
+  ASSERT_TRUE(Warm.has_value()) << Err;
+  EXPECT_TRUE(Warm->Cached);
+  EXPECT_EQ(Warm->Report.Seconds, Cold->Report.Seconds);
+  EXPECT_EQ(Warm->Report.IntrinsicName, Cold->Report.IntrinsicName);
+}
+
+TEST_F(ServerTest, RemoteReportsMatchLocalSession) {
+  startServer();
+  auto Client = makeClient("remote");
+  Model M = makeResnet18();
+  std::string Err;
+  std::optional<CompileClient::ModelResult> Remote =
+      Client->compileModel(TargetKind::X86, M, {}, &Err);
+  ASSERT_TRUE(Remote.has_value()) << Err;
+  ASSERT_EQ(Remote->Layers.size(), M.Convs.size());
+
+  CompilerSession Local;
+  ModelCompileResult Expected = Local.compileModel(M, TargetKind::X86);
+  for (size_t I = 0; I < M.Convs.size(); ++I) {
+    EXPECT_EQ(Remote->Layers[I].Seconds, Expected.Layers[I].Seconds);
+    EXPECT_EQ(Remote->Layers[I].Tensorized, Expected.Layers[I].Tensorized);
+    EXPECT_EQ(Remote->Layers[I].BestCandidateIndex,
+              Expected.Layers[I].BestCandidateIndex);
+    EXPECT_EQ(Remote->Layers[I].IntrinsicName,
+              Expected.Layers[I].IntrinsicName);
+  }
+  EXPECT_EQ(Remote->DistinctShapes, Expected.DistinctShapes);
+}
+
+TEST_F(ServerTest, DenseSharesTheConv2dCacheEntry) {
+  startServer();
+  auto Client = makeClient("dense");
+  std::string Err;
+  std::optional<CompileClient::CompileResult> Dense =
+      Client->compileDense(TargetKind::X86, "fc", 512, 1000, {}, &Err);
+  ASSERT_TRUE(Dense.has_value()) << Err;
+  EXPECT_FALSE(Dense->Cached);
+
+  // The dense layer *is* a 1x1 conv on a 1x1 image — compiling that conv
+  // explicitly must be a pure cache hit.
+  ConvLayer AsConv;
+  AsConv.Name = "fc_as_conv";
+  AsConv.InC = 512;
+  AsConv.OutC = 1000;
+  std::optional<CompileClient::CompileResult> Conv =
+      Client->compileConv(TargetKind::X86, AsConv, {}, &Err);
+  ASSERT_TRUE(Conv.has_value()) << Err;
+  EXPECT_TRUE(Conv->Cached);
+  EXPECT_EQ(Conv->Report.Seconds, Dense->Report.Seconds);
+}
+
+TEST_F(ServerTest, Conv3dCompilesOnCpuAndIsRejectedOnGpu) {
+  startServer();
+  auto Client = makeClient("c3d");
+  Conv3dLayer L = makeResnet18Conv3d()[2];
+  std::string Err;
+  std::optional<CompileClient::CompileResult> R =
+      Client->compileConv3d(TargetKind::X86, L, {}, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_GT(R->Report.Seconds, 0.0);
+
+  Err.clear();
+  EXPECT_FALSE(
+      Client->compileConv3d(TargetKind::NvidiaGPU, L, {}, &Err).has_value());
+  EXPECT_NE(Err.find("conv3d"), std::string::npos);
+}
+
+/// The acceptance criterion: two concurrently connected clients compiling
+/// isomorphic models share tuned kernels — the tuner runs exactly once
+/// per distinct structural key across *both* clients.
+TEST_F(ServerTest, TwoClientsCompilingIsomorphicModelsSingleFlight) {
+  startServer();
+
+  Model A = makeResnet18();
+  Model B = makeResnet18();
+  B.Name = "resnet-18-renamed";
+  for (ConvLayer &L : B.Convs)
+    L.Name = "clone_" + L.Name; // Renames never enter structural keys.
+
+  // Expected tuner work: the distinct canonical keys across both models
+  // (identical for A and B, since they are isomorphic layer by layer).
+  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  std::set<std::string> DistinctKeys;
+  for (const Model *M : {&A, &B})
+    for (const ConvLayer &L : M->Convs)
+      DistinctKeys.insert(
+          CompileRequest(Workload::conv2d(L), Backend).cacheKey());
+
+  uint64_t TunesBefore = tunerInvocations();
+  std::optional<CompileClient::ModelResult> ResultA, ResultB;
+  std::string ErrA, ErrB;
+  std::thread ClientA([&] {
+    CompileClient Client;
+    if (Client.connect(SocketPath, &ErrA) &&
+        Client.hello("client-a", 0, &ErrA))
+      ResultA = Client.compileModel(TargetKind::X86, A, {}, &ErrA);
+  });
+  std::thread ClientB([&] {
+    CompileClient Client;
+    if (Client.connect(SocketPath, &ErrB) &&
+        Client.hello("client-b", 0, &ErrB))
+      ResultB = Client.compileModel(TargetKind::X86, B, {}, &ErrB);
+  });
+  ClientA.join();
+  ClientB.join();
+
+  ASSERT_TRUE(ResultA.has_value()) << ErrA;
+  ASSERT_TRUE(ResultB.has_value()) << ErrB;
+
+  // Single-flight across clients: one tuner invocation per distinct
+  // structural key, no matter how the two submissions interleaved.
+  EXPECT_EQ(tunerInvocations() - TunesBefore, DistinctKeys.size());
+  EXPECT_EQ(Server->session().cache().size(), DistinctKeys.size());
+
+  // Isomorphic layers got byte-identical reports on both clients.
+  ASSERT_EQ(ResultA->Layers.size(), ResultB->Layers.size());
+  for (size_t I = 0; I < ResultA->Layers.size(); ++I) {
+    EXPECT_EQ(ResultA->Layers[I].Seconds, ResultB->Layers[I].Seconds);
+    EXPECT_EQ(ResultA->Layers[I].IntrinsicName,
+              ResultB->Layers[I].IntrinsicName);
+  }
+}
+
+TEST_F(ServerTest, RacingCompilesOfOneLayerAccountOneCompiledLayer) {
+  startServer();
+  ConvLayer L = makeResnet18().Convs[9];
+  uint64_t TunesBefore = tunerInvocations();
+  std::optional<CompileClient::CompileResult> R1, R2;
+  std::string E1, E2;
+  std::thread A([&] {
+    CompileClient C;
+    if (C.connect(SocketPath, &E1) && C.hello("race-a", 0, &E1))
+      R1 = C.compileConv(TargetKind::X86, L, {}, &E1);
+  });
+  std::thread B([&] {
+    CompileClient C;
+    if (C.connect(SocketPath, &E2) && C.hello("race-b", 0, &E2))
+      R2 = C.compileConv(TargetKind::X86, L, {}, &E2);
+  });
+  A.join();
+  B.join();
+  ASSERT_TRUE(R1.has_value()) << E1;
+  ASSERT_TRUE(R2.has_value()) << E2;
+  EXPECT_EQ(R1->Report.Seconds, R2->Report.Seconds);
+  // One tuner run, one compiled layer — the loser of the cache race is a
+  // single-flight joiner (cached), never a second compile. The flags are
+  // exact (derived from who actually compiled, not a cache probe).
+  EXPECT_EQ(tunerInvocations() - TunesBefore, 1u);
+  EXPECT_EQ(Server->totals().CompiledKernels, 1u);
+  EXPECT_TRUE(R1->Cached != R2->Cached);
+}
+
+TEST_F(ServerTest, SecondServerOnALiveSocketRefusesToStart) {
+  startServer();
+  ServerConfig Config;
+  Config.SocketPath = SocketPath; // Same path, server alive.
+  CompileServer Second(std::move(Config));
+  std::string Err;
+  EXPECT_FALSE(Second.start(&Err));
+  // The flock claim fails first; the connect-probe message appears only
+  // if a stale lock slipped through. Either way the path is refused.
+  EXPECT_TRUE(Err.find("another server owns") != std::string::npos ||
+              Err.find("already listening") != std::string::npos)
+      << Err;
+  // The first server is untouched.
+  auto Client = makeClient("still-works");
+  EXPECT_TRUE(Client->stats(false, &Err).has_value()) << Err;
+}
+
+TEST_F(ServerTest, PerClientBudgetClampsTheSearch) {
+  startServer();
+  ConvLayer L = makeResnet18().Convs[5];
+
+  // Budget declared at hello time applies to every request of the client.
+  auto Capped = makeClient("capped", /*Budget=*/3);
+  std::string Err;
+  std::optional<CompileClient::CompileResult> R =
+      Capped->compileConv(TargetKind::X86, L, {}, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_LE(R->Report.CandidatesTried, 3);
+
+  // An uncapped client searches the full space — and caches separately
+  // (a budgeted report must not shadow the full-search one).
+  auto Full = makeClient("full");
+  std::optional<CompileClient::CompileResult> FullR =
+      Full->compileConv(TargetKind::X86, L, {}, &Err);
+  ASSERT_TRUE(FullR.has_value()) << Err;
+  EXPECT_FALSE(FullR->Cached);
+  EXPECT_GT(FullR->Report.CandidatesTried, 3);
+}
+
+TEST_F(ServerTest, ServerWideBudgetCapAppliesToEveryClient) {
+  ServerConfig Config;
+  Config.MaxCandidatesCap = 2;
+  startServer(std::move(Config));
+  auto Client = makeClient("any");
+  ConvLayer L = makeResnet18().Convs[7];
+  CompileOptions Options;
+  Options.MaxCandidates = 100; // Asks for more than the server allows.
+  std::string Err;
+  std::optional<CompileClient::CompileResult> R =
+      Client->compileConv(TargetKind::X86, L, Options, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_LE(R->Report.CandidatesTried, 2);
+}
+
+TEST_F(ServerTest, StatsReportByteAccountedCacheAndPerClientLatency) {
+  startServer();
+  auto Client = makeClient("statster");
+  Model M = makeResnet18();
+  std::string Err;
+  ASSERT_TRUE(Client->compileModel(TargetKind::X86, M, {}, &Err)) << Err;
+
+  std::optional<Json> Stats = Client->stats(/*Detail=*/true, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  EXPECT_EQ(Stats->str("type"), "stats_result");
+  EXPECT_GT(Stats->num("uptime_seconds"), 0.0);
+  EXPECT_GE(Stats->integer("tuner_invocations"), 0);
+
+  const Json *Cache = Stats->get("cache");
+  ASSERT_NE(Cache, nullptr);
+  size_t Distinct = static_cast<size_t>(M.distinctConvShapes());
+  EXPECT_EQ(static_cast<size_t>(Cache->integer("entries")), Distinct);
+  EXPECT_GT(Cache->integer("bytes"), 0);
+  EXPECT_EQ(static_cast<size_t>(Cache->integer("entries")),
+            Server->session().cache().size());
+  EXPECT_EQ(static_cast<size_t>(Cache->integer("bytes")),
+            Server->session().cache().bytesUsed());
+
+  // Per-entry detail sums to the total.
+  const Json *Entries = Stats->get("entries");
+  ASSERT_NE(Entries, nullptr);
+  ASSERT_EQ(Entries->items().size(), Distinct);
+  int64_t Sum = 0;
+  for (const Json &E : Entries->items()) {
+    EXPECT_GT(E.integer("bytes"), 0);
+    EXPECT_TRUE(E.boolean("ready"));
+    Sum += E.integer("bytes");
+  }
+  EXPECT_EQ(Sum, Cache->integer("bytes"));
+
+  // Per-client accounting saw the compile.
+  const Json *Clients = Stats->get("clients");
+  ASSERT_NE(Clients, nullptr);
+  bool Found = false;
+  for (const Json &C : Clients->items())
+    if (C.str("client") == "statster") {
+      Found = true;
+      EXPECT_EQ(C.integer("compile_requests"), 1);
+      EXPECT_EQ(static_cast<size_t>(C.integer("layers_requested")),
+                M.Convs.size());
+      EXPECT_GT(C.num("total_seconds"), 0.0);
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(ServerTest, SaveCacheMessageAndWarmRestartFromPersistedCache) {
+  std::string CachePath = tempPath(".kc");
+  {
+    ServerConfig Config;
+    Config.CacheFile = CachePath;
+    Config.PersistIntervalSeconds = 0; // Shutdown-save only.
+    startServer(std::move(Config));
+    auto Client = makeClient("writer");
+    Model M = makeResnet18();
+    std::string Err;
+    ASSERT_TRUE(Client->compileModel(TargetKind::X86, M, {}, &Err)) << Err;
+
+    // Explicit save_cache message (the periodic thread is off).
+    std::optional<size_t> Saved = Client->saveCache("", &Err);
+    ASSERT_TRUE(Saved.has_value()) << Err;
+    EXPECT_EQ(*Saved, static_cast<size_t>(M.distinctConvShapes()));
+    Server->stop();
+  }
+
+  // A fresh server process-equivalent: new session, same cache file.
+  // Every kernel restores from disk — zero tuner invocations.
+  {
+    ServerConfig Config;
+    Config.CacheFile = CachePath;
+    startServer(std::move(Config));
+    auto Client = makeClient("reader");
+    Model M = makeResnet18();
+    uint64_t TunesBefore = tunerInvocations();
+    std::string Err;
+    std::optional<CompileClient::ModelResult> R =
+        Client->compileModel(TargetKind::X86, M, {}, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_EQ(tunerInvocations(), TunesBefore);
+    EXPECT_EQ(R->CacheHitLayers, M.Convs.size());
+  }
+  std::remove(CachePath.c_str());
+}
+
+TEST_F(ServerTest, ErrorResponsesForBadTraffic) {
+  startServer();
+  CompileClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(SocketPath, &Err)) << Err;
+
+  // Unknown request type.
+  Json Unknown = Json::object();
+  Unknown.set("type", "frobnicate");
+  Unknown.set("id", 7);
+  std::optional<Json> R = Client.request(Unknown, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->str("type"), "error");
+  EXPECT_EQ(R->integer("id"), 7); // Echoed for correlation.
+
+  // Unknown target.
+  Json BadTarget = Json::object();
+  BadTarget.set("type", "compile");
+  BadTarget.set("target", "riscv");
+  BadTarget.set("workload", toJson(makeResnet18().Convs[0]));
+  R = Client.request(BadTarget, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->str("type"), "error");
+  EXPECT_NE(R->str("message").find("riscv"), std::string::npos);
+
+  // Malformed workload (missing dims).
+  Json BadWork = Json::object();
+  BadWork.set("type", "compile");
+  Json Work = Json::object();
+  Work.set("kind", "conv2d");
+  BadWork.set("workload", std::move(Work));
+  R = Client.request(BadWork, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->str("type"), "error");
+
+  // Astronomical dimensions are wire errors, not daemon aborts.
+  ConvLayer Huge;
+  Huge.Name = "huge";
+  Huge.InC = int64_t(1) << 40;
+  Huge.InH = Huge.InW = 224;
+  Huge.OutC = 64;
+  Huge.KH = Huge.KW = 3;
+  {
+    std::string CompileErr;
+    CompileClient C2;
+    ASSERT_TRUE(C2.connect(SocketPath, &CompileErr)) << CompileErr;
+    EXPECT_FALSE(
+        C2.compileConv(TargetKind::X86, Huge, {}, &CompileErr).has_value());
+    EXPECT_NE(CompileErr.find("maximum"), std::string::npos);
+
+    // A kernel larger than the padded input is a wire error too (it
+    // would fatal-error the in-process pipeline).
+    ConvLayer Shrunk;
+    Shrunk.Name = "kernel_gt_input";
+    Shrunk.InC = 8;
+    Shrunk.InH = Shrunk.InW = 3;
+    Shrunk.OutC = 8;
+    Shrunk.KH = Shrunk.KW = 7;
+    CompileErr.clear();
+    EXPECT_FALSE(
+        C2.compileConv(TargetKind::X86, Shrunk, {}, &CompileErr).has_value());
+    EXPECT_NE(CompileErr.find("output extent"), std::string::npos);
+  }
+
+  // The connection survives every error above.
+  Json StillAlive = Json::object();
+  StillAlive.set("type", "stats");
+  R = Client.request(StillAlive, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->str("type"), "stats_result");
+}
+
+TEST_F(ServerTest, MalformedJsonGetsErrorAndConnectionSurvives) {
+  startServer();
+  // Hand-rolled connection: a valid frame carrying an invalid JSON
+  // payload (CompileClient cannot produce one on purpose).
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr;
+  ASSERT_TRUE(makeUnixSocketAddr(SocketPath, Addr, nullptr));
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  ASSERT_TRUE(writeFrame(Fd, "this is not json"));
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameStatus::Ok);
+  std::optional<Json> Response = Json::parse(Payload);
+  ASSERT_TRUE(Response.has_value());
+  EXPECT_EQ(Response->str("type"), "error");
+  EXPECT_NE(Response->str("message").find("malformed JSON"),
+            std::string::npos);
+
+  // Same connection still serves real requests.
+  Json Stats = Json::object();
+  Stats.set("type", "stats");
+  ASSERT_TRUE(writeFrame(Fd, Stats.dump()));
+  ASSERT_EQ(readFrame(Fd, Payload), FrameStatus::Ok);
+  Response = Json::parse(Payload);
+  ASSERT_TRUE(Response.has_value());
+  EXPECT_EQ(Response->str("type"), "stats_result");
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, FramingViolationGetsPromptEofNotAHang) {
+  startServer();
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_un Addr;
+  ASSERT_TRUE(makeUnixSocketAddr(SocketPath, Addr, nullptr));
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+  // A length prefix beyond MaxFrameBytes is a framing violation: the
+  // server must end the connection (visible EOF) rather than leave the
+  // client blocked until the next accept happens to reap the fd.
+  const char Huge[4] = {0x7f, 0x00, 0x00, 0x00};
+  ASSERT_EQ(::write(Fd, Huge, 4), 4);
+  std::string Payload;
+  FrameStatus Status = readFrame(Fd, Payload);
+  EXPECT_TRUE(Status == FrameStatus::Eof || Status == FrameStatus::Error);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, ShutdownMessageStopsTheServer) {
+  startServer();
+  auto Client = makeClient("terminator");
+  std::string Err;
+  ASSERT_TRUE(Client->shutdownServer(&Err)) << Err;
+
+  // The owner observes the request and completes the stop.
+  Server->waitForShutdownRequest();
+  Server->stop();
+  EXPECT_FALSE(Server->running());
+
+  // Socket file is gone; new connections fail.
+  CompileClient Late;
+  EXPECT_FALSE(Late.connect(SocketPath, &Err));
+}
+
+/// Orderly shutdown with a request in flight: the response is still
+/// delivered before the connection closes.
+TEST_F(ServerTest, StopDeliversInFlightResponses) {
+  startServer();
+  auto Client = makeClient("inflight");
+  uint64_t RequestsBefore = 0;
+  {
+    // hello + connection already counted; remember the request total.
+    RequestsBefore = Server->totals().Requests;
+  }
+
+  Model M = makeResnet50(); // Enough layers that the compile takes a beat.
+  std::optional<CompileClient::ModelResult> Result;
+  std::string Err;
+  std::thread Worker(
+      [&] { Result = Client->compileModel(TargetKind::X86, M, {}, &Err); });
+
+  // Wait until the server has *read* the compile request (the totals
+  // counter increments before handling), then yank the rug.
+  while (Server->totals().Requests <= RequestsBefore)
+    std::this_thread::yield();
+  Server->stop();
+  Worker.join();
+
+  ASSERT_TRUE(Result.has_value()) << Err;
+  EXPECT_EQ(Result->Layers.size(), M.Convs.size());
+  for (const KernelReport &R : Result->Layers)
+    EXPECT_GT(R.Seconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine-as-client (RemoteCpuEngine)
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, RemoteEngineMatchesInProcessEngineExactly) {
+  startServer();
+  Model M = makeMobilenetV1();
+
+  RemoteCpuEngine Remote(CpuMachine::cascadeLake(), TargetKind::X86);
+  std::string Err;
+  ASSERT_TRUE(Remote.connect(SocketPath, "remote-engine", 0, &Err)) << Err;
+  double RemoteLatency = modelLatencySeconds(M, Remote);
+
+  UnitCpuEngine Local(CpuMachine::cascadeLake(), TargetKind::X86,
+                      std::make_shared<CompilerSession>());
+  double LocalLatency = modelLatencySeconds(M, Local);
+
+  // Same machine model, same deterministic stack — the socket changes
+  // nothing about the numbers.
+  EXPECT_EQ(RemoteLatency, LocalLatency);
+  EXPECT_EQ(Remote.name(), "UNIT (x86, remote)");
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tools/unit_client.cpp - Example compile-server client ---------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+// The copy-paste client from docs/SERVER.md: connects to unit_serve,
+// compiles a model-zoo model (or asks for stats / persistence /
+// shutdown), and prints what the server did.
+//
+//   unit_client --socket /tmp/unit.sock --model resnet-18
+//   unit_client --socket /tmp/unit.sock --stats
+//   unit_client --socket /tmp/unit.sock --shutdown
+//
+//===----------------------------------------------------------------------===//
+
+#include "models/ModelZoo.h"
+#include "server/CompileClient.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+using namespace unit;
+
+namespace {
+
+std::optional<Model> zooModel(const std::string &Name) {
+  for (Model &M : paperModels())
+    if (M.Name == Name)
+      return std::move(M);
+  return std::nullopt;
+}
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [actions]\n"
+      "  --socket PATH       server socket (required)\n"
+      "  --client NAME       client name for the hello handshake\n"
+      "  --budget N          per-client tuning budget (hello max_candidates)\n"
+      "  --model NAME        compile a zoo model (resnet-18, resnet-50, ...)\n"
+      "  --target T          x86 (default), arm, or nvgpu\n"
+      "  --priority N        batch priority for the compile\n"
+      "  --expect-warm       exit 1 unless every layer was a cache hit\n"
+      "  --stats             print the server's stats message\n"
+      "  --save-cache        ask the server to persist its cache now\n"
+      "  --shutdown          ask the server to shut down\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath, ClientName = "unit_client", ModelName, TargetName =
+                                                                     "x86";
+  int Budget = 0, Priority = 0;
+  bool WantStats = false, WantSave = false, WantShutdown = false,
+       ExpectWarm = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket")
+      SocketPath = NextValue();
+    else if (Arg == "--client")
+      ClientName = NextValue();
+    else if (Arg == "--budget")
+      Budget = std::atoi(NextValue());
+    else if (Arg == "--model")
+      ModelName = NextValue();
+    else if (Arg == "--target")
+      TargetName = NextValue();
+    else if (Arg == "--priority")
+      Priority = std::atoi(NextValue());
+    else if (Arg == "--expect-warm")
+      ExpectWarm = true;
+    else if (Arg == "--stats")
+      WantStats = true;
+    else if (Arg == "--save-cache")
+      WantSave = true;
+    else if (Arg == "--shutdown")
+      WantShutdown = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (SocketPath.empty() ||
+      (ModelName.empty() && !WantStats && !WantSave && !WantShutdown)) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  CompileClient Client;
+  std::string Err;
+  if (!Client.connect(SocketPath, &Err) ||
+      !Client.hello(ClientName, Budget, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (!ModelName.empty()) {
+    std::optional<TargetKind> Target = targetKindFromName(TargetName);
+    if (!Target) {
+      std::fprintf(stderr, "error: unknown target '%s'\n", TargetName.c_str());
+      return 1;
+    }
+    std::optional<Model> M = zooModel(ModelName);
+    if (!M) {
+      std::fprintf(stderr, "error: no zoo model named '%s'\n",
+                   ModelName.c_str());
+      return 1;
+    }
+    CompileOptions Options;
+    Options.Priority = Priority;
+    std::optional<CompileClient::ModelResult> Result =
+        Client.compileModel(*Target, *M, Options, &Err);
+    if (!Result) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    double Total = 0;
+    for (const KernelReport &R : Result->Layers)
+      Total += R.Seconds;
+    std::printf("%s on %s: %zu layers (%zu distinct kernels), "
+                "cache-hit layers: %zu/%zu, modeled conv time %.3f ms, "
+                "server wall %.1f ms\n",
+                Result->ModelName.c_str(), TargetName.c_str(),
+                Result->Layers.size(), Result->DistinctShapes,
+                Result->CacheHitLayers, Result->Layers.size(), Total * 1e3,
+                Result->ServerWallSeconds * 1e3);
+    if (ExpectWarm && Result->CacheHitLayers != Result->Layers.size()) {
+      std::fprintf(stderr,
+                   "error: expected a fully warm compile, but only %zu of "
+                   "%zu layers hit the shared cache\n",
+                   Result->CacheHitLayers, Result->Layers.size());
+      return 1;
+    }
+  }
+
+  if (WantStats) {
+    std::optional<Json> Stats = Client.stats(/*Detail=*/false, &Err);
+    if (!Stats) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("%s\n", Stats->dump().c_str());
+  }
+
+  if (WantSave) {
+    std::optional<size_t> Entries = Client.saveCache("", &Err);
+    if (!Entries) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("server persisted %zu cache entries\n", *Entries);
+  }
+
+  if (WantShutdown) {
+    if (!Client.shutdownServer(&Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("server acknowledged shutdown\n");
+  }
+  return 0;
+}

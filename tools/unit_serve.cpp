@@ -1,0 +1,128 @@
+//===- tools/unit_serve.cpp - The compile-server daemon --------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+// Runs a CompileServer until a client sends shutdown or SIGINT/SIGTERM
+// arrives. See docs/SERVER.md for the protocol and a walkthrough.
+//
+//   unit_serve --socket /tmp/unit.sock [--cache /var/tmp/unit.kc]
+//              [--persist-interval 30] [--threads N]
+//              [--max-candidates N] [--cache-capacity N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/CompileServer.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace unit;
+
+namespace {
+
+volatile std::sig_atomic_t Interrupted = 0;
+
+void onSignal(int) { Interrupted = 1; }
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket PATH [options]\n"
+      "  --socket PATH            Unix socket to listen on (required)\n"
+      "  --cache FILE             persist the kernel cache to FILE\n"
+      "  --persist-interval SEC   periodic save interval (default 30, 0 =\n"
+      "                           save only on shutdown)\n"
+      "  --threads N              session pool threads (default: hardware)\n"
+      "  --max-candidates N       server-wide tuning-budget cap\n"
+      "  --cache-capacity N       LRU entry cap (default unbounded)\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServerConfig Config;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--socket")
+      Config.SocketPath = NextValue();
+    else if (Arg == "--cache")
+      Config.CacheFile = NextValue();
+    else if (Arg == "--persist-interval")
+      Config.PersistIntervalSeconds = std::atof(NextValue());
+    else if (Arg == "--threads")
+      Config.SessionCfg.Threads =
+          static_cast<unsigned>(std::atoi(NextValue()));
+    else if (Arg == "--max-candidates")
+      Config.MaxCandidatesCap = std::atoi(NextValue());
+    else if (Arg == "--cache-capacity")
+      Config.SessionCfg.CacheCapacity =
+          static_cast<size_t>(std::atoll(NextValue()));
+    else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (Config.SocketPath.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  // A client vanishing mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  CompileServer Server(std::move(Config));
+  std::string Err;
+  if (!Server.start(&Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("unit_serve: listening on %s\n", Server.socketPath().c_str());
+  switch (Server.cacheLoadResult().Status) {
+  case KernelCache::LoadStatus::BadFormat:
+    std::fprintf(stderr, "unit_serve: warning: cache file is corrupted; "
+                         "starting cold\n");
+    break;
+  case KernelCache::LoadStatus::FingerprintMismatch:
+    std::fprintf(stderr,
+                 "unit_serve: warning: cache file was written under a "
+                 "different machine/tuner fingerprint; starting cold\n");
+    break;
+  case KernelCache::LoadStatus::Loaded:
+  case KernelCache::LoadStatus::FileNotFound:
+    break;
+  }
+  if (KernelCache::CacheStats S = Server.session().cache().stats();
+      S.Entries > 0)
+    std::printf("unit_serve: warm start, %zu cached kernels (%zu bytes)\n",
+                S.Entries, S.BytesUsed);
+  std::fflush(stdout);
+
+  Server.waitForShutdownRequest(&Interrupted);
+  Server.stop();
+
+  CompileServer::Totals T = Server.totals();
+  std::printf("unit_serve: served %llu requests from %llu connections "
+              "(%llu kernels compiled, %llu errors)\n",
+              static_cast<unsigned long long>(T.Requests),
+              static_cast<unsigned long long>(T.Connections),
+              static_cast<unsigned long long>(T.CompiledKernels),
+              static_cast<unsigned long long>(T.Errors));
+  return 0;
+}
