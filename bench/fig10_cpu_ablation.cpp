@@ -14,6 +14,7 @@
 #include "core/Inspector.h"
 #include "models/Table1.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 using namespace unit;
 using namespace unit::bench;
@@ -23,7 +24,7 @@ int main() {
 
   CpuMachine Machine = CpuMachine::cascadeLake();
   OneDnnEngine OneDnn(Machine);
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
 
   Table T({"#", "oneDNN(us)", "Parallel", "+Unroll", "+Tune", "best-pair#"});
   std::vector<double> Tuned;
@@ -36,7 +37,7 @@ int main() {
         buildDirectConvOp(L, Scheme.Activation, Scheme.Weight,
                           Scheme.Accumulator, Scheme.LaneMultiple,
                           Scheme.ReduceMultiple);
-    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, TargetKind::X86);
+    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, "x86");
     if (Matches.empty()) {
       T.addRow({std::to_string(Idx), "n/a"});
       continue;

@@ -19,7 +19,7 @@ int main() {
   CpuMachine Machine = CpuMachine::graviton2();
   TvmNeonEngine Neon(Machine);
   TvmManualEngine Manual = makeTvmManualDot(Machine);
-  UnitCpuEngine Unit(Machine, TargetKind::ARM);
+  UnitCpuEngine Unit(Machine, "arm");
 
   Table T({"model", "neon(ms)", "manual(ms)", "unit(ms)", "TVM-NEON",
            "TVM-Manual", "UNIT"});

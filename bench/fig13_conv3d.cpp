@@ -12,6 +12,7 @@
 #include "graph/Executor.h"
 #include "models/ModelZoo.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 using namespace unit;
 using namespace unit::bench;
@@ -20,7 +21,7 @@ int main() {
   printHeader("Figure 13: conv3d layers of res18-3d (vs oneDNN = 1.0)");
 
   CpuMachine Machine = CpuMachine::cascadeLake();
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
 
   Table T({"layer", "oneDNN(us)", "UNIT(us)", "oneDNN", "UNIT"});
   std::vector<double> Rel;
@@ -34,7 +35,7 @@ int main() {
         buildDirectConv3dOp(L, Scheme.Activation, Scheme.Weight,
                             Scheme.Accumulator, Scheme.LaneMultiple,
                             Scheme.ReduceMultiple);
-    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, TargetKind::X86);
+    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, "x86");
     if (Matches.empty()) {
       T.addRow({std::to_string(Idx++), "no match"});
       continue;

@@ -23,6 +23,7 @@
 #include "server/CompileServer.h"
 #include "support/Time.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 #include <benchmark/benchmark.h>
 
@@ -38,7 +39,7 @@ using namespace unit;
 namespace {
 
 LaidOutOp table1Op(int Index) {
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
   ConvLayer L = table1Workloads()[static_cast<size_t>(Index)];
   return buildDirectConvOp(L, Scheme.Activation, Scheme.Weight,
                            Scheme.Accumulator, Scheme.LaneMultiple,
@@ -116,7 +117,7 @@ SessionConfig sequentialConfig() {
 
 /// One full compile of a Table I layer with no cache in front of it.
 void BM_ColdCompileOneLayer(benchmark::State &State) {
-  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef Backend = TargetRegistry::instance().get("x86");
   ConvLayer L = table1Workloads()[4];
   for (auto _ : State) {
     KernelReport R = Backend->compileConv(L, /*Pool=*/nullptr);
@@ -129,7 +130,7 @@ BENCHMARK(BM_ColdCompileOneLayer);
 /// one map probe).
 void BM_CacheHitRecompile(benchmark::State &State) {
   CompilerSession Session(sequentialConfig());
-  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef Backend = TargetRegistry::instance().get("x86");
   ConvLayer L = table1Workloads()[4];
   Session.compile({Workload::conv2d(L), Backend}); // Warm the entry.
   for (auto _ : State) {
@@ -148,7 +149,7 @@ void BM_CompileModelSequential(benchmark::State &State) {
     State.PauseTiming();
     Session.cache().clear();
     State.ResumeTiming();
-    ModelCompileResult R = Session.compileModel(Resnet, TargetKind::X86);
+    ModelCompileResult R = Session.compileModel(Resnet, "x86");
     benchmark::DoNotOptimize(R);
   }
 }
@@ -163,7 +164,7 @@ void BM_CompileModelParallel(benchmark::State &State) {
     State.PauseTiming();
     Session.cache().clear();
     State.ResumeTiming();
-    ModelCompileResult R = Session.compileModel(Resnet, TargetKind::X86);
+    ModelCompileResult R = Session.compileModel(Resnet, "x86");
     benchmark::DoNotOptimize(R);
   }
 }
@@ -173,9 +174,9 @@ BENCHMARK(BM_CompileModelParallel)->Unit(benchmark::kMillisecond);
 void BM_CompileModelAllCacheHits(benchmark::State &State) {
   Model Resnet = makeResnet18();
   CompilerSession Session(sequentialConfig());
-  Session.compileModel(Resnet, TargetKind::X86); // Warm everything.
+  Session.compileModel(Resnet, "x86"); // Warm everything.
   for (auto _ : State) {
-    ModelCompileResult R = Session.compileModel(Resnet, TargetKind::X86);
+    ModelCompileResult R = Session.compileModel(Resnet, "x86");
     benchmark::DoNotOptimize(R);
   }
 }
@@ -185,7 +186,7 @@ BENCHMARK(BM_CompileModelAllCacheHits)->Unit(benchmark::kMillisecond);
 /// compileModel determinism, measures the warm-from-disk path, and emits
 /// the machine-readable BENCH_compile.json the CI job archives.
 void runtimeSummary() {
-  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef Backend = TargetRegistry::instance().get("x86");
   ConvLayer L = table1Workloads()[4];
 
   double T0 = steadyNowSeconds();
@@ -209,8 +210,8 @@ void runtimeSummary() {
   Model Resnet = makeResnet18();
   CompilerSession Seq(sequentialConfig());
   CompilerSession Par;
-  ModelCompileResult A = Seq.compileModel(Resnet, TargetKind::X86);
-  ModelCompileResult B = Par.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult A = Seq.compileModel(Resnet, "x86");
+  ModelCompileResult B = Par.compileModel(Resnet, "x86");
   for (size_t I = 0; I < A.Layers.size(); ++I) {
     bool Same =
         std::memcmp(&A.Layers[I].Seconds, &B.Layers[I].Seconds,
@@ -259,7 +260,7 @@ void runtimeSummary() {
       std::exit(1);
     }
     uint64_t TunesBefore = tunerInvocations();
-    ModelCompileResult Warm = FromDisk.compileModel(Resnet, TargetKind::X86);
+    ModelCompileResult Warm = FromDisk.compileModel(Resnet, "x86");
     WarmDiskModelSeconds = Warm.WallSeconds;
     if (tunerInvocations() != TunesBefore ||
         Warm.CacheHitLayers != Resnet.Convs.size()) {
@@ -297,7 +298,7 @@ void runtimeSummary() {
     std::optional<CompileClient::ModelResult> Warm;
     if (!Server.start(&Err) || !Client.connect(Config.SocketPath, &Err) ||
         !Client.hello("micro_compile", 0, &Err) ||
-        !(Warm = Client.compileModel(TargetKind::X86, Resnet, {}, &Err))) {
+        !(Warm = Client.compileModel("x86", Resnet, {}, &Err))) {
       std::fprintf(stderr, "FAIL: server restart bench: %s\n", Err.c_str());
       std::exit(1);
     }
@@ -315,6 +316,39 @@ void runtimeSummary() {
   std::printf("server restart from persisted cache: start+connect+compile "
               "resnet18 %.2f ms (zero tuner invocations)\n",
               ServerRestartWarmSeconds * 1e3);
+
+  // Per-target rows: one cold resnet18 compile on every registered
+  // backend — the paper's three machines plus the spec-only x86-amx and
+  // arm-sve — so a regression (or win) in any backend's compile path
+  // shows up in the archived JSON.
+  struct TargetRow {
+    std::string Id;
+    std::string SpecHash;
+    size_t DistinctShapes = 0;
+    double ColdMs = 0;
+    double ModeledConvMs = 0;
+    size_t TensorizedLayers = 0;
+  };
+  std::vector<TargetRow> Rows;
+  for (const TargetBackendRef &Target : TargetRegistry::instance().all()) {
+    CompilerSession PerTarget; // Fresh cache: every row is a cold compile.
+    ModelCompileResult R = PerTarget.compileModel(Resnet, *Target);
+    TargetRow Row;
+    Row.Id = Target->id();
+    Row.SpecHash = Target->specHash();
+    Row.DistinctShapes = R.DistinctShapes;
+    Row.ColdMs = R.WallSeconds * 1e3;
+    for (const KernelReport &Layer : R.Layers) {
+      Row.ModeledConvMs += Layer.Seconds * 1e3;
+      Row.TensorizedLayers += Layer.Tensorized ? 1 : 0;
+    }
+    Rows.push_back(std::move(Row));
+    std::printf("target %-10s cold resnet18 compile %7.1f ms | modeled conv "
+                "%7.3f ms | %2zu/%zu layers tensorized\n",
+                Rows.back().Id.c_str(), Rows.back().ColdMs,
+                Rows.back().ModeledConvMs, Rows.back().TensorizedLayers,
+                Resnet.Convs.size());
+  }
 
   std::FILE *Json = std::fopen("BENCH_compile.json", "w");
   if (!Json) {
@@ -339,12 +373,22 @@ void runtimeSummary() {
       "  \"server_restart_warm_ms\": %.3f,\n"
       "  \"parallel_byte_identical\": true,\n"
       "  \"warm_from_disk_zero_tuner_invocations\": true,\n"
-      "  \"server_restart_zero_tuner_invocations\": true\n"
-      "}\n",
+      "  \"server_restart_zero_tuner_invocations\": true,\n"
+      "  \"targets\": [",
       ColdSeconds * 1e6, HitSeconds * 1e6, WarmDiskHitSeconds * 1e6,
       DiskSaveSeconds * 1e3, DiskLoadSeconds * 1e3, PersistedEntries,
       B.DistinctShapes, A.WallSeconds * 1e3, B.WallSeconds * 1e3,
       WarmDiskModelSeconds * 1e3, ServerRestartWarmSeconds * 1e3);
+  for (size_t I = 0; I < Rows.size(); ++I)
+    std::fprintf(
+        Json,
+        "%s\n    {\"id\": \"%s\", \"spec_hash\": \"%s\", "
+        "\"distinct_shapes\": %zu, \"cold_compile_ms\": %.3f, "
+        "\"modeled_conv_ms\": %.3f, \"tensorized_layers\": %zu}",
+        I ? "," : "", Rows[I].Id.c_str(), Rows[I].SpecHash.c_str(),
+        Rows[I].DistinctShapes, Rows[I].ColdMs, Rows[I].ModeledConvMs,
+        Rows[I].TensorizedLayers);
+  std::fprintf(Json, "\n  ]\n}\n");
   std::fclose(Json);
   std::printf("wrote BENCH_compile.json\n");
 }

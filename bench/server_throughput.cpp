@@ -17,6 +17,7 @@
 #include "server/CompileServer.h"
 #include "support/Time.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +51,7 @@ ClientOutcome runClient(const std::string &SocketPath, const std::string &Name,
   }
   for (const Model *M : Models) {
     std::optional<CompileClient::ModelResult> R =
-        Client.compileModel(TargetKind::X86, *M, {}, &Out.Err);
+        Client.compileModel("x86", *M, {}, &Out.Err);
     if (!R) {
       Out.Ok = false;
       return Out;
@@ -106,7 +107,7 @@ int main() {
   std::vector<Model> Models = paperModels();
   size_t TotalLayers = 0;
   std::set<std::string> DistinctKeys;
-  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef Backend = TargetRegistry::instance().get("x86");
   for (const Model &M : Models) {
     TotalLayers += M.Convs.size();
     for (const ConvLayer &L : M.Convs)
@@ -121,7 +122,7 @@ int main() {
   {
     CompilerSession Baseline;
     for (const Model &M : Models)
-      Baseline.compileModel(M, TargetKind::X86);
+      Baseline.compileModel(M, "x86");
   }
   uint64_t ExpectedTunes = tunerInvocations() - TunesBefore;
 

@@ -27,9 +27,9 @@ int main() {
   // --- One entry point for every workload kind ---------------------------
   ConvLayer Conv{"conv3x3", 64, 56, 56, 64, 3, 3, 1, 1, 1, false};
   KernelReport ConvReport =
-      Session.compile({Workload::conv2d(Conv), TargetKind::X86});
+      Session.compile({Workload::conv2d(Conv), "x86"});
   KernelReport DenseReport =
-      Session.compile({Workload::dense("fc", 512, 1000), TargetKind::X86});
+      Session.compile({Workload::dense("fc", 512, 1000), "x86"});
   Conv3dLayer C3;
   C3.Name = "conv3d";
   C3.InC = 64;
@@ -38,7 +38,7 @@ int main() {
   C3.K = 3;
   C3.Pad = 1;
   KernelReport Conv3dReport =
-      Session.compile({Workload::conv3d(C3), TargetKind::X86});
+      Session.compile({Workload::conv3d(C3), "x86"});
   std::printf("conv2d %.1f us (%s) | dense %.1f us | conv3d %.1f us (%s)\n",
               ConvReport.Seconds * 1e6, ConvReport.IntrinsicName.c_str(),
               DenseReport.Seconds * 1e6, Conv3dReport.Seconds * 1e6,
@@ -48,7 +48,7 @@ int main() {
   Model Resnet = makeResnet18();
   std::vector<CompileRequest> Requests;
   for (const ConvLayer &L : Resnet.Convs)
-    Requests.emplace_back(Workload::conv2d(L), TargetKind::X86);
+    Requests.emplace_back(Workload::conv2d(L), "x86");
   std::vector<CompileJob> Jobs = Session.compileAllAsync(std::move(Requests));
   // ... this thread is free to price the graph, load weights, etc. ...
   double Total = 0;
@@ -67,7 +67,7 @@ int main() {
   CompilerSession SecondRun;
   SecondRun.loadCache(Path);
   uint64_t TunesBefore = tunerInvocations();
-  ModelCompileResult Warm = SecondRun.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult Warm = SecondRun.compileModel(Resnet, "x86");
   std::printf("second run: %zu kernels restored from disk, %zu/%zu layers "
               "warm, %llu tuner invocations\n",
               *Saved, Warm.CacheHitLayers, Resnet.Convs.size(),

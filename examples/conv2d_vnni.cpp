@@ -13,13 +13,14 @@
 #include "graph/Executor.h"
 #include "models/Table1.h"
 #include "tir/TIRPrinter.h"
+#include "target/TargetRegistry.h"
 
 #include <cstdio>
 
 using namespace unit;
 
 int main() {
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
   ConvLayer Layer = table1Workloads()[4]; // #5: C=128, 16x16, K=128, 3x3.
 
   std::printf("Layer %s: C=%lld IHW=%lld K=%lld R=S=%lld stride=%lld\n\n",

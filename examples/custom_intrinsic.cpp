@@ -36,7 +36,7 @@ TensorIntrinsicRef makeDot8() {
   IntrinsicCost Cost{/*LatencyCycles=*/4.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/16.0};
   return std::make_shared<TensorIntrinsic>(
-      "example.dot8", "llvm.example.dot8", TargetKind::X86,
+      "example.dot8", "llvm.example.dot8", "x86",
       ComputeOp::create("example.dot8", D, {I}, Body), Cost);
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/Inspector.h"
 #include "core/Rewriter.h"
+#include "target/TargetRegistry.h"
 
 using namespace unit;
 
@@ -58,15 +59,16 @@ TensorizePlan buildTvmManualPlan(const ComputeOpRef &Op,
 
 } // namespace
 
-TvmManualEngine::TvmManualEngine(CpuMachine MachineIn, TargetKind TargetIn,
+TvmManualEngine::TvmManualEngine(CpuMachine MachineIn,
+                                 const std::string &TargetIn,
                                  CpuTuningPair FixedPairIn,
                                  bool SpatialUnrollIn)
     : Machine(std::move(MachineIn)), Target(TargetIn),
-      Scheme(quantSchemeFor(TargetIn)), FixedPair(FixedPairIn),
-      SpatialUnroll(SpatialUnrollIn) {}
+      Scheme(TargetRegistry::instance().get(TargetIn)->scheme()),
+      FixedPair(FixedPairIn), SpatialUnroll(SpatialUnrollIn) {}
 
 std::string TvmManualEngine::name() const {
-  return std::string("TVM-Manual (") + targetName(Target) + ")";
+  return "TVM-Manual (" + Target + ")";
 }
 
 double TvmManualEngine::glueBytesPerSecond() const {
@@ -126,7 +128,7 @@ double TvmNeonEngine::convSeconds(const ConvLayer &Layer) {
   } else {
     // Plain NEON int8: every MAC pays the widening chain; the fixed
     // schedule parallelizes the spatial loops only.
-    QuantScheme Scheme = quantSchemeFor(TargetKind::ARM);
+    QuantScheme Scheme = TargetRegistry::instance().get("arm")->scheme();
     LaidOutOp Laid =
         buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
                           Scheme.Accumulator, /*LaneMultiple=*/4,
@@ -148,7 +150,7 @@ double TvmNeonEngine::convSeconds(const ConvLayer &Layer) {
 
 TvmManualEngine unit::makeTvmManualVnni(const CpuMachine &Machine) {
   // The TVM x86 int8 schedule's fixed blocking, OW-unrolled.
-  return TvmManualEngine(Machine, TargetKind::X86, CpuTuningPair{3000, 8},
+  return TvmManualEngine(Machine, "x86", CpuTuningPair{3000, 8},
                          /*SpatialUnroll=*/true);
 }
 
@@ -156,6 +158,6 @@ TvmManualEngine unit::makeTvmManualDot(const CpuMachine &Machine) {
   // The ARM DOT schedule was carefully tuned (paper: UNIT wins by just
   // 1.13x geomean): output-channel unrolling, guard-free, with a slightly
   // conservative parallel granularity.
-  return TvmManualEngine(Machine, TargetKind::ARM, CpuTuningPair{512, 8},
+  return TvmManualEngine(Machine, "arm", CpuTuningPair{512, 8},
                          /*SpatialUnroll=*/false);
 }

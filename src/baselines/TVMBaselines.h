@@ -24,7 +24,7 @@ namespace unit {
 /// chosen by its author, applied to every shape.
 class TvmManualEngine : public InferenceEngine {
   CpuMachine Machine;
-  TargetKind Target;
+  std::string Target;
   QuantScheme Scheme;
   CpuTuningPair FixedPair;
   /// x86 template style: unroll the spatial OW loop (residue guards on odd
@@ -34,7 +34,7 @@ class TvmManualEngine : public InferenceEngine {
   std::map<std::string, double> Cache;
 
 public:
-  TvmManualEngine(CpuMachine Machine, TargetKind Target,
+  TvmManualEngine(CpuMachine Machine, const std::string &Target,
                   CpuTuningPair FixedPair, bool SpatialUnroll);
 
   std::string name() const override;

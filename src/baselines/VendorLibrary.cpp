@@ -4,6 +4,7 @@
 
 #include "core/Inspector.h"
 #include "models/ModelZoo.h"
+#include "target/TargetRegistry.h"
 
 #include <algorithm>
 
@@ -14,7 +15,8 @@ using namespace unit;
 //===----------------------------------------------------------------------===//
 
 OneDnnEngine::OneDnnEngine(CpuMachine MachineIn)
-    : Machine(std::move(MachineIn)), Scheme(quantSchemeFor(TargetKind::X86)) {
+    : Machine(std::move(MachineIn)),
+      Scheme(TargetRegistry::instance().get("x86")->scheme()) {
   // The shapes oneDNN engineers hand-optimized: the resnet-50 family's
   // convolutions (paper §VI.A: "resnet50 and resnet50b, which were heavily
   // tuned by oneDNN engineers").
@@ -42,7 +44,7 @@ double OneDnnEngine::convSeconds(const ConvLayer &Layer) {
         buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
                           Scheme.Accumulator, Scheme.LaneMultiple,
                           Scheme.ReduceMultiple);
-    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, TargetKind::X86);
+    std::vector<MatchResult> Matches = inspectTarget(Laid.Op, "x86");
     if (Matches.empty()) {
       KernelStats Stats = analyzeSimdFallback(
           Laid.Op, 1.0, static_cast<double>(Layer.outH()) * Layer.outW());

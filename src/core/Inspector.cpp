@@ -156,7 +156,7 @@ std::optional<MatchResult> unit::inspect(const ComputeOpRef &Op,
 }
 
 std::vector<MatchResult> unit::inspectTarget(const ComputeOpRef &Op,
-                                             TargetKind Target) {
+                                             const std::string &Target) {
   std::vector<MatchResult> Out;
   for (const TensorIntrinsicRef &Intr :
        IntrinsicRegistry::instance().forTarget(Target)) {

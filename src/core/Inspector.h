@@ -60,11 +60,16 @@ std::optional<MatchResult> inspect(const ComputeOpRef &Op,
                                    const TensorIntrinsicRef &Intr,
                                    std::string *WhyNot = nullptr);
 
-/// Tries every registered instruction of \p Target against \p Op,
-/// registration order. Returns all matches (typically the caller takes the
-/// first or lets the tuner choose).
+/// Tries every instruction of target id \p Target in the global
+/// IntrinsicRegistry against \p Op, registration order. Returns all
+/// matches (typically the caller takes the first or lets the tuner
+/// choose). A TargetSpec's instructions enter the global registry when
+/// the spec is registered (first TargetRegistry access registers the
+/// shipped specs); when compiling for a registered target, prefer
+/// backend->intrinsics() / compileForTarget, which consult the
+/// backend's own spec list.
 std::vector<MatchResult> inspectTarget(const ComputeOpRef &Op,
-                                       TargetKind Target);
+                                       const std::string &Target);
 
 } // namespace unit
 

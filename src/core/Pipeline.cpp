@@ -59,9 +59,6 @@ unit::compileForIntrinsics(const ComputeOpRef &Op,
   return Kernel;
 }
 
-CompiledKernel unit::compileForTarget(const ComputeOpRef &Op,
-                                      TargetKind Target,
-                                      const TuneHook &Tune) {
-  return compileForIntrinsics(
-      Op, IntrinsicRegistry::instance().forTarget(Target), Tune);
-}
+// compileForTarget is defined in runtime/Workload.cpp: it resolves the
+// id through the TargetRegistry (which core/ sits below), so spec-only
+// targets work regardless of which registry a process touches first.

@@ -58,12 +58,17 @@ compileForIntrinsics(const ComputeOpRef &Op,
                      const std::vector<TensorIntrinsicRef> &Intrinsics,
                      const TuneHook &Tune = {});
 
-/// Convenience overload: the registered instructions of \p Target. The
-/// runtime's unified entry, compileWorkload (runtime/Workload.h), routes
-/// every workload kind — conv2d / conv3d / dense-as-1x1 / raw op —
-/// through this same pipeline; prefer it when compiling anything other
-/// than an already-built operation.
-CompiledKernel compileForTarget(const ComputeOpRef &Op, TargetKind Target,
+/// Convenience overload: the registered instructions of target id
+/// \p Target, resolved through the TargetRegistry (defined in
+/// runtime/Workload.cpp — the registry sits above this layer; resolving
+/// there means a spec-only target's instructions are in play no matter
+/// which registry a process touches first). The runtime's unified
+/// entry, compileWorkload (runtime/Workload.h), routes every workload
+/// kind — conv2d / conv3d / dense-as-1x1 / raw op — through this same
+/// pipeline; prefer it when compiling anything other than an
+/// already-built operation.
+CompiledKernel compileForTarget(const ComputeOpRef &Op,
+                                const std::string &Target,
                                 const TuneHook &Tune = {});
 
 } // namespace unit

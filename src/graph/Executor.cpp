@@ -85,13 +85,13 @@ double unit::gpuCudaCoreConvSeconds(const ConvLayer &Layer,
 // UnitCpuEngine
 //===----------------------------------------------------------------------===//
 
-UnitCpuEngine::UnitCpuEngine(CpuMachine MachineIn, TargetKind TargetIn,
+UnitCpuEngine::UnitCpuEngine(CpuMachine MachineIn, const std::string &TargetIn,
                              std::shared_ptr<CompilerSession> SessionIn)
     : Backend(std::make_shared<CpuBackend>(std::move(MachineIn), TargetIn)),
       Session(SessionIn ? std::move(SessionIn) : CompilerSession::shared()) {}
 
 std::string UnitCpuEngine::name() const {
-  return std::string("UNIT (") + targetName(Backend->kind()) + ")";
+  return "UNIT (" + Backend->id() + ")";
 }
 
 double unit::cpuGlueBytesPerSecond(const CpuMachine &M) {

@@ -67,16 +67,19 @@ struct CpuLayerReport {
   int BestCandidateIndex = -1;
 };
 
-/// UNIT on a CPU target (x86 VNNI or ARM DOT). Kernels are compiled
-/// through the CompilerSession's shared KernelCache — isomorphic layers,
-/// even across engines and models, tune once.
+/// UNIT on a CPU target (any registered CpuDot spec: "x86", "arm",
+/// "x86-amx", ...). Kernels are compiled through the CompilerSession's
+/// shared KernelCache — isomorphic layers, even across engines and
+/// models, tune once.
 class UnitCpuEngine : public InferenceEngine {
   std::shared_ptr<const CpuBackend> Backend;
   std::shared_ptr<CompilerSession> Session;
 
 public:
-  /// \p Session defaults to the process-wide CompilerSession::shared().
-  UnitCpuEngine(CpuMachine Machine, TargetKind Target,
+  /// Runs the registered target id \p Target's pipeline on \p Machine's
+  /// parameters. \p Session defaults to the process-wide
+  /// CompilerSession::shared().
+  UnitCpuEngine(CpuMachine Machine, const std::string &Target,
                 std::shared_ptr<CompilerSession> Session = nullptr);
 
   std::string name() const override;

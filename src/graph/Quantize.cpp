@@ -2,18 +2,11 @@
 
 #include "graph/Quantize.h"
 
-#include "support/ErrorHandling.h"
-
 using namespace unit;
 
-QuantScheme unit::quantSchemeFor(TargetKind Target) {
-  switch (Target) {
-  case TargetKind::X86:
-    return {DataType::u8(), DataType::i8(), DataType::i32(), 16, 4};
-  case TargetKind::ARM:
-    return {DataType::i8(), DataType::i8(), DataType::i32(), 4, 4};
-  case TargetKind::NvidiaGPU:
-    return {DataType::f16(), DataType::f16(), DataType::f32(), 16, 16};
-  }
-  unit_unreachable("unknown target");
+std::string unit::describeQuantScheme(const QuantScheme &Scheme) {
+  return Scheme.Activation.str() + "*" + Scheme.Weight.str() + "->" +
+         Scheme.Accumulator.str() + "|lane" +
+         std::to_string(Scheme.LaneMultiple) + "|red" +
+         std::to_string(Scheme.ReduceMultiple);
 }

@@ -6,9 +6,12 @@
 ///
 /// \file
 /// The graph-level quantization pass (paper §V.C: models are quantized
-/// through Relay before tensorization). Selects the mixed-precision data
-/// types each platform's tensorized instructions consume and accounts the
-/// cast traffic at the graph boundary.
+/// through Relay before tensorization). A QuantScheme names the
+/// mixed-precision data types one platform's tensorized instructions
+/// consume; each backend's scheme lives in its TargetSpec
+/// (target/TargetSpec.h) — this header deliberately enumerates no
+/// platforms, so a new backend never edits the quantization pass. Fetch a
+/// registered backend's scheme via TargetRegistry::get(id)->scheme().
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,7 +19,8 @@
 #define UNIT_GRAPH_QUANTIZE_H
 
 #include "ir/DataType.h"
-#include "isa/TensorIntrinsic.h"
+
+#include <string>
 
 namespace unit {
 
@@ -31,11 +35,9 @@ struct QuantScheme {
   int64_t ReduceMultiple;
 };
 
-/// Platform scheme used in the paper's evaluation:
-///   x86  -> u8 x i8 -> i32 (VNNI, 16 lanes x 4)
-///   ARM  -> i8 x i8 -> i32 (SDOT, 4 lanes x 4)
-///   GPU  -> f16 x f16 -> f32 (WMMA, 16x16x16)
-QuantScheme quantSchemeFor(TargetKind Target);
+/// Exact serialization of every field ("u8*i8->i32|lane16|red4"); folded
+/// into TargetSpec::hash so a scheme revision invalidates cached kernels.
+std::string describeQuantScheme(const QuantScheme &Scheme);
 
 } // namespace unit
 

@@ -51,66 +51,77 @@ ComputeOpRef makeWmmaSemantics(const std::string &Name, int64_t M,
 
 } // namespace
 
+TensorIntrinsicRef unit::makeDotProductIntrinsic(
+    const std::string &Name, const std::string &LLVMIntrinsic,
+    const std::string &Target, int64_t Lanes, int64_t Reduce, DataType AType,
+    DataType BType, IntrinsicCost Cost) {
+  return std::make_shared<TensorIntrinsic>(
+      Name, LLVMIntrinsic, Target,
+      makeDotSemantics(Name, Lanes, Reduce, AType, BType), Cost);
+}
+
+TensorIntrinsicRef unit::makeMacIntrinsic(const std::string &Name,
+                                          const std::string &LLVMIntrinsic,
+                                          const std::string &Target, int64_t M,
+                                          DataType InType, DataType AccType,
+                                          IntrinsicCost Cost) {
+  return std::make_shared<TensorIntrinsic>(
+      Name, LLVMIntrinsic, Target,
+      makeWmmaSemantics(Name, M, InType, AccType), Cost);
+}
+
 TensorIntrinsicRef unit::makeVNNIVpdpbusd() {
   // Cascade Lake: VNNI on ports 0 and 5, latency ~5 cycles, 64 MACs/instr.
   IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/64.0};
-  return std::make_shared<TensorIntrinsic>(
-      "vnni.vpdpbusd", "llvm.x86.avx512.vpdpbusd.512", TargetKind::X86,
-      makeDotSemantics("vnni.vpdpbusd", /*Lanes=*/16, /*Reduce=*/4,
-                       DataType::u8(), DataType::i8()),
-      Cost);
+  return makeDotProductIntrinsic("vnni.vpdpbusd",
+                                 "llvm.x86.avx512.vpdpbusd.512", "x86",
+                                 /*Lanes=*/16, /*Reduce=*/4, DataType::u8(),
+                                 DataType::i8(), Cost);
 }
 
 TensorIntrinsicRef unit::makeVNNIVpdpbusd256() {
   IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/32.0};
-  return std::make_shared<TensorIntrinsic>(
-      "vnni.vpdpbusd.256", "llvm.x86.avx512.vpdpbusd.256", TargetKind::X86,
-      makeDotSemantics("vnni.vpdpbusd.256", /*Lanes=*/8, /*Reduce=*/4,
-                       DataType::u8(), DataType::i8()),
-      Cost);
+  return makeDotProductIntrinsic("vnni.vpdpbusd.256",
+                                 "llvm.x86.avx512.vpdpbusd.256", "x86",
+                                 /*Lanes=*/8, /*Reduce=*/4, DataType::u8(),
+                                 DataType::i8(), Cost);
 }
 
 TensorIntrinsicRef unit::makeVNNIVpdpbusd128() {
   IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/16.0};
-  return std::make_shared<TensorIntrinsic>(
-      "vnni.vpdpbusd.128", "llvm.x86.avx512.vpdpbusd.128", TargetKind::X86,
-      makeDotSemantics("vnni.vpdpbusd.128", /*Lanes=*/4, /*Reduce=*/4,
-                       DataType::u8(), DataType::i8()),
-      Cost);
+  return makeDotProductIntrinsic("vnni.vpdpbusd.128",
+                                 "llvm.x86.avx512.vpdpbusd.128", "x86",
+                                 /*Lanes=*/4, /*Reduce=*/4, DataType::u8(),
+                                 DataType::i8(), Cost);
 }
 
 TensorIntrinsicRef unit::makeAVX512Vpdpwssd() {
   IntrinsicCost Cost{/*LatencyCycles=*/5.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/32.0};
-  return std::make_shared<TensorIntrinsic>(
-      "avx512.vpdpwssd", "llvm.x86.avx512.vpdpwssd.512", TargetKind::X86,
-      makeDotSemantics("avx512.vpdpwssd", /*Lanes=*/16, /*Reduce=*/2,
-                       DataType::i16(), DataType::i16()),
-      Cost);
+  return makeDotProductIntrinsic("avx512.vpdpwssd",
+                                 "llvm.x86.avx512.vpdpwssd.512", "x86",
+                                 /*Lanes=*/16, /*Reduce=*/2, DataType::i16(),
+                                 DataType::i16(), Cost);
 }
 
 TensorIntrinsicRef unit::makeARMSdot() {
   // Neoverse N1 (Graviton2): SDOT latency 3, two ASIMD pipes, 16 MACs.
   IntrinsicCost Cost{/*LatencyCycles=*/3.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/16.0};
-  return std::make_shared<TensorIntrinsic>(
-      "arm.sdot", "llvm.arm.neon.sdot.v4i32.v16i8", TargetKind::ARM,
-      makeDotSemantics("arm.sdot", /*Lanes=*/4, /*Reduce=*/4, DataType::i8(),
-                       DataType::i8()),
-      Cost);
+  return makeDotProductIntrinsic("arm.sdot", "llvm.arm.neon.sdot.v4i32.v16i8",
+                                 "arm", /*Lanes=*/4, /*Reduce=*/4,
+                                 DataType::i8(), DataType::i8(), Cost);
 }
 
 TensorIntrinsicRef unit::makeARMUdot() {
   IntrinsicCost Cost{/*LatencyCycles=*/3.0, /*IssuePerCycle=*/2.0,
                      /*MacsPerInstr=*/16.0};
-  return std::make_shared<TensorIntrinsic>(
-      "arm.udot", "llvm.arm.neon.udot.v4i32.v16i8", TargetKind::ARM,
-      makeDotSemantics("arm.udot", /*Lanes=*/4, /*Reduce=*/4, DataType::u8(),
-                       DataType::u8()),
-      Cost);
+  return makeDotProductIntrinsic("arm.udot", "llvm.arm.neon.udot.v4i32.v16i8",
+                                 "arm", /*Lanes=*/4, /*Reduce=*/4,
+                                 DataType::u8(), DataType::u8(), Cost);
 }
 
 TensorIntrinsicRef unit::makeWMMAF16() {
@@ -119,23 +130,19 @@ TensorIntrinsicRef unit::makeWMMAF16() {
   // p x p outer-product accumulation of Fig. 6.
   IntrinsicCost Cost{/*LatencyCycles=*/64.0, /*IssuePerCycle=*/0.25,
                      /*MacsPerInstr=*/4096.0};
-  return std::make_shared<TensorIntrinsic>(
-      "wmma.m16n16k16.f16", "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
-      TargetKind::NvidiaGPU,
-      makeWmmaSemantics("wmma.m16n16k16.f16", /*M=*/16, DataType::f16(),
-                        DataType::f32()),
-      Cost);
+  return makeMacIntrinsic("wmma.m16n16k16.f16",
+                          "llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+                          "nvgpu", /*M=*/16, DataType::f16(), DataType::f32(),
+                          Cost);
 }
 
 TensorIntrinsicRef unit::makeWMMAS8() {
   IntrinsicCost Cost{/*LatencyCycles=*/64.0, /*IssuePerCycle=*/0.25,
                      /*MacsPerInstr=*/4096.0};
-  return std::make_shared<TensorIntrinsic>(
-      "wmma.m16n16k16.s8", "llvm.nvvm.wmma.m16n16k16.mma.row.row.s8.s32",
-      TargetKind::NvidiaGPU,
-      makeWmmaSemantics("wmma.m16n16k16.s8", /*M=*/16, DataType::i8(),
-                        DataType::i32()),
-      Cost);
+  return makeMacIntrinsic("wmma.m16n16k16.s8",
+                          "llvm.nvvm.wmma.m16n16k16.mma.row.row.s8.s32",
+                          "nvgpu", /*M=*/16, DataType::i8(), DataType::i32(),
+                          Cost);
 }
 
 void unit::registerBuiltinIntrinsics(IntrinsicRegistry &Registry) {

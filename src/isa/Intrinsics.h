@@ -15,14 +15,39 @@
 ///   wmma.f16      : C[16,16] += f32(A[i,k]) * f32(B[k,j])   (in-place)
 ///   wmma.s8       : C[16,16] += i32(A[i,k]) * i32(B[k,j])   (in-place)
 ///
+/// The two generic builders (makeDotProductIntrinsic, makeMacIntrinsic)
+/// are public: a new backend's TargetSpec describes its instructions with
+/// them (or with hand-written DSL) — see docs/BACKENDS.md and
+/// target/BuiltinSpecs.cpp for the AMX and SVE examples.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef UNIT_ISA_INTRINSICS_H
 #define UNIT_ISA_INTRINSICS_H
 
+#include "ir/DataType.h"
 #include "isa/TensorIntrinsic.h"
 
 namespace unit {
+
+/// A VNNI/DOT-style dot-product instruction for an arbitrary target id:
+///   d[i:Lanes] = c[i] + sum_{j<Reduce} acc(AType a[i*R+j]) * acc(BType b[..])
+/// accumulating into i32 lanes. \p Lanes x \p Reduce MACs per instruction.
+TensorIntrinsicRef
+makeDotProductIntrinsic(const std::string &Name,
+                        const std::string &LLVMIntrinsic,
+                        const std::string &Target, int64_t Lanes,
+                        int64_t Reduce, DataType AType, DataType BType,
+                        IntrinsicCost Cost);
+
+/// A WMMA-style MxMxM matrix-multiply-accumulate instruction accumulating
+/// in place (the accumulator register is the output register):
+///   C[i,j] += AccType(A[i,k]) * AccType(B[k,j])
+TensorIntrinsicRef makeMacIntrinsic(const std::string &Name,
+                                    const std::string &LLVMIntrinsic,
+                                    const std::string &Target, int64_t M,
+                                    DataType InType, DataType AccType,
+                                    IntrinsicCost Cost);
 
 /// Intel AVX-512 VNNI vpdpbusd (zmm): u8 x i8 -> i32, 16 lanes x 4 reduce.
 TensorIntrinsicRef makeVNNIVpdpbusd();

@@ -9,25 +9,14 @@
 
 using namespace unit;
 
-const char *unit::targetName(TargetKind T) {
-  switch (T) {
-  case TargetKind::X86:
-    return "x86";
-  case TargetKind::ARM:
-    return "arm";
-  case TargetKind::NvidiaGPU:
-    return "nvgpu";
-  }
-  unit_unreachable("unknown target");
-}
-
 TensorIntrinsic::TensorIntrinsic(std::string Name, std::string LLVMIntrinsic,
-                                 TargetKind Target, ComputeOpRef Semantics,
+                                 std::string Target, ComputeOpRef Semantics,
                                  IntrinsicCost Cost)
     : Name(std::move(Name)), LLVMIntrinsic(std::move(LLVMIntrinsic)),
-      Target(Target), Semantics(std::move(Semantics)), Cost(Cost) {
+      Target(std::move(Target)), Semantics(std::move(Semantics)), Cost(Cost) {
   assert(this->Semantics && "intrinsic needs semantics");
   assert(!this->Name.empty() && "intrinsic needs a name");
+  assert(!this->Target.empty() && "intrinsic needs a target id");
 }
 
 int64_t TensorIntrinsic::outputLanes() const {
@@ -64,6 +53,17 @@ void IntrinsicRegistry::add(TensorIntrinsicRef Intrinsic) {
   Intrinsics.push_back(std::move(Intrinsic));
 }
 
+void IntrinsicRegistry::addOrReplace(TensorIntrinsicRef Intrinsic) {
+  assert(Intrinsic && "null intrinsic");
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (TensorIntrinsicRef &I : Intrinsics)
+    if (I->name() == Intrinsic->name()) {
+      I = std::move(Intrinsic);
+      return;
+    }
+  Intrinsics.push_back(std::move(Intrinsic));
+}
+
 TensorIntrinsicRef
 IntrinsicRegistry::lookupLocked(const std::string &Name) const {
   for (const TensorIntrinsicRef &I : Intrinsics)
@@ -78,11 +78,11 @@ TensorIntrinsicRef IntrinsicRegistry::lookup(const std::string &Name) const {
 }
 
 std::vector<TensorIntrinsicRef>
-IntrinsicRegistry::forTarget(TargetKind T) const {
+IntrinsicRegistry::forTarget(const std::string &Target) const {
   std::lock_guard<std::mutex> Lock(Mu);
   std::vector<TensorIntrinsicRef> Out;
   for (const TensorIntrinsicRef &I : Intrinsics)
-    if (I->target() == T)
+    if (I->target() == Target)
       Out.push_back(I);
   return Out;
 }

@@ -10,6 +10,11 @@
 /// whose tensors stand for the instruction's registers. Integrating a new
 /// instruction means registering one of these objects — no new compiler.
 ///
+/// Instructions belong to a *target id*: a free-form string ("x86",
+/// "arm-sve", ...) that names the backend consuming them. Target ids are
+/// open — a new backend picks a fresh id and registers a TargetSpec
+/// (target/TargetSpec.h); nothing in the compiler enumerates the set.
+///
 /// The attached cost numbers feed the analytic machine model that stands
 /// in for real hardware in this reproduction (see DESIGN.md).
 ///
@@ -27,12 +32,6 @@
 
 namespace unit {
 
-/// Hardware platform of an instruction.
-enum class TargetKind : uint8_t { X86, ARM, NvidiaGPU };
-
-/// Returns "x86", "arm", or "nvgpu".
-const char *targetName(TargetKind T);
-
 /// Pipeline characteristics used by the performance model.
 struct IntrinsicCost {
   /// Result-to-use latency in cycles (the RAW hazard the CPU tuner hides
@@ -44,22 +43,22 @@ struct IntrinsicCost {
   double MacsPerInstr = 1.0;
 };
 
-/// One tensorized instruction: name, target, DSL semantics, and costs.
+/// One tensorized instruction: name, target id, DSL semantics, and costs.
 class TensorIntrinsic {
   std::string Name;          ///< Registry key, e.g. "vnni.vpdpbusd".
   std::string LLVMIntrinsic; ///< Informational, e.g. "x86.avx512.vpdpbusd".
-  TargetKind Target;
+  std::string Target;        ///< Backend target id, e.g. "x86".
   ComputeOpRef Semantics;
   IntrinsicCost Cost;
 
 public:
   TensorIntrinsic(std::string Name, std::string LLVMIntrinsic,
-                  TargetKind Target, ComputeOpRef Semantics,
+                  std::string Target, ComputeOpRef Semantics,
                   IntrinsicCost Cost);
 
   const std::string &name() const { return Name; }
   const std::string &llvmIntrinsic() const { return LLVMIntrinsic; }
-  TargetKind target() const { return Target; }
+  const std::string &target() const { return Target; }
   const ComputeOpRef &semantics() const { return Semantics; }
   const IntrinsicCost &cost() const { return Cost; }
 
@@ -76,8 +75,9 @@ using TensorIntrinsicRef = std::shared_ptr<const TensorIntrinsic>;
 
 /// Process-wide instruction registry. Built-ins (VNNI, DOT, WMMA, ...) are
 /// registered lazily on first access; user code may add its own (see
-/// examples/custom_intrinsic.cpp). Thread-safe: the CompilerSession's pool
-/// consults the registry from concurrent tuning tasks.
+/// examples/custom_intrinsic.cpp), and TargetRegistry::registerSpec adds a
+/// spec's instructions automatically. Thread-safe: the CompilerSession's
+/// pool consults the registry from concurrent tuning tasks.
 class IntrinsicRegistry {
   mutable std::mutex Mu;
   std::vector<TensorIntrinsicRef> Intrinsics;
@@ -95,11 +95,17 @@ public:
   /// Registers \p Intrinsic; fatal-errors on duplicate names.
   void add(TensorIntrinsicRef Intrinsic);
 
+  /// Registers \p Intrinsic, replacing any same-name entry *in place*
+  /// (its position — and so the widest-first search order — is kept).
+  /// TargetRegistry::registerSpec uses this so a revised spec's
+  /// instructions are what every global helper sees.
+  void addOrReplace(TensorIntrinsicRef Intrinsic);
+
   /// Finds by name; returns null when absent.
   TensorIntrinsicRef lookup(const std::string &Name) const;
 
-  /// All instructions for one target, registration order.
-  std::vector<TensorIntrinsicRef> forTarget(TargetKind T) const;
+  /// All instructions for one target id, registration order.
+  std::vector<TensorIntrinsicRef> forTarget(const std::string &Target) const;
 
   /// Snapshot of every registered instruction.
   std::vector<TensorIntrinsicRef> all() const;

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// The one shape every compilation takes: a CompileRequest bundles the
-/// Workload to compile, the TargetBackend to compile it for, and the
+/// Workload to compile, the TargetBackend to compile it for (resolvable
+/// from a string target id through the TargetRegistry), and the
 /// CompileOptions governing tuning budget / cache policy / batch priority.
 /// CompilerSession::compile(request) runs it synchronously;
 /// compileAsync(request) returns a future-based CompileJob so callers
@@ -18,8 +19,8 @@
 #define UNIT_RUNTIME_COMPILEREQUEST_H
 
 #include "runtime/CompileOptions.h"
-#include "runtime/TargetRegistry.h"
 #include "runtime/Workload.h"
+#include "target/TargetRegistry.h"
 
 #include <chrono>
 #include <future>
@@ -38,16 +39,20 @@ struct CompileRequest {
       : Work(std::move(Work)), Backend(std::move(Backend)),
         Options(Options) {}
 
-  /// Resolves \p Target through the process-wide TargetRegistry.
-  CompileRequest(Workload Work, TargetKind Target, CompileOptions Options = {})
-      : Work(std::move(Work)), Backend(TargetRegistry::instance().get(Target)),
-        Options(Options) {}
+  /// Resolves the target id through the process-wide TargetRegistry
+  /// (fatal-errors on unknown ids; unvalidated input resolves through
+  /// TargetRegistry::lookup first).
+  CompileRequest(Workload Work, const std::string &TargetId,
+                 CompileOptions Options = {})
+      : Work(std::move(Work)),
+        Backend(TargetRegistry::instance().get(TargetId)), Options(Options) {}
 
-  /// The request's cache key: the workload's canonical key on the backend,
-  /// plus a budget marker when the tuning space is capped — a budgeted
-  /// report must never shadow (or be shadowed by) a full-search one.
-  /// Matches the tuner's convention: MaxCandidates <= 0 is the full
-  /// space, so only a positive budget salts the key.
+  /// The request's cache key: the workload's canonical key on the backend
+  /// (prefixed by the backend's spec-hash salt), plus a budget marker
+  /// when the tuning space is capped — a budgeted report must never
+  /// shadow (or be shadowed by) a full-search one. Matches the tuner's
+  /// convention: MaxCandidates <= 0 is the full space, so only a positive
+  /// budget salts the key.
   std::string cacheKey() const {
     std::string Key = Work.cacheKey(*Backend);
     if (Options.MaxCandidates > 0)

@@ -13,7 +13,8 @@
 using namespace unit;
 
 CompilerSession::CompilerSession(SessionConfig ConfigIn)
-    : Config(ConfigIn), Cache(ConfigIn.CacheCapacity),
+    : Config(ConfigIn),
+      Cache(ConfigIn.CacheCapacity, ConfigIn.CacheCapacityBytes),
       Pool(std::make_unique<ThreadPool>(Config.Threads)) {}
 
 CompilerSession::~CompilerSession() = default;
@@ -164,9 +165,9 @@ CompilerSession::compileAllAsyncCounted(std::vector<CompileRequest> Requests,
 }
 
 ModelCompileResult CompilerSession::compileModel(const Model &M,
-                                                 TargetKind Target,
+                                                 const std::string &TargetId,
                                                  const CompileOptions &Options) {
-  return compileModel(M, *TargetRegistry::instance().get(Target), Options);
+  return compileModel(M, *TargetRegistry::instance().get(TargetId), Options);
 }
 
 ModelCompileResult
@@ -290,38 +291,3 @@ CompilerSession::saveCache(const std::string &Path) const {
 KernelCache::LoadResult CompilerSession::loadCache(const std::string &Path) {
   return Cache.loadFile(Path, persistenceFingerprint());
 }
-
-//===----------------------------------------------------------------------===//
-// Deprecated shims
-//===----------------------------------------------------------------------===//
-
-// The shims are the old fragmented entry points re-expressed over the
-// unified surface; their definitions necessarily name themselves.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-KernelReport CompilerSession::compile(const ComputeOpRef &Op,
-                                      TargetKind Target) {
-  return compile(CompileRequest(Workload::op(Op), Target));
-}
-
-KernelReport CompilerSession::compile(const ComputeOpRef &Op,
-                                      const TargetBackend &Backend) {
-  return compile(CompileRequest(Workload::op(Op), borrow(Backend)));
-}
-
-KernelReport CompilerSession::compileConv(const ConvLayer &Layer,
-                                          const TargetBackend &Backend) {
-  return compile(CompileRequest(Workload::conv2d(Layer), borrow(Backend)));
-}
-
-KernelReport CompilerSession::compileConv3d(const Conv3dLayer &Layer,
-                                            const CpuBackend &Backend) {
-  return compile(CompileRequest(Workload::conv3d(Layer), borrow(Backend)));
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif

@@ -15,11 +15,12 @@
 ///   compileModel(model, target)   submit every distinct layer, then join
 ///
 /// Every workload kind (conv2d / conv3d / dense-as-1x1 / raw op) flows
-/// through the same path; the legacy per-kind compile* methods survive
-/// only as deprecated shims over it. Distinct shapes of a model tune
-/// concurrently and tuning candidates are scored in parallel, but every
-/// winner is chosen by an index-stable argmin — parallel and sequential
-/// modes produce byte-identical reports.
+/// through the same path, and targets are string ids resolved through the
+/// TargetRegistry (the legacy per-kind compile* shims were removed once
+/// every caller migrated). Distinct shapes of a model tune concurrently
+/// and tuning candidates are scored in parallel, but every winner is
+/// chosen by an index-stable argmin — parallel and sequential modes
+/// produce byte-identical reports.
 ///
 /// The cache persists: saveCache() serializes every surviving entry under
 /// a fingerprint of the registered machines, and loadCache() rejects
@@ -35,8 +36,8 @@
 
 #include "runtime/CompileRequest.h"
 #include "runtime/KernelCache.h"
-#include "runtime/TargetRegistry.h"
 #include "support/ThreadPool.h"
+#include "target/TargetRegistry.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -52,6 +53,11 @@ struct SessionConfig {
   bool ParallelShapes = true;     ///< Tune distinct model shapes concurrently.
   bool ParallelCandidates = true; ///< Score tuning candidates concurrently.
   size_t CacheCapacity = 0;       ///< LRU entry cap; 0 = unbounded.
+  /// LRU byte cap over the cache's resident-byte accounting; 0 =
+  /// unbounded. Enforced on insert, coldest ready entries first
+  /// (in-flight compiles are never evicted). Both caps may be set; each
+  /// is enforced independently.
+  size_t CacheCapacityBytes = 0;
 };
 
 /// What compiling a whole model produced.
@@ -157,8 +163,9 @@ public:
   /// Compiles every conv layer of \p M by submitting all distinct shapes
   /// async and then joining ("submit all, then join") when the config
   /// allows shape parallelism; sequential otherwise. Per-layer reports
-  /// are byte-identical between the two modes.
-  ModelCompileResult compileModel(const Model &M, TargetKind Target,
+  /// are byte-identical between the two modes. \p TargetId resolves
+  /// through the process-wide TargetRegistry.
+  ModelCompileResult compileModel(const Model &M, const std::string &TargetId,
                                   const CompileOptions &Options = {});
   ModelCompileResult compileModel(const Model &M, const TargetBackend &Backend,
                                   const CompileOptions &Options = {});
@@ -168,9 +175,11 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Fingerprint the session's cache files are versioned under: a format
-  /// tag plus every registered backend's machine-parameter salt, so a
-  /// file written under different machine models (or a different format
-  /// revision) is rejected on load.
+  /// tag plus every registered backend's cache salt (target id + spec
+  /// hash, which folds in machine parameters, quantization scheme, and
+  /// intrinsic descriptions) — so a file written under different machine
+  /// models, a different spec revision, or a different format revision is
+  /// rejected on load.
   static std::string persistenceFingerprint();
 
   /// Serializes the surviving ready cache entries to \p Path. Returns the
@@ -180,21 +189,6 @@ public:
   /// Merges a saveCache() file into this session's cache; stale,
   /// corrupted, or cross-machine files load zero entries.
   KernelCache::LoadResult loadCache(const std::string &Path);
-
-  //===--------------------------------------------------------------------===//
-  // Deprecated shims over the unified surface
-  //===--------------------------------------------------------------------===//
-
-  [[deprecated("use compile(CompileRequest) with Workload::op")]]
-  KernelReport compile(const ComputeOpRef &Op, TargetKind Target);
-  [[deprecated("use compile(CompileRequest) with Workload::op")]]
-  KernelReport compile(const ComputeOpRef &Op, const TargetBackend &Backend);
-  [[deprecated("use compile(CompileRequest) with Workload::conv2d")]]
-  KernelReport compileConv(const ConvLayer &Layer,
-                           const TargetBackend &Backend);
-  [[deprecated("use compile(CompileRequest) with Workload::conv3d")]]
-  KernelReport compileConv3d(const Conv3dLayer &Layer,
-                             const CpuBackend &Backend);
 };
 
 } // namespace unit

@@ -38,6 +38,12 @@ void KernelCache::touchLocked(const Entry &E) const {
     Lru.splice(Lru.begin(), Lru, E.LruIt);
 }
 
+void KernelCache::accountLocked(const std::string &Key, Entry &E) {
+  size_t Now = entryBytesLocked(Key, E);
+  BytesResident += Now - E.AccountedBytes;
+  E.AccountedBytes = Now;
+}
+
 KernelCache::Entry &
 KernelCache::insertLocked(const std::string &Key,
                           std::shared_future<KernelReport> Fut) {
@@ -45,6 +51,7 @@ KernelCache::insertLocked(const std::string &Key,
   Entry &E = Entries[Key];
   E.Fut = std::move(Fut);
   E.LruIt = Lru.begin();
+  accountLocked(Key, E);
   return E;
 }
 
@@ -52,21 +59,29 @@ void KernelCache::eraseLocked(const std::string &Key) {
   auto It = Entries.find(Key);
   if (It == Entries.end())
     return;
+  BytesResident -= It->second.AccountedBytes;
   Lru.erase(It->second.LruIt);
   Entries.erase(It);
 }
 
 void KernelCache::enforceCapacityLocked() {
-  if (MaxEntries == 0 || Entries.size() <= MaxEntries)
+  // Both caps read O(1) state: entry count, and the incrementally
+  // maintained BytesResident — no per-insert walk over the cache.
+  auto Over = [this] {
+    return (MaxEntries != 0 && Entries.size() > MaxEntries) ||
+           (MaxBytes != 0 && BytesResident > MaxBytes);
+  };
+  if (!Over())
     return;
   // Walk from the cold end; in-flight compiles are skipped — evicting one
   // would break the single-flight guarantee for its waiters' key.
   auto It = Lru.end();
-  while (Entries.size() > MaxEntries && It != Lru.begin()) {
+  while (Over() && It != Lru.begin()) {
     --It;
     auto MapIt = Entries.find(*It);
     if (MapIt == Entries.end() || !isReady(MapIt->second.Fut))
       continue;
+    BytesResident -= MapIt->second.AccountedBytes;
     It = Lru.erase(It);
     Entries.erase(MapIt);
     Evictions.fetch_add(1);
@@ -109,7 +124,13 @@ KernelReport KernelCache::getOrCompute(const std::string &Key,
     {
       // Capacity is enforced only once the winner is ready: the new entry
       // sits at the LRU front, so eviction hits the coldest ready keys.
+      // Re-account it first — readiness grew it by the intrinsic name
+      // (a concurrent erase may already have dropped it; that path
+      // subtracted the stale accounted size, keeping the sum exact).
       std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Entries.find(Key);
+      if (It != Entries.end())
+        accountLocked(Key, It->second);
       enforceCapacityLocked();
     }
     return Report;
@@ -170,6 +191,7 @@ void KernelCache::eraseReady(const std::string &Key) {
   auto It = Entries.find(Key);
   if (It == Entries.end() || !isReady(It->second.Fut))
     return;
+  BytesResident -= It->second.AccountedBytes;
   Lru.erase(It->second.LruIt);
   Entries.erase(It);
 }
@@ -188,6 +210,7 @@ void KernelCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Entries.clear();
   Lru.clear();
+  BytesResident = 0;
 }
 
 void KernelCache::setCapacity(size_t NewMaxEntries) {
@@ -199,6 +222,17 @@ void KernelCache::setCapacity(size_t NewMaxEntries) {
 size_t KernelCache::capacity() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return MaxEntries;
+}
+
+void KernelCache::setByteCapacity(size_t NewMaxBytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MaxBytes = NewMaxBytes;
+  enforceCapacityLocked();
+}
+
+size_t KernelCache::byteCapacity() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return MaxBytes;
 }
 
 KernelCache::CacheStats KernelCache::stats() const {

@@ -16,7 +16,8 @@
 /// concurrently, one compiles and the other waits on the same future — a
 /// model with repeated shapes never tunes a shape twice.
 ///
-/// The cache is bounded (optionally) by an LRU entry cap, and persists to
+/// The cache is bounded (optionally) by an LRU entry cap and/or an LRU
+/// byte cap over the resident-byte accounting, and persists to
 /// disk: save() writes the surviving ready entries under a caller-supplied
 /// fingerprint (machine parameters + format version), and load() rejects
 /// files whose fingerprint does not match byte-for-byte — stale or
@@ -56,8 +57,12 @@ public:
   using Compiler = std::function<KernelReport()>;
 
   /// \p MaxEntries == 0 means unbounded; otherwise least-recently-used
-  /// ready entries are evicted once the cap is exceeded.
-  explicit KernelCache(size_t MaxEntries = 0) : MaxEntries(MaxEntries) {}
+  /// ready entries are evicted once the cap is exceeded. \p MaxBytes
+  /// bounds the resident-byte accounting (bytesUsed()) the same way;
+  /// both caps may be active at once and are enforced independently.
+  /// In-flight entries are never evicted by either cap.
+  explicit KernelCache(size_t MaxEntries = 0, size_t MaxBytes = 0)
+      : MaxEntries(MaxEntries), MaxBytes(MaxBytes) {}
 
   /// Returns the cached report for \p Key, compiling it with \p Compile on
   /// a miss. Concurrent misses on one key run \p Compile exactly once; the
@@ -101,6 +106,12 @@ public:
   void setCapacity(size_t NewMaxEntries);
   size_t capacity() const;
 
+  /// Changes the LRU byte cap (0 = unbounded); evicts immediately when
+  /// the current accounting exceeds the new cap. Eviction walks from the
+  /// cold end of the LRU list, skipping in-flight entries.
+  void setByteCapacity(size_t NewMaxBytes);
+  size_t byteCapacity() const;
+
   struct CacheStats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -114,15 +125,15 @@ public:
   /// key (stored twice — hash-map key and LRU node), the report's owned
   /// intrinsic-name string, and the fixed per-entry bookkeeping. In-flight
   /// entries count without their (not-yet-known) intrinsic name. This is
-  /// the sizing signal a long-lived server reports; the eviction *cap*
-  /// stays entry-count based (ROADMAP "cache sizing policy", first half).
+  /// the sizing signal a long-lived server reports, and the quantity the
+  /// byte cap (setByteCapacity / SessionConfig::CacheCapacityBytes)
+  /// bounds.
   ///
-  /// Deliberately an O(entries) walk under the mutex rather than an
-  /// incrementally maintained counter: an entry's size changes when its
-  /// in-flight future becomes ready (the intrinsic name materializes),
-  /// and keeping a counter exact across that transition racing erase()
-  /// is subtle, while the walk costs ~10µs/1k entries on a rare,
-  /// operator-driven stats path.
+  /// An O(entries) walk under the mutex — exact at the instant of the
+  /// call, including in-flight -> ready growth the incremental counter
+  /// only folds in at the winner's completion. Fine for the rare,
+  /// operator-driven stats path (~10µs/1k entries); cap *enforcement*
+  /// reads the O(1) counter instead.
   size_t bytesUsed() const;
 
   /// Per-entry byte accounting, most-recently-used first. Canonical keys
@@ -180,18 +191,29 @@ private:
   struct Entry {
     std::shared_future<KernelReport> Fut;
     std::list<std::string>::iterator LruIt; ///< Position in Lru.
+    /// The byte count this entry last contributed to BytesResident.
+    /// Storing it makes the incremental counter exact: whatever was
+    /// added is what gets subtracted on erase, even across the
+    /// in-flight -> ready size transition.
+    size_t AccountedBytes = 0;
   };
 
   /// Moves \p E's node to the front of the LRU list (splice keeps the
   /// stored iterator valid, so the entry itself is untouched). Mu held.
   void touchLocked(const Entry &E) const;
+  /// Recomputes \p E's resident bytes, folds the delta into
+  /// BytesResident, and stores the new value. Mu must be held. Called
+  /// on insert and when an in-flight entry becomes ready (the intrinsic
+  /// name materializes).
+  void accountLocked(const std::string &Key, Entry &E);
   /// Inserts an entry (Mu must be held) and returns its map slot.
   Entry &insertLocked(const std::string &Key,
                       std::shared_future<KernelReport> Fut);
   /// Erases \p Key from map + LRU list. Mu must be held.
   void eraseLocked(const std::string &Key);
-  /// Evicts ready LRU-tail entries until size() <= MaxEntries (in-flight
-  /// compiles are never evicted). Mu must be held.
+  /// Evicts ready LRU-tail entries until size() <= MaxEntries and the
+  /// byte accounting <= MaxBytes (in-flight compiles are never evicted).
+  /// Mu must be held.
   void enforceCapacityLocked();
   /// Approximate bytes one entry keeps resident. Mu must be held.
   size_t entryBytesLocked(const std::string &Key, const Entry &E) const;
@@ -202,6 +224,10 @@ private:
   /// refresh recency), hence mutable.
   mutable std::list<std::string> Lru;
   size_t MaxEntries = 0;
+  size_t MaxBytes = 0;
+  /// Sum of every entry's AccountedBytes — the O(1) signal the byte cap
+  /// is enforced against (bytesUsed()/stats() keep their exact walk).
+  size_t BytesResident = 0;
   mutable std::atomic<uint64_t> Hits{0}; ///< peek() is a const hit path.
   std::atomic<uint64_t> Misses{0};
   std::atomic<uint64_t> Evictions{0};

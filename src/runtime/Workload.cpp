@@ -3,7 +3,7 @@
 #include "runtime/Workload.h"
 
 #include "core/Isomorphism.h"
-#include "runtime/TargetRegistry.h"
+#include "target/TargetRegistry.h"
 #include "support/ErrorHandling.h"
 
 using namespace unit;
@@ -95,11 +95,24 @@ KernelReport Workload::compileWith(const TargetBackend &Backend,
   reportFatalError("Workload: unknown kind");
 }
 
-CompiledKernel unit::compileWorkload(const Workload &W, TargetKind Target,
+CompiledKernel unit::compileWorkload(const Workload &W,
+                                     const std::string &Target,
                                      const TuneHook &Tune) {
-  LaidOutOp Laid = W.buildOp(quantSchemeFor(Target));
+  TargetBackendRef Backend = TargetRegistry::instance().get(Target);
+  LaidOutOp Laid = W.buildOp(Backend->scheme());
+  return compileForIntrinsics(Laid.Op, Backend->intrinsics(), Tune);
+}
+
+CompiledKernel unit::compileForTarget(const ComputeOpRef &Op,
+                                      const std::string &Target,
+                                      const TuneHook &Tune) {
+  // Declared in core/Pipeline.h, defined here: the registry resolution
+  // must live above core/, and routing through the backend (not the
+  // global IntrinsicRegistry) means spec-only targets ("x86-amx", ...)
+  // have their instructions in play even in a process that never
+  // touched TargetRegistry::instance() before this call.
   return compileForIntrinsics(
-      Laid.Op, IntrinsicRegistry::instance().forTarget(Target), Tune);
+      Op, TargetRegistry::instance().get(Target)->intrinsics(), Tune);
 }
 
 LaidOutOp Workload::buildOp(const QuantScheme &Scheme) const {

@@ -81,11 +81,12 @@ private:
 };
 
 /// The unified pipeline entry: canonicalizes \p W into its laid-out
-/// tensor operation under \p Target's quantization scheme, then runs the
-/// core Inspector -> Rewriter -> Replacer pipeline against the target's
-/// registered instructions. Every workload kind shares this one path;
-/// core/Pipeline's compileForTarget is the raw-op special case.
-CompiledKernel compileWorkload(const Workload &W, TargetKind Target,
+/// tensor operation under the registered target id \p Target's
+/// quantization scheme, then runs the core Inspector -> Rewriter ->
+/// Replacer pipeline against the target's registered instructions. Every
+/// workload kind shares this one path; core/Pipeline's compileForTarget
+/// is the raw-op special case.
+CompiledKernel compileWorkload(const Workload &W, const std::string &Target,
                                const TuneHook &Tune = {});
 
 } // namespace unit

@@ -120,13 +120,13 @@ CompileClient::decodeResult(const Json &Response, std::string *Err) {
 }
 
 std::optional<CompileClient::CompileResult>
-CompileClient::compileWorkload(TargetKind Target, Json WorkloadJson,
+CompileClient::compileWorkload(const std::string &Target, Json WorkloadJson,
                                const CompileOptions &Options,
                                std::string *Err) {
   Json J = Json::object();
   J.set("type", "compile");
   J.set("id", NextId++);
-  J.set("target", targetName(Target));
+  J.set("target", Target);
   J.set("workload", std::move(WorkloadJson));
   J.set("options", toJson(Options));
   std::optional<Json> Response = roundTrip(J, "result", Err);
@@ -136,19 +136,20 @@ CompileClient::compileWorkload(TargetKind Target, Json WorkloadJson,
 }
 
 std::optional<CompileClient::CompileResult>
-CompileClient::compileConv(TargetKind Target, const ConvLayer &Layer,
+CompileClient::compileConv(const std::string &Target, const ConvLayer &Layer,
                            const CompileOptions &Options, std::string *Err) {
   return compileWorkload(Target, toJson(Layer), Options, Err);
 }
 
 std::optional<CompileClient::CompileResult>
-CompileClient::compileConv3d(TargetKind Target, const Conv3dLayer &Layer,
+CompileClient::compileConv3d(const std::string &Target,
+                             const Conv3dLayer &Layer,
                              const CompileOptions &Options, std::string *Err) {
   return compileWorkload(Target, toJson(Layer), Options, Err);
 }
 
 std::optional<CompileClient::CompileResult>
-CompileClient::compileDense(TargetKind Target, const std::string &Name,
+CompileClient::compileDense(const std::string &Target, const std::string &Name,
                             int64_t In, int64_t Out,
                             const CompileOptions &Options, std::string *Err) {
   Json Work = Json::object();
@@ -160,12 +161,12 @@ CompileClient::compileDense(TargetKind Target, const std::string &Name,
 }
 
 std::optional<CompileClient::ModelResult>
-CompileClient::compileModel(TargetKind Target, const Model &M,
+CompileClient::compileModel(const std::string &Target, const Model &M,
                             const CompileOptions &Options, std::string *Err) {
   Json J = Json::object();
   J.set("type", "compile_model");
   J.set("id", NextId++);
-  J.set("target", targetName(Target));
+  J.set("target", Target);
   J.set("model", toJson(M));
   J.set("options", toJson(Options));
   std::optional<Json> Response = roundTrip(J, "model_result", Err);
@@ -194,6 +195,36 @@ CompileClient::compileModel(TargetKind Target, const Model &M,
       static_cast<size_t>(Response->integer("cache_hit_layers"));
   R.ServerWallSeconds = Response->num("wall_seconds");
   return R;
+}
+
+std::optional<std::vector<CompileClient::TargetInfo>>
+CompileClient::listTargets(std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "list_targets");
+  J.set("id", NextId++);
+  std::optional<Json> Response = roundTrip(J, "targets", Err);
+  if (!Response)
+    return std::nullopt;
+  const Json *Targets = Response->get("targets");
+  if (!Targets || !Targets->isArray()) {
+    setErr(Err, "targets response missing 'targets'");
+    return std::nullopt;
+  }
+  std::vector<TargetInfo> Out;
+  Out.reserve(Targets->items().size());
+  for (const Json &T : Targets->items()) {
+    TargetInfo Info;
+    Info.Id = T.str("id");
+    Info.Description = T.str("description");
+    Info.SupportsConv3d = T.boolean("conv3d", false);
+    Info.SpecHash = T.str("spec_hash");
+    if (const Json *Intrs = T.get("intrinsics"))
+      for (const Json &I : Intrs->items())
+        if (I.isString())
+          Info.Intrinsics.push_back(I.asString());
+    Out.push_back(std::move(Info));
+  }
+  return Out;
 }
 
 std::optional<Json> CompileClient::stats(bool Detail, std::string *Err) {

@@ -57,15 +57,15 @@ public:
     KernelReport Report;
     bool Cached = false; ///< Served from a pre-existing ready entry.
   };
-  std::optional<CompileResult> compileConv(TargetKind Target,
+  std::optional<CompileResult> compileConv(const std::string &Target,
                                            const ConvLayer &Layer,
                                            const CompileOptions &Options = {},
                                            std::string *Err = nullptr);
-  std::optional<CompileResult> compileConv3d(TargetKind Target,
+  std::optional<CompileResult> compileConv3d(const std::string &Target,
                                              const Conv3dLayer &Layer,
                                              const CompileOptions &Options = {},
                                              std::string *Err = nullptr);
-  std::optional<CompileResult> compileDense(TargetKind Target,
+  std::optional<CompileResult> compileDense(const std::string &Target,
                                             const std::string &Name,
                                             int64_t In, int64_t Out,
                                             const CompileOptions &Options = {},
@@ -78,9 +78,25 @@ public:
     size_t CacheHitLayers = 0;
     double ServerWallSeconds = 0; ///< Compile wall time inside the server.
   };
-  std::optional<ModelResult> compileModel(TargetKind Target, const Model &M,
+  std::optional<ModelResult> compileModel(const std::string &Target,
+                                          const Model &M,
                                           const CompileOptions &Options = {},
                                           std::string *Err = nullptr);
+
+  /// One backend the server advertises (the list_targets message): its
+  /// target id, description, conv3d capability, spec hash, and
+  /// instruction names.
+  struct TargetInfo {
+    std::string Id;
+    std::string Description;
+    bool SupportsConv3d = false;
+    std::string SpecHash;
+    std::vector<std::string> Intrinsics;
+  };
+  /// Asks the server which targets it can compile for — how a client
+  /// discovers backends instead of hard-coding an id list.
+  std::optional<std::vector<TargetInfo>> listTargets(std::string *Err =
+                                                         nullptr);
 
   /// The server's stats_result message (left as Json: the schema is the
   /// protocol's, docs/SERVER.md; \p Detail adds per-entry cache bytes).
@@ -100,7 +116,7 @@ private:
                                 std::string *Err);
   /// The shared compile envelope: every compile* method encodes its
   /// workload and funnels through here.
-  std::optional<CompileResult> compileWorkload(TargetKind Target,
+  std::optional<CompileResult> compileWorkload(const std::string &Target,
                                                Json WorkloadJson,
                                                const CompileOptions &Options,
                                                std::string *Err);

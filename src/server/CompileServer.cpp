@@ -4,6 +4,7 @@
 
 #include "runtime/CompileRequest.h"
 #include "runtime/Workload.h"
+#include "target/TargetRegistry.h"
 #include "tuner/Tuner.h"
 
 #include "support/Time.h"
@@ -410,6 +411,8 @@ Json CompileServer::handleRequest(Connection &Conn, const Json &Request,
     return handleCompile(Conn, Request);
   if (Type == "compile_model")
     return handleCompileModel(Conn, Request);
+  if (Type == "list_targets")
+    return handleListTargets(Request);
   if (Type == "stats")
     return handleStats(Request);
   if (Type == "save_cache")
@@ -511,11 +514,12 @@ void CompileServer::recordServed(Connection &Conn, double Seconds,
 }
 
 Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
-  std::optional<TargetKind> Target =
-      targetKindFromName(Request.str("target", "x86"));
+  // Targets resolve through the registry, not a protocol-level name
+  // table: a backend registered at runtime is immediately addressable.
+  const std::string TargetId = Request.str("target", "x86");
+  TargetBackendRef Target = TargetRegistry::instance().lookup(TargetId);
   if (!Target)
-    return errorResponse(Request,
-                         "unknown target '" + Request.str("target") + "'");
+    return errorResponse(Request, "unknown target '" + TargetId + "'");
   const Json *WorkloadJson = Request.get("workload");
   if (!WorkloadJson || !WorkloadJson->isObject())
     return errorResponse(Request, "missing 'workload' object");
@@ -545,10 +549,8 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
     // Routing conv3d to a backend without the hook would fatal-error the
     // daemon, so gate on the backend's declared capability — new
     // registered backends are picked up without touching the server.
-    if (!TargetRegistry::instance().get(*Target)->supportsConv3d())
-      return errorResponse(Request,
-                           "conv3d is not supported on " +
-                               Request.str("target", "x86"));
+    if (!Target->supportsConv3d())
+      return errorResponse(Request, "conv3d is not supported on " + TargetId);
     Conv3dLayer L;
     if (!conv3dLayerFromJson(*WorkloadJson, L, WireErr))
       return errorResponse(Request, WireErr);
@@ -557,7 +559,7 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
     return errorResponse(Request, "unknown workload kind '" + Kind + "'");
   }
 
-  CompileRequest Compile(std::move(*Work), *Target, Options);
+  CompileRequest Compile(std::move(*Work), Target, Options);
   // "Cached" means this request triggered no fresh compile: served by a
   // ready entry or a single-flight join of a concurrent client's
   // compile. The signal comes from the compile call itself (race-free,
@@ -585,11 +587,10 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
 }
 
 Json CompileServer::handleCompileModel(Connection &Conn, const Json &Request) {
-  std::optional<TargetKind> Target =
-      targetKindFromName(Request.str("target", "x86"));
+  const std::string TargetId = Request.str("target", "x86");
+  TargetBackendRef Target = TargetRegistry::instance().lookup(TargetId);
   if (!Target)
-    return errorResponse(Request,
-                         "unknown target '" + Request.str("target") + "'");
+    return errorResponse(Request, "unknown target '" + TargetId + "'");
   const Json *ModelJson = Request.get("model");
   if (!ModelJson)
     return errorResponse(Request, "missing 'model' object");
@@ -635,6 +636,32 @@ Json CompileServer::handleCompileModel(Connection &Conn, const Json &Request) {
   J.set("distinct_shapes", Result.DistinctShapes);
   J.set("cache_hit_layers", Result.CacheHitLayers);
   J.set("wall_seconds", Result.WallSeconds);
+  return J;
+}
+
+Json CompileServer::handleListTargets(const Json &Request) {
+  // The registry snapshot *is* the response: backends registered after
+  // the daemon started (in-process hosts can do that) appear here with
+  // no server change, which is how test_extensibility proves the
+  // spec-only integration story over the wire.
+  Json Targets = Json::array();
+  for (const TargetBackendRef &B : TargetRegistry::instance().all()) {
+    Json T = Json::object();
+    T.set("id", B->id());
+    T.set("description", B->description());
+    T.set("conv3d", B->supportsConv3d());
+    T.set("spec_hash", B->specHash());
+    Json Intrs = Json::array();
+    for (const TensorIntrinsicRef &I : B->intrinsics())
+      Intrs.push(I->name());
+    T.set("intrinsics", std::move(Intrs));
+    Targets.push(std::move(T));
+  }
+  Json J = Json::object();
+  J.set("type", "targets");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("targets", std::move(Targets));
   return J;
 }
 

@@ -165,6 +165,7 @@ private:
   Json handleHello(Connection &Conn, const Json &Request);
   Json handleCompile(Connection &Conn, const Json &Request);
   Json handleCompileModel(Connection &Conn, const Json &Request);
+  Json handleListTargets(const Json &Request);
   Json handleStats(const Json &Request);
   Json handleSaveCache(const Json &Request);
 

@@ -695,16 +695,6 @@ CompileOptions unit::optionsFromJson(const Json *J) {
   return O;
 }
 
-std::optional<TargetKind> unit::targetKindFromName(const std::string &Name) {
-  if (Name == "x86")
-    return TargetKind::X86;
-  if (Name == "arm")
-    return TargetKind::ARM;
-  if (Name == "nvgpu")
-    return TargetKind::NvidiaGPU;
-  return std::nullopt;
-}
-
 const char *unit::cachePolicyName(CachePolicy P) {
   switch (P) {
   case CachePolicy::Default:

@@ -15,8 +15,12 @@
 ///   - frame I/O over a socket fd (writeFrame / readFrame, EINTR-safe,
 ///     bounded by MaxFrameBytes so a corrupt length prefix cannot OOM);
 ///   - schema codecs between protocol JSON and the runtime types
-///     (ConvLayer, Conv3dLayer, Model, KernelReport, CompileOptions,
-///     TargetKind).
+///     (ConvLayer, Conv3dLayer, Model, KernelReport, CompileOptions).
+///
+/// Targets cross the wire as string ids ("x86", "arm-sve", ...); the
+/// server resolves them through the TargetRegistry, so a newly registered
+/// spec is addressable with no protocol change, and clients discover the
+/// live set with the list_targets message.
 ///
 /// Protocol evolution: ProtocolVersion is echoed in the welcome message;
 /// a client talking to a newer server must tolerate unknown response
@@ -31,7 +35,6 @@
 #include "graph/Graph.h"
 #include "runtime/CompileOptions.h"
 #include "runtime/KernelCache.h"
-#include "isa/TensorIntrinsic.h"
 
 #include <cstdint>
 #include <optional>
@@ -201,9 +204,6 @@ bool readIntField(const Json &Obj, const char *Key, int64_t Dflt,
 /// bind/probe so both ends accept exactly the same paths.
 bool makeUnixSocketAddr(const std::string &Path, struct sockaddr_un &Addr,
                         std::string *Err);
-
-/// "x86" / "arm" / "nvgpu" (targetName strings).
-std::optional<TargetKind> targetKindFromName(const std::string &Name);
 
 const char *cachePolicyName(CachePolicy P);
 std::optional<CachePolicy> cachePolicyFromName(const std::string &Name);

@@ -15,7 +15,7 @@ bool RemoteCpuEngine::connect(const std::string &SocketPath,
 }
 
 std::string RemoteCpuEngine::name() const {
-  return std::string("UNIT (") + targetName(Target) + ", remote)";
+  return "UNIT (" + Target + ", remote)";
 }
 
 double RemoteCpuEngine::convSeconds(const ConvLayer &Layer) {

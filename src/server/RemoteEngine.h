@@ -36,15 +36,15 @@ namespace unit {
 class RemoteCpuEngine : public InferenceEngine {
   CompileClient Client;
   CpuMachine Machine;
-  TargetKind Target;
+  std::string Target;
   /// ConvLayer::shapeKey -> modeled seconds. The shape key is a strictly
   /// finer partition than the server's canonical cache key, so memoizing
   /// locally is sound (same reasoning as CpuBackend's key memo).
   std::unordered_map<std::string, double> SecondsByShape;
 
 public:
-  RemoteCpuEngine(CpuMachine Machine, TargetKind Target)
-      : Machine(std::move(Machine)), Target(Target) {}
+  RemoteCpuEngine(CpuMachine Machine, std::string Target)
+      : Machine(std::move(Machine)), Target(std::move(Target)) {}
 
   /// Connects and sends hello; \p MaxCandidates > 0 registers this
   /// engine's per-client tuning budget with the server.

@@ -1,0 +1,123 @@
+//===- target/BuiltinSpecs.cpp ---------------------------------------------===//
+
+#include "target/BuiltinSpecs.h"
+
+#include "isa/Intrinsics.h"
+
+using namespace unit;
+
+TargetSpec unit::x86VnniSpec() {
+  TargetSpec S;
+  S.Id = "x86";
+  S.Description = "AVX-512 VNNI dot product, Cascade Lake (c5.12xlarge)";
+  S.Engine = TargetSpec::EngineKind::CpuDot;
+  S.Cpu = CpuMachine::cascadeLake();
+  S.Scheme = {DataType::u8(), DataType::i8(), DataType::i32(), 16, 4};
+  S.Intrinsics = {makeVNNIVpdpbusd(), makeVNNIVpdpbusd256(),
+                  makeVNNIVpdpbusd128(), makeAVX512Vpdpwssd()};
+  return S;
+}
+
+TargetSpec unit::armDotSpec() {
+  TargetSpec S;
+  S.Id = "arm";
+  S.Description = "NEON SDOT/UDOT, Graviton2 Neoverse N1 (m6g.8xlarge)";
+  S.Engine = TargetSpec::EngineKind::CpuDot;
+  S.Cpu = CpuMachine::graviton2();
+  S.Scheme = {DataType::i8(), DataType::i8(), DataType::i32(), 4, 4};
+  S.Intrinsics = {makeARMSdot(), makeARMUdot()};
+  return S;
+}
+
+TargetSpec unit::nvgpuWmmaSpec() {
+  TargetSpec S;
+  S.Id = "nvgpu";
+  S.Description = "Tensor Core WMMA implicit GEMM, V100 (p3.2xlarge)";
+  S.Engine = TargetSpec::EngineKind::GpuImplicitGemm;
+  S.Gpu = GpuMachine::v100();
+  S.Scheme = {DataType::f16(), DataType::f16(), DataType::f32(), 16, 16};
+  S.Intrinsics = {makeWMMAF16(), makeWMMAS8()};
+  S.SupportsConv3d = false; // Implicit-GEMM path is 2d-conv only.
+  return S;
+}
+
+TargetSpec unit::x86AmxSpec() {
+  // Spec-only backend #1: AMX tiles on a Sapphire Rapids-class machine.
+  // Everything below — the machine parameters included — lives in this
+  // one function; no other compiler file names "x86-amx".
+  TargetSpec S;
+  S.Id = "x86-amx";
+  S.Description = "AMX tile int8 matmul (16x64 tiles), Sapphire Rapids "
+                  "(c7i.12xlarge)";
+  S.Engine = TargetSpec::EngineKind::CpuDot;
+
+  CpuMachine M;
+  M.Name = "c7i.12xlarge (Sapphire Rapids 8488C)";
+  M.FreqGHz = 3.2;
+  M.Cores = 24;
+  M.LoadPortsPerCycle = 3.0; // SPR: three load pipes feed the tile unit.
+  M.ForkJoinCycles = 15000.0;
+  M.PerChunkSchedCycles = 150.0;
+  M.ICacheBodyBudgetBytes = 8192.0;
+  M.ResidueBranchPenalty = 0.35;
+  M.DramBytesPerCycle = 60.0; // DDR5: ~190 GB/s at 3.2 GHz.
+  M.L2BytesPerCore = 2.0 * 1024.0 * 1024.0;
+  M.SimdVectorBytes = 64.0;
+  M.SimdPipes = 2.0;
+  M.WideningFactorNoDot = 3.0;
+  S.Cpu = M;
+
+  // One tdpbusd consumes a 16-row x 64-byte A tile against B and
+  // accumulates 16 i32 lanes per row step: modeled as a 16-lane x
+  // 64-wide dot product (16x64 = 1024 MACs per instruction). The tile
+  // unit retires one tdpbusd every other cycle with ~52-cycle
+  // result-to-use latency — exactly the hazard the tuner's accumulator
+  // unrolling hides.
+  S.Scheme = {DataType::u8(), DataType::i8(), DataType::i32(), 16, 64};
+  IntrinsicCost Cost{/*LatencyCycles=*/52.0, /*IssuePerCycle=*/0.5,
+                     /*MacsPerInstr=*/1024.0};
+  S.Intrinsics = {makeDotProductIntrinsic(
+      "amx.tdpbusd", "llvm.x86.tdpbusd.internal", S.Id, /*Lanes=*/16,
+      /*Reduce=*/64, DataType::u8(), DataType::i8(), Cost)};
+  return S;
+}
+
+TargetSpec unit::armSveSpec() {
+  // Spec-only backend #2: 256-bit SVE on a Graviton3-class machine. A
+  // 256-bit vector holds 8 i32 accumulators, each fed by a 4-wide i8
+  // dot — twice NEON sdot's width at slightly higher latency.
+  TargetSpec S;
+  S.Id = "arm-sve";
+  S.Description = "SVE 256-bit scalable sdot (8 lanes x 4), Graviton3 "
+                  "(m7g.8xlarge)";
+  S.Engine = TargetSpec::EngineKind::CpuDot;
+
+  CpuMachine M;
+  M.Name = "m7g.8xlarge (Graviton3 Neoverse V1)";
+  M.FreqGHz = 2.6;
+  M.Cores = 32;
+  M.LoadPortsPerCycle = 2.0;
+  M.ForkJoinCycles = 12000.0;
+  M.PerChunkSchedCycles = 150.0;
+  M.ICacheBodyBudgetBytes = 6144.0;
+  M.ResidueBranchPenalty = 0.35;
+  M.DramBytesPerCycle = 80.0; // DDR5: ~210 GB/s at 2.6 GHz.
+  M.L2BytesPerCore = 1024.0 * 1024.0;
+  M.SimdVectorBytes = 32.0; // 256-bit SVE.
+  M.SimdPipes = 2.0;
+  M.WideningFactorNoDot = 8.0;
+  S.Cpu = M;
+
+  S.Scheme = {DataType::i8(), DataType::i8(), DataType::i32(), 8, 4};
+  IntrinsicCost Cost{/*LatencyCycles=*/4.0, /*IssuePerCycle=*/2.0,
+                     /*MacsPerInstr=*/32.0};
+  S.Intrinsics = {makeDotProductIntrinsic(
+      "sve.sdot.256", "llvm.aarch64.sve.sdot.nxv8i32", S.Id, /*Lanes=*/8,
+      /*Reduce=*/4, DataType::i8(), DataType::i8(), Cost)};
+  return S;
+}
+
+std::vector<TargetSpec> unit::builtinTargetSpecs() {
+  return {x86VnniSpec(), armDotSpec(), nvgpuWmmaSpec(), x86AmxSpec(),
+          armSveSpec()};
+}

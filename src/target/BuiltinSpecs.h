@@ -1,0 +1,54 @@
+//===- target/BuiltinSpecs.h - The shipped target descriptions ------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backends this build ships, each one a self-contained TargetSpec —
+/// the paper's three evaluation platforms plus two backends that exist
+/// *only* as specs (no compiler code anywhere mentions them), proving the
+/// integration story of §III.A:
+///
+///   x86      AVX-512 VNNI dot product on Cascade Lake (c5.12xlarge)
+///   arm      NEON SDOT/UDOT on Graviton2 (m6g.8xlarge)
+///   nvgpu    Tensor Core WMMA on V100 (p3.2xlarge)
+///   x86-amx  AMX tile int8 matmul (16-lane x 64-wide tiles), Sapphire
+///            Rapids-class machine — defined here, registered as a spec
+///   arm-sve  SVE 256-bit scalable sdot (8 lanes x 4), Graviton3-class
+///            machine — defined here, registered as a spec
+///
+/// TargetRegistry::instance() registers all five on first access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TARGET_BUILTINSPECS_H
+#define UNIT_TARGET_BUILTINSPECS_H
+
+#include "target/TargetSpec.h"
+
+#include <vector>
+
+namespace unit {
+
+/// "x86": u8 x i8 -> i32 VNNI, 16 lanes x 4 reduce, Cascade Lake.
+TargetSpec x86VnniSpec();
+
+/// "arm": i8 x i8 -> i32 SDOT, 4 lanes x 4 reduce, Graviton2.
+TargetSpec armDotSpec();
+
+/// "nvgpu": f16 -> f32 WMMA m16n16k16, V100 implicit-GEMM path.
+TargetSpec nvgpuWmmaSpec();
+
+/// "x86-amx": tdpbusd-style tile matmul, 16x64 int8 tiles. Spec-only.
+TargetSpec x86AmxSpec();
+
+/// "arm-sve": 256-bit scalable sdot, 8 lanes x 4 reduce. Spec-only.
+TargetSpec armSveSpec();
+
+/// All of the above, registration order.
+std::vector<TargetSpec> builtinTargetSpecs();
+
+} // namespace unit
+
+#endif // UNIT_TARGET_BUILTINSPECS_H

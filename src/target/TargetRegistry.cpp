@@ -1,6 +1,6 @@
-//===- runtime/TargetRegistry.cpp ------------------------------------------===//
+//===- target/TargetRegistry.cpp -------------------------------------------===//
 
-#include "runtime/TargetRegistry.h"
+#include "target/TargetRegistry.h"
 
 #include "core/Inspector.h"
 #include "core/Isomorphism.h"
@@ -9,27 +9,27 @@
 #include "perf/CostModel.h"
 #include "support/ErrorHandling.h"
 #include "support/StringUtils.h"
+#include "target/BuiltinSpecs.h"
 #include "tuner/Tuner.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 using namespace unit;
 
 TargetBackend::~TargetBackend() = default;
 
 std::vector<TensorIntrinsicRef> TargetBackend::intrinsics() const {
-  return IntrinsicRegistry::instance().forTarget(kind());
+  return IntrinsicRegistry::instance().forTarget(id());
 }
 
 std::string TargetBackend::conv3dKey(const Conv3dLayer &) const {
-  reportFatalError(std::string(targetName(kind())) +
-                   " backend does not support conv3d workloads");
+  reportFatalError(id() + " backend does not support conv3d workloads");
 }
 
 KernelReport TargetBackend::compileConv3d(const Conv3dLayer &, ThreadPool *,
                                           const CompileOptions &) const {
-  reportFatalError(std::string(targetName(kind())) +
-                   " backend does not support conv3d workloads");
+  reportFatalError(id() + " backend does not support conv3d workloads");
 }
 
 namespace {
@@ -62,24 +62,64 @@ int64_t dataParallelExtent(const ComputeOpRef &Op) {
   return Extent;
 }
 
+/// The spec's own instructions first (spec order is widest-first), then
+/// any instructions user code added to the global registry under the same
+/// target id — so a runtime-registered custom instruction still extends a
+/// spec backend, and a revised spec's instructions shadow the stale
+/// global copies dedup left behind.
+std::vector<TensorIntrinsicRef> specIntrinsics(const TargetSpec &Spec) {
+  std::vector<TensorIntrinsicRef> Out = Spec.Intrinsics;
+  std::unordered_set<std::string> Names;
+  for (const TensorIntrinsicRef &I : Out)
+    Names.insert(I->name());
+  for (const TensorIntrinsicRef &I :
+       IntrinsicRegistry::instance().forTarget(Spec.Id))
+    if (Names.insert(I->name()).second)
+      Out.push_back(I);
+  return Out;
+}
+
+/// The registered spec for \p TargetId with its machine block replaced.
+TargetSpec specWithMachine(const std::string &TargetId, CpuMachine Machine) {
+  TargetSpec Spec = TargetRegistry::instance().specFor(TargetId);
+  if (Spec.Engine != TargetSpec::EngineKind::CpuDot)
+    reportFatalError("target '" + TargetId + "' is not a CPU target");
+  Spec.Cpu = std::move(Machine);
+  return Spec;
+}
+
+TargetSpec specWithMachine(const std::string &TargetId, GpuMachine Machine) {
+  TargetSpec Spec = TargetRegistry::instance().specFor(TargetId);
+  if (Spec.Engine != TargetSpec::EngineKind::GpuImplicitGemm)
+    reportFatalError("target '" + TargetId + "' is not a GPU target");
+  Spec.Gpu = std::move(Machine);
+  return Spec;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
 // CpuBackend
 //===----------------------------------------------------------------------===//
 
-CpuBackend::CpuBackend(CpuMachine MachineIn, TargetKind TargetIn)
-    : Machine(std::move(MachineIn)), Target(TargetIn),
-      Scheme(quantSchemeFor(TargetIn)) {
-  if (TargetIn == TargetKind::NvidiaGPU)
-    reportFatalError("CpuBackend cannot serve the GPU target");
-  // Full parameter fingerprint, not just the name: two machines sharing
-  // a label but differing in any latency-relevant knob must never share
-  // cached reports.
-  Salt = std::string(targetName(Target)) + "|" + Machine.cacheFingerprint();
+CpuBackend::CpuBackend(TargetSpec SpecIn) : Spec(std::move(SpecIn)) {
+  Spec.validate();
+  if (Spec.Engine != TargetSpec::EngineKind::CpuDot)
+    reportFatalError("CpuBackend requires a CpuDot spec (target '" +
+                     Spec.Id + "')");
+  // The hash folds in the full machine-parameter fingerprint: two
+  // machines sharing a label but differing in any latency-relevant knob
+  // never share cached reports.
+  Hash = Spec.hash();
+  Salt = Spec.cacheSalt();
 }
 
-std::string CpuBackend::cacheSalt() const { return Salt; }
+CpuBackend::CpuBackend(CpuMachine Machine, const std::string &TargetId)
+    : CpuBackend(specWithMachine(TargetId, std::move(Machine))) {}
+
+std::vector<TensorIntrinsicRef> CpuBackend::intrinsics() const {
+  return specIntrinsics(Spec);
+}
 
 std::string CpuBackend::convKey(const ConvLayer &Layer) const {
   if (Layer.Depthwise)
@@ -94,10 +134,11 @@ std::string CpuBackend::convKey(const ConvLayer &Layer) const {
   // The CPU report is a pure function of the laid-out op, so the
   // canonical key is sound here: layers whose different raw shapes pad
   // to isomorphic blocked ops share one compiled kernel.
-  LaidOutOp Laid =
-      buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
-                        Scheme.Accumulator, Scheme.LaneMultiple,
-                        Scheme.ReduceMultiple);
+  LaidOutOp Laid = buildDirectConvOp(Layer, Spec.Scheme.Activation,
+                                     Spec.Scheme.Weight,
+                                     Spec.Scheme.Accumulator,
+                                     Spec.Scheme.LaneMultiple,
+                                     Spec.Scheme.ReduceMultiple);
   std::string Key = cacheSalt() + "|conv|" + canonicalComputeKey(*Laid.Op);
   std::lock_guard<std::mutex> Lock(KeyMu);
   KeyMemo.emplace(std::move(Shape), Key);
@@ -111,30 +152,31 @@ KernelReport CpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
     // No channel reduction, so the Inspector rejects every dot
     // instruction; price the SIMD schedule directly.
     KernelStats Stats = depthwiseSimdStats(Layer, /*WideningFactor=*/1.5);
-    Report.Seconds = simdLatencySeconds(Stats, Machine);
+    Report.Seconds = simdLatencySeconds(Stats, Spec.Cpu);
     return Report;
   }
-  LaidOutOp Laid =
-      buildDirectConvOp(Layer, Scheme.Activation, Scheme.Weight,
-                        Scheme.Accumulator, Scheme.LaneMultiple,
-                        Scheme.ReduceMultiple);
+  LaidOutOp Laid = buildDirectConvOp(Layer, Spec.Scheme.Activation,
+                                     Spec.Scheme.Weight,
+                                     Spec.Scheme.Accumulator,
+                                     Spec.Scheme.LaneMultiple,
+                                     Spec.Scheme.ReduceMultiple);
   std::optional<MatchResult> Match = firstMatch(Laid.Op, intrinsics());
   if (!Match) {
     KernelStats Stats = analyzeSimdFallback(
         Laid.Op, /*WideningFactor=*/1.0,
         static_cast<double>(Layer.outH()) * Layer.outW());
-    Report.Seconds = simdLatencySeconds(Stats, Machine);
+    Report.Seconds = simdLatencySeconds(Stats, Spec.Cpu);
     return Report;
   }
   TunedKernel Tuned =
-      tuneCpu(Laid.Op, *Match, Machine, Pool, Options.MaxCandidates);
+      tuneCpu(Laid.Op, *Match, Spec.Cpu, Pool, Options.MaxCandidates);
   return reportFromTuned(Tuned, Match->Intrinsic->name());
 }
 
 KernelReport CpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
                                    const CompileOptions &Options) const {
   if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
-    TunedKernel Tuned = tuneCpu(Op, *Match, Machine, Pool,
+    TunedKernel Tuned = tuneCpu(Op, *Match, Spec.Cpu, Pool,
                                 Options.MaxCandidates);
     return reportFromTuned(Tuned, Match->Intrinsic->name());
   }
@@ -142,11 +184,13 @@ KernelReport CpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
   KernelStats Stats =
       analyzeSimdFallback(Op, /*WideningFactor=*/1.0,
                           static_cast<double>(dataParallelExtent(Op)));
-  Report.Seconds = simdLatencySeconds(Stats, Machine);
+  Report.Seconds = simdLatencySeconds(Stats, Spec.Cpu);
   return Report;
 }
 
 std::string CpuBackend::conv3dKey(const Conv3dLayer &Layer) const {
+  if (!Spec.SupportsConv3d)
+    return TargetBackend::conv3dKey(Layer);
   std::string Shape = formatStr(
       "3d|c%lld.d%lld.h%lld.w%lld.k%lld.r%lld.st%lld.p%lld",
       static_cast<long long>(Layer.InC), static_cast<long long>(Layer.InD),
@@ -160,10 +204,11 @@ std::string CpuBackend::conv3dKey(const Conv3dLayer &Layer) const {
     if (It != KeyMemo.end())
       return It->second;
   }
-  LaidOutOp Laid =
-      buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
-                          Scheme.Accumulator, Scheme.LaneMultiple,
-                          Scheme.ReduceMultiple);
+  LaidOutOp Laid = buildDirectConv3dOp(Layer, Spec.Scheme.Activation,
+                                       Spec.Scheme.Weight,
+                                       Spec.Scheme.Accumulator,
+                                       Spec.Scheme.LaneMultiple,
+                                       Spec.Scheme.ReduceMultiple);
   std::string Key = cacheSalt() + "|conv3d|" + canonicalComputeKey(*Laid.Op);
   std::lock_guard<std::mutex> Lock(KeyMu);
   KeyMemo.emplace(std::move(Shape), Key);
@@ -173,15 +218,18 @@ std::string CpuBackend::conv3dKey(const Conv3dLayer &Layer) const {
 KernelReport CpuBackend::compileConv3d(const Conv3dLayer &Layer,
                                        ThreadPool *Pool,
                                        const CompileOptions &Options) const {
-  LaidOutOp Laid =
-      buildDirectConv3dOp(Layer, Scheme.Activation, Scheme.Weight,
-                          Scheme.Accumulator, Scheme.LaneMultiple,
-                          Scheme.ReduceMultiple);
+  if (!Spec.SupportsConv3d)
+    return TargetBackend::compileConv3d(Layer, Pool, Options);
+  LaidOutOp Laid = buildDirectConv3dOp(Layer, Spec.Scheme.Activation,
+                                       Spec.Scheme.Weight,
+                                       Spec.Scheme.Accumulator,
+                                       Spec.Scheme.LaneMultiple,
+                                       Spec.Scheme.ReduceMultiple);
   std::optional<MatchResult> Match = firstMatch(Laid.Op, intrinsics());
   if (!Match)
     reportFatalError("conv3d failed to tensorize");
   TunedKernel Tuned =
-      tuneCpu(Laid.Op, *Match, Machine, Pool, Options.MaxCandidates);
+      tuneCpu(Laid.Op, *Match, Spec.Cpu, Pool, Options.MaxCandidates);
   return reportFromTuned(Tuned, Match->Intrinsic->name());
 }
 
@@ -189,14 +237,21 @@ KernelReport CpuBackend::compileConv3d(const Conv3dLayer &Layer,
 // GpuBackend
 //===----------------------------------------------------------------------===//
 
-GpuBackend::GpuBackend(GpuMachine MachineIn)
-    : Machine(std::move(MachineIn)),
-      Scheme(quantSchemeFor(TargetKind::NvidiaGPU)) {
-  Salt = std::string(targetName(TargetKind::NvidiaGPU)) + "|" +
-         Machine.cacheFingerprint();
+GpuBackend::GpuBackend(TargetSpec SpecIn) : Spec(std::move(SpecIn)) {
+  Spec.validate();
+  if (Spec.Engine != TargetSpec::EngineKind::GpuImplicitGemm)
+    reportFatalError("GpuBackend requires a GpuImplicitGemm spec (target '" +
+                     Spec.Id + "')");
+  Hash = Spec.hash();
+  Salt = Spec.cacheSalt();
 }
 
-std::string GpuBackend::cacheSalt() const { return Salt; }
+GpuBackend::GpuBackend(GpuMachine Machine, const std::string &TargetId)
+    : GpuBackend(specWithMachine(TargetId, std::move(Machine))) {}
+
+std::vector<TensorIntrinsicRef> GpuBackend::intrinsics() const {
+  return specIntrinsics(Spec);
+}
 
 std::string GpuBackend::convKey(const ConvLayer &Layer) const {
   if (Layer.Depthwise)
@@ -214,7 +269,7 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
                                      const CompileOptions &Options) const {
   KernelReport Report;
   if (Layer.Depthwise) {
-    Report.Seconds = gpuCudaCoreConvSeconds(Layer, Machine, /*Scale=*/1.0);
+    Report.Seconds = gpuCudaCoreConvSeconds(Layer, Spec.Gpu, /*Scale=*/1.0);
     return Report;
   }
   // Enumerate the graph-level dimension-fusion choice alongside the kernel
@@ -223,15 +278,16 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
   double Best = 1e30;
   for (bool Fuse : {true, false}) {
     LaidOutOp Laid =
-        buildConvAsGemmOp(Layer, Scheme.Activation, Scheme.Accumulator,
-                          Scheme.LaneMultiple, Fuse);
+        buildConvAsGemmOp(Layer, Spec.Scheme.Activation,
+                          Spec.Scheme.Accumulator, Spec.Scheme.LaneMultiple,
+                          Fuse);
     std::optional<MatchResult> Match = firstMatch(Laid.Op, Intrs);
     if (!Match)
       continue;
     TunedKernel Tuned =
-        tuneGpu(Laid.Op, *Match, Machine, Pool, Options.MaxCandidates);
+        tuneGpu(Laid.Op, *Match, Spec.Gpu, Pool, Options.MaxCandidates);
     double Rearrange = Laid.RearrangeBytes /
-                       (Machine.DramBytesPerCycle * Machine.FreqGHz * 1e9);
+                       (Spec.Gpu.DramBytesPerCycle * Spec.Gpu.FreqGHz * 1e9);
     double Total = Tuned.LatencySeconds + Rearrange;
     if (Total < Best) {
       Best = Total;
@@ -246,7 +302,7 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
     Report.CandidatesTried += Tuned.CandidatesTried;
   }
   if (Best >= 1e30)
-    Best = gpuCudaCoreConvSeconds(Layer, Machine, 2.0);
+    Best = gpuCudaCoreConvSeconds(Layer, Spec.Gpu, 2.0);
   Report.Seconds = Best;
   return Report;
 }
@@ -254,7 +310,7 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
 KernelReport GpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
                                    const CompileOptions &Options) const {
   if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
-    TunedKernel Tuned = tuneGpu(Op, *Match, Machine, Pool,
+    TunedKernel Tuned = tuneGpu(Op, *Match, Spec.Gpu, Pool,
                                 Options.MaxCandidates);
     return reportFromTuned(Tuned, Match->Intrinsic->name());
   }
@@ -265,9 +321,9 @@ KernelReport GpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
   double Macs = static_cast<double>(dataParallelExtent(Op));
   for (const IterVar &IV : Op->reduceAxes())
     Macs *= static_cast<double>(IV->extent());
-  double MacsPerSecond = Machine.SMs * Machine.FmaPerCyclePerSM *
-                         Machine.FreqGHz * 1e9;
-  Report.Seconds = Macs / MacsPerSecond + Machine.KernelLaunchMicros * 1e-6;
+  double MacsPerSecond = Spec.Gpu.SMs * Spec.Gpu.FmaPerCyclePerSM *
+                         Spec.Gpu.FreqGHz * 1e9;
+  Report.Seconds = Macs / MacsPerSecond + Spec.Gpu.KernelLaunchMicros * 1e-6;
   return Report;
 }
 
@@ -276,39 +332,80 @@ KernelReport GpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
 //===----------------------------------------------------------------------===//
 
 TargetRegistry &TargetRegistry::instance() {
-  // Magic-static init is thread-safe; defaults are the paper's machines.
+  // Magic-static init is thread-safe; defaults are the shipped specs.
   static TargetRegistry *Registry = [] {
     auto *R = new TargetRegistry();
-    R->registerBackend(std::make_shared<CpuBackend>(CpuMachine::cascadeLake(),
-                                                    TargetKind::X86));
-    R->registerBackend(
-        std::make_shared<CpuBackend>(CpuMachine::graviton2(),
-                                     TargetKind::ARM));
-    R->registerBackend(std::make_shared<GpuBackend>(GpuMachine::v100()));
+    for (TargetSpec &Spec : builtinTargetSpecs())
+      R->registerSpec(std::move(Spec));
     return R;
   }();
   return *Registry;
+}
+
+TargetBackendRef TargetRegistry::registerSpec(TargetSpec Spec) {
+  Spec.validate();
+  // Make the spec's instructions visible to the global inspection
+  // helpers (inspectTarget, compileForTarget). Same-name entries are
+  // replaced in place: the built-in specs re-register the instructions
+  // registerBuiltinIntrinsics installed (identical objects in spirit),
+  // and a *revised* spec's instructions must be what the global
+  // registry serves too — never a stale previous revision.
+  IntrinsicRegistry &Intrs = IntrinsicRegistry::instance();
+  for (const TensorIntrinsicRef &I : Spec.Intrinsics)
+    Intrs.addOrReplace(I);
+
+  TargetBackendRef Backend;
+  if (Spec.Engine == TargetSpec::EngineKind::CpuDot)
+    Backend = std::make_shared<CpuBackend>(Spec);
+  else
+    Backend = std::make_shared<GpuBackend>(Spec);
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  Specs.insert_or_assign(Spec.Id, std::move(Spec));
+  registerBackendLocked(Backend);
+  return Backend;
 }
 
 void TargetRegistry::registerBackend(TargetBackendRef Backend) {
   if (!Backend)
     reportFatalError("TargetRegistry: null backend");
   std::lock_guard<std::mutex> Lock(Mu);
+  // A hand-written backend carries no spec; dropping the replaced
+  // registration's spec keeps specFor()'s contract honest.
+  Specs.erase(Backend->id());
+  registerBackendLocked(std::move(Backend));
+}
+
+void TargetRegistry::registerBackendLocked(TargetBackendRef Backend) {
   for (TargetBackendRef &B : Backends)
-    if (B->kind() == Backend->kind()) {
+    if (B->id() == Backend->id()) {
       B = std::move(Backend);
       return;
     }
   Backends.push_back(std::move(Backend));
 }
 
-TargetBackendRef TargetRegistry::get(TargetKind K) const {
+TargetBackendRef TargetRegistry::get(const std::string &Id) const {
+  if (TargetBackendRef B = lookup(Id))
+    return B;
+  reportFatalError("TargetRegistry: no backend registered for '" + Id + "'");
+}
+
+TargetBackendRef TargetRegistry::lookup(const std::string &Id) const {
   std::lock_guard<std::mutex> Lock(Mu);
   for (const TargetBackendRef &B : Backends)
-    if (B->kind() == K)
+    if (B->id() == Id)
       return B;
-  reportFatalError(std::string("TargetRegistry: no backend registered for ") +
-                   targetName(K));
+  return nullptr;
+}
+
+TargetSpec TargetRegistry::specFor(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Specs.find(Id);
+  if (It == Specs.end())
+    reportFatalError("TargetRegistry: no spec registered for '" + Id +
+                     "' (hand-written backends carry no spec)");
+  return It->second;
 }
 
 std::vector<TargetBackendRef> TargetRegistry::all() const {

@@ -1,0 +1,228 @@
+//===- target/TargetRegistry.h - Backend registration & dispatch ----------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide table of compilation backends, keyed by string target
+/// id. A backend bundles everything the runtime needs to compile for one
+/// platform — quantization scheme, machine model, intrinsic list, plan
+/// builder / tuner dispatch — and is almost always *materialized from a
+/// declarative TargetSpec* via registerSpec: the engines, the
+/// CompilerSession, the compile server, and the wire protocol all resolve
+/// targets here, so one registerSpec call is a complete new backend
+/// (docs/BACKENDS.md).
+///
+/// Two generic backend drivers cover the spec space: CpuBackend
+/// (direct-conv blocking + dot-product tuner) and GpuBackend
+/// (implicit-GEMM + tensor-core tuner). Hand-written TargetBackend
+/// subclasses remain possible through registerBackend for platforms
+/// neither driver fits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TARGET_TARGETREGISTRY_H
+#define UNIT_TARGET_TARGETREGISTRY_H
+
+#include "graph/Graph.h"
+#include "graph/Quantize.h"
+#include "runtime/CompileOptions.h"
+#include "runtime/KernelCache.h"
+#include "target/TargetSpec.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace unit {
+
+class ThreadPool;
+
+/// Compilation services for one hardware platform. Implementations are
+/// immutable and thread-safe: compile* methods may run concurrently from
+/// the CompilerSession's pool.
+class TargetBackend {
+public:
+  virtual ~TargetBackend();
+
+  /// The backend's target id ("x86", "arm-sve", ...): registry key, wire
+  /// name, and cache-key prefix component.
+  virtual const std::string &id() const = 0;
+
+  /// One-line human description (list_targets); may be empty.
+  virtual std::string description() const { return std::string(); }
+
+  /// Digest of the backend's full description — the TargetSpec hash for
+  /// spec-materialized backends. Folded into the persisted-cache
+  /// fingerprint so kernels never survive a spec revision.
+  virtual std::string specHash() const { return cacheSalt(); }
+
+  /// Prefixed to every cache key ("x86|<spec-hash>"), so backends of the
+  /// same id with different specs or machine models never share entries.
+  virtual std::string cacheSalt() const = 0;
+
+  /// The operand/accumulator types this platform's instructions consume.
+  virtual const QuantScheme &scheme() const = 0;
+
+  /// Registered instructions for this target, widest-first.
+  virtual std::vector<TensorIntrinsicRef> intrinsics() const;
+
+  /// Canonical cache key for one conv layer: the backend's salt plus the
+  /// structural serialization of the operation it would build, so two
+  /// layers that build isomorphic operations share one compiled kernel.
+  virtual std::string convKey(const ConvLayer &Layer) const = 0;
+
+  /// Tunes one conv layer. \p Pool, when non-null, scores tuning
+  /// candidates concurrently (result is identical either way);
+  /// \p Options.MaxCandidates caps the search space.
+  virtual KernelReport compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                                   const CompileOptions &Options = {}) const = 0;
+
+  /// Tunes one already-built tensor operation.
+  virtual KernelReport compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                                 const CompileOptions &Options = {}) const = 0;
+
+  /// Conv3d support (paper §VI.C). The base implementations fatal-error;
+  /// backends that can tensorize 3d convolutions override all three.
+  /// Hosts that must not abort on bad input (the compile server) check
+  /// supportsConv3d() before routing a conv3d workload here.
+  virtual bool supportsConv3d() const { return false; }
+  virtual std::string conv3dKey(const Conv3dLayer &Layer) const;
+  virtual KernelReport compileConv3d(const Conv3dLayer &Layer,
+                                     ThreadPool *Pool,
+                                     const CompileOptions &Options = {}) const;
+};
+
+using TargetBackendRef = std::shared_ptr<const TargetBackend>;
+
+/// UNIT on a dot-product CPU: the generic driver behind every CpuDot
+/// spec (x86 VNNI, ARM DOT, AMX tiles, SVE, ...).
+class CpuBackend : public TargetBackend {
+  TargetSpec Spec;
+  std::string Hash; ///< Spec.hash(), computed once.
+  std::string Salt; ///< Spec id + hash.
+  /// ConvLayer::shapeKey -> canonical cache key. The shape key is a
+  /// strictly finer partition than the canonical key, so memoizing is
+  /// sound — and it keeps the cache-hit path from rebuilding the whole
+  /// blocked-layout op just to probe the cache.
+  mutable std::mutex KeyMu;
+  mutable std::unordered_map<std::string, std::string> KeyMemo;
+
+public:
+  /// Materializes \p Spec (Engine must be CpuDot).
+  explicit CpuBackend(TargetSpec Spec);
+
+  /// The registered spec for \p TargetId with its machine swapped for
+  /// \p Machine — how an engine runs a registered target's pipeline on
+  /// custom machine parameters. Fatal-errors when \p TargetId is not a
+  /// spec-registered CPU target.
+  CpuBackend(CpuMachine Machine, const std::string &TargetId);
+
+  const std::string &id() const override { return Spec.Id; }
+  std::string description() const override { return Spec.Description; }
+  std::string specHash() const override { return Hash; }
+  std::string cacheSalt() const override { return Salt; }
+  const QuantScheme &scheme() const override { return Spec.Scheme; }
+  std::vector<TensorIntrinsicRef> intrinsics() const override;
+  std::string convKey(const ConvLayer &Layer) const override;
+  KernelReport compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                           const CompileOptions &Options = {}) const override;
+  KernelReport compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                         const CompileOptions &Options = {}) const override;
+
+  /// Conv3d flows through the same pipeline (paper §VI.C).
+  bool supportsConv3d() const override { return Spec.SupportsConv3d; }
+  std::string conv3dKey(const Conv3dLayer &Layer) const override;
+  KernelReport compileConv3d(const Conv3dLayer &Layer, ThreadPool *Pool,
+                             const CompileOptions &Options = {}) const override;
+
+  const CpuMachine &machine() const { return Spec.Cpu; }
+  const TargetSpec &spec() const { return Spec; }
+};
+
+/// UNIT on a tensor-core GPU: the generic driver behind GpuImplicitGemm
+/// specs. The conv compile enumerates the graph-level dimension-fusion
+/// choice alongside the kernel tuning space.
+class GpuBackend : public TargetBackend {
+  TargetSpec Spec;
+  std::string Hash;
+  std::string Salt;
+
+public:
+  /// Materializes \p Spec (Engine must be GpuImplicitGemm).
+  explicit GpuBackend(TargetSpec Spec);
+
+  /// The registered spec for \p TargetId with its machine swapped for
+  /// \p Machine (see CpuBackend's counterpart).
+  GpuBackend(GpuMachine Machine, const std::string &TargetId = "nvgpu");
+
+  const std::string &id() const override { return Spec.Id; }
+  std::string description() const override { return Spec.Description; }
+  std::string specHash() const override { return Hash; }
+  std::string cacheSalt() const override { return Salt; }
+  const QuantScheme &scheme() const override { return Spec.Scheme; }
+  std::vector<TensorIntrinsicRef> intrinsics() const override;
+  std::string convKey(const ConvLayer &Layer) const override;
+  KernelReport compileConv(const ConvLayer &Layer, ThreadPool *Pool,
+                           const CompileOptions &Options = {}) const override;
+  KernelReport compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
+                         const CompileOptions &Options = {}) const override;
+
+  const GpuMachine &machine() const { return Spec.Gpu; }
+  const TargetSpec &spec() const { return Spec; }
+};
+
+/// Process-wide target-id -> backend table. The shipped specs
+/// (target/BuiltinSpecs.h) are registered as defaults on first access;
+/// registering a spec or backend for an existing id replaces it — that is
+/// how a spec revision rolls out.
+class TargetRegistry {
+  mutable std::mutex Mu;
+  std::vector<TargetBackendRef> Backends;
+  /// Specs behind spec-registered backends, for specFor(). Kept in
+  /// lockstep with Backends: a hand-written registerBackend for an id
+  /// erases the id's spec.
+  std::unordered_map<std::string, TargetSpec> Specs;
+
+  TargetRegistry() = default;
+  /// Installs \p Backend under its id, replacing any previous
+  /// registration. Mu must be held.
+  void registerBackendLocked(TargetBackendRef Backend);
+
+public:
+  TargetRegistry(const TargetRegistry &) = delete;
+  TargetRegistry &operator=(const TargetRegistry &) = delete;
+
+  static TargetRegistry &instance();
+
+  /// Materializes a full backend from \p Spec (validated first), makes
+  /// its instructions visible to the global IntrinsicRegistry (by-name
+  /// dedup, so re-registering a revised spec is fine), and registers it
+  /// under Spec.Id — replacing any previous registration. This is the
+  /// whole integration surface for a new hardware target.
+  TargetBackendRef registerSpec(TargetSpec Spec);
+
+  /// Registers a hand-written backend (advanced; specs cover the normal
+  /// cases). Replaces any existing backend with the same id.
+  void registerBackend(TargetBackendRef Backend);
+
+  /// The backend for \p Id; fatal-errors when none is registered.
+  TargetBackendRef get(const std::string &Id) const;
+
+  /// The backend for \p Id, or null — the non-aborting lookup unvalidated
+  /// input (the wire protocol) resolves through.
+  TargetBackendRef lookup(const std::string &Id) const;
+
+  /// The spec \p Id was registered from; fatal-errors for ids that are
+  /// unknown or backed by a hand-written backend.
+  TargetSpec specFor(const std::string &Id) const;
+
+  std::vector<TargetBackendRef> all() const;
+};
+
+} // namespace unit
+
+#endif // UNIT_TARGET_TARGETREGISTRY_H

@@ -1,0 +1,71 @@
+//===- target/TargetSpec.cpp -----------------------------------------------===//
+
+#include "target/TargetSpec.h"
+
+#include "core/Isomorphism.h"
+#include "support/ErrorHandling.h"
+#include "support/StringUtils.h"
+
+using namespace unit;
+
+namespace {
+
+/// FNV-1a 64-bit. Collisions across the handful of spec revisions a
+/// deployment sees are astronomically unlikely, and a wrong hash only
+/// costs a cold cache, never a wrong kernel.
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+std::string TargetSpec::hash() const {
+  // Canonical description: every field that can change a compiled
+  // report. The inactive machine block is deliberately excluded — a
+  // CpuDot spec's report cannot depend on GPU parameters.
+  std::string Desc = "unit-target-spec-v1|" + Id + "|";
+  Desc += Engine == EngineKind::CpuDot ? "cpu-dot" : "gpu-implicit-gemm";
+  Desc += "|" + describeQuantScheme(Scheme);
+  Desc += "|machine:";
+  Desc += Engine == EngineKind::CpuDot ? Cpu.cacheFingerprint()
+                                       : Gpu.cacheFingerprint();
+  if (Engine == EngineKind::CpuDot)
+    Desc += SupportsConv3d ? "|conv3d" : "|no-conv3d";
+  for (const TensorIntrinsicRef &I : Intrinsics) {
+    Desc += "|intr:" + I->name() + ";" + I->llvmIntrinsic() + ";";
+    Desc += canonicalComputeKey(*I->semantics());
+    Desc += formatStr(";%a;%a;%a", I->cost().LatencyCycles,
+                      I->cost().IssuePerCycle, I->cost().MacsPerInstr);
+  }
+  return formatStr("%016llx",
+                   static_cast<unsigned long long>(fnv1a(Desc)));
+}
+
+std::string TargetSpec::cacheSalt() const { return Id + "|" + hash(); }
+
+void TargetSpec::validate() const {
+  if (Id.empty())
+    reportFatalError("TargetSpec: empty target id");
+  if (Id.find('|') != std::string::npos)
+    reportFatalError("TargetSpec '" + Id +
+                     "': target ids must not contain '|' (the cache-key "
+                     "separator)");
+  if (Intrinsics.empty())
+    reportFatalError("TargetSpec '" + Id + "': no instructions — describe "
+                     "at least one TensorIntrinsic");
+  for (const TensorIntrinsicRef &I : Intrinsics) {
+    if (!I)
+      reportFatalError("TargetSpec '" + Id + "': null intrinsic");
+    if (I->target() != Id)
+      reportFatalError("TargetSpec '" + Id + "': instruction '" + I->name() +
+                       "' is registered for target '" + I->target() + "'");
+  }
+  if (Scheme.LaneMultiple <= 0 || Scheme.ReduceMultiple <= 0)
+    reportFatalError("TargetSpec '" + Id +
+                     "': padding multiples must be positive");
+}

@@ -1,0 +1,103 @@
+//===- target/TargetSpec.h - Declarative backend description --------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §III.A claim made literal: integrating a new hardware
+/// backend is *registering a description*, not writing a compiler. A
+/// TargetSpec bundles everything the runtime needs for one platform —
+///
+///   - a string target id (the registry key, the wire name, the cache-key
+///     prefix): "x86", "arm-sve", "my-npu", ...;
+///   - the tensor-DSL instruction set (isa/TensorIntrinsic.h), widest
+///     first;
+///   - the quantization scheme the instructions consume
+///     (graph/Quantize.h);
+///   - the machine-model parameters the analytic cost model prices
+///     against (perf/MachineModel.h), driven by one of two generic
+///     compile strategies (direct-conv dot-product CPU, implicit-GEMM
+///     tensor-core GPU);
+///
+/// and TargetRegistry::registerSpec(spec) materializes a full backend
+/// from it: the graph quantizer, the Inspector, the tuner, the kernel
+/// cache, the compile server, and the wire protocol all pick the new
+/// target up with zero core-compiler edits (asserted in
+/// tests/test_extensibility.cpp). See docs/BACKENDS.md for a worked
+/// example.
+///
+/// spec.hash() digests every field that can change a compiled report;
+/// it prefixes cache keys and is folded into the persisted-cache
+/// fingerprint, so kernels tuned under one spec revision can never be
+/// served under another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_TARGET_TARGETSPEC_H
+#define UNIT_TARGET_TARGETSPEC_H
+
+#include "graph/Quantize.h"
+#include "isa/TensorIntrinsic.h"
+#include "perf/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace unit {
+
+/// Declarative description of one hardware backend.
+struct TargetSpec {
+  /// Registry key and wire name. Lowercase by convention; must be
+  /// non-empty and free of '|' (the cache-key field separator).
+  std::string Id;
+
+  /// One-line human description, surfaced by the server's list_targets.
+  std::string Description;
+
+  /// Which generic compile strategy drives the spec's machine block.
+  /// This is a strategy choice, not a target enumeration: every new
+  /// backend reuses one of the two existing pipelines with its own
+  /// parameters.
+  enum class EngineKind {
+    CpuDot,          ///< Direct-conv blocking + dot-product tuner (tuneCpu).
+    GpuImplicitGemm, ///< Implicit-GEMM view + tensor-core tuner (tuneGpu).
+  };
+  EngineKind Engine = EngineKind::CpuDot;
+
+  /// Machine-model parameters; the block matching Engine is used, the
+  /// other is ignored (and excluded from hash()).
+  CpuMachine Cpu;
+  GpuMachine Gpu;
+
+  /// The operand/accumulator types and padding multiples the spec's
+  /// instructions consume.
+  QuantScheme Scheme;
+
+  /// The tensor-DSL instruction set, widest-first (the Inspector takes
+  /// the first applicable instruction). Every instruction's target()
+  /// must equal Id.
+  std::vector<TensorIntrinsicRef> Intrinsics;
+
+  /// CpuDot only: conv3d workloads flow through the same direct-conv
+  /// pipeline (paper §VI.C). GpuImplicitGemm backends never support it.
+  bool SupportsConv3d = true;
+
+  /// Deterministic digest (16 hex chars) of the full description: id,
+  /// engine, scheme, active machine fingerprint, and every instruction's
+  /// name/semantics/cost. Any revision yields a new hash.
+  std::string hash() const;
+
+  /// "<Id>|<hash()>" — the prefix of every cache key compiled under this
+  /// spec, so two spec revisions (or two machines) never share entries.
+  std::string cacheSalt() const;
+
+  /// Fatal-errors on structural mistakes: empty or '|'-containing id, no
+  /// instructions, an instruction registered for a different target id,
+  /// or non-positive padding multiples.
+  void validate() const;
+};
+
+} // namespace unit
+
+#endif // UNIT_TARGET_TARGETSPEC_H

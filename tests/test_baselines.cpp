@@ -95,7 +95,7 @@ TEST(TvmManual, BetweenNeonAndUnitOnArm) {
   CpuMachine Machine = CpuMachine::graviton2();
   TvmNeonEngine Neon(Machine);
   TvmManualEngine Manual = makeTvmManualDot(Machine);
-  UnitCpuEngine Unit(Machine, TargetKind::ARM);
+  UnitCpuEngine Unit(Machine, "arm");
   Model R18 = makeResnet18();
   double NeonS = modelLatencySeconds(R18, Neon);
   double ManualS = modelLatencySeconds(R18, Manual);
@@ -108,14 +108,14 @@ TEST(TvmNeon, WideningGapIsLarge) {
   // Without DOT the same conv costs several times more.
   CpuMachine Machine = CpuMachine::graviton2();
   TvmNeonEngine Neon(Machine);
-  UnitCpuEngine Unit(Machine, TargetKind::ARM);
+  UnitCpuEngine Unit(Machine, "arm");
   ConvLayer L = midConv();
   EXPECT_GT(Neon.convSeconds(L) / Unit.convSeconds(L), 3.0);
 }
 
 TEST(Engines, DepthwisePathNeverTensorizes) {
   CpuMachine Machine = CpuMachine::cascadeLake();
-  UnitCpuEngine Unit(Machine, TargetKind::X86);
+  UnitCpuEngine Unit(Machine, "x86");
   ConvLayer Dw;
   Dw.Name = "dw";
   Dw.InC = Dw.OutC = 64;
@@ -130,7 +130,7 @@ TEST(Engines, DepthwisePathNeverTensorizes) {
 
 TEST(Engines, DenseLayerCompilesAsConv1x1) {
   CpuMachine Machine = CpuMachine::cascadeLake();
-  UnitCpuEngine Unit(Machine, TargetKind::X86);
+  UnitCpuEngine Unit(Machine, "x86");
   ConvLayer Fc;
   Fc.Name = "fc";
   Fc.InC = 512;

@@ -12,6 +12,7 @@
 #include "models/ModelZoo.h"
 #include "models/Table1.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 #include <gtest/gtest.h>
 
@@ -30,7 +31,7 @@ double geomean(const std::vector<double> &V) {
 
 TEST(E2E, EveryNonDepthwiseConvTensorizesOnX86) {
   CpuMachine Machine = CpuMachine::cascadeLake();
-  UnitCpuEngine Unit(Machine, TargetKind::X86);
+  UnitCpuEngine Unit(Machine, "x86");
   for (const Model &M : paperModels())
     for (const ConvLayer &L : M.Convs) {
       CpuLayerReport R = Unit.convReport(L);
@@ -42,7 +43,7 @@ TEST(E2E, CpuHeadline_UnitBeatsMxnetAndTvm) {
   CpuMachine Machine = CpuMachine::cascadeLake();
   MxnetOneDnnEngine Mxnet(Machine);
   TvmManualEngine Tvm = makeTvmManualVnni(Machine);
-  UnitCpuEngine Unit(Machine, TargetKind::X86);
+  UnitCpuEngine Unit(Machine, "x86");
   std::vector<double> VsMxnet, VsTvm;
   for (const Model &M : paperModels()) {
     double Base = modelLatencySeconds(M, Mxnet);
@@ -80,7 +81,7 @@ TEST(E2E, ArmHeadline_OrderingHolds) {
   CpuMachine Machine = CpuMachine::graviton2();
   TvmNeonEngine Neon(Machine);
   TvmManualEngine Manual = makeTvmManualDot(Machine);
-  UnitCpuEngine Unit(Machine, TargetKind::ARM);
+  UnitCpuEngine Unit(Machine, "arm");
   std::vector<double> VsNeon, VsManual;
   for (const Model &M : paperModels()) {
     double NeonS = modelLatencySeconds(M, Neon);
@@ -110,14 +111,14 @@ TEST(E2E, TuningConvergence_MostKernelsWithinFirst8Pairs) {
   // Paper §VI.B: >95% of kernels optimal within the first 8 tuning pairs,
   // more than half at the very first.
   CpuMachine Machine = CpuMachine::cascadeLake();
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
   int Total = 0, WithinFirst8 = 0;
   for (const ConvLayer &L : table1Workloads()) {
     LaidOutOp Laid =
         buildDirectConvOp(L, Scheme.Activation, Scheme.Weight,
                           Scheme.Accumulator, Scheme.LaneMultiple,
                           Scheme.ReduceMultiple);
-    std::vector<MatchResult> Ms = inspectTarget(Laid.Op, TargetKind::X86);
+    std::vector<MatchResult> Ms = inspectTarget(Laid.Op, "x86");
     ASSERT_FALSE(Ms.empty());
     TunedKernel T = tuneCpu(Laid.Op, Ms.front(), Machine);
     ++Total;
@@ -131,7 +132,7 @@ TEST(E2E, AdversarialCpuWorkloadsLoseToOneDnn) {
   // shapes can neither be perfectly tiled nor fully unrolled."
   CpuMachine Machine = CpuMachine::cascadeLake();
   OneDnnEngine OneDnn(Machine);
-  UnitCpuEngine Unit(Machine, TargetKind::X86);
+  UnitCpuEngine Unit(Machine, "x86");
   std::vector<ConvLayer> W = table1Workloads();
   EXPECT_GT(Unit.convSeconds(W[0]), OneDnn.convSeconds(W[0])) << "#1";
   EXPECT_GT(Unit.convSeconds(W[3]), OneDnn.convSeconds(W[3])) << "#4";
@@ -142,7 +143,7 @@ TEST(E2E, AdversarialCpuWorkloadsLoseToOneDnn) {
 TEST(E2E, Conv3dExtensibilityAveragesAboveOne) {
   // Paper Fig. 13: ~1.2x average over the oneDNN-style baseline.
   CpuMachine Machine = CpuMachine::cascadeLake();
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
   std::vector<double> Rel;
   std::vector<Conv3dLayer> Layers = makeResnet18Conv3d();
   for (size_t I = 0; I < Layers.size() && I < 6; ++I) {
@@ -150,7 +151,7 @@ TEST(E2E, Conv3dExtensibilityAveragesAboveOne) {
                                          Scheme.Weight, Scheme.Accumulator,
                                          Scheme.LaneMultiple,
                                          Scheme.ReduceMultiple);
-    std::vector<MatchResult> Ms = inspectTarget(Laid.Op, TargetKind::X86);
+    std::vector<MatchResult> Ms = inspectTarget(Laid.Op, "x86");
     ASSERT_FALSE(Ms.empty()) << "conv3d must tensorize unchanged";
     TensorizePlan Fixed =
         buildCpuPlan(Laid.Op, Ms.front(), CpuTuningPair{1024, 4});

@@ -6,6 +6,7 @@
 #include "graph/Fusion.h"
 #include "graph/Layout.h"
 #include "graph/Quantize.h"
+#include "target/TargetRegistry.h"
 
 #include <gtest/gtest.h>
 
@@ -46,7 +47,7 @@ TEST(Layout, DirectConvPadsChannels) {
 TEST(Layout, DirectConvAlwaysTensorizable) {
   LaidOutOp Laid = buildDirectConvOp(smallConv(), DataType::u8(),
                                      DataType::i8(), DataType::i32(), 16, 4);
-  EXPECT_FALSE(inspectTarget(Laid.Op, TargetKind::X86).empty())
+  EXPECT_FALSE(inspectTarget(Laid.Op, "x86").empty())
       << "padding must guarantee perfect tiling";
 }
 
@@ -54,7 +55,7 @@ TEST(Layout, BlockedConvBitExactThroughPipeline) {
   // The blocked-layout op must still tensorize bit-exactly.
   LaidOutOp Laid = buildDirectConvOp(smallConv(), DataType::u8(),
                                      DataType::i8(), DataType::i32(), 16, 4);
-  std::vector<MatchResult> Ms = inspectTarget(Laid.Op, TargetKind::X86);
+  std::vector<MatchResult> Ms = inspectTarget(Laid.Op, "x86");
   ASSERT_FALSE(Ms.empty());
   OpFixture F{Laid.Op, Laid.Op->inputs(), Laid.Op->output()};
   std::optional<CompiledKernel> K = compileWithIntrinsic(
@@ -73,7 +74,7 @@ TEST(Layout, Conv3dBlocked) {
   LaidOutOp Laid = buildDirectConv3dOp(L, DataType::u8(), DataType::i8(),
                                        DataType::i32(), 16, 4);
   EXPECT_EQ(Laid.Op->axes().size(), 5u);
-  EXPECT_FALSE(inspectTarget(Laid.Op, TargetKind::X86).empty());
+  EXPECT_FALSE(inspectTarget(Laid.Op, "x86").empty());
 }
 
 TEST(Layout, ConvAsGemmFusedPadsLess) {
@@ -102,17 +103,17 @@ TEST(Layout, ConvAsGemmTensorizableByWmma) {
 }
 
 TEST(Quantize, SchemesPerTarget) {
-  QuantScheme X86 = quantSchemeFor(TargetKind::X86);
+  QuantScheme X86 = TargetRegistry::instance().get("x86")->scheme();
   EXPECT_EQ(X86.Activation, DataType::u8());
   EXPECT_EQ(X86.Weight, DataType::i8());
   EXPECT_EQ(X86.LaneMultiple, 16);
   EXPECT_EQ(X86.ReduceMultiple, 4);
 
-  QuantScheme Arm = quantSchemeFor(TargetKind::ARM);
+  QuantScheme Arm = TargetRegistry::instance().get("arm")->scheme();
   EXPECT_EQ(Arm.Activation, DataType::i8());
   EXPECT_EQ(Arm.LaneMultiple, 4);
 
-  QuantScheme Gpu = quantSchemeFor(TargetKind::NvidiaGPU);
+  QuantScheme Gpu = TargetRegistry::instance().get("nvgpu")->scheme();
   EXPECT_EQ(Gpu.Activation, DataType::f16());
   EXPECT_EQ(Gpu.Accumulator, DataType::f32());
   EXPECT_EQ(Gpu.LaneMultiple, 16);

@@ -129,7 +129,7 @@ TEST(Inspector, AlternativesSurfaceAsTuningDimension) {
 TEST(Inspector, InspectTargetFindsSdotForI8Conv) {
   OpFixture F =
       makeConv2D(8, 8, 8, 16, 3, 3, 1, DataType::i8(), DataType::i8());
-  std::vector<MatchResult> Ms = inspectTarget(F.Op, TargetKind::ARM);
+  std::vector<MatchResult> Ms = inspectTarget(F.Op, "arm");
   ASSERT_EQ(Ms.size(), 1u);
   EXPECT_EQ(Ms[0].Intrinsic->name(), "arm.sdot");
 }
@@ -137,15 +137,15 @@ TEST(Inspector, InspectTargetFindsSdotForI8Conv) {
 TEST(Inspector, InspectTargetFindsUdotForU8U8) {
   OpFixture F =
       makeConv2D(8, 8, 8, 16, 3, 3, 1, DataType::u8(), DataType::u8());
-  std::vector<MatchResult> Ms = inspectTarget(F.Op, TargetKind::ARM);
+  std::vector<MatchResult> Ms = inspectTarget(F.Op, "arm");
   ASSERT_EQ(Ms.size(), 1u);
   EXPECT_EQ(Ms[0].Intrinsic->name(), "arm.udot");
 }
 
 TEST(Inspector, X86TargetRejectsF16Gemm) {
   OpFixture F = makeGemmF16(32, 32, 32);
-  EXPECT_TRUE(inspectTarget(F.Op, TargetKind::X86).empty());
-  EXPECT_EQ(inspectTarget(F.Op, TargetKind::NvidiaGPU).size(), 1u);
+  EXPECT_TRUE(inspectTarget(F.Op, "x86").empty());
+  EXPECT_EQ(inspectTarget(F.Op, "nvgpu").size(), 1u);
 }
 
 TEST(Inspector, Conv3DNoChangesNeeded) {
@@ -169,12 +169,12 @@ TEST(Inspector, NarrowChannelCountFallsToNarrowVnni) {
   // K=8 cannot host the 16-lane zmm form, but the ymm form takes it; the
   // widest applicable variant is returned first.
   OpFixture F = makeConv2D(8, 8, 8, 8, 3, 3);
-  std::vector<MatchResult> Ms = inspectTarget(F.Op, TargetKind::X86);
+  std::vector<MatchResult> Ms = inspectTarget(F.Op, "x86");
   ASSERT_FALSE(Ms.empty());
   EXPECT_EQ(Ms.front().Intrinsic->name(), "vnni.vpdpbusd.256");
   // A 16-channel conv still prefers the full-width instruction.
   OpFixture Wide = makeConv2D(8, 8, 8, 16, 3, 3);
-  std::vector<MatchResult> WideMs = inspectTarget(Wide.Op, TargetKind::X86);
+  std::vector<MatchResult> WideMs = inspectTarget(Wide.Op, "x86");
   ASSERT_FALSE(WideMs.empty());
   EXPECT_EQ(WideMs.front().Intrinsic->name(), "vnni.vpdpbusd");
 }

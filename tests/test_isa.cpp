@@ -24,11 +24,11 @@ TEST(Registry, BuiltinsPresent) {
 
 TEST(Registry, TargetFilter) {
   IntrinsicRegistry &R = IntrinsicRegistry::instance();
-  for (const auto &I : R.forTarget(TargetKind::X86))
-    EXPECT_EQ(I->target(), TargetKind::X86);
-  EXPECT_GE(R.forTarget(TargetKind::X86).size(), 2u);
-  EXPECT_GE(R.forTarget(TargetKind::ARM).size(), 2u);
-  EXPECT_GE(R.forTarget(TargetKind::NvidiaGPU).size(), 2u);
+  for (const auto &I : R.forTarget("x86"))
+    EXPECT_EQ(I->target(), "x86");
+  EXPECT_GE(R.forTarget("x86").size(), 2u);
+  EXPECT_GE(R.forTarget("arm").size(), 2u);
+  EXPECT_GE(R.forTarget("nvgpu").size(), 2u);
 }
 
 TEST(Intrinsic, VNNIShape) {

@@ -14,6 +14,7 @@
 #include "graph/Quantize.h"
 #include "perf/CostModel.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 #include <gtest/gtest.h>
 
@@ -157,7 +158,7 @@ TEST(AnalyzeTensorized, CountsCallsAndUnroll) {
 TEST(AnalyzeTensorized, BlockedLayoutLoadsPerCallIsSmall) {
   // The blocked KCRS[y]k[x]c layout makes the register block one load:
   // vpdpbusd needs ~2 loads/call, not 17.
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
   ConvLayer L;
   L.Name = "t";
   L.InC = 64;
@@ -167,7 +168,7 @@ TEST(AnalyzeTensorized, BlockedLayoutLoadsPerCallIsSmall) {
   LaidOutOp Laid =
       buildDirectConvOp(L, Scheme.Activation, Scheme.Weight,
                         Scheme.Accumulator, 16, 4);
-  std::vector<MatchResult> Ms = inspectTarget(Laid.Op, TargetKind::X86);
+  std::vector<MatchResult> Ms = inspectTarget(Laid.Op, "x86");
   ASSERT_FALSE(Ms.empty());
   TensorizePlan Plan = buildCpuPlan(Laid.Op, Ms.front(), CpuTuningPair{3000, 8});
   KernelStats S = analyzeTensorized(Plan);

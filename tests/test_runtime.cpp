@@ -7,7 +7,7 @@
 #include "runtime/CompileRequest.h"
 #include "runtime/CompilerSession.h"
 #include "runtime/KernelCache.h"
-#include "runtime/TargetRegistry.h"
+#include "target/TargetRegistry.h"
 #include "runtime/Workload.h"
 #include "support/ThreadPool.h"
 #include "tuner/Tuner.h"
@@ -90,7 +90,7 @@ TEST(CanonicalKey, OperandOrderMatters) {
 }
 
 TEST(CanonicalKey, ConvLayersWithRenamedVarsHitOneEntry) {
-  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef X86 = TargetRegistry::instance().get("x86");
   ConvLayer A{"stage1_unit2_conv", 64, 56, 56, 64, 3, 3, 1, 1, 1, false};
   ConvLayer B{"stage4_unit1_sc", 64, 56, 56, 64, 3, 3, 1, 1, 1, false};
   EXPECT_EQ(X86->convKey(A), X86->convKey(B));
@@ -100,7 +100,7 @@ TEST(CanonicalKey, ConvLayersWithRenamedVarsHitOneEntry) {
   EXPECT_NE(X86->convKey(A), X86->convKey(C));
 
   // Same layer on a different backend must never collide.
-  TargetBackendRef Arm = TargetRegistry::instance().get(TargetKind::ARM);
+  TargetBackendRef Arm = TargetRegistry::instance().get("arm");
   EXPECT_NE(X86->convKey(A), Arm->convKey(A));
 }
 
@@ -202,13 +202,13 @@ TEST(ParallelTuning, CpuSearchMatchesSequential) {
 TEST(CompilerSession, IsomorphicOpsShareOneCompile) {
   CompilerSession Session(sequentialConfig());
   OpFixture A = makeMatmulU8I8(64, 64, 64);
-  KernelReport RA = Session.compile({Workload::op(A.Op), TargetKind::X86});
+  KernelReport RA = Session.compile({Workload::op(A.Op), "x86"});
   EXPECT_TRUE(RA.Tensorized);
   EXPECT_EQ(Session.cache().size(), 1u);
 
   // Renamed twin: must be a cache hit, not a second entry.
   OpFixture B = makeMatmulU8I8(64, 64, 64);
-  KernelReport RB = Session.compile({Workload::op(B.Op), TargetKind::X86});
+  KernelReport RB = Session.compile({Workload::op(B.Op), "x86"});
   EXPECT_EQ(Session.cache().size(), 1u);
   EXPECT_EQ(Session.cache().stats().Hits, 1u);
   EXPECT_EQ(RA.Seconds, RB.Seconds);
@@ -217,8 +217,8 @@ TEST(CompilerSession, IsomorphicOpsShareOneCompile) {
 
 TEST(CompilerSession, EnginesShareTheSessionCache) {
   auto Session = std::make_shared<CompilerSession>(sequentialConfig());
-  UnitCpuEngine A(CpuMachine::cascadeLake(), TargetKind::X86, Session);
-  UnitCpuEngine B(CpuMachine::cascadeLake(), TargetKind::X86, Session);
+  UnitCpuEngine A(CpuMachine::cascadeLake(), "x86", Session);
+  UnitCpuEngine B(CpuMachine::cascadeLake(), "x86", Session);
   ConvLayer L{"conv", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
 
   A.convReport(L);
@@ -236,8 +236,8 @@ TEST(CompilerSession, ParallelModelCompileIsByteIdenticalToSequential) {
   ParConfig.Threads = 4;
   CompilerSession Par(ParConfig);
 
-  ModelCompileResult A = Seq.compileModel(Resnet, TargetKind::X86);
-  ModelCompileResult B = Par.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult A = Seq.compileModel(Resnet, "x86");
+  ModelCompileResult B = Par.compileModel(Resnet, "x86");
 
   ASSERT_EQ(A.Layers.size(), Resnet.Convs.size());
   ASSERT_EQ(A.Layers.size(), B.Layers.size());
@@ -258,8 +258,8 @@ TEST(CompilerSession, ParallelModelCompileIsByteIdenticalToSequential) {
 TEST(CompilerSession, SecondModelCompileIsAllHits) {
   CompilerSession Session(sequentialConfig());
   Model Resnet = makeResnet18();
-  ModelCompileResult Cold = Session.compileModel(Resnet, TargetKind::X86);
-  ModelCompileResult Warm = Session.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult Cold = Session.compileModel(Resnet, "x86");
+  ModelCompileResult Warm = Session.compileModel(Resnet, "x86");
   EXPECT_EQ(Warm.CacheHitLayers, Resnet.Convs.size());
   ASSERT_EQ(Cold.Layers.size(), Warm.Layers.size());
   for (size_t I = 0; I < Cold.Layers.size(); ++I)
@@ -268,9 +268,9 @@ TEST(CompilerSession, SecondModelCompileIsAllHits) {
 
 TEST(CompilerSession, ModelReportsAgreeWithEngineReports) {
   auto Session = std::make_shared<CompilerSession>(sequentialConfig());
-  UnitCpuEngine Engine(CpuMachine::cascadeLake(), TargetKind::X86, Session);
+  UnitCpuEngine Engine(CpuMachine::cascadeLake(), "x86", Session);
   Model Resnet = makeResnet18();
-  ModelCompileResult R = Session->compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult R = Session->compileModel(Resnet, "x86");
   // The registry's default X86 backend is Cascade Lake, so the engine's
   // per-layer numbers must be the same kernels.
   for (size_t I = 0; I < Resnet.Convs.size(); ++I)
@@ -287,13 +287,13 @@ TEST(CompilerSession, ConcurrentModelCompilesOnOneSessionComplete) {
   CompilerSession Session(C);
   Model Resnet = makeResnet18();
   ModelCompileResult RA, RB;
-  std::thread A([&] { RA = Session.compileModel(Resnet, TargetKind::X86); });
-  std::thread B([&] { RB = Session.compileModel(Resnet, TargetKind::X86); });
+  std::thread A([&] { RA = Session.compileModel(Resnet, "x86"); });
+  std::thread B([&] { RB = Session.compileModel(Resnet, "x86"); });
   A.join();
   B.join();
 
   CompilerSession Ref(sequentialConfig());
-  ModelCompileResult Expected = Ref.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult Expected = Ref.compileModel(Resnet, "x86");
   ASSERT_EQ(RA.Layers.size(), Expected.Layers.size());
   for (size_t I = 0; I < Expected.Layers.size(); ++I) {
     EXPECT_EQ(RA.Layers[I].Seconds, Expected.Layers[I].Seconds);
@@ -307,20 +307,20 @@ TEST(CompilerSession, SameNameDifferentMachinesDoNotShareEntries) {
   CpuMachine Fast = CpuMachine::cascadeLake();
   CpuMachine Slow = CpuMachine::cascadeLake();
   Slow.FreqGHz = 1.0;
-  CpuBackend A(Fast, TargetKind::X86), B(Slow, TargetKind::X86);
+  CpuBackend A(Fast, "x86"), B(Slow, "x86");
   ConvLayer L{"conv", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
   EXPECT_NE(A.convKey(L), B.convKey(L));
 
   auto Session = std::make_shared<CompilerSession>(sequentialConfig());
-  UnitCpuEngine EA(Fast, TargetKind::X86, Session);
-  UnitCpuEngine EB(Slow, TargetKind::X86, Session);
+  UnitCpuEngine EA(Fast, "x86", Session);
+  UnitCpuEngine EB(Slow, "x86", Session);
   EXPECT_LT(EA.convSeconds(L), EB.convSeconds(L));
 }
 
 TEST(CompilerSession, GpuModelCompileWorks) {
   CompilerSession Session(sequentialConfig());
   Model Resnet = makeResnet18();
-  ModelCompileResult R = Session.compileModel(Resnet, TargetKind::NvidiaGPU);
+  ModelCompileResult R = Session.compileModel(Resnet, "nvgpu");
   ASSERT_EQ(R.Layers.size(), Resnet.Convs.size());
   for (const KernelReport &L : R.Layers)
     EXPECT_GT(L.Seconds, 0.0);
@@ -331,7 +331,7 @@ TEST(CompilerSession, GpuModelCompileWorks) {
 //===----------------------------------------------------------------------===//
 
 TEST(Workload, DenseCanonicalizesToOneByOneConv) {
-  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef X86 = TargetRegistry::instance().get("x86");
   Workload Dense = Workload::dense("fc", 512, 1000);
   ConvLayer AsConv;
   AsConv.Name = "fc_as_conv";
@@ -344,7 +344,7 @@ TEST(Workload, DenseCanonicalizesToOneByOneConv) {
 }
 
 TEST(Workload, KindsProduceDistinctKeys) {
-  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef X86 = TargetRegistry::instance().get("x86");
   ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
   Conv3dLayer L3;
   L3.InC = 64;
@@ -357,7 +357,7 @@ TEST(Workload, KindsProduceDistinctKeys) {
 }
 
 TEST(Workload, RequestBudgetSaltsTheKey) {
-  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef X86 = TargetRegistry::instance().get("x86");
   ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
   CompileOptions Capped;
   Capped.MaxCandidates = 1;
@@ -370,11 +370,11 @@ TEST(CompileOptions, TuningBudgetCapsTheSearch) {
   CompilerSession Session(sequentialConfig());
   ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
   KernelReport Full =
-      Session.compile({Workload::conv2d(L), TargetKind::X86});
+      Session.compile({Workload::conv2d(L), "x86"});
   CompileOptions Capped;
   Capped.MaxCandidates = 1;
   KernelReport One =
-      Session.compile({Workload::conv2d(L), TargetKind::X86, Capped});
+      Session.compile({Workload::conv2d(L), "x86", Capped});
   EXPECT_GT(Full.CandidatesTried, 1);
   EXPECT_EQ(One.CandidatesTried, 1);
   EXPECT_EQ(One.BestCandidateIndex, 0);
@@ -400,10 +400,13 @@ public:
 
   explicit ProbeBackend(std::string SaltIn) : Salt(std::move(SaltIn)) {}
 
-  TargetKind kind() const override { return TargetKind::X86; }
+  const std::string &id() const override {
+    static const std::string Id = "probe";
+    return Id;
+  }
   std::string cacheSalt() const override { return "probe|" + Salt; }
   const QuantScheme &scheme() const override {
-    static QuantScheme S = quantSchemeFor(TargetKind::X86);
+    static QuantScheme S = TargetRegistry::instance().get("x86")->scheme();
     return S;
   }
   std::string convKey(const ConvLayer &L) const override {
@@ -469,14 +472,14 @@ TEST(CompileAsync, ManyWaitersOneKeyCompileOnce) {
 TEST(CompileAsync, BatchSubmissionMatchesBlockingReports) {
   Model Resnet = makeResnet18();
   CompilerSession Seq(sequentialConfig());
-  ModelCompileResult Expected = Seq.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult Expected = Seq.compileModel(Resnet, "x86");
 
   SessionConfig C;
   C.Threads = 4;
   CompilerSession Par(C);
   std::vector<CompileRequest> Requests;
   for (const ConvLayer &L : Resnet.Convs)
-    Requests.emplace_back(Workload::conv2d(L), TargetKind::X86);
+    Requests.emplace_back(Workload::conv2d(L), "x86");
   std::vector<CompileJob> Jobs = Par.compileAllAsync(std::move(Requests));
   ASSERT_EQ(Jobs.size(), Expected.Layers.size());
   for (size_t I = 0; I < Jobs.size(); ++I) {
@@ -585,8 +588,8 @@ TEST(KernelCacheLru, ModelCompileIsCorrectWithCapSmallerThanModel) {
   CompilerSession Tiny(C);
   CompilerSession Ref(sequentialConfig());
   Model Resnet = makeResnet18();
-  ModelCompileResult A = Tiny.compileModel(Resnet, TargetKind::X86);
-  ModelCompileResult B = Ref.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult A = Tiny.compileModel(Resnet, "x86");
+  ModelCompileResult B = Ref.compileModel(Resnet, "x86");
   ASSERT_EQ(A.Layers.size(), B.Layers.size());
   for (size_t I = 0; I < A.Layers.size(); ++I)
     EXPECT_EQ(A.Layers[I].Seconds, B.Layers[I].Seconds);
@@ -647,7 +650,7 @@ TEST(KernelCacheBytes, EvictionAndEraseShrinkTheAccounting) {
 TEST(KernelCacheBytes, RealModelCompileAccountsItsKernels) {
   CompilerSession Session(sequentialConfig());
   Model Resnet = makeResnet18();
-  Session.compileModel(Resnet, TargetKind::X86);
+  Session.compileModel(Resnet, "x86");
   KernelCache::CacheStats S = Session.cache().stats();
   EXPECT_EQ(S.Entries, static_cast<size_t>(Resnet.distinctConvShapes()));
   // Canonical structural keys are long (they serialize the whole op);
@@ -657,6 +660,88 @@ TEST(KernelCacheBytes, RealModelCompileAccountsItsKernels) {
     MinExpected += 2 * E.Key.size();
   EXPECT_GE(S.BytesUsed, MinExpected);
   EXPECT_GT(MinExpected, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-capped LRU (SessionConfig::CacheCapacityBytes)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCacheByteCap, EvictsColdestFirstUntilUnderTheCap) {
+  KernelCache Cache;
+  Cache.insert("aa", reportOf(1));
+  Cache.insert("bb", reportOf(2));
+  Cache.insert("cc", reportOf(3));
+  size_t PerEntry = Cache.bytesUsed() / 3;
+  ASSERT_GT(PerEntry, 0u);
+
+  // Cap to two entries' worth: exactly the coldest ("aa") must go.
+  Cache.setByteCapacity(2 * PerEntry);
+  EXPECT_EQ(Cache.byteCapacity(), 2 * PerEntry);
+  EXPECT_FALSE(Cache.contains("aa"));
+  EXPECT_TRUE(Cache.contains("bb"));
+  EXPECT_TRUE(Cache.contains("cc"));
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_LE(Cache.bytesUsed(), 2 * PerEntry);
+
+  // Touch "bb" so "cc" becomes the cold end, then shrink again: strict
+  // LRU order means "cc" is evicted next, never the freshly warmed "bb".
+  ASSERT_TRUE(Cache.lookup("bb").has_value());
+  Cache.setByteCapacity(PerEntry);
+  EXPECT_TRUE(Cache.contains("bb"));
+  EXPECT_FALSE(Cache.contains("cc"));
+  EXPECT_EQ(Cache.stats().Evictions, 2u);
+}
+
+TEST(KernelCacheByteCap, InsertEnforcesTheCap) {
+  KernelCache Cache(0, 1); // 1-byte cap: nothing ready survives an insert.
+  Cache.insert("k1", reportOf(1));
+  Cache.insert("k2", reportOf(2));
+  // Every insert lands at the LRU front and is immediately over budget;
+  // the cache never grows beyond the newest entry's transient residence.
+  EXPECT_LE(Cache.size(), 1u);
+  EXPECT_GE(Cache.stats().Evictions, 1u);
+}
+
+TEST(KernelCacheByteCap, InFlightEntriesAreNeverEvicted) {
+  KernelCache Cache;
+  std::atomic<bool> Release{false};
+  std::thread Winner([&] {
+    Cache.getOrCompute("inflight", [&] {
+      while (!Release.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return reportOf(9);
+    });
+  });
+  // Wait until the in-flight entry exists, then squeeze the cache hard.
+  while (!Cache.contains("inflight"))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  Cache.insert("ready", reportOf(1));
+  Cache.setByteCapacity(1);
+  // The ready entry is evictable; the in-flight one must survive.
+  EXPECT_TRUE(Cache.contains("inflight"));
+  EXPECT_FALSE(Cache.contains("ready"));
+  // Lift the cap before the winner completes — once ready, the entry
+  // becomes evictable like any other.
+  Cache.setByteCapacity(0);
+  Release.store(true);
+  Winner.join();
+  ASSERT_TRUE(Cache.lookup("inflight").has_value());
+  EXPECT_EQ(Cache.lookup("inflight")->Seconds, 9.0);
+}
+
+TEST(KernelCacheByteCap, SessionConfigByteCapIsApplied) {
+  SessionConfig C = sequentialConfig();
+  C.CacheCapacityBytes = 1; // Pathologically small: every entry evicts.
+  CompilerSession Session(C);
+  EXPECT_EQ(Session.cache().byteCapacity(), 1u);
+  auto Backend = std::make_shared<ProbeBackend>("bytecap");
+  ConvLayer A{"a", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+  Session.compile({Workload::conv2d(A), Backend});
+  Session.compile({Workload::conv2d(A), Backend});
+  // The first result was evicted on completion, so the repeat is a fresh
+  // compile — the cap is enforced on insert, not just on demand.
+  EXPECT_EQ(Backend->Compiles.load(), 2);
+  EXPECT_EQ(Session.cache().size(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -750,7 +835,7 @@ TEST(CachePersistence, WarmFromDiskCompilesWithZeroTunerInvocations) {
   Model Resnet = makeResnet18();
 
   CompilerSession Cold(sequentialConfig());
-  ModelCompileResult ColdResult = Cold.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult ColdResult = Cold.compileModel(Resnet, "x86");
   std::optional<size_t> Saved = Cold.saveCache(Path);
   ASSERT_TRUE(Saved.has_value());
   EXPECT_EQ(*Saved, Cold.cache().size());
@@ -763,7 +848,7 @@ TEST(CachePersistence, WarmFromDiskCompilesWithZeroTunerInvocations) {
   EXPECT_EQ(Load.EntriesLoaded, *Saved);
 
   uint64_t TunesBefore = tunerInvocations();
-  ModelCompileResult WarmResult = Warm.compileModel(Resnet, TargetKind::X86);
+  ModelCompileResult WarmResult = Warm.compileModel(Resnet, "x86");
   EXPECT_EQ(tunerInvocations(), TunesBefore);
   EXPECT_EQ(Warm.cache().stats().Misses, 0u);
   EXPECT_EQ(WarmResult.CacheHitLayers, Resnet.Convs.size());
@@ -779,7 +864,7 @@ TEST(CachePersistence, WarmFromDiskCompilesWithZeroTunerInvocations) {
 }
 
 //===----------------------------------------------------------------------===//
-// Shared-session reset + deprecated shims
+// Shared-session reset
 //===----------------------------------------------------------------------===//
 
 TEST(SharedSession, ResetReplacesTheProcessWideSession) {
@@ -793,43 +878,37 @@ TEST(SharedSession, ResetReplacesTheProcessWideSession) {
   EXPECT_GE(Before.use_count(), 1);
 }
 
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(DeprecatedShims, OldEntryPointsStillResolveThroughTheNewSurface) {
-  CompilerSession Session(sequentialConfig());
-  TargetBackendRef X86 = TargetRegistry::instance().get(TargetKind::X86);
-  ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
-  KernelReport Old = Session.compileConv(L, *X86);
-  KernelReport New = Session.compile({Workload::conv2d(L), X86});
-  // Same cache key, so the second call must be a hit with equal bytes.
-  EXPECT_EQ(Session.cache().size(), 1u);
-  EXPECT_EQ(0, std::memcmp(&Old.Seconds, &New.Seconds, sizeof(double)));
-
-  OpFixture F = makeMatmulU8I8(64, 64, 64);
-  KernelReport OldOp = Session.compile(F.Op, TargetKind::X86);
-  KernelReport NewOp = Session.compile({Workload::op(F.Op), TargetKind::X86});
-  EXPECT_EQ(OldOp.Seconds, NewOp.Seconds);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 //===----------------------------------------------------------------------===//
 // TargetRegistry
 //===----------------------------------------------------------------------===//
 
-TEST(TargetRegistry, DefaultsCoverThePaperMachines) {
+TEST(TargetRegistry, DefaultsCoverTheShippedSpecs) {
   TargetRegistry &R = TargetRegistry::instance();
-  EXPECT_EQ(R.get(TargetKind::X86)->kind(), TargetKind::X86);
-  EXPECT_EQ(R.get(TargetKind::ARM)->kind(), TargetKind::ARM);
-  EXPECT_EQ(R.get(TargetKind::NvidiaGPU)->kind(), TargetKind::NvidiaGPU);
-  EXPECT_GE(R.all().size(), 3u);
+  // The paper's three machines plus the two spec-only backends.
+  for (const char *Id : {"x86", "arm", "nvgpu", "x86-amx", "arm-sve"})
+    EXPECT_EQ(R.get(Id)->id(), Id);
+  EXPECT_GE(R.all().size(), 5u);
+  EXPECT_EQ(R.lookup("no-such-target"), nullptr);
   // Widest-first intrinsic list, same as the pipeline's search order.
-  std::vector<TensorIntrinsicRef> Intrs = R.get(TargetKind::X86)->intrinsics();
+  std::vector<TensorIntrinsicRef> Intrs = R.get("x86")->intrinsics();
   ASSERT_FALSE(Intrs.empty());
   EXPECT_EQ(Intrs.front()->name(), "vnni.vpdpbusd");
+}
+
+TEST(TargetRegistry, SpecOnlyBackendsCompileQuantizedConvs) {
+  CompilerSession Session(sequentialConfig());
+  ConvLayer L{"c", 64, 28, 28, 128, 3, 3, 1, 1, 1, false};
+  KernelReport Amx = Session.compile({Workload::conv2d(L), "x86-amx"});
+  EXPECT_TRUE(Amx.Tensorized);
+  EXPECT_EQ(Amx.IntrinsicName, "amx.tdpbusd");
+  KernelReport Sve = Session.compile({Workload::conv2d(L), "arm-sve"});
+  EXPECT_TRUE(Sve.Tensorized);
+  EXPECT_EQ(Sve.IntrinsicName, "sve.sdot.256");
+  // Distinct spec hashes keep the three x86-family kernels apart.
+  EXPECT_EQ(Session.cache().size(), 2u);
+  EXPECT_NE(TargetRegistry::instance().get("x86-amx")->specHash(),
+            TargetRegistry::instance().get("x86")->specHash());
 }
 
 } // namespace

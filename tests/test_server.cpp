@@ -1,9 +1,9 @@
 //===- tests/test_server.cpp - CompileServer / protocol tests --------------===//
 //
 // Covers every protocol message documented in docs/SERVER.md (hello,
-// compile, compile_model, stats, save_cache, shutdown, and the error
-// response), the cross-client single-flight guarantee, and orderly
-// shutdown with requests in flight.
+// compile, compile_model, list_targets, stats, save_cache, shutdown, and
+// the error response), the cross-client single-flight guarantee, and
+// orderly shutdown with requests in flight.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +16,7 @@
 #include "server/Protocol.h"
 #include "server/RemoteEngine.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 #include <gtest/gtest.h>
 
@@ -222,20 +223,52 @@ TEST_F(ServerTest, HelloReturnsWelcome) {
             CompilerSession::persistenceFingerprint());
 }
 
+TEST_F(ServerTest, ListTargetsAdvertisesTheRegistry) {
+  startServer();
+  auto Client = makeClient("lister");
+  std::string Err;
+  std::optional<std::vector<CompileClient::TargetInfo>> Targets =
+      Client->listTargets(&Err);
+  ASSERT_TRUE(Targets.has_value()) << Err;
+
+  // The response mirrors the process-wide registry exactly: every
+  // registered backend, with its spec hash and conv3d capability.
+  std::vector<TargetBackendRef> All = TargetRegistry::instance().all();
+  ASSERT_EQ(Targets->size(), All.size());
+  std::set<std::string> Ids;
+  for (const CompileClient::TargetInfo &T : *Targets)
+    Ids.insert(T.Id);
+  for (const char *Expected : {"x86", "arm", "nvgpu", "x86-amx", "arm-sve"})
+    EXPECT_EQ(Ids.count(Expected), 1u) << Expected;
+  for (const CompileClient::TargetInfo &T : *Targets) {
+    TargetBackendRef B = TargetRegistry::instance().get(T.Id);
+    EXPECT_EQ(T.SpecHash, B->specHash());
+    EXPECT_EQ(T.SupportsConv3d, B->supportsConv3d());
+    EXPECT_FALSE(T.Intrinsics.empty());
+  }
+  // Every advertised target actually compiles over this connection.
+  ConvLayer L{"probe", 64, 14, 14, 64, 1, 1, 1, 0, 0, false};
+  for (const CompileClient::TargetInfo &T : *Targets) {
+    std::optional<CompileClient::CompileResult> R =
+        Client->compileConv(T.Id, L, {}, &Err);
+    EXPECT_TRUE(R.has_value()) << T.Id << ": " << Err;
+  }
+}
+
 TEST_F(ServerTest, CompileConvColdThenCached) {
   startServer();
   auto Client = makeClient("c");
   ConvLayer L = makeResnet18().Convs[3];
   std::string Err;
   std::optional<CompileClient::CompileResult> Cold =
-      Client->compileConv(TargetKind::X86, L, {}, &Err);
+      Client->compileConv("x86", L, {}, &Err);
   ASSERT_TRUE(Cold.has_value()) << Err;
   EXPECT_FALSE(Cold->Cached);
   EXPECT_GT(Cold->Report.Seconds, 0.0);
   EXPECT_TRUE(Cold->Report.Tensorized);
 
   std::optional<CompileClient::CompileResult> Warm =
-      Client->compileConv(TargetKind::X86, L, {}, &Err);
+      Client->compileConv("x86", L, {}, &Err);
   ASSERT_TRUE(Warm.has_value()) << Err;
   EXPECT_TRUE(Warm->Cached);
   EXPECT_EQ(Warm->Report.Seconds, Cold->Report.Seconds);
@@ -248,12 +281,12 @@ TEST_F(ServerTest, RemoteReportsMatchLocalSession) {
   Model M = makeResnet18();
   std::string Err;
   std::optional<CompileClient::ModelResult> Remote =
-      Client->compileModel(TargetKind::X86, M, {}, &Err);
+      Client->compileModel("x86", M, {}, &Err);
   ASSERT_TRUE(Remote.has_value()) << Err;
   ASSERT_EQ(Remote->Layers.size(), M.Convs.size());
 
   CompilerSession Local;
-  ModelCompileResult Expected = Local.compileModel(M, TargetKind::X86);
+  ModelCompileResult Expected = Local.compileModel(M, "x86");
   for (size_t I = 0; I < M.Convs.size(); ++I) {
     EXPECT_EQ(Remote->Layers[I].Seconds, Expected.Layers[I].Seconds);
     EXPECT_EQ(Remote->Layers[I].Tensorized, Expected.Layers[I].Tensorized);
@@ -270,7 +303,7 @@ TEST_F(ServerTest, DenseSharesTheConv2dCacheEntry) {
   auto Client = makeClient("dense");
   std::string Err;
   std::optional<CompileClient::CompileResult> Dense =
-      Client->compileDense(TargetKind::X86, "fc", 512, 1000, {}, &Err);
+      Client->compileDense("x86", "fc", 512, 1000, {}, &Err);
   ASSERT_TRUE(Dense.has_value()) << Err;
   EXPECT_FALSE(Dense->Cached);
 
@@ -281,7 +314,7 @@ TEST_F(ServerTest, DenseSharesTheConv2dCacheEntry) {
   AsConv.InC = 512;
   AsConv.OutC = 1000;
   std::optional<CompileClient::CompileResult> Conv =
-      Client->compileConv(TargetKind::X86, AsConv, {}, &Err);
+      Client->compileConv("x86", AsConv, {}, &Err);
   ASSERT_TRUE(Conv.has_value()) << Err;
   EXPECT_TRUE(Conv->Cached);
   EXPECT_EQ(Conv->Report.Seconds, Dense->Report.Seconds);
@@ -293,13 +326,13 @@ TEST_F(ServerTest, Conv3dCompilesOnCpuAndIsRejectedOnGpu) {
   Conv3dLayer L = makeResnet18Conv3d()[2];
   std::string Err;
   std::optional<CompileClient::CompileResult> R =
-      Client->compileConv3d(TargetKind::X86, L, {}, &Err);
+      Client->compileConv3d("x86", L, {}, &Err);
   ASSERT_TRUE(R.has_value()) << Err;
   EXPECT_GT(R->Report.Seconds, 0.0);
 
   Err.clear();
   EXPECT_FALSE(
-      Client->compileConv3d(TargetKind::NvidiaGPU, L, {}, &Err).has_value());
+      Client->compileConv3d("nvgpu", L, {}, &Err).has_value());
   EXPECT_NE(Err.find("conv3d"), std::string::npos);
 }
 
@@ -317,7 +350,7 @@ TEST_F(ServerTest, TwoClientsCompilingIsomorphicModelsSingleFlight) {
 
   // Expected tuner work: the distinct canonical keys across both models
   // (identical for A and B, since they are isomorphic layer by layer).
-  TargetBackendRef Backend = TargetRegistry::instance().get(TargetKind::X86);
+  TargetBackendRef Backend = TargetRegistry::instance().get("x86");
   std::set<std::string> DistinctKeys;
   for (const Model *M : {&A, &B})
     for (const ConvLayer &L : M->Convs)
@@ -331,13 +364,13 @@ TEST_F(ServerTest, TwoClientsCompilingIsomorphicModelsSingleFlight) {
     CompileClient Client;
     if (Client.connect(SocketPath, &ErrA) &&
         Client.hello("client-a", 0, &ErrA))
-      ResultA = Client.compileModel(TargetKind::X86, A, {}, &ErrA);
+      ResultA = Client.compileModel("x86", A, {}, &ErrA);
   });
   std::thread ClientB([&] {
     CompileClient Client;
     if (Client.connect(SocketPath, &ErrB) &&
         Client.hello("client-b", 0, &ErrB))
-      ResultB = Client.compileModel(TargetKind::X86, B, {}, &ErrB);
+      ResultB = Client.compileModel("x86", B, {}, &ErrB);
   });
   ClientA.join();
   ClientB.join();
@@ -368,12 +401,12 @@ TEST_F(ServerTest, RacingCompilesOfOneLayerAccountOneCompiledLayer) {
   std::thread A([&] {
     CompileClient C;
     if (C.connect(SocketPath, &E1) && C.hello("race-a", 0, &E1))
-      R1 = C.compileConv(TargetKind::X86, L, {}, &E1);
+      R1 = C.compileConv("x86", L, {}, &E1);
   });
   std::thread B([&] {
     CompileClient C;
     if (C.connect(SocketPath, &E2) && C.hello("race-b", 0, &E2))
-      R2 = C.compileConv(TargetKind::X86, L, {}, &E2);
+      R2 = C.compileConv("x86", L, {}, &E2);
   });
   A.join();
   B.join();
@@ -413,7 +446,7 @@ TEST_F(ServerTest, PerClientBudgetClampsTheSearch) {
   auto Capped = makeClient("capped", /*Budget=*/3);
   std::string Err;
   std::optional<CompileClient::CompileResult> R =
-      Capped->compileConv(TargetKind::X86, L, {}, &Err);
+      Capped->compileConv("x86", L, {}, &Err);
   ASSERT_TRUE(R.has_value()) << Err;
   EXPECT_LE(R->Report.CandidatesTried, 3);
 
@@ -421,7 +454,7 @@ TEST_F(ServerTest, PerClientBudgetClampsTheSearch) {
   // (a budgeted report must not shadow the full-search one).
   auto Full = makeClient("full");
   std::optional<CompileClient::CompileResult> FullR =
-      Full->compileConv(TargetKind::X86, L, {}, &Err);
+      Full->compileConv("x86", L, {}, &Err);
   ASSERT_TRUE(FullR.has_value()) << Err;
   EXPECT_FALSE(FullR->Cached);
   EXPECT_GT(FullR->Report.CandidatesTried, 3);
@@ -437,7 +470,7 @@ TEST_F(ServerTest, ServerWideBudgetCapAppliesToEveryClient) {
   Options.MaxCandidates = 100; // Asks for more than the server allows.
   std::string Err;
   std::optional<CompileClient::CompileResult> R =
-      Client->compileConv(TargetKind::X86, L, Options, &Err);
+      Client->compileConv("x86", L, Options, &Err);
   ASSERT_TRUE(R.has_value()) << Err;
   EXPECT_LE(R->Report.CandidatesTried, 2);
 }
@@ -447,7 +480,7 @@ TEST_F(ServerTest, StatsReportByteAccountedCacheAndPerClientLatency) {
   auto Client = makeClient("statster");
   Model M = makeResnet18();
   std::string Err;
-  ASSERT_TRUE(Client->compileModel(TargetKind::X86, M, {}, &Err)) << Err;
+  ASSERT_TRUE(Client->compileModel("x86", M, {}, &Err)) << Err;
 
   std::optional<Json> Stats = Client->stats(/*Detail=*/true, &Err);
   ASSERT_TRUE(Stats.has_value()) << Err;
@@ -502,7 +535,7 @@ TEST_F(ServerTest, SaveCacheMessageAndWarmRestartFromPersistedCache) {
     auto Client = makeClient("writer");
     Model M = makeResnet18();
     std::string Err;
-    ASSERT_TRUE(Client->compileModel(TargetKind::X86, M, {}, &Err)) << Err;
+    ASSERT_TRUE(Client->compileModel("x86", M, {}, &Err)) << Err;
 
     // Explicit save_cache message (the periodic thread is off).
     std::optional<size_t> Saved = Client->saveCache("", &Err);
@@ -522,7 +555,7 @@ TEST_F(ServerTest, SaveCacheMessageAndWarmRestartFromPersistedCache) {
     uint64_t TunesBefore = tunerInvocations();
     std::string Err;
     std::optional<CompileClient::ModelResult> R =
-        Client->compileModel(TargetKind::X86, M, {}, &Err);
+        Client->compileModel("x86", M, {}, &Err);
     ASSERT_TRUE(R.has_value()) << Err;
     EXPECT_EQ(tunerInvocations(), TunesBefore);
     EXPECT_EQ(R->CacheHitLayers, M.Convs.size());
@@ -577,7 +610,7 @@ TEST_F(ServerTest, ErrorResponsesForBadTraffic) {
     CompileClient C2;
     ASSERT_TRUE(C2.connect(SocketPath, &CompileErr)) << CompileErr;
     EXPECT_FALSE(
-        C2.compileConv(TargetKind::X86, Huge, {}, &CompileErr).has_value());
+        C2.compileConv("x86", Huge, {}, &CompileErr).has_value());
     EXPECT_NE(CompileErr.find("maximum"), std::string::npos);
 
     // A kernel larger than the padded input is a wire error too (it
@@ -590,7 +623,7 @@ TEST_F(ServerTest, ErrorResponsesForBadTraffic) {
     Shrunk.KH = Shrunk.KW = 7;
     CompileErr.clear();
     EXPECT_FALSE(
-        C2.compileConv(TargetKind::X86, Shrunk, {}, &CompileErr).has_value());
+        C2.compileConv("x86", Shrunk, {}, &CompileErr).has_value());
     EXPECT_NE(CompileErr.find("output extent"), std::string::npos);
   }
 
@@ -682,7 +715,7 @@ TEST_F(ServerTest, StopDeliversInFlightResponses) {
   std::optional<CompileClient::ModelResult> Result;
   std::string Err;
   std::thread Worker(
-      [&] { Result = Client->compileModel(TargetKind::X86, M, {}, &Err); });
+      [&] { Result = Client->compileModel("x86", M, {}, &Err); });
 
   // Wait until the server has *read* the compile request (the totals
   // counter increments before handling), then yank the rug.
@@ -705,12 +738,12 @@ TEST_F(ServerTest, RemoteEngineMatchesInProcessEngineExactly) {
   startServer();
   Model M = makeMobilenetV1();
 
-  RemoteCpuEngine Remote(CpuMachine::cascadeLake(), TargetKind::X86);
+  RemoteCpuEngine Remote(CpuMachine::cascadeLake(), "x86");
   std::string Err;
   ASSERT_TRUE(Remote.connect(SocketPath, "remote-engine", 0, &Err)) << Err;
   double RemoteLatency = modelLatencySeconds(M, Remote);
 
-  UnitCpuEngine Local(CpuMachine::cascadeLake(), TargetKind::X86,
+  UnitCpuEngine Local(CpuMachine::cascadeLake(), "x86",
                       std::make_shared<CompilerSession>());
   double LocalLatency = modelLatencySeconds(M, Local);
 

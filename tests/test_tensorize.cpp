@@ -187,7 +187,7 @@ TEST(Tensorize, GpuStyleOuterProductScheduleStaysBitExact) {
 
 TEST(Tensorize, CompileForTargetPicksVNNIOnX86) {
   OpFixture F = makeConv2D(8, 8, 8, 16, 3, 3);
-  CompiledKernel K = compileForTarget(F.Op, TargetKind::X86);
+  CompiledKernel K = compileForTarget(F.Op, "x86");
   ASSERT_TRUE(K.Plan.has_value());
   EXPECT_EQ(K.Plan->Match.Intrinsic->name(), "vnni.vpdpbusd");
 }
@@ -206,7 +206,7 @@ TEST(Tensorize, CompileForTargetFallsBackForDepthwise) {
                makeLoad(B, {makeVar(R), makeVar(S), makeVar(C)}));
   ComputeOpRef Op = ComputeOp::create(
       "depthwise", Out, {X, Y, C}, makeReduce(ReduceKind::Sum, Prod, {R, S}));
-  CompiledKernel K = compileForTarget(Op, TargetKind::X86);
+  CompiledKernel K = compileForTarget(Op, "x86");
   EXPECT_FALSE(K.Plan.has_value());
   OpFixture F{Op, {A, B}, Out};
   EXPECT_EQ(runToInts(F, K.TIR, 32), referenceInts(F, 32));

@@ -7,6 +7,7 @@
 #include "graph/Quantize.h"
 #include "tir/Lower.h"
 #include "tuner/Tuner.h"
+#include "target/TargetRegistry.h"
 
 #include <gtest/gtest.h>
 
@@ -118,7 +119,7 @@ TEST(BuildGpuPlan, LoweredProgramStaysBitExact) {
 }
 
 TEST(TuneCpu, BestIsNoWorseThanDefault) {
-  QuantScheme Scheme = quantSchemeFor(TargetKind::X86);
+  QuantScheme Scheme = TargetRegistry::instance().get("x86")->scheme();
   ConvLayer L;
   L.Name = "t";
   L.InC = 96;

@@ -40,9 +40,10 @@ void usage(const char *Argv0) {
       "  --client NAME       client name for the hello handshake\n"
       "  --budget N          per-client tuning budget (hello max_candidates)\n"
       "  --model NAME        compile a zoo model (resnet-18, resnet-50, ...)\n"
-      "  --target T          x86 (default), arm, or nvgpu\n"
+      "  --target T          target id, default x86 (see --list-targets)\n"
       "  --priority N        batch priority for the compile\n"
       "  --expect-warm       exit 1 unless every layer was a cache hit\n"
+      "  --list-targets      print the backends the server can compile for\n"
       "  --stats             print the server's stats message\n"
       "  --save-cache        ask the server to persist its cache now\n"
       "  --shutdown          ask the server to shut down\n",
@@ -56,7 +57,7 @@ int main(int argc, char **argv) {
                                                                      "x86";
   int Budget = 0, Priority = 0;
   bool WantStats = false, WantSave = false, WantShutdown = false,
-       ExpectWarm = false;
+       ExpectWarm = false, WantTargets = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NextValue = [&]() -> const char * {
@@ -80,6 +81,8 @@ int main(int argc, char **argv) {
       Priority = std::atoi(NextValue());
     else if (Arg == "--expect-warm")
       ExpectWarm = true;
+    else if (Arg == "--list-targets")
+      WantTargets = true;
     else if (Arg == "--stats")
       WantStats = true;
     else if (Arg == "--save-cache")
@@ -96,7 +99,8 @@ int main(int argc, char **argv) {
     }
   }
   if (SocketPath.empty() ||
-      (ModelName.empty() && !WantStats && !WantSave && !WantShutdown)) {
+      (ModelName.empty() && !WantStats && !WantSave && !WantShutdown &&
+       !WantTargets)) {
     usage(argv[0]);
     return 2;
   }
@@ -109,12 +113,20 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  if (!ModelName.empty()) {
-    std::optional<TargetKind> Target = targetKindFromName(TargetName);
-    if (!Target) {
-      std::fprintf(stderr, "error: unknown target '%s'\n", TargetName.c_str());
+  if (WantTargets) {
+    std::optional<std::vector<CompileClient::TargetInfo>> Targets =
+        Client.listTargets(&Err);
+    if (!Targets) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
     }
+    for (const CompileClient::TargetInfo &T : *Targets)
+      std::printf("%-10s spec %s  conv3d=%s  %s\n", T.Id.c_str(),
+                  T.SpecHash.c_str(), T.SupportsConv3d ? "yes" : "no",
+                  T.Description.c_str());
+  }
+
+  if (!ModelName.empty()) {
     std::optional<Model> M = zooModel(ModelName);
     if (!M) {
       std::fprintf(stderr, "error: no zoo model named '%s'\n",
@@ -124,7 +136,7 @@ int main(int argc, char **argv) {
     CompileOptions Options;
     Options.Priority = Priority;
     std::optional<CompileClient::ModelResult> Result =
-        Client.compileModel(*Target, *M, Options, &Err);
+        Client.compileModel(TargetName, *M, Options, &Err);
     if (!Result) {
       std::fprintf(stderr, "error: %s\n", Err.c_str());
       return 1;
