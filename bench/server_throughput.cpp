@@ -3,8 +3,11 @@
 // Measures the compile server end to end: several clients connected at
 // once, compiling overlapping model sets against one shared session.
 // Reports cold throughput (every kernel tuned once, cross-client dedup),
-// warm throughput (every layer a cache hit), and restart-from-persisted-
-// cache time; emits machine-readable BENCH_server.json (archived by CI).
+// warm throughput (every layer a cache hit), the pipelined-vs-blocking
+// comparison for per-layer traffic (compile_async streaming vs one
+// round trip per layer — the streaming protocol's reason to exist), and
+// restart-from-persisted-cache time; emits machine-readable
+// BENCH_server.json (archived by CI).
 //
 // Plain binary (no google-benchmark): the interesting numbers are
 // one-shot wall times, like the fig* benches.
@@ -62,11 +65,77 @@ ClientOutcome runClient(const std::string &SocketPath, const std::string &Name,
   return Out;
 }
 
+/// Blocking per-layer traffic: one compile round trip per conv layer —
+/// the client stalls on every reply before sending the next request.
+ClientOutcome runClientBlockingLayers(const std::string &SocketPath,
+                                      const std::string &Name,
+                                      const std::vector<const Model *> &Models) {
+  ClientOutcome Out;
+  CompileClient Client;
+  if (!Client.connect(SocketPath, &Out.Err) ||
+      !Client.hello(Name, 0, &Out.Err)) {
+    Out.Ok = false;
+    return Out;
+  }
+  for (const Model *M : Models)
+    for (const ConvLayer &L : M->Convs) {
+      std::optional<CompileClient::CompileResult> R =
+          Client.compileConv("x86", L, {}, &Out.Err);
+      if (!R) {
+        Out.Ok = false;
+        return Out;
+      }
+      ++Out.Layers;
+      if (R->Cached)
+        ++Out.CacheHitLayers;
+    }
+  return Out;
+}
+
+/// Pipelined per-layer traffic: every layer of every model submitted as
+/// compile_async before any result is joined; the socket never idles on
+/// a round trip.
+ClientOutcome runClientPipelinedLayers(
+    const std::string &SocketPath, const std::string &Name,
+    const std::vector<const Model *> &Models) {
+  ClientOutcome Out;
+  CompileClient Client;
+  if (!Client.connect(SocketPath, &Out.Err) ||
+      !Client.hello(Name, 0, &Out.Err)) {
+    Out.Ok = false;
+    return Out;
+  }
+  std::vector<CompileClient::AsyncHandle> Handles;
+  for (const Model *M : Models) {
+    std::optional<std::vector<CompileClient::AsyncHandle>> Submitted =
+        Client.submitModelLayers("x86", *M, {}, &Out.Err);
+    if (!Submitted) {
+      Out.Ok = false;
+      return Out;
+    }
+    Handles.insert(Handles.end(), Submitted->begin(), Submitted->end());
+  }
+  for (const CompileClient::AsyncHandle &H : Handles) {
+    std::optional<CompileClient::CompileResult> R = Client.wait(H, &Out.Err);
+    if (!R) {
+      Out.Ok = false;
+      return Out;
+    }
+    ++Out.Layers;
+    if (R->Cached)
+      ++Out.CacheHitLayers;
+  }
+  return Out;
+}
+
+using ClientFn = ClientOutcome (*)(const std::string &, const std::string &,
+                                   const std::vector<const Model *> &);
+
 /// Fans \p Models out across \p ClientCount concurrent clients
 /// round-robin and returns the wall time plus merged outcomes.
-double runWave(const std::string &SocketPath, const char *Tag,
-               const std::vector<Model> &Models, size_t ClientCount,
-               size_t &LayersOut, size_t &HitsOut) {
+double runWaveWith(ClientFn Fn, const std::string &SocketPath,
+                   const char *Tag, const std::vector<Model> &Models,
+                   size_t ClientCount, size_t &LayersOut, size_t &HitsOut) {
   std::vector<std::vector<const Model *>> Shares(ClientCount);
   for (size_t I = 0; I < Models.size(); ++I)
     Shares[I % ClientCount].push_back(&Models[I]);
@@ -75,9 +144,8 @@ double runWave(const std::string &SocketPath, const char *Tag,
   std::vector<std::thread> Threads;
   for (size_t C = 0; C < ClientCount; ++C)
     Threads.emplace_back([&, C] {
-      Outcomes[C] = runClient(SocketPath,
-                              std::string(Tag) + "-" + std::to_string(C),
-                              Shares[C]);
+      Outcomes[C] = Fn(SocketPath,
+                       std::string(Tag) + "-" + std::to_string(C), Shares[C]);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -93,6 +161,13 @@ double runWave(const std::string &SocketPath, const char *Tag,
     HitsOut += O.CacheHitLayers;
   }
   return Wall;
+}
+
+double runWave(const std::string &SocketPath, const char *Tag,
+               const std::vector<Model> &Models, size_t ClientCount,
+               size_t &LayersOut, size_t &HitsOut) {
+  return runWaveWith(runClient, SocketPath, Tag, Models, ClientCount,
+                     LayersOut, HitsOut);
 }
 
 } // namespace
@@ -173,6 +248,48 @@ int main() {
               "(%.0f model compiles/s)\n",
               WarmLayers, WarmWall * 1e3, WarmRps);
 
+  // Pipelined vs blocking, warm, per-layer: the same layer set once as
+  // one blocking round trip per layer and once as a compile_async
+  // stream. Round-trip serialization is what the streaming protocol
+  // removes, so pipelined must sustain at least blocking's rate; a
+  // couple of attempts absorb scheduler noise on loaded CI machines.
+  double BlockingRps = 0, PipelinedRps = 0;
+  double BlockingWall = 0, PipelinedWall = 0;
+  bool PipelinedOk = false;
+  for (int Attempt = 0; Attempt < 3 && !PipelinedOk; ++Attempt) {
+    size_t Layers = 0, Hits = 0;
+    BlockingWall = runWaveWith(runClientBlockingLayers, SocketPath,
+                               "warm-blocking", Models, ClientCount, Layers,
+                               Hits);
+    if (Hits != Layers) {
+      std::fprintf(stderr, "FAIL: warm blocking wave missed the cache "
+                           "(%zu/%zu hits)\n",
+                   Hits, Layers);
+      return 1;
+    }
+    BlockingRps = static_cast<double>(Layers) / BlockingWall;
+    size_t PipeLayers = 0, PipeHits = 0;
+    PipelinedWall =
+        runWaveWith(runClientPipelinedLayers, SocketPath, "warm-pipelined",
+                    Models, ClientCount, PipeLayers, PipeHits);
+    if (PipeHits != PipeLayers) {
+      std::fprintf(stderr, "FAIL: warm pipelined wave missed the cache "
+                           "(%zu/%zu hits)\n",
+                   PipeHits, PipeLayers);
+      return 1;
+    }
+    PipelinedRps = static_cast<double>(PipeLayers) / PipelinedWall;
+    PipelinedOk = PipelinedRps >= BlockingRps;
+  }
+  if (!PipelinedOk)
+    std::fprintf(stderr,
+                 "FAIL: pipelined warm rps (%.0f) below blocking (%.0f)\n",
+                 PipelinedRps, BlockingRps);
+  std::printf("warm per-layer: blocking %.2f ms (%.0f layers/s) vs "
+              "pipelined %.2f ms (%.0f layers/s) — %.2fx\n",
+              BlockingWall * 1e3, BlockingRps, PipelinedWall * 1e3,
+              PipelinedRps, PipelinedRps / BlockingRps);
+
   size_t CacheBytes = Server->session().cache().bytesUsed();
   size_t CacheEntries = Server->session().cache().size();
 
@@ -227,6 +344,12 @@ int main() {
       "  \"warm_wall_ms\": %.3f,\n"
       "  \"warm_model_compiles_per_sec\": %.1f,\n"
       "  \"warm_all_cache_hits\": %s,\n"
+      "  \"warm_blocking_layer_wall_ms\": %.3f,\n"
+      "  \"warm_blocking_layer_rps\": %.1f,\n"
+      "  \"warm_pipelined_layer_wall_ms\": %.3f,\n"
+      "  \"warm_pipelined_layer_rps\": %.1f,\n"
+      "  \"pipelined_speedup\": %.3f,\n"
+      "  \"pipelined_ge_blocking\": %s,\n"
       "  \"cache_entries\": %zu,\n"
       "  \"cache_bytes\": %zu,\n"
       "  \"restart_stop_persist_ms\": %.3f,\n"
@@ -238,9 +361,11 @@ int main() {
       static_cast<unsigned long long>(ExpectedTunes),
       static_cast<unsigned long long>(ColdTunes), DedupOk ? "true" : "false",
       ColdWall * 1e3, WarmWall * 1e3, WarmRps, WarmOk ? "true" : "false",
+      BlockingWall * 1e3, BlockingRps, PipelinedWall * 1e3, PipelinedRps,
+      PipelinedRps / BlockingRps, PipelinedOk ? "true" : "false",
       CacheEntries, CacheBytes, StopSeconds * 1e3, RestartStartSeconds * 1e3,
       RestartWall * 1e3, RestartOk ? "true" : "false");
   std::fclose(Json);
   std::printf("wrote BENCH_server.json\n");
-  return (DedupOk && WarmOk && RestartOk) ? 0 : 1;
+  return (DedupOk && WarmOk && PipelinedOk && RestartOk) ? 0 : 1;
 }

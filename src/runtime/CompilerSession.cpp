@@ -13,9 +13,12 @@
 using namespace unit;
 
 CompilerSession::CompilerSession(SessionConfig ConfigIn)
-    : Config(ConfigIn),
-      Cache(ConfigIn.CacheCapacity, ConfigIn.CacheCapacityBytes),
-      Pool(std::make_unique<ThreadPool>(Config.Threads)) {}
+    : Config(std::move(ConfigIn)),
+      Cache(Config.CacheCapacity, Config.CacheCapacityBytes),
+      Pool(std::make_unique<ThreadPool>(Config.Threads)) {
+  if (Config.CacheTTLSeconds > 0 || Config.CacheClock)
+    Cache.setTTL(Config.CacheTTLSeconds, Config.CacheClock);
+}
 
 CompilerSession::~CompilerSession() = default;
 
@@ -127,6 +130,65 @@ CompilerSession::compileAsyncCounted(CompileRequest Request,
           QuiesceCv.notify_all();
         }
       });
+  return CompileJob(std::move(Key), std::move(Fut));
+}
+
+CompileJob CompilerSession::compileAsyncThen(CompileRequest Request,
+                                             JobCallback OnDone) {
+  std::string Key = Request.cacheKey();
+  // A ready entry still goes through a (tiny) pool task, and an in-flight
+  // entry through a worker that waits out the winner: the callback always
+  // fires from the pool, never inside this call — callers may hold locks
+  // here that the callback also takes. The in-flight wait is safe because
+  // an entry exists only while its winner is actively running on some
+  // thread (KernelCache inserts inside getOrCompute), so the waiting
+  // worker always unblocks; and both paths count toward InFlight, so
+  // quiesce() drains pending notifications too.
+  if (Request.Options.Policy == CachePolicy::Default) {
+    if (std::optional<std::shared_future<KernelReport>> Fut =
+            Cache.peek(Key)) {
+      InFlight.fetch_add(1);
+      Pool->submit([this, Fut = *Fut, OnDone = std::move(OnDone)] {
+        const KernelReport *Report = nullptr;
+        std::exception_ptr Error;
+        try {
+          Report = &Fut.get();
+        } catch (...) {
+          Error = std::current_exception();
+        }
+        if (OnDone)
+          OnDone(Report, Error, /*Computed=*/false);
+        if (InFlight.fetch_sub(1) == 1) {
+          { std::lock_guard<std::mutex> Lock(QuiesceMu); }
+          QuiesceCv.notify_all();
+        }
+      });
+      return CompileJob(std::move(Key), std::move(*Fut));
+    }
+  }
+
+  auto Done = std::make_shared<std::promise<KernelReport>>();
+  std::shared_future<KernelReport> Fut = Done->get_future().share();
+  InFlight.fetch_add(1);
+  Pool->submit([this, Request = std::move(Request), Key, Done,
+                OnDone = std::move(OnDone)]() mutable {
+    KernelReport Report;
+    bool Computed = false;
+    std::exception_ptr Error;
+    try {
+      Report = compileKeyed(Request, Key, &Computed);
+      Done->set_value(Report);
+    } catch (...) {
+      Error = std::current_exception();
+      Done->set_exception(Error);
+    }
+    if (OnDone)
+      OnDone(Error ? nullptr : &Report, Error, Error ? false : Computed);
+    if (InFlight.fetch_sub(1) == 1) {
+      { std::lock_guard<std::mutex> Lock(QuiesceMu); }
+      QuiesceCv.notify_all();
+    }
+  });
   return CompileJob(std::move(Key), std::move(Fut));
 }
 

@@ -58,6 +58,15 @@ struct SessionConfig {
   /// (in-flight compiles are never evicted). Both caps may be set; each
   /// is enforced independently.
   size_t CacheCapacityBytes = 0;
+  /// Age-based cache expiry: ready entries older than this re-tune on
+  /// next use (KernelCache::setTTL); <= 0 = entries never expire. For
+  /// long-lived daemons whose machine stays fixed but whose operators
+  /// still want periodic re-tunes.
+  double CacheTTLSeconds = 0;
+  /// Clock the TTL is measured on; null = process steady clock. A test
+  /// hook — injecting a fake clock turns expiry tests into arithmetic
+  /// instead of sleeps.
+  KernelCache::ClockFn CacheClock;
 };
 
 /// What compiling a whole model produced.
@@ -155,6 +164,22 @@ public:
   /// ready or in-flight cache entry is joined without a pool round-trip.
   /// CompileJob::get() rethrows any exception the backend raised.
   CompileJob compileAsync(CompileRequest Request);
+
+  /// Completion callback for compileAsyncThen: exactly one of \p Report
+  /// and \p Error is non-null/non-empty; \p Computed mirrors compile()'s
+  /// ComputedHere (true only when the job ran the compile itself).
+  /// Invoked on a session pool worker — keep it short and never call
+  /// back into blocking session APIs from inside it.
+  using JobCallback = std::function<void(
+      const KernelReport *Report, std::exception_ptr Error, bool Computed)>;
+
+  /// compileAsync plus a completion hook: \p OnDone fires exactly once
+  /// when the job resolves, including for cache hits and single-flight
+  /// joins of another caller's in-flight compile (the callback then runs
+  /// on a worker that waits out the winner). This is what lets an event-
+  /// driven host — the compile server's streaming mode — push results as
+  /// they land instead of parking a thread per pending job.
+  CompileJob compileAsyncThen(CompileRequest Request, JobCallback OnDone);
 
   /// Submits a batch, higher CompileOptions::Priority first; the returned
   /// jobs are in the original request order.

@@ -3,6 +3,7 @@
 #include "runtime/KernelCache.h"
 
 #include "support/StringUtils.h"
+#include "support/Time.h"
 
 #include <algorithm>
 #include <chrono>
@@ -42,6 +43,56 @@ void KernelCache::accountLocked(const std::string &Key, Entry &E) {
   size_t Now = entryBytesLocked(Key, E);
   BytesResident += Now - E.AccountedBytes;
   E.AccountedBytes = Now;
+  // The TTL is measured from readiness, not insertion: an in-flight entry
+  // has no report to go stale, and the winner re-accounts on completion,
+  // which is exactly the moment the report starts aging.
+  if (E.ReadyAt < 0 && isReady(E.Fut))
+    E.ReadyAt = nowLocked();
+}
+
+double KernelCache::nowLocked() const {
+  return Clock ? Clock() : steadyNowSeconds();
+}
+
+bool KernelCache::expiredLocked(const Entry &E) const {
+  return TTLSeconds > 0 && E.ReadyAt >= 0 &&
+         nowLocked() - E.ReadyAt > TTLSeconds;
+}
+
+void KernelCache::setTTL(double Seconds, ClockFn ClockIn) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TTLSeconds = Seconds;
+  if (ClockIn)
+    Clock = std::move(ClockIn);
+}
+
+double KernelCache::ttlSeconds() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return TTLSeconds;
+}
+
+size_t KernelCache::purgeExpired() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (TTLSeconds <= 0)
+    return 0;
+  // One clock reading for the whole sweep (the clock may be a caller-
+  // supplied std::function). Erase bookkeeping is inlined like
+  // enforceCapacityLocked's: eraseLocked would re-find by key and
+  // invalidate the iterator.
+  double Now = nowLocked();
+  size_t Dropped = 0;
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    const Entry &E = It->second;
+    if (E.ReadyAt >= 0 && Now - E.ReadyAt > TTLSeconds) {
+      BytesResident -= E.AccountedBytes;
+      Lru.erase(E.LruIt);
+      It = Entries.erase(It);
+      ++Dropped;
+    } else {
+      ++It;
+    }
+  }
+  return Dropped;
 }
 
 KernelCache::Entry &
@@ -97,6 +148,12 @@ KernelReport KernelCache::getOrCompute(const std::string &Key,
   {
     std::lock_guard<std::mutex> Lock(Mu);
     auto It = Entries.find(Key);
+    // An expired entry is a miss that still holds the slot: drop it so
+    // this caller becomes the winner of a fresh compile.
+    if (It != Entries.end() && expiredLocked(It->second)) {
+      eraseLocked(Key);
+      It = Entries.end();
+    }
     if (It == Entries.end()) {
       Fut = Mine.get_future().share();
       insertLocked(Key, Fut);
@@ -150,7 +207,7 @@ KernelCache::lookup(const std::string &Key) const {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     auto It = Entries.find(Key);
-    if (It == Entries.end())
+    if (It == Entries.end() || expiredLocked(It->second))
       return std::nullopt;
     Fut = It->second.Fut;
     touchLocked(It->second);
@@ -164,7 +221,7 @@ std::optional<std::shared_future<KernelReport>>
 KernelCache::peek(const std::string &Key) const {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Entries.find(Key);
-  if (It == Entries.end())
+  if (It == Entries.end() || expiredLocked(It->second))
     return std::nullopt;
   touchLocked(It->second);
   // Joining an entry (ready or in flight) is a served request, same as a
@@ -198,7 +255,8 @@ void KernelCache::eraseReady(const std::string &Key) {
 
 bool KernelCache::contains(const std::string &Key) const {
   std::lock_guard<std::mutex> Lock(Mu);
-  return Entries.count(Key) != 0;
+  auto It = Entries.find(Key);
+  return It != Entries.end() && !expiredLocked(It->second);
 }
 
 size_t KernelCache::size() const {
@@ -315,7 +373,8 @@ size_t KernelCache::save(std::ostream &Out,
     Ready.reserve(Entries.size());
     for (const std::string &Key : Lru) {
       auto It = Entries.find(Key);
-      if (It == Entries.end() || !isReady(It->second.Fut))
+      if (It == Entries.end() || !isReady(It->second.Fut) ||
+          expiredLocked(It->second))
         continue;
       Ready.emplace_back(Key, It->second.Fut.get());
     }

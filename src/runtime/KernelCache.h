@@ -17,11 +17,14 @@
 /// model with repeated shapes never tunes a shape twice.
 ///
 /// The cache is bounded (optionally) by an LRU entry cap and/or an LRU
-/// byte cap over the resident-byte accounting, and persists to
-/// disk: save() writes the surviving ready entries under a caller-supplied
-/// fingerprint (machine parameters + format version), and load() rejects
-/// files whose fingerprint does not match byte-for-byte — stale or
-/// cross-machine entries never leak into a session.
+/// byte cap over the resident-byte accounting, expires (optionally) by
+/// age — setTTL() makes ready entries older than the TTL read as absent,
+/// so a long-lived daemon re-tunes them instead of serving stale reports
+/// forever — and persists to disk: save() writes the surviving ready
+/// entries under a caller-supplied fingerprint (machine parameters +
+/// format version), and load() rejects files whose fingerprint does not
+/// match byte-for-byte — stale or cross-machine entries never leak into a
+/// session.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -112,6 +115,25 @@ public:
   void setByteCapacity(size_t NewMaxBytes);
   size_t byteCapacity() const;
 
+  /// Wall-clock source for age-based expiry; injectable so TTL tests can
+  /// advance time deterministically instead of sleeping.
+  using ClockFn = std::function<double()>;
+
+  /// Age-based expiry: a ready entry older than \p Seconds (measured from
+  /// the moment its report became ready, or from load() for persisted
+  /// entries) reads as absent — lookup/peek/contains say no, getOrCompute
+  /// drops it and recompiles, save() skips it. In-flight entries never
+  /// expire (their winner is still computing). \p Seconds <= 0 disables
+  /// expiry; \p Clock defaults to the process steady clock.
+  void setTTL(double Seconds, ClockFn Clock = {});
+  double ttlSeconds() const;
+
+  /// Erases every expired ready entry now (expiry is otherwise lazy — an
+  /// expired entry stays resident until its key is touched). Long-lived
+  /// daemons call this periodically so dead entries release their bytes.
+  /// Returns the number of entries dropped.
+  size_t purgeExpired();
+
   struct CacheStats {
     uint64_t Hits = 0;
     uint64_t Misses = 0;
@@ -196,6 +218,9 @@ private:
     /// added is what gets subtracted on erase, even across the
     /// in-flight -> ready size transition.
     size_t AccountedBytes = 0;
+    /// Clock reading when the report became ready; < 0 while in flight.
+    /// The TTL is measured against this.
+    double ReadyAt = -1;
   };
 
   /// Moves \p E's node to the front of the LRU list (splice keeps the
@@ -217,6 +242,11 @@ private:
   void enforceCapacityLocked();
   /// Approximate bytes one entry keeps resident. Mu must be held.
   size_t entryBytesLocked(const std::string &Key, const Entry &E) const;
+  /// True when \p E is ready and older than the TTL. Mu must be held.
+  bool expiredLocked(const Entry &E) const;
+  /// The TTL clock reading (Clock when set, steady clock otherwise).
+  /// Mu must be held (Clock is caller-supplied mutable state).
+  double nowLocked() const;
 
   mutable std::mutex Mu;
   std::unordered_map<std::string, Entry> Entries;
@@ -225,6 +255,8 @@ private:
   mutable std::list<std::string> Lru;
   size_t MaxEntries = 0;
   size_t MaxBytes = 0;
+  double TTLSeconds = 0; ///< <= 0 = entries never expire.
+  ClockFn Clock;         ///< Null = steadyNowSeconds.
   /// Sum of every entry's AccountedBytes — the O(1) signal the byte cap
   /// is enforced against (bytesUsed()/stats() keep their exact walk).
   size_t BytesResident = 0;

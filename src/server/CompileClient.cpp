@@ -2,6 +2,7 @@
 
 #include "server/CompileClient.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -34,43 +35,175 @@ bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
   }
   if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
     setErr(Err, "connect(" + SocketPath + ") failed: " + std::strerror(errno));
-    close();
+    ::close(Fd);
+    Fd = -1;
     return false;
   }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ReaderExited = false;
+    ReaderExitReason.clear();
+    Replies.clear();
+    Unclaimed.clear();
+    Outstanding.clear();
+    ArrivalCounter = 0;
+  }
+  Reader = std::thread([this] { readerLoop(); });
   return true;
 }
 
 void CompileClient::close() {
+  // shutdown() (not close()) wakes the reader parked in readFrame; the fd
+  // itself is released only after the join, so the reader can never race
+  // a recycled descriptor number.
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+  if (Reader.joinable())
+    Reader.join();
   if (Fd >= 0) {
     ::close(Fd);
     Fd = -1;
   }
 }
 
-std::optional<Json> CompileClient::request(const Json &Request,
-                                           std::string *Err) {
+//===----------------------------------------------------------------------===//
+// Reader thread: the receive side of the socket
+//===----------------------------------------------------------------------===//
+
+void CompileClient::readerLoop() {
+  std::string Payload;
+  while (true) {
+    FrameStatus Status = readFrame(Fd, Payload);
+    if (Status != FrameStatus::Ok) {
+      failAllPending(Status == FrameStatus::Eof
+                         ? "server closed the connection"
+                         : "read failed");
+      return;
+    }
+    std::string ParseErr;
+    std::optional<Json> Frame = Json::parse(Payload, &ParseErr);
+    if (Frame && isNotification(*Frame)) {
+      uint64_t Ticket = static_cast<uint64_t>(Frame->integer("ticket", 0));
+      std::shared_ptr<std::promise<CompileResult>> P;
+      uint64_t Arrival = 0;
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        Arrival = ++ArrivalCounter;
+        auto It = Tickets.find(Ticket);
+        if (It != Tickets.end()) {
+          P = std::move(It->second);
+          Tickets.erase(It);
+        } else {
+          // The submitted reply naming this ticket has not been consumed
+          // yet (pipelined submission); park the note for registerTicket.
+          Unclaimed[Ticket] = EarlyNote{std::move(*Frame), Arrival};
+        }
+      }
+      if (P)
+        resolveTicket(*P, *Frame, Arrival);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      QueuedReply R;
+      if (Frame)
+        R.Frame = std::move(*Frame);
+      else
+        R.Err = "malformed response: " + ParseErr;
+      Replies.push_back(std::move(R));
+    }
+    ReplyCv.notify_all();
+  }
+}
+
+void CompileClient::failAllPending(const std::string &Why) {
+  std::unordered_map<uint64_t, std::shared_ptr<std::promise<CompileResult>>>
+      Orphans;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ReaderExited = true;
+    ReaderExitReason = Why;
+    Orphans.swap(Tickets);
+  }
+  for (auto &KV : Orphans)
+    KV.second->set_exception(
+        std::make_exception_ptr(std::runtime_error(Why)));
+  ReplyCv.notify_all();
+}
+
+void CompileClient::resolveTicket(std::promise<CompileResult> &P,
+                                  const Json &Note, uint64_t Arrival) {
+  if (const Json *Error = Note.get("error")) {
+    P.set_exception(std::make_exception_ptr(std::runtime_error(
+        "server error: " +
+        (Error->isString() ? Error->asString() : Note.dump()))));
+    return;
+  }
+  const Json *ReportJson = Note.get("report");
+  CompileResult R;
+  std::string DecodeErr;
+  if (!ReportJson || !kernelReportFromJson(*ReportJson, R.Report, DecodeErr)) {
+    P.set_exception(std::make_exception_ptr(std::runtime_error(
+        DecodeErr.empty() ? "result missing 'report'" : DecodeErr)));
+    return;
+  }
+  R.Cached = Note.boolean("cached", false);
+  R.Arrival = Arrival;
+  P.set_value(std::move(R));
+}
+
+//===----------------------------------------------------------------------===//
+// Request / reply plumbing
+//===----------------------------------------------------------------------===//
+
+bool CompileClient::sendRequest(const Json &Request, std::string *Err) {
   if (Fd < 0) {
     setErr(Err, "not connected");
-    return std::nullopt;
+    return false;
   }
   if (!writeFrame(Fd, Request.dump())) {
     setErr(Err, "write failed (server gone?)");
+    return false;
+  }
+  return true;
+}
+
+std::optional<Json> CompileClient::awaitReply(std::string *Err) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  ReplyCv.wait(Lock, [this] { return !Replies.empty() || ReaderExited; });
+  if (Replies.empty()) {
+    setErr(Err, ReaderExitReason.empty() ? "connection closed"
+                                         : ReaderExitReason);
+    return std::nullopt;
+  }
+  QueuedReply R = std::move(Replies.front());
+  Replies.pop_front();
+  if (!R.Frame) {
+    setErr(Err, R.Err);
+    return std::nullopt;
+  }
+  return std::move(R.Frame);
+}
+
+std::optional<Json> CompileClient::request(const Json &Request,
+                                           std::string *Err) {
+  if (!sendRequest(Request, Err)) {
     close();
     return std::nullopt;
   }
-  std::string Payload;
-  FrameStatus Status = readFrame(Fd, Payload);
-  if (Status != FrameStatus::Ok) {
-    setErr(Err, Status == FrameStatus::Eof ? "server closed the connection"
-                                           : "read failed");
-    close();
-    return std::nullopt;
+  std::optional<Json> Reply = awaitReply(Err);
+  if (!Reply) {
+    // A dead reader means a dead connection; a merely malformed frame
+    // (test traffic) leaves the connection usable.
+    bool Dead;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Dead = ReaderExited;
+    }
+    if (Dead)
+      close();
   }
-  std::string ParseErr;
-  std::optional<Json> Response = Json::parse(Payload, &ParseErr);
-  if (!Response)
-    setErr(Err, "malformed response: " + ParseErr);
-  return Response;
+  return Reply;
 }
 
 std::optional<Json> CompileClient::roundTrip(const Json &Request,
@@ -102,6 +235,10 @@ std::optional<Json> CompileClient::hello(const std::string &ClientName,
   return roundTrip(J, "welcome", Err);
 }
 
+//===----------------------------------------------------------------------===//
+// Blocking compiles
+//===----------------------------------------------------------------------===//
+
 std::optional<CompileClient::CompileResult>
 CompileClient::decodeResult(const Json &Response, std::string *Err) {
   const Json *ReportJson = Response.get("report");
@@ -119,17 +256,27 @@ CompileClient::decodeResult(const Json &Response, std::string *Err) {
   return R;
 }
 
-std::optional<CompileClient::CompileResult>
-CompileClient::compileWorkload(const std::string &Target, Json WorkloadJson,
-                               const CompileOptions &Options,
-                               std::string *Err) {
+Json CompileClient::makeCompileMessage(const char *Type,
+                                       const std::string &Target,
+                                       Json WorkloadJson,
+                                       const CompileOptions &Options) {
   Json J = Json::object();
-  J.set("type", "compile");
+  J.set("type", Type);
   J.set("id", NextId++);
   J.set("target", Target);
   J.set("workload", std::move(WorkloadJson));
   J.set("options", toJson(Options));
-  std::optional<Json> Response = roundTrip(J, "result", Err);
+  return J;
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::compileWorkload(const std::string &Target, Json WorkloadJson,
+                               const CompileOptions &Options,
+                               std::string *Err) {
+  std::optional<Json> Response =
+      roundTrip(makeCompileMessage("compile", Target, std::move(WorkloadJson),
+                                   Options),
+                "result", Err);
   if (!Response)
     return std::nullopt;
   return decodeResult(*Response, Err);
@@ -159,6 +306,216 @@ CompileClient::compileDense(const std::string &Target, const std::string &Name,
   Work.set("out", Out);
   return compileWorkload(Target, std::move(Work), Options, Err);
 }
+
+//===----------------------------------------------------------------------===//
+// Streaming compiles
+//===----------------------------------------------------------------------===//
+
+CompileClient::AsyncHandle CompileClient::registerTicket(uint64_t Ticket) {
+  auto P = std::make_shared<std::promise<CompileResult>>();
+  AsyncHandle H;
+  H.Ticket = Ticket;
+  H.Fut = P->get_future().share();
+  std::optional<EarlyNote> Early;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Unclaimed.find(Ticket);
+    if (It != Unclaimed.end()) {
+      Early = std::move(It->second);
+      Unclaimed.erase(It);
+    } else if (ReaderExited) {
+      // The connection died between the submitted reply and now; nobody
+      // will ever resolve this ticket — fail it instead of parking it.
+      P->set_exception(std::make_exception_ptr(std::runtime_error(
+          ReaderExitReason.empty() ? "connection closed" : ReaderExitReason)));
+      Outstanding.push_back(H);
+      return H;
+    } else {
+      Tickets.emplace(Ticket, P);
+    }
+    Outstanding.push_back(H);
+  }
+  if (Early)
+    resolveTicket(*P, Early->Frame, Early->Arrival);
+  return H;
+}
+
+std::optional<CompileClient::AsyncHandle>
+CompileClient::submitWorkload(const std::string &Target, Json WorkloadJson,
+                              const CompileOptions &Options,
+                              std::string *Err) {
+  std::optional<Json> Response =
+      roundTrip(makeCompileMessage("compile_async", Target,
+                                   std::move(WorkloadJson), Options),
+                "submitted", Err);
+  if (!Response)
+    return std::nullopt;
+  uint64_t Ticket = static_cast<uint64_t>(Response->integer("ticket", 0));
+  if (Ticket == 0) {
+    setErr(Err, "submitted reply missing 'ticket'");
+    return std::nullopt;
+  }
+  return registerTicket(Ticket);
+}
+
+std::optional<CompileClient::AsyncHandle>
+CompileClient::submitConv(const std::string &Target, const ConvLayer &Layer,
+                          const CompileOptions &Options, std::string *Err) {
+  return submitWorkload(Target, toJson(Layer), Options, Err);
+}
+
+std::optional<CompileClient::AsyncHandle>
+CompileClient::submitConv3d(const std::string &Target,
+                            const Conv3dLayer &Layer,
+                            const CompileOptions &Options, std::string *Err) {
+  return submitWorkload(Target, toJson(Layer), Options, Err);
+}
+
+std::optional<CompileClient::AsyncHandle>
+CompileClient::submitDense(const std::string &Target, const std::string &Name,
+                           int64_t In, int64_t Out,
+                           const CompileOptions &Options, std::string *Err) {
+  Json Work = Json::object();
+  Work.set("kind", "dense");
+  Work.set("name", Name);
+  Work.set("in", In);
+  Work.set("out", Out);
+  return submitWorkload(Target, std::move(Work), Options, Err);
+}
+
+std::optional<std::vector<CompileClient::AsyncHandle>>
+CompileClient::submitModelLayers(const std::string &Target, const Model &M,
+                                 const CompileOptions &Options,
+                                 std::string *Err) {
+  // Write every frame first, then collect replies: the server handles one
+  // connection's requests in order, so the k-th submitted reply belongs
+  // to the k-th layer — and the socket stays full instead of stalling a
+  // round trip per layer.
+  for (const ConvLayer &L : M.Convs)
+    if (!sendRequest(makeCompileMessage("compile_async", Target, toJson(L),
+                                        Options),
+                     Err)) {
+      close();
+      return std::nullopt;
+    }
+  // Consume every reply of the batch even after a failure: returning
+  // early would leave the later replies queued and desynchronize every
+  // subsequent request on this connection. Tickets that did get issued
+  // are registered regardless, so waitAll() still joins (and the reader
+  // still routes) their notifications.
+  std::vector<AsyncHandle> Handles;
+  Handles.reserve(M.Convs.size());
+  std::string FirstErr;
+  for (size_t I = 0; I < M.Convs.size(); ++I) {
+    std::optional<Json> Reply = awaitReply(Err);
+    if (!Reply) {
+      close(); // Transport failure: nothing more will arrive.
+      return std::nullopt;
+    }
+    uint64_t Ticket = static_cast<uint64_t>(Reply->integer("ticket", 0));
+    if (Reply->str("type") == "submitted" && Ticket != 0) {
+      Handles.push_back(registerTicket(Ticket));
+    } else if (FirstErr.empty()) {
+      FirstErr = Reply->str("type") == "error"
+                     ? "server error: " + Reply->str("message")
+                     : "expected 'submitted' reply, got '" +
+                           Reply->str("type") + "'";
+    }
+  }
+  if (!FirstErr.empty()) {
+    setErr(Err, FirstErr);
+    return std::nullopt;
+  }
+  return Handles;
+}
+
+std::optional<CompileClient::CompileResult>
+CompileClient::wait(const AsyncHandle &Handle, std::string *Err) {
+  if (!Handle.valid()) {
+    setErr(Err, "invalid async handle");
+    return std::nullopt;
+  }
+  try {
+    return Handle.Fut.get();
+  } catch (const std::exception &E) {
+    setErr(Err, E.what());
+    return std::nullopt;
+  }
+}
+
+bool CompileClient::waitAll(std::string *Err) {
+  std::vector<AsyncHandle> ToJoin;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ToJoin.swap(Outstanding);
+  }
+  bool Ok = true;
+  std::string FirstErr;
+  for (const AsyncHandle &H : ToJoin) {
+    std::string HandleErr;
+    if (!wait(H, &HandleErr) && Ok) {
+      Ok = false;
+      FirstErr = HandleErr;
+    }
+  }
+  if (!Ok)
+    setErr(Err, FirstErr);
+  return Ok;
+}
+
+bool CompileClient::cancel(const AsyncHandle &Handle, std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "cancel");
+  J.set("id", NextId++);
+  J.set("ticket", Handle.Ticket);
+  std::optional<Json> Response = roundTrip(J, "cancelled", Err);
+  if (!Response)
+    return false;
+  if (Response->boolean("was_pending", false)) {
+    // No notification will ever come: resolve the local future as
+    // cancelled and stop waitAll from waiting on it.
+    std::shared_ptr<std::promise<CompileResult>> P;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Tickets.find(Handle.Ticket);
+      if (It != Tickets.end()) {
+        P = std::move(It->second);
+        Tickets.erase(It);
+      }
+      Outstanding.erase(
+          std::remove_if(Outstanding.begin(), Outstanding.end(),
+                         [&](const AsyncHandle &H) {
+                           return H.Ticket == Handle.Ticket;
+                         }),
+          Outstanding.end());
+    }
+    if (P)
+      P->set_exception(std::make_exception_ptr(
+          std::runtime_error("cancelled by this client")));
+  }
+  return true;
+}
+
+std::optional<std::string> CompileClient::poll(const AsyncHandle &Handle,
+                                               std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "poll");
+  J.set("id", NextId++);
+  J.set("ticket", Handle.Ticket);
+  std::optional<Json> Response = roundTrip(J, "ticket_status", Err);
+  if (!Response)
+    return std::nullopt;
+  return Response->str("state");
+}
+
+size_t CompileClient::pendingTickets() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Tickets.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Model compiles, discovery, stats, persistence, shutdown
+//===----------------------------------------------------------------------===//
 
 std::optional<CompileClient::ModelResult>
 CompileClient::compileModel(const std::string &Target, const Model &M,

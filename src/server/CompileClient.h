@@ -6,16 +6,32 @@
 ///
 /// \file
 /// The client half of the compile-server protocol (docs/SERVER.md): a
-/// blocking, single-connection handle that frames requests, awaits the
-/// matching response, and decodes it back into runtime types. One request
-/// is in flight per client at a time (the protocol is strictly
-/// request/response); concurrency comes from connecting more clients —
-/// the server's shared session deduplicates their isomorphic work.
+/// single-connection handle that frames requests, awaits replies, and
+/// decodes them back into runtime types. A background reader thread owns
+/// the receive side of the socket: replies are handed to whichever call
+/// is awaiting one, and pushed streaming notifications ("result" frames
+/// keyed by ticket) resolve the matching submit() future the moment they
+/// arrive — which is what lets one connection keep many compiles in
+/// flight at once.
 ///
-/// Every typed call returns std::nullopt / false on failure and fills the
-/// optional \p Err out-param with either the transport error or the
-/// server's error-message payload. request() is the raw escape hatch the
-/// tests use to exercise malformed traffic.
+/// Two ways to compile:
+///   - blocking: compileConv / compileConv3d / compileDense /
+///     compileModel — one request, one reply, strictly serialized;
+///   - streaming: submitConv / submitConv3d / submitDense (or
+///     submitModelLayers, which pipelines a whole model's submissions
+///     before collecting any reply) return an AsyncHandle whose future
+///     resolves when the server pushes the result — out of order with
+///     respect to submission is the norm. wait()/waitAll() join;
+///     cancel() drops a pending ticket's delivery; poll() asks the
+///     server whether a ticket is still pending.
+///
+/// Threading: the request-issuing methods (everything that writes to the
+/// socket) must be called from one thread at a time; wait()/waitAll()
+/// only touch futures and may be called from anywhere. Every typed call
+/// returns std::nullopt / false on failure and fills the optional \p Err
+/// out-param with either the transport error or the server's
+/// error-message payload. request() is the raw escape hatch the tests
+/// use to exercise malformed traffic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,9 +40,17 @@
 
 #include "server/Protocol.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace unit {
@@ -39,23 +63,31 @@ public:
   CompileClient(const CompileClient &) = delete;
   CompileClient &operator=(const CompileClient &) = delete;
 
-  /// Connects to the server's Unix socket. Does not send hello.
+  /// Connects to the server's Unix socket and starts the reader thread.
+  /// Does not send hello.
   bool connect(const std::string &SocketPath, std::string *Err = nullptr);
   void close();
   bool connected() const { return Fd >= 0; }
 
-  /// Sends one request frame and reads the matching response frame.
+  /// Sends one request frame and reads the matching response frame
+  /// (notifications that arrive in between are dispatched to their
+  /// tickets, never returned here).
   std::optional<Json> request(const Json &Request, std::string *Err = nullptr);
 
   /// hello handshake; \p MaxCandidates > 0 registers a per-client tuning
   /// budget the server will clamp every later request to. Returns the
-  /// welcome message (server name, protocol version, cache fingerprint).
+  /// welcome message (server name, protocol version, streaming flag,
+  /// cache fingerprint).
   std::optional<Json> hello(const std::string &ClientName,
                             int MaxCandidates = 0, std::string *Err = nullptr);
 
   struct CompileResult {
     KernelReport Report;
     bool Cached = false; ///< Served from a pre-existing ready entry.
+    /// Delivery sequence on this connection (1 = first notification the
+    /// reader saw); 0 for blocking results. Lets callers observe
+    /// out-of-order completion without timestamping.
+    uint64_t Arrival = 0;
   };
   std::optional<CompileResult> compileConv(const std::string &Target,
                                            const ConvLayer &Layer,
@@ -70,6 +102,68 @@ public:
                                             int64_t In, int64_t Out,
                                             const CompileOptions &Options = {},
                                             std::string *Err = nullptr);
+
+  //===--------------------------------------------------------------------===//
+  // Streaming (compile_async / result notifications)
+  //===--------------------------------------------------------------------===//
+
+  /// Handle on one submitted compile: the server-assigned ticket plus a
+  /// future the reader thread resolves when the result notification
+  /// lands. Copyable; all copies observe the same result.
+  struct AsyncHandle {
+    uint64_t Ticket = 0;
+    std::shared_future<CompileResult> Fut;
+    bool valid() const { return Fut.valid(); }
+    bool ready() const {
+      return Fut.valid() && Fut.wait_for(std::chrono::seconds(0)) ==
+                                std::future_status::ready;
+    }
+  };
+
+  std::optional<AsyncHandle> submitConv(const std::string &Target,
+                                        const ConvLayer &Layer,
+                                        const CompileOptions &Options = {},
+                                        std::string *Err = nullptr);
+  std::optional<AsyncHandle> submitConv3d(const std::string &Target,
+                                          const Conv3dLayer &Layer,
+                                          const CompileOptions &Options = {},
+                                          std::string *Err = nullptr);
+  std::optional<AsyncHandle> submitDense(const std::string &Target,
+                                         const std::string &Name, int64_t In,
+                                         int64_t Out,
+                                         const CompileOptions &Options = {},
+                                         std::string *Err = nullptr);
+
+  /// Pipelined batch submission: writes one compile_async frame per conv
+  /// layer of \p M back-to-back, then collects the submitted replies —
+  /// no per-layer round-trip stall, which is what makes a warm model zoo
+  /// stream at socket speed. Handles are index-aligned with M.Convs.
+  std::optional<std::vector<AsyncHandle>>
+  submitModelLayers(const std::string &Target, const Model &M,
+                    const CompileOptions &Options = {},
+                    std::string *Err = nullptr);
+
+  /// Blocks until \p Handle's result lands; nullopt + \p Err when the
+  /// compile failed, the ticket was cancelled, or the connection died.
+  std::optional<CompileResult> wait(const AsyncHandle &Handle,
+                                    std::string *Err = nullptr);
+
+  /// Waits for every not-yet-waited, not-cancelled submission on this
+  /// connection. Returns false (first failure in \p Err) if any ticket
+  /// failed; the rest are still joined.
+  bool waitAll(std::string *Err = nullptr);
+
+  /// Asks the server to drop \p Handle's delivery (the compile itself
+  /// runs to completion inside the shared session). The local future
+  /// fails with "cancelled"; waitAll() no longer waits for it.
+  bool cancel(const AsyncHandle &Handle, std::string *Err = nullptr);
+
+  /// The server's view of \p Handle: "pending" or "resolved".
+  std::optional<std::string> poll(const AsyncHandle &Handle,
+                                  std::string *Err = nullptr);
+
+  /// Tickets submitted but not yet resolved by a notification.
+  size_t pendingTickets() const;
 
   struct ModelResult {
     std::string ModelName;
@@ -111,6 +205,14 @@ public:
   bool shutdownServer(std::string *Err = nullptr);
 
 private:
+  /// A result notification the reader saw before the submitted reply
+  /// registered its ticket (the server resolves warm hits fast enough
+  /// for this to be routine under pipelined submission).
+  struct EarlyNote {
+    Json Frame;
+    uint64_t Arrival = 0;
+  };
+
   /// request() + error-response unwrapping + expected-type check.
   std::optional<Json> roundTrip(const Json &Request, const char *ExpectType,
                                 std::string *Err);
@@ -120,11 +222,53 @@ private:
                                                Json WorkloadJson,
                                                const CompileOptions &Options,
                                                std::string *Err);
+  std::optional<AsyncHandle> submitWorkload(const std::string &Target,
+                                            Json WorkloadJson,
+                                            const CompileOptions &Options,
+                                            std::string *Err);
+  Json makeCompileMessage(const char *Type, const std::string &Target,
+                          Json WorkloadJson, const CompileOptions &Options);
   std::optional<CompileResult> decodeResult(const Json &Response,
                                             std::string *Err);
 
+  /// Write side of request(): frames one message onto the socket.
+  bool sendRequest(const Json &Request, std::string *Err);
+  /// Read side of request(): pops the next *reply* frame the reader
+  /// queued (blocking; fails when the reader died).
+  std::optional<Json> awaitReply(std::string *Err);
+  /// Registers \p Ticket from a submitted reply, claiming any notification
+  /// that raced ahead of it.
+  AsyncHandle registerTicket(uint64_t Ticket);
+  /// Resolves one submit future from its notification frame.
+  static void resolveTicket(std::promise<CompileResult> &P, const Json &Note,
+                            uint64_t Arrival);
+
+  void readerLoop();
+  /// Fails every outstanding ticket and reply waiter (reader exit path).
+  void failAllPending(const std::string &Why);
+
   int Fd = -1;
   uint64_t NextId = 1;
+
+  /// One queued reply: the parsed frame, or the parse error when the
+  /// peer sent a syntactically broken frame (a real server never does; a
+  /// test harness might) — kept in one queue so replies stay in order.
+  struct QueuedReply {
+    std::optional<Json> Frame;
+    std::string Err;
+  };
+
+  std::thread Reader;
+  mutable std::mutex Mu; ///< Guards everything below.
+  std::condition_variable ReplyCv;
+  std::deque<QueuedReply> Replies; ///< Non-notification frames, in order.
+  bool ReaderExited = false;
+  std::string ReaderExitReason;
+  std::unordered_map<uint64_t, std::shared_ptr<std::promise<CompileResult>>>
+      Tickets;
+  std::unordered_map<uint64_t, EarlyNote> Unclaimed;
+  std::vector<AsyncHandle> Outstanding; ///< For waitAll; pruned by cancel.
+  uint64_t ArrivalCounter = 0;
 };
 
 } // namespace unit

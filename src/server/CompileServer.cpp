@@ -331,6 +331,7 @@ void CompileServer::serveConnection(Connection &Conn) {
       ++Lifetime.Requests;
     }
     bool CloseAfter = false;
+    uint64_t AnnounceTicketId = 0;
     Json Response;
     std::string ParseErr;
     std::optional<Json> Request = Json::parse(Payload, &ParseErr);
@@ -341,7 +342,7 @@ void CompileServer::serveConnection(Connection &Conn) {
       // failure must become one error response, never std::terminate
       // for the whole shared daemon.
       try {
-        Response = handleRequest(Conn, *Request, CloseAfter);
+        Response = handleRequest(Conn, *Request, CloseAfter, AnnounceTicketId);
       } catch (const std::exception &E) {
         Response = errorResponse(*Request,
                                  std::string("compile failed: ") + E.what());
@@ -369,10 +370,26 @@ void CompileServer::serveConnection(Connection &Conn) {
                             "'detail')");
       Dump = TooBig.dump();
     }
-    if (!writeFrame(Conn.Fd, Dump))
+    if (!writeToConnection(Conn, Dump))
       break;
+    // Only after the submitted reply is on the wire may this ticket's
+    // notification go out — the client must learn the ticket number
+    // before the result that carries it.
+    if (AnnounceTicketId != 0)
+      announceTicket(Conn, AnnounceTicketId);
     if (CloseAfter)
       break;
+  }
+  // Drain streaming work before retiring: completion callbacks hold a
+  // reference to this Connection, so it must outlive the last of them —
+  // and this wait is also what delivers (or, with the peer gone, cleanly
+  // discards) every pending ticket on shutdown: the read side may be
+  // closed, but the write side stays up until the table is empty, so a
+  // pipelined client never hangs on a vanished ticket.
+  {
+    std::unique_lock<std::mutex> Lock(Conn.TicketMu);
+    Conn.TicketCv.wait(Lock, [&Conn] { return Conn.UnresolvedJobs == 0; });
+    Conn.Tickets.clear();
   }
   // Tell the peer we are done *now* (EOF on its next read): the fd is
   // close()d only by whoever joins this thread (the accept loop's
@@ -382,6 +399,12 @@ void CompileServer::serveConnection(Connection &Conn) {
   // harmless.
   ::shutdown(Conn.Fd, SHUT_RDWR);
   Conn.Done.store(true);
+}
+
+bool CompileServer::writeToConnection(Connection &Conn,
+                                      const std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(Conn.WriteMu);
+  return writeFrame(Conn.Fd, Payload);
 }
 
 //===----------------------------------------------------------------------===//
@@ -403,12 +426,18 @@ Json CompileServer::errorResponse(const Json &Request,
 }
 
 Json CompileServer::handleRequest(Connection &Conn, const Json &Request,
-                                  bool &CloseAfter) {
+                                  bool &CloseAfter, uint64_t &AnnounceTicket) {
   const std::string Type = Request.str("type");
   if (Type == "hello")
     return handleHello(Conn, Request);
   if (Type == "compile")
     return handleCompile(Conn, Request);
+  if (Type == "compile_async")
+    return handleCompileAsync(Conn, Request, AnnounceTicket);
+  if (Type == "cancel")
+    return handleCancel(Conn, Request);
+  if (Type == "poll")
+    return handlePoll(Conn, Request);
   if (Type == "compile_model")
     return handleCompileModel(Conn, Request);
   if (Type == "list_targets")
@@ -464,6 +493,9 @@ Json CompileServer::handleHello(Connection &Conn, const Json &Request) {
     J.set("id", *Id);
   J.set("server", "unit_serve");
   J.set("protocol", ProtocolVersion);
+  // Capability flag, not a version bump: the streaming message family is
+  // an addition, and additions are advertised, not versioned.
+  J.set("streaming", true);
   J.set("fingerprint", CompilerSession::persistenceFingerprint());
   if (Config.MaxCandidatesCap > 0)
     J.set("server_max_candidates", Config.MaxCandidatesCap);
@@ -513,16 +545,22 @@ void CompileServer::recordServed(Connection &Conn, double Seconds,
   C.MaxSeconds = std::max(C.MaxSeconds, Seconds);
 }
 
-Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
+bool CompileServer::parseCompileRequest(Connection &Conn, const Json &Request,
+                                        std::optional<CompileRequest> &Out,
+                                        Json &ErrorReply) {
   // Targets resolve through the registry, not a protocol-level name
   // table: a backend registered at runtime is immediately addressable.
   const std::string TargetId = Request.str("target", "x86");
   TargetBackendRef Target = TargetRegistry::instance().lookup(TargetId);
+  auto Fail = [&](const std::string &Message) {
+    ErrorReply = errorResponse(Request, Message);
+    return false;
+  };
   if (!Target)
-    return errorResponse(Request, "unknown target '" + TargetId + "'");
+    return Fail("unknown target '" + TargetId + "'");
   const Json *WorkloadJson = Request.get("workload");
   if (!WorkloadJson || !WorkloadJson->isObject())
-    return errorResponse(Request, "missing 'workload' object");
+    return Fail("missing 'workload' object");
 
   CompileOptions Options = optionsFromJson(Request.get("options"));
   Options.MaxCandidates =
@@ -534,32 +572,41 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
   if (Kind == "conv2d") {
     ConvLayer L;
     if (!convLayerFromJson(*WorkloadJson, L, WireErr))
-      return errorResponse(Request, WireErr);
+      return Fail(WireErr);
     Work = Workload::conv2d(std::move(L));
   } else if (Kind == "dense") {
-    int64_t In = 0, Out = 0;
+    int64_t In = 0, OutDim = 0;
     if (!readIntField(*WorkloadJson, "in", 0, In, WireErr) ||
-        !readIntField(*WorkloadJson, "out", 0, Out, WireErr))
-      return errorResponse(Request, WireErr);
-    if (In <= 0 || Out <= 0 || In > MaxWorkloadDim || Out > MaxWorkloadDim)
-      return errorResponse(Request, "dense requires positive 'in' and 'out' "
-                                    "within the supported maximum");
-    Work = Workload::dense(WorkloadJson->str("name", "dense"), In, Out);
+        !readIntField(*WorkloadJson, "out", 0, OutDim, WireErr))
+      return Fail(WireErr);
+    if (In <= 0 || OutDim <= 0 || In > MaxWorkloadDim ||
+        OutDim > MaxWorkloadDim)
+      return Fail("dense requires positive 'in' and 'out' within the "
+                  "supported maximum");
+    Work = Workload::dense(WorkloadJson->str("name", "dense"), In, OutDim);
   } else if (Kind == "conv3d") {
     // Routing conv3d to a backend without the hook would fatal-error the
     // daemon, so gate on the backend's declared capability — new
     // registered backends are picked up without touching the server.
     if (!Target->supportsConv3d())
-      return errorResponse(Request, "conv3d is not supported on " + TargetId);
+      return Fail("conv3d is not supported on " + TargetId);
     Conv3dLayer L;
     if (!conv3dLayerFromJson(*WorkloadJson, L, WireErr))
-      return errorResponse(Request, WireErr);
+      return Fail(WireErr);
     Work = Workload::conv3d(std::move(L));
   } else {
-    return errorResponse(Request, "unknown workload kind '" + Kind + "'");
+    return Fail("unknown workload kind '" + Kind + "'");
   }
+  Out.emplace(std::move(*Work), std::move(Target), Options);
+  return true;
+}
 
-  CompileRequest Compile(std::move(*Work), Target, Options);
+Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
+  std::optional<CompileRequest> Compile;
+  Json ErrorReply;
+  if (!parseCompileRequest(Conn, Request, Compile, ErrorReply))
+    return ErrorReply;
+
   // "Cached" means this request triggered no fresh compile: served by a
   // ready entry or a single-flight join of a concurrent client's
   // compile. The signal comes from the compile call itself (race-free,
@@ -567,12 +614,12 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
   // account exactly one compiled layer between them.
   double T0 = steadyNowSeconds();
   bool Computed = false;
-  KernelReport Report = Session->compile(Compile, &Computed);
+  KernelReport Report = Session->compile(*Compile, &Computed);
   double Seconds = steadyNowSeconds() - T0;
   bool Cached = !Computed;
   // Dirty-flag for the persist thread — only compiles that actually
   // inserted into the cache count (Bypass computes but writes nothing).
-  if (Computed && Options.Policy != CachePolicy::Bypass)
+  if (Computed && Compile->Options.Policy != CachePolicy::Bypass)
     CompilesSinceSave.fetch_add(1);
   recordServed(Conn, Seconds, /*Layers=*/1, /*FromCache=*/Cached ? 1 : 0,
                /*FreshKernels=*/Computed ? 1 : 0, /*IsCompile=*/true);
@@ -583,6 +630,186 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
     J.set("id", *Id);
   J.set("cached", Cached);
   J.set("report", toJson(Report));
+  return J;
+}
+
+Json CompileServer::handleCompileAsync(Connection &Conn, const Json &Request,
+                                       uint64_t &AnnounceTicket) {
+  std::optional<CompileRequest> Compile;
+  Json ErrorReply;
+  if (!parseCompileRequest(Conn, Request, Compile, ErrorReply))
+    return ErrorReply;
+
+  uint64_t Ticket = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Conn.TicketMu);
+    if (Conn.Tickets.size() < MaxPendingTicketsPerConnection) {
+      Ticket = Conn.NextTicket++;
+      Conn.Tickets.emplace(Ticket, TicketState{});
+      ++Conn.UnresolvedJobs;
+    }
+  }
+  if (Ticket == 0)
+    return errorResponse(Request,
+                         "too many pending tickets on this connection (max " +
+                             std::to_string(MaxPendingTicketsPerConnection) +
+                             "); wait for results or cancel some");
+  TicketsIssued.fetch_add(1);
+
+  // The callback may fire before this handler returns (a warm hit is a
+  // near-immediate pool task); delivery still waits for the announce
+  // below, so the wire order is always submitted-then-result.
+  double T0 = steadyNowSeconds();
+  CachePolicy Policy = Compile->Options.Policy;
+  Session->compileAsyncThen(
+      std::move(*Compile),
+      [this, &Conn, Ticket, T0, Policy](const KernelReport *Report,
+                                        std::exception_ptr Error,
+                                        bool Computed) {
+        finishTicket(Conn, Ticket, T0, Policy, Report, Error, Computed);
+      });
+
+  Json J = Json::object();
+  J.set("type", "submitted");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("ticket", Ticket);
+  AnnounceTicket = Ticket;
+  return J;
+}
+
+void CompileServer::finishTicket(Connection &Conn, uint64_t Ticket,
+                                 double SubmitSeconds, CachePolicy Policy,
+                                 const KernelReport *Report,
+                                 std::exception_ptr Error, bool Computed) {
+  std::string Payload;
+  if (Report) {
+    Payload = makeResultNotification(Ticket, /*Cached=*/!Computed, *Report)
+                  .dump();
+  } else {
+    std::string Message = "compile failed: unknown error";
+    if (Error) {
+      try {
+        std::rethrow_exception(Error);
+      } catch (const std::exception &E) {
+        Message = std::string("compile failed: ") + E.what();
+      } catch (...) {
+      }
+    }
+    Payload = makeErrorNotification(Ticket, Message).dump();
+    std::lock_guard<std::mutex> Lock(StatsMu);
+    ++Lifetime.Errors;
+  }
+
+  // The work happened whether or not anyone still wants the answer, so
+  // the accounting is unconditional; only delivery is gated on the
+  // ticket's fate.
+  if (Computed && Policy != CachePolicy::Bypass)
+    CompilesSinceSave.fetch_add(1);
+  recordServed(Conn, steadyNowSeconds() - SubmitSeconds, /*Layers=*/1,
+               /*FromCache=*/(Report && !Computed) ? 1 : 0,
+               /*FreshKernels=*/Computed ? 1 : 0, /*IsCompile=*/true);
+
+  bool Deliver = false;
+  {
+    std::lock_guard<std::mutex> Lock(Conn.TicketMu);
+    auto It = Conn.Tickets.find(Ticket);
+    if (It != Conn.Tickets.end()) {
+      if (It->second.Announced) {
+        Conn.Tickets.erase(It);
+        Deliver = true;
+      } else {
+        // Resolved before the submitted reply went out: park the frame;
+        // announceTicket flushes it. (Cancelled tickets are already out
+        // of the table — their result is simply dropped.)
+        It->second.Deferred = std::move(Payload);
+      }
+    }
+  }
+  if (Deliver) {
+    // Counted before the write: a client holding the pushed result must
+    // never read a stats snapshot that has not counted it yet. (A failed
+    // write — peer gone — still counts as a push.)
+    NotificationsDelivered.fetch_add(1);
+    writeToConnection(Conn, Payload);
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Conn.TicketMu);
+    --Conn.UnresolvedJobs;
+    // Notify while still holding TicketMu: the moment the drain can see
+    // zero it may retire the Connection, so an unlocked notify here
+    // would touch a freed condition variable.
+    Conn.TicketCv.notify_all();
+  }
+}
+
+void CompileServer::announceTicket(Connection &Conn, uint64_t Ticket) {
+  std::string Payload;
+  {
+    std::lock_guard<std::mutex> Lock(Conn.TicketMu);
+    auto It = Conn.Tickets.find(Ticket);
+    if (It == Conn.Tickets.end())
+      return; // Cancelled between reply and announce (defensive).
+    if (It->second.Deferred.empty()) {
+      It->second.Announced = true; // Job still running; callback delivers.
+      return;
+    }
+    Payload = std::move(It->second.Deferred);
+    Conn.Tickets.erase(It);
+  }
+  NotificationsDelivered.fetch_add(1); // Before the write; see finishTicket.
+  writeToConnection(Conn, Payload);
+}
+
+Json CompileServer::handleCancel(Connection &Conn, const Json &Request) {
+  uint64_t Ticket = static_cast<uint64_t>(Request.integer("ticket", 0));
+  if (Ticket == 0)
+    return errorResponse(Request, "cancel requires a positive 'ticket'");
+  bool Known = false, WasPending = false;
+  {
+    std::lock_guard<std::mutex> Lock(Conn.TicketMu);
+    Known = Ticket < Conn.NextTicket;
+    WasPending = Conn.Tickets.erase(Ticket) > 0;
+  }
+  if (!Known)
+    return errorResponse(Request, "unknown ticket " + std::to_string(Ticket) +
+                                      " (never issued on this connection)");
+  if (WasPending)
+    TicketsCancelled.fetch_add(1);
+  // Cancellation is delivery-only: the session job (and the shared cache
+  // entry other clients may be joining) runs to completion regardless —
+  // a cancel can never corrupt or evict single-flight state.
+  Json J = Json::object();
+  J.set("type", "cancelled");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("ticket", Ticket);
+  J.set("was_pending", WasPending);
+  return J;
+}
+
+Json CompileServer::handlePoll(Connection &Conn, const Json &Request) {
+  uint64_t Ticket = static_cast<uint64_t>(Request.integer("ticket", 0));
+  if (Ticket == 0)
+    return errorResponse(Request, "poll requires a positive 'ticket'");
+  bool Known = false, Pending = false;
+  {
+    std::lock_guard<std::mutex> Lock(Conn.TicketMu);
+    Known = Ticket < Conn.NextTicket;
+    Pending = Conn.Tickets.count(Ticket) != 0;
+  }
+  if (!Known)
+    return errorResponse(Request, "unknown ticket " + std::to_string(Ticket) +
+                                      " (never issued on this connection)");
+  Json J = Json::object();
+  J.set("type", "ticket_status");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("ticket", Ticket);
+  // "resolved" covers delivered, failed-and-delivered, and cancelled —
+  // the table only distinguishes pending from gone.
+  J.set("state", Pending ? "pending" : "resolved");
   return J;
 }
 
@@ -709,6 +936,11 @@ Json CompileServer::handleStats(const Json &Request) {
   J.set("errors", Snapshot.Errors);
   J.set("tuner_invocations", tunerInvocations());
   J.set("inflight_jobs", Session->inFlightJobs());
+  Json Streaming = Json::object();
+  Streaming.set("tickets_issued", TicketsIssued.load());
+  Streaming.set("notifications_delivered", NotificationsDelivered.load());
+  Streaming.set("tickets_cancelled", TicketsCancelled.load());
+  J.set("streaming", std::move(Streaming));
   J.set("cache", std::move(Cache));
   J.set("clients", std::move(ClientsJson));
 
@@ -772,6 +1004,16 @@ void CompileServer::persistLoop() {
     ShutdownCv.wait_for(Lock, Interval);
     if (ShutdownRequested || Stopping.load())
       break; // stop() takes the final save after joining this thread.
+    // With a TTL configured, sweep expired entries on the same cadence —
+    // expiry is otherwise lazy, and a long-lived daemon should release
+    // dead entries' bytes even for keys nobody asks about again.
+    if (Session->cache().ttlSeconds() > 0) {
+      Lock.unlock();
+      Session->cache().purgeExpired();
+      Lock.lock();
+      if (ShutdownRequested || Stopping.load())
+        break;
+    }
     if (CompilesSinceSave.load() == 0)
       continue;
     Lock.unlock();

@@ -18,6 +18,17 @@
 /// server clamps every request's MaxCandidates to the client's cap and
 /// the server-wide cap, whichever is tighter.
 ///
+/// Streaming: compile_async answers with a ticket immediately and the
+/// result is pushed later as a notification, so one connection pipelines
+/// many compiles. Each connection keeps a ticket table and a frame-level
+/// write mutex that multiplexes notifications (written by session pool
+/// workers as jobs resolve, in completion order) with ordinary replies
+/// (written by the connection thread). Delivery of a ticket's
+/// notification is deferred until its submitted reply has hit the wire,
+/// so a client never learns a result before the ticket that names it;
+/// cancel drops a pending ticket's delivery (the underlying cache entry,
+/// shared with other clients, always completes); poll reports liveness.
+///
 /// Persistence: when configured with a cache file the server loads it at
 /// start (warm restart: zero tuner invocations for known kernels), saves
 /// it periodically while compiles are happening, and saves once more on
@@ -43,6 +54,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -133,6 +145,17 @@ private:
     double MaxSeconds = 0;
   };
 
+  /// One pending (or resolved-but-unannounced) compile_async ticket.
+  struct TicketState {
+    /// True once the submitted reply naming this ticket has been written.
+    /// A job that resolves earlier parks its payload in Deferred instead
+    /// of writing — the client must never see a result for a ticket it
+    /// has not been told about.
+    bool Announced = false;
+    /// The notification frame of a job that resolved pre-announce.
+    std::string Deferred;
+  };
+
   struct Connection {
     int Fd = -1;
     /// From hello; connections that never introduce themselves share the
@@ -141,6 +164,23 @@ private:
     std::string ClientName;
     std::thread Thread;
     std::atomic<bool> Done{false};
+
+    /// One frame at a time on Fd: the connection thread's replies and the
+    /// pool workers' pushed notifications interleave at frame granularity
+    /// behind this, never mid-frame.
+    std::mutex WriteMu;
+
+    /// Ticket table (guarded by TicketMu). A ticket lives here from
+    /// compile_async until its notification is delivered or it is
+    /// cancelled; UnresolvedJobs counts completion callbacks not yet
+    /// fired (cancelled tickets included — the session job still runs),
+    /// and TicketCv wakes the drain that keeps this Connection alive
+    /// until the last callback referencing it has finished.
+    std::mutex TicketMu;
+    std::condition_variable TicketCv;
+    uint64_t NextTicket = 1;
+    std::map<uint64_t, TicketState> Tickets;
+    size_t UnresolvedJobs = 0;
   };
 
   void acceptLoop();
@@ -157,17 +197,48 @@ private:
   void requestShutdown();
 
   /// Dispatches one request; returns the response message and sets
-  /// \p CloseAfter for shutdown. Compile paths may throw (backends and
+  /// \p CloseAfter for shutdown and \p AnnounceTicket for compile_async
+  /// (the ticket whose deferred notification becomes deliverable once
+  /// the response is on the wire). Compile paths may throw (backends and
   /// bad_alloc propagate through the cache by design) — serveConnection
   /// wraps the call in an exception barrier that turns the failure into
   /// an error response instead of terminating the daemon.
-  Json handleRequest(Connection &Conn, const Json &Request, bool &CloseAfter);
+  Json handleRequest(Connection &Conn, const Json &Request, bool &CloseAfter,
+                     uint64_t &AnnounceTicket);
   Json handleHello(Connection &Conn, const Json &Request);
   Json handleCompile(Connection &Conn, const Json &Request);
+  Json handleCompileAsync(Connection &Conn, const Json &Request,
+                          uint64_t &AnnounceTicket);
+  Json handleCancel(Connection &Conn, const Json &Request);
+  Json handlePoll(Connection &Conn, const Json &Request);
   Json handleCompileModel(Connection &Conn, const Json &Request);
   Json handleListTargets(const Json &Request);
   Json handleStats(const Json &Request);
   Json handleSaveCache(const Json &Request);
+
+  /// Decodes target/workload/options out of a compile or compile_async
+  /// request (the shared half of the two handlers). On failure returns
+  /// false with \p ErrorReply filled.
+  bool parseCompileRequest(Connection &Conn, const Json &Request,
+                           std::optional<CompileRequest> &Out,
+                           Json &ErrorReply);
+
+  /// Writes one frame to \p Conn under its write mutex. A false return
+  /// means the peer is gone; callers drop the frame (the read loop will
+  /// notice on its side).
+  bool writeToConnection(Connection &Conn, const std::string &Payload);
+
+  /// Marks \p Ticket announced and delivers its notification if the job
+  /// already resolved. Called by serveConnection right after writing the
+  /// submitted reply.
+  void announceTicket(Connection &Conn, uint64_t Ticket);
+
+  /// The completion hook for one streaming job: delivers (or defers) the
+  /// notification, does the stats/persistence accounting, and signals the
+  /// connection drain. Runs on a session pool worker.
+  void finishTicket(Connection &Conn, uint64_t Ticket, double SubmitSeconds,
+                    CachePolicy Policy, const KernelReport *Report,
+                    std::exception_ptr Error, bool Computed);
 
   /// Clamps \p Requested through the client's and the server's budget
   /// caps (tightest positive cap wins; <= 0 stays "full space" only when
@@ -228,6 +299,13 @@ private:
 
   /// Compiles completed since the last persist (persist thread trigger).
   std::atomic<uint64_t> CompilesSinceSave{0};
+
+  /// Streaming lifetime counters (surfaced in the stats message's
+  /// "streaming" object; atomics because notifications complete on pool
+  /// workers, not the stats-serving thread).
+  std::atomic<uint64_t> TicketsIssued{0};
+  std::atomic<uint64_t> NotificationsDelivered{0};
+  std::atomic<uint64_t> TicketsCancelled{0};
 };
 
 } // namespace unit

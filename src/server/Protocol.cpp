@@ -684,6 +684,31 @@ bool unit::kernelReportFromJson(const Json &J, KernelReport &R,
   return true;
 }
 
+Json unit::makeResultNotification(uint64_t Ticket, bool Cached,
+                                  const KernelReport &R) {
+  Json J = Json::object();
+  J.set("type", "result");
+  J.set("ticket", Ticket);
+  J.set("cached", Cached);
+  J.set("report", toJson(R));
+  return J;
+}
+
+Json unit::makeErrorNotification(uint64_t Ticket, const std::string &Message) {
+  Json J = Json::object();
+  J.set("type", "result");
+  J.set("ticket", Ticket);
+  J.set("error", Message);
+  return J;
+}
+
+bool unit::isNotification(const Json &Frame) {
+  // Only "result" frames are ever pushed; cancelled / ticket_status
+  // replies also carry a ticket but arrive strictly in request order.
+  return Frame.isObject() && Frame.str("type") == "result" &&
+         Frame.get("ticket") != nullptr;
+}
+
 CompileOptions unit::optionsFromJson(const Json *J) {
   CompileOptions O;
   if (!J || !J->isObject())

@@ -22,10 +22,21 @@
 /// spec is addressable with no protocol change, and clients discover the
 /// live set with the list_targets message.
 ///
+/// Beyond the blocking request/response pairs, the protocol has a
+/// streaming mode: compile_async answers immediately with a
+/// server-assigned ticket, and the compile's result is *pushed* later as
+/// a notification frame — a "result" message carrying "ticket" instead of
+/// "id" — when the job resolves, in completion order (out-of-order with
+/// respect to submission is the norm). One connection can therefore keep
+/// many compiles in flight; cancel and poll manage tickets. The
+/// notification builders below keep the two ends agreeing on that frame
+/// shape.
+///
 /// Protocol evolution: ProtocolVersion is echoed in the welcome message;
 /// a client talking to a newer server must tolerate unknown response
-/// fields (additions bump nothing), while renames/removals bump the
-/// version.
+/// fields (additions bump nothing — the streaming family and the
+/// welcome's "streaming" flag are such additions), while renames/removals
+/// bump the version.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -60,6 +71,13 @@ constexpr uint32_t MaxFrameBytes = 1u << 24;
 /// for trusted in-process callers, where fatal-error aborts are
 /// acceptable — with astronomical extents.
 constexpr int64_t MaxWorkloadDim = int64_t(1) << 20;
+
+/// Pending compile_async tickets one connection may hold. Tickets are
+/// wire-driven state (a table entry plus a queued session job each), so
+/// they must be bounded; deeper pipelines than any real client needs
+/// still fit, and an over-limit submission is an error frame, not a
+/// dropped connection.
+constexpr size_t MaxPendingTicketsPerConnection = 1024;
 
 //===----------------------------------------------------------------------===//
 // Json
@@ -191,6 +209,18 @@ bool kernelReportFromJson(const Json &J, KernelReport &R, std::string &Err);
 
 /// Options are tolerant: a null / absent \p J yields defaults.
 CompileOptions optionsFromJson(const Json *J);
+
+/// The streaming notification frames (docs/SERVER.md "Streaming"): a
+/// "result" message keyed by "ticket" (never "id" — that is how a reader
+/// tells a pushed notification from the reply to a blocking compile).
+/// Success carries the report + cached flag; failure carries "error".
+Json makeResultNotification(uint64_t Ticket, bool Cached,
+                            const KernelReport &R);
+Json makeErrorNotification(uint64_t Ticket, const std::string &Message);
+
+/// True when \p Frame is a pushed streaming notification rather than the
+/// reply to a request — the one dispatch test client readers perform.
+bool isNotification(const Json &Frame);
 
 /// Strict integral field read: absent yields \p Dflt; present but
 /// non-numeric, fractional, or outside the exactly-representable int64

@@ -19,25 +19,48 @@ std::string RemoteCpuEngine::name() const {
 }
 
 double RemoteCpuEngine::convSeconds(const ConvLayer &Layer) {
-  auto It = SecondsByShape.find(Layer.shapeKey());
+  const std::string ShapeKey = Layer.shapeKey();
+  auto It = SecondsByShape.find(ShapeKey);
   if (It != SecondsByShape.end())
     return It->second;
+  // A prefetch()ed shape: join its pushed result (usually already in —
+  // the server compiled while this engine priced earlier layers).
+  auto Pending = PendingByShape.find(ShapeKey);
+  if (Pending != PendingByShape.end()) {
+    std::string Err;
+    std::optional<CompileClient::CompileResult> Result =
+        Client.wait(Pending->second, &Err);
+    if (!Result)
+      reportFatalError("remote compile of '" + Layer.Name + "' failed: " +
+                       Err);
+    PendingByShape.erase(Pending);
+    SecondsByShape.emplace(ShapeKey, Result->Report.Seconds);
+    return Result->Report.Seconds;
+  }
   std::string Err;
   std::optional<CompileClient::CompileResult> Result =
       Client.compileConv(Target, Layer, {}, &Err);
   if (!Result)
     reportFatalError("remote compile of '" + Layer.Name + "' failed: " + Err);
-  SecondsByShape.emplace(Layer.shapeKey(), Result->Report.Seconds);
+  SecondsByShape.emplace(ShapeKey, Result->Report.Seconds);
   return Result->Report.Seconds;
 }
 
 void RemoteCpuEngine::prefetch(const Model &M) {
+  // Streaming submission, no join: one compile_async per distinct
+  // unknown shape, results pushed while the caller goes on pricing —
+  // remote prefetch overlaps exactly like the in-process engines'
+  // compileAsync prefetch does.
   std::string Err;
-  std::optional<CompileClient::ModelResult> Result =
-      Client.compileModel(Target, M, {}, &Err);
-  if (!Result)
-    reportFatalError("remote compile of model '" + M.Name + "' failed: " +
-                     Err);
-  for (size_t I = 0; I < M.Convs.size() && I < Result->Layers.size(); ++I)
-    SecondsByShape.emplace(M.Convs[I].shapeKey(), Result->Layers[I].Seconds);
+  for (const ConvLayer &L : M.Convs) {
+    const std::string ShapeKey = L.shapeKey();
+    if (SecondsByShape.count(ShapeKey) || PendingByShape.count(ShapeKey))
+      continue;
+    std::optional<CompileClient::AsyncHandle> Handle =
+        Client.submitConv(Target, L, {}, &Err);
+    if (!Handle)
+      reportFatalError("remote prefetch of model '" + M.Name + "' failed: " +
+                       Err);
+    PendingByShape.emplace(ShapeKey, std::move(*Handle));
+  }
 }

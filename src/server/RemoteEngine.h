@@ -14,10 +14,13 @@
 /// number exactly (the whole stack is deterministic) — asserted in
 /// tests/test_server.cpp.
 ///
-/// prefetch(model) maps onto one compile_model request (the server tunes
-/// distinct shapes concurrently and the reply carries every per-layer
-/// report), so the per-layer convSeconds calls during pricing are local
-/// map lookups, not round trips.
+/// prefetch(model) pipelines one compile_async submission per distinct
+/// layer shape and returns without joining — the same overlap the
+/// in-process engines get from CompilerSession::compileAsync. The server
+/// tunes the shapes concurrently and pushes each result as it lands; the
+/// per-layer convSeconds calls during pricing join the matching future
+/// (already resolved by then in the common case) instead of paying a
+/// compile round trip each.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +44,9 @@ class RemoteCpuEngine : public InferenceEngine {
   /// finer partition than the server's canonical cache key, so memoizing
   /// locally is sound (same reasoning as CpuBackend's key memo).
   std::unordered_map<std::string, double> SecondsByShape;
+  /// Shapes submitted by prefetch whose results have not been priced yet;
+  /// convSeconds joins the future and moves the number to SecondsByShape.
+  std::unordered_map<std::string, CompileClient::AsyncHandle> PendingByShape;
 
 public:
   RemoteCpuEngine(CpuMachine Machine, std::string Target)

@@ -745,6 +745,119 @@ TEST(KernelCacheByteCap, SessionConfigByteCapIsApplied) {
 }
 
 //===----------------------------------------------------------------------===//
+// KernelCache: age-based expiry (TTL)
+//===----------------------------------------------------------------------===//
+
+TEST(KernelCacheTtl, ExpiredEntryReadsAsAbsentAndRecompiles) {
+  KernelCache Cache;
+  double Now = 1000.0;
+  Cache.setTTL(10.0, [&Now] { return Now; }); // Injectable clock: no sleeps.
+  int Compiles = 0;
+  auto Compile = [&] {
+    ++Compiles;
+    return reportOf(Compiles);
+  };
+  Cache.getOrCompute("k", Compile);
+  EXPECT_EQ(Compiles, 1);
+
+  // Within the TTL: every probe still hits. Age runs from readiness, not
+  // last use — the lookup here must not extend the entry's life.
+  Now += 9.0;
+  EXPECT_TRUE(Cache.contains("k"));
+  EXPECT_TRUE(Cache.lookup("k").has_value());
+  Cache.getOrCompute("k", Compile);
+  EXPECT_EQ(Compiles, 1);
+
+  // 11 s after readiness: expired on every read path.
+  Now += 2.0;
+  EXPECT_FALSE(Cache.contains("k"));
+  EXPECT_FALSE(Cache.lookup("k").has_value());
+  EXPECT_FALSE(Cache.peek("k").has_value());
+  KernelReport Fresh = Cache.getOrCompute("k", Compile);
+  EXPECT_EQ(Compiles, 2);
+  EXPECT_EQ(Fresh.Seconds, 2.0);
+
+  // The recompile restarted the entry's clock.
+  Now += 9.0;
+  Cache.getOrCompute("k", Compile);
+  EXPECT_EQ(Compiles, 2);
+}
+
+TEST(KernelCacheTtl, SaveSkipsExpiredAndPurgeReleasesThem) {
+  KernelCache Cache;
+  double Now = 0.0;
+  Cache.setTTL(5.0, [&Now] { return Now; });
+  Cache.insert("old", reportOf(1));
+  Now += 3.0;
+  Cache.insert("young", reportOf(2));
+  Now += 3.0; // "old" is 6 s past readiness (expired), "young" 3 s.
+
+  std::stringstream Stream;
+  EXPECT_EQ(Cache.save(Stream, "fp"), 1u); // Survivors only.
+
+  // Expiry is lazy: the dead entry stays resident until purged.
+  EXPECT_EQ(Cache.size(), 2u);
+  size_t BytesBefore = Cache.bytesUsed();
+  EXPECT_EQ(Cache.purgeExpired(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_LT(Cache.bytesUsed(), BytesBefore);
+  EXPECT_TRUE(Cache.contains("young"));
+  EXPECT_EQ(Cache.purgeExpired(), 0u);
+}
+
+TEST(KernelCacheTtl, InFlightEntriesNeverExpire) {
+  // An in-flight entry has no ready timestamp, so even a clock jump far
+  // past the TTL must not let a second winner start on its key — the
+  // single-flight invariant outranks freshness.
+  KernelCache Cache;
+  double Now = 0.0;
+  Cache.setTTL(1.0, [&Now] { return Now; });
+  std::promise<void> Gate;
+  std::shared_future<void> GateOpen = Gate.get_future().share();
+  std::atomic<int> Compiles{0};
+  std::thread Winner([&] {
+    Cache.getOrCompute("k", [&] {
+      Compiles.fetch_add(1);
+      GateOpen.wait();
+      return reportOf(1);
+    });
+  });
+  while (!Cache.contains("k"))
+    std::this_thread::yield();
+  Now = 100.0; // Far past the TTL while the compile is still in flight.
+  EXPECT_TRUE(Cache.peek("k").has_value());
+  Gate.set_value();
+  Winner.join();
+  // Readiness stamped at Now=100: the entry is fresh from completion.
+  Cache.getOrCompute("k", [&] {
+    Compiles.fetch_add(1);
+    return reportOf(2);
+  });
+  EXPECT_EQ(Compiles.load(), 1);
+}
+
+TEST(KernelCacheTtl, SessionConfigTtlIsApplied) {
+  double Now = 0.0;
+  SessionConfig Config = sequentialConfig();
+  Config.CacheTTLSeconds = 60.0;
+  Config.CacheClock = [&Now] { return Now; };
+  CompilerSession Session(Config);
+  auto Backend = std::make_shared<ProbeBackend>("ttl");
+  ConvLayer L{"l", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+
+  bool Computed = false;
+  Session.compile({Workload::conv2d(L), Backend}, &Computed);
+  EXPECT_TRUE(Computed);
+  Session.compile({Workload::conv2d(L), Backend}, &Computed);
+  EXPECT_FALSE(Computed); // Fresh entry: a hit.
+
+  Now += 61.0; // Aged out: the daemon re-tunes instead of serving stale.
+  Session.compile({Workload::conv2d(L), Backend}, &Computed);
+  EXPECT_TRUE(Computed);
+  EXPECT_EQ(Backend->Compiles.load(), 2);
+}
+
+//===----------------------------------------------------------------------===//
 // Cache persistence
 //===----------------------------------------------------------------------===//
 

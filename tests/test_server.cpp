@@ -1,9 +1,12 @@
 //===- tests/test_server.cpp - CompileServer / protocol tests --------------===//
 //
 // Covers every protocol message documented in docs/SERVER.md (hello,
-// compile, compile_model, list_targets, stats, save_cache, shutdown, and
-// the error response), the cross-client single-flight guarantee, and
-// orderly shutdown with requests in flight.
+// compile, compile_model, list_targets, stats, save_cache, shutdown, the
+// error response, and the streaming family: compile_async / pushed
+// result notifications / cancel / poll), the cross-client single-flight
+// guarantee — blocking and streaming — plus protocol robustness against
+// malformed traffic, out-of-order result delivery on one pipelined
+// connection, and graceful drain with tickets in flight.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,9 +23,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <future>
 #include <set>
 #include <thread>
 #include <vector>
@@ -728,6 +733,476 @@ TEST_F(ServerTest, StopDeliversInFlightResponses) {
   EXPECT_EQ(Result->Layers.size(), M.Convs.size());
   for (const KernelReport &R : Result->Layers)
     EXPECT_GT(R.Seconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming: compile_async / result notifications / cancel / poll
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, SubmitResolvesLikeBlockingCompile) {
+  startServer();
+  auto Client = makeClient("streamer");
+  ConvLayer L = makeResnet18().Convs[4];
+  std::string Err;
+
+  std::optional<CompileClient::AsyncHandle> Handle =
+      Client->submitConv("x86", L, {}, &Err);
+  ASSERT_TRUE(Handle.has_value()) << Err;
+  EXPECT_GT(Handle->Ticket, 0u);
+  std::optional<CompileClient::CompileResult> Streamed =
+      Client->wait(*Handle, &Err);
+  ASSERT_TRUE(Streamed.has_value()) << Err;
+  EXPECT_FALSE(Streamed->Cached);
+  EXPECT_EQ(Streamed->Arrival, 1u);
+
+  // The pushed report is byte-identical to the blocking path's.
+  std::optional<CompileClient::CompileResult> Blocking =
+      Client->compileConv("x86", L, {}, &Err);
+  ASSERT_TRUE(Blocking.has_value()) << Err;
+  EXPECT_TRUE(Blocking->Cached);
+  EXPECT_EQ(Blocking->Report.Seconds, Streamed->Report.Seconds);
+  EXPECT_EQ(Blocking->Report.IntrinsicName, Streamed->Report.IntrinsicName);
+
+  // A warm resubmission resolves cached, and the ticket is fresh.
+  std::optional<CompileClient::AsyncHandle> Warm =
+      Client->submitConv("x86", L, {}, &Err);
+  ASSERT_TRUE(Warm.has_value()) << Err;
+  EXPECT_GT(Warm->Ticket, Handle->Ticket);
+  std::optional<CompileClient::CompileResult> WarmResult =
+      Client->wait(*Warm, &Err);
+  ASSERT_TRUE(WarmResult.has_value()) << Err;
+  EXPECT_TRUE(WarmResult->Cached);
+  EXPECT_EQ(WarmResult->Report.Seconds, Streamed->Report.Seconds);
+}
+
+/// A compile the test controls: the entry is planted in the server
+/// session's cache as an in-flight winner that blocks on \p GateOpen, so
+/// every compile_async for the same structural key joins it and cannot
+/// resolve until the gate opens. What "slow kernel" looks like to the
+/// streaming machinery, made deterministic.
+struct GatedCompiles {
+  std::shared_future<void> GateOpen;
+  std::vector<std::thread> Winners;
+
+  GatedCompiles(CompilerSession &Session, std::shared_future<void> Gate,
+                const std::vector<ConvLayer> &Layers, double SecondsBase)
+      : GateOpen(std::move(Gate)) {
+    TargetBackendRef Backend = TargetRegistry::instance().get("x86");
+    for (size_t I = 0; I < Layers.size(); ++I) {
+      std::string Key =
+          CompileRequest(Workload::conv2d(Layers[I]), Backend).cacheKey();
+      Winners.emplace_back([&Session, this, Key, SecondsBase, I] {
+        Session.cache().getOrCompute(Key, [this, SecondsBase, I] {
+          GateOpen.wait();
+          KernelReport R;
+          R.Seconds = SecondsBase + static_cast<double>(I);
+          R.Tensorized = true;
+          return R;
+        });
+      });
+      // The winner must be in flight before anyone submits against the
+      // key (the entry appears when getOrCompute inserts it).
+      while (!Session.cache().contains(Key))
+        std::this_thread::yield();
+    }
+  }
+  void join() {
+    for (std::thread &T : Winners)
+      if (T.joinable())
+        T.join();
+  }
+  ~GatedCompiles() { join(); }
+};
+
+std::vector<ConvLayer> syntheticLayers(size_t N, int64_t BaseChannels) {
+  std::vector<ConvLayer> Layers;
+  for (size_t I = 0; I < N; ++I) {
+    ConvLayer L;
+    L.Name = "gated_" + std::to_string(I);
+    L.InC = BaseChannels + static_cast<int64_t>(I) * 16;
+    L.InH = L.InW = 14;
+    L.OutC = 64;
+    L.KH = L.KW = 1;
+    Layers.push_back(L);
+  }
+  return Layers;
+}
+
+/// The acceptance criterion: one connection holds >= 8 concurrent
+/// in-flight compiles, results are delivered out of submission order,
+/// and cancel on an in-flight ticket never corrupts the shared cache.
+TEST_F(ServerTest, OneConnectionPipelinesEightInFlightOutOfOrder) {
+  ServerConfig Config;
+  // Each in-flight join parks a pool worker on the winner's future, so
+  // give the session more workers than gated tickets.
+  Config.SessionCfg.Threads = 16;
+  startServer(std::move(Config));
+
+  std::promise<void> Gate;
+  std::vector<ConvLayer> Gated = syntheticLayers(8, 32);
+  GatedCompiles Blocked(Server->session(), Gate.get_future().share(), Gated,
+                        /*SecondsBase=*/100.0);
+
+  auto Client = makeClient("pipeliner");
+  std::string Err;
+
+  // Submit the eight gated layers first, then one duplicate of the first
+  // gated key (to cancel mid-flight), then two free layers.
+  std::vector<CompileClient::AsyncHandle> GatedHandles;
+  for (const ConvLayer &L : Gated) {
+    std::optional<CompileClient::AsyncHandle> H =
+        Client->submitConv("x86", L, {}, &Err);
+    ASSERT_TRUE(H.has_value()) << Err;
+    GatedHandles.push_back(*H);
+  }
+  std::optional<CompileClient::AsyncHandle> ToCancel =
+      Client->submitConv("x86", Gated[0], {}, &Err);
+  ASSERT_TRUE(ToCancel.has_value()) << Err;
+
+  Model Zoo = makeResnet18();
+  std::vector<CompileClient::AsyncHandle> Free;
+  for (size_t I : {size_t(3), size_t(9)}) {
+    std::optional<CompileClient::AsyncHandle> H =
+        Client->submitConv("x86", Zoo.Convs[I], {}, &Err);
+    ASSERT_TRUE(H.has_value()) << Err;
+    Free.push_back(*H);
+  }
+
+  // The free submissions (sent last) complete while all eight gated
+  // tickets are still in flight — out-of-order delivery on one socket.
+  std::vector<uint64_t> FreeArrivals;
+  for (const CompileClient::AsyncHandle &H : Free) {
+    std::optional<CompileClient::CompileResult> R = Client->wait(H, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_FALSE(R->Cached);
+    FreeArrivals.push_back(R->Arrival);
+  }
+  for (const CompileClient::AsyncHandle &H : GatedHandles) {
+    std::optional<std::string> State = Client->poll(H, &Err);
+    ASSERT_TRUE(State.has_value()) << Err;
+    EXPECT_EQ(*State, "pending");
+  }
+
+  // Cancel the duplicate while its key is provably still in flight.
+  ASSERT_TRUE(Client->cancel(*ToCancel, &Err)) << Err;
+  std::optional<std::string> CancelledState = Client->poll(*ToCancel, &Err);
+  ASSERT_TRUE(CancelledState.has_value()) << Err;
+  EXPECT_EQ(*CancelledState, "resolved");
+  std::string CancelErr;
+  EXPECT_FALSE(Client->wait(*ToCancel, &CancelErr).has_value());
+  EXPECT_NE(CancelErr.find("cancelled"), std::string::npos);
+
+  // >= 8 concurrent in-flight tickets on this one connection.
+  EXPECT_EQ(Client->pendingTickets(), 8u);
+
+  Gate.set_value();
+  Blocked.join();
+  ASSERT_TRUE(Client->waitAll(&Err)) << Err;
+
+  uint64_t MaxFree = std::max(FreeArrivals[0], FreeArrivals[1]);
+  for (size_t I = 0; I < GatedHandles.size(); ++I) {
+    std::optional<CompileClient::CompileResult> R =
+        Client->wait(GatedHandles[I], &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    // Joined the planted winner: cached, with its synthetic report.
+    EXPECT_TRUE(R->Cached);
+    EXPECT_EQ(R->Report.Seconds, 100.0 + static_cast<double>(I));
+    EXPECT_GT(R->Arrival, MaxFree); // Delivered after both frees.
+  }
+
+  // The cancelled ticket corrupted nothing: the shared entry still
+  // serves its key, bit-equal, as a pure hit.
+  std::optional<CompileClient::CompileResult> AfterCancel =
+      Client->compileConv("x86", Gated[0], {}, &Err);
+  ASSERT_TRUE(AfterCancel.has_value()) << Err;
+  EXPECT_TRUE(AfterCancel->Cached);
+  EXPECT_EQ(AfterCancel->Report.Seconds, 100.0);
+
+  // Streaming counters: 11 tickets issued, 10 delivered, 1 cancelled.
+  std::optional<Json> Stats = Client->stats(false, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  const Json *Streaming = Stats->get("streaming");
+  ASSERT_NE(Streaming, nullptr);
+  EXPECT_EQ(Streaming->integer("tickets_issued"), 11);
+  EXPECT_EQ(Streaming->integer("notifications_delivered"), 10);
+  EXPECT_EQ(Streaming->integer("tickets_cancelled"), 1);
+}
+
+/// Streaming stress: 4 clients x 8 pipelined compiles drawn (shuffled,
+/// with structural duplicates) from 6 distinct layers. Single-flight
+/// must hold across connections — tuner invocations == distinct keys —
+/// and every client sees identical reports per layer.
+TEST_F(ServerTest, StreamingStressCrossConnectionSingleFlight) {
+  ServerConfig Config;
+  Config.SessionCfg.Threads = 16;
+  startServer(std::move(Config));
+
+  Model Zoo = makeResnet18();
+  // Six structurally distinct layers (resnet18 repeats shapes; dedup).
+  TargetBackendRef Backend = TargetRegistry::instance().get("x86");
+  std::vector<ConvLayer> Distinct;
+  std::set<std::string> Keys;
+  for (const ConvLayer &L : Zoo.Convs) {
+    if (Keys.insert(CompileRequest(Workload::conv2d(L), Backend).cacheKey())
+            .second)
+      Distinct.push_back(L);
+    if (Distinct.size() == 6)
+      break;
+  }
+  ASSERT_EQ(Distinct.size(), 6u);
+
+  constexpr size_t Clients = 4, PerClient = 8;
+  uint64_t TunesBefore = tunerInvocations();
+  // Results[c][i] = seconds for client c's i-th submission.
+  double Results[Clients][PerClient];
+  int Picked[Clients][PerClient];
+  std::string Errors[Clients];
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Clients; ++C)
+    Threads.emplace_back([&, C] {
+      CompileClient Client;
+      if (!Client.connect(SocketPath, &Errors[C]) ||
+          !Client.hello("stress-" + std::to_string(C), 0, &Errors[C]))
+        return;
+      std::vector<CompileClient::AsyncHandle> Handles;
+      for (size_t I = 0; I < PerClient; ++I) {
+        // A different duplicate-bearing shuffle per client: every layer
+        // appears somewhere, several appear twice per client, and no two
+        // clients submit in the same order.
+        int Pick = static_cast<int>((I * 5 + C * 3 + (I % 2) * C) % 6);
+        Picked[C][I] = Pick;
+        std::optional<CompileClient::AsyncHandle> H =
+            Client.submitConv("x86", Distinct[Pick], {}, &Errors[C]);
+        if (!H)
+          return;
+        Handles.push_back(*H);
+      }
+      for (size_t I = 0; I < PerClient; ++I) {
+        std::optional<CompileClient::CompileResult> R =
+            Client.wait(Handles[I], &Errors[C]);
+        if (!R) {
+          Errors[C] = "wait failed: " + Errors[C];
+          return;
+        }
+        Results[C][I] = R->Report.Seconds;
+      }
+      Errors[C] = "ok";
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (size_t C = 0; C < Clients; ++C)
+    ASSERT_EQ(Errors[C], "ok");
+
+  // Cross-connection single-flight: 32 submissions, 6 tuner runs.
+  EXPECT_EQ(tunerInvocations() - TunesBefore, 6u);
+
+  // Agreement: every submission of one layer got the same report, and it
+  // matches what the server now serves warm.
+  auto WarmClient = makeClient("stress-verify");
+  std::string Err;
+  for (size_t Pick = 0; Pick < Distinct.size(); ++Pick) {
+    std::optional<CompileClient::CompileResult> Warm =
+        WarmClient->compileConv("x86", Distinct[Pick], {}, &Err);
+    ASSERT_TRUE(Warm.has_value()) << Err;
+    EXPECT_TRUE(Warm->Cached);
+    for (size_t C = 0; C < Clients; ++C)
+      for (size_t I = 0; I < PerClient; ++I)
+        if (Picked[C][I] == static_cast<int>(Pick))
+          EXPECT_EQ(Results[C][I], Warm->Report.Seconds);
+  }
+}
+
+/// Graceful drain under streaming (extends StopDeliversInFlightResponses
+/// to the pipelined path): shutdown with pending tickets still delivers
+/// every result after the bye — no ticket is lost, no client hangs.
+TEST_F(ServerTest, ShutdownWithPendingTicketsDeliversEveryResult) {
+  ServerConfig Config;
+  Config.SessionCfg.Threads = 16;
+  startServer(std::move(Config));
+
+  std::promise<void> Gate;
+  std::vector<ConvLayer> Gated = syntheticLayers(4, 48);
+  GatedCompiles Blocked(Server->session(), Gate.get_future().share(), Gated,
+                        /*SecondsBase=*/200.0);
+
+  auto Client = makeClient("drainer");
+  std::string Err;
+  std::vector<CompileClient::AsyncHandle> Handles;
+  for (const ConvLayer &L : Gated) {
+    std::optional<CompileClient::AsyncHandle> H =
+        Client->submitConv("x86", L, {}, &Err);
+    ASSERT_TRUE(H.has_value()) << Err;
+    Handles.push_back(*H);
+  }
+
+  // Raw shutdown request (shutdownServer() would close our socket and
+  // orphan the pending futures): the server answers bye, stops reading
+  // this connection, and *then* drains the ticket table into it.
+  Json Shutdown = Json::object();
+  Shutdown.set("type", "shutdown");
+  std::optional<Json> Bye = Client->request(Shutdown, &Err);
+  ASSERT_TRUE(Bye.has_value()) << Err;
+  EXPECT_EQ(Bye->str("type"), "bye");
+
+  Gate.set_value();
+  Blocked.join();
+  ASSERT_TRUE(Client->waitAll(&Err)) << Err;
+  for (size_t I = 0; I < Handles.size(); ++I) {
+    std::optional<CompileClient::CompileResult> R =
+        Client->wait(Handles[I], &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_EQ(R->Report.Seconds, 200.0 + static_cast<double>(I));
+  }
+
+  Server->waitForShutdownRequest();
+  Server->stop();
+  EXPECT_FALSE(Server->running());
+}
+
+/// A client that vanishes with tickets in flight must not wedge the
+/// daemon: its connection drains (the writes fail silently), new clients
+/// are served, and stop() completes.
+TEST_F(ServerTest, ClientVanishingWithPendingTicketsLeavesServerHealthy) {
+  ServerConfig Config;
+  Config.SessionCfg.Threads = 16;
+  startServer(std::move(Config));
+
+  std::promise<void> Gate;
+  std::vector<ConvLayer> Gated = syntheticLayers(2, 80);
+  GatedCompiles Blocked(Server->session(), Gate.get_future().share(), Gated,
+                        /*SecondsBase=*/300.0);
+  {
+    CompileClient Doomed;
+    std::string Err;
+    ASSERT_TRUE(Doomed.connect(SocketPath, &Err)) << Err;
+    ASSERT_TRUE(Doomed.hello("doomed", 0, &Err).has_value()) << Err;
+    for (const ConvLayer &L : Gated)
+      ASSERT_TRUE(Doomed.submitConv("x86", L, {}, &Err).has_value()) << Err;
+  } // Destructor closes the socket with both tickets pending.
+
+  Gate.set_value();
+  Blocked.join();
+
+  auto Survivor = makeClient("survivor");
+  std::string Err;
+  std::optional<CompileClient::CompileResult> R =
+      Survivor->compileConv("x86", Gated[0], {}, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_TRUE(R->Cached);
+  EXPECT_EQ(R->Report.Seconds, 300.0);
+
+  Server->stop();
+  EXPECT_FALSE(Server->running());
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol robustness: the server outlives every kind of bad traffic
+//===----------------------------------------------------------------------===//
+
+namespace robustness {
+
+int rawConnect(const std::string &SocketPath) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  sockaddr_un Addr;
+  if (!makeUnixSocketAddr(SocketPath, Addr, nullptr) ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace robustness
+
+TEST_F(ServerTest, TruncatedLengthPrefixDoesNotWedgeTheServer) {
+  startServer();
+  // Two bytes of a four-byte length prefix, then EOF: the half-frame
+  // must be discarded and the daemon must keep serving everyone else.
+  int Fd = robustness::rawConnect(SocketPath);
+  ASSERT_GE(Fd, 0);
+  const char Half[2] = {0x00, 0x00};
+  ASSERT_EQ(::write(Fd, Half, 2), 2);
+  ::close(Fd);
+
+  auto Client = makeClient("after-truncation");
+  std::string Err;
+  EXPECT_TRUE(Client->stats(false, &Err).has_value()) << Err;
+}
+
+TEST_F(ServerTest, FrameOverTheBoundEndsOnlyThatConnection) {
+  startServer();
+  // A length prefix just past MaxFrameBytes: framing violation — prompt
+  // EOF on this connection, not a hang, and not a dead daemon.
+  int Fd = robustness::rawConnect(SocketPath);
+  ASSERT_GE(Fd, 0);
+  uint32_t Len = MaxFrameBytes + 1;
+  const char Header[4] = {
+      static_cast<char>(Len >> 24), static_cast<char>(Len >> 16),
+      static_cast<char>(Len >> 8), static_cast<char>(Len)};
+  ASSERT_EQ(::write(Fd, Header, 4), 4);
+  std::string Payload;
+  FrameStatus Status = readFrame(Fd, Payload);
+  EXPECT_TRUE(Status == FrameStatus::Eof || Status == FrameStatus::Error);
+  ::close(Fd);
+
+  auto Client = makeClient("after-oversize");
+  std::string Err;
+  EXPECT_TRUE(Client->stats(false, &Err).has_value()) << Err;
+}
+
+TEST_F(ServerTest, StreamingErrorsAnswerWithErrorFramesAndServerSurvives) {
+  startServer();
+  auto Client = makeClient("prober");
+  std::string Err;
+
+  // compile_async for an unknown target: synchronous error, no ticket.
+  Json BadTarget = Json::object();
+  BadTarget.set("type", "compile_async");
+  BadTarget.set("id", 41);
+  BadTarget.set("target", "riscv");
+  BadTarget.set("workload", toJson(makeResnet18().Convs[0]));
+  std::optional<Json> R = Client->request(BadTarget, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->str("type"), "error");
+  EXPECT_EQ(R->integer("id"), 41);
+  EXPECT_NE(R->str("message").find("riscv"), std::string::npos);
+
+  // compile_async with a malformed workload: error, no ticket.
+  Json BadWork = Json::object();
+  BadWork.set("type", "compile_async");
+  Json Work = Json::object();
+  Work.set("kind", "conv2d"); // Every dimension missing.
+  BadWork.set("workload", std::move(Work));
+  R = Client->request(BadWork, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_EQ(R->str("type"), "error");
+
+  // cancel / poll for a ticket this connection was never issued.
+  for (const char *Type : {"cancel", "poll"}) {
+    Json Unknown = Json::object();
+    Unknown.set("type", Type);
+    Unknown.set("ticket", 424242);
+    R = Client->request(Unknown, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_EQ(R->str("type"), "error") << Type;
+    EXPECT_NE(R->str("message").find("unknown ticket"), std::string::npos)
+        << Type;
+  }
+  // ... and with the ticket field missing entirely.
+  for (const char *Type : {"cancel", "poll"}) {
+    Json Missing = Json::object();
+    Missing.set("type", Type);
+    R = Client->request(Missing, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_EQ(R->str("type"), "error") << Type;
+  }
+
+  // The connection took five error frames and still compiles.
+  std::optional<CompileClient::CompileResult> Ok =
+      Client->compileConv("x86", makeResnet18().Convs[0], {}, &Err);
+  ASSERT_TRUE(Ok.has_value()) << Err;
 }
 
 //===----------------------------------------------------------------------===//

@@ -3,10 +3,13 @@
 // Part of the UNIT reproduction (CGO 2021). MIT license.
 //
 // The copy-paste client from docs/SERVER.md: connects to unit_serve,
-// compiles a model-zoo model (or asks for stats / persistence /
-// shutdown), and prints what the server did.
+// compiles one or more model-zoo models — blocking (one compile_model
+// round trip each) or pipelined (--async: every layer submitted as
+// compile_async up front, results pushed as they land) — or asks for
+// stats / persistence / shutdown, and prints what the server did.
 //
 //   unit_client --socket /tmp/unit.sock --model resnet-18
+//   unit_client --socket /tmp/unit.sock --async --model resnet-18 --model resnet-50
 //   unit_client --socket /tmp/unit.sock --stats
 //   unit_client --socket /tmp/unit.sock --shutdown
 //
@@ -20,6 +23,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 using namespace unit;
 
@@ -39,7 +43,11 @@ void usage(const char *Argv0) {
       "  --socket PATH       server socket (required)\n"
       "  --client NAME       client name for the hello handshake\n"
       "  --budget N          per-client tuning budget (hello max_candidates)\n"
-      "  --model NAME        compile a zoo model (resnet-18, resnet-50, ...)\n"
+      "  --model NAME        compile a zoo model (resnet-18, resnet-50, ...);\n"
+      "                      repeatable — all named models are compiled\n"
+      "  --async             pipeline every layer of every --model over one\n"
+      "                      connection (compile_async + pushed results)\n"
+      "                      instead of blocking compile_model round trips\n"
       "  --target T          target id, default x86 (see --list-targets)\n"
       "  --priority N        batch priority for the compile\n"
       "  --expect-warm       exit 1 unless every layer was a cache hit\n"
@@ -50,14 +58,79 @@ void usage(const char *Argv0) {
       Argv0);
 }
 
+/// --async: submit every layer of every model as compile_async before
+/// joining anything, then wait for the pushed results. Returns false on
+/// any failure; \p WarmLayers counts cached results for --expect-warm.
+bool compileModelsAsync(CompileClient &Client, const std::string &Target,
+                        const std::vector<Model> &Models,
+                        const CompileOptions &Options, size_t &TotalLayers,
+                        size_t &WarmLayers) {
+  std::string Err;
+  struct Submitted {
+    const Model *M;
+    std::vector<CompileClient::AsyncHandle> Handles;
+  };
+  std::vector<Submitted> All;
+  size_t Tickets = 0;
+  for (const Model &M : Models) {
+    std::optional<std::vector<CompileClient::AsyncHandle>> Handles =
+        Client.submitModelLayers(Target, M, Options, &Err);
+    if (!Handles) {
+      std::fprintf(stderr, "error: submitting '%s': %s\n", M.Name.c_str(),
+                   Err.c_str());
+      return false;
+    }
+    Tickets += Handles->size();
+    All.push_back({&M, std::move(*Handles)});
+  }
+  std::printf("pipelined %zu tickets across %zu models on one connection\n",
+              Tickets, Models.size());
+
+  TotalLayers = 0;
+  WarmLayers = 0;
+  uint64_t OutOfOrder = 0, LastArrival = 0;
+  for (const Submitted &S : All) {
+    double ModelSeconds = 0;
+    size_t ModelWarm = 0;
+    for (size_t I = 0; I < S.Handles.size(); ++I) {
+      std::optional<CompileClient::CompileResult> R =
+          Client.wait(S.Handles[I], &Err);
+      if (!R) {
+        std::fprintf(stderr, "error: layer %zu of '%s': %s\n", I,
+                     S.M->Name.c_str(), Err.c_str());
+        return false;
+      }
+      ModelSeconds += R->Report.Seconds;
+      if (R->Cached)
+        ++ModelWarm;
+      // Results arrive in completion order; count inversions against
+      // submission order to show the pipelining at work.
+      if (R->Arrival < LastArrival)
+        ++OutOfOrder;
+      LastArrival = R->Arrival;
+    }
+    TotalLayers += S.Handles.size();
+    WarmLayers += ModelWarm;
+    std::printf("%s on %s: %zu layers pipelined, cached layers: %zu/%zu, "
+                "modeled conv time %.3f ms\n",
+                S.M->Name.c_str(), Target.c_str(), S.Handles.size(),
+                ModelWarm, S.Handles.size(), ModelSeconds * 1e3);
+  }
+  std::printf("pipelined completion: %zu/%zu tickets resolved "
+              "(%llu out-of-submission-order deliveries)\n",
+              TotalLayers, Tickets,
+              static_cast<unsigned long long>(OutOfOrder));
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string SocketPath, ClientName = "unit_client", ModelName, TargetName =
-                                                                     "x86";
+  std::string SocketPath, ClientName = "unit_client", TargetName = "x86";
+  std::vector<std::string> ModelNames;
   int Budget = 0, Priority = 0;
   bool WantStats = false, WantSave = false, WantShutdown = false,
-       ExpectWarm = false, WantTargets = false;
+       ExpectWarm = false, WantTargets = false, Async = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NextValue = [&]() -> const char * {
@@ -74,7 +147,9 @@ int main(int argc, char **argv) {
     else if (Arg == "--budget")
       Budget = std::atoi(NextValue());
     else if (Arg == "--model")
-      ModelName = NextValue();
+      ModelNames.push_back(NextValue());
+    else if (Arg == "--async")
+      Async = true;
     else if (Arg == "--target")
       TargetName = NextValue();
     else if (Arg == "--priority")
@@ -99,7 +174,7 @@ int main(int argc, char **argv) {
     }
   }
   if (SocketPath.empty() ||
-      (ModelName.empty() && !WantStats && !WantSave && !WantShutdown &&
+      (ModelNames.empty() && !WantStats && !WantSave && !WantShutdown &&
        !WantTargets)) {
     usage(argv[0]);
     return 2;
@@ -126,36 +201,51 @@ int main(int argc, char **argv) {
                   T.Description.c_str());
   }
 
-  if (!ModelName.empty()) {
-    std::optional<Model> M = zooModel(ModelName);
-    if (!M) {
-      std::fprintf(stderr, "error: no zoo model named '%s'\n",
-                   ModelName.c_str());
-      return 1;
+  if (!ModelNames.empty()) {
+    std::vector<Model> Models;
+    for (const std::string &Name : ModelNames) {
+      std::optional<Model> M = zooModel(Name);
+      if (!M) {
+        std::fprintf(stderr, "error: no zoo model named '%s'\n", Name.c_str());
+        return 1;
+      }
+      Models.push_back(std::move(*M));
     }
     CompileOptions Options;
     Options.Priority = Priority;
-    std::optional<CompileClient::ModelResult> Result =
-        Client.compileModel(TargetName, *M, Options, &Err);
-    if (!Result) {
-      std::fprintf(stderr, "error: %s\n", Err.c_str());
-      return 1;
+
+    size_t TotalLayers = 0, WarmLayers = 0;
+    if (Async) {
+      if (!compileModelsAsync(Client, TargetName, Models, Options,
+                              TotalLayers, WarmLayers))
+        return 1;
+    } else {
+      for (const Model &M : Models) {
+        std::optional<CompileClient::ModelResult> Result =
+            Client.compileModel(TargetName, M, Options, &Err);
+        if (!Result) {
+          std::fprintf(stderr, "error: %s\n", Err.c_str());
+          return 1;
+        }
+        double Total = 0;
+        for (const KernelReport &R : Result->Layers)
+          Total += R.Seconds;
+        std::printf("%s on %s: %zu layers (%zu distinct kernels), "
+                    "cache-hit layers: %zu/%zu, modeled conv time %.3f ms, "
+                    "server wall %.1f ms\n",
+                    Result->ModelName.c_str(), TargetName.c_str(),
+                    Result->Layers.size(), Result->DistinctShapes,
+                    Result->CacheHitLayers, Result->Layers.size(), Total * 1e3,
+                    Result->ServerWallSeconds * 1e3);
+        TotalLayers += Result->Layers.size();
+        WarmLayers += Result->CacheHitLayers;
+      }
     }
-    double Total = 0;
-    for (const KernelReport &R : Result->Layers)
-      Total += R.Seconds;
-    std::printf("%s on %s: %zu layers (%zu distinct kernels), "
-                "cache-hit layers: %zu/%zu, modeled conv time %.3f ms, "
-                "server wall %.1f ms\n",
-                Result->ModelName.c_str(), TargetName.c_str(),
-                Result->Layers.size(), Result->DistinctShapes,
-                Result->CacheHitLayers, Result->Layers.size(), Total * 1e3,
-                Result->ServerWallSeconds * 1e3);
-    if (ExpectWarm && Result->CacheHitLayers != Result->Layers.size()) {
+    if (ExpectWarm && WarmLayers != TotalLayers) {
       std::fprintf(stderr,
                    "error: expected a fully warm compile, but only %zu of "
                    "%zu layers hit the shared cache\n",
-                   Result->CacheHitLayers, Result->Layers.size());
+                   WarmLayers, TotalLayers);
       return 1;
     }
   }

@@ -8,6 +8,7 @@
 //   unit_serve --socket /tmp/unit.sock [--cache /var/tmp/unit.kc]
 //              [--persist-interval 30] [--threads N]
 //              [--max-candidates N] [--cache-capacity N]
+//              [--cache-bytes N] [--cache-ttl SEC]
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +38,11 @@ void usage(const char *Argv0) {
       "                           save only on shutdown)\n"
       "  --threads N              session pool threads (default: hardware)\n"
       "  --max-candidates N       server-wide tuning-budget cap\n"
-      "  --cache-capacity N       LRU entry cap (default unbounded)\n",
+      "  --cache-capacity N       LRU entry cap (default unbounded)\n"
+      "  --cache-bytes N          LRU byte cap over the cache's resident-\n"
+      "                           byte accounting (default unbounded)\n"
+      "  --cache-ttl SEC          age out cached kernels after SEC seconds\n"
+      "                           (default: never expire)\n",
       Argv0);
 }
 
@@ -68,6 +73,11 @@ int main(int argc, char **argv) {
     else if (Arg == "--cache-capacity")
       Config.SessionCfg.CacheCapacity =
           static_cast<size_t>(std::atoll(NextValue()));
+    else if (Arg == "--cache-bytes")
+      Config.SessionCfg.CacheCapacityBytes =
+          static_cast<size_t>(std::atoll(NextValue()));
+    else if (Arg == "--cache-ttl")
+      Config.SessionCfg.CacheTTLSeconds = std::atof(NextValue());
     else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
