@@ -128,6 +128,52 @@ ClientOutcome runClientPipelinedLayers(
   return Out;
 }
 
+/// One burst at a given fan-in depth: a handful of distinct NEVER-SEEN
+/// kernels, each submitted \p Depth times back-to-back on one
+/// connection, then joined. Every duplicate ticket is an in-flight join
+/// on its key's single compile. The tuning cost (the distinct kernels)
+/// is identical at every depth, so the ticket rate measures what a
+/// pending join costs the session: continuations keep it near-free and
+/// the rate scales with depth; a join that parked a pool thread would
+/// starve the workers and collapse the deep burst. Returns tickets/s.
+double runFanInBurst(const std::string &SocketPath, const std::string &Tag,
+                     size_t Depth, size_t &TicketsOut) {
+  static int Fresh = 0; // Advancing channel offset: every burst is cold.
+  constexpr size_t DistinctKernels = 4;
+  std::vector<ConvLayer> Layers;
+  for (size_t I = 0; I < DistinctKernels; ++I) {
+    ConvLayer L;
+    L.Name = Tag + "_" + std::to_string(I);
+    L.InC = 1024 + 16 * Fresh++;
+    L.InH = L.InW = 7;
+    L.OutC = 32;
+    L.KH = L.KW = 1;
+    Layers.push_back(L);
+  }
+  Model Burst;
+  Burst.Name = Tag;
+  for (size_t I = 0; I < DistinctKernels * Depth; ++I)
+    Burst.Convs.push_back(Layers[I % DistinctKernels]);
+
+  CompileClient Client;
+  std::string Err;
+  if (!Client.connect(SocketPath, &Err) || !Client.hello(Tag, 0, &Err)) {
+    std::fprintf(stderr, "FAIL: %s: %s\n", Tag.c_str(), Err.c_str());
+    std::exit(1);
+  }
+  double T0 = steadyNowSeconds();
+  std::optional<std::vector<CompileClient::AsyncHandle>> Handles =
+      Client.submitModelLayers("x86", Burst, {}, &Err);
+  bool Ok = Handles.has_value() && Client.waitAll(&Err);
+  double Wall = steadyNowSeconds() - T0;
+  if (!Ok) {
+    std::fprintf(stderr, "FAIL: %s: %s\n", Tag.c_str(), Err.c_str());
+    std::exit(1);
+  }
+  TicketsOut = Burst.Convs.size();
+  return static_cast<double>(TicketsOut) / Wall;
+}
+
 using ClientFn = ClientOutcome (*)(const std::string &, const std::string &,
                                    const std::vector<const Model *> &);
 
@@ -290,6 +336,36 @@ int main() {
               BlockingWall * 1e3, BlockingRps, PipelinedWall * 1e3,
               PipelinedRps, PipelinedRps / BlockingRps);
 
+  // Fan-in sweep: one connection bursts 4 cold kernels x Depth duplicate
+  // tickets each, at one join per pool worker (1x) and at ten (10x). The
+  // tuner does identical work at both depths, so the rate may not fall
+  // off when the in-flight join count passes the pool size — the
+  // continuation engine's contract (a join is a callback, not a parked
+  // worker). The 0.8 floor leaves room for scheduler noise; with parked
+  // joins the deep burst loses an order of magnitude, not 20%.
+  size_t FanDepth = std::thread::hardware_concurrency();
+  if (FanDepth < 4)
+    FanDepth = 4;
+  double Fanin1Rps = 0, Fanin10Rps = 0;
+  size_t Fanin1Tickets = 0, Fanin10Tickets = 0;
+  bool FaninOk = false;
+  for (int Attempt = 0; Attempt < 3 && !FaninOk; ++Attempt) {
+    Fanin1Rps = runFanInBurst(SocketPath, "fanin-1x", FanDepth,
+                              Fanin1Tickets);
+    Fanin10Rps = runFanInBurst(SocketPath, "fanin-10x", FanDepth * 10,
+                               Fanin10Tickets);
+    FaninOk = Fanin10Rps >= 0.8 * Fanin1Rps;
+  }
+  if (!FaninOk)
+    std::fprintf(stderr,
+                 "FAIL: 10x fan-in rate (%.0f tickets/s) fell below 0.8x "
+                 "the 1x rate (%.0f tickets/s)\n",
+                 Fanin10Rps, Fanin1Rps);
+  std::printf("fan-in: depth %zu (%zu tickets) %.0f tickets/s | depth %zu "
+              "(%zu tickets) %.0f tickets/s — %.2fx\n",
+              FanDepth, Fanin1Tickets, Fanin1Rps, FanDepth * 10,
+              Fanin10Tickets, Fanin10Rps, Fanin10Rps / Fanin1Rps);
+
   size_t CacheBytes = Server->session().cache().bytesUsed();
   size_t CacheEntries = Server->session().cache().size();
 
@@ -350,6 +426,12 @@ int main() {
       "  \"warm_pipelined_layer_rps\": %.1f,\n"
       "  \"pipelined_speedup\": %.3f,\n"
       "  \"pipelined_ge_blocking\": %s,\n"
+      "  \"fanin_depth\": %zu,\n"
+      "  \"fanin_1x_tickets\": %zu,\n"
+      "  \"fanin_1x_rps\": %.1f,\n"
+      "  \"fanin_10x_tickets\": %zu,\n"
+      "  \"fanin_10x_rps\": %.1f,\n"
+      "  \"fanin_10x_ge_80pct_of_1x\": %s,\n"
       "  \"cache_entries\": %zu,\n"
       "  \"cache_bytes\": %zu,\n"
       "  \"restart_stop_persist_ms\": %.3f,\n"
@@ -362,10 +444,12 @@ int main() {
       static_cast<unsigned long long>(ColdTunes), DedupOk ? "true" : "false",
       ColdWall * 1e3, WarmWall * 1e3, WarmRps, WarmOk ? "true" : "false",
       BlockingWall * 1e3, BlockingRps, PipelinedWall * 1e3, PipelinedRps,
-      PipelinedRps / BlockingRps, PipelinedOk ? "true" : "false",
-      CacheEntries, CacheBytes, StopSeconds * 1e3, RestartStartSeconds * 1e3,
-      RestartWall * 1e3, RestartOk ? "true" : "false");
+      PipelinedRps / BlockingRps, PipelinedOk ? "true" : "false", FanDepth,
+      Fanin1Tickets, Fanin1Rps, Fanin10Tickets, Fanin10Rps,
+      FaninOk ? "true" : "false", CacheEntries, CacheBytes, StopSeconds * 1e3,
+      RestartStartSeconds * 1e3, RestartWall * 1e3,
+      RestartOk ? "true" : "false");
   std::fclose(Json);
   std::printf("wrote BENCH_server.json\n");
-  return (DedupOk && WarmOk && PipelinedOk && RestartOk) ? 0 : 1;
+  return (DedupOk && WarmOk && PipelinedOk && FaninOk && RestartOk) ? 0 : 1;
 }

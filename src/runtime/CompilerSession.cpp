@@ -102,107 +102,139 @@ CompileJob CompilerSession::compileAsync(CompileRequest Request) {
 CompileJob
 CompilerSession::compileAsyncCounted(CompileRequest Request,
                                      std::atomic<size_t> *FreshCounter) {
-  std::string Key = Request.cacheKey();
-  // Ready or in-flight entries are joined directly — no pool round-trip,
-  // and a whole warm model submits without spawning a single task.
-  if (Request.Options.Policy == CachePolicy::Default)
-    if (std::optional<std::shared_future<KernelReport>> Fut = Cache.peek(Key))
-      return CompileJob(std::move(Key), std::move(*Fut));
-
-  auto Done = std::make_shared<std::promise<KernelReport>>();
-  std::shared_future<KernelReport> Fut = Done->get_future().share();
-  InFlight.fetch_add(1);
-  Pool->submit(
-      [this, Request = std::move(Request), Key, Done, FreshCounter]() mutable {
-        try {
-          bool Computed = false;
-          KernelReport Report = compileKeyed(Request, Key, &Computed);
-          if (Computed && FreshCounter)
-            FreshCounter->fetch_add(1);
-          Done->set_value(Report);
-        } catch (...) {
-          Done->set_exception(std::current_exception());
-        }
-        // Pair the decrement with the quiesce cv so a waiter parked on
-        // an empty queue (job running on a worker) wakes promptly.
-        if (InFlight.fetch_sub(1) == 1) {
-          { std::lock_guard<std::mutex> Lock(QuiesceMu); }
-          QuiesceCv.notify_all();
-        }
-      });
-  return CompileJob(std::move(Key), std::move(Fut));
+  return dispatchAsync(std::move(Request), nullptr, FreshCounter);
 }
 
 CompileJob CompilerSession::compileAsyncThen(CompileRequest Request,
                                              JobCallback OnDone) {
+  return dispatchAsync(std::move(Request), std::move(OnDone), nullptr);
+}
+
+void CompilerSession::jobFinished() {
+  // Pair the decrement with the quiesce cv so a waiter parked on an
+  // empty queue (job running on a worker, or a continuation pending on
+  // another thread's compile) wakes promptly — and exactly once, when
+  // the count actually reaches zero.
+  if (InFlight.fetch_sub(1) == 1) {
+    { std::lock_guard<std::mutex> Lock(QuiesceMu); }
+    QuiesceCv.notify_all();
+  }
+}
+
+CompileJob CompilerSession::dispatchAsync(
+    CompileRequest Request,
+    std::function<void(const KernelReport *, std::exception_ptr, bool)>
+        Finish,
+    std::atomic<size_t> *FreshCounter) {
   std::string Key = Request.cacheKey();
-  // A ready entry still goes through a (tiny) pool task, and an in-flight
-  // entry through a worker that waits out the winner: the callback always
-  // fires from the pool, never inside this call — callers may hold locks
-  // here that the callback also takes. The in-flight wait is safe because
-  // an entry exists only while its winner is actively running on some
-  // thread (KernelCache inserts inside getOrCompute), so the waiting
-  // worker always unblocks; and both paths count toward InFlight, so
-  // quiesce() drains pending notifications too.
-  if (Request.Options.Policy == CachePolicy::Default) {
-    if (std::optional<std::shared_future<KernelReport>> Fut =
-            Cache.peek(Key)) {
-      InFlight.fetch_add(1);
-      Pool->submit([this, Fut = *Fut, OnDone = std::move(OnDone)] {
-        const KernelReport *Report = nullptr;
-        std::exception_ptr Error;
-        try {
-          Report = &Fut.get();
-        } catch (...) {
-          Error = std::current_exception();
-        }
-        if (OnDone)
-          OnDone(Report, Error, /*Computed=*/false);
-        if (InFlight.fetch_sub(1) == 1) {
-          { std::lock_guard<std::mutex> Lock(QuiesceMu); }
-          QuiesceCv.notify_all();
-        }
-      });
-      return CompileJob(std::move(Key), std::move(*Fut));
+
+  if (Request.Options.Policy != CachePolicy::Bypass) {
+    if (Request.Options.Policy == CachePolicy::Refresh)
+      // Ready entries are dropped and recompiled; an in-flight compile is
+      // left alone (it is fresh enough, and erasing it would break the
+      // single-flight invariant its winner relies on).
+      Cache.eraseReady(Key);
+
+    // Count the job before resolving: a registered continuation may fire
+    // (and decrement) the instant the cache lock is released.
+    InFlight.fetch_add(1);
+    std::shared_future<KernelReport> Fut;
+    KernelCache::ComputeTicket Ticket;
+    KernelCache::Waiter Continuation;
+    if (Finish)
+      Continuation = [this, Finish](const KernelReport *Report,
+                                    std::exception_ptr Error) {
+        Finish(Report, Error, /*Computed=*/false);
+        jobFinished();
+      };
+    switch (Cache.resolveThen(Key, std::move(Continuation), &Fut, &Ticket)) {
+    case KernelCache::ResolveKind::Ready: {
+      // Warm hit: resolve inline on the submitting thread. A whole warm
+      // model's worth of joins costs zero pool tasks.
+      InlineReadyHitsCount.fetch_add(1);
+      if (Finish)
+        Finish(&Fut.get(), nullptr, /*Computed=*/false);
+      jobFinished();
+      return CompileJob(std::move(Key), std::move(Fut));
     }
+    case KernelCache::ResolveKind::Joined:
+      // In-flight join: the winner's drain fires the continuation; no
+      // thread — pool or otherwise — blocks waiting for it.
+      ContinuationJoinsCount.fetch_add(1);
+      if (!Finish)
+        jobFinished(); // Future-only join: nothing left pending here.
+      return CompileJob(std::move(Key), std::move(Fut));
+    case KernelCache::ResolveKind::MustCompute:
+      break;
+    }
+
+    // Winner: run the compile on a pool worker; fulfill()/fail() publish
+    // the result and drain every waiter that joined meanwhile.
+    FreshDispatchesCount.fetch_add(1);
+    Pool->submit([this, Request = std::move(Request), Key,
+                  Ticket = std::move(Ticket),
+                  Finish = std::move(Finish), FreshCounter]() mutable {
+      KernelReport Report;
+      std::exception_ptr Error;
+      try {
+        Report = Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                          Request.Options);
+      } catch (...) {
+        Error = std::current_exception();
+      }
+      if (!Error) {
+        if (FreshCounter)
+          FreshCounter->fetch_add(1);
+        Cache.fulfill(Key, Ticket, Report);
+      } else {
+        Cache.fail(Key, Ticket, Error);
+      }
+      if (Finish)
+        Finish(Error ? nullptr : &Report, Error, /*Computed=*/!Error);
+      jobFinished();
+    });
+    return CompileJob(std::move(Key), std::move(Fut));
   }
 
+  // Bypass: never touches the cache; a private promise backs the job.
+  FreshDispatchesCount.fetch_add(1);
   auto Done = std::make_shared<std::promise<KernelReport>>();
   std::shared_future<KernelReport> Fut = Done->get_future().share();
   InFlight.fetch_add(1);
-  Pool->submit([this, Request = std::move(Request), Key, Done,
-                OnDone = std::move(OnDone)]() mutable {
+  Pool->submit([this, Request = std::move(Request), Done,
+                Finish = std::move(Finish), FreshCounter]() mutable {
     KernelReport Report;
-    bool Computed = false;
     std::exception_ptr Error;
     try {
-      Report = compileKeyed(Request, Key, &Computed);
-      Done->set_value(Report);
+      Report = Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                        Request.Options);
     } catch (...) {
       Error = std::current_exception();
+    }
+    if (!Error) {
+      if (FreshCounter)
+        FreshCounter->fetch_add(1);
+      Done->set_value(Report);
+    } else {
       Done->set_exception(Error);
     }
-    if (OnDone)
-      OnDone(Error ? nullptr : &Report, Error, Error ? false : Computed);
-    if (InFlight.fetch_sub(1) == 1) {
-      { std::lock_guard<std::mutex> Lock(QuiesceMu); }
-      QuiesceCv.notify_all();
-    }
+    if (Finish)
+      Finish(Error ? nullptr : &Report, Error, /*Computed=*/!Error);
+    jobFinished();
   });
   return CompileJob(std::move(Key), std::move(Fut));
 }
 
 void CompilerSession::quiesce() {
-  while (InFlight.load() != 0) {
-    // Help drain queued work; once the queue is empty but jobs still run
-    // on workers, park on the cv instead of spinning a core.
-    if (Pool->runOne())
-      continue;
-    std::unique_lock<std::mutex> Lock(QuiesceMu);
-    if (InFlight.load() == 0)
-      break;
-    QuiesceCv.wait_for(Lock, std::chrono::milliseconds(10));
+  // Help drain queued work from the calling thread first.
+  while (InFlight.load() != 0 && Pool->runOne()) {
   }
+  // Whatever remains is running on workers or pending as continuations of
+  // someone else's compile. Park untimed: every finishing job runs
+  // jobFinished(), whose decrement-to-zero is published under QuiesceMu
+  // before the notify — exact wakeup, no timed polling.
+  std::unique_lock<std::mutex> Lock(QuiesceMu);
+  QuiesceCv.wait(Lock, [this] { return InFlight.load() == 0; });
 }
 
 std::vector<CompileJob>

@@ -69,6 +69,25 @@ struct SessionConfig {
   KernelCache::ClockFn CacheClock;
 };
 
+/// Counters describing how the session's async continuation engine has
+/// been resolving jobs. All monotonic over the session's lifetime.
+struct SessionStats {
+  /// Async joins that blocked a pool worker on another job's future. The
+  /// continuation engine never does this — the counter exists so tests
+  /// and operators can assert it stays 0; any future code path that
+  /// reintroduces a blocking join must bump it.
+  uint64_t ParkedJoins = 0;
+  /// Async joins resolved by registering a continuation on an in-flight
+  /// cache entry (drained by the winner; zero pool threads consumed).
+  uint64_t ContinuationJoins = 0;
+  /// Async submissions served by a ready cache entry — the callback fired
+  /// inline on the submitting thread, no pool task spawned.
+  uint64_t InlineReadyHits = 0;
+  /// Async submissions that won their key and dispatched a fresh compile
+  /// to the pool (plus Bypass jobs, which always compile).
+  uint64_t FreshDispatches = 0;
+};
+
 /// What compiling a whole model produced.
 struct ModelCompileResult {
   std::vector<KernelReport> Layers; ///< One per Model::Convs entry.
@@ -96,6 +115,12 @@ class CompilerSession {
   /// waiter is parked on an empty queue.
   std::mutex QuiesceMu;
   std::condition_variable QuiesceCv;
+  /// SessionStats counters (see sessionStats()); declared before Pool for
+  /// the same destruction-order reason as the quiesce state above.
+  std::atomic<uint64_t> ParkedJoinsCount{0};
+  std::atomic<uint64_t> ContinuationJoinsCount{0};
+  std::atomic<uint64_t> InlineReadyHitsCount{0};
+  std::atomic<uint64_t> FreshDispatchesCount{0};
   std::unique_ptr<ThreadPool> Pool;
 
   /// The pool handed to tuners, or null when candidate-parallelism is off.
@@ -111,6 +136,23 @@ class CompilerSession {
   /// race-free accounting compileModel aggregates into FreshCompiles.
   CompileJob compileAsyncCounted(CompileRequest Request,
                                  std::atomic<size_t> *FreshCounter);
+
+  /// The continuation engine behind every async entry point. Resolves
+  /// \p Request against the cache without ever blocking a pool thread:
+  /// ready hits fire \p Finish inline on the submitting thread, joins of
+  /// an in-flight compile register a continuation the winner drains, and
+  /// only a fresh compile (key winner, or Bypass) submits a pool task.
+  /// \p Finish may be null (future-only callers); \p FreshCounter as in
+  /// compileAsyncCounted.
+  CompileJob dispatchAsync(CompileRequest Request,
+                           std::function<void(const KernelReport *,
+                                              std::exception_ptr, bool)>
+                               Finish,
+                           std::atomic<size_t> *FreshCounter);
+
+  /// Marks one async job finished: decrements InFlight and, when it was
+  /// the last one, wakes quiesce() — exact notification, no polling.
+  void jobFinished();
   std::vector<CompileJob>
   compileAllAsyncCounted(std::vector<CompileRequest> Requests,
                          std::atomic<size_t> *FreshCounter);
@@ -141,11 +183,27 @@ public:
   size_t inFlightJobs() const { return InFlight.load(); }
 
   /// Blocks until every submitted async compile has finished, helping
-  /// drain the pool from the calling thread. Jobs submitted *while*
-  /// quiescing are waited for too; the caller is responsible for stopping
-  /// new submissions first (graceful-shutdown order: stop intake, then
-  /// quiesce, then persist).
+  /// drain the pool from the calling thread, then parking on an untimed
+  /// wait the final continuation wakes exactly (no timed polling when
+  /// idle). Jobs submitted *while* quiescing are waited for too; the
+  /// caller is responsible for stopping new submissions first
+  /// (graceful-shutdown order: stop intake, then quiesce, then persist).
   void quiesce();
+
+  /// Continuation-engine counters; see SessionStats.
+  SessionStats sessionStats() const {
+    SessionStats S;
+    S.ParkedJoins = ParkedJoinsCount.load();
+    S.ContinuationJoins = ContinuationJoinsCount.load();
+    S.InlineReadyHits = InlineReadyHitsCount.load();
+    S.FreshDispatches = FreshDispatchesCount.load();
+    return S;
+  }
+
+  /// Async joins that parked a pool worker — 0 under the continuation
+  /// engine, by construction. Exposed (and wired into the server `stats`
+  /// reply) so regressions are an assertion away.
+  uint64_t parkedJoins() const { return ParkedJoinsCount.load(); }
 
   //===--------------------------------------------------------------------===//
   // The unified compile surface
@@ -168,17 +226,23 @@ public:
   /// Completion callback for compileAsyncThen: exactly one of \p Report
   /// and \p Error is non-null/non-empty; \p Computed mirrors compile()'s
   /// ComputedHere (true only when the job ran the compile itself).
-  /// Invoked on a session pool worker — keep it short and never call
-  /// back into blocking session APIs from inside it.
+  /// Invoked on whichever thread resolves the job: the *submitting*
+  /// thread (ready cache hits fire before compileAsyncThen returns), the
+  /// winner's completing thread (single-flight joins, drained as
+  /// continuations), or a pool worker (fresh compiles). Never invoked
+  /// while the session holds an internal lock. Keep it short and never
+  /// call back into blocking session APIs from inside it.
   using JobCallback = std::function<void(
       const KernelReport *Report, std::exception_ptr Error, bool Computed)>;
 
   /// compileAsync plus a completion hook: \p OnDone fires exactly once
   /// when the job resolves, including for cache hits and single-flight
-  /// joins of another caller's in-flight compile (the callback then runs
-  /// on a worker that waits out the winner). This is what lets an event-
-  /// driven host — the compile server's streaming mode — push results as
-  /// they land instead of parking a thread per pending job.
+  /// joins of another caller's in-flight compile. No variant ever parks a
+  /// pool thread on a join — hits resolve inline and joins ride the
+  /// winner's completion (see SessionStats) — so pending callbacks cost a
+  /// list slot, not a worker. This is what lets an event-driven host —
+  /// the compile server's streaming mode — push results as they land
+  /// while keeping thousands of tickets in flight over a small pool.
   CompileJob compileAsyncThen(CompileRequest Request, JobCallback OnDone);
 
   /// Submits a batch, higher CompileOptions::Priority first; the returned

@@ -139,64 +139,123 @@ void KernelCache::enforceCapacityLocked() {
   }
 }
 
+KernelCache::ResolveKind
+KernelCache::resolveThen(const std::string &Key, Waiter OnDone,
+                         std::shared_future<KernelReport> *FutOut,
+                         ComputeTicket *Ticket) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  // An expired entry is a miss that still holds the slot: drop it so
+  // this caller becomes the winner of a fresh compile.
+  if (It != Entries.end() && expiredLocked(It->second)) {
+    eraseLocked(Key);
+    It = Entries.end();
+  }
+  if (It == Entries.end()) {
+    auto Promise = std::make_shared<std::promise<KernelReport>>();
+    Entry &E = insertLocked(Key, Promise->get_future().share());
+    E.Waiters = std::make_shared<std::vector<Waiter>>();
+    if (FutOut)
+      *FutOut = E.Fut;
+    if (Ticket) {
+      Ticket->Promise = std::move(Promise);
+      Ticket->Waiters = E.Waiters;
+    }
+    Misses.fetch_add(1);
+    return ResolveKind::MustCompute;
+  }
+  Entry &E = It->second;
+  touchLocked(E);
+  Hits.fetch_add(1);
+  if (FutOut)
+    *FutOut = E.Fut;
+  if (isReady(E.Fut))
+    return ResolveKind::Ready;
+  if (OnDone) {
+    // In-flight entries always carry a waiter list (allocated above); the
+    // defensive branch covers a hand-seeded entry only.
+    if (!E.Waiters)
+      E.Waiters = std::make_shared<std::vector<Waiter>>();
+    E.Waiters->push_back(std::move(OnDone));
+  }
+  return ResolveKind::Joined;
+}
+
+void KernelCache::fulfill(const std::string &Key, ComputeTicket &Ticket,
+                          const KernelReport &Report) {
+  // Ready the future first: a resolveThen racing past this point sees
+  // Ready and never registers a waiter we could miss — registration and
+  // the drain-swap below are both serialized by Mu.
+  Ticket.Promise->set_value(Report);
+  std::vector<Waiter> ToFire;
+  {
+    // Capacity is enforced only once the winner is ready: the new entry
+    // sits at the LRU front, so eviction hits the coldest ready keys.
+    // Re-account it first — readiness grew it by the intrinsic name. The
+    // waiter list is the entry's identity: insert()/clear() may have
+    // displaced the slot mid-compile, in which case the usurper's
+    // accounting (and waiter list) are its own and stay untouched.
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Key);
+    if (It != Entries.end() && It->second.Waiters == Ticket.Waiters) {
+      accountLocked(Key, It->second);
+      It->second.Waiters.reset();
+    }
+    enforceCapacityLocked();
+    ToFire.swap(*Ticket.Waiters);
+  }
+  for (Waiter &W : ToFire)
+    W(&Report, nullptr);
+  Ticket.Promise.reset();
+  Ticket.Waiters.reset();
+}
+
+void KernelCache::fail(const std::string &Key, ComputeTicket &Ticket,
+                       std::exception_ptr Error) {
+  std::vector<Waiter> ToFire;
+  {
+    // Evict before publishing the error so the key is immediately
+    // retryable — an unfulfilled or failed promise must never poison the
+    // slot. Identity-checked like fulfill(): if insert() replaced the
+    // entry mid-compile, the usurper survives our failure. Swapping the
+    // waiter list under the same lock means no joiner can slip in after
+    // the erase (post-erase resolvers become fresh winners instead).
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Entries.find(Key);
+    if (It != Entries.end() && It->second.Waiters == Ticket.Waiters)
+      eraseLocked(Key);
+    ToFire.swap(*Ticket.Waiters);
+  }
+  Ticket.Promise->set_exception(Error);
+  for (Waiter &W : ToFire)
+    W(nullptr, Error);
+  Ticket.Promise.reset();
+  Ticket.Waiters.reset();
+}
+
 KernelReport KernelCache::getOrCompute(const std::string &Key,
                                        const Compiler &Compile,
                                        bool *ComputedHere) {
   std::shared_future<KernelReport> Fut;
-  std::promise<KernelReport> Mine;
-  bool Winner = false;
-  {
-    std::lock_guard<std::mutex> Lock(Mu);
-    auto It = Entries.find(Key);
-    // An expired entry is a miss that still holds the slot: drop it so
-    // this caller becomes the winner of a fresh compile.
-    if (It != Entries.end() && expiredLocked(It->second)) {
-      eraseLocked(Key);
-      It = Entries.end();
-    }
-    if (It == Entries.end()) {
-      Fut = Mine.get_future().share();
-      insertLocked(Key, Fut);
-      Winner = true;
-    } else {
-      Fut = It->second.Fut;
-      touchLocked(It->second);
-    }
-  }
+  ComputeTicket Ticket;
+  ResolveKind Kind = resolveThen(Key, /*OnDone=*/nullptr, &Fut, &Ticket);
   if (ComputedHere)
-    *ComputedHere = Winner;
-  if (!Winner) {
-    Hits.fetch_add(1);
+    *ComputedHere = Kind == ResolveKind::MustCompute;
+  // Ready hits return immediately; joiners park this caller-owned thread
+  // on the winner's future (the non-blocking alternative is resolveThen).
+  if (Kind != ResolveKind::MustCompute)
     return Fut.get();
-  }
-  Misses.fetch_add(1);
   // The library itself aborts rather than throws, but user-registered
-  // backends (and std::bad_alloc) can still unwind through here. Without
-  // this handler the unfulfilled promise would poison the key forever
-  // (every later lookup getting broken_promise); instead, evict the
-  // entry so the key can be retried and propagate the error to waiters.
+  // backends (and std::bad_alloc) can still unwind through here. fail()
+  // evicts the entry so the key can be retried and propagates the error
+  // to every waiter; without it the unfulfilled promise would poison the
+  // key forever (every later lookup getting broken_promise).
   try {
     KernelReport Report = Compile();
-    Mine.set_value(Report);
-    {
-      // Capacity is enforced only once the winner is ready: the new entry
-      // sits at the LRU front, so eviction hits the coldest ready keys.
-      // Re-account it first — readiness grew it by the intrinsic name
-      // (a concurrent erase may already have dropped it; that path
-      // subtracted the stale accounted size, keeping the sum exact).
-      std::lock_guard<std::mutex> Lock(Mu);
-      auto It = Entries.find(Key);
-      if (It != Entries.end())
-        accountLocked(Key, It->second);
-      enforceCapacityLocked();
-    }
+    fulfill(Key, Ticket, Report);
     return Report;
   } catch (...) {
-    {
-      std::lock_guard<std::mutex> Lock(Mu);
-      eraseLocked(Key);
-    }
-    Mine.set_exception(std::current_exception());
+    fail(Key, Ticket, std::current_exception());
     throw;
   }
 }

@@ -16,6 +16,14 @@
 /// concurrently, one compiles and the other waits on the same future — a
 /// model with repeated shapes never tunes a shape twice.
 ///
+/// Joins come in two flavors. The blocking one (getOrCompute) parks the
+/// calling thread on the winner's future — fine for caller-owned threads.
+/// The continuation one (resolveThen) registers a Waiter callback on the
+/// in-flight entry instead; the winner drains every registered waiter when
+/// it completes, on the success and failure paths alike. A join therefore
+/// never has to occupy a thread, which is what lets a session pool keep
+/// tuning while thousands of tickets fan into the same few compiles.
+///
 /// The cache is bounded (optionally) by an LRU entry cap and/or an LRU
 /// byte cap over the resident-byte accounting, expires (optionally) by
 /// age — setTTL() makes ready entries older than the TTL read as absent,
@@ -59,6 +67,36 @@ class KernelCache {
 public:
   using Compiler = std::function<KernelReport()>;
 
+  /// Continuation registered on an in-flight entry. Fired exactly once by
+  /// the winner when its compile resolves: (&Report, nullptr) on success,
+  /// (nullptr, Error) on failure. Runs on the winner's completing thread
+  /// with no cache lock held — keep it short and never call back into
+  /// blocking cache APIs from inside it.
+  using Waiter =
+      std::function<void(const KernelReport *, std::exception_ptr)>;
+
+  /// What resolveThen() found for a key.
+  enum class ResolveKind {
+    Ready,       ///< Entry ready; the future yields the report immediately.
+    Joined,      ///< Compile in flight; the waiter (if any) was registered.
+    MustCompute, ///< Caller is the winner and owns running the compile.
+  };
+
+  /// Winner-side handle handed out by resolveThen() on MustCompute. The
+  /// holder must resolve it exactly once via fulfill() or fail(); both
+  /// drain every waiter that joined while the compile ran. The embedded
+  /// waiter list doubles as the entry's identity: if insert()/clear()
+  /// displaced the slot mid-compile, completion still drains the original
+  /// joiners but leaves the usurping entry's accounting alone.
+  class ComputeTicket {
+    friend class KernelCache;
+    std::shared_ptr<std::promise<KernelReport>> Promise;
+    std::shared_ptr<std::vector<Waiter>> Waiters;
+
+  public:
+    explicit operator bool() const { return Promise != nullptr; }
+  };
+
   /// \p MaxEntries == 0 means unbounded; otherwise least-recently-used
   /// ready entries are evicted once the cap is exceeded. \p MaxBytes
   /// bounds the resident-byte accounting (bytesUsed()) the same way;
@@ -74,6 +112,34 @@ public:
   /// and single-flight joiners) — the race-free "was it cached" signal.
   KernelReport getOrCompute(const std::string &Key, const Compiler &Compile,
                             bool *ComputedHere = nullptr);
+
+  /// Non-blocking single-flight resolve. Exactly one concurrent caller per
+  /// missing key gets MustCompute (plus a ComputeTicket it must resolve via
+  /// fulfill()/fail()); everyone else gets Ready (report available through
+  /// \p FutOut now) or Joined (\p OnDone registered for the winner's drain;
+  /// a null \p OnDone joins future-only, for callers that will block on
+  /// \p FutOut themselves). \p FutOut, when non-null, always receives the
+  /// entry's future. Ready and Joined count as hits, MustCompute as a miss.
+  /// In-flight entries keep every existing invariant: never evicted by the
+  /// caps, never TTL-expired, and a failed compile erases the key before
+  /// the error is published, so the key stays retryable and never poisoned.
+  ResolveKind resolveThen(const std::string &Key, Waiter OnDone,
+                          std::shared_future<KernelReport> *FutOut,
+                          ComputeTicket *Ticket);
+
+  /// Publishes the winner's report for \p Key: readies the entry's future,
+  /// folds the now-known report into the byte accounting, enforces the
+  /// caps, and fires every registered waiter with (&Report, nullptr).
+  /// Waiters run on this thread, after the cache lock is released.
+  void fulfill(const std::string &Key, ComputeTicket &Ticket,
+               const KernelReport &Report);
+
+  /// Publishes the winner's failure for \p Key: erases the entry *first*
+  /// (so the key is immediately retryable — a failed compile never poisons
+  /// the cache), then readies the future with \p Error and fires every
+  /// registered waiter with (nullptr, Error), lock released.
+  void fail(const std::string &Key, ComputeTicket &Ticket,
+            std::exception_ptr Error);
 
   /// Non-computing probe; std::nullopt when absent or still compiling.
   std::optional<KernelReport> lookup(const std::string &Key) const;
@@ -221,6 +287,11 @@ private:
     /// Clock reading when the report became ready; < 0 while in flight.
     /// The TTL is measured against this.
     double ReadyAt = -1;
+    /// Continuations to drain when the in-flight compile resolves. Non-null
+    /// exactly while in flight (resolveThen allocates it with the entry);
+    /// ready entries drop it. Shared with the winner's ComputeTicket so a
+    /// displaced winner still drains the joiners it owns.
+    std::shared_ptr<std::vector<Waiter>> Waiters;
   };
 
   /// Moves \p E's node to the front of the LRU list (splice keeps the

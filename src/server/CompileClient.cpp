@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
+#include <tuple>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -28,17 +30,19 @@ bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
   sockaddr_un Addr;
   if (!makeUnixSocketAddr(SocketPath, Addr, Err))
     return false;
-  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
+  int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (NewFd < 0) {
     setErr(Err, std::string("socket() failed: ") + std::strerror(errno));
     return false;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
     setErr(Err, "connect(" + SocketPath + ") failed: " + std::strerror(errno));
-    ::close(Fd);
-    Fd = -1;
+    ::close(NewFd);
     return false;
   }
+  Fd.store(NewFd);
+  ShuttingDown.store(false);
   {
     std::lock_guard<std::mutex> Lock(Mu);
     ReaderExited = false;
@@ -46,7 +50,11 @@ bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
     Replies.clear();
     Unclaimed.clear();
     Outstanding.clear();
+    TicketRequests.clear();
     ArrivalCounter = 0;
+    ConnectedPath = SocketPath;
+    HelloMsg = Json();
+    HelloSent = false;
   }
   Reader = std::thread([this] { readerLoop(); });
   return true;
@@ -55,15 +63,42 @@ bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
 void CompileClient::close() {
   // shutdown() (not close()) wakes the reader parked in readFrame; the fd
   // itself is released only after the join, so the reader can never race
-  // a recycled descriptor number.
-  if (Fd >= 0)
-    ::shutdown(Fd, SHUT_RDWR);
+  // a recycled descriptor number. ShuttingDown is published under Mu,
+  // paired with tryReconnect()'s commit check: either the reader sees it
+  // and exits instead of installing a new fd, or it committed first and
+  // the Fd read below picks up the new descriptor to shut down.
+  int CurFd;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown.store(true);
+    CurFd = Fd.load();
+  }
+  if (CurFd >= 0)
+    ::shutdown(CurFd, SHUT_RDWR);
   if (Reader.joinable())
     Reader.join();
-  if (Fd >= 0) {
-    ::close(Fd);
-    Fd = -1;
+  // Post-join re-read: a reconnect that won the race above swapped in a
+  // fresh fd (and retired the one we shut down).
+  CurFd = Fd.load();
+  if (CurFd >= 0) {
+    ::close(CurFd);
+    Fd.store(-1);
   }
+  std::vector<int> Dead;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Dead.swap(RetiredFds);
+  }
+  for (int F : Dead)
+    ::close(F);
+}
+
+void CompileClient::setAutoReconnect(bool Enable, int MaxAttempts,
+                                     int RetryDelayMillis) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  AutoReconnect = Enable;
+  ReconnectAttempts = MaxAttempts > 0 ? MaxAttempts : 1;
+  ReconnectDelayMillis = RetryDelayMillis > 0 ? RetryDelayMillis : 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -73,11 +108,17 @@ void CompileClient::close() {
 void CompileClient::readerLoop() {
   std::string Payload;
   while (true) {
-    FrameStatus Status = readFrame(Fd, Payload);
+    FrameStatus Status = readFrame(Fd.load(), Payload);
     if (Status != FrameStatus::Ok) {
-      failAllPending(Status == FrameStatus::Eof
-                         ? "server closed the connection"
-                         : "read failed");
+      std::string Why = Status == FrameStatus::Eof
+                            ? "server closed the connection"
+                            : "read failed";
+      // Auto-reconnect turns a dead transport into a redial + ticket
+      // replay; only when that is off (or exhausted) does the exit
+      // cascade to every pending future.
+      if (tryReconnect(Why))
+        continue;
+      failAllPending(Why);
       return;
     }
     std::string ParseErr;
@@ -93,6 +134,7 @@ void CompileClient::readerLoop() {
         if (It != Tickets.end()) {
           P = std::move(It->second);
           Tickets.erase(It);
+          TicketRequests.erase(Ticket); // Resolved: no replay needed.
         } else {
           // The submitted reply naming this ticket has not been consumed
           // yet (pipelined submission); park the note for registerTicket.
@@ -124,11 +166,178 @@ void CompileClient::failAllPending(const std::string &Why) {
     ReaderExited = true;
     ReaderExitReason = Why;
     Orphans.swap(Tickets);
+    TicketRequests.clear();
   }
   for (auto &KV : Orphans)
     KV.second->set_exception(
         std::make_exception_ptr(std::runtime_error(Why)));
   ReplyCv.notify_all();
+}
+
+bool CompileClient::tryReconnect(const std::string &Why) {
+  int Attempts, DelayMs;
+  std::string Path;
+  Json Hello;
+  bool SendHello;
+  std::unordered_map<uint64_t, std::shared_ptr<std::promise<CompileResult>>>
+      Pending;
+  std::unordered_map<uint64_t, Json> Requests;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!AutoReconnect || ShuttingDown.load())
+      return false;
+    // Gate user round trips while the wire is rebuilt: replies the old
+    // connection owed are unrecoverable, so in-flight request/reply
+    // exchanges fail fast instead of waiting forever. Registered tickets
+    // are the replayable part — take ownership of them here.
+    ReaderExited = true;
+    ReaderExitReason = Why + " (reconnecting)";
+    Attempts = ReconnectAttempts;
+    DelayMs = ReconnectDelayMillis;
+    Path = ConnectedPath;
+    Hello = HelloMsg;
+    SendHello = HelloSent;
+    Pending.swap(Tickets);
+    Requests.swap(TicketRequests);
+    // Early notes were paired with submitted replies that just died
+    // unconsumed; their round trips fail, so the notes are orphans.
+    Unclaimed.clear();
+  }
+  ReplyCv.notify_all();
+
+  auto FailPending = [&](const std::string &Reason) {
+    for (auto &KV : Pending)
+      KV.second->set_exception(
+          std::make_exception_ptr(std::runtime_error(Reason)));
+    Pending.clear();
+    return false; // Hands the reader exit to failAllPending.
+  };
+
+  // Redial. Bounded attempts; a server restart needs a beat to re-bind.
+  int NewFd = -1;
+  sockaddr_un Addr;
+  if (!makeUnixSocketAddr(Path, Addr, nullptr))
+    return FailPending("reconnect failed: bad socket path");
+  for (int A = 0; A < Attempts && !ShuttingDown.load(); ++A) {
+    if (A)
+      std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
+    NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (NewFd < 0)
+      return FailPending(std::string("reconnect failed: socket(): ") +
+                         std::strerror(errno));
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr),
+                  sizeof(Addr)) == 0)
+      break;
+    ::close(NewFd);
+    NewFd = -1;
+  }
+  if (NewFd < 0)
+    return FailPending("reconnect failed: " + Why);
+
+  // Synchronous handshake + replay on the new socket, owned entirely by
+  // this (reader) thread — ReaderExited keeps user threads off the wire.
+  // Notifications can already arrive interleaved (a replayed warm hit
+  // resolves before the last submitted reply); stash them for after the
+  // ticket remap.
+  std::vector<Json> Notes;
+  auto ReadReply = [&](Json &Out) {
+    std::string Buf;
+    while (true) {
+      if (readFrame(NewFd, Buf) != FrameStatus::Ok)
+        return false;
+      std::optional<Json> F = Json::parse(Buf, nullptr);
+      if (!F)
+        return false;
+      if (isNotification(*F)) {
+        Notes.push_back(std::move(*F));
+        continue;
+      }
+      Out = std::move(*F);
+      return true;
+    }
+  };
+  auto Abort = [&](const std::string &Reason) {
+    ::close(NewFd);
+    return FailPending(Reason);
+  };
+  if (SendHello) {
+    Json Welcome;
+    if (!writeFrame(NewFd, Hello.dump()) || !ReadReply(Welcome) ||
+        Welcome.str("type") != "welcome")
+      return Abort("reconnect failed: hello handshake rejected");
+  }
+  // Pipeline every unresolved submission, then collect the new tickets —
+  // the server answers one connection in order, so the k-th submitted
+  // reply belongs to the k-th replayed frame.
+  std::vector<uint64_t> Order;
+  Order.reserve(Pending.size());
+  for (const auto &KV : Pending) {
+    auto RIt = Requests.find(KV.first);
+    if (RIt == Requests.end())
+      continue; // No retained frame (never happens for submit paths).
+    if (!writeFrame(NewFd, RIt->second.dump()))
+      return Abort("reconnect failed: resubmission write failed");
+    Order.push_back(KV.first);
+  }
+  std::vector<std::tuple<uint64_t, uint64_t, Json>> Remapped; // old, new, msg
+  for (uint64_t Old : Order) {
+    Json Reply;
+    if (!ReadReply(Reply))
+      return Abort("reconnect failed: resubmission reply lost");
+    uint64_t NewTicket =
+        Reply.str("type") == "submitted"
+            ? static_cast<uint64_t>(Reply.integer("ticket", 0))
+            : 0;
+    if (NewTicket == 0) {
+      // The new server rejected this one (e.g. unknown target after a
+      // config change); fail just its future, replay the rest.
+      Pending[Old]->set_exception(std::make_exception_ptr(std::runtime_error(
+          "resubmission rejected: " + Reply.str("message", Reply.dump()))));
+      Pending.erase(Old);
+      continue;
+    }
+    Remapped.emplace_back(Old, NewTicket, std::move(Requests[Old]));
+  }
+
+  // Commit: install the new fd and remapped tickets, reopen the gate.
+  // The ShuttingDown check pairs with close() — if close() won the race,
+  // installing NewFd would leave it un-shutdown and the join would hang.
+  std::vector<std::pair<std::shared_ptr<std::promise<CompileResult>>, Json>>
+      Resolved;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (ShuttingDown.load()) {
+      ::close(NewFd);
+      return FailPending("connection closed");
+    }
+    for (auto &T : Remapped) {
+      Tickets[std::get<1>(T)] = Pending[std::get<0>(T)];
+      TicketRequests[std::get<1>(T)] = std::move(std::get<2>(T));
+    }
+    for (Json &Note : Notes) {
+      uint64_t Ticket = static_cast<uint64_t>(Note.integer("ticket", 0));
+      auto It = Tickets.find(Ticket);
+      if (It == Tickets.end())
+        continue; // For a ticket whose resubmission was rejected.
+      Resolved.emplace_back(std::move(It->second), std::move(Note));
+      Tickets.erase(It);
+      TicketRequests.erase(Ticket);
+    }
+    RetiredFds.push_back(Fd.load());
+    Fd.store(NewFd);
+    ResubmittedCount.fetch_add(Remapped.size());
+    ReaderExited = false;
+    ReaderExitReason.clear();
+  }
+  for (auto &KV : Resolved) {
+    uint64_t Arrival;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Arrival = ++ArrivalCounter;
+    }
+    resolveTicket(*KV.first, KV.second, Arrival);
+  }
+  return true;
 }
 
 void CompileClient::resolveTicket(std::promise<CompileResult> &P,
@@ -157,11 +366,12 @@ void CompileClient::resolveTicket(std::promise<CompileResult> &P,
 //===----------------------------------------------------------------------===//
 
 bool CompileClient::sendRequest(const Json &Request, std::string *Err) {
-  if (Fd < 0) {
+  int CurFd = Fd.load();
+  if (CurFd < 0) {
     setErr(Err, "not connected");
     return false;
   }
-  if (!writeFrame(Fd, Request.dump())) {
+  if (!writeFrame(CurFd, Request.dump())) {
     setErr(Err, "write failed (server gone?)");
     return false;
   }
@@ -187,8 +397,18 @@ std::optional<Json> CompileClient::awaitReply(std::string *Err) {
 
 std::optional<Json> CompileClient::request(const Json &Request,
                                            std::string *Err) {
+  // With auto-reconnect on, a transport failure is the reader's to heal:
+  // tearing the client down here would yank the redial out from under it
+  // (and orphan the tickets it is busy replaying). The caller just sees
+  // this one exchange fail.
+  bool Healing;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Healing = AutoReconnect;
+  }
   if (!sendRequest(Request, Err)) {
-    close();
+    if (!Healing)
+      close();
     return std::nullopt;
   }
   std::optional<Json> Reply = awaitReply(Err);
@@ -200,7 +420,7 @@ std::optional<Json> CompileClient::request(const Json &Request,
       std::lock_guard<std::mutex> Lock(Mu);
       Dead = ReaderExited;
     }
-    if (Dead)
+    if (Dead && !Healing)
       close();
   }
   return Reply;
@@ -232,7 +452,15 @@ std::optional<Json> CompileClient::hello(const std::string &ClientName,
   J.set("client", ClientName);
   if (MaxCandidates > 0)
     J.set("max_candidates", MaxCandidates);
-  return roundTrip(J, "welcome", Err);
+  std::optional<Json> Welcome = roundTrip(J, "welcome", Err);
+  if (Welcome) {
+    // Retain the accepted handshake: auto-reconnect replays it so the new
+    // connection carries the same client name and budget.
+    std::lock_guard<std::mutex> Lock(Mu);
+    HelloMsg = std::move(J);
+    HelloSent = true;
+  }
+  return Welcome;
 }
 
 //===----------------------------------------------------------------------===//
@@ -311,7 +539,8 @@ CompileClient::compileDense(const std::string &Target, const std::string &Name,
 // Streaming compiles
 //===----------------------------------------------------------------------===//
 
-CompileClient::AsyncHandle CompileClient::registerTicket(uint64_t Ticket) {
+CompileClient::AsyncHandle CompileClient::registerTicket(uint64_t Ticket,
+                                                         Json RequestMsg) {
   auto P = std::make_shared<std::promise<CompileResult>>();
   AsyncHandle H;
   H.Ticket = Ticket;
@@ -332,6 +561,8 @@ CompileClient::AsyncHandle CompileClient::registerTicket(uint64_t Ticket) {
       return H;
     } else {
       Tickets.emplace(Ticket, P);
+      // Pending: retain the frame so auto-reconnect can resubmit it.
+      TicketRequests.emplace(Ticket, std::move(RequestMsg));
     }
     Outstanding.push_back(H);
   }
@@ -344,10 +575,9 @@ std::optional<CompileClient::AsyncHandle>
 CompileClient::submitWorkload(const std::string &Target, Json WorkloadJson,
                               const CompileOptions &Options,
                               std::string *Err) {
-  std::optional<Json> Response =
-      roundTrip(makeCompileMessage("compile_async", Target,
-                                   std::move(WorkloadJson), Options),
-                "submitted", Err);
+  Json Msg = makeCompileMessage("compile_async", Target,
+                                std::move(WorkloadJson), Options);
+  std::optional<Json> Response = roundTrip(Msg, "submitted", Err);
   if (!Response)
     return std::nullopt;
   uint64_t Ticket = static_cast<uint64_t>(Response->integer("ticket", 0));
@@ -355,7 +585,7 @@ CompileClient::submitWorkload(const std::string &Target, Json WorkloadJson,
     setErr(Err, "submitted reply missing 'ticket'");
     return std::nullopt;
   }
-  return registerTicket(Ticket);
+  return registerTicket(Ticket, std::move(Msg));
 }
 
 std::optional<CompileClient::AsyncHandle>
@@ -391,10 +621,13 @@ CompileClient::submitModelLayers(const std::string &Target, const Model &M,
   // connection's requests in order, so the k-th submitted reply belongs
   // to the k-th layer — and the socket stays full instead of stalling a
   // round trip per layer.
+  std::vector<Json> Messages;
+  Messages.reserve(M.Convs.size());
   for (const ConvLayer &L : M.Convs)
-    if (!sendRequest(makeCompileMessage("compile_async", Target, toJson(L),
-                                        Options),
-                     Err)) {
+    Messages.push_back(
+        makeCompileMessage("compile_async", Target, toJson(L), Options));
+  for (const Json &Msg : Messages)
+    if (!sendRequest(Msg, Err)) {
       close();
       return std::nullopt;
     }
@@ -414,7 +647,7 @@ CompileClient::submitModelLayers(const std::string &Target, const Model &M,
     }
     uint64_t Ticket = static_cast<uint64_t>(Reply->integer("ticket", 0));
     if (Reply->str("type") == "submitted" && Ticket != 0) {
-      Handles.push_back(registerTicket(Ticket));
+      Handles.push_back(registerTicket(Ticket, std::move(Messages[I])));
     } else if (FirstErr.empty()) {
       FirstErr = Reply->str("type") == "error"
                      ? "server error: " + Reply->str("message")
@@ -481,6 +714,7 @@ bool CompileClient::cancel(const AsyncHandle &Handle, std::string *Err) {
       if (It != Tickets.end()) {
         P = std::move(It->second);
         Tickets.erase(It);
+        TicketRequests.erase(Handle.Ticket);
       }
       Outstanding.erase(
           std::remove_if(Outstanding.begin(), Outstanding.end(),

@@ -25,6 +25,11 @@
 ///     cancel() drops a pending ticket's delivery; poll() asks the
 ///     server whether a ticket is still pending.
 ///
+/// The connection can optionally heal itself: setAutoReconnect() makes
+/// the reader redial the socket on EOF and resubmit every unresolved
+/// ticket (tickets are server-assigned, so replay is invisible to
+/// wait()/waitAll() — the new tickets land on the existing futures).
+///
 /// Threading: the request-issuing methods (everything that writes to the
 /// socket) must be called from one thread at a time; wait()/waitAll()
 /// only touch futures and may be called from anywhere. Every typed call
@@ -67,7 +72,26 @@ public:
   /// Does not send hello.
   bool connect(const std::string &SocketPath, std::string *Err = nullptr);
   void close();
-  bool connected() const { return Fd >= 0; }
+  bool connected() const { return Fd.load() >= 0; }
+
+  /// Opt-in transparent reconnect. When enabled and the reader hits EOF
+  /// (server restarted, connection dropped), it redials the same socket
+  /// path — up to \p MaxAttempts tries, \p RetryDelayMillis apart —
+  /// replays the hello handshake, and resubmits every unresolved ticket.
+  /// Tickets are server-assigned, so replay is a protocol detail: the new
+  /// tickets are remapped onto the existing futures and wait()/waitAll()
+  /// resolve as if nothing happened. What is NOT transparent: request/
+  /// reply exchanges in flight *during* the drop fail with a transport
+  /// error (their replies died with the old connection — resubmit those
+  /// by hand), and cancel()/poll() on a pre-reconnect AsyncHandle target
+  /// the old ticket number, which the new server connection does not
+  /// know. Enable before submitting work; off by default so failures
+  /// stay loud in tools that want them loud.
+  void setAutoReconnect(bool Enable, int MaxAttempts = 10,
+                        int RetryDelayMillis = 50);
+
+  /// Tickets replayed onto a new connection by auto-reconnect so far.
+  uint64_t resubmittedTickets() const { return ResubmittedCount.load(); }
 
   /// Sends one request frame and reads the matching response frame
   /// (notifications that arrive in between are dispatched to their
@@ -237,8 +261,10 @@ private:
   /// queued (blocking; fails when the reader died).
   std::optional<Json> awaitReply(std::string *Err);
   /// Registers \p Ticket from a submitted reply, claiming any notification
-  /// that raced ahead of it.
-  AsyncHandle registerTicket(uint64_t Ticket);
+  /// that raced ahead of it. \p RequestMsg is the original compile_async
+  /// frame, retained while the ticket is pending so auto-reconnect can
+  /// resubmit it verbatim.
+  AsyncHandle registerTicket(uint64_t Ticket, Json RequestMsg);
   /// Resolves one submit future from its notification frame.
   static void resolveTicket(std::promise<CompileResult> &P, const Json &Note,
                             uint64_t Arrival);
@@ -246,8 +272,17 @@ private:
   void readerLoop();
   /// Fails every outstanding ticket and reply waiter (reader exit path).
   void failAllPending(const std::string &Why);
+  /// Reader-thread reconnect: redial, re-hello, resubmit every pending
+  /// ticket, remap the new server tickets onto the existing promises.
+  /// Returns true when the reader should keep reading (on the new fd);
+  /// false hands the exit back to failAllPending. \p Why is the transport
+  /// error that killed the old connection (for failure messages).
+  bool tryReconnect(const std::string &Why);
 
-  int Fd = -1;
+  /// Mutated by the reader on reconnect while user threads write frames,
+  /// hence atomic; retired descriptors are shut down but only ::close()d
+  /// in close(), so a concurrent writer can never hit a recycled fd.
+  std::atomic<int> Fd{-1};
   uint64_t NextId = 1;
 
   /// One queued reply: the parsed frame, or the parse error when the
@@ -269,6 +304,22 @@ private:
   std::unordered_map<uint64_t, EarlyNote> Unclaimed;
   std::vector<AsyncHandle> Outstanding; ///< For waitAll; pruned by cancel.
   uint64_t ArrivalCounter = 0;
+  /// Original compile_async frame per pending ticket — the reconnect
+  /// replay buffer. Entries live exactly as long as their Tickets entry.
+  std::unordered_map<uint64_t, Json> TicketRequests;
+  /// Auto-reconnect configuration (setAutoReconnect; read by the reader).
+  bool AutoReconnect = false;
+  int ReconnectAttempts = 10;
+  int ReconnectDelayMillis = 50;
+  std::string ConnectedPath; ///< Dial target; set by connect().
+  Json HelloMsg;             ///< Last successful hello, replayed on redial.
+  bool HelloSent = false;
+  /// Set by close() (under Mu, paired with the reader's commit check) so
+  /// a reconnect can never install a fresh fd after close() decided which
+  /// fd to shut down — the join would deadlock otherwise.
+  std::atomic<bool> ShuttingDown{false};
+  std::vector<int> RetiredFds; ///< Dead fds awaiting close()'s ::close.
+  std::atomic<uint64_t> ResubmittedCount{0};
 };
 
 } // namespace unit

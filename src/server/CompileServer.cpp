@@ -496,6 +496,10 @@ Json CompileServer::handleHello(Connection &Conn, const Json &Request) {
   // Capability flag, not a version bump: the streaming message family is
   // an addition, and additions are advertised, not versioned.
   J.set("streaming", true);
+  // Advertise the per-connection ticket budget so clients size their
+  // pipelines from the wire instead of hardcoding the server's constant.
+  J.set("max_pending_tickets",
+        static_cast<int64_t>(MaxPendingTicketsPerConnection));
   J.set("fingerprint", CompilerSession::persistenceFingerprint());
   if (Config.MaxCandidatesCap > 0)
     J.set("server_max_candidates", Config.MaxCandidatesCap);
@@ -936,6 +940,16 @@ Json CompileServer::handleStats(const Json &Request) {
   J.set("errors", Snapshot.Errors);
   J.set("tuner_invocations", tunerInvocations());
   J.set("inflight_jobs", Session->inFlightJobs());
+  // Continuation-engine counters: parked_joins must read 0 — a nonzero
+  // value means some session path went back to blocking a pool worker on
+  // a join, the regression the engine exists to prevent.
+  SessionStats SS = Session->sessionStats();
+  Json SessionJson = Json::object();
+  SessionJson.set("parked_joins", SS.ParkedJoins);
+  SessionJson.set("continuation_joins", SS.ContinuationJoins);
+  SessionJson.set("inline_ready_hits", SS.InlineReadyHits);
+  SessionJson.set("fresh_dispatches", SS.FreshDispatches);
+  J.set("session", std::move(SessionJson));
   Json Streaming = Json::object();
   Streaming.set("tickets_issued", TicketsIssued.load());
   Streaming.set("notifications_delivered", NotificationsDelivered.load());

@@ -73,11 +73,14 @@ constexpr uint32_t MaxFrameBytes = 1u << 24;
 constexpr int64_t MaxWorkloadDim = int64_t(1) << 20;
 
 /// Pending compile_async tickets one connection may hold. Tickets are
-/// wire-driven state (a table entry plus a queued session job each), so
-/// they must be bounded; deeper pipelines than any real client needs
-/// still fit, and an over-limit submission is an error frame, not a
-/// dropped connection.
-constexpr size_t MaxPendingTicketsPerConnection = 1024;
+/// wire-driven state, so they must be bounded — but since the session's
+/// continuation engine made a pending join cost a table entry plus a
+/// registered callback (not a parked pool thread), the bound is a memory
+/// cap, not a thread cap: raised from 1024 to 8192 to let one connection
+/// keep whole-fleet fan-in in flight. The welcome frame advertises it
+/// (`max_pending_tickets`) so clients adapt instead of hardcoding; an
+/// over-limit submission is an error frame, not a dropped connection.
+constexpr size_t MaxPendingTicketsPerConnection = 8192;
 
 //===----------------------------------------------------------------------===//
 // Json

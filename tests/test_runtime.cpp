@@ -397,6 +397,10 @@ public:
   int ThrowFirstN = 0;
   int SleepMillis = 0;
   double ReportSeconds = 0.25;
+  /// When valid, every compile blocks on it before finishing — the
+  /// deterministic way to hold a winner in flight while a test piles
+  /// joiners onto its key.
+  std::shared_future<void> Gate;
 
   explicit ProbeBackend(std::string SaltIn) : Salt(std::move(SaltIn)) {}
 
@@ -424,6 +428,8 @@ public:
 private:
   KernelReport run() const {
     int N = Compiles.fetch_add(1) + 1;
+    if (Gate.valid())
+      Gate.wait();
     if (SleepMillis)
       std::this_thread::sleep_for(std::chrono::milliseconds(SleepMillis));
     if (N <= ThrowFirstN)
@@ -466,6 +472,96 @@ TEST(CompileAsync, ManyWaitersOneKeyCompileOnce) {
   for (const CompileJob &Job : Jobs)
     EXPECT_EQ(Job.get().Seconds, 0.25);
   EXPECT_EQ(Backend->Compiles.load(), 1);
+  EXPECT_EQ(Session.cache().size(), 1u);
+}
+
+TEST(CompileAsync, SixtyFourContinuationsOnTwoThreadsNeverPark) {
+  // The parked-join regression test: 64 concurrent joins on one key over
+  // a pool of 2. Under the old engine each join parked a worker on the
+  // winner's future, so anything past 2 pending joins serialized behind
+  // the queue; with continuations the joins cost a waiter-list slot each
+  // and the whole fan-in drains the moment the (gated) winner finishes.
+  SessionConfig C;
+  C.Threads = 2;
+  CompilerSession Session(C);
+  auto Backend = std::make_shared<ProbeBackend>("contention");
+  std::promise<void> Gate;
+  Backend->Gate = Gate.get_future().share();
+  ConvLayer L{"c", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+
+  std::atomic<int> Fired{0}, Succeeded{0}, ComputedCount{0};
+  // Submit from 8 threads to make the joins genuinely concurrent; the
+  // first submission plants the in-flight entry synchronously, so every
+  // other one is a continuation join while the winner sits on the gate.
+  std::vector<std::thread> Submitters;
+  for (int T = 0; T < 8; ++T)
+    Submitters.emplace_back([&] {
+      for (int I = 0; I < 8; ++I)
+        Session.compileAsyncThen(
+            {Workload::conv2d(L), Backend},
+            [&](const KernelReport *Report, std::exception_ptr Error,
+                bool Computed) {
+              Fired.fetch_add(1);
+              if (Report && !Error)
+                Succeeded.fetch_add(1);
+              if (Computed)
+                ComputedCount.fetch_add(1);
+            });
+    });
+  for (std::thread &T : Submitters)
+    T.join();
+  Gate.set_value();
+  Session.quiesce();
+
+  EXPECT_EQ(Fired.load(), 64);
+  EXPECT_EQ(Succeeded.load(), 64);
+  EXPECT_EQ(ComputedCount.load(), 1);
+  EXPECT_EQ(Backend->Compiles.load(), 1);
+  EXPECT_EQ(Session.parkedJoins(), 0u);
+  SessionStats Stats = Session.sessionStats();
+  EXPECT_EQ(Stats.FreshDispatches, 1u);
+  EXPECT_EQ(Stats.ContinuationJoins + Stats.InlineReadyHits, 63u);
+}
+
+TEST(CompileAsync, FailureDrainsEveryRegisteredWaiter) {
+  SessionConfig C;
+  C.Threads = 2;
+  CompilerSession Session(C);
+  auto Backend = std::make_shared<ProbeBackend>("drainfail");
+  Backend->ThrowFirstN = 1;
+  std::promise<void> Gate;
+  Backend->Gate = Gate.get_future().share();
+  ConvLayer L{"c", 8, 8, 8, 8, 1, 1, 1, 0, 0, false};
+
+  // All 16 join the same gated winner, which then throws: every waiter
+  // must observe the winner's exception, exactly once each.
+  std::atomic<int> Fired{0}, Errored{0};
+  for (int I = 0; I < 16; ++I)
+    Session.compileAsyncThen(
+        {Workload::conv2d(L), Backend},
+        [&](const KernelReport *Report, std::exception_ptr Error, bool) {
+          Fired.fetch_add(1);
+          if (Error && !Report) {
+            try {
+              std::rethrow_exception(Error);
+            } catch (const std::runtime_error &E) {
+              if (std::string(E.what()) == "probe backend failure")
+                Errored.fetch_add(1);
+            } catch (...) {
+            }
+          }
+        });
+  Gate.set_value();
+  Session.quiesce();
+  EXPECT_EQ(Fired.load(), 16);
+  EXPECT_EQ(Errored.load(), 16);
+  EXPECT_EQ(Backend->Compiles.load(), 1);
+  EXPECT_EQ(Session.parkedJoins(), 0u);
+
+  // The failure evicted the entry, not poisoned it: a retry compiles
+  // fresh and succeeds (ThrowFirstN only fails the first).
+  EXPECT_EQ(Session.compile({Workload::conv2d(L), Backend}).Seconds, 0.25);
+  EXPECT_EQ(Backend->Compiles.load(), 2);
   EXPECT_EQ(Session.cache().size(), 1u);
 }
 

@@ -226,6 +226,10 @@ TEST_F(ServerTest, HelloReturnsWelcome) {
   EXPECT_EQ(Welcome->integer("protocol"), ProtocolVersion);
   EXPECT_EQ(Welcome->str("fingerprint"),
             CompilerSession::persistenceFingerprint());
+  // The ticket budget is advertised so clients adapt to it instead of
+  // hardcoding the bound.
+  EXPECT_EQ(Welcome->integer("max_pending_tickets"),
+            static_cast<int64_t>(MaxPendingTicketsPerConnection));
 }
 
 TEST_F(ServerTest, ListTargetsAdvertisesTheRegistry) {
@@ -833,8 +837,8 @@ std::vector<ConvLayer> syntheticLayers(size_t N, int64_t BaseChannels) {
 /// and cancel on an in-flight ticket never corrupts the shared cache.
 TEST_F(ServerTest, OneConnectionPipelinesEightInFlightOutOfOrder) {
   ServerConfig Config;
-  // Each in-flight join parks a pool worker on the winner's future, so
-  // give the session more workers than gated tickets.
+  // Plenty of workers; FanInBeyondPoolSizeRidesContinuations below covers
+  // the starved-pool regime (joins are continuations, not parked threads).
   Config.SessionCfg.Threads = 16;
   startServer(std::move(Config));
 
@@ -1093,6 +1097,213 @@ TEST_F(ServerTest, ClientVanishingWithPendingTicketsLeavesServerHealthy) {
 
   Server->stop();
   EXPECT_FALSE(Server->running());
+}
+
+/// The continuation engine observed through the wire: a pool of TWO
+/// workers sustains 32 pending joins on one connection, because a join
+/// is a registered callback on the in-flight entry, not a parked thread.
+/// (Under the parked-join engine each join pinned a worker on the
+/// winner's future, so 32 joins on a 2-thread pool starved every later
+/// compile.) The free layers, submitted last, complete first — and the
+/// server's own counters prove nothing parked.
+TEST_F(ServerTest, FanInBeyondPoolSizeRidesContinuations) {
+  ServerConfig Config;
+  Config.SessionCfg.Threads = 2; // Far fewer workers than pending joins.
+  startServer(std::move(Config));
+
+  std::promise<void> Gate;
+  std::vector<ConvLayer> Gated = syntheticLayers(8, 32);
+  GatedCompiles Blocked(Server->session(), Gate.get_future().share(), Gated,
+                        /*SecondsBase=*/400.0);
+
+  auto Client = makeClient("fanin");
+  std::string Err;
+
+  // 8 gated keys x 4 tickets each: 32 joins in flight on 2 threads.
+  std::vector<CompileClient::AsyncHandle> Joined;
+  for (int Round = 0; Round < 4; ++Round)
+    for (const ConvLayer &L : Gated) {
+      std::optional<CompileClient::AsyncHandle> H =
+          Client->submitConv("x86", L, {}, &Err);
+      ASSERT_TRUE(H.has_value()) << Err;
+      Joined.push_back(*H);
+    }
+
+  // Two free layers submitted after the fan-in. If any join held a
+  // worker, zero threads would be left to run these.
+  Model Zoo = makeResnet18();
+  for (size_t I : {size_t(3), size_t(9)}) {
+    std::optional<CompileClient::AsyncHandle> H =
+        Client->submitConv("x86", Zoo.Convs[I], {}, &Err);
+    ASSERT_TRUE(H.has_value()) << Err;
+    std::optional<CompileClient::CompileResult> R = Client->wait(*H, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_FALSE(R->Cached);
+    // Out-of-order delivery: the frees are the only notifications so far.
+    EXPECT_LE(R->Arrival, 2u);
+  }
+  EXPECT_EQ(Client->pendingTickets(), 32u);
+
+  // The session's own accounting: every gated ticket is a continuation
+  // join, and the parked-join counter — the regression detector for the
+  // old engine — reads zero.
+  std::optional<Json> Stats = Client->stats(false, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  const Json *SessionJson = Stats->get("session");
+  ASSERT_NE(SessionJson, nullptr);
+  EXPECT_EQ(SessionJson->integer("parked_joins"), 0);
+  EXPECT_GE(SessionJson->integer("continuation_joins"), 32);
+
+  Gate.set_value();
+  Blocked.join();
+  ASSERT_TRUE(Client->waitAll(&Err)) << Err;
+  for (size_t I = 0; I < Joined.size(); ++I) {
+    std::optional<CompileClient::CompileResult> R =
+        Client->wait(Joined[I], &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_TRUE(R->Cached);
+    EXPECT_EQ(R->Report.Seconds, 400.0 + static_cast<double>(I % 8));
+  }
+}
+
+/// The raised ticket budget, exercised at the bound: 8192 tickets pend
+/// on ONE connection (all joining a single gated key, so the whole load
+/// is continuation state — no thread, no extra compile), submission
+/// 8193 gets the budget error naming the new limit, and once the gate
+/// opens all 8192 resolve to the winner's report.
+TEST_F(ServerTest, TicketBudgetHoldsEightThousandJoinsOnOneConnection) {
+  ServerConfig Config;
+  Config.SessionCfg.Threads = 2;
+  startServer(std::move(Config));
+
+  std::promise<void> Gate;
+  std::vector<ConvLayer> Gated = syntheticLayers(1, 32);
+  GatedCompiles Blocked(Server->session(), Gate.get_future().share(), Gated,
+                        /*SecondsBase=*/500.0);
+
+  auto Client = makeClient("budget");
+  std::string Err;
+
+  // Pipeline exactly MaxPendingTicketsPerConnection submissions of the
+  // one gated layer (submitModelLayers streams the frames back-to-back;
+  // 8192 blocking round trips would drown the test in socket stalls).
+  Model Burst;
+  Burst.Name = "burst";
+  Burst.Convs.assign(MaxPendingTicketsPerConnection, Gated[0]);
+  std::optional<std::vector<CompileClient::AsyncHandle>> Handles =
+      Client->submitModelLayers("x86", Burst, {}, &Err);
+  ASSERT_TRUE(Handles.has_value()) << Err;
+  ASSERT_EQ(Handles->size(), MaxPendingTicketsPerConnection);
+  EXPECT_EQ(Client->pendingTickets(), MaxPendingTicketsPerConnection);
+
+  // One past the budget: an error frame naming the limit — and the
+  // connection survives to keep serving (waitAll below proves it).
+  std::string BudgetErr;
+  EXPECT_FALSE(
+      Client->submitConv("x86", Gated[0], {}, &BudgetErr).has_value());
+  EXPECT_NE(BudgetErr.find("8192"), std::string::npos) << BudgetErr;
+
+  Gate.set_value();
+  Blocked.join();
+  ASSERT_TRUE(Client->waitAll(&Err)) << Err;
+  for (const CompileClient::AsyncHandle &H :
+       {Handles->front(), Handles->back()}) {
+    std::optional<CompileClient::CompileResult> R = Client->wait(H, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_TRUE(R->Cached);
+    EXPECT_EQ(R->Report.Seconds, 500.0);
+  }
+
+  std::optional<Json> Stats = Client->stats(false, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  const Json *SessionJson = Stats->get("session");
+  ASSERT_NE(SessionJson, nullptr);
+  EXPECT_EQ(SessionJson->integer("parked_joins"), 0);
+  EXPECT_GE(SessionJson->integer("continuation_joins"),
+            static_cast<int64_t>(MaxPendingTicketsPerConnection));
+}
+
+/// Auto-reconnect: a client whose connection dies with a ticket in
+/// flight redials the path, replays hello, resubmits the ticket, and
+/// the ORIGINAL future resolves against the new server. The first
+/// "server" is a bare listener speaking just enough protocol to issue a
+/// ticket and then vanish; the real daemon takes over the same path
+/// before the drop is delivered, so the redial finds it immediately.
+TEST_F(ServerTest, AutoReconnectResubmitsUnresolvedTickets) {
+  SocketPath = tempPath(".sock");
+
+  int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Listener, 0);
+  sockaddr_un Addr;
+  ASSERT_TRUE(makeUnixSocketAddr(SocketPath, Addr, nullptr));
+  ASSERT_EQ(::bind(Listener, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Listener, 1), 0);
+
+  // The flaky half: welcome the client, grant ticket 7 for its
+  // compile_async, then hold the socket open (main closes it later, so
+  // the EOF lands only after the real server owns the path — no window
+  // where the redial could reach a dead listener).
+  int FlakyConn = -1;
+  std::thread Flaky([&] {
+    FlakyConn = ::accept(Listener, nullptr, nullptr);
+    if (FlakyConn < 0)
+      return;
+    std::string Frame;
+    if (readFrame(FlakyConn, Frame) == FrameStatus::Ok) { // hello
+      Json Welcome = Json::object();
+      Welcome.set("type", "welcome");
+      Welcome.set("server", "flaky");
+      Welcome.set("protocol", ProtocolVersion);
+      writeFrame(FlakyConn, Welcome.dump());
+    }
+    if (readFrame(FlakyConn, Frame) == FrameStatus::Ok) { // compile_async
+      Json Submitted = Json::object();
+      Submitted.set("type", "submitted");
+      Submitted.set("ticket", 7);
+      writeFrame(FlakyConn, Submitted.dump());
+    }
+  });
+
+  CompileClient Client;
+  Client.setAutoReconnect(true, /*MaxAttempts=*/100, /*RetryDelayMillis=*/20);
+  std::string Err;
+  ASSERT_TRUE(Client.connect(SocketPath, &Err)) << Err;
+  ASSERT_TRUE(Client.hello("phoenix", 0, &Err).has_value()) << Err;
+
+  Model Zoo = makeResnet18();
+  std::optional<CompileClient::AsyncHandle> H =
+      Client.submitConv("x86", Zoo.Convs[0], {}, &Err);
+  ASSERT_TRUE(H.has_value()) << Err;
+  EXPECT_EQ(H->Ticket, 7u);
+
+  // Swap servers under the path, then deliver the EOF.
+  Flaky.join();
+  ASSERT_GE(FlakyConn, 0);
+  ::close(Listener);
+  ::unlink(SocketPath.c_str());
+  ServerConfig Config;
+  Config.SocketPath = SocketPath;
+  Server = std::make_unique<CompileServer>(std::move(Config));
+  ASSERT_TRUE(Server->start(&Err)) << Err;
+  ::close(FlakyConn);
+
+  // The pre-drop handle resolves: the reader redialed, replayed hello,
+  // resubmitted, and remapped the new ticket onto the old future.
+  std::optional<CompileClient::CompileResult> R = Client.wait(*H, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_FALSE(R->Cached);
+  EXPECT_EQ(Client.resubmittedTickets(), 1u);
+
+  // The healed connection is an ordinary connection: a blocking round
+  // trip serves the same key warm, bit-equal to the replayed result.
+  std::optional<CompileClient::CompileResult> Warm =
+      Client.compileConv("x86", Zoo.Convs[0], {}, &Err);
+  ASSERT_TRUE(Warm.has_value()) << Err;
+  EXPECT_TRUE(Warm->Cached);
+  EXPECT_EQ(Warm->Report.Seconds, R->Report.Seconds);
+  Client.close();
 }
 
 //===----------------------------------------------------------------------===//
