@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fabric/Endpoint.h"
 #include "models/ModelZoo.h"
 #include "runtime/CompileRequest.h"
 #include "server/CompileClient.h"
@@ -400,6 +401,119 @@ int main() {
   Server->stop();
   std::remove(CachePath.c_str());
 
+  // Fabric cluster: a hub daemon listening on TCP plus two peered
+  // daemons. A never-seen kernel set tunes exactly once CLUSTER-wide
+  // (on the hub), then both peers serve it warm through the fabric —
+  // bulk warm-sync or per-key cold-miss fetch, never their own tuner.
+  const std::string FabricSecret = "bench-fabric-secret";
+  constexpr size_t FabricKernels = 8;
+  constexpr size_t FabricPeerDaemons = 2;
+  Model FabricModel;
+  FabricModel.Name = "fabric-burst";
+  for (size_t I = 0; I < FabricKernels; ++I) {
+    ConvLayer L;
+    L.Name = "fabric_" + std::to_string(I);
+    L.InC = 4096 + 16 * static_cast<int64_t>(I);
+    L.InH = L.InW = 7;
+    L.OutC = 32;
+    L.KH = L.KW = 3;
+    L.Stride = 1;
+    L.PadH = L.PadW = 1;
+    FabricModel.Convs.push_back(L);
+  }
+  std::set<std::string> FabricKeys;
+  for (const ConvLayer &L : FabricModel.Convs)
+    FabricKeys.insert(
+        CompileRequest(Workload::conv2d(L), Backend).cacheKey());
+
+  ServerConfig HubConfig;
+  HubConfig.SocketPath = SocketPath + ".hub";
+  HubConfig.TcpListen = "127.0.0.1:0";
+  HubConfig.Secret = FabricSecret;
+  auto Hub = std::make_unique<CompileServer>(HubConfig);
+  if (!Hub->start(&Err)) {
+    std::fprintf(stderr, "FAIL: fabric hub: %s\n", Err.c_str());
+    return 1;
+  }
+  std::string HubEp = Endpoint{"127.0.0.1", Hub->tcpPort()}.display();
+
+  TunesBefore = tunerInvocations();
+  ClientOutcome HubCold = runClientBlockingLayers(
+      HubConfig.SocketPath, "fabric-hub", {&FabricModel});
+  if (!HubCold.Ok) {
+    std::fprintf(stderr, "FAIL: fabric hub client: %s\n",
+                 HubCold.Err.c_str());
+    return 1;
+  }
+  uint64_t FabricColdTunes = tunerInvocations() - TunesBefore;
+  bool FabricColdOk = FabricColdTunes == FabricKeys.size();
+  if (!FabricColdOk)
+    std::fprintf(stderr,
+                 "FAIL: fabric cold tuned %llu kernels, expected %zu\n",
+                 static_cast<unsigned long long>(FabricColdTunes),
+                 FabricKeys.size());
+
+  std::vector<std::unique_ptr<CompileServer>> Peers;
+  std::vector<std::string> PeerSockets;
+  for (size_t D = 0; D < FabricPeerDaemons; ++D) {
+    ServerConfig PeerConfig;
+    PeerConfig.SocketPath = SocketPath + ".peer" + std::to_string(D);
+    PeerConfig.Secret = FabricSecret;
+    PeerConfig.Peers.push_back(HubEp);
+    PeerSockets.push_back(PeerConfig.SocketPath);
+    auto P = std::make_unique<CompileServer>(std::move(PeerConfig));
+    if (!P->start(&Err)) {
+      std::fprintf(stderr, "FAIL: fabric peer %zu: %s\n", D, Err.c_str());
+      return 1;
+    }
+    Peers.push_back(std::move(P));
+  }
+
+  TunesBefore = tunerInvocations();
+  std::vector<ClientOutcome> PeerOutcomes(FabricPeerDaemons);
+  T0 = steadyNowSeconds();
+  {
+    std::vector<std::thread> Threads;
+    for (size_t D = 0; D < FabricPeerDaemons; ++D)
+      Threads.emplace_back([&, D] {
+        PeerOutcomes[D] = runClientBlockingLayers(
+            PeerSockets[D], "fabric-peer-" + std::to_string(D),
+            {&FabricModel});
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  double FabricWarmWall = steadyNowSeconds() - T0;
+  size_t FabricWarmLayers = 0, FabricWarmHits = 0;
+  for (const ClientOutcome &O : PeerOutcomes) {
+    if (!O.Ok) {
+      std::fprintf(stderr, "FAIL: fabric peer client: %s\n", O.Err.c_str());
+      return 1;
+    }
+    FabricWarmLayers += O.Layers;
+    FabricWarmHits += O.CacheHitLayers;
+  }
+  bool FabricWarmOk = tunerInvocations() == TunesBefore &&
+                      FabricWarmHits == FabricWarmLayers;
+  if (!FabricWarmOk)
+    std::fprintf(stderr,
+                 "FAIL: fabric peers re-tuned or missed (%zu/%zu hits, "
+                 "%llu tunes)\n",
+                 FabricWarmHits, FabricWarmLayers,
+                 static_cast<unsigned long long>(tunerInvocations() -
+                                                 TunesBefore));
+  double FabricWarmRps =
+      static_cast<double>(FabricWarmLayers) / FabricWarmWall;
+  std::printf("fabric: %zu daemons, %zu distinct kernels -> %llu cold "
+              "tunes cluster-wide; %zu peer layers served warm via the "
+              "fabric in %.2f ms (%.0f layers/s)\n",
+              FabricPeerDaemons + 1, FabricKeys.size(),
+              static_cast<unsigned long long>(FabricColdTunes),
+              FabricWarmLayers, FabricWarmWall * 1e3, FabricWarmRps);
+  for (auto &P : Peers)
+    P->stop();
+  Hub->stop();
+
   std::FILE *Json = std::fopen("BENCH_server.json", "w");
   if (!Json) {
     std::fprintf(stderr, "FAIL: could not write BENCH_server.json\n");
@@ -437,7 +551,15 @@ int main() {
       "  \"restart_stop_persist_ms\": %.3f,\n"
       "  \"restart_start_load_ms\": %.3f,\n"
       "  \"restart_recompile_ms\": %.3f,\n"
-      "  \"restart_zero_tuner_invocations\": %s\n"
+      "  \"restart_zero_tuner_invocations\": %s,\n"
+      "  \"fabric_daemons\": %zu,\n"
+      "  \"fabric_distinct_kernels\": %zu,\n"
+      "  \"fabric_cold_tunes_clusterwide\": %llu,\n"
+      "  \"fabric_cold_tunes_equal_distinct\": %s,\n"
+      "  \"fabric_warm_layers\": %zu,\n"
+      "  \"fabric_warm_wall_ms\": %.3f,\n"
+      "  \"fabric_warm_fetch_rps\": %.1f,\n"
+      "  \"fabric_peers_zero_tuner_invocations\": %s\n"
       "}\n",
       ClientCount, Models.size(), TotalLayers, DistinctKeys.size(),
       static_cast<unsigned long long>(ExpectedTunes),
@@ -448,8 +570,14 @@ int main() {
       Fanin1Tickets, Fanin1Rps, Fanin10Tickets, Fanin10Rps,
       FaninOk ? "true" : "false", CacheEntries, CacheBytes, StopSeconds * 1e3,
       RestartStartSeconds * 1e3, RestartWall * 1e3,
-      RestartOk ? "true" : "false");
+      RestartOk ? "true" : "false", FabricPeerDaemons + 1, FabricKeys.size(),
+      static_cast<unsigned long long>(FabricColdTunes),
+      FabricColdOk ? "true" : "false", FabricWarmLayers, FabricWarmWall * 1e3,
+      FabricWarmRps, FabricWarmOk ? "true" : "false");
   std::fclose(Json);
   std::printf("wrote BENCH_server.json\n");
-  return (DedupOk && WarmOk && PipelinedOk && FaninOk && RestartOk) ? 0 : 1;
+  return (DedupOk && WarmOk && PipelinedOk && FaninOk && RestartOk &&
+          FabricColdOk && FabricWarmOk)
+             ? 0
+             : 1;
 }

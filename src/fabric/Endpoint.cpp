@@ -1,0 +1,182 @@
+//===- fabric/Endpoint.cpp - TCP endpoint parsing, dialing, listening ----===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fabric/Endpoint.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <vector>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace unit {
+
+namespace {
+
+void setError(std::string *Err, const std::string &Message) {
+  if (Err)
+    *Err = Message;
+}
+
+std::string errnoText() { return std::strerror(errno); }
+
+} // namespace
+
+std::string Endpoint::display() const {
+  if (Host.find(':') != std::string::npos)
+    return "[" + Host + "]:" + std::to_string(Port);
+  return Host + ":" + std::to_string(Port);
+}
+
+std::optional<Endpoint> parseEndpoint(const std::string &Text,
+                                      std::string *Err) {
+  Endpoint Ep;
+  std::string PortText;
+  if (!Text.empty() && Text.front() == '[') {
+    size_t Close = Text.find(']');
+    if (Close == std::string::npos) {
+      setError(Err, "endpoint '" + Text + "': unbalanced '['");
+      return std::nullopt;
+    }
+    Ep.Host = Text.substr(1, Close - 1);
+    if (Close + 1 >= Text.size() || Text[Close + 1] != ':') {
+      setError(Err, "endpoint '" + Text + "': expected ':port' after ']'");
+      return std::nullopt;
+    }
+    PortText = Text.substr(Close + 2);
+  } else {
+    size_t Colon = Text.rfind(':');
+    if (Colon == std::string::npos ||
+        Text.find(':') != Colon /* bare IPv6 — needs brackets */) {
+      setError(Err, "endpoint '" + Text +
+                        "': expected host:port ([addr]:port for IPv6)");
+      return std::nullopt;
+    }
+    Ep.Host = Text.substr(0, Colon);
+    PortText = Text.substr(Colon + 1);
+  }
+
+  unsigned Port = 0;
+  const char *First = PortText.data(), *Last = First + PortText.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Port);
+  if (PortText.empty() || Ec != std::errc() || Ptr != Last || Port > 65535) {
+    setError(Err, "endpoint '" + Text + "': invalid port '" + PortText + "'");
+    return std::nullopt;
+  }
+  Ep.Port = static_cast<uint16_t>(Port);
+  return Ep;
+}
+
+bool looksLikeUnixPath(const std::string &Text) {
+  return !Text.empty() &&
+         (Text.front() == '/' || Text.rfind("./", 0) == 0 ||
+          Text.rfind("../", 0) == 0);
+}
+
+int dialTcp(const Endpoint &Ep, std::string *Err) {
+  addrinfo Hints = {};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  const std::string Host = Ep.Host.empty() ? "127.0.0.1" : Ep.Host;
+  const std::string Port = std::to_string(Ep.Port);
+  addrinfo *Results = nullptr;
+  int Rc = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Results);
+  if (Rc != 0) {
+    setError(Err, "resolve " + Ep.display() + ": " + ::gai_strerror(Rc));
+    return -1;
+  }
+  int Fd = -1;
+  std::string LastError = "no addresses resolved";
+  for (addrinfo *Ai = Results; Ai; Ai = Ai->ai_next) {
+    Fd = ::socket(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol);
+    if (Fd < 0) {
+      LastError = "socket: " + errnoText();
+      continue;
+    }
+    if (::connect(Fd, Ai->ai_addr, Ai->ai_addrlen) == 0)
+      break;
+    LastError = "connect: " + errnoText();
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Results);
+  if (Fd < 0) {
+    setError(Err, "dial " + Ep.display() + ": " + LastError);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+int listenTcp(const Endpoint &Ep, std::string *Err) {
+  addrinfo Hints = {};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE;
+  const char *Host = Ep.Host.empty() ? nullptr : Ep.Host.c_str();
+  const std::string Port = std::to_string(Ep.Port);
+  addrinfo *Results = nullptr;
+  int Rc = ::getaddrinfo(Host, Port.c_str(), &Hints, &Results);
+  if (Rc != 0) {
+    setError(Err, "resolve " + Ep.display() + ": " + ::gai_strerror(Rc));
+    return -1;
+  }
+  // Prefer the IPv6 wildcard (v6only off covers v4 too), then the rest
+  // of the resolved addresses in order.
+  std::vector<addrinfo *> Candidates;
+  for (addrinfo *Ai = Results; Ai; Ai = Ai->ai_next)
+    if (Ai->ai_family == AF_INET6)
+      Candidates.push_back(Ai);
+  for (addrinfo *Ai = Results; Ai; Ai = Ai->ai_next)
+    if (Ai->ai_family != AF_INET6)
+      Candidates.push_back(Ai);
+  int Fd = -1;
+  std::string LastError = "no addresses resolved";
+  for (addrinfo *Ai : Candidates) {
+    Fd = ::socket(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol);
+    if (Fd < 0) {
+      LastError = "socket: " + errnoText();
+      continue;
+    }
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (Ai->ai_family == AF_INET6) {
+      int Zero = 0;
+      ::setsockopt(Fd, IPPROTO_IPV6, IPV6_V6ONLY, &Zero, sizeof(Zero));
+    }
+    if (::bind(Fd, Ai->ai_addr, Ai->ai_addrlen) == 0 && ::listen(Fd, 64) == 0)
+      break;
+    LastError = "bind/listen: " + errnoText();
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Results);
+  if (Fd < 0) {
+    setError(Err, "listen " + Ep.display() + ": " + LastError);
+    return -1;
+  }
+  return Fd;
+}
+
+uint16_t boundTcpPort(int Fd) {
+  sockaddr_storage Addr = {};
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0)
+    return 0;
+  if (Addr.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<sockaddr_in *>(&Addr)->sin_port);
+  if (Addr.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<sockaddr_in6 *>(&Addr)->sin6_port);
+  return 0;
+}
+
+} // namespace unit

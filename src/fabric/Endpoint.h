@@ -1,0 +1,63 @@
+//===- fabric/Endpoint.h - TCP endpoint parsing, dialing, listening ------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fabric's address plumbing: parse "host:port" / "[v6addr]:port"
+/// strings, dial them (getaddrinfo, every resolved address tried in
+/// order), and open listening sockets for the server's TCP side. Unix
+/// socket paths are recognized by shape ("/..." or "./...") so one
+/// endpoint string type covers both transports in the client.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_FABRIC_ENDPOINT_H
+#define UNIT_FABRIC_ENDPOINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace unit {
+
+/// A parsed TCP endpoint. Host may be a name, an IPv4 literal, or an
+/// IPv6 literal (brackets already stripped); empty means "any" for
+/// listening and loopback for dialing.
+struct Endpoint {
+  std::string Host;
+  uint16_t Port = 0;
+
+  /// "host:port", IPv6 hosts re-bracketed — parseEndpoint(display())
+  /// round-trips.
+  std::string display() const;
+};
+
+/// Parse "host:port", "[v6addr]:port", or ":port". Returns nullopt (and
+/// fills \p Err) for a missing/invalid port or unbalanced brackets.
+std::optional<Endpoint> parseEndpoint(const std::string &Text,
+                                      std::string *Err = nullptr);
+
+/// True when \p Text names a Unix socket path rather than a TCP endpoint
+/// (starts with '/', './', or '../').
+bool looksLikeUnixPath(const std::string &Text);
+
+/// Connect a TCP stream socket to \p Ep. Every address getaddrinfo
+/// resolves is tried in order; TCP_NODELAY is set (the protocol is
+/// request/response with small frames). Returns the connected fd, or -1
+/// with \p Err filled.
+int dialTcp(const Endpoint &Ep, std::string *Err = nullptr);
+
+/// Bind + listen on \p Ep (SO_REUSEADDR; empty host binds the IPv6
+/// wildcard with v6only off when possible, falling back to IPv4).
+/// Returns the listening fd, or -1 with \p Err filled.
+int listenTcp(const Endpoint &Ep, std::string *Err = nullptr);
+
+/// The local port a socket is bound to (getsockname) — how tests and
+/// `--listen-tcp host:0` discover an OS-assigned port. 0 on failure.
+uint16_t boundTcpPort(int Fd);
+
+} // namespace unit
+
+#endif // UNIT_FABRIC_ENDPOINT_H

@@ -1,0 +1,198 @@
+//===- fabric/Hmac.cpp - SHA-256 / HMAC-SHA256 implementation ------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fabric/Hmac.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+namespace unit {
+
+namespace {
+
+/// FIPS 180-4 round constants: fractional parts of the cube roots of the
+/// first 64 primes.
+constexpr uint32_t K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t rotr(uint32_t X, unsigned N) {
+  return (X >> N) | (X << (32 - N));
+}
+
+struct Sha256State {
+  uint32_t H[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  uint8_t Block[64];
+  size_t BlockLen = 0;
+  uint64_t TotalBits = 0;
+
+  void compress(const uint8_t *P) {
+    uint32_t W[64];
+    for (int I = 0; I < 16; ++I)
+      W[I] = (uint32_t(P[4 * I]) << 24) | (uint32_t(P[4 * I + 1]) << 16) |
+             (uint32_t(P[4 * I + 2]) << 8) | uint32_t(P[4 * I + 3]);
+    for (int I = 16; I < 64; ++I) {
+      uint32_t S0 = rotr(W[I - 15], 7) ^ rotr(W[I - 15], 18) ^ (W[I - 15] >> 3);
+      uint32_t S1 = rotr(W[I - 2], 17) ^ rotr(W[I - 2], 19) ^ (W[I - 2] >> 10);
+      W[I] = W[I - 16] + S0 + W[I - 7] + S1;
+    }
+    uint32_t A = H[0], B = H[1], C = H[2], D = H[3];
+    uint32_t E = H[4], F = H[5], G = H[6], Hh = H[7];
+    for (int I = 0; I < 64; ++I) {
+      uint32_t S1 = rotr(E, 6) ^ rotr(E, 11) ^ rotr(E, 25);
+      uint32_t Ch = (E & F) ^ (~E & G);
+      uint32_t T1 = Hh + S1 + Ch + K[I] + W[I];
+      uint32_t S0 = rotr(A, 2) ^ rotr(A, 13) ^ rotr(A, 22);
+      uint32_t Maj = (A & B) ^ (A & C) ^ (B & C);
+      uint32_t T2 = S0 + Maj;
+      Hh = G;
+      G = F;
+      F = E;
+      E = D + T1;
+      D = C;
+      C = B;
+      B = A;
+      A = T1 + T2;
+    }
+    H[0] += A;
+    H[1] += B;
+    H[2] += C;
+    H[3] += D;
+    H[4] += E;
+    H[5] += F;
+    H[6] += G;
+    H[7] += Hh;
+  }
+
+  void update(const void *Data, size_t Len) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    TotalBits += uint64_t(Len) * 8;
+    while (Len > 0) {
+      size_t Take = std::min(Len, sizeof(Block) - BlockLen);
+      std::memcpy(Block + BlockLen, P, Take);
+      BlockLen += Take;
+      P += Take;
+      Len -= Take;
+      if (BlockLen == sizeof(Block)) {
+        compress(Block);
+        BlockLen = 0;
+      }
+    }
+  }
+
+  std::array<uint8_t, 32> finish() {
+    uint64_t Bits = TotalBits;
+    uint8_t Pad = 0x80;
+    update(&Pad, 1);
+    uint8_t Zero = 0;
+    while (BlockLen != 56)
+      update(&Zero, 1);
+    uint8_t LenBytes[8];
+    for (int I = 0; I < 8; ++I)
+      LenBytes[I] = uint8_t(Bits >> (56 - 8 * I));
+    // update() would re-count the length bytes; splice them in manually.
+    std::memcpy(Block + 56, LenBytes, 8);
+    compress(Block);
+    std::array<uint8_t, 32> Out;
+    for (int I = 0; I < 8; ++I) {
+      Out[4 * I] = uint8_t(H[I] >> 24);
+      Out[4 * I + 1] = uint8_t(H[I] >> 16);
+      Out[4 * I + 2] = uint8_t(H[I] >> 8);
+      Out[4 * I + 3] = uint8_t(H[I]);
+    }
+    return Out;
+  }
+};
+
+} // namespace
+
+std::array<uint8_t, 32> sha256(const void *Data, size_t Len) {
+  Sha256State S;
+  S.update(Data, Len);
+  return S.finish();
+}
+
+std::array<uint8_t, 32> hmacSha256(const std::string &Key,
+                                   const std::string &Message) {
+  constexpr size_t BlockSize = 64;
+  uint8_t KeyBlock[BlockSize] = {0};
+  if (Key.size() > BlockSize) {
+    std::array<uint8_t, 32> Hashed = sha256(Key.data(), Key.size());
+    std::memcpy(KeyBlock, Hashed.data(), Hashed.size());
+  } else {
+    std::memcpy(KeyBlock, Key.data(), Key.size());
+  }
+
+  uint8_t Inner[BlockSize], Outer[BlockSize];
+  for (size_t I = 0; I < BlockSize; ++I) {
+    Inner[I] = KeyBlock[I] ^ 0x36;
+    Outer[I] = KeyBlock[I] ^ 0x5c;
+  }
+
+  Sha256State InnerHash;
+  InnerHash.update(Inner, BlockSize);
+  InnerHash.update(Message.data(), Message.size());
+  std::array<uint8_t, 32> InnerDigest = InnerHash.finish();
+
+  Sha256State OuterHash;
+  OuterHash.update(Outer, BlockSize);
+  OuterHash.update(InnerDigest.data(), InnerDigest.size());
+  return OuterHash.finish();
+}
+
+std::string hexEncode(const uint8_t *Data, size_t Len) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Len * 2);
+  for (size_t I = 0; I < Len; ++I) {
+    Out.push_back(Digits[Data[I] >> 4]);
+    Out.push_back(Digits[Data[I] & 0xf]);
+  }
+  return Out;
+}
+
+std::string hmacHex(const std::string &Key, const std::string &Message) {
+  std::array<uint8_t, 32> Digest = hmacSha256(Key, Message);
+  return hexEncode(Digest.data(), Digest.size());
+}
+
+std::string randomNonceHex(size_t Bytes) {
+  std::string Raw(Bytes, '\0');
+  bool Filled = false;
+  if (std::FILE *Urandom = std::fopen("/dev/urandom", "rb")) {
+    Filled = std::fread(&Raw[0], 1, Bytes, Urandom) == Bytes;
+    std::fclose(Urandom);
+  }
+  if (!Filled) {
+    std::random_device Rd;
+    for (size_t I = 0; I < Bytes; ++I)
+      Raw[I] = static_cast<char>(Rd() & 0xff);
+  }
+  return hexEncode(reinterpret_cast<const uint8_t *>(Raw.data()), Bytes);
+}
+
+bool constantTimeEquals(const std::string &A, const std::string &B) {
+  if (A.size() != B.size())
+    return false;
+  unsigned char Diff = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Diff |= static_cast<unsigned char>(A[I]) ^ static_cast<unsigned char>(B[I]);
+  return Diff == 0;
+}
+
+} // namespace unit

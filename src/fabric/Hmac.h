@@ -1,0 +1,53 @@
+//===- fabric/Hmac.h - SHA-256 / HMAC-SHA256 for the fleet handshake -----===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-contained SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104) plus the
+/// small helpers the fabric handshake needs: hex encoding, a random nonce,
+/// and a constant-time comparison. No external crypto dependency — the
+/// container ships none, and the handshake only needs to keep a shared
+/// secret off the wire, not to be a TLS replacement (see docs/SERVER.md,
+/// "Fleet").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_FABRIC_HMAC_H
+#define UNIT_FABRIC_HMAC_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace unit {
+
+/// SHA-256 digest of \p Len bytes at \p Data.
+std::array<uint8_t, 32> sha256(const void *Data, size_t Len);
+
+/// HMAC-SHA256 over \p Message with \p Key (RFC 2104; keys longer than the
+/// 64-byte block are pre-hashed).
+std::array<uint8_t, 32> hmacSha256(const std::string &Key,
+                                   const std::string &Message);
+
+/// Lowercase hex of \p Len bytes at \p Data.
+std::string hexEncode(const uint8_t *Data, size_t Len);
+
+/// HMAC-SHA256 as lowercase hex — the proof format the handshake sends.
+std::string hmacHex(const std::string &Key, const std::string &Message);
+
+/// \p Bytes random bytes as lowercase hex, from /dev/urandom when
+/// available, std::random_device otherwise. Never the same twice in
+/// practice; uniqueness per challenge is all the handshake needs.
+std::string randomNonceHex(size_t Bytes = 16);
+
+/// Byte-wise comparison whose running time does not depend on where the
+/// first mismatch sits. Length mismatch returns false (lengths are public:
+/// every proof is 64 hex chars).
+bool constantTimeEquals(const std::string &A, const std::string &B);
+
+} // namespace unit
+
+#endif // UNIT_FABRIC_HMAC_H

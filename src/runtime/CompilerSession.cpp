@@ -81,13 +81,32 @@ KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
   case CachePolicy::Default:
     break;
   }
-  return Cache.getOrCompute(
+  bool Fetched = false;
+  KernelReport Report = Cache.getOrCompute(
       Key,
       [&] {
-        return Request.Work.compileWith(*Request.Backend, tuningPool(),
-                                        Request.Options);
+        // The single-flight winner probes the fleet before tuning: a
+        // same-fingerprint peer that already tuned this key hands the
+        // report over in milliseconds. Refresh skips the probe — it
+        // asked for a fresh local tune.
+        if (Request.Options.Policy == CachePolicy::Default)
+          if (ColdMissFetcher Fetch = missFetcher())
+            if (std::optional<KernelReport> Remote = Fetch(Key)) {
+              Fetched = true;
+              return *Remote;
+            }
+        KernelReport Fresh = Request.Work.compileWith(
+            *Request.Backend, tuningPool(), Request.Options);
+        if (CompileObserver Notify = compileObserver())
+          Notify(Key, Fresh);
+        return Fresh;
       },
       ComputedHere);
+  // A peer-served entry is a cache hit from the caller's point of view —
+  // no tuner ran here — even though the compute lambda executed.
+  if (Fetched && ComputedHere)
+    *ComputedHere = false;
+  return Report;
 }
 
 KernelReport CompilerSession::compile(const CompileRequest &Request,
@@ -174,6 +193,19 @@ CompileJob CompilerSession::dispatchAsync(
     Pool->submit([this, Request = std::move(Request), Key,
                   Ticket = std::move(Ticket),
                   Finish = std::move(Finish), FreshCounter]() mutable {
+      // Fleet probe first (same contract as the blocking path): a report
+      // fetched from a same-fingerprint peer fulfills the entry — every
+      // joined waiter resolves, Computed stays false, FreshCounter is
+      // untouched, and the observer never fires (no echo back to peers).
+      if (Request.Options.Policy == CachePolicy::Default)
+        if (ColdMissFetcher Fetch = missFetcher())
+          if (std::optional<KernelReport> Remote = Fetch(Key)) {
+            Cache.fulfill(Key, Ticket, *Remote);
+            if (Finish)
+              Finish(&*Remote, nullptr, /*Computed=*/false);
+            jobFinished();
+            return;
+          }
       KernelReport Report;
       std::exception_ptr Error;
       try {
@@ -186,6 +218,8 @@ CompileJob CompilerSession::dispatchAsync(
         if (FreshCounter)
           FreshCounter->fetch_add(1);
         Cache.fulfill(Key, Ticket, Report);
+        if (CompileObserver Notify = compileObserver())
+          Notify(Key, Report);
       } else {
         Cache.fail(Key, Ticket, Error);
       }

@@ -41,8 +41,10 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -103,8 +105,26 @@ struct ModelCompileResult {
 };
 
 class CompilerSession {
+public:
+  /// Fleet hook: consulted by the winning thread of a cold Default-policy
+  /// compile before it tunes. Returning a report fulfills the in-flight
+  /// entry with it — callers observe a cache hit (Computed=false), no
+  /// tuner runs. See setColdMissFetcher.
+  using ColdMissFetcher =
+      std::function<std::optional<KernelReport>(const std::string &Key)>;
+  /// Fleet hook: fired after every successful fresh compile (never for
+  /// cache hits, joins, or peer-fetched entries). See setCompileObserver.
+  using CompileObserver =
+      std::function<void(const std::string &Key, const KernelReport &Report)>;
+
+private:
   SessionConfig Config;
   KernelCache Cache;
+  /// Fleet hooks (guarded by HooksMu; read per cold compile, so the lock
+  /// is off every warm path). Declared before Pool: workers read them.
+  mutable std::mutex HooksMu;
+  ColdMissFetcher MissFetcher;
+  CompileObserver Observer;
   /// Async compile tasks submitted but not yet finished. Long-lived hosts
   /// (the CompileServer) quiesce() on this before tearing anything down.
   /// Declared (with the cv pair below) before Pool: the pool's destructor
@@ -153,6 +173,17 @@ class CompilerSession {
   /// Marks one async job finished: decrements InFlight and, when it was
   /// the last one, wakes quiesce() — exact notification, no polling.
   void jobFinished();
+
+  /// Snapshot copies of the fleet hooks (cheap: one mutex hop per cold
+  /// compile; warm hits never get here).
+  ColdMissFetcher missFetcher() const {
+    std::lock_guard<std::mutex> Lock(HooksMu);
+    return MissFetcher;
+  }
+  CompileObserver compileObserver() const {
+    std::lock_guard<std::mutex> Lock(HooksMu);
+    return Observer;
+  }
   std::vector<CompileJob>
   compileAllAsyncCounted(std::vector<CompileRequest> Requests,
                          std::atomic<size_t> *FreshCounter);
@@ -204,6 +235,33 @@ public:
   /// engine, by construction. Exposed (and wired into the server `stats`
   /// reply) so regressions are an assertion away.
   uint64_t parkedJoins() const { return ParkedJoinsCount.load(); }
+
+  //===--------------------------------------------------------------------===//
+  // Fleet hooks
+  //===--------------------------------------------------------------------===//
+
+  /// Installs \p Fetch as the cold-miss fetcher. The single-flight winner
+  /// of a cold Default-policy compile calls it (on its own thread — a
+  /// blocking network probe is fine) before invoking the tuner; a
+  /// returned report fulfills the entry as if it had been cached all
+  /// along, so every joined waiter resolves and "computed here" stays
+  /// false. Refresh compiles skip it by design — Refresh means "tune
+  /// *here*, now". The compile server wires PeerManager::fetchMissing in
+  /// here; pass nullptr to uninstall.
+  void setColdMissFetcher(ColdMissFetcher Fetch) {
+    std::lock_guard<std::mutex> Lock(HooksMu);
+    MissFetcher = std::move(Fetch);
+  }
+
+  /// Installs \p Notify to observe every successful fresh compile (the
+  /// single-flight winner, after the cache entry is fulfilled). Hits,
+  /// joins, and peer-fetched entries never fire it — so announcing
+  /// observed reports to peers cannot echo. Runs on the compiling
+  /// thread; keep it non-blocking (PeerManager::announce just enqueues).
+  void setCompileObserver(CompileObserver Notify) {
+    std::lock_guard<std::mutex> Lock(HooksMu);
+    Observer = std::move(Notify);
+  }
 
   //===--------------------------------------------------------------------===//
   // The unified compile surface

@@ -6,6 +6,7 @@
 #include "support/Time.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -13,9 +14,11 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <vector>
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <unistd.h>
 
 using namespace unit;
@@ -404,6 +407,60 @@ KernelCache::entrySizes(size_t MaxKeyBytes) const {
 }
 
 //===----------------------------------------------------------------------===//
+// Fleet exchange: per-entry export / import
+//===----------------------------------------------------------------------===//
+
+std::vector<KernelCache::ExportedEntry>
+KernelCache::exportReady(size_t MaxBytes,
+                         const std::vector<std::string> *Keys) const {
+  // Approximate wire cost per entry: the key and intrinsic name dominate;
+  // the constant covers JSON framing and the numeric fields.
+  auto WireBytes = [](const std::string &Key, const KernelReport &R) {
+    return Key.size() + R.IntrinsicName.size() + 128;
+  };
+  std::vector<ExportedEntry> Out;
+  size_t Budget = 0;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto TakeLocked = [&](const std::string &Key) {
+    auto It = Entries.find(Key);
+    if (It == Entries.end() || !isReady(It->second.Fut) ||
+        expiredLocked(It->second))
+      return true;
+    KernelReport R = It->second.Fut.get();
+    size_t Cost = WireBytes(Key, R);
+    if (MaxBytes != 0 && Budget + Cost > MaxBytes)
+      return false; // Budget exhausted — stop the walk.
+    Budget += Cost;
+    Out.push_back({Key, std::move(R)});
+    return true;
+  };
+  if (Keys) {
+    for (const std::string &Key : *Keys)
+      if (!TakeLocked(Key))
+        break;
+  } else {
+    // LRU front first: under a byte cap the hottest entries make the cut.
+    for (const std::string &Key : Lru)
+      if (!TakeLocked(Key))
+        break;
+  }
+  return Out;
+}
+
+size_t KernelCache::importReady(const std::vector<ExportedEntry> &NewEntries) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Inserted = 0;
+  for (const ExportedEntry &E : NewEntries) {
+    if (E.Key.empty() || Entries.count(E.Key))
+      continue; // Live (possibly in-flight) entries win over the peer's.
+    insertLocked(E.Key, readyFuture(E.Report));
+    ++Inserted;
+  }
+  enforceCapacityLocked();
+  return Inserted;
+}
+
+//===----------------------------------------------------------------------===//
 // Disk persistence
 //===----------------------------------------------------------------------===//
 //
@@ -552,21 +609,49 @@ KernelCache::saveFile(const std::string &Path,
   static std::atomic<uint64_t> SaveSerial{0};
   const std::string TmpPath = Path + ".tmp." + std::to_string(::getpid()) +
                               "." + std::to_string(SaveSerial.fetch_add(1));
-  size_t N = 0;
-  {
-    std::ofstream Out(TmpPath, std::ios::binary | std::ios::trunc);
-    if (!Out)
-      return std::nullopt;
-    N = save(Out, Fingerprint);
-    Out.flush();
-    if (!Out) {
-      std::remove(TmpPath.c_str());
-      return std::nullopt;
+
+  // Serialize to memory first, then write through a raw fd so the temp
+  // file can be fsync'd *before* the rename — rename is atomic in the
+  // namespace but says nothing about data blocks; without the fsync a
+  // power cut shortly after publishing could leave Path pointing at a
+  // zero-length or torn file. (ofstream has no portable way to sync.)
+  std::ostringstream Buffer;
+  size_t N = save(Buffer, Fingerprint);
+  const std::string Bytes = Buffer.str();
+
+  int Fd = ::open(TmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return std::nullopt;
+  size_t Written = 0;
+  bool Ok = true;
+  while (Ok && Written < Bytes.size()) {
+    ssize_t W = ::write(Fd, Bytes.data() + Written, Bytes.size() - Written);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      Ok = false;
+    } else {
+      Written += static_cast<size_t>(W);
     }
   }
-  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+  Ok = Ok && ::fsync(Fd) == 0;
+  Ok = ::close(Fd) == 0 && Ok;
+  if (!Ok || std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
     std::remove(TmpPath.c_str());
     return std::nullopt;
+  }
+
+  // Make the rename itself durable: sync the containing directory, best
+  // effort (a read-only or unsupported-directory fsync must not turn a
+  // published save into a reported failure).
+  size_t Slash = Path.find_last_of('/');
+  const std::string Dir = Slash == std::string::npos
+                              ? std::string(".")
+                              : Path.substr(0, Slash == 0 ? 1 : Slash);
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
   }
   return N;
 }

@@ -237,6 +237,36 @@ public:
   std::vector<EntrySize> entrySizes(size_t MaxKeyBytes = 0) const;
 
   //===--------------------------------------------------------------------===//
+  // Fleet exchange (src/fabric): per-entry export / import
+  //===--------------------------------------------------------------------===//
+
+  /// One ready entry in exchange form — what fetch_cache/push_cache
+  /// frames carry between same-fingerprint daemons.
+  struct ExportedEntry {
+    std::string Key;
+    KernelReport Report;
+  };
+
+  /// Snapshots ready entries, most-recently-used first. With \p Keys,
+  /// exports exactly those (absent, in-flight, and expired keys are
+  /// skipped — a fetch for an in-flight key misses rather than blocking
+  /// on the winner); without, a bulk export of everything ready.
+  /// \p MaxBytes (0 = unbounded) caps the summed approximate wire size
+  /// (key + intrinsic name + fixed framing) so one reply frame stays
+  /// under the protocol's frame bound. Export refreshes no recency and
+  /// counts no hits — it is replication, not a lookup.
+  std::vector<ExportedEntry>
+  exportReady(size_t MaxBytes = 0,
+              const std::vector<std::string> *Keys = nullptr) const;
+
+  /// Merges peer-supplied entries. Keys already present — ready *or* in
+  /// flight — keep their local value: a peer's gift never displaces a
+  /// live compile (the single-flight winner still owns its entry) or a
+  /// local result. Caps are enforced after the merge, exactly as for
+  /// load(). Returns the number of entries actually inserted.
+  size_t importReady(const std::vector<ExportedEntry> &NewEntries);
+
+  //===--------------------------------------------------------------------===//
   // Disk persistence
   //===--------------------------------------------------------------------===//
 

@@ -2,6 +2,9 @@
 
 #include "server/CompileClient.h"
 
+#include "fabric/Endpoint.h"
+#include "fabric/Handshake.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -26,19 +29,36 @@ void setErr(std::string *Err, const std::string &Msg) {
 CompileClient::~CompileClient() { close(); }
 
 bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
+  return connect(std::vector<std::string>{SocketPath}, std::string(), Err);
+}
+
+bool CompileClient::connect(const std::vector<std::string> &Endpoints,
+                            const std::string &Secret, std::string *Err) {
   close();
-  sockaddr_un Addr;
-  if (!makeUnixSocketAddr(SocketPath, Addr, Err))
-    return false;
-  int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (NewFd < 0) {
-    setErr(Err, std::string("socket() failed: ") + std::strerror(errno));
+  if (Endpoints.empty()) {
+    setErr(Err, "no endpoints to connect to");
     return false;
   }
-  if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
-    setErr(Err, "connect(" + SocketPath + ") failed: " + std::strerror(errno));
-    ::close(NewFd);
+  {
+    // Published before the dial: dialEndpoint reads the secret, and the
+    // reader (not started yet) will read the list on reconnects.
+    std::lock_guard<std::mutex> Lock(Mu);
+    EndpointList = Endpoints;
+    FabricSecret = Secret;
+  }
+  int NewFd = -1;
+  size_t Chosen = 0;
+  std::string FirstErr;
+  for (size_t I = 0; I < Endpoints.size() && NewFd < 0; ++I) {
+    std::string DialErr;
+    NewFd = dialEndpoint(Endpoints[I], &DialErr);
+    if (NewFd >= 0)
+      Chosen = I;
+    else if (FirstErr.empty())
+      FirstErr = DialErr;
+  }
+  if (NewFd < 0) {
+    setErr(Err, FirstErr.empty() ? "connect failed" : FirstErr);
     return false;
   }
   Fd.store(NewFd);
@@ -52,12 +72,55 @@ bool CompileClient::connect(const std::string &SocketPath, std::string *Err) {
     Outstanding.clear();
     TicketRequests.clear();
     ArrivalCounter = 0;
-    ConnectedPath = SocketPath;
+    CurrentEndpoint = Chosen;
+    ConnectedPath = Endpoints[Chosen];
     HelloMsg = Json();
     HelloSent = false;
   }
   Reader = std::thread([this] { readerLoop(); });
   return true;
+}
+
+int CompileClient::dialEndpoint(const std::string &Ep, std::string *Err) {
+  if (looksLikeUnixPath(Ep)) {
+    sockaddr_un Addr;
+    if (!makeUnixSocketAddr(Ep, Addr, Err))
+      return -1;
+    int NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (NewFd < 0) {
+      setErr(Err, std::string("socket() failed: ") + std::strerror(errno));
+      return -1;
+    }
+    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+        0) {
+      setErr(Err, "connect(" + Ep + ") failed: " + std::strerror(errno));
+      ::close(NewFd);
+      return -1;
+    }
+    return NewFd;
+  }
+  std::string DetailErr;
+  std::optional<Endpoint> Parsed = parseEndpoint(Ep, &DetailErr);
+  if (!Parsed) {
+    setErr(Err, "bad endpoint '" + Ep + "': " + DetailErr);
+    return -1;
+  }
+  int NewFd = dialTcp(*Parsed, &DetailErr);
+  if (NewFd < 0) {
+    setErr(Err, "connect(" + Ep + ") failed: " + DetailErr);
+    return -1;
+  }
+  std::string SecretCopy;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    SecretCopy = FabricSecret;
+  }
+  if (!answerAuthChallenge(NewFd, SecretCopy, &DetailErr)) {
+    setErr(Err, "auth with " + Ep + " failed: " + DetailErr);
+    ::close(NewFd);
+    return -1;
+  }
+  return NewFd;
 }
 
 void CompileClient::close() {
@@ -176,7 +239,8 @@ void CompileClient::failAllPending(const std::string &Why) {
 
 bool CompileClient::tryReconnect(const std::string &Why) {
   int Attempts, DelayMs;
-  std::string Path;
+  std::vector<std::string> Eps;
+  size_t StartIdx;
   Json Hello;
   bool SendHello;
   std::unordered_map<uint64_t, std::shared_ptr<std::promise<CompileResult>>>
@@ -194,7 +258,8 @@ bool CompileClient::tryReconnect(const std::string &Why) {
     ReaderExitReason = Why + " (reconnecting)";
     Attempts = ReconnectAttempts;
     DelayMs = ReconnectDelayMillis;
-    Path = ConnectedPath;
+    Eps = EndpointList;
+    StartIdx = CurrentEndpoint;
     Hello = HelloMsg;
     SendHello = HelloSent;
     Pending.swap(Tickets);
@@ -213,23 +278,24 @@ bool CompileClient::tryReconnect(const std::string &Why) {
     return false; // Hands the reader exit to failAllPending.
   };
 
-  // Redial. Bounded attempts; a server restart needs a beat to re-bind.
+  // Redial. Bounded attempt rounds over the whole endpoint list,
+  // starting *after* the endpoint that just died: mid-stream failover to
+  // a fleet sibling is the same motion as reconnecting to a restarted
+  // daemon, just one list slot over. A server restart needs a beat to
+  // re-bind, hence the inter-round delay.
+  if (Eps.empty())
+    return FailPending("reconnect failed: no endpoints");
   int NewFd = -1;
-  sockaddr_un Addr;
-  if (!makeUnixSocketAddr(Path, Addr, nullptr))
-    return FailPending("reconnect failed: bad socket path");
-  for (int A = 0; A < Attempts && !ShuttingDown.load(); ++A) {
+  size_t Chosen = StartIdx;
+  for (int A = 0; A < Attempts && NewFd < 0 && !ShuttingDown.load(); ++A) {
     if (A)
       std::this_thread::sleep_for(std::chrono::milliseconds(DelayMs));
-    NewFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (NewFd < 0)
-      return FailPending(std::string("reconnect failed: socket(): ") +
-                         std::strerror(errno));
-    if (::connect(NewFd, reinterpret_cast<sockaddr *>(&Addr),
-                  sizeof(Addr)) == 0)
-      break;
-    ::close(NewFd);
-    NewFd = -1;
+    for (size_t E = 0; E < Eps.size() && NewFd < 0; ++E) {
+      size_t Idx = (StartIdx + 1 + E) % Eps.size();
+      NewFd = dialEndpoint(Eps[Idx], nullptr);
+      if (NewFd >= 0)
+        Chosen = Idx;
+    }
   }
   if (NewFd < 0)
     return FailPending("reconnect failed: " + Why);
@@ -325,6 +391,8 @@ bool CompileClient::tryReconnect(const std::string &Why) {
     }
     RetiredFds.push_back(Fd.load());
     Fd.store(NewFd);
+    CurrentEndpoint = Chosen;
+    ConnectedPath = Eps[Chosen];
     ResubmittedCount.fetch_add(Remapped.size());
     ReaderExited = false;
     ReaderExitReason.clear();

@@ -71,6 +71,19 @@ public:
   /// Connects to the server's Unix socket and starts the reader thread.
   /// Does not send hello.
   bool connect(const std::string &SocketPath, std::string *Err = nullptr);
+
+  /// Fabric connect: tries \p Endpoints in order until one accepts, and
+  /// remembers the whole list for failover. An endpoint is a Unix socket
+  /// path (recognized by shape: "/...", "./...", "../...") or a TCP
+  /// "host:port" / "[v6addr]:port"; TCP dials answer the server's
+  /// shared-secret challenge with \p Secret (fabric/Handshake.h — the
+  /// secret itself never crosses the wire). With setAutoReconnect() on,
+  /// a dead connection fails over: the reader redials *across the list*,
+  /// starting after the endpoint that died, and resubmits every
+  /// unresolved ticket — so a daemon loss resolves the original futures
+  /// against its fleet sibling.
+  bool connect(const std::vector<std::string> &Endpoints,
+               const std::string &Secret, std::string *Err = nullptr);
   void close();
   bool connected() const { return Fd.load() >= 0; }
 
@@ -255,6 +268,10 @@ private:
   std::optional<CompileResult> decodeResult(const Json &Response,
                                             std::string *Err);
 
+  /// Dials one endpoint string (Unix path or TCP host:port, including
+  /// the auth handshake for TCP). Returns the connected fd or -1.
+  int dialEndpoint(const std::string &Ep, std::string *Err);
+
   /// Write side of request(): frames one message onto the socket.
   bool sendRequest(const Json &Request, std::string *Err);
   /// Read side of request(): pops the next *reply* frame the reader
@@ -311,7 +328,12 @@ private:
   bool AutoReconnect = false;
   int ReconnectAttempts = 10;
   int ReconnectDelayMillis = 50;
-  std::string ConnectedPath; ///< Dial target; set by connect().
+  /// Every endpoint connect() was given, in failover order; reconnects
+  /// cycle through it starting after CurrentEndpoint (the one in use).
+  std::vector<std::string> EndpointList;
+  std::string FabricSecret; ///< For TCP auth on (re)dials.
+  size_t CurrentEndpoint = 0;
+  std::string ConnectedPath; ///< Endpoint in use; set by connect().
   Json HelloMsg;             ///< Last successful hello, replayed on redial.
   bool HelloSent = false;
   /// Set by close() (under Mu, paired with the reader's commit check) so

@@ -2,6 +2,7 @@
 
 #include "server/CompileServer.h"
 
+#include "fabric/Handshake.h"
 #include "runtime/CompileRequest.h"
 #include "runtime/Workload.h"
 #include "target/TargetRegistry.h"
@@ -62,10 +63,16 @@ bool CompileServer::start(std::string *Err) {
       ::close(ListenFd);
       ListenFd = -1;
     }
+    if (TcpListenFd >= 0) {
+      ::close(TcpListenFd);
+      TcpListenFd = -1;
+      BoundTcpPort = 0;
+    }
     if (LockFd >= 0) {
       ::close(LockFd);
       LockFd = -1;
     }
+    PeerMgr.reset();
     return false;
   };
   auto Fail = [&](const std::string &Msg) {
@@ -123,6 +130,40 @@ bool CompileServer::start(std::string *Err) {
   if (::listen(ListenFd, 64) < 0)
     return Fail("listen() failed");
 
+  // The fabric's TCP side: an unauthenticated TCP listener would expose
+  // the whole compile surface (including shutdown and cache pushes) to
+  // the network, so a secret is mandatory with either TCP feature.
+  if ((!Config.TcpListen.empty() || !Config.Peers.empty()) &&
+      Config.Secret.empty())
+    return FailMsg("--listen-tcp/--peer require a shared secret "
+                   "(ServerConfig::Secret / --secret-file)");
+  if (!Config.TcpListen.empty()) {
+    std::string ParseErr;
+    std::optional<Endpoint> Listen = parseEndpoint(Config.TcpListen, &ParseErr);
+    if (!Listen)
+      return FailMsg("bad --listen-tcp endpoint: " + ParseErr);
+    TcpListenFd = listenTcp(*Listen, &ParseErr);
+    if (TcpListenFd < 0)
+      return FailMsg("listen-tcp " + Config.TcpListen + ": " + ParseErr);
+    BoundTcpPort = boundTcpPort(TcpListenFd);
+  }
+  if (!Config.Peers.empty()) {
+    PeerManagerConfig PeerCfg;
+    for (const std::string &Text : Config.Peers) {
+      std::string ParseErr;
+      std::optional<Endpoint> Ep = parseEndpoint(Text, &ParseErr);
+      if (!Ep)
+        return FailMsg("bad --peer endpoint '" + Text + "': " + ParseErr);
+      PeerCfg.Peers.push_back(std::move(*Ep));
+    }
+    PeerCfg.Secret = Config.Secret;
+    PeerCfg.Fingerprint = peerFingerprint();
+    if (Config.MaxPeerExchangeBytes > 0)
+      PeerCfg.MaxExchangeBytes = Config.MaxPeerExchangeBytes;
+    PeerCfg.Cache = &Session->cache();
+    PeerMgr = std::make_unique<PeerManager>(std::move(PeerCfg));
+  }
+
   if (!Config.CacheFile.empty()) {
     // Sweep temp files a crashed predecessor orphaned, then warm up.
     KernelCache::removeStaleSaves(Config.CacheFile);
@@ -136,7 +177,22 @@ bool CompileServer::start(std::string *Err) {
     ShutdownRequested = false;
   }
   Running.store(true);
-  AcceptThread = std::thread([this] { acceptLoop(); });
+  // Wire the session into the fleet before any connection can compile:
+  // cold winners probe peers before tuning, fresh tunes are announced.
+  if (PeerMgr) {
+    PeerManager *Mgr = PeerMgr.get();
+    Session->setColdMissFetcher(
+        [Mgr](const std::string &Key) { return Mgr->fetchMissing(Key); });
+    Session->setCompileObserver(
+        [Mgr](const std::string &Key, const KernelReport &Report) {
+          Mgr->announce(Key, Report);
+        });
+    PeerMgr->start();
+  }
+  AcceptThread = std::thread([this] { acceptLoop(ListenFd, false); });
+  if (TcpListenFd >= 0)
+    TcpAcceptThread =
+        std::thread([this] { acceptLoop(TcpListenFd, /*RequireAuth=*/true); });
   if (!Config.CacheFile.empty() && Config.PersistIntervalSeconds > 0)
     PersistThread = std::thread([this] { persistLoop(); });
   return true;
@@ -158,10 +214,19 @@ void CompileServer::stop() {
   //    connection drain would race a replacement daemon that correctly
   //    judged the silent socket stale and bound its own at this path.
   ::shutdown(ListenFd, SHUT_RDWR);
+  if (TcpListenFd >= 0)
+    ::shutdown(TcpListenFd, SHUT_RDWR);
   if (AcceptThread.joinable())
     AcceptThread.join();
+  if (TcpAcceptThread.joinable())
+    TcpAcceptThread.join();
   ::close(ListenFd);
   ListenFd = -1;
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
+    BoundTcpPort = 0;
+  }
   ::unlink(Config.SocketPath.c_str());
 
   // 2. Unblock idle connections (threads parked in readFrame see EOF);
@@ -187,6 +252,17 @@ void CompileServer::stop() {
 
   // 3. Drain async jobs still in the session pool (prefetches etc.).
   Session->quiesce();
+
+  // With no compiles left running, unhook the session from the fleet and
+  // retire the peer links. Hook removal must precede PeerMgr teardown:
+  // the session may outlive this server (tests share sessions), and a
+  // dangling fetcher would call into freed memory on its next cold miss.
+  if (PeerMgr) {
+    Session->setColdMissFetcher(nullptr);
+    Session->setCompileObserver(nullptr);
+    PeerMgr->stop();
+    PeerMgr.reset();
+  }
 
   // 4. Stop the persist thread, then take the final consistent save. A
   //    failed shutdown save means a cold restart the operator expects to
@@ -241,9 +317,9 @@ CompileServer::Totals CompileServer::totals() const {
 // Accept / connection loops
 //===----------------------------------------------------------------------===//
 
-void CompileServer::acceptLoop() {
+void CompileServer::acceptLoop(int ListenerFd, bool RequireAuth) {
   while (!Stopping.load()) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept(ListenerFd, nullptr, nullptr);
     if (Fd < 0) {
       if (Stopping.load())
         break; // stop() shut the listener down.
@@ -294,6 +370,7 @@ void CompileServer::acceptLoop() {
     }
     auto Conn = std::make_unique<Connection>();
     Conn->Fd = Fd;
+    Conn->NeedsAuth = RequireAuth;
     Conn->ClientName = "(anonymous)";
     {
       std::lock_guard<std::mutex> Lock(StatsMu);
@@ -321,6 +398,15 @@ void CompileServer::reapFinishedConnections() {
 }
 
 void CompileServer::serveConnection(Connection &Conn) {
+  // TCP connections earn their first request frame: challenge, proof,
+  // auth_ok — or an error frame and EOF. The secret itself never crosses
+  // the wire (fabric/Handshake.h).
+  if (Conn.NeedsAuth && !runAuthChallenge(Conn.Fd, Config.Secret)) {
+    AuthFailures.fetch_add(1);
+    ::shutdown(Conn.Fd, SHUT_RDWR);
+    Conn.Done.store(true);
+    return;
+  }
   std::string Payload;
   while (!Stopping.load()) {
     FrameStatus Status = readFrame(Conn.Fd, Payload);
@@ -446,6 +532,10 @@ Json CompileServer::handleRequest(Connection &Conn, const Json &Request,
     return handleStats(Request);
   if (Type == "save_cache")
     return handleSaveCache(Request);
+  if (Type == "fetch_cache")
+    return handleFetchCache(Request);
+  if (Type == "push_cache")
+    return handlePushCache(Request);
   if (Type == "shutdown") {
     CloseAfter = true;
     requestShutdown();
@@ -955,6 +1045,25 @@ Json CompileServer::handleStats(const Json &Request) {
   Streaming.set("notifications_delivered", NotificationsDelivered.load());
   Streaming.set("tickets_cancelled", TicketsCancelled.load());
   J.set("streaming", std::move(Streaming));
+  // Fabric counters are always present (zeros on a Unix-only daemon) so
+  // fleet dashboards need no schema probing.
+  Json Fabric = Json::object();
+  Fabric.set("tcp_listen", Config.TcpListen);
+  Fabric.set("tcp_port", static_cast<int64_t>(BoundTcpPort));
+  Fabric.set("auth_failures", AuthFailures.load());
+  Fabric.set("peers_configured",
+             static_cast<uint64_t>(Config.Peers.size()));
+  PeerManager::Stats PS = PeerMgr ? PeerMgr->stats() : PeerManager::Stats{};
+  Fabric.set("peers_connected", PS.PeersConnected);
+  Fabric.set("entries_pushed", PS.EntriesPushed);
+  Fabric.set("entries_fetched", PS.EntriesFetched);
+  Fabric.set("fetch_hits", PS.FetchHits);
+  Fabric.set("fetch_misses", PS.FetchMisses);
+  Fabric.set("fetches_served", PeerFetchesServed.load());
+  Fabric.set("pushes_served", PeerPushesServed.load());
+  Fabric.set("entries_served", PeerEntriesServed.load());
+  Fabric.set("entries_accepted", PeerEntriesAccepted.load());
+  J.set("fabric", std::move(Fabric));
   J.set("cache", std::move(Cache));
   J.set("clients", std::move(ClientsJson));
 
@@ -1004,6 +1113,89 @@ Json CompileServer::handleSaveCache(const Json &Request) {
     J.set("id", *Id);
   J.set("path", Path);
   J.set("entries", *Saved);
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Peer cache exchange (the serving side of fabric/PeerManager.h)
+//===----------------------------------------------------------------------===//
+
+std::string CompileServer::peerFingerprint() const {
+  return Config.PeerFingerprintOverride.empty()
+             ? CompilerSession::persistenceFingerprint()
+             : Config.PeerFingerprintOverride;
+}
+
+Json CompileServer::handleFetchCache(const Json &Request) {
+  PeerFetchesServed.fetch_add(1);
+  Json Entries = Json::array();
+  size_t Count = 0;
+  // Mismatched fingerprints exchange nothing — an empty reply, not an
+  // error: reports are only valid between identical machine/tuner/format
+  // configurations, and a mixed fleet should degrade to independent
+  // daemons, not to a poisoned cache.
+  if (Request.str("fingerprint") == peerFingerprint()) {
+    std::vector<std::string> Keys;
+    bool HasKeys = false;
+    if (const Json *KeysJson = Request.get("keys")) {
+      HasKeys = KeysJson->isArray();
+      if (HasKeys)
+        for (const Json &K : KeysJson->items())
+          if (K.isString())
+            Keys.push_back(K.asString());
+    }
+    // Targeted fetches (cold-miss probes) are never byte-capped — the
+    // caller asked for specific keys; only bulk warm syncs are.
+    std::vector<KernelCache::ExportedEntry> Exported =
+        Session->cache().exportReady(HasKeys ? 0 : Config.MaxPeerExchangeBytes,
+                                     HasKeys ? &Keys : nullptr);
+    Count = Exported.size();
+    for (const KernelCache::ExportedEntry &E : Exported) {
+      Json EJ = Json::object();
+      EJ.set("key", E.Key);
+      EJ.set("report", toJson(E.Report));
+      Entries.push(std::move(EJ));
+    }
+  }
+  PeerEntriesServed.fetch_add(Count);
+  Json J = Json::object();
+  J.set("type", "cache_entries");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("fingerprint", peerFingerprint());
+  J.set("entries", std::move(Entries));
+  return J;
+}
+
+Json CompileServer::handlePushCache(const Json &Request) {
+  PeerPushesServed.fetch_add(1);
+  size_t Accepted = 0;
+  if (Request.str("fingerprint") == peerFingerprint()) {
+    std::vector<KernelCache::ExportedEntry> In;
+    if (const Json *Entries = Request.get("entries"))
+      if (Entries->isArray())
+        for (const Json &E : Entries->items()) {
+          KernelCache::ExportedEntry X;
+          X.Key = E.str("key");
+          const Json *ReportJson = E.get("report");
+          std::string DecodeErr;
+          if (X.Key.empty() || !ReportJson ||
+              !kernelReportFromJson(*ReportJson, X.Report, DecodeErr))
+            continue; // Malformed entries are skipped, not fatal.
+          In.push_back(std::move(X));
+        }
+    Accepted = Session->cache().importReady(In);
+    // Imported entries are cache content the persist thread has not
+    // saved yet — they must survive a crash like locally tuned ones.
+    if (Accepted > 0)
+      CompilesSinceSave.fetch_add(1);
+  }
+  PeerEntriesAccepted.fetch_add(Accepted);
+  Json J = Json::object();
+  J.set("type", "cache_pushed");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("accepted", Accepted);
   return J;
 }
 

@@ -44,6 +44,7 @@
 #ifndef UNIT_SERVER_COMPILESERVER_H
 #define UNIT_SERVER_COMPILESERVER_H
 
+#include "fabric/PeerManager.h"
 #include "runtime/CompilerSession.h"
 #include "server/Protocol.h"
 
@@ -77,6 +78,32 @@ struct ServerConfig {
   /// Server-wide tuning-budget cap applied to every request
   /// (<= 0 = unlimited). Per-client caps from hello tighten it further.
   int MaxCandidatesCap = 0;
+
+  /// TCP listen endpoint ("host:port", "[v6addr]:port", or ":port";
+  /// port 0 = OS-assigned, discoverable via tcpPort()). Empty = Unix
+  /// socket only. Requires a non-empty Secret — every TCP connection is
+  /// gated by the shared-secret challenge handshake before its first
+  /// request frame.
+  std::string TcpListen;
+
+  /// Shared secret for the fabric handshake (fabric/Handshake.h). Never
+  /// crosses the wire; required when TcpListen or Peers are set.
+  std::string Secret;
+
+  /// Peer daemon endpoints ("host:port") to exchange tuned-kernel cache
+  /// entries with (fabric/PeerManager.h). Peers whose persistence
+  /// fingerprint differs exchange nothing, by design.
+  std::vector<std::string> Peers;
+
+  /// Test hook: the fingerprint announced to / compared against peers
+  /// instead of CompilerSession::persistenceFingerprint(). Lets tests
+  /// prove the mismatch path without faking a whole divergent target
+  /// registry.
+  std::string PeerFingerprintOverride;
+
+  /// Byte cap on one bulk peer cache exchange (fetch_cache with no key
+  /// list). 0 = the PeerManager default.
+  size_t MaxPeerExchangeBytes = 4u << 20;
 
   /// The session to serve. Null = the server constructs a private one
   /// from SessionCfg (the common daemon case; tests pass their own).
@@ -114,6 +141,12 @@ public:
 
   CompilerSession &session() { return *Session; }
   const std::string &socketPath() const { return Config.SocketPath; }
+
+  /// The port the TCP listener is bound to (0 when TcpListen is unset).
+  /// With "--listen-tcp host:0" this is where the OS-assigned port
+  /// becomes known — tests and supervisors read it instead of racing a
+  /// log line.
+  uint16_t tcpPort() const { return BoundTcpPort; }
 
   /// Outcome of start()'s CacheFile load — lets the host warn when a
   /// warm-start file was rejected (corrupted, or written under another
@@ -158,6 +191,10 @@ private:
 
   struct Connection {
     int Fd = -1;
+    /// TCP connections must pass the shared-secret challenge before
+    /// their first request frame; Unix connections skip it (filesystem
+    /// permissions on the socket path are their gate).
+    bool NeedsAuth = false;
     /// From hello; connections that never introduce themselves share the
     /// "(anonymous)" stats bucket — per-connection names would grow the
     /// Clients map without bound on a daemon serving short connections.
@@ -183,7 +220,10 @@ private:
     size_t UnresolvedJobs = 0;
   };
 
-  void acceptLoop();
+  /// One accept loop per listener: the Unix socket and (when configured)
+  /// the TCP listener each run this on their own thread. \p RequireAuth
+  /// marks accepted connections for the handshake gate.
+  void acceptLoop(int ListenerFd, bool RequireAuth);
   void serveConnection(Connection &Conn);
   void persistLoop();
   /// Joins and closes finished connections. Called from the accept loop
@@ -215,6 +255,15 @@ private:
   Json handleListTargets(const Json &Request);
   Json handleStats(const Json &Request);
   Json handleSaveCache(const Json &Request);
+  /// Peer exchange handlers (docs/SERVER.md, "Fleet"). A fingerprint
+  /// mismatch answers with zero entries / zero accepted — an empty
+  /// exchange, not an error, so mixed fleets degrade to independence.
+  Json handleFetchCache(const Json &Request);
+  Json handlePushCache(const Json &Request);
+
+  /// The fingerprint peer exchange is keyed on (the override, or the
+  /// session's persistence fingerprint).
+  std::string peerFingerprint() const;
 
   /// Decodes target/workload/options out of a compile or compile_async
   /// request (the shared half of the two handlers). On failure returns
@@ -261,6 +310,13 @@ private:
   std::shared_ptr<CompilerSession> Session;
 
   int ListenFd = -1;
+  /// TCP side of the fabric (−1 when TcpListen is unset); its own accept
+  /// thread feeds the same serveConnection, behind the handshake gate.
+  int TcpListenFd = -1;
+  uint16_t BoundTcpPort = 0;
+  std::thread TcpAcceptThread;
+  /// Peer cache exchange (null when no --peer endpoints).
+  std::unique_ptr<PeerManager> PeerMgr;
   /// flock()-held for the server's lifetime ("<socket>.lock"): the
   /// authoritative claim on the socket path. The connect()-probe in
   /// start() only produces a nicer message; the lock is what prevents
@@ -306,6 +362,13 @@ private:
   std::atomic<uint64_t> TicketsIssued{0};
   std::atomic<uint64_t> NotificationsDelivered{0};
   std::atomic<uint64_t> TicketsCancelled{0};
+
+  /// Fabric lifetime counters (the stats message's "fabric" object).
+  std::atomic<uint64_t> AuthFailures{0};
+  std::atomic<uint64_t> PeerFetchesServed{0};
+  std::atomic<uint64_t> PeerPushesServed{0};
+  std::atomic<uint64_t> PeerEntriesServed{0};
+  std::atomic<uint64_t> PeerEntriesAccepted{0};
 };
 
 } // namespace unit

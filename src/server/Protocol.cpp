@@ -395,8 +395,12 @@ bool writeAll(int Fd, const char *Data, size_t Len) {
   while (Len > 0) {
     // MSG_NOSIGNAL: a peer closing mid-write must surface as an error
     // return, not SIGPIPE — clients and embedding hosts do not install
-    // the signal handling the daemon does.
+    // the signal handling the daemon does. Non-socket fds (pipes,
+    // socketpair stand-ins in tests) reject send() with ENOTSOCK; fall
+    // back to write() for them.
     ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Data, Len);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -432,9 +436,18 @@ bool unit::writeFrame(int Fd, const std::string &Payload) {
   if (Payload.size() > MaxFrameBytes)
     return false;
   uint32_t Len = static_cast<uint32_t>(Payload.size());
-  char Header[4] = {static_cast<char>(Len >> 24), static_cast<char>(Len >> 16),
-                    static_cast<char>(Len >> 8), static_cast<char>(Len)};
-  return writeAll(Fd, Header, 4) && writeAll(Fd, Payload.data(), Payload.size());
+  // One contiguous buffer, one write loop: a separate 4-byte header write
+  // costs an extra TCP segment (and a Nagle/delayed-ACK stall for small
+  // frames) once frames cross real network links instead of a local
+  // Unix socket.
+  std::string Frame;
+  Frame.reserve(4 + Payload.size());
+  Frame.push_back(static_cast<char>(Len >> 24));
+  Frame.push_back(static_cast<char>(Len >> 16));
+  Frame.push_back(static_cast<char>(Len >> 8));
+  Frame.push_back(static_cast<char>(Len));
+  Frame.append(Payload);
+  return writeAll(Fd, Frame.data(), Frame.size());
 }
 
 FrameStatus unit::readFrame(int Fd, std::string &Payload) {

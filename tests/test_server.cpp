@@ -10,6 +10,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fabric/Endpoint.h"
+#include "fabric/Handshake.h"
+#include "fabric/Hmac.h"
 #include "graph/Executor.h"
 #include "models/ModelZoo.h"
 #include "runtime/CompileRequest.h"
@@ -1437,6 +1440,436 @@ TEST_F(ServerTest, RemoteEngineMatchesInProcessEngineExactly) {
   // nothing about the numbers.
   EXPECT_EQ(RemoteLatency, LocalLatency);
   EXPECT_EQ(Remote.name(), "UNIT (x86, remote)");
+}
+
+//===----------------------------------------------------------------------===//
+// Fabric: HMAC, endpoints, TCP auth, peer cache exchange, failover
+//===----------------------------------------------------------------------===//
+
+TEST(Fabric, HmacMatchesRfc4231Vectors) {
+  // RFC 4231 test case 1.
+  std::string Key1(20, '\x0b');
+  EXPECT_EQ(
+      hmacHex(Key1, "Hi There"),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Test case 2: a key shorter than the block size.
+  EXPECT_EQ(
+      hmacHex("Jefe", "what do ya want for nothing?"),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 6: a 131-byte key, longer than the SHA-256 block — forces
+  // the pre-hash path.
+  std::string Key6(131, '\xaa');
+  EXPECT_EQ(
+      hmacHex(Key6, "Test Using Larger Than Block-Size Key - Hash Key First"),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+
+  EXPECT_TRUE(constantTimeEquals("abc", "abc"));
+  EXPECT_FALSE(constantTimeEquals("abc", "abd"));
+  EXPECT_FALSE(constantTimeEquals("abc", "ab"));
+  // Nonces are fresh every call (the property the challenge relies on).
+  EXPECT_NE(randomNonceHex(), randomNonceHex());
+  EXPECT_EQ(randomNonceHex(16).size(), 32u);
+}
+
+TEST(Fabric, EndpointParsing) {
+  std::optional<Endpoint> Ep = parseEndpoint("example.com:8080");
+  ASSERT_TRUE(Ep.has_value());
+  EXPECT_EQ(Ep->Host, "example.com");
+  EXPECT_EQ(Ep->Port, 8080);
+  EXPECT_EQ(Ep->display(), "example.com:8080");
+
+  Ep = parseEndpoint("[::1]:9000");
+  ASSERT_TRUE(Ep.has_value());
+  EXPECT_EQ(Ep->Host, "::1");
+  EXPECT_EQ(Ep->Port, 9000);
+  EXPECT_EQ(Ep->display(), "[::1]:9000");
+  EXPECT_EQ(parseEndpoint(Ep->display())->Host, "::1");
+
+  Ep = parseEndpoint(":7000"); // Any-host listen form.
+  ASSERT_TRUE(Ep.has_value());
+  EXPECT_TRUE(Ep->Host.empty());
+
+  std::string Err;
+  EXPECT_FALSE(parseEndpoint("nohost", &Err).has_value());
+  EXPECT_FALSE(parseEndpoint("host:", &Err).has_value());
+  EXPECT_FALSE(parseEndpoint("host:notaport", &Err).has_value());
+  EXPECT_FALSE(parseEndpoint("host:99999", &Err).has_value());
+  EXPECT_FALSE(parseEndpoint("[::1:9", &Err).has_value());
+
+  EXPECT_TRUE(looksLikeUnixPath("/tmp/unit.sock"));
+  EXPECT_TRUE(looksLikeUnixPath("./rel.sock"));
+  EXPECT_FALSE(looksLikeUnixPath("host:1234"));
+  EXPECT_FALSE(looksLikeUnixPath("127.0.0.1:80"));
+}
+
+TEST(Frames, DribbledBytesReassembleIntoOneFrame) {
+  // A slow sender delivering one byte at a time must not confuse the
+  // reader: short reads are part of TCP's contract, not an error.
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const std::string Payload = "{\"type\":\"stats\"}";
+  std::thread Dribbler([&] {
+    uint32_t Len = static_cast<uint32_t>(Payload.size());
+    const char Header[4] = {
+        static_cast<char>(Len >> 24), static_cast<char>(Len >> 16),
+        static_cast<char>(Len >> 8), static_cast<char>(Len)};
+    for (char C : std::string(Header, 4) + Payload) {
+      ASSERT_EQ(::write(Fds[0], &C, 1), 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::string Got;
+  EXPECT_EQ(readFrame(Fds[1], Got), FrameStatus::Ok);
+  EXPECT_EQ(Got, Payload);
+  Dribbler.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(Frames, PipesWorkViaTheNotASocketFallback) {
+  // writeFrame prefers send(MSG_NOSIGNAL) but falls back to write() on
+  // ENOTSOCK so frame I/O also runs over pipes.
+  int P[2];
+  ASSERT_EQ(::pipe(P), 0);
+  EXPECT_TRUE(writeFrame(P[1], "{\"over\":\"a pipe\"}"));
+  std::string Got;
+  EXPECT_EQ(readFrame(P[0], Got), FrameStatus::Ok);
+  EXPECT_EQ(Got, "{\"over\":\"a pipe\"}");
+  ::close(P[1]);
+  EXPECT_EQ(readFrame(P[0], Got), FrameStatus::Eof);
+  ::close(P[0]);
+}
+
+TEST_F(ServerTest, TcpListenerRequiresASecret) {
+  // An open TCP compile server would be a remote code-shaped service with
+  // no gate; refusing to start beats silently listening unauthenticated.
+  for (bool ViaPeers : {false, true}) {
+    ServerConfig Config;
+    Config.SocketPath = tempPath(".sock");
+    if (ViaPeers)
+      Config.Peers.push_back("127.0.0.1:1");
+    else
+      Config.TcpListen = "127.0.0.1:0";
+    CompileServer NoSecret(std::move(Config));
+    std::string Err;
+    EXPECT_FALSE(NoSecret.start(&Err));
+    EXPECT_NE(Err.find("secret"), std::string::npos) << Err;
+  }
+}
+
+TEST_F(ServerTest, WrongSecretIsRejectedAndCounted) {
+  const std::string Secret = "fleet-secret";
+  ServerConfig Config;
+  Config.TcpListen = "127.0.0.1:0";
+  Config.Secret = Secret;
+  startServer(std::move(Config));
+  ASSERT_NE(Server->tcpPort(), 0);
+  Endpoint Ep{"127.0.0.1", Server->tcpPort()};
+
+  // Raw exchange: the challenge carries a nonce, never the secret; a
+  // proof computed with the wrong secret gets an error frame, then EOF.
+  int Fd = dialTcp(Ep);
+  ASSERT_GE(Fd, 0);
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameStatus::Ok);
+  std::optional<Json> Challenge = Json::parse(Payload);
+  ASSERT_TRUE(Challenge.has_value());
+  EXPECT_EQ(Challenge->str("type"), "challenge");
+  std::string Nonce = Challenge->str("nonce");
+  EXPECT_FALSE(Nonce.empty());
+  EXPECT_EQ(Payload.find(Secret), std::string::npos);
+
+  Json Auth = Json::object();
+  Auth.set("type", "auth");
+  Auth.set("proof", hmacHex("not-the-secret", Nonce));
+  ASSERT_TRUE(writeFrame(Fd, Auth.dump()));
+  ASSERT_EQ(readFrame(Fd, Payload), FrameStatus::Ok);
+  std::optional<Json> Rejection = Json::parse(Payload);
+  ASSERT_TRUE(Rejection.has_value());
+  EXPECT_EQ(Rejection->str("type"), "error");
+  EXPECT_EQ(readFrame(Fd, Payload), FrameStatus::Eof);
+  ::close(Fd);
+
+  // The client API refuses the endpoint the same way.
+  CompileClient Bad;
+  std::string Err;
+  EXPECT_FALSE(Bad.connect({Ep.display()}, "also-wrong", &Err));
+
+  // The right secret sails through, and the daemon kept count.
+  CompileClient Good;
+  ASSERT_TRUE(Good.connect({Ep.display()}, Secret, &Err)) << Err;
+  ASSERT_TRUE(Good.hello("tcp-client", 0, &Err).has_value()) << Err;
+  std::optional<Json> Stats = Good.stats(false, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  const Json *Fabric = Stats->get("fabric");
+  ASSERT_NE(Fabric, nullptr);
+  EXPECT_EQ(Fabric->integer("auth_failures"), 2);
+  EXPECT_EQ(Fabric->integer("tcp_port"),
+            static_cast<int64_t>(Server->tcpPort()));
+
+  // The authenticated TCP connection is a full-fledged client link.
+  std::optional<CompileClient::CompileResult> R =
+      Good.compileConv("x86", makeResnet18().Convs[0], {}, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+}
+
+TEST_F(ServerTest, TwoDaemonsOneColdTuneClusterwideViaPeerFetch) {
+  const std::string Secret = "warm-handoff";
+
+  // Daemon A: the established fleet member, reachable over TCP.
+  ServerConfig ConfigA;
+  ConfigA.TcpListen = "127.0.0.1:0";
+  ConfigA.Secret = Secret;
+  startServer(std::move(ConfigA));
+  ASSERT_NE(Server->tcpPort(), 0);
+
+  // Cold-compile four distinct kernels on A: every tune in this test
+  // happens here, once per distinct structural key.
+  std::vector<ConvLayer> Layers = syntheticLayers(4, 112);
+  uint64_t TunesBefore = tunerInvocations();
+  auto ClientA = makeClient("fleet-a");
+  std::string Err;
+  for (const ConvLayer &L : Layers) {
+    std::optional<CompileClient::CompileResult> R =
+        ClientA->compileConv("x86", L, {}, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_FALSE(R->Cached);
+  }
+  EXPECT_EQ(tunerInvocations() - TunesBefore, Layers.size());
+
+  // Daemon B joins the fleet with A as its peer.
+  ServerConfig ConfigB;
+  ConfigB.SocketPath = tempPath(".sock");
+  ConfigB.Secret = Secret;
+  ConfigB.Peers.push_back(Endpoint{"127.0.0.1", Server->tcpPort()}.display());
+  CompileServer B(ConfigB);
+  ASSERT_TRUE(B.start(&Err)) << Err;
+
+  // The same four kernels on B: served by the fleet, tuned by nobody —
+  // the peer warm-sync or the cold-miss fetch covers every key, so the
+  // cluster-wide tune count stays at one per distinct structural key.
+  uint64_t TunesMid = tunerInvocations();
+  CompileClient ClientB;
+  ASSERT_TRUE(ClientB.connect(ConfigB.SocketPath, &Err)) << Err;
+  ASSERT_TRUE(ClientB.hello("fleet-b", 0, &Err).has_value()) << Err;
+  for (const ConvLayer &L : Layers) {
+    std::optional<CompileClient::CompileResult> R =
+        ClientB.compileConv("x86", L, {}, &Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_TRUE(R->Cached) << L.Name;
+  }
+  EXPECT_EQ(tunerInvocations() - TunesMid, 0u);
+  EXPECT_EQ(tunerInvocations() - TunesBefore, Layers.size());
+
+  // The fabric counters narrate the exchange: B pulled the entries (bulk
+  // warm-sync, targeted fetches, or a mix), and A served them.
+  std::optional<Json> StatsB = ClientB.stats(false, &Err);
+  ASSERT_TRUE(StatsB.has_value()) << Err;
+  const Json *FabricB = StatsB->get("fabric");
+  ASSERT_NE(FabricB, nullptr);
+  EXPECT_EQ(FabricB->integer("peers_configured"), 1);
+  EXPECT_EQ(FabricB->integer("peers_connected"), 1);
+  EXPECT_GE(FabricB->integer("entries_fetched") +
+                FabricB->integer("fetch_hits"),
+            static_cast<int64_t>(Layers.size()));
+
+  std::optional<Json> StatsA = ClientA->stats(false, &Err);
+  ASSERT_TRUE(StatsA.has_value()) << Err;
+  const Json *FabricA = StatsA->get("fabric");
+  ASSERT_NE(FabricA, nullptr);
+  EXPECT_GE(FabricA->integer("fetches_served"), 1);
+  EXPECT_GE(FabricA->integer("entries_served"),
+            static_cast<int64_t>(Layers.size()));
+
+  // Push direction: a kernel tuned on B reaches A without A ever asking.
+  ConvLayer Fresh{"fresh-on-b", 96, 10, 10, 96, 3, 3, 1, 1, 1, false};
+  std::optional<CompileClient::CompileResult> OnB =
+      ClientB.compileConv("x86", Fresh, {}, &Err);
+  ASSERT_TRUE(OnB.has_value()) << Err;
+  EXPECT_FALSE(OnB->Cached);
+  // The pusher flushes on its own cadence; wait for A to accept.
+  bool Accepted = false;
+  for (int I = 0; I < 100 && !Accepted; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    StatsA = ClientA->stats(false, &Err);
+    ASSERT_TRUE(StatsA.has_value()) << Err;
+    Accepted = StatsA->get("fabric")->integer("entries_accepted") >= 1;
+  }
+  EXPECT_TRUE(Accepted);
+  uint64_t TunesLate = tunerInvocations();
+  std::optional<CompileClient::CompileResult> OnA =
+      ClientA->compileConv("x86", Fresh, {}, &Err);
+  ASSERT_TRUE(OnA.has_value()) << Err;
+  EXPECT_TRUE(OnA->Cached);
+  EXPECT_EQ(OnA->Report.Seconds, OnB->Report.Seconds);
+  EXPECT_EQ(tunerInvocations() - TunesLate, 0u);
+
+  // Peer exchange rides the continuation engine like everything else:
+  // no thread ever parked on either daemon.
+  EXPECT_EQ(Server->session().parkedJoins(), 0u);
+  EXPECT_EQ(B.session().parkedJoins(), 0u);
+  B.stop();
+}
+
+TEST_F(ServerTest, MismatchedFingerprintPeersExchangeNothing) {
+  const std::string Secret = "strict-fleet";
+  ServerConfig ConfigA;
+  ConfigA.TcpListen = "127.0.0.1:0";
+  ConfigA.Secret = Secret;
+  startServer(std::move(ConfigA));
+
+  // A kernel A has and B will want.
+  ConvLayer Shared{"disputed", 72, 12, 12, 72, 3, 3, 1, 1, 1, false};
+  auto ClientA = makeClient("strict-a");
+  std::string Err;
+  ASSERT_TRUE(ClientA->compileConv("x86", Shared, {}, &Err).has_value())
+      << Err;
+
+  // Daemon B claims a different persistence fingerprint — as if it ran a
+  // different tuner version. The peers connect but must exchange nothing:
+  // a cached report is only valid under the exact fingerprint it was
+  // tuned under.
+  ServerConfig ConfigB;
+  ConfigB.SocketPath = tempPath(".sock");
+  ConfigB.Secret = Secret;
+  ConfigB.Peers.push_back(Endpoint{"127.0.0.1", Server->tcpPort()}.display());
+  ConfigB.PeerFingerprintOverride = "tuner-vNEXT-incompatible";
+  CompileServer B(ConfigB);
+  ASSERT_TRUE(B.start(&Err)) << Err;
+
+  uint64_t TunesBefore = tunerInvocations();
+  CompileClient ClientB;
+  ASSERT_TRUE(ClientB.connect(ConfigB.SocketPath, &Err)) << Err;
+  ASSERT_TRUE(ClientB.hello("strict-b", 0, &Err).has_value()) << Err;
+  std::optional<CompileClient::CompileResult> R =
+      ClientB.compileConv("x86", Shared, {}, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  // B tuned locally: the mismatched link yielded nothing.
+  EXPECT_FALSE(R->Cached);
+  EXPECT_EQ(tunerInvocations() - TunesBefore, 1u);
+
+  std::optional<Json> StatsA = ClientA->stats(false, &Err);
+  ASSERT_TRUE(StatsA.has_value()) << Err;
+  EXPECT_EQ(StatsA->get("fabric")->integer("entries_served"), 0);
+  EXPECT_EQ(StatsA->get("fabric")->integer("entries_accepted"), 0);
+  B.stop();
+
+  // Raw frames with a bogus fingerprint meet the same wall: empty
+  // entries on fetch, zero accepted on push — replies, not errors, so a
+  // heterogeneous fleet degrades to local tuning instead of flapping.
+  Endpoint Ep{"127.0.0.1", Server->tcpPort()};
+  int Fd = dialTcp(Ep);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(answerAuthChallenge(Fd, Secret, &Err)) << Err;
+
+  Json Fetch = Json::object();
+  Fetch.set("type", "fetch_cache");
+  Fetch.set("fingerprint", "bogus");
+  ASSERT_TRUE(writeFrame(Fd, Fetch.dump()));
+  std::string Payload;
+  ASSERT_EQ(readFrame(Fd, Payload), FrameStatus::Ok);
+  std::optional<Json> Reply = Json::parse(Payload);
+  ASSERT_TRUE(Reply.has_value());
+  EXPECT_EQ(Reply->str("type"), "cache_entries");
+  ASSERT_TRUE(Reply->get("entries")->isArray());
+  EXPECT_EQ(Reply->get("entries")->items().size(), 0u);
+
+  Json Push = Json::object();
+  Push.set("type", "push_cache");
+  Push.set("fingerprint", "bogus");
+  Json Entries = Json::array();
+  Json Entry = Json::object();
+  Entry.set("key", "x86|whatever");
+  Entry.set("report", toJson(KernelReport{}));
+  Entries.push(std::move(Entry));
+  Push.set("entries", std::move(Entries));
+  ASSERT_TRUE(writeFrame(Fd, Push.dump()));
+  ASSERT_EQ(readFrame(Fd, Payload), FrameStatus::Ok);
+  Reply = Json::parse(Payload);
+  ASSERT_TRUE(Reply.has_value());
+  EXPECT_EQ(Reply->str("type"), "cache_pushed");
+  EXPECT_EQ(Reply->integer("accepted"), 0);
+  ::close(Fd);
+}
+
+TEST_F(ServerTest, EndpointListFailoverResolvesOriginalFutures) {
+  const std::string Secret = "failover-secret";
+
+  // The survivor: a real daemon on TCP.
+  ServerConfig Config;
+  Config.TcpListen = "127.0.0.1:0";
+  Config.Secret = Secret;
+  startServer(std::move(Config));
+  std::string TcpEp = Endpoint{"127.0.0.1", Server->tcpPort()}.display();
+
+  // The casualty: a bare Unix listener that welcomes the client, grants
+  // ticket 7, then dies — same flaky half as the auto-reconnect test,
+  // now as endpoint #1 of a two-endpoint list.
+  std::string FlakyPath = tempPath(".sock");
+  int Listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Listener, 0);
+  sockaddr_un Addr;
+  ASSERT_TRUE(makeUnixSocketAddr(FlakyPath, Addr, nullptr));
+  ASSERT_EQ(::bind(Listener, reinterpret_cast<sockaddr *>(&Addr),
+                   sizeof(Addr)),
+            0);
+  ASSERT_EQ(::listen(Listener, 1), 0);
+  int FlakyConn = -1;
+  std::thread Flaky([&] {
+    FlakyConn = ::accept(Listener, nullptr, nullptr);
+    if (FlakyConn < 0)
+      return;
+    std::string Frame;
+    if (readFrame(FlakyConn, Frame) == FrameStatus::Ok) { // hello
+      Json Welcome = Json::object();
+      Welcome.set("type", "welcome");
+      Welcome.set("server", "flaky");
+      Welcome.set("protocol", ProtocolVersion);
+      writeFrame(FlakyConn, Welcome.dump());
+    }
+    if (readFrame(FlakyConn, Frame) == FrameStatus::Ok) { // compile_async
+      Json Submitted = Json::object();
+      Submitted.set("type", "submitted");
+      Submitted.set("ticket", 7);
+      writeFrame(FlakyConn, Submitted.dump());
+    }
+  });
+
+  CompileClient Client;
+  Client.setAutoReconnect(true, /*MaxAttempts=*/100, /*RetryDelayMillis=*/20);
+  std::string Err;
+  ASSERT_TRUE(Client.connect({FlakyPath, TcpEp}, Secret, &Err)) << Err;
+  ASSERT_TRUE(Client.hello("nomad", 0, &Err).has_value()) << Err;
+
+  Model Zoo = makeResnet18();
+  std::optional<CompileClient::AsyncHandle> H =
+      Client.submitConv("x86", Zoo.Convs[0], {}, &Err);
+  ASSERT_TRUE(H.has_value()) << Err;
+  EXPECT_EQ(H->Ticket, 7u);
+
+  // Kill endpoint #1. Failover starts AFTER the dead endpoint, lands on
+  // the TCP daemon, passes the handshake, replays hello, resubmits — and
+  // the pre-drop future resolves with a real report.
+  Flaky.join();
+  ASSERT_GE(FlakyConn, 0);
+  ::close(Listener);
+  ::unlink(FlakyPath.c_str());
+  ::close(FlakyConn);
+
+  std::optional<CompileClient::CompileResult> R = Client.wait(*H, &Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_FALSE(R->Cached);
+  EXPECT_EQ(Client.resubmittedTickets(), 1u);
+
+  // The healed connection talks to the real daemon now: warm round trip,
+  // identical report.
+  std::optional<CompileClient::CompileResult> Warm =
+      Client.compileConv("x86", Zoo.Convs[0], {}, &Err);
+  ASSERT_TRUE(Warm.has_value()) << Err;
+  EXPECT_TRUE(Warm->Cached);
+  EXPECT_EQ(Warm->Report.Seconds, R->Report.Seconds);
+  Client.close();
+  EXPECT_EQ(Server->session().parkedJoins(), 0u);
 }
 
 } // namespace

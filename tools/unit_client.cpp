@@ -39,8 +39,12 @@ std::optional<Model> zooModel(const std::string &Name) {
 void usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket PATH [actions]\n"
-      "  --socket PATH       server socket (required)\n"
+      "usage: %s (--socket PATH | --connect EP...) [actions]\n"
+      "  --socket PATH       server Unix socket\n"
+      "  --connect EP        server endpoint: a Unix socket path or a TCP\n"
+      "                      HOST:PORT (needs --secret-file); repeatable —\n"
+      "                      later endpoints are failover targets\n"
+      "  --secret-file FILE  shared secret for TCP endpoints (first line)\n"
       "  --client NAME       client name for the hello handshake\n"
       "  --budget N          per-client tuning budget (hello max_candidates)\n"
       "  --model NAME        compile a zoo model (resnet-18, resnet-50, ...);\n"
@@ -123,10 +127,31 @@ bool compileModelsAsync(CompileClient &Client, const std::string &Target,
   return true;
 }
 
+/// First line of \p Path, trailing CR/LF trimmed — the shared secret.
+std::string readSecretFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot read secret file '%s'\n",
+                 Path.c_str());
+    std::exit(2);
+  }
+  char Buf[512];
+  std::string Secret;
+  if (std::fgets(Buf, sizeof(Buf), F))
+    Secret = Buf;
+  std::fclose(F);
+  while (!Secret.empty() &&
+         (Secret.back() == '\n' || Secret.back() == '\r'))
+    Secret.pop_back();
+  return Secret;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string SocketPath, ClientName = "unit_client", TargetName = "x86";
+  std::string SocketPath, Secret, ClientName = "unit_client",
+                                  TargetName = "x86";
+  std::vector<std::string> Endpoints;
   std::vector<std::string> ModelNames;
   int Budget = 0, Priority = 0;
   bool WantStats = false, WantSave = false, WantShutdown = false,
@@ -142,6 +167,10 @@ int main(int argc, char **argv) {
     };
     if (Arg == "--socket")
       SocketPath = NextValue();
+    else if (Arg == "--connect")
+      Endpoints.push_back(NextValue());
+    else if (Arg == "--secret-file")
+      Secret = readSecretFile(NextValue());
     else if (Arg == "--client")
       ClientName = NextValue();
     else if (Arg == "--budget")
@@ -173,7 +202,11 @@ int main(int argc, char **argv) {
       return 2;
     }
   }
-  if (SocketPath.empty() ||
+  // --socket is sugar for a single Unix endpoint at the front of the
+  // failover list.
+  if (!SocketPath.empty())
+    Endpoints.insert(Endpoints.begin(), SocketPath);
+  if (Endpoints.empty() ||
       (ModelNames.empty() && !WantStats && !WantSave && !WantShutdown &&
        !WantTargets)) {
     usage(argv[0]);
@@ -182,7 +215,7 @@ int main(int argc, char **argv) {
 
   CompileClient Client;
   std::string Err;
-  if (!Client.connect(SocketPath, &Err) ||
+  if (!Client.connect(Endpoints, Secret, &Err) ||
       !Client.hello(ClientName, Budget, &Err)) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;

@@ -9,6 +9,8 @@
 //              [--persist-interval 30] [--threads N]
 //              [--max-candidates N] [--cache-capacity N]
 //              [--cache-bytes N] [--cache-ttl SEC]
+//              [--listen-tcp HOST:PORT --secret-file FILE]
+//              [--peer HOST:PORT]...
 //
 //===----------------------------------------------------------------------===//
 
@@ -42,8 +44,42 @@ void usage(const char *Argv0) {
       "  --cache-bytes N          LRU byte cap over the cache's resident-\n"
       "                           byte accounting (default unbounded)\n"
       "  --cache-ttl SEC          age out cached kernels after SEC seconds\n"
-      "                           (default: never expire)\n",
+      "                           (default: never expire)\n"
+      "  --listen-tcp HOST:PORT   also listen on TCP (fleet serving; every\n"
+      "                           connection must pass the shared-secret\n"
+      "                           handshake; port 0 = OS-assigned)\n"
+      "  --secret-file FILE       shared secret for the fabric handshake\n"
+      "                           (first line of FILE; required with\n"
+      "                           --listen-tcp / --peer)\n"
+      "  --peer HOST:PORT         exchange tuned kernels with this peer\n"
+      "                           daemon (repeatable; same-fingerprint\n"
+      "                           peers only)\n",
       Argv0);
+}
+
+/// First line of \p Path, trailing CR/LF trimmed — the shared secret.
+/// Exits loudly on a missing/empty file: a daemon silently listening on
+/// TCP with an empty secret would be an open compile server.
+std::string readSecretFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot read secret file '%s'\n",
+                 Path.c_str());
+    std::exit(2);
+  }
+  char Buf[512];
+  std::string Secret;
+  if (std::fgets(Buf, sizeof(Buf), F))
+    Secret = Buf;
+  std::fclose(F);
+  while (!Secret.empty() &&
+         (Secret.back() == '\n' || Secret.back() == '\r'))
+    Secret.pop_back();
+  if (Secret.empty()) {
+    std::fprintf(stderr, "error: secret file '%s' is empty\n", Path.c_str());
+    std::exit(2);
+  }
+  return Secret;
 }
 
 } // namespace
@@ -78,6 +114,12 @@ int main(int argc, char **argv) {
           static_cast<size_t>(std::atoll(NextValue()));
     else if (Arg == "--cache-ttl")
       Config.SessionCfg.CacheTTLSeconds = std::atof(NextValue());
+    else if (Arg == "--listen-tcp")
+      Config.TcpListen = NextValue();
+    else if (Arg == "--secret-file")
+      Config.Secret = readSecretFile(NextValue());
+    else if (Arg == "--peer")
+      Config.Peers.push_back(NextValue());
     else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -97,6 +139,7 @@ int main(int argc, char **argv) {
   // A client vanishing mid-response must not kill the daemon.
   std::signal(SIGPIPE, SIG_IGN);
 
+  size_t PeerCount = Config.Peers.size();
   CompileServer Server(std::move(Config));
   std::string Err;
   if (!Server.start(&Err)) {
@@ -104,6 +147,10 @@ int main(int argc, char **argv) {
     return 1;
   }
   std::printf("unit_serve: listening on %s\n", Server.socketPath().c_str());
+  if (Server.tcpPort() != 0)
+    std::printf("unit_serve: fabric TCP listener on port %u (%zu peers "
+                "configured)\n",
+                static_cast<unsigned>(Server.tcpPort()), PeerCount);
   switch (Server.cacheLoadResult().Status) {
   case KernelCache::LoadStatus::BadFormat:
     std::fprintf(stderr, "unit_serve: warning: cache file is corrupted; "
