@@ -21,6 +21,7 @@
 #include "runtime/CompilerSession.h"
 #include "server/CompileClient.h"
 #include "server/CompileServer.h"
+#include "support/ThreadPool.h"
 #include "support/Time.h"
 #include "tuner/Tuner.h"
 #include "target/TargetRegistry.h"
@@ -31,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -181,6 +183,54 @@ void BM_CompileModelAllCacheHits(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_CompileModelAllCacheHits)->Unit(benchmark::kMillisecond);
+
+/// Measured host quantities the cost-model refit consumes
+/// (tools/unit_refit, docs/TUNING.md "Cost-model refit").
+struct HostProbe {
+  double MemcpyGbps = 0;  ///< Sustained large-copy bandwidth.
+  double ForkJoinUs = 0;  ///< Cost of one empty parallel region.
+};
+
+/// Measures the two machine-model constants a host can observe cheaply:
+/// DRAM bandwidth via a large memcpy sweep and parallel-region fork/join
+/// overhead via empty parallelFor regions. Coarse on a noisy CI box —
+/// which is exactly the point: the refit pipeline must survive real
+/// measurements, not curated ones.
+HostProbe probeHost() {
+  HostProbe Probe;
+  // Buffers far beyond L3 so the copy streams from DRAM. One warm pass
+  // to fault the pages, then timed passes counting read+write traffic.
+  constexpr size_t Bytes = size_t(64) << 20;
+  constexpr int Passes = 4;
+  std::vector<char> Src(Bytes, 1), Dst(Bytes, 0);
+  std::memcpy(Dst.data(), Src.data(), Bytes);
+  double T0 = steadyNowSeconds();
+  for (int I = 0; I < Passes; ++I) {
+    std::memcpy(Dst.data(), Src.data(), Bytes);
+    benchmark::DoNotOptimize(Dst.data());
+  }
+  double CopySeconds = steadyNowSeconds() - T0;
+  Probe.MemcpyGbps =
+      2.0 * static_cast<double>(Bytes) * Passes / CopySeconds / 1e9;
+
+  ThreadPool Pool;
+  // Warm the pool (first region pays thread wake-up), then time empty
+  // regions: pure fork + join, no body.
+  Pool.parallelFor(Pool.threadCount(), [](size_t) {});
+  constexpr int Regions = 200;
+  T0 = steadyNowSeconds();
+  for (int I = 0; I < Regions; ++I)
+    Pool.parallelFor(Pool.threadCount(), [](size_t) {});
+  Probe.ForkJoinUs = (steadyNowSeconds() - T0) / Regions * 1e6;
+  // Below-timer-resolution readings still have to survive the refit
+  // pipeline's positivity checks (and the JSON's %.3f), so floor at 1 ns.
+  if (Probe.ForkJoinUs < 0.001)
+    Probe.ForkJoinUs = 0.001;
+  std::printf("host probe: memcpy %.1f GB/s | fork/join %.1f us "
+              "(%u threads)\n",
+              Probe.MemcpyGbps, Probe.ForkJoinUs, Pool.threadCount());
+  return Probe;
+}
 
 /// Prints the cold-vs-hit summary, verifies parallel/sequential
 /// compileModel determinism, measures the warm-from-disk path, and emits
@@ -350,6 +400,48 @@ void runtimeSummary() {
                 Resnet.Convs.size());
   }
 
+  // Transfer tuning (docs/TUNING.md): compile the channel-widened
+  // resnet-18 cold, then in a session warmed on resnet-18. The warm
+  // compile must spend >= 50% fewer tuner invocations (shared shapes hit
+  // the cache, new shapes start from a transferred seed) and must have
+  // applied at least one transfer seed — both enforced in the exit code
+  // so the paired BENCH_compile.json can never show a silent regression.
+  Model Wide = makeResnet18Wide();
+  CompilerSession ColdWide(sequentialConfig());
+  uint64_t Inv0 = tunerInvocations();
+  T0 = steadyNowSeconds();
+  ColdWide.compileModel(Wide, "x86");
+  double ColdTransferMs = (steadyNowSeconds() - T0) * 1e3;
+  uint64_t InvWideCold = tunerInvocations() - Inv0;
+
+  CompilerSession WarmWide(sequentialConfig());
+  WarmWide.compileModel(Resnet, "x86");
+  Inv0 = tunerInvocations();
+  T0 = steadyNowSeconds();
+  WarmWide.compileModel(Wide, "x86");
+  double WarmTransferMs = (steadyNowSeconds() - T0) * 1e3;
+  uint64_t InvWideWarm = tunerInvocations() - Inv0;
+  uint64_t TransferSeedHits = WarmWide.sessionStats().TransferSeeds;
+  std::printf("transfer: resnet-18-wide cold %.2f ms (%llu tuner runs) | "
+              "after resnet-18 %.2f ms (%llu tuner runs, %llu seeded)\n",
+              ColdTransferMs, static_cast<unsigned long long>(InvWideCold),
+              WarmTransferMs, static_cast<unsigned long long>(InvWideWarm),
+              static_cast<unsigned long long>(TransferSeedHits));
+  if (InvWideWarm * 2 > InvWideCold) {
+    std::fprintf(stderr,
+                 "FAIL: warm transfer compile used %llu tuner invocations, "
+                 "cold used %llu (need >= 50%% cut)\n",
+                 static_cast<unsigned long long>(InvWideWarm),
+                 static_cast<unsigned long long>(InvWideCold));
+    std::exit(1);
+  }
+  if (TransferSeedHits == 0) {
+    std::fprintf(stderr, "FAIL: no transfer seeds were applied\n");
+    std::exit(1);
+  }
+
+  HostProbe Probe = probeHost();
+
   std::FILE *Json = std::fopen("BENCH_compile.json", "w");
   if (!Json) {
     std::fprintf(stderr, "FAIL: could not write BENCH_compile.json\n");
@@ -374,11 +466,22 @@ void runtimeSummary() {
       "  \"parallel_byte_identical\": true,\n"
       "  \"warm_from_disk_zero_tuner_invocations\": true,\n"
       "  \"server_restart_zero_tuner_invocations\": true,\n"
+      "  \"cold_transfer_ms\": %.3f,\n"
+      "  \"warm_transfer_ms\": %.3f,\n"
+      "  \"tuner_invocations_wide_cold\": %llu,\n"
+      "  \"tuner_invocations_wide_warm\": %llu,\n"
+      "  \"transfer_seed_hits\": %llu,\n"
+      "  \"host_probe\": {\"memcpy_gbps\": %.3f, \"fork_join_us\": %.3f},\n"
       "  \"targets\": [",
       ColdSeconds * 1e6, HitSeconds * 1e6, WarmDiskHitSeconds * 1e6,
       DiskSaveSeconds * 1e3, DiskLoadSeconds * 1e3, PersistedEntries,
       B.DistinctShapes, A.WallSeconds * 1e3, B.WallSeconds * 1e3,
-      WarmDiskModelSeconds * 1e3, ServerRestartWarmSeconds * 1e3);
+      WarmDiskModelSeconds * 1e3, ServerRestartWarmSeconds * 1e3,
+      ColdTransferMs, WarmTransferMs,
+      static_cast<unsigned long long>(InvWideCold),
+      static_cast<unsigned long long>(InvWideWarm),
+      static_cast<unsigned long long>(TransferSeedHits), Probe.MemcpyGbps,
+      Probe.ForkJoinUs);
   for (size_t I = 0; I < Rows.size(); ++I)
     std::fprintf(
         Json,

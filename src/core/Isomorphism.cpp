@@ -11,6 +11,7 @@
 #include "ir/Printer.h"
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -397,4 +398,82 @@ IsoResult unit::matchCompute(const ComputeOp &Instr, const ComputeOp &Op) {
   Result.Matched = true;
   Result.Bindings = std::move(State.Bindings);
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural distance (transfer tuning, docs/TUNING.md)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits a canonical key into comparison units: maximal digit runs,
+/// maximal identifier runs ([A-Za-z_@%$.]+ covers dtype names and the
+/// positional @N/%N ids' sigils merged with their digits handled as two
+/// tokens), and single punctuation characters. Comparing token-wise makes
+/// one changed extent cost one edit regardless of its digit count.
+std::vector<std::string> tokenizeKey(const std::string &S) {
+  std::vector<std::string> Tokens;
+  size_t I = 0;
+  auto IsDigit = [](char C) { return C >= '0' && C <= '9'; };
+  auto IsIdent = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+  };
+  while (I < S.size()) {
+    size_t Start = I;
+    if (IsDigit(S[I])) {
+      while (I < S.size() && IsDigit(S[I]))
+        ++I;
+    } else if (IsIdent(S[I])) {
+      while (I < S.size() && IsIdent(S[I]))
+        ++I;
+    } else {
+      ++I;
+    }
+    Tokens.emplace_back(S, Start, I - Start);
+  }
+  return Tokens;
+}
+
+} // namespace
+
+size_t unit::structuralDistance(const std::string &A, const std::string &B,
+                                size_t Cutoff) {
+  if (A == B)
+    return 0;
+  std::vector<std::string> TA = tokenizeKey(A);
+  std::vector<std::string> TB = tokenizeKey(B);
+  size_t N = TA.size(), M = TB.size();
+  // Length difference is a lower bound on the edit distance.
+  size_t Diff = N > M ? N - M : M - N;
+  if (Diff > Cutoff)
+    return Cutoff + 1;
+
+  // Banded Levenshtein: cells more than Cutoff off the diagonal can never
+  // come back under the cutoff, so only a 2*Cutoff+1 band per row is
+  // computed. Two rolling rows; cells outside the band read as "over".
+  const size_t Over = Cutoff + 1;
+  std::vector<size_t> Prev(M + 1, Over), Cur(M + 1, Over);
+  for (size_t J = 0; J <= M && J <= Cutoff; ++J)
+    Prev[J] = J;
+  for (size_t I = 1; I <= N; ++I) {
+    size_t Lo = I > Cutoff ? I - Cutoff : 0;
+    size_t Hi = std::min(M, I + Cutoff);
+    std::fill(Cur.begin(), Cur.end(), Over);
+    if (Lo == 0)
+      Cur[0] = I;
+    size_t RowMin = Over;
+    for (size_t J = std::max<size_t>(1, Lo); J <= Hi; ++J) {
+      size_t Sub = Prev[J - 1] + (TA[I - 1] == TB[J - 1] ? 0 : 1);
+      size_t Del = Prev[J] + 1;
+      size_t Ins = Cur[J - 1] + 1;
+      Cur[J] = std::min({Sub, Del, Ins, Over});
+      RowMin = std::min(RowMin, Cur[J]);
+    }
+    if (Lo == 0)
+      RowMin = std::min(RowMin, Cur[0]);
+    if (RowMin >= Over)
+      return Over; // Every band cell already exceeds the cutoff.
+    std::swap(Prev, Cur);
+  }
+  return std::min(Prev[M], Over);
 }

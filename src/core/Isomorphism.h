@@ -61,6 +61,20 @@ IsoResult matchCompute(const ComputeOp &Instr, const ComputeOp &Op);
 /// KernelCache uses this as its kernel key (runtime/KernelCache.h).
 std::string canonicalComputeKey(const ComputeOp &Op);
 
+/// Structural distance between two canonicalComputeKey serializations:
+/// token-level edit distance (numbers, identifiers, and punctuation are
+/// single tokens, so `224` vs `225` costs one edit, not a digit-wise
+/// count). A metric on serializations — zero iff the strings are equal
+/// (renamed-isomorphic ops, which serialize identically, are at distance
+/// zero), symmetric, triangle inequality. \p Cutoff bounds the work: the
+/// banded computation gives up and returns Cutoff + 1 as soon as the
+/// distance provably exceeds Cutoff, so nearest-neighbor scans over many
+/// cached keys stay cheap. The CompilerSession's transfer tuning uses
+/// this to find a near-isomorphic neighbor whose cached winner seeds a
+/// new key's search (docs/TUNING.md).
+size_t structuralDistance(const std::string &A, const std::string &B,
+                          size_t Cutoff);
+
 } // namespace unit
 
 #endif // UNIT_CORE_ISOMORPHISM_H

@@ -132,6 +132,23 @@ Model unit::makeResnet18() {
   return M;
 }
 
+Model unit::makeResnet18Wide() {
+  Model M;
+  M.Name = "resnet-18-wide";
+  addResnetStem(M);
+  addBasicBlock(M, "s1.b0", 64, 56, 64, 1);
+  addBasicBlock(M, "s1.b1", 64, 56, 64, 1);
+  addBasicBlock(M, "s2.b0", 64, 56, 128, 2);
+  addBasicBlock(M, "s2.b1", 128, 28, 128, 1);
+  addBasicBlock(M, "s3.b0", 128, 28, 256, 2);
+  addBasicBlock(M, "s3.b1", 256, 14, 256, 1);
+  // Only the last stage differs from makeResnet18(): 512 -> 640.
+  addBasicBlock(M, "s4.b0", 256, 14, 640, 2);
+  addBasicBlock(M, "s4.b1", 640, 7, 640, 1);
+  M.addDense("fc", 640, 1000);
+  return M;
+}
+
 Model unit::makeResnet50() {
   return makeResnetBottleneck("resnet-50", {3, 4, 6, 3},
                               /*StrideOn3x3=*/false);

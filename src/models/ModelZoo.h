@@ -32,6 +32,15 @@ Model makeInceptionV3();
 Model makeMobilenetV1();
 Model makeMobilenetV2();
 
+/// resnet-18 with only its last stage widened (512 -> 640 channels).
+/// Every layer outside s4 is shape-identical to makeResnet18() and the s4
+/// layers are near-isomorphic to their 512-channel originals, so this is
+/// the transfer-tuning exercise model (docs/TUNING.md): a session warmed
+/// on resnet-18 compiles it with cache hits for the shared stages and
+/// seeded searches for the widened ones. Deliberately NOT part of
+/// paperModels() — the paper evaluates nine models.
+Model makeResnet18Wide();
+
 /// The nine models in the paper's figure order.
 std::vector<Model> paperModels();
 

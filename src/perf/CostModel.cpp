@@ -230,6 +230,21 @@ double unit::gpuLatencySeconds(const KernelStats &S, const GpuMachine &M) {
   return Cycles / (M.FreqGHz * 1e9) + M.KernelLaunchMicros * 1e-6;
 }
 
+double unit::cpuLatencyLowerBoundSeconds(const KernelStats &S,
+                                         const CpuMachine &M) {
+  KernelStats Floor = S;
+  Floor.LoadsPerCall = 1;
+  Floor.HasResidueGuards = false;
+  return cpuLatencySeconds(Floor, M);
+}
+
+double unit::gpuLatencyLowerBoundSeconds(const KernelStats &S,
+                                         const GpuMachine &M) {
+  // No optimistic substitution needed: the GPU formula reads only fields
+  // the caller can reconstruct exactly from the schedule arithmetic.
+  return gpuLatencySeconds(S, M);
+}
+
 double unit::elementwiseLatencySeconds(double Bytes,
                                        double LaunchOverheadSeconds,
                                        double BytesPerSecond) {

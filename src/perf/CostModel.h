@@ -64,6 +64,22 @@ double simdLatencySeconds(const KernelStats &S, const CpuMachine &M);
 /// Modeled seconds on a GPU (tensor-core kernel).
 double gpuLatencySeconds(const KernelStats &S, const GpuMachine &M);
 
+/// Admissible lower bound on cpuLatencySeconds for a schedule whose
+/// structural stats (Calls/Unroll/ParallelExtent/footprints) are known
+/// but whose operand-generation facts are not: prices \p S with
+/// LoadsPerCall = 1 and no residue guards — the optimistic floor of both.
+/// cpuLatencySeconds is monotone nondecreasing in LoadsPerCall (the load
+/// port term and the I-cache body-size penalty both grow with it) and in
+/// the guard flag, so the returned value never exceeds the real latency.
+/// The tuner's early-exit pruning leans on this admissibility: a
+/// candidate whose bound beats the running best cannot be the winner.
+double cpuLatencyLowerBoundSeconds(const KernelStats &S, const CpuMachine &M);
+
+/// GPU analog. gpuLatencySeconds reads neither LoadsPerCall nor the guard
+/// flag, so for exact structural stats this bound *equals* the latency —
+/// GPU pruning is lossless by construction.
+double gpuLatencyLowerBoundSeconds(const KernelStats &S, const GpuMachine &M);
+
 /// Modeled seconds for a pure streaming elementwise pass over \p Bytes
 /// (used for non-fused epilogues and framework glue operators).
 double elementwiseLatencySeconds(double Bytes, double LaunchOverheadSeconds,

@@ -37,6 +37,18 @@ struct CompileOptions {
   /// (compileAllAsync / compileModel), higher-priority requests enter the
   /// pool queue first. Has no effect on a single request.
   int Priority = 0;
+
+  /// Early-exit pruning in the tuner: skip candidates whose admissible
+  /// latency lower bound already exceeds the running best. The compiled
+  /// report is bit-identical to the exhaustive search (docs/TUNING.md),
+  /// so this knob — like SeedCandidate — is excluded from the cache key.
+  bool PruneSearch = true;
+
+  /// Transfer seed: candidate-space index the tuner scores first, so
+  /// pruning starts with a strong running best. < 0 = none. Sessions fill
+  /// this from the cached winners of near-isomorphic keys; it changes
+  /// which candidates get scored, never which one wins.
+  int SeedCandidate = -1;
 };
 
 } // namespace unit

@@ -42,10 +42,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace unit {
@@ -88,6 +90,11 @@ struct SessionStats {
   /// Async submissions that won their key and dispatched a fresh compile
   /// to the pool (plus Bypass jobs, which always compile).
   uint64_t FreshDispatches = 0;
+  /// Cold compiles whose tuner search was seeded from the cached winner
+  /// of a near-isomorphic key (transfer tuning, docs/TUNING.md). Seeding
+  /// never changes the compiled report — only how many candidates the
+  /// pruned search has to score.
+  uint64_t TransferSeeds = 0;
 };
 
 /// What compiling a whole model produced.
@@ -141,6 +148,15 @@ private:
   std::atomic<uint64_t> ContinuationJoinsCount{0};
   std::atomic<uint64_t> InlineReadyHitsCount{0};
   std::atomic<uint64_t> FreshDispatchesCount{0};
+  std::atomic<uint64_t> TransferSeedsCount{0};
+  /// Transfer-tuning index: cache key -> winning candidate index, grouped
+  /// by the key's `target|spechash|kind|` prefix so seeds never cross a
+  /// backend or workload family. Inner std::map keeps deterministic
+  /// iteration (nearest-neighbor ties break by body order, not hash
+  /// order). Touched only on cold compiles — warm hits never take the
+  /// lock. Declared before Pool: workers record winners into it.
+  std::mutex TransferMu;
+  std::unordered_map<std::string, std::map<std::string, int>> TransferIndex;
   std::unique_ptr<ThreadPool> Pool;
 
   /// The pool handed to tuners, or null when candidate-parallelism is off.
@@ -150,6 +166,22 @@ private:
   KernelReport compileKeyed(const CompileRequest &Request,
                             const std::string &Key,
                             bool *ComputedHere = nullptr);
+
+  /// \p Base with SeedCandidate filled from the transfer index when the
+  /// caller left it unset: the winning candidate of the structurally
+  /// nearest already-compiled key in \p Key's group, if any is within the
+  /// distance cutoff. Called only on cold compile paths.
+  CompileOptions optionsWithSeed(const CompileOptions &Base,
+                                 const std::string &Key);
+
+  /// Candidate-space index the transfer index suggests for \p Key, or -1.
+  int transferSeedFor(const std::string &Key);
+
+  /// Feeds \p Key's winning candidate into the transfer index (no-op for
+  /// fallback reports with no winner). Called after fresh compiles and
+  /// peer-fetched reports — every report that proves a winner for a key.
+  void recordTransferWinner(const std::string &Key,
+                            const KernelReport &Report);
 
   /// compileAsync with an optional \p FreshCounter incremented iff the
   /// submitted job runs the compile itself (not a cache join) — the
@@ -228,6 +260,7 @@ public:
     S.ContinuationJoins = ContinuationJoinsCount.load();
     S.InlineReadyHits = InlineReadyHitsCount.load();
     S.FreshDispatches = FreshDispatchesCount.load();
+    S.TransferSeeds = TransferSeedsCount.load();
     return S;
   }
 

@@ -5,6 +5,7 @@
 #include "fabric/Handshake.h"
 #include "runtime/CompileRequest.h"
 #include "runtime/Workload.h"
+#include "target/MachineOverlay.h"
 #include "target/TargetRegistry.h"
 #include "tuner/Tuner.h"
 
@@ -1034,6 +1035,19 @@ Json CompileServer::handleStats(const Json &Request) {
   // value means some session path went back to blocking a pool worker on
   // a join, the regression the engine exists to prevent.
   SessionStats SS = Session->sessionStats();
+  // Tuner economics (docs/TUNING.md). The process-wide counters sit next
+  // to the session's transfer_seeds so one stats probe answers "is the
+  // search actually being cut": pruned_candidates > 0 proves early exit
+  // is biting, transfer_seeds > 0 proves warm starts are flowing, and
+  // refit_active distinguishes measured machine constants from factory
+  // ones. tuner_invocations stays top-level for older dashboards.
+  Json Tuner = Json::object();
+  Tuner.set("invocations", tunerInvocations());
+  Tuner.set("candidates_scored", tunerCandidatesScored());
+  Tuner.set("pruned_candidates", tunerPrunedCandidates());
+  Tuner.set("transfer_seeds", SS.TransferSeeds);
+  Tuner.set("refit_active", machineOverlayActive());
+  J.set("tuner", std::move(Tuner));
   Json SessionJson = Json::object();
   SessionJson.set("parked_joins", SS.ParkedJoins);
   SessionJson.set("continuation_joins", SS.ContinuationJoins);

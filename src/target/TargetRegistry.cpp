@@ -50,9 +50,31 @@ KernelReport reportFromTuned(const TunedKernel &Tuned,
   R.Seconds = Tuned.LatencySeconds;
   R.Tensorized = true;
   R.BestCandidateIndex = Tuned.BestCandidateIndex;
-  R.CandidatesTried = Tuned.CandidatesTried;
+  // Reports are cached, persisted, and exchanged between peers, so they
+  // must stay a pure function of (workload, target, budget): the searched
+  // space size qualifies, the pruned search's scored count (which varies
+  // with seeding and thread timing) does not. TunedKernel keeps the
+  // scored-only telemetry for in-process callers.
+  R.CandidatesTried = Tuned.SpaceSize;
   R.IntrinsicName = IntrName;
   return R;
+}
+
+/// CompileOptions -> TunerOptions for one search. \p SpaceOffset /
+/// \p ViewSpace translate a concatenated-enumeration seed (the GPU
+/// backend's fuse-enum reports index [fused..., unfused...]) into this
+/// view's local space; pass 0 / -1 for single-view backends.
+TunerOptions tunerOptions(const CompileOptions &Options, int SpaceOffset = 0,
+                          int ViewSpace = -1) {
+  TunerOptions Opts;
+  Opts.MaxCandidates = Options.MaxCandidates;
+  Opts.Prune = Options.PruneSearch;
+  if (Options.SeedCandidate >= 0) {
+    int Local = Options.SeedCandidate - SpaceOffset;
+    if (ViewSpace < 0 || (Local >= 0 && Local < ViewSpace))
+      Opts.SeedCandidate = Local;
+  }
+  return Opts;
 }
 
 int64_t dataParallelExtent(const ComputeOpRef &Op) {
@@ -169,15 +191,15 @@ KernelReport CpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
     return Report;
   }
   TunedKernel Tuned =
-      tuneCpu(Laid.Op, *Match, Spec.Cpu, Pool, Options.MaxCandidates);
+      tuneCpu(Laid.Op, *Match, Spec.Cpu, Pool, tunerOptions(Options));
   return reportFromTuned(Tuned, Match->Intrinsic->name());
 }
 
 KernelReport CpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
                                    const CompileOptions &Options) const {
   if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
-    TunedKernel Tuned = tuneCpu(Op, *Match, Spec.Cpu, Pool,
-                                Options.MaxCandidates);
+    TunedKernel Tuned =
+        tuneCpu(Op, *Match, Spec.Cpu, Pool, tunerOptions(Options));
     return reportFromTuned(Tuned, Match->Intrinsic->name());
   }
   KernelReport Report;
@@ -229,7 +251,7 @@ KernelReport CpuBackend::compileConv3d(const Conv3dLayer &Layer,
   if (!Match)
     reportFatalError("conv3d failed to tensorize");
   TunedKernel Tuned =
-      tuneCpu(Laid.Op, *Match, Spec.Cpu, Pool, Options.MaxCandidates);
+      tuneCpu(Laid.Op, *Match, Spec.Cpu, Pool, tunerOptions(Options));
   return reportFromTuned(Tuned, Match->Intrinsic->name());
 }
 
@@ -284,8 +306,13 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
     std::optional<MatchResult> Match = firstMatch(Laid.Op, Intrs);
     if (!Match)
       continue;
+    // A transfer seed indexes the concatenated enumeration; hand each
+    // view the part of it that falls in its own space (the running
+    // CandidatesTried is exactly this view's offset).
     TunedKernel Tuned =
-        tuneGpu(Laid.Op, *Match, Spec.Gpu, Pool, Options.MaxCandidates);
+        tuneGpu(Laid.Op, *Match, Spec.Gpu, Pool,
+                tunerOptions(Options, Report.CandidatesTried,
+                             Options.MaxCandidates));
     double Rearrange = Laid.RearrangeBytes /
                        (Spec.Gpu.DramBytesPerCycle * Spec.Gpu.FreqGHz * 1e9);
     double Total = Tuned.LatencySeconds + Rearrange;
@@ -299,7 +326,7 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
           Report.CandidatesTried + Tuned.BestCandidateIndex;
       Report.IntrinsicName = Match->Intrinsic->name();
     }
-    Report.CandidatesTried += Tuned.CandidatesTried;
+    Report.CandidatesTried += Tuned.SpaceSize;
   }
   if (Best >= 1e30)
     Best = gpuCudaCoreConvSeconds(Layer, Spec.Gpu, 2.0);
@@ -310,8 +337,8 @@ KernelReport GpuBackend::compileConv(const ConvLayer &Layer, ThreadPool *Pool,
 KernelReport GpuBackend::compileOp(const ComputeOpRef &Op, ThreadPool *Pool,
                                    const CompileOptions &Options) const {
   if (std::optional<MatchResult> Match = firstMatch(Op, intrinsics())) {
-    TunedKernel Tuned = tuneGpu(Op, *Match, Spec.Gpu, Pool,
-                                Options.MaxCandidates);
+    TunedKernel Tuned =
+        tuneGpu(Op, *Match, Spec.Gpu, Pool, tunerOptions(Options));
     return reportFromTuned(Tuned, Match->Intrinsic->name());
   }
   // CUDA-core fallback for untensorizable ops: roofline over total MACs
@@ -406,6 +433,11 @@ TargetSpec TargetRegistry::specFor(const std::string &Id) const {
     reportFatalError("TargetRegistry: no spec registered for '" + Id +
                      "' (hand-written backends carry no spec)");
   return It->second;
+}
+
+bool TargetRegistry::hasSpecFor(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Specs.count(Id) != 0;
 }
 
 std::vector<TargetBackendRef> TargetRegistry::all() const {

@@ -220,6 +220,10 @@ public:
   /// unknown or backed by a hand-written backend.
   TargetSpec specFor(const std::string &Id) const;
 
+  /// True when specFor(\p Id) would succeed — the non-aborting probe
+  /// overlay loaders use before dereferencing untrusted target ids.
+  bool hasSpecFor(const std::string &Id) const;
+
   std::vector<TargetBackendRef> all() const;
 };
 

@@ -130,38 +130,222 @@ TensorizePlan unit::buildGpuPlan(const ComputeOpRef &Op,
 
 namespace {
 
-/// Shared candidate search. Builds and scores every candidate — serially,
-/// or concurrently on \p Pool — into an index-stable slot vector, then
-/// picks the winner with a strict-less argmin over ascending indices: the
-/// same "first minimal latency wins" rule the sequential loop applied, so
+/// Process-wide tuner telemetry; lets tests assert that a warm-from-disk
+/// session performs literally zero tuning, and quantifies what pruning
+/// and transfer seeding saved (the server's `tuner` stats section).
+std::atomic<uint64_t> TunerRuns{0};
+std::atomic<uint64_t> ScoredTotal{0};
+std::atomic<uint64_t> PrunedTotal{0};
+std::atomic<uint64_t> SeededTotal{0};
+
+/// Extent/cost facts the lower bounds need, gathered once per search:
+/// the pre-schedule outer loop extents (from one reorganizeLoops pass)
+/// and the candidate-independent KernelStats fields. Both plan builders
+/// operate on these extents with pure integer arithmetic, so the bound
+/// functions can replay that arithmetic without building a schedule.
+struct BoundContext {
+  std::vector<int64_t> Dp;     ///< OuterDataParallel extents, plan order.
+  std::vector<int64_t> Reduce; ///< OuterReduce extents, plan order.
+  IntrinsicCost Cost;
+  double OutputBytes = 0, InputBytes = 0, WeightBytes = 0;
+};
+
+BoundContext makeBoundContext(const ComputeOpRef &Op,
+                              const MatchResult &Match) {
+  BoundContext Ctx;
+  TensorizePlan Plan = reorganizeLoops(Op, Match);
+  for (const IterVar &IV : Plan.OuterDataParallel)
+    Ctx.Dp.push_back(IV->extent());
+  for (const IterVar &IV : Plan.OuterReduce)
+    Ctx.Reduce.push_back(IV->extent());
+  Ctx.Cost = Match.Intrinsic->cost();
+  // Same footprint convention as analyzeTensorized: the last input of a
+  // multi-input op acts like weights.
+  auto FootprintBytes = [](const TensorRef &T) {
+    return static_cast<double>(T->numElements()) * T->dtype().lanesBytes();
+  };
+  Ctx.OutputBytes = FootprintBytes(Op->output());
+  const std::vector<TensorRef> &Inputs = Op->inputs();
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    if (I + 1 == Inputs.size() && Inputs.size() >= 2)
+      Ctx.WeightBytes += FootprintBytes(Inputs[I]);
+    else
+      Ctx.InputBytes += FootprintBytes(Inputs[I]);
+  }
+  return Ctx;
+}
+
+KernelStats synthesizedStats(const BoundContext &Ctx, double Calls,
+                             double Unroll, double ParallelExtent,
+                             double SplitK) {
+  KernelStats S;
+  S.Calls = Calls;
+  S.Cost = Ctx.Cost;
+  S.MacsPerCall = Ctx.Cost.MacsPerInstr;
+  S.Unroll = Unroll;
+  S.ParallelExtent = ParallelExtent;
+  S.SplitK = SplitK;
+  S.OutputBytes = Ctx.OutputBytes;
+  S.InputBytes = Ctx.InputBytes;
+  S.WeightBytes = Ctx.WeightBytes;
+  return S;
+}
+
+/// Admissible lower bound on what scoring \p Pair would report: replays
+/// buildCpuPlan's unroll-split and fuse arithmetic on the raw extents —
+/// Calls, Unroll, and ParallelExtent come out exact — and prices the
+/// result with LoadsPerCall/guards at their optimistic floor
+/// (cpuLatencyLowerBoundSeconds). Never above the real latency.
+double cpuPairLowerBound(const BoundContext &Ctx, const CpuTuningPair &Pair,
+                         const CpuMachine &Machine) {
+  std::vector<int64_t> Dp = Ctx.Dp;
+  double Unroll = 1;
+  int64_t Budget = std::max<int64_t>(1, Pair.UnrollFactor);
+  for (int I = static_cast<int>(Dp.size()) - 1; I >= 0 && Budget > 1; --I) {
+    int64_t Factor = chooseUnrollFactor(Budget, Dp[I]);
+    if (Factor <= 1)
+      continue;
+    Dp[I] = (Dp[I] + Factor - 1) / Factor;
+    Unroll *= static_cast<double>(Factor);
+    Budget = (Budget + Factor - 1) / Factor;
+  }
+  double Chunks = 1;
+  if (!Dp.empty()) {
+    int64_t Prod = Dp[0];
+    for (size_t Next = 1; Next < Dp.size(); ++Next) {
+      if (Prod * Dp[Next] > Pair.ParallelLimit)
+        break;
+      Prod *= Dp[Next];
+    }
+    Chunks = static_cast<double>(Prod);
+  }
+  double Calls = Unroll;
+  for (int64_t E : Dp)
+    Calls *= static_cast<double>(E);
+  for (int64_t E : Ctx.Reduce)
+    Calls *= static_cast<double>(E);
+  return cpuLatencyLowerBoundSeconds(
+      synthesizedStats(Ctx, Calls, Unroll, Chunks, /*SplitK=*/1), Machine);
+}
+
+/// GPU analog of cpuPairLowerBound. gpuLatencySeconds reads no operand
+/// loads or residue guards, and every stat it does read is replayed
+/// exactly here — so this bound *equals* the latency the scorer would
+/// compute, making GPU pruning skip precisely the losing candidates.
+double gpuConfigLowerBound(const BoundContext &Ctx,
+                           const GpuTuningConfig &Config,
+                           const GpuMachine &Machine) {
+  std::vector<int64_t> Dp = Ctx.Dp;
+  std::vector<int64_t> Reduce = Ctx.Reduce;
+  double Unroll = 1;
+  double SplitK = 1;
+  int64_t Segments = 0;
+  if (Config.SplitK > 1 && !Reduce.empty()) {
+    int64_t K = Reduce[0];
+    int64_t Want = std::min(Config.SplitK, K);
+    int64_t Factor = (K + Want - 1) / Want;
+    Segments = (K + Factor - 1) / Factor; // Split outer = the segments.
+    Reduce[0] = Factor;                   // Split inner = serial rest.
+    SplitK = static_cast<double>(Segments);
+  }
+  for (size_t I = 0; I < Dp.size() && I < 2; ++I) {
+    int64_t Factor = std::min(Config.P, Dp[I]);
+    if (Factor <= 1)
+      continue;
+    Dp[I] = (Dp[I] + Factor - 1) / Factor;
+    Unroll *= static_cast<double>(Factor);
+  }
+  double Par = Dp.empty() ? 1.0
+                          : static_cast<double>(Dp[0]) *
+                                (Dp.size() > 1 ? static_cast<double>(Dp[1])
+                                               : 1.0);
+  double Calls = Unroll;
+  for (int64_t E : Dp)
+    Calls *= static_cast<double>(E);
+  if (Segments > 0)
+    Calls *= static_cast<double>(Segments);
+  for (int64_t E : Reduce)
+    Calls *= static_cast<double>(E);
+  return gpuLatencyLowerBoundSeconds(
+      synthesizedStats(Ctx, Calls, Unroll, Par, SplitK), Machine);
+}
+
+/// Shared candidate search. Builds and scores candidates — serially, or
+/// concurrently on \p Pool — into an index-stable slot vector, then picks
+/// the winner with a strict-less argmin over ascending indices: the same
+/// "first minimal latency wins" rule the sequential loop applied, so
 /// thread timing cannot change the result. Only stats are retained per
 /// slot; the winning plan is rebuilt once at the end (plan construction
 /// is deterministic), so peak memory stays one plan regardless of the
 /// candidate count.
-template <typename Candidate, typename BuildFn, typename LatencyFn>
+///
+/// With Opts.Prune, a candidate is skipped when \p Bound (admissible: no
+/// candidate's true latency is below its bound) strictly exceeds the best
+/// latency scored so far. A skipped candidate therefore satisfies
+/// true >= bound > best-at-check >= final-best — it can neither win nor
+/// tie the winner, so the argmin over the scored subset returns the exact
+/// exhaustive winner. Under a pool the running best is a racy atomic; a
+/// thread reading a stale (larger) best prunes less, never wrongly, so
+/// the guarantee holds regardless of interleaving while the *set* of
+/// scored candidates may vary run to run. Opts.SeedCandidate is scored
+/// before the sweep so the running best starts strong.
+template <typename Candidate, typename BuildFn, typename LatencyFn,
+          typename BoundFn>
 TunedKernel searchCandidates(const std::vector<Candidate> &Candidates,
                              const BuildFn &Build, const LatencyFn &Latency,
+                             const BoundFn &Bound, const TunerOptions &Opts,
                              ThreadPool *Pool) {
   struct Scored {
     KernelStats Stats;
-    double LatencySeconds;
+    double LatencySeconds = 0;
+    bool WasScored = false;
   };
   std::vector<Scored> Slots(Candidates.size());
+  std::atomic<double> RunningBest{1e30};
   auto ScoreOne = [&](size_t I) {
     TensorizePlan Plan = Build(Candidates[I]);
     KernelStats Stats = analyzeTensorized(Plan);
-    Slots[I] = Scored{Stats, Latency(Stats)};
+    double L = Latency(Stats);
+    Slots[I] = Scored{Stats, L, true};
+    double Cur = RunningBest.load(std::memory_order_relaxed);
+    while (L < Cur && !RunningBest.compare_exchange_weak(
+                          Cur, L, std::memory_order_relaxed)) {
+    }
+  };
+
+  bool Seeded = Opts.SeedCandidate >= 0 &&
+                static_cast<size_t>(Opts.SeedCandidate) < Candidates.size();
+  if (Seeded) {
+    ScoreOne(static_cast<size_t>(Opts.SeedCandidate));
+    SeededTotal.fetch_add(1);
+  }
+
+  std::atomic<uint64_t> Pruned{0};
+  auto Visit = [&](size_t I) {
+    if (Slots[I].WasScored)
+      return; // The seed, already scored.
+    if (Opts.Prune) {
+      double Best = RunningBest.load(std::memory_order_relaxed);
+      if (Best < 1e30 && Bound(Candidates[I]) > Best) {
+        Pruned.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    ScoreOne(I);
   };
   if (Pool && Candidates.size() > 1)
-    Pool->parallelFor(Candidates.size(), ScoreOne);
+    Pool->parallelFor(Candidates.size(), Visit);
   else
     for (size_t I = 0; I < Candidates.size(); ++I)
-      ScoreOne(I);
+      Visit(I);
 
   TunedKernel Best;
   Best.LatencySeconds = 1e30;
   for (size_t I = 0; I < Slots.size(); ++I) {
+    if (!Slots[I].WasScored)
+      continue;
     Best.CandidateLatencies.push_back(Slots[I].LatencySeconds);
+    Best.ScoredIndices.push_back(static_cast<int>(I));
     if (Slots[I].LatencySeconds < Best.LatencySeconds) {
       Best.LatencySeconds = Slots[I].LatencySeconds;
       Best.Stats = Slots[I].Stats;
@@ -170,7 +354,10 @@ TunedKernel searchCandidates(const std::vector<Candidate> &Candidates,
   }
   if (Best.BestCandidateIndex >= 0)
     Best.Plan = Build(Candidates[static_cast<size_t>(Best.BestCandidateIndex)]);
-  Best.CandidatesTried = static_cast<int>(Candidates.size());
+  Best.CandidatesTried = static_cast<int>(Best.CandidateLatencies.size());
+  Best.SpaceSize = static_cast<int>(Candidates.size());
+  ScoredTotal.fetch_add(static_cast<uint64_t>(Best.CandidatesTried));
+  PrunedTotal.fetch_add(Pruned.load());
   return Best;
 }
 
@@ -184,25 +371,38 @@ void truncateCandidates(std::vector<Candidate> &Candidates,
 
 } // namespace
 
-namespace {
-/// Process-wide count of tuner searches; lets tests assert that a
-/// warm-from-disk session performs literally zero tuning.
-std::atomic<uint64_t> TunerRuns{0};
-} // namespace
-
 uint64_t unit::tunerInvocations() { return TunerRuns.load(); }
+uint64_t unit::tunerCandidatesScored() { return ScoredTotal.load(); }
+uint64_t unit::tunerPrunedCandidates() { return PrunedTotal.load(); }
+uint64_t unit::tunerTransferSeeds() { return SeededTotal.load(); }
 
 TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const CpuMachine &Machine, ThreadPool *Pool,
-                          int MaxCandidates) {
+                          const TunerOptions &Opts) {
   TunerRuns.fetch_add(1);
   std::vector<CpuTuningPair> Pairs = defaultCpuTuningPairs();
-  truncateCandidates(Pairs, MaxCandidates);
+  truncateCandidates(Pairs, Opts.MaxCandidates);
+  // The bound context costs one plan build; only pay it when pruning can
+  // use it.
+  std::optional<BoundContext> Ctx;
+  if (Opts.Prune)
+    Ctx.emplace(makeBoundContext(Op, Match));
   return searchCandidates(
       Pairs,
       [&](const CpuTuningPair &Pair) { return buildCpuPlan(Op, Match, Pair); },
       [&](const KernelStats &S) { return cpuLatencySeconds(S, Machine); },
-      Pool);
+      [&](const CpuTuningPair &Pair) {
+        return cpuPairLowerBound(*Ctx, Pair, Machine);
+      },
+      Opts, Pool);
+}
+
+TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const CpuMachine &Machine, ThreadPool *Pool,
+                          int MaxCandidates) {
+  TunerOptions Opts;
+  Opts.MaxCandidates = MaxCandidates;
+  return tuneCpu(Op, Match, Machine, Pool, Opts);
 }
 
 TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
@@ -212,17 +412,31 @@ TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
 
 TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const GpuMachine &Machine, ThreadPool *Pool,
-                          int MaxCandidates) {
+                          const TunerOptions &Opts) {
   TunerRuns.fetch_add(1);
   std::vector<GpuTuningConfig> Configs = defaultGpuTuningConfigs();
-  truncateCandidates(Configs, MaxCandidates);
+  truncateCandidates(Configs, Opts.MaxCandidates);
+  std::optional<BoundContext> Ctx;
+  if (Opts.Prune)
+    Ctx.emplace(makeBoundContext(Op, Match));
   return searchCandidates(
       Configs,
       [&](const GpuTuningConfig &Config) {
         return buildGpuPlan(Op, Match, Config);
       },
       [&](const KernelStats &S) { return gpuLatencySeconds(S, Machine); },
-      Pool);
+      [&](const GpuTuningConfig &Config) {
+        return gpuConfigLowerBound(*Ctx, Config, Machine);
+      },
+      Opts, Pool);
+}
+
+TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
+                          const GpuMachine &Machine, ThreadPool *Pool,
+                          int MaxCandidates) {
+  TunerOptions Opts;
+  Opts.MaxCandidates = MaxCandidates;
+  return tuneGpu(Op, Match, Machine, Pool, Opts);
 }
 
 TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,

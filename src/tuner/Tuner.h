@@ -42,13 +42,46 @@ TensorizePlan buildGpuPlan(const ComputeOpRef &Op, const MatchResult &Match,
                            const GpuTuningConfig &Config);
 
 /// A tuned kernel with search telemetry.
+///
+/// Under early-exit pruning (TunerOptions::Prune) the search may skip
+/// candidates whose admissible lower bound already exceeds the running
+/// best. The *winner* fields — Plan, Stats, LatencySeconds, and
+/// BestCandidateIndex — are guaranteed bit-identical to the exhaustive
+/// search (the bound is admissible, so a skipped candidate can never win
+/// or tie), but the *coverage* fields describe only what was actually
+/// scored: CandidatesTried counts scored candidates, CandidateLatencies
+/// and ScoredIndices list them in candidate-index order, and SpaceSize
+/// records the full (budget-truncated) space the indices refer to.
+/// BestCandidateIndex is always an index into that space — stable across
+/// pruning and usable as a transfer seed for another search.
 struct TunedKernel {
   TensorizePlan Plan;            ///< The winning schedule.
   KernelStats Stats;
   double LatencySeconds = 0.0;
-  int BestCandidateIndex = -1;   ///< Position in the candidate list.
-  int CandidatesTried = 0;
-  std::vector<double> CandidateLatencies; ///< One per candidate tried.
+  int BestCandidateIndex = -1;   ///< Index into the candidate space.
+  int CandidatesTried = 0;       ///< Candidates actually scored.
+  int SpaceSize = 0;             ///< Candidate space searched over.
+  std::vector<double> CandidateLatencies; ///< One per scored candidate.
+  std::vector<int> ScoredIndices;         ///< Space index of each entry.
+};
+
+/// Knobs for one tuner search.
+struct TunerOptions {
+  /// Cap on the candidate space: > 0 truncates the list to its first
+  /// MaxCandidates entries (a prefix, so indices keep their meaning);
+  /// <= 0 searches the full space.
+  int MaxCandidates = -1;
+  /// Early-exit pruning: skip a candidate when an admissible lower bound
+  /// on its modeled latency (perf/CostModel.h *LatencyLowerBoundSeconds)
+  /// strictly exceeds the best latency scored so far. The winner stays
+  /// bit-identical to the exhaustive search; only coverage telemetry
+  /// (and the work done) changes.
+  bool Prune = false;
+  /// Transfer seed: score this space index first so pruning has a strong
+  /// running best from candidate one. Out-of-range values are ignored.
+  /// CompilerSession derives seeds from the cached winners of
+  /// near-isomorphic keys (docs/TUNING.md).
+  int SeedCandidate = -1;
 };
 
 /// Searches the CPU pair list (optionally truncated to \p MaxCandidates).
@@ -70,10 +103,35 @@ TunedKernel tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                     const GpuMachine &Machine, ThreadPool *Pool,
                     int MaxCandidates = -1);
 
+/// Full-option search entry points. With Prune off and no seed these are
+/// exactly the legacy searches above (which forward here). With pruning
+/// on, winner fields stay bit-identical — sequential or pool-parallel —
+/// while the scored subset may differ run to run under a pool (threads
+/// race the running best; a stale best only prunes *less*, never wrongly).
+TunedKernel tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
+                    const CpuMachine &Machine, ThreadPool *Pool,
+                    const TunerOptions &Opts);
+TunedKernel tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
+                    const GpuMachine &Machine, ThreadPool *Pool,
+                    const TunerOptions &Opts);
+
 /// Monotone process-wide count of tuner searches run so far (tuneCpu +
 /// tuneGpu). The persistence tests assert a warm-from-disk model compile
 /// leaves this untouched — zero tuner invocations.
 uint64_t tunerInvocations();
+
+/// Monotone process-wide count of candidates actually scored (plan built
+/// + cost model run). With pruning this grows slower than invocations x
+/// space size — the savings the server's `tuner` stats section reports.
+uint64_t tunerCandidatesScored();
+
+/// Monotone process-wide count of candidates skipped by early-exit
+/// pruning (lower bound above the running best).
+uint64_t tunerPrunedCandidates();
+
+/// Monotone process-wide count of searches that applied a valid transfer
+/// seed (TunerOptions::SeedCandidate in range).
+uint64_t tunerTransferSeeds();
 
 /// Ablation stages for paper Fig. 10 (latencies in seconds).
 struct CpuAblation {

@@ -33,6 +33,11 @@ std::optional<Model> zooModel(const std::string &Name) {
   for (Model &M : paperModels())
     if (M.Name == Name)
       return std::move(M);
+  // The transfer-tuning exercise model (docs/TUNING.md) is addressable
+  // here too, so CI can warm a server on resnet-18 and then watch
+  // transfer_seeds move while the widened variant compiles.
+  if (Name == "resnet-18-wide")
+    return makeResnet18Wide();
   return std::nullopt;
 }
 

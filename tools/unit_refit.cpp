@@ -1,0 +1,191 @@
+//===- tools/unit_refit.cpp - Refit machine constants from measurements ----===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+// Turns the host_probe section of a micro_compile BENCH_compile.json into
+// a machine-overlay file (docs/TUNING.md "Cost-model refit"): the two
+// machine-model constants a host can actually measure cheaply — DRAM
+// bandwidth and parallel-region fork/join overhead — are recomputed from
+// the measurements, everything else keeps its registered value.
+//
+//   unit_refit --bench BENCH_compile.json [--target ID]...
+//              [--out refit_overlay.json] [--apply]
+//
+// The overlay is consumed by `unit_serve --machine-overlay FILE` (or any
+// host calling applyMachineOverlayFile); --apply additionally loads it
+// into this process and prints the refit spec hashes, which doubles as an
+// end-to-end validation of the generated file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "target/MachineOverlay.h"
+#include "target/TargetRegistry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace unit;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --bench FILE [options]\n"
+      "  --bench FILE   BENCH_compile.json with a host_probe section\n"
+      "                 (written by the micro_compile benchmark)\n"
+      "  --target ID    CPU target to refit (repeatable; default: every\n"
+      "                 spec-registered CPU target)\n"
+      "  --out FILE     overlay file to write (default refit_overlay.json)\n"
+      "  --apply        also apply the overlay to this process and print\n"
+      "                 the refit spec hashes (validates the file)\n",
+      Argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string BenchPath;
+  std::string OutPath = "refit_overlay.json";
+  std::vector<std::string> Targets;
+  bool Apply = false;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextValue = [&]() -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--bench")
+      BenchPath = NextValue();
+    else if (Arg == "--target")
+      Targets.push_back(NextValue());
+    else if (Arg == "--out")
+      OutPath = NextValue();
+    else if (Arg == "--apply")
+      Apply = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (BenchPath.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(BenchPath, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", BenchPath.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  std::optional<Json> Bench = Json::parse(Buf.str(), &Err);
+  if (!Bench) {
+    std::fprintf(stderr, "error: %s: %s\n", BenchPath.c_str(), Err.c_str());
+    return 1;
+  }
+  const Json *Probe = Bench->get("host_probe");
+  if (!Probe || !Probe->isObject()) {
+    std::fprintf(stderr,
+                 "error: %s has no host_probe section (re-run the "
+                 "micro_compile benchmark to measure one)\n",
+                 BenchPath.c_str());
+    return 1;
+  }
+  double MemcpyGbps = Probe->num("memcpy_gbps", 0);
+  double ForkJoinUs = Probe->num("fork_join_us", 0);
+  if (!std::isfinite(MemcpyGbps) || MemcpyGbps <= 0 ||
+      !std::isfinite(ForkJoinUs) || ForkJoinUs <= 0) {
+    std::fprintf(stderr,
+                 "error: host_probe needs positive memcpy_gbps and "
+                 "fork_join_us\n");
+    return 1;
+  }
+
+  TargetRegistry &Registry = TargetRegistry::instance();
+  if (Targets.empty())
+    for (const TargetBackendRef &B : Registry.all())
+      if (Registry.hasSpecFor(B->id()) &&
+          Registry.specFor(B->id()).Engine == TargetSpec::EngineKind::CpuDot)
+        Targets.push_back(B->id());
+
+  Json RefitArray = Json::array();
+  for (const std::string &Id : Targets) {
+    if (!Registry.lookup(Id) || !Registry.hasSpecFor(Id)) {
+      std::fprintf(stderr, "error: '%s' is not a spec-registered target\n",
+                   Id.c_str());
+      return 1;
+    }
+    TargetSpec Spec = Registry.specFor(Id);
+    if (Spec.Engine != TargetSpec::EngineKind::CpuDot) {
+      std::fprintf(stderr,
+                   "error: '%s' is a GPU target; the host probe measures "
+                   "the host CPU\n",
+                   Id.c_str());
+      return 1;
+    }
+    // The probe measures wall-clock quantities; the model wants cycles at
+    // the spec's frequency: bytes/cycle = (GB/s) / GHz, and cycles =
+    // microseconds * GHz * 1000.
+    double DramBytesPerCycle = MemcpyGbps / Spec.Cpu.FreqGHz;
+    double ForkJoinCycles = ForkJoinUs * Spec.Cpu.FreqGHz * 1e3;
+    std::printf("%-10s dram_bytes_per_cycle %7.2f -> %7.2f | "
+                "fork_join_cycles %8.0f -> %8.0f\n",
+                Id.c_str(), Spec.Cpu.DramBytesPerCycle, DramBytesPerCycle,
+                Spec.Cpu.ForkJoinCycles, ForkJoinCycles);
+    Json Cpu = Json::object();
+    Cpu.set("dram_bytes_per_cycle", DramBytesPerCycle);
+    Cpu.set("fork_join_cycles", ForkJoinCycles);
+    Json Entry = Json::object();
+    Entry.set("target", Id);
+    Entry.set("cpu", std::move(Cpu));
+    RefitArray.push(std::move(Entry));
+  }
+  if (RefitArray.items().empty()) {
+    std::fprintf(stderr, "error: no CPU targets to refit\n");
+    return 1;
+  }
+
+  Json Overlay = Json::object();
+  Overlay.set("version", 1);
+  Overlay.set("refit", std::move(RefitArray));
+  std::string Text = Overlay.dump();
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(Out, "%s\n", Text.c_str());
+  std::fclose(Out);
+  std::printf("wrote %s (%zu targets)\n", OutPath.c_str(),
+              Overlay.get("refit")->items().size());
+
+  if (Apply) {
+    if (!applyMachineOverlayText(Text, &Err)) {
+      std::fprintf(stderr, "error: generated overlay failed to apply: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    for (const Json &Entry : Overlay.get("refit")->items()) {
+      std::string Id = Entry.str("target");
+      std::printf("%-10s refit spec hash %s\n", Id.c_str(),
+                  Registry.specFor(Id).hash().c_str());
+    }
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "server/CompileServer.h"
+#include "target/MachineOverlay.h"
 
 #include <csignal>
 #include <cstdio>
@@ -53,7 +54,11 @@ void usage(const char *Argv0) {
       "                           --listen-tcp / --peer)\n"
       "  --peer HOST:PORT         exchange tuned kernels with this peer\n"
       "                           daemon (repeatable; same-fingerprint\n"
-      "                           peers only)\n",
+      "                           peers only)\n"
+      "  --machine-overlay FILE   refit machine-model constants from FILE\n"
+      "                           (written by unit_refit) before serving;\n"
+      "                           moves the spec hashes, so a persisted\n"
+      "                           cache tuned without it starts cold\n",
       Argv0);
 }
 
@@ -86,6 +91,7 @@ std::string readSecretFile(const std::string &Path) {
 
 int main(int argc, char **argv) {
   ServerConfig Config;
+  std::string OverlayPath;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NextValue = [&]() -> const char * {
@@ -120,6 +126,8 @@ int main(int argc, char **argv) {
       Config.Secret = readSecretFile(NextValue());
     else if (Arg == "--peer")
       Config.Peers.push_back(NextValue());
+    else if (Arg == "--machine-overlay")
+      OverlayPath = NextValue();
     else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -132,6 +140,18 @@ int main(int argc, char **argv) {
   if (Config.SocketPath.empty()) {
     usage(argv[0]);
     return 2;
+  }
+
+  // Refit before the server constructs its session: the new spec hashes
+  // must be live before the persisted cache's fingerprint is checked.
+  if (!OverlayPath.empty()) {
+    std::string Err;
+    if (!applyMachineOverlayFile(OverlayPath, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("unit_serve: applied machine overlay %s\n",
+                OverlayPath.c_str());
   }
 
   std::signal(SIGINT, onSignal);
