@@ -23,6 +23,7 @@
 #include "tuner/Tuner.h"
 #include "target/TargetRegistry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -398,7 +399,89 @@ int main() {
               "recompile all models %.2f ms (zero tuner invocations)\n",
               StopSeconds * 1e3, RestartStartSeconds * 1e3,
               RestartWall * 1e3);
+
+  // Observability overhead: the same warm per-layer blocking wave against
+  // this (tracing-on, the default) daemon, then — after it stops and
+  // uninstalls the process-wide recorder, so spans are truly inert —
+  // against a daemon with TraceEnabled=false warm-loaded from the same
+  // persisted cache. Spans and histogram records are on the hot path of
+  // every request, so this is the direct price of leaving them compiled
+  // in; best-of-3 each side absorbs CI scheduler noise, and the 0.9
+  // floor is the instrument-by-default contract.
+  double TraceOnRps = 0;
+  for (int Attempt = 0; Attempt < 3; ++Attempt) {
+    size_t OnLayers = 0, OnHits = 0;
+    double OnWall =
+        runWaveWith(runClientBlockingLayers, SocketPath, "trace-on", Models,
+                    ClientCount, OnLayers, OnHits);
+    if (OnHits != OnLayers) {
+      std::fprintf(stderr, "FAIL: tracing-on warm wave missed the cache "
+                           "(%zu/%zu hits)\n",
+                   OnHits, OnLayers);
+      return 1;
+    }
+    TraceOnRps =
+        std::max(TraceOnRps, static_cast<double>(OnLayers) / OnWall);
+  }
+
+  // Tail latency of a warm compile as the server's own histograms see it
+  // (the metrics message the dashboards would scrape) — read before the
+  // daemon goes down.
+  double WarmP99Ms = 0;
+  {
+    CompileClient MetricsClient;
+    std::optional<Json> M;
+    if (MetricsClient.connect(SocketPath, &Err) &&
+        MetricsClient.hello("bench-metrics", 0, &Err))
+      M = MetricsClient.metrics(&Err);
+    if (!M) {
+      std::fprintf(stderr, "FAIL: metrics: %s\n", Err.c_str());
+      return 1;
+    }
+    if (const Json *Hists = M->get("histograms"))
+      if (const Json *Warm = Hists->get("unit_compile_warm_seconds"))
+        WarmP99Ms = Warm->num("p99", 0) * 1e3;
+    std::printf("warm p99 (server histogram): %.3f ms\n", WarmP99Ms);
+  }
   Server->stop();
+
+  ServerConfig NoTraceConfig;
+  NoTraceConfig.SocketPath = SocketPath + ".notrace";
+  NoTraceConfig.CacheFile = CachePath;
+  NoTraceConfig.PersistIntervalSeconds = 0;
+  NoTraceConfig.TraceEnabled = false;
+  auto NoTraceServer = std::make_unique<CompileServer>(NoTraceConfig);
+  if (!NoTraceServer->start(&Err)) {
+    std::fprintf(stderr, "FAIL: tracing-off server: %s\n", Err.c_str());
+    return 1;
+  }
+  double TraceOffRps = 0;
+  for (int Attempt = 0; Attempt < 3; ++Attempt) {
+    size_t OffLayers = 0, OffHits = 0;
+    double OffWall =
+        runWaveWith(runClientBlockingLayers, NoTraceConfig.SocketPath,
+                    "trace-off", Models, ClientCount, OffLayers, OffHits);
+    if (OffHits != OffLayers) {
+      std::fprintf(stderr, "FAIL: tracing-off warm wave missed the cache "
+                           "(%zu/%zu hits)\n",
+                   OffHits, OffLayers);
+      return 1;
+    }
+    TraceOffRps =
+        std::max(TraceOffRps, static_cast<double>(OffLayers) / OffWall);
+  }
+  NoTraceServer->stop();
+  NoTraceServer.reset();
+  bool TracingOk = TraceOnRps >= 0.9 * TraceOffRps;
+  if (!TracingOk)
+    std::fprintf(stderr,
+                 "FAIL: tracing-on warm rps (%.0f) below 0.9x tracing-off "
+                 "(%.0f)\n",
+                 TraceOnRps, TraceOffRps);
+  std::printf("tracing overhead: on %.0f layers/s vs off %.0f layers/s — "
+              "%.3fx\n",
+              TraceOnRps, TraceOffRps, TraceOnRps / TraceOffRps);
+
   std::remove(CachePath.c_str());
 
   // Fabric cluster: a hub daemon listening on TCP plus two peered
@@ -552,6 +635,10 @@ int main() {
       "  \"restart_start_load_ms\": %.3f,\n"
       "  \"restart_recompile_ms\": %.3f,\n"
       "  \"restart_zero_tuner_invocations\": %s,\n"
+      "  \"warm_p99_ms\": %.4f,\n"
+      "  \"tracing_on_warm_layer_rps\": %.1f,\n"
+      "  \"tracing_off_warm_layer_rps\": %.1f,\n"
+      "  \"tracing_overhead_ok\": %s,\n"
       "  \"fabric_daemons\": %zu,\n"
       "  \"fabric_distinct_kernels\": %zu,\n"
       "  \"fabric_cold_tunes_clusterwide\": %llu,\n"
@@ -570,14 +657,15 @@ int main() {
       Fanin1Tickets, Fanin1Rps, Fanin10Tickets, Fanin10Rps,
       FaninOk ? "true" : "false", CacheEntries, CacheBytes, StopSeconds * 1e3,
       RestartStartSeconds * 1e3, RestartWall * 1e3,
-      RestartOk ? "true" : "false", FabricPeerDaemons + 1, FabricKeys.size(),
+      RestartOk ? "true" : "false", WarmP99Ms, TraceOnRps, TraceOffRps,
+      TracingOk ? "true" : "false", FabricPeerDaemons + 1, FabricKeys.size(),
       static_cast<unsigned long long>(FabricColdTunes),
       FabricColdOk ? "true" : "false", FabricWarmLayers, FabricWarmWall * 1e3,
       FabricWarmRps, FabricWarmOk ? "true" : "false");
   std::fclose(Json);
   std::printf("wrote BENCH_server.json\n");
   return (DedupOk && WarmOk && PipelinedOk && FaninOk && RestartOk &&
-          FabricColdOk && FabricWarmOk)
+          TracingOk && FabricColdOk && FabricWarmOk)
              ? 0
              : 1;
 }

@@ -198,6 +198,7 @@ std::optional<KernelReport>
 PeerManager::fetchMissing(const std::string &Key) {
   for (auto &PPtr : Links) {
     Peer &P = *PPtr;
+    double Probe0 = steadyNowSeconds();
     std::lock_guard<std::mutex> Lock(P.Mu);
     if (!ensureExchangeableLocked(P))
       continue;
@@ -208,6 +209,10 @@ PeerManager::fetchMissing(const std::string &Key) {
     Keys.push(Key);
     Req.set("keys", std::move(Keys));
     std::optional<Json> Reply = exchangeLocked(P, Req);
+    // One sample per completed exchange — failed dials and transport
+    // errors are not RTTs.
+    if (Reply)
+      FetchRttHist.record(steadyNowSeconds() - Probe0);
     if (!Reply || Reply->str("type") != "cache_entries")
       continue;
     for (KernelCache::ExportedEntry &E : importEntries(*Reply))

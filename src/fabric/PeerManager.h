@@ -36,6 +36,7 @@
 #define UNIT_FABRIC_PEERMANAGER_H
 
 #include "fabric/Endpoint.h"
+#include "obs/Histogram.h"
 #include "runtime/KernelCache.h"
 #include "server/Protocol.h"
 
@@ -112,6 +113,11 @@ public:
   Stats stats() const;
   size_t configuredPeers() const { return Config.Peers.size(); }
 
+  /// Round-trip distribution of cold-miss fetch_cache exchanges (dial +
+  /// request + reply per probed peer) — the unit_peer_fetch_seconds
+  /// metrics family.
+  obs::HistogramSnapshot fetchRtt() const { return FetchRttHist.snapshot(); }
+
 private:
   /// One dialed peer link. Mu serializes the request/response exchanges
   /// (pusher flushes and cold-miss fetches interleave at frame
@@ -159,6 +165,7 @@ private:
   std::atomic<uint64_t> FetchedCount{0};
   std::atomic<uint64_t> FetchHitCount{0};
   std::atomic<uint64_t> FetchMissCount{0};
+  obs::LatencyHistogram FetchRttHist;
 };
 
 } // namespace unit

@@ -1,0 +1,15 @@
+//===- obs/Build.cpp -------------------------------------------------------===//
+
+#include "obs/Build.h"
+
+#ifndef UNIT_GIT_SHA
+#define UNIT_GIT_SHA "unknown"
+#endif
+
+#ifndef UNIT_VERSION
+#define UNIT_VERSION "0.9"
+#endif
+
+std::string unit::obs::buildString() {
+  return std::string("unit-") + UNIT_VERSION + "+" + UNIT_GIT_SHA;
+}

@@ -1,0 +1,26 @@
+//===- obs/Build.h - Build identification string --------------------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+// The "build" string reported by the server's stats message: a version
+// plus the git commit the binary was configured from, so a fleet
+// operator can tell which daemons run which code.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_OBS_BUILD_H
+#define UNIT_OBS_BUILD_H
+
+#include <string>
+
+namespace unit {
+namespace obs {
+
+/// "unit-<version>+<short-sha>", e.g. "unit-0.9+5133505"; the sha is
+/// "unknown" when the tree was configured outside git.
+std::string buildString();
+
+} // namespace obs
+} // namespace unit
+
+#endif // UNIT_OBS_BUILD_H

@@ -1,0 +1,97 @@
+//===- obs/Histogram.cpp ---------------------------------------------------===//
+
+#include "obs/Histogram.h"
+
+#include <cmath>
+#include <limits>
+
+using namespace unit;
+using namespace unit::obs;
+
+namespace {
+
+/// Bucket index for a sample of \p Seconds: smallest B with
+/// value <= 2^B microseconds, clamped into the overflow bucket.
+int bucketFor(double Seconds) {
+  if (!(Seconds > 0))
+    return 0; // Zero, negative, or NaN: the smallest bucket.
+  double Micros = Seconds * 1e6;
+  if (Micros <= 1.0)
+    return 0;
+  // ceil(log2(Micros)) via the bit width of ceil(Micros) - 1; doubles
+  // above the overflow boundary (2^36 us) are clamped first so the
+  // uint64 cast is always in range.
+  if (Micros >= static_cast<double>(uint64_t(1)
+                                    << HistogramSnapshot::OverflowBucket))
+    return HistogramSnapshot::OverflowBucket;
+  uint64_t M = static_cast<uint64_t>(std::ceil(Micros));
+  int B = 64 - __builtin_clzll(M - 1);
+  return B < HistogramSnapshot::OverflowBucket
+             ? B
+             : HistogramSnapshot::OverflowBucket;
+}
+
+} // namespace
+
+double HistogramSnapshot::upperBoundSeconds(int B) {
+  if (B < 0)
+    return 0;
+  if (B >= OverflowBucket)
+    return std::numeric_limits<double>::infinity();
+  return static_cast<double>(uint64_t(1) << B) * 1e-6;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  for (int B = 0; B < BucketCount; ++B)
+    Buckets[B] += Other.Buckets[B];
+  Count += Other.Count;
+  SumSeconds += Other.SumSeconds;
+}
+
+double HistogramSnapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // 1-based rank of the requested order statistic.
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(Q * Count));
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Cumulative = 0;
+  for (int B = 0; B < BucketCount; ++B) {
+    if (Buckets[B] == 0)
+      continue;
+    uint64_t Before = Cumulative;
+    Cumulative += Buckets[B];
+    if (Rank > Cumulative)
+      continue;
+    double Lo = upperBoundSeconds(B - 1);
+    if (B == OverflowBucket)
+      return Lo; // No finite upper edge to interpolate toward.
+    double Hi = upperBoundSeconds(B);
+    // Linear position of the rank inside this bucket's count.
+    double Frac = static_cast<double>(Rank - Before) /
+                  static_cast<double>(Buckets[B]);
+    return Lo + (Hi - Lo) * Frac;
+  }
+  return upperBoundSeconds(OverflowBucket - 1); // Unreachable when Count > 0.
+}
+
+void LatencyHistogram::record(double Seconds) {
+  Buckets[bucketFor(Seconds)].fetch_add(1, std::memory_order_relaxed);
+  double Nanos = Seconds > 0 ? Seconds * 1e9 : 0;
+  SumNanos.fetch_add(static_cast<uint64_t>(Nanos), std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot S;
+  for (int B = 0; B < BucketCount; ++B) {
+    S.Buckets[B] = Buckets[B].load(std::memory_order_relaxed);
+    S.Count += S.Buckets[B];
+  }
+  S.SumSeconds =
+      static_cast<double>(SumNanos.load(std::memory_order_relaxed)) * 1e-9;
+  return S;
+}

@@ -1,0 +1,83 @@
+//===- obs/Histogram.h - Fixed log-bucket latency histograms --------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of src/obs/: a fixed-size log2-bucketed latency
+/// histogram whose hot path is a handful of relaxed atomic adds — no
+/// allocation, no locks — so it can sit on every compile/frame/fetch
+/// path of the server unconditionally. Reads produce a plain
+/// HistogramSnapshot that merges with others (fleet aggregation) and
+/// estimates quantiles (p50/p95/p99) by linear interpolation inside the
+/// containing bucket.
+///
+/// Bucket layout: bucket B (B < OverflowBucket) holds samples whose
+/// value is <= 2^B microseconds (bucket 0: <= 1us); the last bucket is
+/// the +Inf overflow. 36 powers of two reach ~9.5 hours — far beyond
+/// any compile — so the overflow bucket is effectively "clock bug".
+/// The boundaries are compile-time constants, which is what makes
+/// snapshots mergeable without negotiating a schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UNIT_OBS_HISTOGRAM_H
+#define UNIT_OBS_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace unit {
+namespace obs {
+
+/// Read-side value of a LatencyHistogram: plain counts, mergeable and
+/// serializable (the server's `metrics` message is built from these).
+struct HistogramSnapshot {
+  static constexpr int BucketCount = 37;
+  static constexpr int OverflowBucket = BucketCount - 1;
+
+  uint64_t Buckets[BucketCount] = {}; ///< Per-bucket counts (not cumulative).
+  uint64_t Count = 0;                 ///< Sum of Buckets.
+  double SumSeconds = 0;              ///< Sum of recorded values.
+
+  /// Upper bound of bucket \p B in seconds; +infinity for the overflow
+  /// bucket. Lower bound of bucket B is upperBoundSeconds(B - 1) (0 for
+  /// bucket 0).
+  static double upperBoundSeconds(int B);
+
+  /// Adds \p Other's counts into this snapshot (histograms with fixed
+  /// shared boundaries merge exactly).
+  void merge(const HistogramSnapshot &Other);
+
+  /// Estimated value at quantile \p Q in [0, 1]: the rank's bucket is
+  /// found from cumulative counts and the value interpolated linearly
+  /// between the bucket's bounds. Exact to within one bucket's width;
+  /// 0 when the histogram is empty. The overflow bucket reports its
+  /// lower bound (there is no upper edge to interpolate toward).
+  double quantile(double Q) const;
+};
+
+/// Write-side histogram: fixed atomic buckets, safe for any number of
+/// concurrent recorders. record() is wait-free (three relaxed
+/// fetch_adds); snapshot() may run concurrently and sees a
+/// close-to-consistent view (counts are derived from the buckets
+/// themselves, so Count always equals the bucket sum).
+class LatencyHistogram {
+public:
+  static constexpr int BucketCount = HistogramSnapshot::BucketCount;
+
+  void record(double Seconds);
+  HistogramSnapshot snapshot() const;
+
+private:
+  std::atomic<uint64_t> Buckets[BucketCount] = {};
+  /// Nanoseconds, not a double: fetch_add on an integer is the only
+  /// portable lock-free accumulation, and 2^64 ns is ~584 years.
+  std::atomic<uint64_t> SumNanos{0};
+};
+
+} // namespace obs
+} // namespace unit
+
+#endif // UNIT_OBS_HISTOGRAM_H

@@ -3,6 +3,8 @@
 #include "runtime/CompilerSession.h"
 
 #include "core/Isomorphism.h"
+#include "obs/Trace.h"
+#include "support/Time.h"
 #include "tuner/TuningSpace.h"
 
 #include <algorithm>
@@ -147,12 +149,17 @@ CompileOptions CompilerSession::optionsWithSeed(const CompileOptions &Base,
 KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
                                            const std::string &Key,
                                            bool *ComputedHere) {
+  double T0 = steadyNowSeconds();
   switch (Request.Options.Policy) {
-  case CachePolicy::Bypass:
+  case CachePolicy::Bypass: {
     if (ComputedHere)
       *ComputedHere = true;
-    return Request.Work.compileWith(*Request.Backend, tuningPool(),
-                                    optionsWithSeed(Request.Options, Key));
+    obs::Span Codegen("codegen");
+    KernelReport Report = Request.Work.compileWith(
+        *Request.Backend, tuningPool(), optionsWithSeed(Request.Options, Key));
+    ColdLatencyHist.record(steadyNowSeconds() - T0);
+    return Report;
+  }
   case CachePolicy::Refresh:
     // Ready entries are dropped and recompiled; an in-flight compile is
     // left alone (it is fresh enough, and erasing it would break the
@@ -163,6 +170,7 @@ KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
     break;
   }
   bool Fetched = false;
+  bool RanCompute = false;
   KernelReport Report = Cache.getOrCompute(
       Key,
       [&] {
@@ -171,25 +179,41 @@ KernelReport CompilerSession::compileKeyed(const CompileRequest &Request,
         // report over in milliseconds. Refresh skips the probe — it
         // asked for a fresh local tune.
         if (Request.Options.Policy == CachePolicy::Default)
-          if (ColdMissFetcher Fetch = missFetcher())
-            if (std::optional<KernelReport> Remote = Fetch(Key)) {
+          if (ColdMissFetcher Fetch = missFetcher()) {
+            std::optional<KernelReport> Remote;
+            {
+              obs::Span PeerFetch("peer_fetch");
+              Remote = Fetch(Key);
+              PeerFetch.annotate("hit", Remote ? 1 : 0);
+            }
+            if (Remote) {
               Fetched = true;
               recordTransferWinner(Key, *Remote);
               return *Remote;
             }
-        KernelReport Fresh = Request.Work.compileWith(
-            *Request.Backend, tuningPool(),
-            optionsWithSeed(Request.Options, Key));
+          }
+        KernelReport Fresh;
+        {
+          obs::Span Codegen("codegen");
+          Fresh = Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                           optionsWithSeed(Request.Options,
+                                                           Key));
+        }
         recordTransferWinner(Key, Fresh);
         if (CompileObserver Notify = compileObserver())
           Notify(Key, Fresh);
         return Fresh;
       },
-      ComputedHere);
+      &RanCompute);
   // A peer-served entry is a cache hit from the caller's point of view —
   // no tuner ran here — even though the compute lambda executed.
-  if (Fetched && ComputedHere)
-    *ComputedHere = false;
+  if (ComputedHere)
+    *ComputedHere = RanCompute && !Fetched;
+  // Latency accounting: any run of the compute lambda is the cold path
+  // (a peer-served miss is still a miss); ready hits and single-flight
+  // joins of another caller's compile are warm.
+  (RanCompute ? ColdLatencyHist : WarmLatencyHist)
+      .record(steadyNowSeconds() - T0);
   return Report;
 }
 
@@ -232,6 +256,13 @@ CompileJob CompilerSession::dispatchAsync(
   std::string Key = Request.cacheKey();
 
   if (Request.Options.Policy != CachePolicy::Bypass) {
+    double T0 = steadyNowSeconds();
+    // One span covers the resolve decision; the submitter's context
+    // (this span when tracing is on) is what pool tasks and continuation
+    // callbacks parent to — the cross-thread links of the request tree.
+    obs::Span Resolve("cache_resolve");
+    obs::SpanContext SubmitCtx = obs::currentSpan();
+
     if (Request.Options.Policy == CachePolicy::Refresh)
       // Ready entries are dropped and recompiled; an in-flight compile is
       // left alone (it is fresh enough, and erasing it would break the
@@ -243,20 +274,35 @@ CompileJob CompilerSession::dispatchAsync(
     InFlight.fetch_add(1);
     std::shared_future<KernelReport> Fut;
     KernelCache::ComputeTicket Ticket;
-    KernelCache::Waiter Continuation;
-    if (Finish)
-      Continuation = [this, Finish](const KernelReport *Report,
-                                    std::exception_ptr Error) {
-        Finish(Report, Error, /*Computed=*/false);
-        jobFinished();
-      };
+    // Registered only when the resolve joins an in-flight compile; fires
+    // on the winner's thread, parented to the submitter's span. The
+    // jobFinished guard mirrors the Joined case below: future-only joins
+    // already balanced InFlight inline.
+    KernelCache::Waiter Continuation =
+        [this, Finish, SubmitCtx, T0](const KernelReport *Report,
+                                      std::exception_ptr Error) {
+          // The span must close before jobFinished(): the decrement to
+          // zero releases stop()'s quiesce() wait, after which the trace
+          // recorder is torn down — a span still open here would record
+          // into freed memory.
+          {
+            obs::Span Resume("join_resume", SubmitCtx);
+            if (Finish)
+              Finish(Report, Error, /*Computed=*/false);
+            JoinLatencyHist.record(steadyNowSeconds() - T0);
+          }
+          if (Finish)
+            jobFinished();
+        };
     switch (Cache.resolveThen(Key, std::move(Continuation), &Fut, &Ticket)) {
     case KernelCache::ResolveKind::Ready: {
       // Warm hit: resolve inline on the submitting thread. A whole warm
       // model's worth of joins costs zero pool tasks.
       InlineReadyHitsCount.fetch_add(1);
+      Resolve.annotate("outcome", "hit");
       if (Finish)
         Finish(&Fut.get(), nullptr, /*Computed=*/false);
+      WarmLatencyHist.record(steadyNowSeconds() - T0);
       jobFinished();
       return CompileJob(std::move(Key), std::move(Fut));
     }
@@ -264,6 +310,7 @@ CompileJob CompilerSession::dispatchAsync(
       // In-flight join: the winner's drain fires the continuation; no
       // thread — pool or otherwise — blocks waiting for it.
       ContinuationJoinsCount.fetch_add(1);
+      Resolve.annotate("outcome", "join");
       if (!Finish)
         jobFinished(); // Future-only join: nothing left pending here.
       return CompileJob(std::move(Key), std::move(Fut));
@@ -274,44 +321,71 @@ CompileJob CompilerSession::dispatchAsync(
     // Winner: run the compile on a pool worker; fulfill()/fail() publish
     // the result and drain every waiter that joined meanwhile.
     FreshDispatchesCount.fetch_add(1);
+    Resolve.annotate("outcome", "miss");
     Pool->submit([this, Request = std::move(Request), Key,
                   Ticket = std::move(Ticket),
-                  Finish = std::move(Finish), FreshCounter]() mutable {
-      // Fleet probe first (same contract as the blocking path): a report
-      // fetched from a same-fingerprint peer fulfills the entry — every
-      // joined waiter resolves, Computed stays false, FreshCounter is
-      // untouched, and the observer never fires (no echo back to peers).
-      if (Request.Options.Policy == CachePolicy::Default)
-        if (ColdMissFetcher Fetch = missFetcher())
-          if (std::optional<KernelReport> Remote = Fetch(Key)) {
-            recordTransferWinner(Key, *Remote);
-            Cache.fulfill(Key, Ticket, *Remote);
-            if (Finish)
-              Finish(&*Remote, nullptr, /*Computed=*/false);
-            jobFinished();
-            return;
+                  Finish = std::move(Finish), FreshCounter, SubmitCtx,
+                  T0]() mutable {
+      // Every span in this task must close before the jobFinished() at
+      // the bottom: the decrement to zero releases stop()'s quiesce()
+      // wait, after which the trace recorder is torn down — a span still
+      // open past it would record into freed memory.
+      {
+        obs::Span CompileSpan("compile", SubmitCtx);
+        // Fleet probe first (same contract as the blocking path): a report
+        // fetched from a same-fingerprint peer fulfills the entry — every
+        // joined waiter resolves, Computed stays false, FreshCounter is
+        // untouched, and the observer never fires (no echo back to peers).
+        bool ServedByPeer = false;
+        if (Request.Options.Policy == CachePolicy::Default)
+          if (ColdMissFetcher Fetch = missFetcher()) {
+            std::optional<KernelReport> Remote;
+            {
+              obs::Span PeerFetch("peer_fetch");
+              Remote = Fetch(Key);
+              PeerFetch.annotate("hit", Remote ? 1 : 0);
+            }
+            if (Remote) {
+              recordTransferWinner(Key, *Remote);
+              {
+                obs::Span Fulfill("fulfill");
+                Cache.fulfill(Key, Ticket, *Remote);
+              }
+              if (Finish)
+                Finish(&*Remote, nullptr, /*Computed=*/false);
+              ColdLatencyHist.record(steadyNowSeconds() - T0);
+              ServedByPeer = true;
+            }
           }
-      KernelReport Report;
-      std::exception_ptr Error;
-      try {
-        Report = Request.Work.compileWith(*Request.Backend, tuningPool(),
-                                          optionsWithSeed(Request.Options,
-                                                          Key));
-      } catch (...) {
-        Error = std::current_exception();
+        if (!ServedByPeer) {
+          KernelReport Report;
+          std::exception_ptr Error;
+          try {
+            obs::Span Codegen("codegen");
+            Report = Request.Work.compileWith(*Request.Backend, tuningPool(),
+                                              optionsWithSeed(Request.Options,
+                                                              Key));
+          } catch (...) {
+            Error = std::current_exception();
+          }
+          if (!Error) {
+            if (FreshCounter)
+              FreshCounter->fetch_add(1);
+            recordTransferWinner(Key, Report);
+            {
+              obs::Span Fulfill("fulfill");
+              Cache.fulfill(Key, Ticket, Report);
+            }
+            if (CompileObserver Notify = compileObserver())
+              Notify(Key, Report);
+          } else {
+            Cache.fail(Key, Ticket, Error);
+          }
+          if (Finish)
+            Finish(Error ? nullptr : &Report, Error, /*Computed=*/!Error);
+          ColdLatencyHist.record(steadyNowSeconds() - T0);
+        }
       }
-      if (!Error) {
-        if (FreshCounter)
-          FreshCounter->fetch_add(1);
-        recordTransferWinner(Key, Report);
-        Cache.fulfill(Key, Ticket, Report);
-        if (CompileObserver Notify = compileObserver())
-          Notify(Key, Report);
-      } else {
-        Cache.fail(Key, Ticket, Error);
-      }
-      if (Finish)
-        Finish(Error ? nullptr : &Report, Error, /*Computed=*/!Error);
       jobFinished();
     });
     return CompileJob(std::move(Key), std::move(Fut));

@@ -34,6 +34,7 @@
 #ifndef UNIT_RUNTIME_COMPILERSESSION_H
 #define UNIT_RUNTIME_COMPILERSESSION_H
 
+#include "obs/Histogram.h"
 #include "runtime/CompileRequest.h"
 #include "runtime/KernelCache.h"
 #include "support/ThreadPool.h"
@@ -157,6 +158,14 @@ private:
   /// lock. Declared before Pool: workers record winners into it.
   std::mutex TransferMu;
   std::unordered_map<std::string, std::map<std::string, int>> TransferIndex;
+  /// Submit-to-resolve latency histograms (docs/OBSERVABILITY.md), split
+  /// by how the request resolved: fresh compile (cold, including
+  /// peer-fetched misses), ready cache hit (warm), continuation join.
+  /// Wait-free to record; declared before Pool — workers record into
+  /// them, so they must outlive the worker join.
+  obs::LatencyHistogram ColdLatencyHist;
+  obs::LatencyHistogram WarmLatencyHist;
+  obs::LatencyHistogram JoinLatencyHist;
   std::unique_ptr<ThreadPool> Pool;
 
   /// The pool handed to tuners, or null when candidate-parallelism is off.
@@ -268,6 +277,17 @@ public:
   /// engine, by construction. Exposed (and wired into the server `stats`
   /// reply) so regressions are an assertion away.
   uint64_t parkedJoins() const { return ParkedJoinsCount.load(); }
+
+  /// Submit-to-resolve latency distributions, split by resolution kind;
+  /// the server's `metrics` message serves these as the
+  /// unit_compile_{cold,warm,join}_seconds families.
+  struct LatencySnapshots {
+    obs::HistogramSnapshot Cold, Warm, Join;
+  };
+  LatencySnapshots latencySnapshots() const {
+    return {ColdLatencyHist.snapshot(), WarmLatencyHist.snapshot(),
+            JoinLatencyHist.snapshot()};
+  }
 
   //===--------------------------------------------------------------------===//
   // Fleet hooks

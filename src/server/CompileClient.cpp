@@ -895,6 +895,20 @@ std::optional<Json> CompileClient::stats(bool Detail, std::string *Err) {
   return roundTrip(J, "stats_result", Err);
 }
 
+std::optional<Json> CompileClient::metrics(std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "metrics");
+  J.set("id", NextId++);
+  return roundTrip(J, "metrics", Err);
+}
+
+std::optional<Json> CompileClient::dumpTrace(std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "dump_trace");
+  J.set("id", NextId++);
+  return roundTrip(J, "trace", Err);
+}
+
 std::optional<size_t> CompileClient::saveCache(const std::string &Path,
                                                std::string *Err) {
   Json J = Json::object();

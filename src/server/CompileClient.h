@@ -233,6 +233,16 @@ public:
   /// protocol's, docs/SERVER.md; \p Detail adds per-entry cache bytes).
   std::optional<Json> stats(bool Detail = false, std::string *Err = nullptr);
 
+  /// The server's metrics message: latency histogram snapshots (cold /
+  /// warm / join compile, frame round-trip, peer fetch RTT, tuner
+  /// per-candidate cost) as Json — docs/OBSERVABILITY.md has the schema.
+  std::optional<Json> metrics(std::string *Err = nullptr);
+
+  /// The server's dump_trace message: every live span as Chrome
+  /// trace-event JSON (the "trace" field loads directly into
+  /// chrome://tracing / Perfetto).
+  std::optional<Json> dumpTrace(std::string *Err = nullptr);
+
   /// Asks the server to persist its cache; returns entries written.
   std::optional<size_t> saveCache(const std::string &Path = "",
                                   std::string *Err = nullptr);

@@ -3,6 +3,7 @@
 #include "server/CompileServer.h"
 
 #include "fabric/Handshake.h"
+#include "obs/Build.h"
 #include "runtime/CompileRequest.h"
 #include "runtime/Workload.h"
 #include "target/MachineOverlay.h"
@@ -44,6 +45,26 @@ constexpr size_t MaxClientBuckets = 1024;
 /// the shutdown message unreachable. Excess connections are accepted
 /// and immediately closed (the client sees EOF).
 constexpr size_t MaxConnections = 256;
+
+/// One line per compile slower than the operator's --slow-compile-ms
+/// threshold: enough of a digest to find the request in a trace dump
+/// without grepping for it. Ticket 0 marks the blocking compile path.
+void logSlowCompile(double ThresholdMillis, double Seconds,
+                    const std::string &Client, uint64_t Ticket,
+                    const char *Kind, const KernelReport *Report) {
+  double Millis = Seconds * 1e3;
+  if (ThresholdMillis <= 0 || Millis < ThresholdMillis)
+    return;
+  std::fprintf(stderr,
+               "unit slow-compile: %.1f ms client=%s ticket=%llu kind=%s "
+               "candidates=%d intrinsic=%s\n",
+               Millis, Client.c_str(),
+               static_cast<unsigned long long>(Ticket), Kind,
+               Report ? Report->CandidatesTried : -1,
+               Report && !Report->IntrinsicName.empty()
+                   ? Report->IntrinsicName.c_str()
+                   : "(none)");
+}
 
 } // namespace
 
@@ -177,6 +198,13 @@ bool CompileServer::start(std::string *Err) {
     std::lock_guard<std::mutex> Lock(ShutdownMu);
     ShutdownRequested = false;
   }
+  // Install the trace recorder before any thread can compile: spans
+  // opened on pool workers and peer threads find it through the
+  // process-wide pointer (one branch when tracing is off).
+  if (Config.TraceEnabled) {
+    Trace = std::make_unique<obs::TraceRecorder>(Config.TraceBytesPerThread);
+    obs::setActiveRecorder(Trace.get());
+  }
   Running.store(true);
   // Wire the session into the fleet before any connection can compile:
   // cold winners probe peers before tuning, fresh tunes are announced.
@@ -263,6 +291,24 @@ void CompileServer::stop() {
     Session->setCompileObserver(nullptr);
     PeerMgr->stop();
     PeerMgr.reset();
+  }
+
+  // Every span-producing thread is quiesced; uninstall the recorder
+  // (CAS-guarded — a second server in this process may have replaced it)
+  // and flush the requested trace dump before the recorder dies.
+  if (Trace) {
+    obs::clearActiveRecorder(Trace.get());
+    if (!Config.TraceOutFile.empty()) {
+      std::string Dump = chromeTraceJson(Trace->snapshot()).dump();
+      FILE *Out = std::fopen(Config.TraceOutFile.c_str(), "w");
+      if (!Out || std::fwrite(Dump.data(), 1, Dump.size(), Out) != Dump.size())
+        std::fprintf(stderr,
+                     "unit CompileServer: trace dump to %s failed\n",
+                     Config.TraceOutFile.c_str());
+      if (Out)
+        std::fclose(Out);
+    }
+    Trace.reset();
   }
 
   // 4. Stop the persist thread, then take the final consistent save. A
@@ -417,12 +463,18 @@ void CompileServer::serveConnection(Connection &Conn) {
       std::lock_guard<std::mutex> Lock(StatsMu);
       ++Lifetime.Requests;
     }
+    // Root span of the request tree: opened before dispatch so every
+    // handler span (admission, cache_resolve, ...) parents under it, and
+    // scoped to the iteration so the announce write is covered too.
+    double FrameT0 = steadyNowSeconds();
+    obs::Span ReqSpan("request");
     bool CloseAfter = false;
     uint64_t AnnounceTicketId = 0;
     Json Response;
     std::string ParseErr;
     std::optional<Json> Request = Json::parse(Payload, &ParseErr);
     if (Request) {
+      ReqSpan.annotate("type", Request->str("type").c_str());
       // Exception barrier: compiles can throw (user-registered backends,
       // bad_alloc under memory pressure — KernelCache deliberately
       // propagates them so the key stays retryable). One request's
@@ -459,6 +511,8 @@ void CompileServer::serveConnection(Connection &Conn) {
     }
     if (!writeToConnection(Conn, Dump))
       break;
+    // Read-to-reply-written: what a synchronous client actually waited.
+    FrameLatencyHist.record(steadyNowSeconds() - FrameT0);
     // Only after the submitted reply is on the wire may this ticket's
     // notification go out — the client must learn the ticket number
     // before the result that carries it.
@@ -531,6 +585,10 @@ Json CompileServer::handleRequest(Connection &Conn, const Json &Request,
     return handleListTargets(Request);
   if (Type == "stats")
     return handleStats(Request);
+  if (Type == "metrics")
+    return handleMetrics(Request);
+  if (Type == "dump_trace")
+    return handleDumpTrace(Request);
   if (Type == "save_cache")
     return handleSaveCache(Request);
   if (Type == "fetch_cache")
@@ -587,6 +645,9 @@ Json CompileServer::handleHello(Connection &Conn, const Json &Request) {
   // Capability flag, not a version bump: the streaming message family is
   // an addition, and additions are advertised, not versioned.
   J.set("streaming", true);
+  // Same shape for the observability family: `metrics` and `dump_trace`
+  // are additive messages, advertised rather than versioned.
+  J.set("metrics", true);
   // Advertise the per-connection ticket budget so clients size their
   // pipelines from the wire instead of hardcoding the server's constant.
   J.set("max_pending_tickets",
@@ -711,6 +772,8 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
   bool Computed = false;
   KernelReport Report = Session->compile(*Compile, &Computed);
   double Seconds = steadyNowSeconds() - T0;
+  logSlowCompile(Config.SlowCompileMillis, Seconds, Conn.ClientName,
+                 /*Ticket=*/0, Computed ? "cold" : "warm", &Report);
   bool Cached = !Computed;
   // Dirty-flag for the persist thread — only compiles that actually
   // inserted into the cache count (Bypass computes but writes nothing).
@@ -730,6 +793,10 @@ Json CompileServer::handleCompile(Connection &Conn, const Json &Request) {
 
 Json CompileServer::handleCompileAsync(Connection &Conn, const Json &Request,
                                        uint64_t &AnnounceTicket) {
+  // Parse + ticket issue + session submit; the dispatch's cache_resolve
+  // span parents here, and the pool-side compile span links back through
+  // the context the session captures at submit.
+  obs::Span Adm("admission");
   std::optional<CompileRequest> Compile;
   Json ErrorReply;
   if (!parseCompileRequest(Conn, Request, Compile, ErrorReply))
@@ -750,6 +817,7 @@ Json CompileServer::handleCompileAsync(Connection &Conn, const Json &Request,
                              std::to_string(MaxPendingTicketsPerConnection) +
                              "); wait for results or cancel some");
   TicketsIssued.fetch_add(1);
+  Adm.annotate("ticket", Ticket);
 
   // The callback may fire before this handler returns (a warm hit is a
   // near-immediate pool task); delivery still waits for the announce
@@ -801,7 +869,11 @@ void CompileServer::finishTicket(Connection &Conn, uint64_t Ticket,
   // ticket's fate.
   if (Computed && Policy != CachePolicy::Bypass)
     CompilesSinceSave.fetch_add(1);
-  recordServed(Conn, steadyNowSeconds() - SubmitSeconds, /*Layers=*/1,
+  double WallSeconds = steadyNowSeconds() - SubmitSeconds;
+  logSlowCompile(Config.SlowCompileMillis, WallSeconds, Conn.ClientName,
+                 Ticket,
+                 !Report ? "error" : (Computed ? "cold" : "warm"), Report);
+  recordServed(Conn, WallSeconds, /*Layers=*/1,
                /*FromCache=*/(Report && !Computed) ? 1 : 0,
                /*FreshKernels=*/Computed ? 1 : 0, /*IsCompile=*/true);
 
@@ -826,6 +898,8 @@ void CompileServer::finishTicket(Connection &Conn, uint64_t Ticket,
     // never read a stats snapshot that has not counted it yet. (A failed
     // write — peer gone — still counts as a push.)
     NotificationsDelivered.fetch_add(1);
+    obs::Span Write("notification_write");
+    Write.annotate("ticket", Ticket);
     writeToConnection(Conn, Payload);
   }
 
@@ -854,6 +928,8 @@ void CompileServer::announceTicket(Connection &Conn, uint64_t Ticket) {
     Conn.Tickets.erase(It);
   }
   NotificationsDelivered.fetch_add(1); // Before the write; see finishTicket.
+  obs::Span Write("notification_write");
+  Write.annotate("ticket", Ticket);
   writeToConnection(Conn, Payload);
 }
 
@@ -943,6 +1019,10 @@ Json CompileServer::handleCompileModel(Connection &Conn, const Json &Request) {
   // hit count — and Bypass writes nothing).
   if (Options.Policy != CachePolicy::Bypass && Result.FreshCompiles > 0)
     CompilesSinceSave.fetch_add(1);
+  logSlowCompile(Config.SlowCompileMillis, Seconds, Conn.ClientName,
+                 /*Ticket=*/0,
+                 Result.FreshCompiles > 0 ? "model" : "model-warm",
+                 /*Report=*/nullptr);
   recordServed(Conn, Seconds, Result.Layers.size(), Result.CacheHitLayers,
                /*FreshKernels=*/Result.FreshCompiles, /*IsCompile=*/true);
 
@@ -1025,6 +1105,8 @@ Json CompileServer::handleStats(const Json &Request) {
   if (const Json *Id = Request.get("id"))
     J.set("id", *Id);
   J.set("uptime_seconds", steadyNowSeconds() - StartSeconds);
+  J.set("build", obs::buildString());
+  J.set("pid", static_cast<int64_t>(::getpid()));
   J.set("connections", Snapshot.Connections);
   J.set("requests", Snapshot.Requests);
   J.set("compiled_kernels", Snapshot.CompiledKernels);
@@ -1054,10 +1136,19 @@ Json CompileServer::handleStats(const Json &Request) {
   SessionJson.set("inline_ready_hits", SS.InlineReadyHits);
   SessionJson.set("fresh_dispatches", SS.FreshDispatches);
   J.set("session", std::move(SessionJson));
+  // Snapshot order is the consistency guarantee: the later-lifecycle
+  // counters (delivered, cancelled) are acquire-read *before* issued.
+  // Both only ever grow after an issue, so any interleaving yields
+  // delivered <= issued and cancelled <= issued — a monitoring client
+  // can never observe a notification for a ticket the same snapshot has
+  // not issued yet.
+  uint64_t Delivered = NotificationsDelivered.load(std::memory_order_acquire);
+  uint64_t Cancelled = TicketsCancelled.load(std::memory_order_acquire);
+  uint64_t Issued = TicketsIssued.load(std::memory_order_acquire);
   Json Streaming = Json::object();
-  Streaming.set("tickets_issued", TicketsIssued.load());
-  Streaming.set("notifications_delivered", NotificationsDelivered.load());
-  Streaming.set("tickets_cancelled", TicketsCancelled.load());
+  Streaming.set("tickets_issued", Issued);
+  Streaming.set("notifications_delivered", Delivered);
+  Streaming.set("tickets_cancelled", Cancelled);
   J.set("streaming", std::move(Streaming));
   // Fabric counters are always present (zeros on a Unix-only daemon) so
   // fleet dashboards need no schema probing.
@@ -1127,6 +1218,39 @@ Json CompileServer::handleSaveCache(const Json &Request) {
     J.set("id", *Id);
   J.set("path", Path);
   J.set("entries", *Saved);
+  return J;
+}
+
+Json CompileServer::handleMetrics(const Json &Request) {
+  // One frozen snapshot per family — each is internally consistent
+  // (count equals the bucket sum) even while compiles are landing.
+  CompilerSession::LatencySnapshots LS = Session->latencySnapshots();
+  Json Hists = Json::object();
+  Hists.set("unit_compile_cold_seconds", toJson(LS.Cold));
+  Hists.set("unit_compile_warm_seconds", toJson(LS.Warm));
+  Hists.set("unit_compile_join_seconds", toJson(LS.Join));
+  Hists.set("unit_frame_seconds", toJson(FrameLatencyHist.snapshot()));
+  Hists.set("unit_peer_fetch_seconds",
+            toJson(PeerMgr ? PeerMgr->fetchRtt() : obs::HistogramSnapshot()));
+  Hists.set("unit_tuner_candidate_seconds", toJson(tunerCandidateCost()));
+  Json J = Json::object();
+  J.set("type", "metrics");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("uptime_seconds", steadyNowSeconds() - StartSeconds);
+  J.set("build", obs::buildString());
+  J.set("histograms", std::move(Hists));
+  return J;
+}
+
+Json CompileServer::handleDumpTrace(const Json &Request) {
+  Json J = Json::object();
+  J.set("type", "trace");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("enabled", Trace != nullptr);
+  J.set("trace", chromeTraceJson(Trace ? Trace->snapshot()
+                                       : std::vector<obs::TraceEvent>()));
   return J;
 }
 

@@ -105,6 +105,24 @@ struct ServerConfig {
   /// list). 0 = the PeerManager default.
   size_t MaxPeerExchangeBytes = 4u << 20;
 
+  /// Compile-lifecycle tracing (docs/OBSERVABILITY.md): when enabled the
+  /// server owns a TraceRecorder, installs it process-wide for the span
+  /// instrumentation in session/tuner/fabric, and serves `dump_trace`.
+  /// Off costs nothing; on costs one ring write per span.
+  bool TraceEnabled = true;
+
+  /// Byte budget of each writer thread's trace ring (drop-oldest).
+  size_t TraceBytesPerThread = 256 * 1024;
+
+  /// When set, stop() writes the final trace as Chrome trace-event JSON
+  /// here (the --trace-out flag) — load it in Perfetto.
+  std::string TraceOutFile;
+
+  /// Compiles (blocking or streaming) whose server-side wall time is at
+  /// least this many milliseconds get a one-line span digest on stderr;
+  /// <= 0 disables the slow log.
+  double SlowCompileMillis = 0;
+
   /// The session to serve. Null = the server constructs a private one
   /// from SessionCfg (the common daemon case; tests pass their own).
   std::shared_ptr<CompilerSession> Session;
@@ -255,6 +273,11 @@ private:
   Json handleListTargets(const Json &Request);
   Json handleStats(const Json &Request);
   Json handleSaveCache(const Json &Request);
+  /// Observability handlers (docs/OBSERVABILITY.md): `metrics` serves
+  /// every latency-histogram family; `dump_trace` serves the recorder's
+  /// current contents as Chrome trace-event JSON.
+  Json handleMetrics(const Json &Request);
+  Json handleDumpTrace(const Json &Request);
   /// Peer exchange handlers (docs/SERVER.md, "Fleet"). A fingerprint
   /// mismatch answers with zero entries / zero accepted — an empty
   /// exchange, not an error, so mixed fleets degrade to independence.
@@ -369,6 +392,15 @@ private:
   std::atomic<uint64_t> PeerPushesServed{0};
   std::atomic<uint64_t> PeerEntriesServed{0};
   std::atomic<uint64_t> PeerEntriesAccepted{0};
+
+  /// Request-frame round trip (read -> reply written), all request
+  /// types — the unit_frame_seconds metrics family.
+  obs::LatencyHistogram FrameLatencyHist;
+
+  /// The trace recorder behind every span this process records while the
+  /// server runs (installed as the process-wide active recorder in
+  /// start(), uninstalled in stop()). Null when TraceEnabled is false.
+  std::unique_ptr<obs::TraceRecorder> Trace;
 };
 
 } // namespace unit

@@ -527,6 +527,58 @@ Json unit::toJson(const CompileOptions &O) {
   return J;
 }
 
+Json unit::toJson(const obs::HistogramSnapshot &S) {
+  Json J = Json::object();
+  J.set("count", S.Count);
+  J.set("sum", S.SumSeconds);
+  J.set("p50", S.quantile(0.50));
+  J.set("p95", S.quantile(0.95));
+  J.set("p99", S.quantile(0.99));
+  int Last = -1;
+  for (int B = 0; B < obs::HistogramSnapshot::OverflowBucket; ++B)
+    if (S.Buckets[B])
+      Last = B;
+  Json Buckets = Json::array();
+  uint64_t Cumulative = 0;
+  for (int B = 0; B <= Last; ++B) {
+    Cumulative += S.Buckets[B];
+    Json Bk = Json::object();
+    Bk.set("le", obs::HistogramSnapshot::upperBoundSeconds(B));
+    Bk.set("count", Cumulative);
+    Buckets.push(std::move(Bk));
+  }
+  Json Inf = Json::object();
+  Inf.set("le", "+Inf");
+  Inf.set("count", S.Count);
+  Buckets.push(std::move(Inf));
+  J.set("buckets", std::move(Buckets));
+  return J;
+}
+
+Json unit::chromeTraceJson(const std::vector<obs::TraceEvent> &Events) {
+  Json List = Json::array();
+  for (const obs::TraceEvent &E : Events) {
+    Json Args = Json::object();
+    Args.set("span", E.SpanId);
+    Args.set("parent", E.ParentId);
+    if (E.Args[0])
+      Args.set("note", std::string(E.Args,
+                                   strnlen(E.Args, sizeof(E.Args))));
+    Json Ev = Json::object();
+    Ev.set("name", std::string(E.Name, strnlen(E.Name, sizeof(E.Name))));
+    Ev.set("ph", "X");
+    Ev.set("ts", E.StartMicros);
+    Ev.set("dur", E.DurationMicros);
+    Ev.set("pid", 1);
+    Ev.set("tid", E.ThreadTag);
+    Ev.set("args", std::move(Args));
+    List.push(std::move(Ev));
+  }
+  Json J = Json::object();
+  J.set("traceEvents", std::move(List));
+  return J;
+}
+
 namespace {
 
 /// Fetches a required integral field into \p Out.

@@ -44,6 +44,8 @@
 #define UNIT_SERVER_PROTOCOL_H
 
 #include "graph/Graph.h"
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
 #include "runtime/CompileOptions.h"
 #include "runtime/KernelCache.h"
 
@@ -202,6 +204,18 @@ Json toJson(const Conv3dLayer &L);
 Json toJson(const Model &M);
 Json toJson(const KernelReport &R);
 Json toJson(const CompileOptions &O);
+
+/// Observability codecs (docs/OBSERVABILITY.md). A histogram snapshot
+/// becomes one family object of the `metrics` reply: count, sum,
+/// derived p50/p95/p99, and cumulative buckets (Prometheus `le`
+/// semantics; trailing empty buckets elided, "+Inf" always present).
+Json toJson(const obs::HistogramSnapshot &S);
+
+/// A recorder snapshot as Chrome trace-event JSON — the `dump_trace`
+/// reply's "trace" object and the `--trace-out` file, loadable in
+/// Perfetto / chrome://tracing. Events are complete ("ph":"X") with
+/// span/parent ids and the annotation string under "args".
+Json chromeTraceJson(const std::vector<obs::TraceEvent> &Events);
 
 /// Decoders are strict about shape fields (a missing dimension is an
 /// error, not a silent 1) and fill \p Err with the offending field.

@@ -2,8 +2,11 @@
 
 #include "tuner/Tuner.h"
 
+#include "obs/Histogram.h"
+#include "obs/Trace.h"
 #include "support/ErrorHandling.h"
 #include "support/ThreadPool.h"
+#include "support/Time.h"
 
 #include <algorithm>
 #include <atomic>
@@ -137,6 +140,11 @@ std::atomic<uint64_t> TunerRuns{0};
 std::atomic<uint64_t> ScoredTotal{0};
 std::atomic<uint64_t> PrunedTotal{0};
 std::atomic<uint64_t> SeededTotal{0};
+
+/// Wall time to score one candidate (plan build + analysis + cost
+/// model), the unit_tuner_candidate_seconds family of the server's
+/// `metrics` reply. Process-wide like the counters above.
+obs::LatencyHistogram CandidateCostHist;
 
 /// Extent/cost facts the lower bounds need, gathered once per search:
 /// the pre-schedule outer loop extents (from one reorganizeLoops pass)
@@ -303,9 +311,11 @@ TunedKernel searchCandidates(const std::vector<Candidate> &Candidates,
   std::vector<Scored> Slots(Candidates.size());
   std::atomic<double> RunningBest{1e30};
   auto ScoreOne = [&](size_t I) {
+    double Start = steadyNowSeconds();
     TensorizePlan Plan = Build(Candidates[I]);
     KernelStats Stats = analyzeTensorized(Plan);
     double L = Latency(Stats);
+    CandidateCostHist.record(steadyNowSeconds() - Start);
     Slots[I] = Scored{Stats, L, true};
     double Cur = RunningBest.load(std::memory_order_relaxed);
     while (L < Cur && !RunningBest.compare_exchange_weak(
@@ -375,11 +385,31 @@ uint64_t unit::tunerInvocations() { return TunerRuns.load(); }
 uint64_t unit::tunerCandidatesScored() { return ScoredTotal.load(); }
 uint64_t unit::tunerPrunedCandidates() { return PrunedTotal.load(); }
 uint64_t unit::tunerTransferSeeds() { return SeededTotal.load(); }
+obs::HistogramSnapshot unit::tunerCandidateCost() {
+  return CandidateCostHist.snapshot();
+}
+
+namespace {
+
+/// Annotates a finished search's span with what the search did — the
+/// scored/pruned/seed numbers the dump_trace acceptance scenario greps.
+void annotateSearch(obs::Span &Span, const TunedKernel &Best,
+                    const TunerOptions &Opts) {
+  Span.annotate("space", static_cast<uint64_t>(Best.SpaceSize));
+  Span.annotate("scored", static_cast<uint64_t>(Best.CandidatesTried));
+  Span.annotate("pruned",
+                static_cast<uint64_t>(Best.SpaceSize - Best.CandidatesTried));
+  if (Opts.SeedCandidate >= 0)
+    Span.annotate("seed", static_cast<uint64_t>(Opts.SeedCandidate));
+}
+
+} // namespace
 
 TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const CpuMachine &Machine, ThreadPool *Pool,
                           const TunerOptions &Opts) {
   TunerRuns.fetch_add(1);
+  obs::Span Search("tuner_search");
   std::vector<CpuTuningPair> Pairs = defaultCpuTuningPairs();
   truncateCandidates(Pairs, Opts.MaxCandidates);
   // The bound context costs one plan build; only pay it when pruning can
@@ -387,7 +417,7 @@ TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
   std::optional<BoundContext> Ctx;
   if (Opts.Prune)
     Ctx.emplace(makeBoundContext(Op, Match));
-  return searchCandidates(
+  TunedKernel Best = searchCandidates(
       Pairs,
       [&](const CpuTuningPair &Pair) { return buildCpuPlan(Op, Match, Pair); },
       [&](const KernelStats &S) { return cpuLatencySeconds(S, Machine); },
@@ -395,6 +425,8 @@ TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
         return cpuPairLowerBound(*Ctx, Pair, Machine);
       },
       Opts, Pool);
+  annotateSearch(Search, Best, Opts);
+  return Best;
 }
 
 TunedKernel unit::tuneCpu(const ComputeOpRef &Op, const MatchResult &Match,
@@ -414,12 +446,13 @@ TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
                           const GpuMachine &Machine, ThreadPool *Pool,
                           const TunerOptions &Opts) {
   TunerRuns.fetch_add(1);
+  obs::Span Search("tuner_search");
   std::vector<GpuTuningConfig> Configs = defaultGpuTuningConfigs();
   truncateCandidates(Configs, Opts.MaxCandidates);
   std::optional<BoundContext> Ctx;
   if (Opts.Prune)
     Ctx.emplace(makeBoundContext(Op, Match));
-  return searchCandidates(
+  TunedKernel Best = searchCandidates(
       Configs,
       [&](const GpuTuningConfig &Config) {
         return buildGpuPlan(Op, Match, Config);
@@ -429,6 +462,8 @@ TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,
         return gpuConfigLowerBound(*Ctx, Config, Machine);
       },
       Opts, Pool);
+  annotateSearch(Search, Best, Opts);
+  return Best;
 }
 
 TunedKernel unit::tuneGpu(const ComputeOpRef &Op, const MatchResult &Match,

@@ -16,6 +16,7 @@
 #ifndef UNIT_TUNER_TUNER_H
 #define UNIT_TUNER_TUNER_H
 
+#include "obs/Histogram.h"
 #include "perf/CostModel.h"
 #include "tuner/TuningSpace.h"
 
@@ -132,6 +133,11 @@ uint64_t tunerPrunedCandidates();
 /// Monotone process-wide count of searches that applied a valid transfer
 /// seed (TunerOptions::SeedCandidate in range).
 uint64_t tunerTransferSeeds();
+
+/// Wall-time distribution of scoring one candidate (plan build +
+/// analysis + cost model) across every search so far — the server's
+/// unit_tuner_candidate_seconds metrics family.
+obs::HistogramSnapshot tunerCandidateCost();
 
 /// Ablation stages for paper Fig. 10 (latencies in seconds).
 struct CpuAblation {

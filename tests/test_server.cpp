@@ -1872,4 +1872,237 @@ TEST_F(ServerTest, EndpointListFailoverResolvesOriginalFutures) {
   EXPECT_EQ(Server->session().parkedJoins(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Observability: metrics, dump_trace, stats consistency
+//===----------------------------------------------------------------------===//
+
+TEST_F(ServerTest, WelcomeAdvertisesMetricsAndStatsCarryBuildAndPid) {
+  startServer();
+  CompileClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(SocketPath, &Err)) << Err;
+  std::optional<Json> Welcome = Client.hello("obs-hello", 0, &Err);
+  ASSERT_TRUE(Welcome.has_value()) << Err;
+  EXPECT_TRUE(Welcome->boolean("metrics", false));
+
+  std::optional<Json> Stats = Client.stats(false, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  // The build string identifies version+sha for fleet dashboards; the
+  // pid lets an operator find the daemon from a scrape. Server and test
+  // share a process here, so the pid is exact.
+  EXPECT_EQ(Stats->str("build").rfind("unit-", 0), 0u) << Stats->str("build");
+  EXPECT_EQ(Stats->integer("pid"), static_cast<int64_t>(::getpid()));
+}
+
+TEST_F(ServerTest, MetricsMessageExposesEveryHistogramFamily) {
+  startServer();
+  auto Client = makeClient("metrics-client");
+  ConvLayer L = makeResnet18().Convs[2];
+  std::string Err;
+  // One cold compile then one warm hit populates two families.
+  ASSERT_TRUE(Client->compileConv("x86", L, {}, &Err).has_value()) << Err;
+  ASSERT_TRUE(Client->compileConv("x86", L, {}, &Err).has_value()) << Err;
+
+  std::optional<Json> M = Client->metrics(&Err);
+  ASSERT_TRUE(M.has_value()) << Err;
+  EXPECT_EQ(M->str("type"), "metrics");
+  EXPECT_EQ(M->str("build").rfind("unit-", 0), 0u);
+  const Json *Hists = M->get("histograms");
+  ASSERT_TRUE(Hists);
+  for (const char *Family :
+       {"unit_compile_cold_seconds", "unit_compile_warm_seconds",
+        "unit_compile_join_seconds", "unit_frame_seconds",
+        "unit_peer_fetch_seconds", "unit_tuner_candidate_seconds"}) {
+    const Json *H = Hists->get(Family);
+    ASSERT_TRUE(H) << Family;
+    EXPECT_GE(H->num("count", -1), 0) << Family;
+    EXPECT_GE(H->num("sum", -1), 0) << Family;
+    EXPECT_GE(H->num("p99", -1), H->num("p50", -1)) << Family;
+    const Json *Buckets = H->get("buckets");
+    ASSERT_TRUE(Buckets) << Family;
+    // Bucket counts are cumulative and end at the +Inf bucket, whose
+    // count equals the family total (the Prometheus histogram shape).
+    double Prev = 0;
+    bool SawInf = false;
+    for (const Json &B : Buckets->items()) {
+      double C = B.num("count", -1);
+      EXPECT_GE(C, Prev) << Family;
+      Prev = C;
+      if (B.str("le") == "+Inf") {
+        SawInf = true;
+        EXPECT_EQ(C, H->num("count", -1)) << Family;
+      }
+    }
+    EXPECT_TRUE(SawInf) << Family;
+  }
+  // The compiles above are visible: one cold, one warm, and the tuner
+  // measured at least one candidate for the cold tune.
+  EXPECT_GE(Hists->get("unit_compile_cold_seconds")->num("count", 0), 1.0);
+  EXPECT_GE(Hists->get("unit_compile_warm_seconds")->num("count", 0), 1.0);
+  EXPECT_GE(Hists->get("unit_tuner_candidate_seconds")->num("count", 0), 1.0);
+  EXPECT_GE(Hists->get("unit_frame_seconds")->num("count", 0), 2.0);
+}
+
+TEST_F(ServerTest, DumpTraceYieldsConnectedSpanTree) {
+  startServer();
+  auto Client = makeClient("tracer");
+  ConvLayer L = makeResnet18().Convs[5];
+  std::string Err;
+  // A cold compile_async touches the whole lifecycle: admission,
+  // resolve, pool compile, codegen, fulfill, notification write.
+  std::optional<CompileClient::AsyncHandle> H =
+      Client->submitConv("x86", L, {}, &Err);
+  ASSERT_TRUE(H.has_value()) << Err;
+  ASSERT_TRUE(Client->wait(*H, &Err).has_value()) << Err;
+
+  // The notification unblocks wait() before the worker's enclosing
+  // compile / notification_write spans close (a span records on scope
+  // exit), so give the trace a few milliseconds to settle.
+  std::optional<Json> Dump;
+  std::set<int64_t> Ids;
+  std::set<std::string> Names;
+  const Json *Events = nullptr;
+  for (int Attempt = 0; Attempt < 200; ++Attempt) {
+    Dump = Client->dumpTrace(&Err);
+    ASSERT_TRUE(Dump.has_value()) << Err;
+    EXPECT_TRUE(Dump->boolean("enabled", false));
+    const Json *Trace = Dump->get("trace");
+    ASSERT_TRUE(Trace);
+    Events = Trace->get("traceEvents");
+    ASSERT_TRUE(Events);
+    Ids.clear();
+    Names.clear();
+    for (const Json &Ev : Events->items()) {
+      EXPECT_EQ(Ev.str("ph"), "X");
+      EXPECT_EQ(Ev.integer("pid"), 1);
+      EXPECT_GT(Ev.integer("tid"), 0);
+      EXPECT_GE(Ev.num("dur", -1), 0);
+      const Json *Args = Ev.get("args");
+      ASSERT_TRUE(Args);
+      Ids.insert(Args->integer("span"));
+      Names.insert(Ev.str("name"));
+    }
+    if (Names.count("compile") && Names.count("notification_write"))
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(Events->items().size(), 0u);
+  // Connectivity: every non-root parent id resolves to a span in the
+  // dump — one causal tree per request, no orphans.
+  for (const Json &Ev : Events->items()) {
+    int64_t Parent = Ev.get("args")->integer("parent");
+    if (Parent != 0)
+      EXPECT_TRUE(Ids.count(Parent))
+          << Ev.str("name") << " orphaned parent " << Parent;
+  }
+  for (const char *Expected :
+       {"request", "admission", "cache_resolve", "compile", "codegen",
+        "fulfill", "notification_write"})
+    EXPECT_TRUE(Names.count(Expected)) << Expected;
+}
+
+TEST_F(ServerTest, TraceDisabledServerStillServesMetrics) {
+  ServerConfig Config;
+  Config.TraceEnabled = false;
+  startServer(std::move(Config));
+  auto Client = makeClient("no-trace");
+  ConvLayer L = makeResnet18().Convs[3];
+  std::string Err;
+  ASSERT_TRUE(Client->compileConv("x86", L, {}, &Err).has_value()) << Err;
+
+  // Histograms are unconditional; only span recording is gated.
+  std::optional<Json> M = Client->metrics(&Err);
+  ASSERT_TRUE(M.has_value()) << Err;
+  EXPECT_GE(M->get("histograms")
+                ->get("unit_compile_cold_seconds")
+                ->num("count", 0),
+            1.0);
+
+  std::optional<Json> Dump = Client->dumpTrace(&Err);
+  ASSERT_TRUE(Dump.has_value()) << Err;
+  EXPECT_FALSE(Dump->boolean("enabled", true));
+  EXPECT_EQ(Dump->get("trace")->get("traceEvents")->items().size(), 0u);
+}
+
+TEST_F(ServerTest, StatsHammerDeliveredNeverReadsAheadOfIssued) {
+  startServer();
+  // Four streaming clients pipeline fresh kernels while a fifth hammers
+  // stats: in every snapshot delivered <= issued and cancelled <=
+  // issued must hold (the stats reader loads delivered before issued,
+  // so a racing delivery can never make the snapshot read ahead), and
+  // issued must be monotonic across polls.
+  constexpr size_t Streamers = 4, LayersPerClient = 24;
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Clients;
+  std::atomic<int> Failures{0};
+  for (size_t C = 0; C < Streamers; ++C)
+    Clients.emplace_back([&, C] {
+      CompileClient Client;
+      std::string E;
+      if (!Client.connect(SocketPath, &E) ||
+          !Client.hello("hammer-" + std::to_string(C), 0, &E)) {
+        Failures.fetch_add(1);
+        return;
+      }
+      std::vector<ConvLayer> Layers =
+          syntheticLayers(LayersPerClient, 16 + 16 * C);
+      for (const ConvLayer &L : Layers)
+        if (!Client.submitConv("x86", L, {}, &E)) {
+          Failures.fetch_add(1);
+          return;
+        }
+      if (!Client.waitAll(&E))
+        Failures.fetch_add(1);
+    });
+
+  std::thread Poller([&] {
+    CompileClient Client;
+    std::string E;
+    if (!Client.connect(SocketPath, &E) ||
+        !Client.hello("stats-poller", 0, &E)) {
+      Failures.fetch_add(1);
+      return;
+    }
+    int64_t LastIssued = 0;
+    while (!Done.load()) {
+      std::optional<Json> Stats = Client.stats(false, &E);
+      if (!Stats) {
+        Failures.fetch_add(1);
+        return;
+      }
+      const Json *Streaming = Stats->get("streaming");
+      if (!Streaming) {
+        Failures.fetch_add(1);
+        return;
+      }
+      int64_t Issued = Streaming->integer("tickets_issued");
+      int64_t Delivered = Streaming->integer("notifications_delivered");
+      int64_t Cancelled = Streaming->integer("tickets_cancelled");
+      EXPECT_LE(Delivered, Issued);
+      EXPECT_LE(Cancelled, Issued);
+      EXPECT_GE(Issued, LastIssued);
+      LastIssued = Issued;
+    }
+  });
+
+  for (std::thread &T : Clients)
+    T.join();
+  Done.store(true);
+  Poller.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // Settled totals: every submitted ticket was issued and delivered.
+  auto Client = makeClient("hammer-final");
+  std::string Err;
+  std::optional<Json> Stats = Client->stats(false, &Err);
+  ASSERT_TRUE(Stats.has_value()) << Err;
+  const Json *Streaming = Stats->get("streaming");
+  ASSERT_TRUE(Streaming);
+  EXPECT_EQ(Streaming->integer("tickets_issued"),
+            static_cast<int64_t>(Streamers * LayersPerClient));
+  EXPECT_EQ(Streaming->integer("notifications_delivered"),
+            Streaming->integer("tickets_issued"));
+  EXPECT_EQ(Server->session().parkedJoins(), 0u);
+}
+
 } // namespace

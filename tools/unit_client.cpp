@@ -62,9 +62,40 @@ void usage(const char *Argv0) {
       "  --expect-warm       exit 1 unless every layer was a cache hit\n"
       "  --list-targets      print the backends the server can compile for\n"
       "  --stats             print the server's stats message\n"
+      "  --metrics           print the server's latency histograms in\n"
+      "                      Prometheus text exposition format\n"
+      "  --dump-trace FILE   write the server's span buffer as Chrome\n"
+      "                      trace-event JSON ('-' = stdout); load it in\n"
+      "                      chrome://tracing or Perfetto\n"
       "  --save-cache        ask the server to persist its cache now\n"
       "  --shutdown          ask the server to shut down\n",
       Argv0);
+}
+
+/// Renders the metrics message's "histograms" object as Prometheus text:
+/// one `# TYPE <family> histogram` header per family, cumulative
+/// `_bucket{le="..."}` lines (the server already emits cumulative
+/// counts), then `_sum` and `_count`.
+void printPrometheus(const Json &Hists) {
+  for (const auto &KV : Hists.members()) {
+    const std::string &Name = KV.first;
+    const Json &H = KV.second;
+    std::printf("# TYPE %s histogram\n", Name.c_str());
+    if (const Json *Buckets = H.get("buckets"))
+      for (const Json &B : Buckets->items()) {
+        const Json *Le = B.get("le");
+        char LeBuf[40];
+        if (Le && Le->isNumber())
+          std::snprintf(LeBuf, sizeof(LeBuf), "%.9g", Le->asNumber());
+        else
+          std::snprintf(LeBuf, sizeof(LeBuf), "+Inf");
+        std::printf("%s_bucket{le=\"%s\"} %llu\n", Name.c_str(), LeBuf,
+                    static_cast<unsigned long long>(B.integer("count", 0)));
+      }
+    std::printf("%s_sum %.9g\n", Name.c_str(), H.num("sum", 0));
+    std::printf("%s_count %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(H.integer("count", 0)));
+  }
 }
 
 /// --async: submit every layer of every model as compile_async before
@@ -158,9 +189,11 @@ int main(int argc, char **argv) {
                                   TargetName = "x86";
   std::vector<std::string> Endpoints;
   std::vector<std::string> ModelNames;
+  std::string TraceOutPath;
   int Budget = 0, Priority = 0;
   bool WantStats = false, WantSave = false, WantShutdown = false,
-       ExpectWarm = false, WantTargets = false, Async = false;
+       ExpectWarm = false, WantTargets = false, Async = false,
+       WantMetrics = false, WantTrace = false;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NextValue = [&]() -> const char * {
@@ -194,7 +227,12 @@ int main(int argc, char **argv) {
       WantTargets = true;
     else if (Arg == "--stats")
       WantStats = true;
-    else if (Arg == "--save-cache")
+    else if (Arg == "--metrics")
+      WantMetrics = true;
+    else if (Arg == "--dump-trace") {
+      TraceOutPath = NextValue();
+      WantTrace = true;
+    } else if (Arg == "--save-cache")
       WantSave = true;
     else if (Arg == "--shutdown")
       WantShutdown = true;
@@ -213,7 +251,7 @@ int main(int argc, char **argv) {
     Endpoints.insert(Endpoints.begin(), SocketPath);
   if (Endpoints.empty() ||
       (ModelNames.empty() && !WantStats && !WantSave && !WantShutdown &&
-       !WantTargets)) {
+       !WantTargets && !WantMetrics && !WantTrace)) {
     usage(argv[0]);
     return 2;
   }
@@ -295,6 +333,42 @@ int main(int argc, char **argv) {
       return 1;
     }
     std::printf("%s\n", Stats->dump().c_str());
+  }
+
+  if (WantMetrics) {
+    std::optional<Json> Metrics = Client.metrics(&Err);
+    if (!Metrics) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    if (const Json *Hists = Metrics->get("histograms"))
+      printPrometheus(*Hists);
+  }
+
+  if (WantTrace) {
+    std::optional<Json> Trace = Client.dumpTrace(&Err);
+    if (!Trace) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    const Json *Inner = Trace->get("trace");
+    std::string Dump = Inner ? Inner->dump() : "{}";
+    if (TraceOutPath == "-") {
+      std::printf("%s\n", Dump.c_str());
+    } else {
+      std::FILE *Out = std::fopen(TraceOutPath.c_str(), "w");
+      if (!Out ||
+          std::fwrite(Dump.data(), 1, Dump.size(), Out) != Dump.size()) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     TraceOutPath.c_str());
+        if (Out)
+          std::fclose(Out);
+        return 1;
+      }
+      std::fclose(Out);
+      std::printf("wrote %zu trace bytes to %s\n", Dump.size(),
+                  TraceOutPath.c_str());
+    }
   }
 
   if (WantSave) {

@@ -58,7 +58,13 @@ void usage(const char *Argv0) {
       "  --machine-overlay FILE   refit machine-model constants from FILE\n"
       "                           (written by unit_refit) before serving;\n"
       "                           moves the spec hashes, so a persisted\n"
-      "                           cache tuned without it starts cold\n",
+      "                           cache tuned without it starts cold\n"
+      "  --trace-out FILE         dump the span buffer as Chrome trace-\n"
+      "                           event JSON to FILE on shutdown\n"
+      "  --slow-compile-ms N      log a one-line digest of every compile\n"
+      "                           slower than N milliseconds\n"
+      "  --no-trace               disable span recording (histograms and\n"
+      "                           metrics stay on)\n",
       Argv0);
 }
 
@@ -128,6 +134,12 @@ int main(int argc, char **argv) {
       Config.Peers.push_back(NextValue());
     else if (Arg == "--machine-overlay")
       OverlayPath = NextValue();
+    else if (Arg == "--trace-out")
+      Config.TraceOutFile = NextValue();
+    else if (Arg == "--slow-compile-ms")
+      Config.SlowCompileMillis = std::atof(NextValue());
+    else if (Arg == "--no-trace")
+      Config.TraceEnabled = false;
     else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
