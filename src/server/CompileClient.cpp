@@ -877,12 +877,29 @@ CompileClient::listTargets(std::string *Err) {
     Info.Description = T.str("description");
     Info.SupportsConv3d = T.boolean("conv3d", false);
     Info.SpecHash = T.str("spec_hash");
+    Info.Source = T.str("source", "builtin");
     if (const Json *Intrs = T.get("intrinsics"))
       for (const Json &I : Intrs->items())
         if (I.isString())
           Info.Intrinsics.push_back(I.asString());
     Out.push_back(std::move(Info));
   }
+  return Out;
+}
+
+std::optional<CompileClient::RegisteredTarget>
+CompileClient::registerTarget(const Json &SpecDoc, std::string *Err) {
+  Json J = Json::object();
+  J.set("type", "register_target");
+  J.set("id", NextId++);
+  J.set("spec", SpecDoc);
+  std::optional<Json> Response = roundTrip(J, "target_registered", Err);
+  if (!Response)
+    return std::nullopt;
+  RegisteredTarget Out;
+  Out.Id = Response->str("target");
+  Out.SpecHash = Response->str("spec_hash");
+  Out.Source = Response->str("source", "wire");
   return Out;
 }
 

@@ -222,12 +222,29 @@ public:
     std::string Description;
     bool SupportsConv3d = false;
     std::string SpecHash;
+    /// Where the spec came from: "builtin", "file" (--target-spec), or
+    /// "wire" (register_target). Pre-provenance servers read as builtin.
+    std::string Source = "builtin";
     std::vector<std::string> Intrinsics;
   };
   /// Asks the server which targets it can compile for — how a client
   /// discovers backends instead of hard-coding an id list.
   std::optional<std::vector<TargetInfo>> listTargets(std::string *Err =
                                                          nullptr);
+
+  /// The server's acknowledgement of a register_target message.
+  struct RegisteredTarget {
+    std::string Id;
+    std::string SpecHash;
+    std::string Source;
+  };
+  /// Registers \p SpecDoc (a target-spec JSON document, the same schema
+  /// `unit_serve --target-spec` loads) on the running daemon. The server
+  /// validates all-or-nothing and replies with an error frame naming the
+  /// offending JSON path on rejection; TCP servers refuse the message on
+  /// unauthenticated connections.
+  std::optional<RegisteredTarget> registerTarget(const Json &SpecDoc,
+                                                 std::string *Err = nullptr);
 
   /// The server's stats_result message (left as Json: the schema is the
   /// protocol's, docs/SERVER.md; \p Detail adds per-entry cache bytes).

@@ -7,6 +7,7 @@
 #include "runtime/CompileRequest.h"
 #include "runtime/Workload.h"
 #include "target/MachineOverlay.h"
+#include "target/SpecFile.h"
 #include "target/TargetRegistry.h"
 #include "tuner/Tuner.h"
 
@@ -454,6 +455,7 @@ void CompileServer::serveConnection(Connection &Conn) {
     Conn.Done.store(true);
     return;
   }
+  Conn.Authed = true;
   std::string Payload;
   while (!Stopping.load()) {
     FrameStatus Status = readFrame(Conn.Fd, Payload);
@@ -583,6 +585,8 @@ Json CompileServer::handleRequest(Connection &Conn, const Json &Request,
     return handleCompileModel(Conn, Request);
   if (Type == "list_targets")
     return handleListTargets(Request);
+  if (Type == "register_target")
+    return handleRegisterTarget(Conn, Request);
   if (Type == "stats")
     return handleStats(Request);
   if (Type == "metrics")
@@ -1053,6 +1057,8 @@ Json CompileServer::handleListTargets(const Json &Request) {
     T.set("description", B->description());
     T.set("conv3d", B->supportsConv3d());
     T.set("spec_hash", B->specHash());
+    T.set("source", specSourceName(
+                        TargetRegistry::instance().specSourceFor(B->id())));
     Json Intrs = Json::array();
     for (const TensorIntrinsicRef &I : B->intrinsics())
       Intrs.push(I->name());
@@ -1064,6 +1070,47 @@ Json CompileServer::handleListTargets(const Json &Request) {
   if (const Json *Id = Request.get("id"))
     J.set("id", *Id);
   J.set("targets", std::move(Targets));
+  return J;
+}
+
+Json CompileServer::handleRegisterTarget(Connection &Conn,
+                                         const Json &Request) {
+  // Registering a backend changes what every subsequent compile on this
+  // daemon can do — operator action, not client traffic. TCP callers
+  // proved the shared secret before their first frame reached dispatch;
+  // this re-check makes a future dispatch-path mistake fail closed
+  // instead of open.
+  if (Conn.NeedsAuth && !Conn.Authed)
+    return errorResponse(Request,
+                         "register_target requires an authenticated "
+                         "connection");
+  const Json *SpecDoc = Request.get("spec");
+  if (!SpecDoc || !SpecDoc->isObject())
+    return errorResponse(Request,
+                         "register_target needs a 'spec' object (the "
+                         "target-spec JSON document, docs/BACKENDS.md)");
+  if (SpecDoc->dump().size() > MaxSpecFileBytes)
+    return errorResponse(Request,
+                         "register_target spec exceeds the " +
+                             std::to_string(MaxSpecFileBytes) +
+                             "-byte spec-document limit");
+  TargetSpec Spec;
+  std::string Err;
+  // parseSpec validates everything TargetSpec::validate() would abort
+  // on, so wire input can never reach the fatal path; a rejected spec
+  // leaves the registry untouched.
+  if (!parseSpec(*SpecDoc, Spec, &Err))
+    return errorResponse(Request, Err);
+  TargetBackendRef Backend =
+      TargetRegistry::instance().registerSpec(std::move(Spec),
+                                              SpecSource::Wire);
+  Json J = Json::object();
+  J.set("type", "target_registered");
+  if (const Json *Id = Request.get("id"))
+    J.set("id", *Id);
+  J.set("target", Backend->id());
+  J.set("spec_hash", Backend->specHash());
+  J.set("source", specSourceName(SpecSource::Wire));
   return J;
 }
 

@@ -213,6 +213,10 @@ private:
     /// their first request frame; Unix connections skip it (filesystem
     /// permissions on the socket path are their gate).
     bool NeedsAuth = false;
+    /// Set once the challenge succeeds. Handlers that mutate global
+    /// state (register_target) re-check NeedsAuth implies Authed as
+    /// defense in depth, so a dispatch-path regression fails closed.
+    bool Authed = false;
     /// From hello; connections that never introduce themselves share the
     /// "(anonymous)" stats bucket — per-connection names would grow the
     /// Clients map without bound on a daemon serving short connections.
@@ -271,6 +275,7 @@ private:
   Json handlePoll(Connection &Conn, const Json &Request);
   Json handleCompileModel(Connection &Conn, const Json &Request);
   Json handleListTargets(const Json &Request);
+  Json handleRegisterTarget(Connection &Conn, const Json &Request);
   Json handleStats(const Json &Request);
   Json handleSaveCache(const Json &Request);
   /// Observability handlers (docs/OBSERVABILITY.md): `metrics` serves

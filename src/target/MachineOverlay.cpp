@@ -170,6 +170,7 @@ bool applyMachineOverlayText(const std::string &Text, std::string *Err) {
   // specs first; only a fully valid document mutates any registration.
   TargetRegistry &Registry = TargetRegistry::instance();
   std::vector<TargetSpec> Updated;
+  std::vector<SpecSource> UpdatedSources;
   for (const Json &Entry : Refit->items()) {
     if (!Entry.isObject())
       return fail(Err, "overlay refit entry is not an object");
@@ -209,12 +210,15 @@ bool applyMachineOverlayText(const std::string &Text, std::string *Err) {
         return false;
     }
     Updated.push_back(std::move(Spec));
+    // A refit changes constants, not provenance: a file-loaded spec
+    // stays "file" in list_targets after the overlay lands.
+    UpdatedSources.push_back(Registry.specSourceFor(Target));
   }
 
   // registerSpec re-hashes each spec, so cache keys and the persistence
   // fingerprint move with the refit constants automatically.
-  for (TargetSpec &Spec : Updated)
-    Registry.registerSpec(std::move(Spec));
+  for (size_t I = 0; I < Updated.size(); ++I)
+    Registry.registerSpec(std::move(Updated[I]), UpdatedSources[I]);
   OverlayActive.store(true, std::memory_order_relaxed);
   return true;
 }

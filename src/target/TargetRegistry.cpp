@@ -369,7 +369,20 @@ TargetRegistry &TargetRegistry::instance() {
   return *Registry;
 }
 
-TargetBackendRef TargetRegistry::registerSpec(TargetSpec Spec) {
+const char *unit::specSourceName(SpecSource Source) {
+  switch (Source) {
+  case SpecSource::Builtin:
+    return "builtin";
+  case SpecSource::File:
+    return "file";
+  case SpecSource::Wire:
+    return "wire";
+  }
+  return "builtin";
+}
+
+TargetBackendRef TargetRegistry::registerSpec(TargetSpec Spec,
+                                              SpecSource Source) {
   Spec.validate();
   // Make the spec's instructions visible to the global inspection
   // helpers (inspectTarget, compileForTarget). Same-name entries are
@@ -388,6 +401,7 @@ TargetBackendRef TargetRegistry::registerSpec(TargetSpec Spec) {
     Backend = std::make_shared<GpuBackend>(Spec);
 
   std::lock_guard<std::mutex> Lock(Mu);
+  Sources.insert_or_assign(Spec.Id, Source);
   Specs.insert_or_assign(Spec.Id, std::move(Spec));
   registerBackendLocked(Backend);
   return Backend;
@@ -400,6 +414,7 @@ void TargetRegistry::registerBackend(TargetBackendRef Backend) {
   // A hand-written backend carries no spec; dropping the replaced
   // registration's spec keeps specFor()'s contract honest.
   Specs.erase(Backend->id());
+  Sources.erase(Backend->id());
   registerBackendLocked(std::move(Backend));
 }
 
@@ -438,6 +453,12 @@ TargetSpec TargetRegistry::specFor(const std::string &Id) const {
 bool TargetRegistry::hasSpecFor(const std::string &Id) const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Specs.count(Id) != 0;
+}
+
+SpecSource TargetRegistry::specSourceFor(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Sources.find(Id);
+  return It == Sources.end() ? SpecSource::Builtin : It->second;
 }
 
 std::vector<TargetBackendRef> TargetRegistry::all() const {

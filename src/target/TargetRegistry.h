@@ -175,6 +175,17 @@ public:
   const TargetSpec &spec() const { return Spec; }
 };
 
+/// Where a registered spec came from — surfaced by the server's
+/// list_targets so operators can tell shipped backends from ones loaded
+/// at startup (`--target-spec`) or pushed into a running daemon
+/// (`register_target`). In-process registrations (tests, embedding
+/// hosts) default to Builtin: they are compiled-in as far as an operator
+/// is concerned.
+enum class SpecSource { Builtin, File, Wire };
+
+/// Wire/display name: "builtin", "file", or "wire".
+const char *specSourceName(SpecSource Source);
+
 /// Process-wide target-id -> backend table. The shipped specs
 /// (target/BuiltinSpecs.h) are registered as defaults on first access;
 /// registering a spec or backend for an existing id replaces it — that is
@@ -186,6 +197,8 @@ class TargetRegistry {
   /// lockstep with Backends: a hand-written registerBackend for an id
   /// erases the id's spec.
   std::unordered_map<std::string, TargetSpec> Specs;
+  /// Provenance per spec-registered id, in lockstep with Specs.
+  std::unordered_map<std::string, SpecSource> Sources;
 
   TargetRegistry() = default;
   /// Installs \p Backend under its id, replacing any previous
@@ -202,8 +215,10 @@ public:
   /// its instructions visible to the global IntrinsicRegistry (by-name
   /// dedup, so re-registering a revised spec is fine), and registers it
   /// under Spec.Id — replacing any previous registration. This is the
-  /// whole integration surface for a new hardware target.
-  TargetBackendRef registerSpec(TargetSpec Spec);
+  /// whole integration surface for a new hardware target. \p Source
+  /// records where the spec came from for list_targets provenance.
+  TargetBackendRef registerSpec(TargetSpec Spec,
+                                SpecSource Source = SpecSource::Builtin);
 
   /// Registers a hand-written backend (advanced; specs cover the normal
   /// cases). Replaces any existing backend with the same id.
@@ -223,6 +238,11 @@ public:
   /// True when specFor(\p Id) would succeed — the non-aborting probe
   /// overlay loaders use before dereferencing untrusted target ids.
   bool hasSpecFor(const std::string &Id) const;
+
+  /// Provenance of \p Id's spec. Ids without a recorded source (unknown,
+  /// or behind a hand-written backend) read as Builtin — provenance is a
+  /// display property, never a dispatch key.
+  SpecSource specSourceFor(const std::string &Id) const;
 
   std::vector<TargetBackendRef> all() const;
 };

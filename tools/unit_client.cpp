@@ -17,11 +17,14 @@
 
 #include "models/ModelZoo.h"
 #include "server/CompileClient.h"
+#include "target/SpecFile.h" // MaxSpecFileBytes — client-side size cap.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -58,6 +61,10 @@ void usage(const char *Argv0) {
       "                      connection (compile_async + pushed results)\n"
       "                      instead of blocking compile_model round trips\n"
       "  --target T          target id, default x86 (see --list-targets)\n"
+      "  --register-spec F   register a target backend from spec JSON file\n"
+      "                      F on the running server (repeatable; runs\n"
+      "                      before any --model compile, so one invocation\n"
+      "                      can register a target and compile on it)\n"
       "  --priority N        batch priority for the compile\n"
       "  --expect-warm       exit 1 unless every layer was a cache hit\n"
       "  --list-targets      print the backends the server can compile for\n"
@@ -189,6 +196,7 @@ int main(int argc, char **argv) {
                                   TargetName = "x86";
   std::vector<std::string> Endpoints;
   std::vector<std::string> ModelNames;
+  std::vector<std::string> SpecPaths;
   std::string TraceOutPath;
   int Budget = 0, Priority = 0;
   bool WantStats = false, WantSave = false, WantShutdown = false,
@@ -219,6 +227,8 @@ int main(int argc, char **argv) {
       Async = true;
     else if (Arg == "--target")
       TargetName = NextValue();
+    else if (Arg == "--register-spec")
+      SpecPaths.push_back(NextValue());
     else if (Arg == "--priority")
       Priority = std::atoi(NextValue());
     else if (Arg == "--expect-warm")
@@ -250,8 +260,8 @@ int main(int argc, char **argv) {
   if (!SocketPath.empty())
     Endpoints.insert(Endpoints.begin(), SocketPath);
   if (Endpoints.empty() ||
-      (ModelNames.empty() && !WantStats && !WantSave && !WantShutdown &&
-       !WantTargets && !WantMetrics && !WantTrace)) {
+      (ModelNames.empty() && SpecPaths.empty() && !WantStats && !WantSave &&
+       !WantShutdown && !WantTargets && !WantMetrics && !WantTrace)) {
     usage(argv[0]);
     return 2;
   }
@@ -264,6 +274,43 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Registrations run first so one invocation can push a spec and then
+  // --list-targets / --model against it. The file is parsed locally only
+  // as JSON — spec validation is the server's job, so its error message
+  // (naming the offending JSON path) is what the operator sees.
+  for (const std::string &Path : SpecPaths) {
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read spec file '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Text = Buf.str();
+    if (Text.size() > MaxSpecFileBytes) {
+      std::fprintf(stderr, "error: spec file '%s' is %zu bytes, over the "
+                           "%zu-byte limit\n",
+                   Path.c_str(), Text.size(), MaxSpecFileBytes);
+      return 1;
+    }
+    std::optional<Json> Doc = Json::parse(Text, &Err);
+    if (!Doc) {
+      std::fprintf(stderr, "error: spec file '%s': %s\n", Path.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    std::optional<CompileClient::RegisteredTarget> Registered =
+        Client.registerTarget(*Doc, &Err);
+    if (!Registered) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("registered target '%s' spec %s source=%s\n",
+                Registered->Id.c_str(), Registered->SpecHash.c_str(),
+                Registered->Source.c_str());
+  }
+
   if (WantTargets) {
     std::optional<std::vector<CompileClient::TargetInfo>> Targets =
         Client.listTargets(&Err);
@@ -272,9 +319,9 @@ int main(int argc, char **argv) {
       return 1;
     }
     for (const CompileClient::TargetInfo &T : *Targets)
-      std::printf("%-10s spec %s  conv3d=%s  %s\n", T.Id.c_str(),
+      std::printf("%-10s spec %s  conv3d=%s  source=%-7s  %s\n", T.Id.c_str(),
                   T.SpecHash.c_str(), T.SupportsConv3d ? "yes" : "no",
-                  T.Description.c_str());
+                  T.Source.c_str(), T.Description.c_str());
   }
 
   if (!ModelNames.empty()) {

@@ -16,12 +16,14 @@
 
 #include "server/CompileServer.h"
 #include "target/MachineOverlay.h"
+#include "target/SpecFile.h"
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace unit;
 
@@ -55,6 +57,9 @@ void usage(const char *Argv0) {
       "  --peer HOST:PORT         exchange tuned kernels with this peer\n"
       "                           daemon (repeatable; same-fingerprint\n"
       "                           peers only)\n"
+      "  --target-spec FILE       register a target backend from a spec\n"
+      "                           JSON file before serving (repeatable;\n"
+      "                           docs/BACKENDS.md \"Specs as files\")\n"
       "  --machine-overlay FILE   refit machine-model constants from FILE\n"
       "                           (written by unit_refit) before serving;\n"
       "                           moves the spec hashes, so a persisted\n"
@@ -98,6 +103,7 @@ std::string readSecretFile(const std::string &Path) {
 int main(int argc, char **argv) {
   ServerConfig Config;
   std::string OverlayPath;
+  std::vector<std::string> SpecPaths;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     auto NextValue = [&]() -> const char * {
@@ -132,6 +138,8 @@ int main(int argc, char **argv) {
       Config.Secret = readSecretFile(NextValue());
     else if (Arg == "--peer")
       Config.Peers.push_back(NextValue());
+    else if (Arg == "--target-spec")
+      SpecPaths.push_back(NextValue());
     else if (Arg == "--machine-overlay")
       OverlayPath = NextValue();
     else if (Arg == "--trace-out")
@@ -152,6 +160,22 @@ int main(int argc, char **argv) {
   if (Config.SocketPath.empty()) {
     usage(argv[0]);
     return 2;
+  }
+
+  // File specs register before the overlay (so an overlay can refit a
+  // file-loaded target) and before the server constructs its session
+  // (so cache keys, the persisted-cache fingerprint check, and peer
+  // fingerprints all see the final registry).
+  for (const std::string &Path : SpecPaths) {
+    std::string Err;
+    TargetBackendRef Backend = registerSpecFile(Path, &Err);
+    if (!Backend) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("unit_serve: registered target '%s' (spec %s) from %s\n",
+                Backend->id().c_str(), Backend->specHash().c_str(),
+                Path.c_str());
   }
 
   // Refit before the server constructs its session: the new spec hashes

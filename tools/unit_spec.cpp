@@ -1,0 +1,98 @@
+//===- tools/unit_spec.cpp - Target-spec file authoring helper -------------===//
+//
+// Part of the UNIT reproduction (CGO 2021). MIT license.
+//
+// Works with the spec-file format of docs/BACKENDS.md "Specs as files":
+//
+//   unit_spec --dump TARGET          serialize a registered target's spec
+//                                    to stdout (start a new file from a
+//                                    builtin, or inspect one)
+//   unit_spec --hash FILE            parse FILE and print "<id> <hash>"
+//                                    (what cache keys will be salted with)
+//   unit_spec --check FILE           parse FILE and report OK / the error
+//   unit_spec --write-goldens DIR    write every builtin spec to
+//                                    DIR/<id>.json — regenerates
+//                                    tests/data/specs after a deliberate
+//                                    spec revision
+//
+//===----------------------------------------------------------------------===//
+
+#include "target/BuiltinSpecs.h"
+#include "target/SpecFile.h"
+#include "target/TargetRegistry.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+using namespace unit;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--dump TARGET | --hash FILE | --check FILE |\n"
+               "          --write-goldens DIR)\n",
+               Argv0);
+}
+
+int dumpTarget(const std::string &Id) {
+  TargetRegistry &Registry = TargetRegistry::instance();
+  if (!Registry.hasSpecFor(Id)) {
+    std::fprintf(stderr,
+                 "error: '%s' is not a spec-registered target\n", Id.c_str());
+    return 1;
+  }
+  std::printf("%s\n", serializeSpec(Registry.specFor(Id)).dump().c_str());
+  return 0;
+}
+
+int hashFile(const std::string &Path, bool PrintHash) {
+  TargetSpec Spec;
+  std::string Err;
+  if (!loadSpecFile(Path, Spec, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (PrintHash)
+    std::printf("%s %s\n", Spec.Id.c_str(), Spec.hash().c_str());
+  else
+    std::printf("%s: OK (target '%s', %zu intrinsics)\n", Path.c_str(),
+                Spec.Id.c_str(), Spec.Intrinsics.size());
+  return 0;
+}
+
+int writeGoldens(const std::string &Dir) {
+  for (const TargetSpec &Spec : builtinTargetSpecs()) {
+    std::string Path = Dir + "/" + Spec.Id + ".json";
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+      return 1;
+    }
+    Out << serializeSpec(Spec).dump() << "\n";
+    std::printf("wrote %s (spec %s)\n", Path.c_str(), Spec.hash().c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc != 3) {
+    usage(argv[0]);
+    return 2;
+  }
+  std::string Mode = argv[1], Operand = argv[2];
+  if (Mode == "--dump")
+    return dumpTarget(Operand);
+  if (Mode == "--hash")
+    return hashFile(Operand, /*PrintHash=*/true);
+  if (Mode == "--check")
+    return hashFile(Operand, /*PrintHash=*/false);
+  if (Mode == "--write-goldens")
+    return writeGoldens(Operand);
+  usage(argv[0]);
+  return 2;
+}
